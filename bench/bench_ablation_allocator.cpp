@@ -1,0 +1,109 @@
+// E10b (extension) — allocator ablation: the paper's greedy first-fit
+// search vs bipartite maximum matching.
+//
+// §4 describes a greedy search ("for each method ... the test stand
+// searches an appropriate resource"). Greedy can burn a scarce resource
+// on a flexible signal and then fail, while a maximum matching finds a
+// plan whenever one exists. This bench measures how often that matters,
+// sweeping connection density on random stands.
+#include <functional>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "stand/allocator.hpp"
+
+namespace {
+
+using namespace ctk;
+using namespace ctk::stand;
+
+struct Instance {
+    StandDescription desc{"random"};
+    std::vector<Requirement> requirements;
+};
+
+Instance make_instance(Rng& rng, int n, double density) {
+    Instance inst;
+    for (int r = 0; r < n; ++r) {
+        Resource res;
+        res.id = "R" + std::to_string(r);
+        res.label = "decade";
+        res.methods.push_back(MethodSupport{
+            "put_r", {ParamRange{"r", 0.0, 1.0e6, "Ohm"}}});
+        inst.desc.add_resource(res);
+    }
+    for (int q = 0; q < n; ++q) {
+        Requirement req;
+        req.signal = "s" + std::to_string(q);
+        req.method = "put_r";
+        req.pins = {"p" + std::to_string(q)};
+        req.demands.push_back(ValueDemand{"X", 100.0, 0.0, 1000.0});
+        inst.requirements.push_back(req);
+    }
+    for (int r = 0; r < n; ++r)
+        for (int q = 0; q < n; ++q)
+            if (rng.next_bool(density))
+                inst.desc.connect("R" + std::to_string(r),
+                                  "p" + std::to_string(q),
+                                  "K" + std::to_string(r) + "_" +
+                                      std::to_string(q));
+    return inst;
+}
+
+bool try_allocate(const Instance& inst, AllocPolicy policy) {
+    try {
+        (void)allocate(inst.desc, inst.requirements, policy);
+        return true;
+    } catch (const StandError&) {
+        return false;
+    }
+}
+
+} // namespace
+
+int main() {
+    std::cout << "=== E10b: greedy (paper §4) vs maximum matching ===\n\n";
+
+    constexpr int kTrials = 400;
+    constexpr int kSize = 6; // 6 signals on 6 resources
+
+    TextTable t;
+    t.header({"density", "greedy ok", "matching ok", "greedy misses",
+              "miss rate among feasible"});
+    bool ok = true;
+    Rng rng(2025);
+    for (double density : {0.3, 0.4, 0.5, 0.6, 0.8}) {
+        int greedy_ok = 0, matching_ok = 0, misses = 0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            const Instance inst = make_instance(rng, kSize, density);
+            const bool g = try_allocate(inst, AllocPolicy::Greedy);
+            const bool m = try_allocate(inst, AllocPolicy::Matching);
+            greedy_ok += g ? 1 : 0;
+            matching_ok += m ? 1 : 0;
+            if (m && !g) ++misses;
+            ok = ok && !(g && !m); // matching dominates greedy
+        }
+        char dens[16], rate[16];
+        std::snprintf(dens, sizeof dens, "%.1f", density);
+        std::snprintf(rate, sizeof rate, "%.1f %%",
+                      matching_ok ? 100.0 * misses / matching_ok : 0.0);
+        t.row({dens, std::to_string(greedy_ok),
+               std::to_string(matching_ok), std::to_string(misses), rate});
+    }
+    std::cout << t.render() << "\n";
+
+    std::cout << "reading: at mid densities the paper's greedy search "
+                 "fails on a noticeable share of stands that *could* run "
+                 "the script; CTK therefore offers both policies "
+                 "(RunOptions::policy).\n";
+
+    if (!ok) {
+        std::cerr << "\nE10b: FAIL — greedy succeeded where matching "
+                     "failed (impossible)\n";
+        return 1;
+    }
+    std::cout << "\nE10b: OK — matching dominates greedy on all "
+              << 5 * kTrials << " instances\n";
+    return 0;
+}

@@ -1,0 +1,202 @@
+// E10 (extension) — performance micro-benchmarks (google-benchmark).
+//
+// Covers every pipeline stage (sheet parse → compile → XML → allocate →
+// execute) plus the gate substrate's headline ablation: serial vs 64-way
+// parallel-pattern fault simulation.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/kb.hpp"
+#include "dut/catalogue.hpp"
+#include "gate/circuits.hpp"
+#include "gate/tpg.hpp"
+#include "model/paper.hpp"
+#include "model/sheets.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+#include "stand/paper.hpp"
+
+namespace {
+
+using namespace ctk;
+
+const model::MethodRegistry& registry() {
+    static const auto reg = model::MethodRegistry::builtin();
+    return reg;
+}
+
+void BM_WorkbookParse(benchmark::State& state) {
+    const std::string text = model::paper::workbook_text();
+    for (auto _ : state) {
+        auto wb = tabular::Workbook::parse_multi(text);
+        benchmark::DoNotOptimize(wb);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_WorkbookParse);
+
+void BM_SuiteFromWorkbook(benchmark::State& state) {
+    const auto wb =
+        tabular::Workbook::parse_multi(model::paper::workbook_text());
+    for (auto _ : state) {
+        auto suite = model::suite_from_workbook(wb, "paper");
+        benchmark::DoNotOptimize(suite);
+    }
+}
+BENCHMARK(BM_SuiteFromWorkbook);
+
+void BM_CompileToScript(benchmark::State& state) {
+    const auto suite = model::paper::suite();
+    for (auto _ : state) {
+        auto script = script::compile(suite, registry());
+        benchmark::DoNotOptimize(script);
+    }
+}
+BENCHMARK(BM_CompileToScript);
+
+void BM_XmlEmit(benchmark::State& state) {
+    const auto script = script::compile(model::paper::suite(), registry());
+    for (auto _ : state) {
+        auto text = script::to_xml_text(script);
+        benchmark::DoNotOptimize(text);
+    }
+}
+BENCHMARK(BM_XmlEmit);
+
+void BM_XmlParse(benchmark::State& state) {
+    const std::string text =
+        script::to_xml_text(script::compile(model::paper::suite(),
+                                            registry()));
+    for (auto _ : state) {
+        auto script = script::from_xml_text(text, registry());
+        benchmark::DoNotOptimize(script);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_AllocatePaper(benchmark::State& state) {
+    const auto policy = static_cast<stand::AllocPolicy>(state.range(0));
+    const auto desc = stand::paper::figure1_stand();
+    const auto script = script::compile(model::paper::suite(), registry());
+    const auto reqs = stand::build_requirements(script, script.tests[0],
+                                                desc.variables());
+    for (auto _ : state) {
+        auto plan = stand::allocate(desc, reqs, policy);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_AllocatePaper)
+    ->Arg(static_cast<int>(stand::AllocPolicy::Greedy))
+    ->Arg(static_cast<int>(stand::AllocPolicy::Matching))
+    ->ArgName("policy");
+
+/// Allocator scaling: n pin signals, n resources each reaching all pins.
+void BM_AllocatorScaling(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    stand::StandDescription desc("scale");
+    desc.set_variable("ubatt", 12.0);
+    for (int r = 0; r < n; ++r) {
+        stand::Resource res;
+        res.id = "R" + std::to_string(r);
+        res.label = "decade";
+        res.methods.push_back(stand::MethodSupport{
+            "put_r", {stand::ParamRange{"r", 0.0, 1e6, "Ohm"}}});
+        desc.add_resource(res);
+    }
+    std::vector<stand::Requirement> reqs;
+    for (int p = 0; p < n; ++p) {
+        const std::string pin = "p" + std::to_string(p);
+        for (int r = 0; r < n; ++r)
+            desc.connect("R" + std::to_string(r), pin,
+                         "K" + std::to_string(r) + "_" + std::to_string(p));
+        stand::Requirement rq;
+        rq.signal = pin;
+        rq.method = "put_r";
+        rq.pins = {pin};
+        rq.demands.push_back(stand::ValueDemand{"X", 100.0, 0.0, 1000.0});
+        reqs.push_back(rq);
+    }
+    for (auto _ : state) {
+        auto plan = stand::allocate(desc, reqs, stand::AllocPolicy::Matching);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_AllocatorScaling)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_EngineRunPaperSuite(benchmark::State& state) {
+    const auto script = script::compile(model::paper::suite(), registry());
+    for (auto _ : state) {
+        auto desc = stand::paper::figure1_stand();
+        core::TestEngine engine(
+            desc, std::make_shared<sim::VirtualStand>(
+                      desc, dut::make_golden("interior_light")));
+        auto result = engine.run(script);
+        benchmark::DoNotOptimize(result);
+    }
+    // 10 steps, 306.5 s simulated per iteration.
+    state.counters["sim_seconds"] = benchmark::Counter(
+        306.5 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRunPaperSuite)->Unit(benchmark::kMillisecond);
+
+void BM_LogicSim64(benchmark::State& state) {
+    const auto net = gate::circuits::alu(8);
+    const gate::LogicSim sim(net);
+    Rng rng(5);
+    std::vector<gate::PackedWord> in(net.inputs().size());
+    for (auto& w : in) w = rng.next_u64();
+    for (auto _ : state) {
+        auto values = sim.eval(in);
+        benchmark::DoNotOptimize(values);
+        in[0] ^= 1; // defeat caching
+    }
+    state.counters["patterns/s"] = benchmark::Counter(
+        64.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LogicSim64);
+
+void BM_FaultSim(benchmark::State& state) {
+    const bool parallel = state.range(0) != 0;
+    const auto net = gate::circuits::ripple_adder(8);
+    const auto faults = gate::collapse_faults(net);
+    Rng rng(7);
+    std::vector<gate::Pattern> patterns;
+    for (int p = 0; p < 64; ++p) {
+        std::vector<bool> frame(net.inputs().size());
+        for (auto&& v : frame) v = rng.next_bool();
+        patterns.push_back(gate::Pattern::single(std::move(frame)));
+    }
+    for (auto _ : state) {
+        auto result = parallel
+                          ? gate::fault_simulate_parallel(net, faults,
+                                                          patterns)
+                          : gate::fault_simulate_serial(net, faults,
+                                                        patterns);
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["fault_patterns/s"] = benchmark::Counter(
+        static_cast<double>(faults.size() * patterns.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultSim)->Arg(0)->Arg(1)->ArgName("parallel");
+
+void BM_RandomTpgC17(benchmark::State& state) {
+    const auto net = gate::circuits::c17();
+    const auto faults = gate::collapse_faults(net);
+    for (auto _ : state) {
+        auto r = gate::random_tpg(net, faults);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RandomTpgC17);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E7 — §5: "successfully applied to two ECUs of the next S-class".
+//
+// The paper's evaluation is this one sentence. The reproduction makes it
+// quantitative: the knowledge base holds suites for FIVE body ECUs; each
+// suite is compiled once to XML and the *identical* script is executed on
+// multiple differently equipped stands. The portability matrix below is
+// the measured form of the paper's claim.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "core/kb.hpp"
+#include "dut/catalogue.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+#include "stand/paper.hpp"
+
+int main() {
+    using namespace ctk;
+    const auto registry = model::MethodRegistry::builtin();
+
+    std::cout << "=== E7 / §5: application to ECUs across stands ===\n\n";
+
+    bool ok = true;
+    TextTable matrix;
+    matrix.header({"ECU family", "steps", "checks", "reference stand",
+                   "alt stand (13.5 V)", "verdict"});
+
+    std::size_t total_checks = 0;
+    for (const auto& family : core::kb::families()) {
+        const auto suite = core::kb::suite_for(family);
+        const std::string xml =
+            script::to_xml_text(script::compile(suite, registry));
+
+        // Reference stand.
+        const auto script = script::from_xml_text(xml, registry);
+        auto ref_desc = core::kb::stand_for(family);
+        core::TestEngine ref_engine(
+            ref_desc, std::make_shared<sim::VirtualStand>(
+                          ref_desc, dut::make_golden(family)));
+        const auto ref = ref_engine.run(script);
+
+        // Alternative stand: same wiring, different supply voltage — the
+        // script's ×ubatt expressions must adapt.
+        auto alt_desc = core::kb::stand_for(family);
+        alt_desc.set_name(family + "_alt");
+        alt_desc.set_variable("ubatt", 13.5);
+        core::TestEngine alt_engine(
+            alt_desc, std::make_shared<sim::VirtualStand>(
+                          alt_desc, dut::make_golden(family)));
+        const auto alt = alt_engine.run(script);
+
+        std::size_t steps = 0, checks = 0;
+        for (const auto& t : ref.tests) steps += t.steps.size();
+        checks = ref.check_count();
+        total_checks += checks;
+
+        const bool both = ref.passed() && alt.passed();
+        ok = ok && both;
+        matrix.row({family, std::to_string(steps), std::to_string(checks),
+                    ref.passed() ? "PASS" : "FAIL",
+                    alt.passed() ? "PASS" : "FAIL",
+                    both ? "portable" : "NOT PORTABLE"});
+    }
+    std::cout << matrix.render() << "\n";
+    std::cout << "total checks executed: " << total_checks << "\n\n";
+
+    // The paper's interior-light script additionally runs on the
+    // differently *wired* supplier stand (relays instead of muxes).
+    const auto il_script = script::from_xml_text(
+        script::to_xml_text(
+            script::compile(core::kb::suite_for("interior_light"), registry)),
+        registry);
+    auto supplier = stand::paper::supplier_stand();
+    core::TestEngine sup_engine(
+        supplier, std::make_shared<sim::VirtualStand>(
+                      supplier, dut::make_golden("interior_light")));
+    const bool sup_ok = sup_engine.run(il_script).passed();
+    ok = ok && sup_ok;
+    std::cout << "interior_light on the relay-wired supplier stand: "
+              << (sup_ok ? "PASS" : "FAIL") << "\n";
+
+    if (!ok) {
+        std::cerr << "\nE7: FAIL\n";
+        return 1;
+    }
+    std::cout << "\nE7: OK — 5 ECU families × 2+ stands, all portable "
+                 "(the paper reports 2 ECUs, qualitative)\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+// E2 — Table 2: the status table.
+//
+// Prints the reconstructed status table in the paper's column layout,
+// verifies it parses identically from the German-locale CSV form, and
+// sweeps the ×UBATT limit semantics across supply voltages (the prose
+// rule: Ho valid between 0.7·Ubatt and 1.1·Ubatt).
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/paper.hpp"
+#include "model/sheets.hpp"
+#include "script/script.hpp"
+
+int main() {
+    using namespace ctk;
+
+    std::cout << "=== E2 / Table 2: status table ===\n\n";
+
+    const model::StatusTable table = model::paper::status_table();
+    {
+        TextTable t;
+        t.header({"status", "method", "attribut", "var (x)", "nom", "min",
+                  "max"});
+        auto fmt = [](const std::optional<double>& v) {
+            return v ? str::format_number(*v) : std::string{};
+        };
+        for (const auto& st : table.statuses()) {
+            t.row({st.name, st.method, st.attribute, st.var,
+                   st.data.empty() ? fmt(st.nom) : st.data, fmt(st.min),
+                   fmt(st.max)});
+        }
+        std::cout << t.render() << "\n";
+    }
+
+    bool ok = table.statuses().size() == 7;
+    const auto& ho = table.require("Ho");
+    ok = ok && ho.method == "get_u" && ho.var == "UBATT" && *ho.min == 0.7 &&
+         *ho.max == 1.1;
+    ok = ok && table.require("Off").data == "0001B";
+    ok = ok && std::isinf(*table.require("Closed").nom);
+
+    // The same table from CSV text (decimal commas) must match.
+    const auto wb = tabular::Workbook::parse_multi(
+        model::paper::workbook_text());
+    const auto parsed = model::status_table_from_sheet(wb.require("status"));
+    ok = ok && parsed.statuses().size() == table.statuses().size();
+    for (const auto& st : table.statuses()) {
+        const auto* p = parsed.find(st.name);
+        ok = ok && p && p->method == st.method && p->min == st.min &&
+             p->max == st.max && p->data == st.data;
+    }
+    std::cout << "CSV round-trip (decimal commas): "
+              << (ok ? "identical" : "MISMATCH") << "\n\n";
+
+    // Limit semantics sweep: evaluated Ho/Lo windows per supply voltage.
+    std::cout << "×UBATT limit semantics (paper §3 prose rule):\n";
+    TextTable sweep;
+    sweep.header({"ubatt [V]", "Ho window [V]", "Lo window [V]"});
+    const auto registry = model::MethodRegistry::builtin();
+    model::TestSuite suite = model::paper::suite();
+    const auto script = script::compile(suite, registry);
+    // Find the Ho and Lo calls in the compiled script.
+    const script::MethodCall* ho_call = nullptr;
+    const script::MethodCall* lo_call = nullptr;
+    for (const auto& step : script.tests[0].steps)
+        for (const auto& a : step.actions) {
+            if (a.status == "Ho") ho_call = &a.call;
+            if (a.status == "Lo") lo_call = &a.call;
+        }
+    for (double ubatt : {9.0, 12.0, 13.5, 16.0}) {
+        expr::Env env{{"ubatt", ubatt}};
+        auto window = [&](const script::MethodCall* c) {
+            return "[" + str::format_number(c->min->eval(env), 4) + ", " +
+                   str::format_number(c->max->eval(env), 4) + "]";
+        };
+        sweep.row({str::format_number(ubatt), window(ho_call),
+                   window(lo_call)});
+        ok = ok && ho_call->min->eval(env) == 0.7 * ubatt &&
+             ho_call->max->eval(env) == 1.1 * ubatt;
+    }
+    std::cout << sweep.render();
+
+    if (!ok) {
+        std::cerr << "\nE2: FAIL\n";
+        return 1;
+    }
+    std::cout << "\nE2: OK — 7 statuses, ×UBATT scaling exact at all "
+                 "supply voltages\n";
+    return 0;
+}

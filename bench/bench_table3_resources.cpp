@@ -1,0 +1,88 @@
+// E4 — Table 3: the resource table.
+//
+//   Ress. | Method | Attribut | Min | Max      | Unit
+//   Ress1 | get_u  | u        | -60 | 60       | V
+//   Ress2 | get_r  | r        | 0   | 1,00E+06 | Ω      (paper typo:
+//   Ress3 | get_r  | r        | 0   | 2,00E+05 | Ω       prose says put_r)
+//
+// Prints the reproduced table, verifies the workbook form parses to the
+// same stand, and exercises the range checks the table exists for.
+#include <iostream>
+#include <limits>
+
+#include "common/table.hpp"
+#include "stand/paper.hpp"
+
+int main() {
+    using namespace ctk;
+
+    std::cout << "=== E4 / Table 3: resource table ===\n\n";
+
+    const stand::StandDescription s = stand::paper::figure1_stand();
+    {
+        TextTable t;
+        t.header({"Ress.", "Label", "Method", "Attribut", "Min", "Max",
+                  "Unit"});
+        for (const auto& r : s.resources()) {
+            for (const auto& ms : r.methods) {
+                if (ms.ranges.empty()) {
+                    t.row({r.id, r.label, ms.method, "", "", "", ""});
+                } else {
+                    const auto& pr = ms.ranges.front();
+                    t.row({r.id, r.label, ms.method, pr.attribute,
+                           str::format_number(pr.min),
+                           str::format_number(pr.max), pr.unit});
+                }
+            }
+        }
+        std::cout << t.render() << "\n";
+    }
+
+    bool ok = true;
+    const auto& r1 = s.require_resource("Ress1");
+    const auto& r2 = s.require_resource("Ress2");
+    const auto& r3 = s.require_resource("Ress3");
+    ok = ok && r1.find_method("get_u")->range_of("u")->min == -60.0;
+    ok = ok && r1.find_method("get_u")->range_of("u")->max == 60.0;
+    ok = ok && r2.find_method("put_r")->range_of("r")->max == 1.0e6;
+    ok = ok && r3.find_method("put_r")->range_of("r")->max == 2.0e5;
+
+    // The workbook text form (as a supplier would check it in) parses to
+    // the same stand.
+    const auto wb =
+        tabular::Workbook::parse_multi(stand::paper::figure1_workbook_text());
+    const auto from_text = stand::StandDescription::from_workbook(wb, "fig1");
+    ok = ok && from_text.resources().size() == s.resources().size();
+    ok = ok &&
+         from_text.require_resource("Ress2").find_method("put_r")->range_of(
+             "r")->max == 1.0e6;
+    std::cout << "workbook form ('1,00E+06' Excel scientific) parses "
+              << "identically: " << (ok ? "yes" : "NO") << "\n\n";
+
+    // What the ranges are for: capability checks.
+    std::cout << "range checks:\n";
+    TextTable checks;
+    checks.header({"question", "answer"});
+    auto yn = [](bool b) { return b ? std::string("yes") : std::string("no"); };
+    const bool q1 = r1.can_realise("get_u", true, 8.4, 13.2);
+    const bool q2 = r1.can_realise("get_u", true, -100.0, 0.0);
+    const bool q3 = r3.can_realise("put_r", false, 0.0, 1.0);
+    const bool q4 = r3.can_realise("put_r", false, 5.0e5, 6.0e5);
+    const bool q5 = r3.can_realise("put_r", false, 5000.0,
+                                   std::numeric_limits<double>::infinity());
+    checks.row({"Ress1 measure Ho at 12 V (8.4..13.2 V)?", yn(q1)});
+    checks.row({"Ress1 measure down to -100 V?", yn(q2)});
+    checks.row({"Ress3 source 'Open' (0..1 Ohm)?", yn(q3)});
+    checks.row({"Ress3 source 500..600 kOhm (beyond 200 kOhm)?", yn(q4)});
+    checks.row({"Ress3 realise 'Closed' (>=5 kOhm, INF ok)?", yn(q5)});
+    std::cout << checks.render();
+    ok = ok && q1 && !q2 && q3 && !q4 && q5;
+
+    if (!ok) {
+        std::cerr << "\nE4: FAIL\n";
+        return 1;
+    }
+    std::cout << "\nE4: OK — Table 3 reproduced (with the get_r/put_r "
+                 "typo corrected per the prose)\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+// E5 — Table 4: the connection matrix.
+//
+//          | INT_ILL_F | INT_ILL_R | DS_FL | DS_FR | DS_RL | DS_RR
+//   Ress1  | Sw1.1     | Sw1.2     |       |       |       |
+//   Ress2  |           |           | Mx1.2 | Mx2.2 | Mx3.2 | Mx4.2
+//   Ress3  |           |           | Mx1.1 | Mx2.1 | Mx3.1 | Mx4.1
+//
+// Prints the matrix verbatim, runs the §4 allocation over it, and
+// demonstrates the error message for an unroutable signal.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dut/catalogue.hpp"
+#include "model/paper.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+#include "stand/allocator.hpp"
+#include "stand/paper.hpp"
+
+int main() {
+    using namespace ctk;
+
+    std::cout << "=== E5 / Table 4: connection matrix ===\n\n";
+
+    const stand::StandDescription s = stand::paper::figure1_stand();
+    const std::vector<std::string> pins{"int_ill_f", "int_ill_r", "ds_fl",
+                                        "ds_fr",     "ds_rl",     "ds_rr"};
+    {
+        TextTable t;
+        std::vector<std::string> header{""};
+        for (const auto& p : pins) header.push_back(str::upper(p));
+        t.header(header);
+        for (const char* res : {"Ress1", "Ress2", "Ress3"}) {
+            std::vector<std::string> row{res};
+            for (const auto& p : pins) {
+                const stand::Connection* c = s.connection(res, p);
+                row.push_back(c ? c->via : std::string{});
+            }
+            t.row(row);
+        }
+        std::cout << t.render() << "\n";
+    }
+
+    // Verbatim fidelity checks.
+    bool ok = true;
+    ok = ok && s.connection("Ress1", "int_ill_f")->via == "Sw1.1";
+    ok = ok && s.connection("Ress1", "int_ill_r")->via == "Sw1.2";
+    ok = ok && s.connection("Ress2", "ds_fl")->via == "Mx1.2";
+    ok = ok && s.connection("Ress3", "ds_fl")->via == "Mx1.1";
+    ok = ok && s.connection("Ress2", "ds_rr")->via == "Mx4.2";
+    ok = ok && s.connection("Ress3", "ds_rr")->via == "Mx4.1";
+    ok = ok && !s.connection("Ress1", "ds_fl");
+    ok = ok && !s.connection("Ress2", "int_ill_f");
+
+    // The §4 search over this matrix.
+    const auto registry = model::MethodRegistry::builtin();
+    const auto script = script::compile(model::paper::suite(), registry);
+    const auto plan = stand::allocate_test(s, script, script.tests[0]);
+    std::cout << "allocation over the matrix (greedy, declaration order):\n"
+              << report::render_allocation(plan) << "\n";
+    ok = ok && plan.for_signal("int_ill")->resource == "Ress1";
+    ok = ok && plan.for_signal("ds_fl")->resource != //
+                   plan.for_signal("ds_fr")->resource;
+    ok = ok && plan.for_signal("ds_rl")->is_unconnected();
+
+    // The paper: "If this is not possible an error message is generated."
+    std::cout << "unroutable signal (deficient stand, DVM not wired to "
+                 "INT_ILL):\n";
+    try {
+        const auto bad = stand::paper::deficient_stand();
+        (void)stand::allocate_test(bad, script, script.tests[0]);
+        std::cerr << "E5: FAIL — deficient stand did not error\n";
+        return 1;
+    } catch (const StandError& e) {
+        std::cout << e.what() << "\n";
+        ok = ok && std::string(e.what()).find("int_ill") != std::string::npos;
+    }
+
+    if (!ok) {
+        std::cerr << "\nE5: FAIL\n";
+        return 1;
+    }
+    std::cout << "\nE5: OK — matrix verbatim; allocation and the no-resource "
+                 "error path reproduced\n";
+    return 0;
+}

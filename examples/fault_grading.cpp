@@ -1,0 +1,180 @@
+// Grading component tests with stuck-at fault coverage.
+//
+// When the DUT is proprietary silicon, "the test passed" says little
+// about test *quality*. This example runs a component test against a
+// gate-level DUT (a 4-bit ripple-carry adder), records the stimulus
+// trace, and grades it: what fraction of all collapsed stuck-at faults
+// would this test have caught? It then contrasts the hand-written test
+// with random patterns and deterministic ATPG (PODEM).
+//
+//   $ ./fault_grading
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "gate/atpg.hpp"
+#include "gate/circuits.hpp"
+#include "gate/gate_dut.hpp"
+#include "gate/tpg.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace {
+
+using namespace ctk;
+
+/// Component-test suite for the 4-bit adder: each step applies one
+/// operand pair and checks every sum bit.
+model::TestSuite adder_suite() {
+    model::TestSuite suite;
+    suite.name = "adder4";
+
+    for (int i = 0; i < 4; ++i) {
+        suite.signals.add({"a" + std::to_string(i),
+                           model::SignalDirection::Input,
+                           model::SignalKind::Pin, {}, "L"});
+        suite.signals.add({"b" + std::to_string(i),
+                           model::SignalDirection::Input,
+                           model::SignalKind::Pin, {}, "L"});
+    }
+    suite.signals.add({"cin", model::SignalDirection::Input,
+                       model::SignalKind::Pin, {}, "L"});
+    for (int i = 0; i < 4; ++i)
+        suite.signals.add({"s" + std::to_string(i),
+                           model::SignalDirection::Output,
+                           model::SignalKind::Pin, {}, ""});
+    suite.signals.add({"cout", model::SignalDirection::Output,
+                       model::SignalKind::Pin, {}, ""});
+
+    auto status = [&](const char* name, const char* method,
+                      const char* attr, const char* var,
+                      double nom, double min, double max) {
+        model::StatusDef d;
+        d.name = name;
+        d.method = method;
+        d.attribute = attr;
+        d.var = var;
+        d.nom = nom;
+        d.min = min;
+        d.max = max;
+        suite.statuses.add(std::move(d));
+    };
+    status("H", "put_u", "u", "UBATT", 1.0, 0.9, 1.1);  // logic 1
+    status("L", "put_u", "u", "", 0.0, 0.0, 0.5);       // logic 0
+    status("One", "get_u", "u", "UBATT", 1.0, 0.7, 1.1);
+    status("Zero", "get_u", "u", "UBATT", 0.0, 0.0, 0.3);
+
+    model::TestCase test;
+    test.name = "arithmetic_vectors";
+    const struct {
+        unsigned a, b, cin;
+    } vectors[] = {{3, 5, 0}, {15, 1, 0}, {0, 0, 1}, {9, 6, 1}, {10, 5, 0}};
+    int idx = 0;
+    for (const auto& v : vectors) {
+        model::TestStep step;
+        step.index = idx++;
+        step.dt = 0.1;
+        const unsigned sum = v.a + v.b + v.cin;
+        for (int i = 0; i < 4; ++i) {
+            step.assignments.push_back(
+                {"a" + std::to_string(i), (v.a >> i) & 1 ? "H" : "L"});
+            step.assignments.push_back(
+                {"b" + std::to_string(i), (v.b >> i) & 1 ? "H" : "L"});
+            step.assignments.push_back(
+                {"s" + std::to_string(i), (sum >> i) & 1 ? "One" : "Zero"});
+        }
+        step.assignments.push_back({"cin", v.cin ? "H" : "L"});
+        step.assignments.push_back({"cout", (sum >> 4) & 1 ? "One" : "Zero"});
+        step.remark = std::to_string(v.a) + "+" + std::to_string(v.b) + "+" +
+                      std::to_string(v.cin) + "=" + std::to_string(sum);
+        test.steps.push_back(std::move(step));
+    }
+    suite.tests.push_back(std::move(test));
+    suite.validate(model::MethodRegistry::builtin());
+    return suite;
+}
+
+/// A stand with one voltage source per input pin and one DVM per output.
+stand::StandDescription adder_stand(const gate::Netlist& net) {
+    stand::StandDescription s("gate_stand");
+    int k = 0;
+    for (gate::GateId pi : net.inputs()) {
+        stand::Resource src;
+        src.id = "Src" + std::to_string(++k);
+        src.label = "Voltage source";
+        src.methods.push_back(stand::MethodSupport{
+            "put_u", {stand::ParamRange{"u", 0.0, 15.0, "V"}}});
+        s.add_resource(src);
+        s.connect(src.id, net.gate(pi).name, "K" + std::to_string(k));
+    }
+    for (gate::GateId po : net.outputs()) {
+        stand::Resource dvm;
+        dvm.id = "Dvm" + std::to_string(++k);
+        dvm.label = "DVM";
+        dvm.methods.push_back(stand::MethodSupport{
+            "get_u", {stand::ParamRange{"u", -60.0, 60.0, "V"}}});
+        s.add_resource(dvm);
+        s.connect(dvm.id, net.gate(po).name, "K" + std::to_string(k));
+    }
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+} // namespace
+
+int main() {
+    using namespace ctk;
+    const auto registry = model::MethodRegistry::builtin();
+    const gate::Netlist net = gate::circuits::ripple_adder(4);
+    const auto faults = gate::collapse_faults(net);
+
+    // 1. Run the component test against the gate-level DUT.
+    const auto script = script::compile(adder_suite(), registry);
+    auto desc = adder_stand(net);
+    auto device = std::make_shared<gate::GateDut>(net);
+    core::TestEngine engine(desc,
+                            std::make_shared<sim::VirtualStand>(desc, device));
+    const auto result = engine.run(script);
+    std::cout << report::render_summary(result);
+
+    // 2. Grade the recorded stimulus trace.
+    std::vector<gate::Pattern> trace;
+    for (const auto& frame : device->recorded_pattern().frames)
+        trace.push_back(gate::Pattern::single(frame));
+    const auto graded = gate::fault_simulate_parallel(net, faults, trace);
+    std::cout << "\ncomponent test: " << trace.size() << " vectors, "
+              << graded.detected << "/" << graded.total_faults
+              << " stuck-at faults detected ("
+              << 100.0 * graded.coverage() << " %)\n";
+
+    // 3. Contrast with random TPG and PODEM.
+    gate::RandomTpgOptions ropts;
+    ropts.max_patterns = 64;
+    const auto random = gate::random_tpg(net, faults, ropts);
+    std::cout << "random TPG:     " << random.patterns.size() << " vectors, "
+              << 100.0 * random.faultsim.coverage() << " % coverage\n";
+
+    const auto atpg = gate::run_atpg(net, faults);
+    const auto replay = gate::fault_simulate_parallel(net, faults,
+                                                      atpg.patterns);
+    std::cout << "PODEM ATPG:     " << atpg.patterns.size() << " vectors, "
+              << 100.0 * replay.coverage() << " % coverage ("
+              << atpg.untestable << " untestable)\n";
+
+    // 4. A seeded stuck-at fault must make the component test fail.
+    gate::GateDut::Config faulty_cfg;
+    faulty_cfg.fault = std::make_unique<gate::Fault>(
+        gate::Fault{net.require("s1"), -1, false});
+    auto faulty = std::make_shared<gate::GateDut>(net, std::move(faulty_cfg));
+    auto desc2 = adder_stand(net);
+    core::TestEngine engine2(
+        desc2, std::make_shared<sim::VirtualStand>(desc2, faulty));
+    const auto faulty_result = engine2.run(script);
+    std::cout << "\nDUT with s1 stuck-at-0: "
+              << (faulty_result.passed() ? "NOT DETECTED" : "detected")
+              << "\n";
+
+    const bool ok = result.passed() && !faulty_result.passed() &&
+                    graded.coverage() > 0.5;
+    return ok ? 0 : 1;
+}

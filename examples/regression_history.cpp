@@ -1,0 +1,85 @@
+// Building up knowledge over a long period of time — the paper's §1 goal.
+//
+// Simulates three project milestones: sample B1 (good), sample B2 (a
+// defective batch), sample B3 (fixed), recording every run in the
+// regression store and querying it the way an OEM would between projects.
+//
+//   $ ./regression_history
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "core/kb.hpp"
+#include "core/regstore.hpp"
+#include "dut/catalogue.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+
+int main() {
+    using namespace ctk;
+    const auto registry = model::MethodRegistry::builtin();
+
+    core::RegressionStore store;
+
+    auto run_sample = [&](const std::string& label,
+                          const std::string& family,
+                          std::shared_ptr<dut::Dut> device) {
+        const auto script =
+            script::compile(core::kb::suite_for(family), registry);
+        auto desc = core::kb::stand_for(family);
+        core::TestEngine engine(
+            desc, std::make_shared<sim::VirtualStand>(desc, device));
+        const auto result = engine.run(script);
+        store.record(result, label);
+        return result.passed();
+    };
+
+    // B1: first samples of both ECUs are fine.
+    run_sample("B1", "interior_light", dut::make_golden("interior_light"));
+    run_sample("B1", "central_lock", dut::make_golden("central_lock"));
+
+    // B2: the central-lock supplier ships a batch with swapped actuator
+    // wiring; the interior light is still fine.
+    const auto mutants = dut::mutants_of("central_lock");
+    const auto bad = std::find_if(
+        mutants.begin(), mutants.end(),
+        [](const dut::Mutant& m) { return m.name == "swapped_actuators"; });
+    run_sample("B2", "interior_light", dut::make_golden("interior_light"));
+    run_sample("B2", "central_lock", bad->make());
+
+    // B3: fixed.
+    run_sample("B3", "interior_light", dut::make_golden("interior_light"));
+    run_sample("B3", "central_lock", dut::make_golden("central_lock"));
+
+    // The queries that make the store useful across projects.
+    std::cout << "history (" << store.entries().size() << " runs):\n";
+    TextTable t;
+    t.header({"sample", "script", "test", "failed steps", "verdict"});
+    for (const auto& e : store.entries())
+        t.row({e.label, e.script, e.test, std::to_string(e.failed_steps),
+               e.passed ? "PASS" : "FAIL"});
+    std::cout << t.render() << "\n";
+
+    const auto b2_regressions = store.regressions("B1", "B2");
+    std::cout << "regressions B1 -> B2:\n";
+    for (const auto& r : b2_regressions) std::cout << "  " << r << "\n";
+    const auto b3_regressions = store.regressions("B2", "B3");
+    std::cout << "regressions B2 -> B3: "
+              << (b3_regressions.empty() ? "(none)" : "unexpected!") << "\n";
+
+    std::cout << "\never failed anywhere:\n";
+    for (const auto& r : store.ever_failed()) std::cout << "  " << r << "\n";
+    std::cout << "\npass rate kb_central_lock: "
+              << 100.0 * store.pass_rate("kb_central_lock") << " %\n";
+
+    // Persist + reload (the store is a CSV sheet like everything else).
+    const std::string path = "regression_history.csv";
+    store.save(path);
+    const auto reloaded = core::RegressionStore::load(path);
+    std::cout << "persisted to " << path << " and reloaded ("
+              << reloaded.entries().size() << " rows)\n";
+
+    const bool ok = b2_regressions.size() == 1 && b3_regressions.empty() &&
+                    reloaded.entries().size() == store.entries().size();
+    return ok ? 0 : 1;
+}

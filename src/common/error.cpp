@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+namespace ctk {
+
+std::string SourcePos::to_string() const {
+    std::string s = file.empty() ? std::string("<unknown>") : file;
+    if (line > 0) {
+        s += ':' + std::to_string(line);
+        if (col > 0) s += ':' + std::to_string(col);
+    }
+    return s;
+}
+
+ParseError::ParseError(const SourcePos& pos, const std::string& message)
+    : Error(pos.to_string() + ": " + message), pos_(pos) {}
+
+} // namespace ctk

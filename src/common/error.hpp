@@ -1,0 +1,55 @@
+// Error types shared by every CTK module.
+//
+// Policy (see DESIGN.md §6): construction and parsing failures throw
+// ctk::Error subclasses carrying a source location where one exists;
+// *test verdicts* (a DUT failing an expectation) are ordinary data and
+// never raised as exceptions.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace ctk {
+
+/// Position inside a textual artefact (sheet, XML script, .bench file).
+struct SourcePos {
+    std::string file;     ///< file name or pseudo-name ("<memory>")
+    std::size_t line = 0; ///< 1-based; 0 = unknown
+    std::size_t col = 0;  ///< 1-based; 0 = unknown
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Root of the CTK exception hierarchy.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input (CSV, XML, .bench, expressions).
+class ParseError : public Error {
+public:
+    ParseError(const SourcePos& pos, const std::string& message);
+    [[nodiscard]] const SourcePos& pos() const noexcept { return pos_; }
+
+private:
+    SourcePos pos_;
+};
+
+/// Structurally valid input that violates model semantics
+/// (unknown status, direction conflict, negative dwell time, ...).
+class SemanticError : public Error {
+public:
+    explicit SemanticError(const std::string& message) : Error(message) {}
+};
+
+/// Execution-time failure of the *framework* (not of the DUT):
+/// no routable resource, parameter out of a resource's range, ...
+/// This is the error path the paper describes in §4.
+class StandError : public Error {
+public:
+    explicit StandError(const std::string& message) : Error(message) {}
+};
+
+} // namespace ctk

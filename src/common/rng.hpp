@@ -1,0 +1,50 @@
+// Deterministic pseudo-random source for the whole framework.
+//
+// Everything stochastic in CTK (DVM noise, random test-pattern generation,
+// synthetic circuit construction) draws from this xorshift64* generator so
+// that tests and benches are bit-reproducible across platforms; we do not
+// rely on std::mt19937's unspecified distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace ctk {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 1) {}
+
+    /// Next raw 64-bit value (xorshift64*).
+    std::uint64_t next_u64() {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1DULL;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) {
+        return next_u64() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    double next_unit() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double next_range(double lo, double hi) {
+        return lo + (hi - lo) * next_unit();
+    }
+
+    /// Bernoulli with probability p.
+    bool next_bool(double p = 0.5) { return next_unit() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace ctk

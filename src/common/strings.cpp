@@ -1,0 +1,122 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ctk::str {
+
+namespace {
+bool is_space(char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+} // namespace
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+    while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+    return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::string upper(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_number(std::string_view raw) {
+    std::string_view s = trim(raw);
+    if (s.empty()) return std::nullopt;
+
+    bool neg = false;
+    std::string_view body = s;
+    if (body.front() == '+' || body.front() == '-') {
+        neg = body.front() == '-';
+        body.remove_prefix(1);
+    }
+    if (iequals(body, "INF") || iequals(body, "INFINITY")) {
+        double inf = std::numeric_limits<double>::infinity();
+        return neg ? -inf : inf;
+    }
+    if (!body.empty() && (body.front() == '+' || body.front() == '-'))
+        return std::nullopt; // reject doubled signs like "--5"
+
+    // Normalise a single decimal comma to a point. A comma amid digits is
+    // treated as a decimal separator (German locale), never as grouping.
+    // The sign was stripped above because std::from_chars rejects '+'.
+    std::string norm(body);
+    if (std::count(norm.begin(), norm.end(), ',') == 1 &&
+        norm.find('.') == std::string::npos) {
+        norm[norm.find(',')] = '.';
+    }
+
+    double value = 0.0;
+    const char* first = norm.data();
+    const char* last = norm.data() + norm.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return std::nullopt;
+    return neg ? -value : value;
+}
+
+std::string format_number(double v, int precision) {
+    if (std::isinf(v)) return v > 0 ? "INF" : "-INF";
+    if (std::isnan(v)) return "NAN";
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace ctk::str

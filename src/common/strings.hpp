@@ -1,0 +1,46 @@
+// Small string utilities used across CTK.
+//
+// The paper's sheets come from a German-locale Excel: numbers use decimal
+// commas ("0,5") and infinity is written "INF". parse_number() accepts both
+// comma and point so sheets can be pasted verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctk::str {
+
+/// Remove leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string lower(std::string_view s);
+
+/// ASCII upper-case copy.
+[[nodiscard]] std::string upper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a number accepting decimal comma or point, and the literals
+/// "INF"/"inf"/"-INF" (paper status table uses INF for an open contact).
+/// Returns nullopt for anything else.
+[[nodiscard]] std::optional<double> parse_number(std::string_view s);
+
+/// Format a double compactly: integers without trailing ".0", infinity as
+/// "INF", otherwise up to `precision` significant digits.
+[[nodiscard]] std::string format_number(double v, int precision = 6);
+
+/// Join parts with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+} // namespace ctk::str

@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+namespace ctk {
+
+void TextTable::header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+    if (ncols == 0) return {};
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_)
+        if (!r.is_rule) widen(r.cells);
+
+    auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : std::string{};
+            out += i == 0 ? "| " : " ";
+            out += cell;
+            out.append(width[i] - cell.size(), ' ');
+            out += " |";
+        }
+        out += '\n';
+    };
+    auto emit_rule = [&](std::string& out) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            out += i == 0 ? "|-" : "-";
+            out.append(width[i], '-');
+            out += "-|";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        emit_row(header_, out);
+        emit_rule(out);
+    }
+    for (const auto& r : rows_) {
+        if (r.is_rule)
+            emit_rule(out);
+        else
+            emit_row(r.cells, out);
+    }
+    return out;
+}
+
+} // namespace ctk

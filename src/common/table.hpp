@@ -1,0 +1,37 @@
+// ASCII table rendering.
+//
+// Every bench reproduces a paper table; this renderer produces the fixed
+// layout they share (header row, column rule, right-aligned numerics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ctk {
+
+class TextTable {
+public:
+    /// Set the header row. Column count is fixed by the header.
+    void header(std::vector<std::string> cells);
+
+    /// Append a data row; short rows are padded with empty cells.
+    void row(std::vector<std::string> cells);
+
+    /// Insert a horizontal rule before the next appended row.
+    void rule();
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+    /// Render with single-space padding and '|' separators.
+    [[nodiscard]] std::string render() const;
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool is_rule = false;
+    };
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace ctk

@@ -1,0 +1,121 @@
+// TestEngine — the heart of CTK.
+//
+// Pipeline (mirrors the paper end-to-end):
+//   workbook ──compile──► TestScript (XML) ──bind(stand)──► allocation
+//            ──execute(backend)──► per-step verdicts ──► RunResult
+//
+// Execution semantics (DESIGN.md §5):
+//  * at step start every stimulus of the step is applied, then simulated
+//    time advances across the dwell Δt in fixed ticks;
+//  * expectations are sampled every tick; the verdict is computed from the
+//    sample trace:
+//      - the final sample must satisfy the limits,
+//      - the trailing run of satisfied samples must extend back to
+//        Δt − D2 (debounce) and must have begun no later than D3,
+//      - samples before D1 (settle) are never required to pass;
+//    defaults D1 = 0, D2 = 0, D3 = Δt make this "check at end of dwell",
+//    which is how the paper's sheets read;
+//  * a step passes iff all its expectations pass; a test passes iff all
+//    steps pass. Framework failures (no resource, unbound variable) throw
+//    ctk::StandError — they are not DUT verdicts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "script/script.hpp"
+#include "sim/backend.hpp"
+#include "stand/allocator.hpp"
+#include "stand/stand.hpp"
+
+namespace ctk::core {
+
+struct RunOptions {
+    double tick_s = 0.05;        ///< sampling period during a dwell
+    double init_settle_s = 0.1;  ///< dwell after applying initial statuses
+    stand::AllocPolicy policy = stand::AllocPolicy::Greedy;
+    bool stop_on_first_failure = false; ///< per test: skip remaining steps
+};
+
+/// One applied stimulus within a step (for reporting).
+struct AppliedStimulus {
+    std::string signal;
+    std::string status;
+    std::string method;
+    std::string resource;
+    double value = 0.0;      ///< realised value (may differ from nominal)
+    std::string data;        ///< bit payload for bus methods
+};
+
+/// One evaluated expectation within a step.
+struct CheckResult {
+    std::string signal;
+    std::string status;
+    std::string method;
+    std::string resource;
+    std::optional<double> lo, hi; ///< evaluated limits
+    double measured = 0.0;        ///< final sample (real methods)
+    std::string expected_data;    ///< bus methods
+    std::string measured_data;
+    bool passed = false;
+    std::string message;          ///< failure explanation
+};
+
+struct StepResult {
+    int nr = 0;
+    double dt = 0.0;
+    std::string remark;
+    std::vector<AppliedStimulus> stimuli;
+    std::vector<CheckResult> checks;
+    bool passed = true;
+};
+
+struct TestResult {
+    std::string name;
+    stand::Allocation allocation;
+    std::vector<StepResult> steps;
+    bool passed = true;
+    [[nodiscard]] std::size_t failed_steps() const;
+};
+
+struct RunResult {
+    std::string script_name;
+    std::string stand_name;
+    std::vector<TestResult> tests;
+    [[nodiscard]] bool passed() const;
+    [[nodiscard]] std::size_t check_count() const;
+};
+
+class TestEngine {
+public:
+    /// The engine borrows the stand description and owns the backend.
+    TestEngine(stand::StandDescription desc,
+               std::shared_ptr<sim::StandBackend> backend);
+
+    /// Execute every test of the script. Throws ctk::StandError when the
+    /// stand cannot realise the script (allocation failure, missing
+    /// variables) — the paper's §4 error path.
+    [[nodiscard]] RunResult run(const script::TestScript& script,
+                                const RunOptions& options = {});
+
+    /// Execute a single test by name.
+    [[nodiscard]] TestResult run_test(const script::TestScript& script,
+                                      std::string_view test_name,
+                                      const RunOptions& options = {});
+
+    [[nodiscard]] const stand::StandDescription& description() const {
+        return desc_;
+    }
+
+private:
+    [[nodiscard]] TestResult execute(const script::TestScript& script,
+                                     const script::ScriptTest& test,
+                                     const RunOptions& options);
+
+    stand::StandDescription desc_;
+    std::shared_ptr<sim::StandBackend> backend_;
+};
+
+} // namespace ctk::core

@@ -1,0 +1,434 @@
+#include "core/kb.hpp"
+
+#include <limits>
+
+#include "common/strings.hpp"
+#include "model/paper.hpp"
+#include "stand/paper.hpp"
+
+namespace ctk::core::kb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+model::StatusDef status(std::string name, std::string method,
+                        std::string attr, std::string var,
+                        std::optional<double> nom, std::optional<double> min,
+                        std::optional<double> max, std::string data = {}) {
+    model::StatusDef d;
+    d.name = std::move(name);
+    d.method = std::move(method);
+    d.attribute = std::move(attr);
+    d.var = std::move(var);
+    d.nom = nom;
+    d.min = min;
+    d.max = max;
+    d.data = std::move(data);
+    return d;
+}
+
+// Statuses shared across families — the reuse the paper's knowledge-base
+// argument depends on.
+void add_common_statuses(model::StatusTable& t) {
+    t.add(status("Pressed", "put_r", "r", "", 0.0, 0.0, 1.0));
+    t.add(status("Released", "put_r", "r", "", kInf, 5000.0, kInf));
+    t.add(status("Lo", "get_u", "u", "UBATT", 0.0, 0.0, 0.3));
+    t.add(status("Ho", "get_u", "u", "UBATT", 1.0, 0.7, 1.1));
+}
+
+void add_step(model::TestCase& t, int idx, double dt,
+              std::vector<model::Assignment> assigns, std::string remark) {
+    model::TestStep s;
+    s.index = idx;
+    s.dt = dt;
+    s.assignments = std::move(assigns);
+    s.remark = std::move(remark);
+    t.steps.push_back(std::move(s));
+}
+
+stand::Resource dvm(std::string id) {
+    stand::Resource r;
+    r.id = std::move(id);
+    r.label = "DVM";
+    r.methods.push_back(
+        stand::MethodSupport{"get_u", {stand::ParamRange{"u", -60, 60, "V"}}});
+    return r;
+}
+
+stand::Resource decade(std::string id, double max_ohm = 1.0e6) {
+    stand::Resource r;
+    r.id = std::move(id);
+    r.label = "Resistor decade";
+    r.methods.push_back(stand::MethodSupport{
+        "put_r", {stand::ParamRange{"r", 0.0, max_ohm, "Ohm"}}});
+    r.supports_disconnect = true;
+    return r;
+}
+
+stand::Resource freq_counter(std::string id) {
+    stand::Resource r;
+    r.id = std::move(id);
+    r.label = "Frequency counter";
+    r.methods.push_back(stand::MethodSupport{
+        "get_f", {stand::ParamRange{"f", 0.0, 1.0e6, "Hz"}}});
+    return r;
+}
+
+stand::Resource can_if(std::string id) {
+    stand::Resource r;
+    r.id = std::move(id);
+    r.label = "CAN interface";
+    r.methods.push_back(stand::MethodSupport{"put_can", {}});
+    r.methods.push_back(stand::MethodSupport{"get_can", {}});
+    r.shareable = true;
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Wiper
+// ---------------------------------------------------------------------------
+
+model::TestSuite wiper_suite() {
+    model::TestSuite s;
+    s.name = "kb_wiper";
+    s.signals.add({"WIPER_SW", model::SignalDirection::Input,
+                   model::SignalKind::Bus, {}, "SwOff"});
+    s.signals.add({"INT_POT", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "PotMin"});
+    s.signals.add({"WIPER_LO", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+    s.signals.add({"WIPER_HI", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+
+    add_common_statuses(s.statuses);
+    s.statuses.add(status("SwOff", "put_can", "data", "", {}, {}, {}, "00B"));
+    s.statuses.add(status("SwInt", "put_can", "data", "", {}, {}, {}, "01B"));
+    s.statuses.add(status("SwSlow", "put_can", "data", "", {}, {}, {}, "10B"));
+    s.statuses.add(status("SwFast", "put_can", "data", "", {}, {}, {}, "11B"));
+    s.statuses.add(status("PotMin", "put_r", "r", "", 0.0, 0.0, 100.0));
+    s.statuses.add(
+        status("PotMax", "put_r", "r", "", 50000.0, 45000.0, 50000.0));
+
+    model::TestCase t;
+    t.name = "wiper_modes";
+    // Interval cycle with PotMin: 1 s wipe + 2 s pause.
+    add_step(t, 0, 0.5, {{"WIPER_SW", "SwOff"}, {"INT_POT", "PotMin"},
+                         {"WIPER_LO", "Lo"}, {"WIPER_HI", "Lo"}},
+             "lever off: no wiping");
+    add_step(t, 1, 0.5, {{"WIPER_SW", "SwInt"}, {"WIPER_LO", "Ho"}},
+             "interval: wipe phase");
+    add_step(t, 2, 1.0, {{"WIPER_LO", "Lo"}}, "interval: pause phase");
+    add_step(t, 3, 2.0, {{"WIPER_LO", "Ho"}}, "interval: next wipe");
+    add_step(t, 4, 0.5, {{"WIPER_SW", "SwSlow"}, {"WIPER_LO", "Ho"},
+                         {"WIPER_HI", "Lo"}},
+             "slow: low winding on");
+    add_step(t, 5, 0.5, {{"WIPER_SW", "SwFast"}, {"WIPER_LO", "Lo"},
+                         {"WIPER_HI", "Ho"}},
+             "fast: high winding on");
+    add_step(t, 6, 0.5, {{"WIPER_SW", "SwOff"}, {"WIPER_LO", "Lo"},
+                         {"WIPER_HI", "Lo"}},
+             "off again");
+    // Pot at maximum: 1 s wipe + 20 s pause.
+    add_step(t, 7, 0.5, {{"WIPER_SW", "SwInt"}, {"INT_POT", "PotMax"},
+                         {"WIPER_LO", "Ho"}},
+             "long interval: wipe");
+    add_step(t, 8, 1.0, {{"WIPER_LO", "Lo"}}, "long interval: pause");
+    // dt chosen so a pot-ignoring DUT (cycle 3 s instead of 21 s) is
+    // caught *wiping* at 18.5 s where the good one still pauses.
+    add_step(t, 9, 17.0, {{"WIPER_LO", "Lo"}}, "still pausing at 18.5s");
+    add_step(t, 10, 3.0, {{"WIPER_LO", "Ho"}}, "wipe after 21s");
+    s.tests.push_back(std::move(t));
+    s.validate(model::MethodRegistry::builtin());
+    return s;
+}
+
+stand::StandDescription wiper_stand() {
+    stand::StandDescription s("wiper_stand");
+    s.add_resource(dvm("DVM1"));
+    s.add_resource(dvm("DVM2"));
+    s.add_resource(decade("Dec1"));
+    s.add_resource(can_if("Can1"));
+    s.connect("DVM1", "wiper_lo", "K1");
+    s.connect("DVM2", "wiper_hi", "K2");
+    s.connect("Dec1", "int_pot", "K3");
+    s.connect("Can1", "wiper_sw", "bus");
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Power window
+// ---------------------------------------------------------------------------
+
+model::TestSuite power_window_suite() {
+    model::TestSuite s;
+    s.name = "kb_power_window";
+    s.signals.add({"IGN_ST", model::SignalDirection::Input,
+                   model::SignalKind::Bus, {}, "IgnOff"});
+    s.signals.add({"WIN_UP", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "Released"});
+    s.signals.add({"WIN_DN", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "Released"});
+    s.signals.add({"PINCH", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "Released"});
+    s.signals.add({"MOT_UP", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+    s.signals.add({"MOT_DN", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+
+    add_common_statuses(s.statuses);
+    s.statuses.add(status("IgnOff", "put_can", "data", "", {}, {}, {}, "0B"));
+    s.statuses.add(status("IgnOn", "put_can", "data", "", {}, {}, {}, "1B"));
+
+    model::TestCase t;
+    t.name = "window_travel";
+    add_step(t, 0, 0.5, {{"MOT_UP", "Lo"}, {"MOT_DN", "Lo"}},
+             "idle, ignition off");
+    add_step(t, 1, 0.5, {{"WIN_UP", "Pressed"}, {"MOT_UP", "Lo"}},
+             "no move with ignition off");
+    add_step(t, 2, 0.5, {{"IGN_ST", "IgnOn"}, {"MOT_UP", "Ho"}},
+             "closing with ignition on");
+    add_step(t, 3, 0.5, {{"PINCH", "Pressed"}, {"MOT_UP", "Lo"},
+                         {"MOT_DN", "Ho"}},
+             "anti-pinch reversal");
+    add_step(t, 4, 1.0, {{"MOT_UP", "Lo"}, {"MOT_DN", "Lo"}},
+             "latched after reversal");
+    add_step(t, 5, 0.5, {{"WIN_UP", "Released"}, {"PINCH", "Released"},
+                         {"MOT_UP", "Lo"}, {"MOT_DN", "Lo"}},
+             "released clears latch");
+    add_step(t, 6, 3.0, {{"WIN_UP", "Pressed"}, {"MOT_UP", "Ho"}},
+             "closing again");
+    add_step(t, 7, 3.0, {{"MOT_UP", "Lo"}}, "limit stop at top");
+    add_step(t, 8, 0.5, {{"WIN_UP", "Released"}, {"WIN_DN", "Pressed"},
+                         {"MOT_DN", "Ho"}},
+             "opening");
+    add_step(t, 9, 5.0, {{"MOT_DN", "Lo"}}, "limit stop at bottom");
+    s.tests.push_back(std::move(t));
+    s.validate(model::MethodRegistry::builtin());
+    return s;
+}
+
+stand::StandDescription power_window_stand() {
+    stand::StandDescription s("power_window_stand");
+    s.add_resource(dvm("DVM1"));
+    s.add_resource(dvm("DVM2"));
+    s.add_resource(decade("Dec1"));
+    s.add_resource(decade("Dec2"));
+    s.add_resource(decade("Dec3"));
+    s.add_resource(can_if("Can1"));
+    s.connect("DVM1", "mot_up", "K1");
+    s.connect("DVM2", "mot_dn", "K2");
+    s.connect("Dec1", "win_up", "K3");
+    s.connect("Dec2", "win_dn", "K4");
+    s.connect("Dec3", "pinch", "K5");
+    s.connect("Can1", "ign_st", "bus");
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Central lock
+// ---------------------------------------------------------------------------
+
+model::TestSuite central_lock_suite() {
+    model::TestSuite s;
+    s.name = "kb_central_lock";
+    s.signals.add({"LOCK_CMD", model::SignalDirection::Input,
+                   model::SignalKind::Bus, {}, "CmdNone"});
+    s.signals.add({"SPEED", model::SignalDirection::Input,
+                   model::SignalKind::Bus, {}, "Spd0"});
+    s.signals.add({"CRASH", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "Released"});
+    s.signals.add({"LOCK_ACT", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+    s.signals.add({"UNLOCK_ACT", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+    s.signals.add({"LOCK_STATE", model::SignalDirection::Output,
+                   model::SignalKind::Bus, {}, ""});
+
+    add_common_statuses(s.statuses);
+    s.statuses.add(status("CmdNone", "put_can", "data", "", {}, {}, {}, "00B"));
+    s.statuses.add(status("CmdLock", "put_can", "data", "", {}, {}, {}, "01B"));
+    s.statuses.add(
+        status("CmdUnlock", "put_can", "data", "", {}, {}, {}, "10B"));
+    s.statuses.add(
+        status("Spd0", "put_can", "data", "", {}, {}, {}, "00000000B"));
+    s.statuses.add(
+        status("Spd50", "put_can", "data", "", {}, {}, {}, "00110010B"));
+    s.statuses.add(
+        status("StLocked", "get_can", "data", "", {}, {}, {}, "01B"));
+    s.statuses.add(
+        status("StUnlocked", "get_can", "data", "", {}, {}, {}, "10B"));
+
+    model::TestCase t;
+    t.name = "lock_unlock";
+    add_step(t, 0, 0.5, {{"LOCK_ACT", "Lo"}, {"UNLOCK_ACT", "Lo"}}, "idle");
+    add_step(t, 1, 0.3, {{"LOCK_CMD", "CmdLock"}, {"LOCK_ACT", "Ho"},
+                         {"LOCK_STATE", "StLocked"}},
+             "lock pulse active");
+    add_step(t, 2, 0.5, {{"LOCK_ACT", "Lo"}, {"LOCK_STATE", "StLocked"}},
+             "pulse over after 0.5s");
+    add_step(t, 3, 0.3, {{"LOCK_CMD", "CmdUnlock"}, {"UNLOCK_ACT", "Ho"},
+                         {"LOCK_STATE", "StUnlocked"}},
+             "unlock pulse");
+    add_step(t, 4, 0.5, {{"UNLOCK_ACT", "Lo"}, {"LOCK_STATE", "StUnlocked"}},
+             "pulse over");
+    add_step(t, 5, 0.3, {{"SPEED", "Spd50"}, {"LOCK_ACT", "Ho"}},
+             "auto-lock above 15 km/h");
+    add_step(t, 6, 0.5, {{"LOCK_ACT", "Lo"}}, "pulse over");
+    add_step(t, 7, 0.3, {{"CRASH", "Pressed"}, {"UNLOCK_ACT", "Ho"}},
+             "crash forces unlock");
+    add_step(t, 8, 0.5, {{"CRASH", "Released"}, {"UNLOCK_ACT", "Lo"}},
+             "idle again");
+    s.tests.push_back(std::move(t));
+    s.validate(model::MethodRegistry::builtin());
+    return s;
+}
+
+stand::StandDescription central_lock_stand() {
+    stand::StandDescription s("central_lock_stand");
+    s.add_resource(dvm("DVM1"));
+    s.add_resource(dvm("DVM2"));
+    s.add_resource(decade("Dec1"));
+    s.add_resource(can_if("Can1"));
+    s.connect("DVM1", "lock_act", "K1");
+    s.connect("DVM2", "unlock_act", "K2");
+    s.connect("Dec1", "crash", "K3");
+    s.connect("Can1", "lock_cmd", "bus");
+    s.connect("Can1", "speed", "bus");
+    s.connect("Can1", "lock_state", "bus");
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Turn signal
+// ---------------------------------------------------------------------------
+
+model::TestSuite turn_signal_suite() {
+    model::TestSuite s;
+    s.name = "kb_turn_signal";
+    s.signals.add({"TURN_SW", model::SignalDirection::Input,
+                   model::SignalKind::Bus, {}, "LeverOff"});
+    s.signals.add({"HAZARD", model::SignalDirection::Input,
+                   model::SignalKind::Pin, {}, "Released"});
+    s.signals.add({"LAMP_L", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+    s.signals.add({"LAMP_R", model::SignalDirection::Output,
+                   model::SignalKind::Pin, {}, ""});
+
+    add_common_statuses(s.statuses);
+    s.statuses.add(
+        status("LeverOff", "put_can", "data", "", {}, {}, {}, "00B"));
+    s.statuses.add(
+        status("LeverLeft", "put_can", "data", "", {}, {}, {}, "01B"));
+    s.statuses.add(
+        status("LeverRight", "put_can", "data", "", {}, {}, {}, "10B"));
+    // Flash rate checked with a frequency counter (gate time 2 s): the
+    // 1.5 Hz nominal measures 3 edges / 2 s; limits leave quantisation
+    // margin while still rejecting a doubled rate (3 Hz).
+    s.statuses.add(status("FlashOn", "get_f", "f", "", 1.5, 0.9, 2.1));
+    s.statuses.add(status("FlashOff", "get_f", "f", "", 0.0, 0.0, 0.2));
+
+    model::TestCase t;
+    t.name = "flash_modes";
+    add_step(t, 0, 4.0, {{"LAMP_L", "FlashOff"}, {"LAMP_R", "FlashOff"}},
+             "all off");
+    add_step(t, 1, 4.0, {{"TURN_SW", "LeverLeft"}, {"LAMP_L", "FlashOn"},
+                         {"LAMP_R", "FlashOff"}},
+             "left indicator");
+    add_step(t, 2, 4.0, {{"TURN_SW", "LeverRight"}, {"LAMP_L", "FlashOff"},
+                         {"LAMP_R", "FlashOn"}},
+             "right indicator");
+    add_step(t, 3, 4.0, {{"TURN_SW", "LeverOff"}, {"HAZARD", "Pressed"},
+                         {"LAMP_L", "FlashOn"}, {"LAMP_R", "FlashOn"}},
+             "hazard on");
+    add_step(t, 4, 4.0, {{"HAZARD", "Released"}, {"LAMP_L", "FlashOn"},
+                         {"LAMP_R", "FlashOn"}},
+             "hazard stays on");
+    add_step(t, 5, 4.0, {{"HAZARD", "Pressed"}, {"LAMP_L", "FlashOff"},
+                         {"LAMP_R", "FlashOff"}},
+             "hazard toggled off");
+    add_step(t, 6, 4.0, {{"HAZARD", "Released"}, {"LAMP_L", "FlashOff"},
+                         {"LAMP_R", "FlashOff"}},
+             "idle");
+    s.tests.push_back(std::move(t));
+    s.validate(model::MethodRegistry::builtin());
+    return s;
+}
+
+stand::StandDescription turn_signal_stand() {
+    stand::StandDescription s("turn_signal_stand");
+    s.add_resource(freq_counter("FC1"));
+    s.add_resource(freq_counter("FC2"));
+    s.add_resource(decade("Dec1"));
+    s.add_resource(can_if("Can1"));
+    s.connect("FC1", "lamp_l", "K1");
+    s.connect("FC2", "lamp_r", "K2");
+    s.connect("Dec1", "hazard", "K3");
+    s.connect("Can1", "turn_sw", "bus");
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+} // namespace
+
+model::TestSuite suite_for(std::string_view family) {
+    if (str::iequals(family, "interior_light")) return model::paper::suite();
+    if (str::iequals(family, "wiper")) return wiper_suite();
+    if (str::iequals(family, "power_window")) return power_window_suite();
+    if (str::iequals(family, "central_lock")) return central_lock_suite();
+    if (str::iequals(family, "turn_signal")) return turn_signal_suite();
+    throw SemanticError("knowledge base has no suite for '" +
+                        std::string(family) + "'");
+}
+
+stand::StandDescription stand_for(std::string_view family) {
+    if (str::iequals(family, "interior_light"))
+        return stand::paper::figure1_stand();
+    if (str::iequals(family, "wiper")) return wiper_stand();
+    if (str::iequals(family, "power_window")) return power_window_stand();
+    if (str::iequals(family, "central_lock")) return central_lock_stand();
+    if (str::iequals(family, "turn_signal")) return turn_signal_stand();
+    throw SemanticError("knowledge base has no stand for '" +
+                        std::string(family) + "'");
+}
+
+std::vector<std::string> families() {
+    return {"interior_light", "wiper", "power_window", "central_lock",
+            "turn_signal"};
+}
+
+model::TestSuite enriched_interior_light_suite() {
+    model::TestSuite s = model::paper::suite();
+    s.name = "paper_int_ill_enriched";
+
+    model::TestCase fr;
+    fr.name = "fr_door_at_night";
+    add_step(fr, 0, 0.5, {{"NIGHT", "1"}, {"DS_FR", "Closed"},
+                          {"DS_FL", "Closed"}, {"INT_ILL", "Lo"}},
+             "night, doors closed");
+    add_step(fr, 1, 0.5, {{"DS_FR", "Open"}, {"INT_ILL", "Ho"}},
+             "front-right door alone must light");
+    add_step(fr, 2, 0.5, {{"DS_FR", "Closed"}, {"INT_ILL", "Lo"}}, "");
+    s.tests.push_back(std::move(fr));
+
+    model::TestCase reset;
+    reset.name = "timeout_reset";
+    add_step(reset, 0, 0.5, {{"NIGHT", "1"}, {"DS_FL", "Closed"},
+                             {"INT_ILL", "Lo"}},
+             "night, closed");
+    add_step(reset, 1, 200.0, {{"DS_FL", "Open"}, {"INT_ILL", "Ho"}},
+             "open 200s: still lit");
+    add_step(reset, 2, 1.0, {{"DS_FL", "Closed"}, {"INT_ILL", "Lo"}},
+             "closing re-arms the budget");
+    add_step(reset, 3, 150.0, {{"DS_FL", "Open"}, {"INT_ILL", "Ho"}},
+             "150s < 300s after re-arm: lit");
+    s.tests.push_back(std::move(reset));
+
+    s.validate(model::MethodRegistry::builtin());
+    return s;
+}
+
+} // namespace ctk::core::kb

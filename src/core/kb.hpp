@@ -1,0 +1,37 @@
+// The component-test knowledge base.
+//
+// The paper's stated goal is to "build up knowledge over a long period of
+// time and share it with different partners": stand-independent suites
+// accumulated per component family. This module is that library — one
+// validated TestSuite per ECU family plus a matching reference stand, all
+// expressed purely in the stand-independent vocabulary (statuses reused
+// across families exactly as an OEM would reuse them between projects).
+#pragma once
+
+#include "model/test.hpp"
+#include "stand/stand.hpp"
+
+namespace ctk::core::kb {
+
+/// The suite for an ECU family ("interior_light" uses the paper's Table 1
+/// verbatim; wiper / power_window / central_lock / turn_signal are the
+/// knowledge-base extensions). Throws ctk::SemanticError for unknown
+/// families.
+[[nodiscard]] model::TestSuite suite_for(std::string_view family);
+
+/// A reference stand equipped to run suite_for(family) (the
+/// interior_light stand is the paper's Figure 1 stand).
+[[nodiscard]] stand::StandDescription stand_for(std::string_view family);
+
+/// All families in the knowledge base.
+[[nodiscard]] std::vector<std::string> families();
+
+/// The paper's interior-light suite *plus* two extension tests that close
+/// the coverage holes mutation analysis (E8) finds in the original sheet:
+///  * "fr_door_at_night" — the paper only opens the front-right door in
+///    daylight, so a DUT ignoring that switch still passes;
+///  * "timeout_reset"    — opening/closing/reopening around the 300 s
+///    budget distinguishes a timer that never re-arms.
+[[nodiscard]] model::TestSuite enriched_interior_light_suite();
+
+} // namespace ctk::core::kb

@@ -1,0 +1,114 @@
+#include "core/regstore.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "tabular/csv.hpp"
+
+namespace ctk::core {
+
+void RegressionStore::record(const RunResult& run, const std::string& label) {
+    for (const auto& test : run.tests) {
+        RegressionEntry e;
+        e.label = label;
+        e.script = run.script_name;
+        e.stand = run.stand_name;
+        e.test = test.name;
+        e.steps = test.steps.size();
+        e.failed_steps = test.failed_steps();
+        e.passed = test.passed;
+        entries_.push_back(std::move(e));
+    }
+}
+
+std::vector<std::string>
+RegressionStore::regressions(const std::string& old_label,
+                             const std::string& new_label) const {
+    std::vector<std::string> out;
+    for (const auto& now : entries_) {
+        if (now.label != new_label || now.passed) continue;
+        const bool passed_before = std::any_of(
+            entries_.begin(), entries_.end(), [&](const RegressionEntry& e) {
+                return e.label == old_label && e.script == now.script &&
+                       e.test == now.test && e.passed;
+            });
+        if (passed_before) out.push_back(now.script + "/" + now.test);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<std::string> RegressionStore::ever_failed() const {
+    std::vector<std::string> out;
+    for (const auto& e : entries_)
+        if (!e.passed) out.push_back(e.script + "/" + e.test);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+double RegressionStore::pass_rate(const std::string& script) const {
+    std::size_t total = 0, passed = 0;
+    for (const auto& e : entries_) {
+        if (!str::iequals(e.script, script)) continue;
+        ++total;
+        if (e.passed) ++passed;
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(passed) /
+                            static_cast<double>(total);
+}
+
+std::string RegressionStore::to_csv_text() const {
+    tabular::Sheet sheet("regstore");
+    sheet.add_row({"label", "script", "stand", "test", "steps",
+                   "failed_steps", "passed"});
+    for (const auto& e : entries_) {
+        sheet.add_row({e.label, e.script, e.stand, e.test,
+                       std::to_string(e.steps),
+                       std::to_string(e.failed_steps),
+                       e.passed ? "1" : "0"});
+    }
+    return tabular::emit_csv(sheet);
+}
+
+RegressionStore RegressionStore::from_csv_text(const std::string& text) {
+    const tabular::Sheet sheet = tabular::parse_csv(text, "regstore");
+    RegressionStore store;
+    for (std::size_t r = 1; r < sheet.row_count(); ++r) {
+        RegressionEntry e;
+        e.label = std::string(sheet.at(r, 0).text());
+        e.script = std::string(sheet.at(r, 1).text());
+        e.stand = std::string(sheet.at(r, 2).text());
+        e.test = std::string(sheet.at(r, 3).text());
+        auto steps = sheet.at(r, 4).number();
+        auto failed = sheet.at(r, 5).number();
+        if (!steps || !failed)
+            throw SemanticError("regression store row " + std::to_string(r) +
+                                ": non-numeric step counts");
+        e.steps = static_cast<std::size_t>(*steps);
+        e.failed_steps = static_cast<std::size_t>(*failed);
+        e.passed = sheet.at(r, 6).text() == "1";
+        store.add(std::move(e));
+    }
+    return store;
+}
+
+void RegressionStore::save(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot write " + path);
+    out << to_csv_text();
+}
+
+RegressionStore RegressionStore::load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read " + path);
+    std::ostringstream body;
+    body << in.rdbuf();
+    return from_csv_text(body.str());
+}
+
+} // namespace ctk::core

@@ -1,0 +1,64 @@
+// Regression store — the longitudinal half of the paper's motivation:
+// "the opportunity to build up knowledge over a long period of time".
+//
+// A store accumulates run outcomes (one row per executed test, labelled
+// by project/sample), persists as a CSV sheet next to the suites, and
+// answers the questions an OEM asks across projects:
+//  * which tests regressed between sample B1 and B2?
+//  * which tests have ever failed on any sample?
+//  * what is the pass rate of a suite across all recorded samples?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace ctk::core {
+
+struct RegressionEntry {
+    std::string label;  ///< project / sample identifier, e.g. "B2_sample"
+    std::string script; ///< script name
+    std::string stand;  ///< stand name
+    std::string test;   ///< test case name
+    std::size_t steps = 0;
+    std::size_t failed_steps = 0;
+    bool passed = false;
+};
+
+class RegressionStore {
+public:
+    RegressionStore() = default;
+
+    /// Append every test of a run under `label`.
+    void record(const RunResult& run, const std::string& label);
+
+    void add(RegressionEntry entry) { entries_.push_back(std::move(entry)); }
+    [[nodiscard]] const std::vector<RegressionEntry>& entries() const {
+        return entries_;
+    }
+
+    /// Tests that passed under `old_label` but fail under `new_label`
+    /// (matched by script + test name).
+    [[nodiscard]] std::vector<std::string>
+    regressions(const std::string& old_label,
+                const std::string& new_label) const;
+
+    /// Distinct test names that failed at least once (any label).
+    [[nodiscard]] std::vector<std::string> ever_failed() const;
+
+    /// Pass rate over all recorded entries of a script ([0,1]; 1 if none).
+    [[nodiscard]] double pass_rate(const std::string& script) const;
+
+    // -- persistence (CSV sheet; round-trips) ------------------------------
+    [[nodiscard]] std::string to_csv_text() const;
+    [[nodiscard]] static RegressionStore
+    from_csv_text(const std::string& text);
+    void save(const std::string& path) const;
+    [[nodiscard]] static RegressionStore load(const std::string& path);
+
+private:
+    std::vector<RegressionEntry> entries_;
+};
+
+} // namespace ctk::core

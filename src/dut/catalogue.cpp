@@ -1,0 +1,105 @@
+#include "dut/catalogue.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+namespace {
+
+template <typename Ecu, typename FaultSetter>
+Mutant mutant(std::string ecu, std::string name, FaultSetter set) {
+    return Mutant{std::move(ecu), std::move(name), [set] {
+                      typename Ecu::Faults f;
+                      set(f);
+                      return std::make_unique<Ecu>(typename Ecu::Config{}, f);
+                  }};
+}
+
+} // namespace
+
+std::unique_ptr<Dut> make_golden(std::string_view family) {
+    if (str::iequals(family, "interior_light"))
+        return std::make_unique<InteriorLightEcu>();
+    if (str::iequals(family, "wiper")) return std::make_unique<WiperEcu>();
+    if (str::iequals(family, "power_window"))
+        return std::make_unique<PowerWindowEcu>();
+    if (str::iequals(family, "central_lock"))
+        return std::make_unique<CentralLockEcu>();
+    if (str::iequals(family, "turn_signal"))
+        return std::make_unique<TurnSignalEcu>();
+    throw SemanticError("unknown ECU family '" + std::string(family) + "'");
+}
+
+std::vector<Mutant> mutants_of(std::string_view family) {
+    std::vector<Mutant> all = mutant_catalogue();
+    std::vector<Mutant> out;
+    for (auto& m : all)
+        if (str::iequals(m.ecu, family)) out.push_back(std::move(m));
+    return out;
+}
+
+std::vector<Mutant> mutant_catalogue() {
+    using IL = InteriorLightEcu;
+    using WI = WiperEcu;
+    using PW = PowerWindowEcu;
+    using CL = CentralLockEcu;
+    using TS = TurnSignalEcu;
+
+    std::vector<Mutant> out;
+    out.push_back(mutant<IL>("interior_light", "ignore_night",
+                             [](IL::Faults& f) { f.ignore_night = true; }));
+    out.push_back(mutant<IL>("interior_light", "ignore_fr_door",
+                             [](IL::Faults& f) { f.ignore_fr_door = true; }));
+    out.push_back(mutant<IL>("interior_light", "no_timeout",
+                             [](IL::Faults& f) { f.no_timeout = true; }));
+    out.push_back(mutant<IL>("interior_light", "timeout_tenth",
+                             [](IL::Faults& f) { f.timeout_scale = 0.1; }));
+    out.push_back(mutant<IL>("interior_light", "half_voltage",
+                             [](IL::Faults& f) { f.half_voltage = true; }));
+    out.push_back(mutant<IL>("interior_light", "stuck_off",
+                             [](IL::Faults& f) { f.stuck_off = true; }));
+    out.push_back(mutant<IL>("interior_light", "inverted_night",
+                             [](IL::Faults& f) { f.inverted_night = true; }));
+    out.push_back(mutant<IL>("interior_light", "timer_not_reset",
+                             [](IL::Faults& f) { f.timer_not_reset = true; }));
+
+    out.push_back(mutant<WI>("wiper", "interval_ignores_pot",
+                             [](WI::Faults& f) { f.interval_ignores_pot = true; }));
+    out.push_back(mutant<WI>("wiper", "no_fast_mode",
+                             [](WI::Faults& f) { f.no_fast_mode = true; }));
+    out.push_back(mutant<WI>("wiper", "stuck_wiping",
+                             [](WI::Faults& f) { f.stuck_wiping = true; }));
+    out.push_back(mutant<WI>("wiper", "wipe_double",
+                             [](WI::Faults& f) { f.wipe_scale = 2.0; }));
+
+    out.push_back(mutant<PW>("power_window", "no_anti_pinch",
+                             [](PW::Faults& f) { f.no_anti_pinch = true; }));
+    out.push_back(mutant<PW>("power_window", "ignore_ignition",
+                             [](PW::Faults& f) { f.ignore_ignition = true; }));
+    out.push_back(mutant<PW>("power_window", "no_limit_stop",
+                             [](PW::Faults& f) { f.no_limit_stop = true; }));
+    out.push_back(mutant<PW>("power_window", "reverse_tenth",
+                             [](PW::Faults& f) { f.reverse_scale = 0.1; }));
+
+    out.push_back(mutant<CL>("central_lock", "no_crash_unlock",
+                             [](CL::Faults& f) { f.no_crash_unlock = true; }));
+    out.push_back(mutant<CL>("central_lock", "no_autolock",
+                             [](CL::Faults& f) { f.no_autolock = true; }));
+    out.push_back(mutant<CL>("central_lock", "pulse_tenth",
+                             [](CL::Faults& f) { f.pulse_scale = 0.1; }));
+    out.push_back(mutant<CL>("central_lock", "swapped_actuators",
+                             [](CL::Faults& f) { f.swapped_actuators = true; }));
+
+    out.push_back(mutant<TS>("turn_signal", "double_frequency",
+                             [](TS::Faults& f) { f.frequency_scale = 2.0; }));
+    out.push_back(mutant<TS>("turn_signal", "hazard_only_left",
+                             [](TS::Faults& f) { f.hazard_only_left = true; }));
+    out.push_back(mutant<TS>("turn_signal", "lamps_steady",
+                             [](TS::Faults& f) { f.lamps_steady = true; }));
+    out.push_back(mutant<TS>("turn_signal", "no_hazard_toggle",
+                             [](TS::Faults& f) { f.no_hazard_toggle = true; }));
+    return out;
+}
+
+} // namespace ctk::dut

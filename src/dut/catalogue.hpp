@@ -1,0 +1,42 @@
+// DUT and mutant catalogue.
+//
+// Mutation testing (experiment E8) quantifies the §5 claim "successfully
+// applied": a test suite is only as good as the defects it catches. Each
+// mutant is one ECU instance with a single seeded, plausible
+// implementation bug; the kill rate of a suite is the fraction of mutants
+// on which the suite fails (= correctly detects the defect).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dut/central_lock.hpp"
+#include "dut/dut.hpp"
+#include "dut/interior_light.hpp"
+#include "dut/power_window.hpp"
+#include "dut/turn_signal.hpp"
+#include "dut/wiper.hpp"
+
+namespace ctk::dut {
+
+/// A named single-defect variant of one ECU.
+struct Mutant {
+    std::string ecu;  ///< ECU family, e.g. "interior_light"
+    std::string name; ///< defect, e.g. "ignore_night"
+    std::function<std::unique_ptr<Dut>()> make;
+};
+
+/// Fresh golden (defect-free) instance of an ECU family by name.
+/// Known families: interior_light, wiper, power_window, central_lock,
+/// turn_signal. Throws ctk::SemanticError for unknown names.
+[[nodiscard]] std::unique_ptr<Dut> make_golden(std::string_view family);
+
+/// All mutants of one family (empty for unknown names).
+[[nodiscard]] std::vector<Mutant> mutants_of(std::string_view family);
+
+/// The full catalogue across every ECU family.
+[[nodiscard]] std::vector<Mutant> mutant_catalogue();
+
+} // namespace ctk::dut

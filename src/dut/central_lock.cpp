@@ -1,0 +1,84 @@
+#include "dut/central_lock.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+CentralLockEcu::CentralLockEcu()
+    : CentralLockEcu(Config{}, Faults{}) {}
+
+CentralLockEcu::CentralLockEcu(Config config, Faults faults)
+    : config_(config), faults_(faults) {}
+
+std::string CentralLockEcu::name() const { return "central_lock"; }
+
+void CentralLockEcu::actuate(bool lock) {
+    const double pulse = config_.pulse_s * faults_.pulse_scale;
+    bool drive_lock = lock;
+    if (faults_.swapped_actuators) drive_lock = !drive_lock;
+    if (drive_lock)
+        lock_pulse_left_s_ = pulse;
+    else
+        unlock_pulse_left_s_ = pulse;
+    locked_ = lock;
+}
+
+void CentralLockEcu::reset() {
+    Dut::reset();
+    locked_ = false;
+    autolock_armed_ = true;
+    last_cmd_ = 0;
+    lock_pulse_left_s_ = 0.0;
+    unlock_pulse_left_s_ = 0.0;
+}
+
+void CentralLockEcu::step(double dt) {
+    lock_pulse_left_s_ = std::max(0.0, lock_pulse_left_s_ - dt);
+    unlock_pulse_left_s_ = std::max(0.0, unlock_pulse_left_s_ - dt);
+
+    // Crash overrides everything.
+    if (contact_closed("crash") && !faults_.no_crash_unlock) {
+        if (locked_) actuate(false);
+        return;
+    }
+
+    // Edge-triggered lock/unlock commands.
+    const unsigned cmd = bits_value(can_in("lock_cmd"));
+    if (cmd != last_cmd_) {
+        if (cmd == 1 && !locked_) actuate(true);
+        if (cmd == 2 && locked_) actuate(false);
+        last_cmd_ = cmd;
+    }
+
+    // Auto-lock once per above-threshold phase.
+    const double speed = static_cast<double>(bits_value(can_in("speed")));
+    if (!faults_.no_autolock) {
+        if (speed > config_.autolock_kmh) {
+            if (autolock_armed_ && !locked_) {
+                actuate(true);
+                autolock_armed_ = false;
+            }
+        } else {
+            autolock_armed_ = true;
+        }
+    }
+}
+
+std::vector<bool> CentralLockEcu::can_transmit(std::string_view signal) const {
+    if (str::iequals(signal, "lock_state"))
+        return locked_ ? std::vector<bool>{false, true}   // 01 = locked
+                       : std::vector<bool>{true, false};  // 10 = unlocked
+    return {};
+}
+
+double CentralLockEcu::pin_voltage(std::string_view pin) const {
+    if (str::iequals(pin, "lock_act"))
+        return lock_pulse_left_s_ > 0 ? supply() : 0.0;
+    if (str::iequals(pin, "unlock_act"))
+        return unlock_pulse_left_s_ > 0 ? supply() : 0.0;
+    return 0.0;
+}
+
+} // namespace ctk::dut

@@ -1,0 +1,57 @@
+// Central locking ECU.
+//
+// Bus:   lock_cmd — 2-bit command: 01 lock, 10 unlock;
+//        speed    — 8-bit vehicle speed in km/h (auto-lock above 15 km/h).
+// Pins:  crash   (input)  — crash-sensor loop, ≤100 Ω = crash detected,
+//                           forces unlock regardless of other inputs;
+//        lock_act / unlock_act (outputs) — actuator drivers, pulsed at
+//                           ubatt for 0.5 s per actuation.
+//
+// State: locked/unlocked. Auto-lock fires once per above-threshold phase.
+// The ECU also *transmits* its state on the bus signal "lock_state"
+// (01 = locked, 10 = unlocked), which component tests check with get_can.
+#pragma once
+
+#include "dut/dut.hpp"
+
+namespace ctk::dut {
+
+class CentralLockEcu : public Dut {
+public:
+    struct Config {
+        double pulse_s = 0.5;        ///< actuator pulse duration
+        double autolock_kmh = 15.0;  ///< auto-lock speed threshold
+    };
+
+    struct Faults {
+        bool no_crash_unlock = false; ///< crash input ignored
+        bool no_autolock = false;     ///< speed threshold ignored
+        double pulse_scale = 1.0;     ///< wrong pulse duration
+        bool swapped_actuators = false; ///< lock pulses the unlock driver
+    };
+
+    CentralLockEcu();
+    CentralLockEcu(Config config, Faults faults);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] std::vector<bool>
+    can_transmit(std::string_view signal) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    [[nodiscard]] bool locked() const { return locked_; }
+
+private:
+    void actuate(bool lock);
+
+    Config config_;
+    Faults faults_;
+    bool locked_ = false;
+    bool autolock_armed_ = true;
+    unsigned last_cmd_ = 0;
+    double lock_pulse_left_s_ = 0.0;
+    double unlock_pulse_left_s_ = 0.0;
+};
+
+} // namespace ctk::dut

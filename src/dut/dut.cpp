@@ -1,0 +1,54 @@
+#include "dut/dut.hpp"
+
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+const std::vector<bool> Dut::no_bits_{};
+
+void Dut::set_pin_resistance(std::string_view pin, double ohms) {
+    resistances_[str::lower(pin)] = ohms;
+}
+
+void Dut::set_pin_voltage(std::string_view pin, double volts) {
+    voltages_[str::lower(pin)] = volts;
+}
+
+void Dut::can_receive(std::string_view signal, const std::vector<bool>& bits) {
+    can_frames_[str::lower(signal)] = bits;
+}
+
+std::vector<bool> Dut::can_transmit(std::string_view) const { return {}; }
+
+void Dut::reset() {
+    resistances_.clear();
+    voltages_.clear();
+    can_frames_.clear();
+}
+
+double Dut::resistance(std::string_view pin) const {
+    auto it = resistances_.find(str::lower(pin));
+    return it == resistances_.end()
+               ? std::numeric_limits<double>::infinity()
+               : it->second;
+}
+
+double Dut::voltage_in(std::string_view pin) const {
+    auto it = voltages_.find(str::lower(pin));
+    return it == voltages_.end() ? 0.0 : it->second;
+}
+
+const std::vector<bool>& Dut::can_in(std::string_view sig) const {
+    auto it = can_frames_.find(str::lower(sig));
+    return it == can_frames_.end() ? no_bits_ : it->second;
+}
+
+unsigned Dut::bits_value(const std::vector<bool>& bits) {
+    unsigned v = 0;
+    for (bool b : bits) v = (v << 1) | (b ? 1u : 0u);
+    return v;
+}
+
+} // namespace ctk::dut

@@ -1,0 +1,81 @@
+// Device-under-test interface.
+//
+// The paper's DUTs are physical ECUs wired to the stand. Here a Dut is a
+// behavioural model with the same externally observable contract:
+//  * electrical inputs  — a resistance to ground or a voltage applied at a
+//    named pin (door switches are resistances: ~0 Ω = contact closed);
+//  * bus inputs         — CAN frames addressed by signal name;
+//  * electrical outputs — the voltage the DUT drives on a named pin;
+//  * bus outputs        — CAN frames the DUT would transmit;
+//  * time               — step(dt) advances the internal state machine.
+//
+// Pin names are case-insensitive. Unknown pins are ignored on write and
+// read back as 0 V — a real stand probing an unconnected pin sees ground,
+// and this keeps scripts runnable on DUT variants with fewer pins.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctk::dut {
+
+class Dut {
+public:
+    virtual ~Dut() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Supply voltage (applied by the stand before testing).
+    virtual void set_supply(double ubatt) { ubatt_ = ubatt; }
+    [[nodiscard]] double supply() const { return ubatt_; }
+
+    /// Apply a resistance to ground at an input pin (INF = open path).
+    virtual void set_pin_resistance(std::string_view pin, double ohms);
+
+    /// Apply a voltage at an input pin.
+    virtual void set_pin_voltage(std::string_view pin, double volts);
+
+    /// Deliver a CAN frame for a named bus signal.
+    virtual void can_receive(std::string_view signal,
+                             const std::vector<bool>& bits);
+
+    /// Voltage the DUT currently drives on an output pin (0 if unknown).
+    [[nodiscard]] virtual double pin_voltage(std::string_view pin) const = 0;
+
+    /// Last frame the DUT transmitted for a bus signal (empty if none).
+    [[nodiscard]] virtual std::vector<bool>
+    can_transmit(std::string_view signal) const;
+
+    /// Return to power-on state (stimuli cleared, timers zeroed).
+    virtual void reset();
+
+    /// Advance the behavioural state machine by dt seconds.
+    virtual void step(double dt) = 0;
+
+protected:
+    /// Applied resistance at a pin; INF when never driven (open).
+    [[nodiscard]] double resistance(std::string_view pin) const;
+    /// Applied voltage at a pin; 0 when never driven.
+    [[nodiscard]] double voltage_in(std::string_view pin) const;
+    /// Last received CAN payload for a signal (empty if none).
+    [[nodiscard]] const std::vector<bool>& can_in(std::string_view sig) const;
+    /// Interpret a CAN payload as an unsigned integer (MSB first).
+    [[nodiscard]] static unsigned bits_value(const std::vector<bool>& bits);
+
+    /// Contact-closed test: applied resistance below threshold.
+    [[nodiscard]] bool contact_closed(std::string_view pin,
+                                      double threshold_ohm = 100.0) const {
+        return resistance(pin) <= threshold_ohm;
+    }
+
+private:
+    double ubatt_ = 12.0;
+    std::map<std::string, double> resistances_;
+    std::map<std::string, double> voltages_;
+    std::map<std::string, std::vector<bool>> can_frames_;
+    static const std::vector<bool> no_bits_;
+};
+
+} // namespace ctk::dut

@@ -1,0 +1,69 @@
+#include "dut/interior_light.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+InteriorLightEcu::InteriorLightEcu()
+    : InteriorLightEcu(Config{}, Faults{}) {}
+
+InteriorLightEcu::InteriorLightEcu(Config config, Faults faults)
+    : config_(config), faults_(faults) {
+    set_supply(config_.ubatt);
+}
+
+std::string InteriorLightEcu::name() const { return "interior_light"; }
+
+bool InteriorLightEcu::any_door_open() const {
+    // Door switch contact closes to ground when the door is open.
+    if (contact_closed("ds_fl", config_.door_threshold_ohm)) return true;
+    if (!faults_.ignore_fr_door &&
+        contact_closed("ds_fr", config_.door_threshold_ohm))
+        return true;
+    if (contact_closed("ds_rl", config_.door_threshold_ohm)) return true;
+    if (contact_closed("ds_rr", config_.door_threshold_ohm)) return true;
+    return false;
+}
+
+bool InteriorLightEcu::night_active() const {
+    const auto& bits = can_in("night");
+    const bool night = !bits.empty() && bits_value(bits) != 0;
+    return faults_.inverted_night ? !night : night;
+}
+
+void InteriorLightEcu::update_lamp() {
+    const bool doors = any_door_open();
+    const bool night = faults_.ignore_night ? true : night_active();
+    const bool timed_out =
+        !faults_.no_timeout &&
+        open_elapsed_s_ >= config_.timeout_s * faults_.timeout_scale;
+    lit_ = doors && night && !timed_out;
+    if (faults_.stuck_off) lit_ = false;
+}
+
+void InteriorLightEcu::reset() {
+    Dut::reset();
+    lit_ = false;
+    open_elapsed_s_ = 0.0;
+}
+
+void InteriorLightEcu::step(double dt) {
+    const bool doors = any_door_open();
+    if (doors) {
+        open_elapsed_s_ += dt;
+    } else if (!faults_.timer_not_reset) {
+        open_elapsed_s_ = 0.0;
+    }
+    update_lamp();
+}
+
+double InteriorLightEcu::pin_voltage(std::string_view pin) const {
+    if (str::iequals(pin, "int_ill_f")) {
+        if (!lit_) return 0.0;
+        return faults_.half_voltage ? supply() / 2.0 : supply();
+    }
+    if (str::iequals(pin, "int_ill_r")) return 0.0; // return line
+    return 0.0;
+}
+
+} // namespace ctk::dut

@@ -1,0 +1,64 @@
+// Interior illumination ECU — the paper's worked example.
+//
+// Behaviour (paper §3): the interior illumination INT_ILL is lit while
+//  * the NIGHT bit from the light sensor is active, and
+//  * at least one door is open (door switch contact closed to ground), and
+//  * the doors have been open for less than 300 s (timeout),
+// independent of ignition. The timeout restarts when all doors close.
+//
+// Pins:  ds_fl, ds_fr, ds_rl, ds_rr  (inputs, resistance: ≤100 Ω = open door)
+//        int_ill_f / int_ill_r        (output pair; F drives ubatt when lit,
+//                                      R is the return line at 0 V)
+// Bus:   ign_st (received, not used by the lighting logic), night (bit).
+//
+// The Faults struct seeds realistic defects for mutation testing (E8):
+// each flag is one plausible implementation bug the paper's test sheet
+// should (or, instructively, should not) catch.
+#pragma once
+
+#include "dut/dut.hpp"
+
+namespace ctk::dut {
+
+class InteriorLightEcu : public Dut {
+public:
+    struct Config {
+        double timeout_s = 300.0;      ///< illumination budget per door-open phase
+        double door_threshold_ohm = 100.0;
+        double ubatt = 12.0;
+    };
+
+    struct Faults {
+        bool ignore_night = false;     ///< lit at daytime too
+        bool ignore_fr_door = false;   ///< front-right switch not read
+        bool no_timeout = false;       ///< 300 s limit missing
+        double timeout_scale = 1.0;    ///< wrong timeout constant (e.g. 0.1)
+        bool half_voltage = false;     ///< weak driver: ubatt/2 instead of ubatt
+        bool stuck_off = false;        ///< output driver dead
+        bool inverted_night = false;   ///< NIGHT polarity swapped
+        bool timer_not_reset = false;  ///< timeout never re-arms after closing
+    };
+
+    InteriorLightEcu();
+    InteriorLightEcu(Config config, Faults faults);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    /// Current lamp state (for unit tests).
+    [[nodiscard]] bool lit() const { return lit_; }
+
+private:
+    [[nodiscard]] bool any_door_open() const;
+    [[nodiscard]] bool night_active() const;
+    void update_lamp();
+
+    Config config_;
+    Faults faults_;
+    bool lit_ = false;
+    double open_elapsed_s_ = 0.0;
+};
+
+} // namespace ctk::dut

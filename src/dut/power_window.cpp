@@ -1,0 +1,80 @@
+#include "dut/power_window.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+PowerWindowEcu::PowerWindowEcu()
+    : PowerWindowEcu(Config{}, Faults{}) {}
+
+PowerWindowEcu::PowerWindowEcu(Config config, Faults faults)
+    : config_(config), faults_(faults) {}
+
+std::string PowerWindowEcu::name() const { return "power_window"; }
+
+bool PowerWindowEcu::ignition_on() const {
+    if (faults_.ignore_ignition) return true;
+    const auto& bits = can_in("ign_st");
+    return !bits.empty() && bits_value(bits) != 0;
+}
+
+void PowerWindowEcu::reset() {
+    Dut::reset();
+    position_pct_ = 0.0;
+    reverse_left_s_ = 0.0;
+    pinch_latched_ = false;
+    driving_up_ = false;
+    driving_dn_ = false;
+}
+
+void PowerWindowEcu::step(double dt) {
+    const bool up_pressed = contact_closed("win_up");
+    const bool dn_pressed = contact_closed("win_dn");
+    const bool pinched = contact_closed("pinch");
+
+    // Releasing the up switch clears the pinch latch.
+    if (!up_pressed) pinch_latched_ = false;
+
+    driving_up_ = false;
+    driving_dn_ = false;
+
+    if (reverse_left_s_ > 0) {
+        // Anti-pinch reversal in progress.
+        reverse_left_s_ = std::max(0.0, reverse_left_s_ - dt);
+        driving_dn_ = true;
+    } else if (ignition_on()) {
+        if (up_pressed && !pinch_latched_) {
+            if (pinched && !faults_.no_anti_pinch) {
+                pinch_latched_ = true;
+                reverse_left_s_ =
+                    config_.reverse_time_s * faults_.reverse_scale;
+                driving_dn_ = true;
+            } else {
+                driving_up_ = true;
+            }
+        } else if (dn_pressed) {
+            driving_dn_ = true;
+        }
+    }
+
+    const double rate = 100.0 / config_.travel_time_s;
+    if (driving_up_) position_pct_ += rate * dt;
+    if (driving_dn_) position_pct_ -= rate * dt;
+
+    if (!faults_.no_limit_stop) {
+        if (position_pct_ >= 100.0 && driving_up_) driving_up_ = false;
+        if (position_pct_ <= 0.0 && driving_dn_ && reverse_left_s_ <= 0)
+            driving_dn_ = false;
+    }
+    position_pct_ = std::clamp(position_pct_, 0.0, 100.0);
+}
+
+double PowerWindowEcu::pin_voltage(std::string_view pin) const {
+    if (str::iequals(pin, "mot_up")) return driving_up_ ? supply() : 0.0;
+    if (str::iequals(pin, "mot_dn")) return driving_dn_ ? supply() : 0.0;
+    return 0.0;
+}
+
+} // namespace ctk::dut

@@ -1,0 +1,58 @@
+// Power window ECU with anti-pinch protection.
+//
+// Bus:   ign_st — 1-bit ignition state (1 = on). The window only moves
+//        with ignition on.
+// Pins:  win_up / win_dn (inputs)  — rocker switch contacts, ≤100 Ω =
+//                                    pressed;
+//        pinch           (input)   — pinch-strip sensor, ≤100 Ω = obstacle;
+//        mot_up / mot_dn (outputs) — motor driver, ubatt while moving.
+//
+// Behaviour: while win_up is pressed (and ignition on) the window closes;
+// full travel takes 4 s; the motor stops at the end positions. If the
+// pinch sensor trips while closing, the ECU reverses for 1 s (anti-pinch)
+// and ignores further up-commands until the switch is released.
+#pragma once
+
+#include "dut/dut.hpp"
+
+namespace ctk::dut {
+
+class PowerWindowEcu : public Dut {
+public:
+    struct Config {
+        double travel_time_s = 4.0;   ///< full stroke 0 → 100 %
+        double reverse_time_s = 1.0;  ///< anti-pinch reversal duration
+    };
+
+    struct Faults {
+        bool no_anti_pinch = false;   ///< keeps closing on obstacle
+        bool ignore_ignition = false; ///< moves with ignition off
+        bool no_limit_stop = false;   ///< motor keeps driving at end stop
+        double reverse_scale = 1.0;   ///< wrong reversal duration
+    };
+
+    PowerWindowEcu();
+    PowerWindowEcu(Config config, Faults faults);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    /// Window position in percent (0 = fully open, 100 = closed).
+    [[nodiscard]] double position() const { return position_pct_; }
+    [[nodiscard]] bool reversing() const { return reverse_left_s_ > 0; }
+
+private:
+    [[nodiscard]] bool ignition_on() const;
+
+    Config config_;
+    Faults faults_;
+    double position_pct_ = 0.0;
+    double reverse_left_s_ = 0.0;
+    bool pinch_latched_ = false;
+    bool driving_up_ = false;
+    bool driving_dn_ = false;
+};
+
+} // namespace ctk::dut

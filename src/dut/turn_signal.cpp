@@ -1,0 +1,55 @@
+#include "dut/turn_signal.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+TurnSignalEcu::TurnSignalEcu()
+    : TurnSignalEcu(Config{}, Faults{}) {}
+
+TurnSignalEcu::TurnSignalEcu(Config config, Faults faults)
+    : config_(config), faults_(faults) {}
+
+std::string TurnSignalEcu::name() const { return "turn_signal"; }
+
+void TurnSignalEcu::reset() {
+    Dut::reset();
+    hazard_on_ = false;
+    hazard_was_pressed_ = false;
+    phase_s_ = 0.0;
+}
+
+void TurnSignalEcu::step(double dt) {
+    const bool pressed = contact_closed("hazard");
+    if (pressed && !hazard_was_pressed_ && !faults_.no_hazard_toggle)
+        hazard_on_ = !hazard_on_;
+    hazard_was_pressed_ = pressed;
+
+    const double hz = config_.flash_hz * faults_.frequency_scale;
+    const double period = hz > 0 ? 1.0 / hz : 1.0;
+    phase_s_ = std::fmod(phase_s_ + dt, period);
+}
+
+bool TurnSignalEcu::lamp_phase_on() const {
+    if (faults_.lamps_steady) return true;
+    const double hz = config_.flash_hz * faults_.frequency_scale;
+    const double period = hz > 0 ? 1.0 / hz : 1.0;
+    return phase_s_ < period / 2.0;
+}
+
+double TurnSignalEcu::pin_voltage(std::string_view pin) const {
+    const unsigned lever = bits_value(can_in("turn_sw"));
+    const bool left_cmd = hazard_on_ || lever == 1;
+    const bool right_cmd =
+        (hazard_on_ && !faults_.hazard_only_left) || lever == 2;
+
+    if (str::iequals(pin, "lamp_l"))
+        return left_cmd && lamp_phase_on() ? supply() : 0.0;
+    if (str::iequals(pin, "lamp_r"))
+        return right_cmd && lamp_phase_on() ? supply() : 0.0;
+    return 0.0;
+}
+
+} // namespace ctk::dut

@@ -1,0 +1,50 @@
+// Turn signal / hazard flasher ECU.
+//
+// Bus:   turn_sw — 2-bit lever: 00 off, 01 left, 10 right.
+// Pins:  hazard  (input)  — hazard button contact, ≤100 Ω = pressed
+//                           (edge-triggered toggle);
+//        lamp_l / lamp_r (outputs) — indicator lamps, flashing at the
+//                           configured rate (default 1.5 Hz, 50 % duty).
+//
+// Hazard overrides the lever and flashes both sides. Flash frequency is
+// an observable the component test checks with the get_f method.
+#pragma once
+
+#include "dut/dut.hpp"
+
+namespace ctk::dut {
+
+class TurnSignalEcu : public Dut {
+public:
+    struct Config {
+        double flash_hz = 1.5;
+    };
+
+    struct Faults {
+        double frequency_scale = 1.0; ///< wrong flash rate (e.g. 2.0)
+        bool hazard_only_left = false;///< right lamp dead in hazard mode
+        bool lamps_steady = false;    ///< no flashing, lamps constantly on
+        bool no_hazard_toggle = false;///< hazard button ignored
+    };
+
+    TurnSignalEcu();
+    TurnSignalEcu(Config config, Faults faults);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    [[nodiscard]] bool hazard_active() const { return hazard_on_; }
+
+private:
+    [[nodiscard]] bool lamp_phase_on() const;
+
+    Config config_;
+    Faults faults_;
+    bool hazard_on_ = false;
+    bool hazard_was_pressed_ = false;
+    double phase_s_ = 0.0;
+};
+
+} // namespace ctk::dut

@@ -1,0 +1,72 @@
+#include "dut/wiper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ctk::dut {
+
+WiperEcu::WiperEcu() : WiperEcu(Config{}, Faults{}) {}
+
+WiperEcu::WiperEcu(Config config, Faults faults)
+    : config_(config), faults_(faults) {}
+
+std::string WiperEcu::name() const { return "wiper"; }
+
+WiperEcu::Mode WiperEcu::mode() const {
+    const auto& bits = can_in("wiper_sw");
+    switch (bits_value(bits)) {
+    case 1: return Mode::Interval;
+    case 2: return Mode::Slow;
+    case 3: return faults_.no_fast_mode ? Mode::Slow : Mode::Fast;
+    default: return Mode::Off;
+    }
+}
+
+double WiperEcu::current_interval_s() const {
+    if (faults_.interval_ignores_pot) return config_.interval_min_s;
+    const double r = std::clamp(resistance("int_pot"), 0.0, config_.pot_max_ohm);
+    const double frac = config_.pot_max_ohm > 0 ? r / config_.pot_max_ohm : 0.0;
+    return config_.interval_min_s +
+           frac * (config_.interval_max_s - config_.interval_min_s);
+}
+
+void WiperEcu::reset() {
+    Dut::reset();
+    phase_s_ = 0.0;
+    wiping_ = false;
+}
+
+void WiperEcu::step(double dt) {
+    const Mode m = mode();
+    if (m == Mode::Off) {
+        wiping_ = false;
+        phase_s_ = 0.0;
+        return;
+    }
+    if (m == Mode::Slow || m == Mode::Fast) {
+        wiping_ = true;
+        phase_s_ = 0.0;
+        return;
+    }
+    // Interval mode: wipe for wipe_duration, pause for current_interval.
+    const double wipe = config_.wipe_duration_s * faults_.wipe_scale;
+    const double cycle = wipe + current_interval_s();
+    phase_s_ = std::fmod(phase_s_ + dt, cycle);
+    wiping_ = phase_s_ < wipe;
+}
+
+double WiperEcu::pin_voltage(std::string_view pin) const {
+    const Mode m = mode();
+    if (str::iequals(pin, "wiper_lo")) {
+        if (faults_.stuck_wiping) return supply();
+        const bool low_on = (m == Mode::Slow) || (m == Mode::Interval && wiping_);
+        return low_on ? supply() : 0.0;
+    }
+    if (str::iequals(pin, "wiper_hi"))
+        return m == Mode::Fast ? supply() : 0.0;
+    return 0.0;
+}
+
+} // namespace ctk::dut

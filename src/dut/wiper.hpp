@@ -1,0 +1,55 @@
+// Windscreen wiper ECU with interval mode.
+//
+// Bus:   wiper_sw — 2-bit lever position: 00 off, 01 interval, 10 slow,
+//        11 fast.
+// Pins:  int_pot   (input) — interval potentiometer, resistance 0…50 kΩ
+//                   maps linearly onto a 2…20 s pause between wipes;
+//        wiper_lo  (output) — low-speed winding, ubatt while wiping in
+//                   interval or slow mode;
+//        wiper_hi  (output) — high-speed winding, ubatt in fast mode.
+// A single wipe takes 1 s. In interval mode the ECU wipes once, pauses
+// for the configured interval, and repeats.
+#pragma once
+
+#include "dut/dut.hpp"
+
+namespace ctk::dut {
+
+class WiperEcu : public Dut {
+public:
+    struct Config {
+        double wipe_duration_s = 1.0;
+        double interval_min_s = 2.0;
+        double interval_max_s = 20.0;
+        double pot_max_ohm = 50000.0;
+    };
+
+    struct Faults {
+        bool interval_ignores_pot = false; ///< pause stuck at minimum
+        bool no_fast_mode = false;         ///< fast behaves like slow
+        bool stuck_wiping = false;         ///< low winding permanently on
+        double wipe_scale = 1.0;           ///< wrong wipe duration
+    };
+
+    WiperEcu();
+    WiperEcu(Config config, Faults faults);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    /// Effective interval pause for the current potentiometer setting.
+    [[nodiscard]] double current_interval_s() const;
+
+private:
+    enum class Mode { Off, Interval, Slow, Fast };
+    [[nodiscard]] Mode mode() const;
+
+    Config config_;
+    Faults faults_;
+    double phase_s_ = 0.0;    ///< time inside the current wipe/pause cycle
+    bool wiping_ = false;
+};
+
+} // namespace ctk::dut

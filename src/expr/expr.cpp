@@ -1,0 +1,389 @@
+#include "expr/expr.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ctk::expr {
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+Env::Env(std::initializer_list<std::pair<const std::string, double>> init) {
+    for (const auto& [k, v] : init) set(k, v);
+}
+
+void Env::set(std::string_view name, double value) {
+    values_[str::lower(name)] = value;
+}
+
+bool Env::has(std::string_view name) const {
+    return values_.count(str::lower(name)) > 0;
+}
+
+double Env::get(std::string_view name) const {
+    auto it = values_.find(str::lower(name));
+    if (it == values_.end())
+        throw SemanticError("unbound variable '" + std::string(name) + "'");
+    return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class NumberExpr final : public Expr {
+public:
+    explicit NumberExpr(double v) : value_(v) {}
+    [[nodiscard]] Kind kind() const override { return Kind::Number; }
+    [[nodiscard]] double eval(const Env&) const override { return value_; }
+    [[nodiscard]] std::string to_string() const override {
+        return str::format_number(value_, 12);
+    }
+    void variables(std::set<std::string>&) const override {}
+
+private:
+    double value_;
+};
+
+class VarExpr final : public Expr {
+public:
+    explicit VarExpr(std::string name) : name_(str::lower(name)) {}
+    [[nodiscard]] Kind kind() const override { return Kind::Var; }
+    [[nodiscard]] double eval(const Env& env) const override {
+        return env.get(name_);
+    }
+    [[nodiscard]] std::string to_string() const override { return name_; }
+    void variables(std::set<std::string>& out) const override {
+        out.insert(name_);
+    }
+
+private:
+    std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+public:
+    UnaryExpr(char op, ExprPtr operand)
+        : op_(op), operand_(std::move(operand)) {}
+    [[nodiscard]] Kind kind() const override { return Kind::Unary; }
+    [[nodiscard]] double eval(const Env& env) const override {
+        const double v = operand_->eval(env);
+        return op_ == '-' ? -v : v;
+    }
+    [[nodiscard]] std::string to_string() const override {
+        return std::string(1, op_) + operand_->to_string();
+    }
+    void variables(std::set<std::string>& out) const override {
+        operand_->variables(out);
+    }
+    [[nodiscard]] const ExprPtr& operand() const { return operand_; }
+    [[nodiscard]] char op() const { return op_; }
+
+private:
+    char op_;
+    ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+public:
+    BinaryExpr(char op, ExprPtr lhs, ExprPtr rhs)
+        : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+    [[nodiscard]] Kind kind() const override { return Kind::Binary; }
+    [[nodiscard]] double eval(const Env& env) const override {
+        const double a = lhs_->eval(env);
+        const double b = rhs_->eval(env);
+        switch (op_) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': return a / b; // IEEE: x/0 = ±INF
+        case '^': return std::pow(a, b);
+        }
+        throw SemanticError(std::string("bad operator '") + op_ + "'");
+    }
+    [[nodiscard]] std::string to_string() const override {
+        return "(" + lhs_->to_string() + op_ + rhs_->to_string() + ")";
+    }
+    void variables(std::set<std::string>& out) const override {
+        lhs_->variables(out);
+        rhs_->variables(out);
+    }
+    [[nodiscard]] const ExprPtr& lhs() const { return lhs_; }
+    [[nodiscard]] const ExprPtr& rhs() const { return rhs_; }
+    [[nodiscard]] char op() const { return op_; }
+
+private:
+    char op_;
+    ExprPtr lhs_, rhs_;
+};
+
+double call_builtin(const std::string& name, const std::vector<double>& args) {
+    auto need = [&](std::size_t n) {
+        if (args.size() != n)
+            throw SemanticError("function '" + name + "' expects " +
+                                std::to_string(n) + " argument(s), got " +
+                                std::to_string(args.size()));
+    };
+    if (name == "min") {
+        if (args.empty()) throw SemanticError("min() needs arguments");
+        double m = args[0];
+        for (double a : args) m = std::min(m, a);
+        return m;
+    }
+    if (name == "max") {
+        if (args.empty()) throw SemanticError("max() needs arguments");
+        double m = args[0];
+        for (double a : args) m = std::max(m, a);
+        return m;
+    }
+    if (name == "abs") {
+        need(1);
+        return std::abs(args[0]);
+    }
+    if (name == "clamp") {
+        need(3);
+        return std::min(std::max(args[0], args[1]), args[2]);
+    }
+    if (name == "floor") {
+        need(1);
+        return std::floor(args[0]);
+    }
+    if (name == "ceil") {
+        need(1);
+        return std::ceil(args[0]);
+    }
+    if (name == "sqrt") {
+        need(1);
+        if (args[0] < 0)
+            throw SemanticError("sqrt of negative value");
+        return std::sqrt(args[0]);
+    }
+    throw SemanticError("unknown function '" + name + "'");
+}
+
+class CallExpr final : public Expr {
+public:
+    CallExpr(std::string name, std::vector<ExprPtr> args)
+        : name_(str::lower(name)), args_(std::move(args)) {
+        // Validate the function name (and arity where fixed) eagerly so a
+        // bad script fails at parse time, not mid-execution.
+        std::vector<double> probe(args_.size(), 0.0);
+        call_builtin(name_, probe);
+    }
+    [[nodiscard]] Kind kind() const override { return Kind::Call; }
+    [[nodiscard]] double eval(const Env& env) const override {
+        std::vector<double> vals;
+        vals.reserve(args_.size());
+        for (const auto& a : args_) vals.push_back(a->eval(env));
+        return call_builtin(name_, vals);
+    }
+    [[nodiscard]] std::string to_string() const override {
+        std::string s = name_ + "(";
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+            if (i > 0) s += ",";
+            s += args_[i]->to_string();
+        }
+        return s + ")";
+    }
+    void variables(std::set<std::string>& out) const override {
+        for (const auto& a : args_) a->variables(out);
+    }
+    [[nodiscard]] const std::vector<ExprPtr>& args() const { return args_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+    std::vector<ExprPtr> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class ExprParser {
+public:
+    explicit ExprParser(std::string_view text) : text_(text) {}
+
+    ExprPtr parse() {
+        ExprPtr e = parse_sum();
+        skip_ws();
+        if (pos_ != text_.size()) fail("unexpected trailing input");
+        return e;
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw ParseError(SourcePos{"<expr>", 1, pos_ + 1},
+                         msg + " in '" + std::string(text_) + "'");
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    [[nodiscard]] char peek() {
+        skip_ws();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool consume(char c) {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    ExprPtr parse_sum() {
+        ExprPtr lhs = parse_term();
+        for (;;) {
+            if (consume('+'))
+                lhs = std::make_shared<BinaryExpr>('+', lhs, parse_term());
+            else if (consume('-'))
+                lhs = std::make_shared<BinaryExpr>('-', lhs, parse_term());
+            else
+                return lhs;
+        }
+    }
+
+    ExprPtr parse_term() {
+        ExprPtr lhs = parse_unary();
+        for (;;) {
+            if (consume('*'))
+                lhs = std::make_shared<BinaryExpr>('*', lhs, parse_unary());
+            else if (consume('/'))
+                lhs = std::make_shared<BinaryExpr>('/', lhs, parse_unary());
+            else
+                return lhs;
+        }
+    }
+
+    // Unary minus binds looser than '^' (mathematical convention:
+    // -3^2 = -(3^2)), but the exponent may itself be signed (2^-3).
+    ExprPtr parse_unary() {
+        if (consume('-'))
+            return std::make_shared<UnaryExpr>('-', parse_unary());
+        if (consume('+')) return parse_unary();
+        return parse_power();
+    }
+
+    ExprPtr parse_power() {
+        ExprPtr base = parse_primary();
+        if (consume('^')) // right associative
+            return std::make_shared<BinaryExpr>('^', base, parse_unary());
+        return base;
+    }
+
+    ExprPtr parse_primary() {
+        const char c = peek();
+        if (c == '(') {
+            ++pos_;
+            ExprPtr e = parse_sum();
+            if (!consume(')')) fail("missing ')'");
+            return e;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.')
+            return parse_numberlit();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return parse_ident();
+        fail("expected a number, variable or '('");
+    }
+
+    ExprPtr parse_numberlit() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+            ++pos_;
+        auto num = str::parse_number(text_.substr(start, pos_ - start));
+        if (!num) fail("bad number literal");
+        return std::make_shared<NumberExpr>(*num);
+    }
+
+    ExprPtr parse_ident() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_'))
+            ++pos_;
+        std::string name(text_.substr(start, pos_ - start));
+        if (str::iequals(name, "INF"))
+            return std::make_shared<NumberExpr>(
+                std::numeric_limits<double>::infinity());
+        if (peek() == '(') {
+            ++pos_;
+            std::vector<ExprPtr> args;
+            if (peek() != ')') {
+                args.push_back(parse_sum());
+                while (consume(',')) args.push_back(parse_sum());
+            }
+            if (!consume(')')) fail("missing ')' in call");
+            return std::make_shared<CallExpr>(std::move(name), std::move(args));
+        }
+        return std::make_shared<VarExpr>(std::move(name));
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+ExprPtr parse(std::string_view text) {
+    std::string_view trimmed = str::trim(text);
+    if (trimmed.empty())
+        throw ParseError(SourcePos{"<expr>", 1, 1}, "empty expression");
+    return ExprParser(trimmed).parse();
+}
+
+ExprPtr fold(const ExprPtr& e) {
+    if (!e) return e;
+    if (e->variables().empty() && e->kind() != Expr::Kind::Number)
+        return std::make_shared<NumberExpr>(e->eval(Env{}));
+    switch (e->kind()) {
+    case Expr::Kind::Unary: {
+        const auto* u = static_cast<const UnaryExpr*>(e.get());
+        return std::make_shared<UnaryExpr>(u->op(), fold(u->operand()));
+    }
+    case Expr::Kind::Binary: {
+        const auto* b = static_cast<const BinaryExpr*>(e.get());
+        return std::make_shared<BinaryExpr>(b->op(), fold(b->lhs()),
+                                            fold(b->rhs()));
+    }
+    case Expr::Kind::Call: {
+        const auto* c = static_cast<const CallExpr*>(e.get());
+        std::vector<ExprPtr> args;
+        args.reserve(c->args().size());
+        for (const auto& a : c->args()) args.push_back(fold(a));
+        return std::make_shared<CallExpr>(c->name(), std::move(args));
+    }
+    default:
+        return e;
+    }
+}
+
+double eval(std::string_view text, const Env& env) {
+    return parse(text)->eval(env);
+}
+
+ExprPtr constant(double value) { return std::make_shared<NumberExpr>(value); }
+
+} // namespace ctk::expr

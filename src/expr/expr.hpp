@@ -1,0 +1,88 @@
+// Expression engine for parameter formulas.
+//
+// The XML test script carries limits as formulas over stand variables,
+// e.g. u_max="(1.1*ubatt)" — the key mechanism that makes one script
+// portable across stands with different supply voltages. This module
+// parses such formulas into an AST, evaluates them against a variable
+// environment, folds constants, and reports free variables so a script
+// can be validated against a stand *before* execution.
+//
+// Grammar (Pratt parser):
+//   expr    := term (('+'|'-') term)*
+//   term    := factor (('*'|'/') factor)*
+//   factor  := unary ('^' factor)?          // right-assoc power
+//   unary   := ('-'|'+') unary | primary
+//   primary := NUMBER | 'INF' | IDENT | IDENT '(' args ')' | '(' expr ')'
+// Functions: min, max, abs, clamp(x,lo,hi), floor, ceil, sqrt.
+// Identifiers are case-insensitive (the paper mixes UBATT and ubatt).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ctk::expr {
+
+/// Case-insensitive variable environment.
+class Env {
+public:
+    Env() = default;
+    Env(std::initializer_list<std::pair<const std::string, double>> init);
+
+    void set(std::string_view name, double value);
+    [[nodiscard]] bool has(std::string_view name) const;
+    /// Throws ctk::SemanticError when the variable is unbound.
+    [[nodiscard]] double get(std::string_view name) const;
+    [[nodiscard]] const std::map<std::string, double>& values() const {
+        return values_;
+    }
+
+private:
+    std::map<std::string, double> values_; // keys lower-cased
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree. Shared ownership because folded trees reuse
+/// unchanged subtrees.
+class Expr {
+public:
+    enum class Kind { Number, Var, Unary, Binary, Call };
+
+    virtual ~Expr() = default;
+    [[nodiscard]] virtual Kind kind() const = 0;
+    /// Evaluate against an environment; throws SemanticError on unbound
+    /// variables and on domain errors (sqrt of negative, division by zero
+    /// yields ±INF rather than throwing, matching IEEE semantics).
+    [[nodiscard]] virtual double eval(const Env& env) const = 0;
+    /// Canonical text form; parse(to_string()) is structurally identical.
+    [[nodiscard]] virtual std::string to_string() const = 0;
+    /// Collect free variable names (lower-cased) into `out`.
+    virtual void variables(std::set<std::string>& out) const = 0;
+
+    /// Free variables as a fresh set.
+    [[nodiscard]] std::set<std::string> variables() const {
+        std::set<std::string> out;
+        variables(out);
+        return out;
+    }
+};
+
+/// Parse a formula. Throws ctk::ParseError (origin "<expr>") on bad input.
+[[nodiscard]] ExprPtr parse(std::string_view text);
+
+/// Constant-fold: subtrees without free variables become Number nodes.
+[[nodiscard]] ExprPtr fold(const ExprPtr& e);
+
+/// Convenience: parse + eval in one step.
+[[nodiscard]] double eval(std::string_view text, const Env& env);
+
+/// Build a constant expression node.
+[[nodiscard]] ExprPtr constant(double value);
+
+} // namespace ctk::expr

@@ -1,0 +1,272 @@
+#include "gate/atpg.hpp"
+
+#include <algorithm>
+
+#include "gate/logicsim.hpp"
+
+namespace ctk::gate {
+
+namespace {
+
+/// Good/faulty value pair per net (both three-valued).
+struct NetVal {
+    V3 good = V3::X;
+    V3 bad = V3::X;
+    [[nodiscard]] bool is_d() const { // D = 1/0, D' = 0/1
+        return good != V3::X && bad != V3::X && good != bad;
+    }
+};
+
+class Podem {
+public:
+    Podem(const Netlist& net, const Fault& fault, const AtpgOptions& options)
+        : net_(net), fault_(fault), options_(options),
+          order_(net.topo_order()), values_(net.size()) {}
+
+    AtpgFaultResult run() {
+        AtpgFaultResult result;
+        result.fault = fault_;
+        if (net_.is_sequential())
+            throw SemanticError("PODEM handles combinational netlists only");
+
+        pi_assign_.assign(net_.inputs().size(), V3::X);
+        imply();
+
+        std::size_t backtracks = 0;
+        // Decision stack: (pi index, tried-both-values?).
+        std::vector<std::pair<std::size_t, bool>> stack;
+
+        while (true) {
+            if (fault_visible_at_output()) {
+                result.outcome = AtpgOutcome::Detected;
+                result.pattern = make_pattern();
+                return result;
+            }
+            const auto objective = next_objective();
+            if (objective) {
+                const auto [pi, value] = *objective;
+                pi_assign_[pi] = value;
+                stack.emplace_back(pi, false);
+                imply();
+                continue;
+            }
+            // Dead end: backtrack.
+            bool recovered = false;
+            while (!stack.empty()) {
+                auto& [pi, flipped] = stack.back();
+                if (!flipped) {
+                    flipped = true;
+                    pi_assign_[pi] =
+                        pi_assign_[pi] == V3::One ? V3::Zero : V3::One;
+                    imply();
+                    recovered = true;
+                    if (++backtracks > options_.backtrack_limit) {
+                        result.outcome = AtpgOutcome::Aborted;
+                        return result;
+                    }
+                    break;
+                }
+                pi_assign_[pi] = V3::X;
+                stack.pop_back();
+            }
+            if (!recovered && stack.empty()) {
+                // Exhausted the whole decision tree.
+                result.outcome = AtpgOutcome::Untestable;
+                return result;
+            }
+        }
+    }
+
+private:
+    const Netlist& net_;
+    Fault fault_;
+    AtpgOptions options_;
+    std::vector<GateId> order_;
+    std::vector<NetVal> values_;
+    std::vector<V3> pi_assign_;
+
+    /// Full-forward implication from the current PI assignment.
+    void imply() {
+        for (auto& v : values_) v = NetVal{};
+        const auto& pis = net_.inputs();
+        for (std::size_t i = 0; i < pis.size(); ++i) {
+            values_[static_cast<std::size_t>(pis[i])].good = pi_assign_[i];
+            values_[static_cast<std::size_t>(pis[i])].bad = pi_assign_[i];
+        }
+        // Input (source) output-fault forcing.
+        auto force_out = [&](GateId g) {
+            values_[static_cast<std::size_t>(g)].bad =
+                fault_.sa1 ? V3::One : V3::Zero;
+        };
+        if (fault_.pin < 0 &&
+            net_.gate(fault_.gate).type == GateType::Input)
+            force_out(fault_.gate);
+
+        for (GateId id : order_) {
+            const Gate& g = net_.gate(id);
+            if (g.type == GateType::Input) continue;
+            std::vector<V3> gin, bin;
+            gin.reserve(g.fanins.size());
+            bin.reserve(g.fanins.size());
+            for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+                const NetVal& f =
+                    values_[static_cast<std::size_t>(g.fanins[i])];
+                V3 bv = f.bad;
+                if (fault_.gate == id && fault_.pin == static_cast<int>(i))
+                    bv = fault_.sa1 ? V3::One : V3::Zero;
+                gin.push_back(f.good);
+                bin.push_back(bv);
+            }
+            NetVal& out = values_[static_cast<std::size_t>(id)];
+            out.good = eval_gate_v3(g.type, gin);
+            out.bad = eval_gate_v3(g.type, bin);
+            if (fault_.gate == id && fault_.pin < 0)
+                out.bad = fault_.sa1 ? V3::One : V3::Zero;
+        }
+    }
+
+    [[nodiscard]] bool fault_visible_at_output() const {
+        return std::any_of(net_.outputs().begin(), net_.outputs().end(),
+                           [&](GateId o) {
+                               return values_[static_cast<std::size_t>(o)]
+                                   .is_d();
+                           });
+    }
+
+    /// The fault site's *good* value must oppose the stuck value for the
+    /// fault to be excited.
+    [[nodiscard]] V3 site_good_value() const {
+        if (fault_.pin < 0)
+            return values_[static_cast<std::size_t>(fault_.gate)].good;
+        const GateId src = net_.gate(fault_.gate).fanins[static_cast<
+            std::size_t>(fault_.pin)];
+        return values_[static_cast<std::size_t>(src)].good;
+    }
+
+    /// Choose the next (PI, value) decision: excite the fault if needed,
+    /// otherwise advance the D-frontier. Returns nullopt at a dead end.
+    [[nodiscard]] std::optional<std::pair<std::size_t, V3>>
+    next_objective() const {
+        // 1. Excitation.
+        const V3 site = site_good_value();
+        const V3 want = fault_.sa1 ? V3::Zero : V3::One;
+        if (site == V3::X) {
+            GateId target = fault_.gate;
+            if (fault_.pin >= 0)
+                target = net_.gate(fault_.gate)
+                             .fanins[static_cast<std::size_t>(fault_.pin)];
+            return backtrace(target, want);
+        }
+        if (site != want) return std::nullopt; // fault cannot be excited
+
+        // 2. Propagation: pick a D-frontier gate — one with a faulty
+        // difference at an input whose output is not yet fully determined
+        // in at least one machine (good/bad are tracked independently, so
+        // states like good=1/bad=X occur and must stay in the frontier).
+        for (GateId id : order_) {
+            const Gate& g = net_.gate(id);
+            if (g.type == GateType::Input) continue;
+            const NetVal& out = values_[static_cast<std::size_t>(id)];
+            if (out.is_d()) continue; // already propagated through
+            if (out.good != V3::X && out.bad != V3::X) continue;
+            bool has_d_input = false;
+            GateId x_input = -1;
+            for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+                const NetVal& f =
+                    values_[static_cast<std::size_t>(g.fanins[i])];
+                // Effective pin value: an input-pin fault lives on the
+                // *branch*, so the faulted pin reads the stuck value even
+                // though the stem net carries the good one.
+                NetVal eff = f;
+                if (fault_.gate == id && fault_.pin == static_cast<int>(i))
+                    eff.bad = fault_.sa1 ? V3::One : V3::Zero;
+                if (eff.is_d()) has_d_input = true;
+                else if (eff.good == V3::X && x_input < 0)
+                    x_input = g.fanins[i];
+            }
+            if (has_d_input && x_input >= 0) {
+                const V3 noncontrolling = [&] {
+                    switch (g.type) {
+                    case GateType::And:
+                    case GateType::Nand: return V3::One;
+                    case GateType::Or:
+                    case GateType::Nor: return V3::Zero;
+                    default: return V3::One; // XOR/XNOR: any defined value
+                    }
+                }();
+                return backtrace(x_input, noncontrolling);
+            }
+        }
+        return std::nullopt;
+    }
+
+    /// Walk from an internal objective back to an unassigned PI, tracking
+    /// inversion parity (classic PODEM backtrace).
+    [[nodiscard]] std::optional<std::pair<std::size_t, V3>>
+    backtrace(GateId target, V3 value) const {
+        GateId at = target;
+        V3 want = value;
+        for (;;) {
+            const Gate& g = net_.gate(at);
+            if (g.type == GateType::Input) {
+                const auto& pis = net_.inputs();
+                for (std::size_t i = 0; i < pis.size(); ++i)
+                    if (pis[i] == at && pi_assign_[i] == V3::X)
+                        return std::make_pair(i, want);
+                return std::nullopt; // PI already assigned: dead end
+            }
+            // Choose an X-valued fanin; flip the wanted value through
+            // inverting gates.
+            GateId next = -1;
+            for (GateId f : g.fanins) {
+                if (values_[static_cast<std::size_t>(f)].good == V3::X) {
+                    next = f;
+                    break;
+                }
+            }
+            if (next < 0) return std::nullopt;
+            switch (g.type) {
+            case GateType::Not:
+            case GateType::Nand:
+            case GateType::Nor:
+            case GateType::Xnor: want = v3_not(want); break;
+            default: break;
+            }
+            at = next;
+        }
+    }
+
+    [[nodiscard]] Pattern make_pattern() const {
+        std::vector<bool> frame(pi_assign_.size());
+        for (std::size_t i = 0; i < pi_assign_.size(); ++i)
+            frame[i] = pi_assign_[i] == V3::One; // X → 0
+        return Pattern::single(std::move(frame));
+    }
+};
+
+} // namespace
+
+AtpgFaultResult podem(const Netlist& net, const Fault& fault,
+                      const AtpgOptions& options) {
+    return Podem(net, fault, options).run();
+}
+
+AtpgResult run_atpg(const Netlist& net, const std::vector<Fault>& faults,
+                    const AtpgOptions& options) {
+    AtpgResult out;
+    for (const auto& f : faults) {
+        AtpgFaultResult r = podem(net, f, options);
+        switch (r.outcome) {
+        case AtpgOutcome::Detected:
+            ++out.detected;
+            out.patterns.push_back(*r.pattern);
+            break;
+        case AtpgOutcome::Untestable: ++out.untestable; break;
+        case AtpgOutcome::Aborted: ++out.aborted; break;
+        }
+        out.per_fault.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace ctk::gate

@@ -1,0 +1,51 @@
+// Deterministic ATPG: PODEM (path-oriented decision making) for
+// combinational circuits.
+//
+// For each target fault the algorithm decides values only at primary
+// inputs, implies forward in three-valued logic over a good/faulty value
+// pair per net, and backtracks on conflicts. Faults a completed search
+// cannot detect are reported as (combinationally) untestable — redundant
+// logic. Used by E9 to top up random-pattern coverage.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gate/faultsim.hpp"
+
+namespace ctk::gate {
+
+struct AtpgOptions {
+    std::size_t backtrack_limit = 10000; ///< per fault
+};
+
+enum class AtpgOutcome { Detected, Untestable, Aborted };
+
+struct AtpgFaultResult {
+    Fault fault;
+    AtpgOutcome outcome = AtpgOutcome::Aborted;
+    std::optional<Pattern> pattern; ///< set when Detected
+};
+
+struct AtpgResult {
+    std::vector<AtpgFaultResult> per_fault;
+    std::vector<Pattern> patterns; ///< all generated patterns
+    std::size_t detected = 0;
+    std::size_t untestable = 0;
+    std::size_t aborted = 0;
+};
+
+/// Generate one test pattern for `fault`, or prove it untestable.
+/// Throws ctk::SemanticError for sequential netlists (PODEM here is
+/// single-frame; wrap sequential DUTs yourself or use random_tpg).
+[[nodiscard]] AtpgFaultResult podem(const Netlist& net, const Fault& fault,
+                                    const AtpgOptions& options = {});
+
+/// Run PODEM over a fault list (typically the still-undetected remainder
+/// after random TPG). X inputs in generated patterns are filled with 0.
+[[nodiscard]] AtpgResult run_atpg(const Netlist& net,
+                                  const std::vector<Fault>& faults,
+                                  const AtpgOptions& options = {});
+
+} // namespace ctk::gate

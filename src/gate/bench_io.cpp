@@ -1,0 +1,133 @@
+#include "gate/bench_io.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ctk::gate {
+
+namespace {
+
+struct PendingGate {
+    std::string name;
+    std::string type;
+    std::vector<std::string> fanins;
+    std::size_t line = 0;
+};
+
+} // namespace
+
+Netlist parse_bench(std::string_view text, const std::string& origin) {
+    // .bench allows forward references (a DFF's next-state logic usually
+    // appears after the DFF line), so collect declarations first and
+    // resolve names in a second pass with add_gate_unchecked.
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+    std::vector<PendingGate> pending;
+
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t end = text.find('\n', pos);
+        std::string_view raw = text.substr(
+            pos, end == std::string_view::npos ? std::string_view::npos
+                                               : end - pos);
+        ++line_no;
+        if (const std::size_t hash = raw.find('#');
+            hash != std::string_view::npos)
+            raw = raw.substr(0, hash);
+        const std::string_view line = str::trim(raw);
+        auto fail = [&](const std::string& msg) -> void {
+            throw ParseError(SourcePos{origin, line_no, 1}, msg);
+        };
+        auto paren_arg = [&](std::string_view s) -> std::string {
+            const auto open = s.find('(');
+            const auto close = s.rfind(')');
+            if (open == std::string_view::npos ||
+                close == std::string_view::npos || close <= open)
+                fail("malformed declaration");
+            return std::string(str::trim(s.substr(open + 1, close - open - 1)));
+        };
+
+        if (!line.empty()) {
+            const std::string upper = str::upper(line);
+            if (str::starts_with(upper, "INPUT")) {
+                input_names.push_back(paren_arg(line));
+            } else if (str::starts_with(upper, "OUTPUT")) {
+                output_names.push_back(paren_arg(line));
+            } else {
+                const auto eq = line.find('=');
+                if (eq == std::string_view::npos)
+                    fail("expected 'name = TYPE(fanins)'");
+                PendingGate g;
+                g.name = std::string(str::trim(line.substr(0, eq)));
+                g.line = line_no;
+                const std::string_view rhs = str::trim(line.substr(eq + 1));
+                const auto open = rhs.find('(');
+                const auto close = rhs.rfind(')');
+                if (open == std::string_view::npos ||
+                    close == std::string_view::npos || close <= open)
+                    fail("malformed gate expression");
+                g.type = std::string(str::trim(rhs.substr(0, open)));
+                for (const auto& f :
+                     str::split(rhs.substr(open + 1, close - open - 1), ','))
+                    if (!str::trim(f).empty())
+                        g.fanins.emplace_back(str::trim(f));
+                pending.push_back(std::move(g));
+            }
+        }
+        if (end == std::string_view::npos) break;
+        pos = end + 1;
+    }
+
+    Netlist net(origin == "<memory>" ? "bench" : origin);
+    std::map<std::string, GateId> ids;
+    for (const auto& name : input_names) ids[name] = net.add_input(name);
+
+    // Plan ids for every gate (file order), then add with resolved fanins.
+    GateId next_id = static_cast<GateId>(net.size());
+    for (const auto& g : pending) {
+        if (ids.count(g.name))
+            throw ParseError(SourcePos{origin, g.line, 1},
+                             "duplicate net '" + g.name + "'");
+        ids[g.name] = next_id++;
+    }
+    for (const auto& g : pending) {
+        std::vector<GateId> fanins;
+        fanins.reserve(g.fanins.size());
+        for (const auto& f : g.fanins) {
+            const auto it = ids.find(f);
+            if (it == ids.end())
+                throw ParseError(SourcePos{origin, g.line, 1},
+                                 "gate '" + g.name +
+                                     "' references unknown net '" + f + "'");
+            fanins.push_back(it->second);
+        }
+        net.add_gate_unchecked(gate_type_from(g.type), g.name,
+                               std::move(fanins));
+    }
+    for (const auto& out : output_names) net.mark_output(net.require(out));
+    net.validate();
+    return net;
+}
+
+std::string emit_bench(const Netlist& netlist) {
+    std::string out = "# " + netlist.name() + "\n";
+    for (GateId in : netlist.inputs())
+        out += "INPUT(" + netlist.gate(in).name + ")\n";
+    for (GateId o : netlist.outputs())
+        out += "OUTPUT(" + netlist.gate(o).name + ")\n";
+    for (const auto& g : netlist.gates()) {
+        if (g.type == GateType::Input) continue;
+        out += g.name + " = " + std::string(to_string(g.type)) + "(";
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += netlist.gate(g.fanins[i]).name;
+        }
+        out += ")\n";
+    }
+    return out;
+}
+
+} // namespace ctk::gate

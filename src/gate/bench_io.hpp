@@ -1,0 +1,27 @@
+// ISCAS .bench format I/O.
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G8  = DFF(G10)
+//
+// The format used by the ISCAS-85/89 benchmark suites; CTK ships its
+// circuits in this form so external .bench files drop in unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "gate/netlist.hpp"
+
+namespace ctk::gate {
+
+/// Parse .bench text. Throws ctk::ParseError with line positions.
+[[nodiscard]] Netlist parse_bench(std::string_view text,
+                                  const std::string& origin = "<memory>");
+
+/// Emit .bench text; round-trips with parse_bench.
+[[nodiscard]] std::string emit_bench(const Netlist& netlist);
+
+} // namespace ctk::gate

@@ -1,0 +1,245 @@
+#include "gate/circuits.hpp"
+
+#include "gate/bench_io.hpp"
+
+namespace ctk::gate::circuits {
+
+Netlist c17() {
+    // The canonical ISCAS-85 c17 netlist.
+    static const char* kBench =
+        "# c17\n"
+        "INPUT(G1)\n"
+        "INPUT(G2)\n"
+        "INPUT(G3)\n"
+        "INPUT(G6)\n"
+        "INPUT(G7)\n"
+        "OUTPUT(G22)\n"
+        "OUTPUT(G23)\n"
+        "G10 = NAND(G1, G3)\n"
+        "G11 = NAND(G3, G6)\n"
+        "G16 = NAND(G2, G11)\n"
+        "G19 = NAND(G11, G7)\n"
+        "G22 = NAND(G10, G16)\n"
+        "G23 = NAND(G16, G19)\n";
+    Netlist n = parse_bench(kBench);
+    n.set_name("c17");
+    return n;
+}
+
+Netlist ripple_adder(std::size_t bits) {
+    Netlist n("adder" + std::to_string(bits));
+    std::vector<GateId> a(bits), b(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        a[i] = n.add_input("a" + std::to_string(i));
+    for (std::size_t i = 0; i < bits; ++i)
+        b[i] = n.add_input("b" + std::to_string(i));
+    GateId carry = n.add_input("cin");
+    for (std::size_t i = 0; i < bits; ++i) {
+        const std::string s = std::to_string(i);
+        const GateId axb = n.add_gate(GateType::Xor, "axb" + s, {a[i], b[i]});
+        const GateId sum =
+            n.add_gate(GateType::Xor, "s" + s, {axb, carry});
+        const GateId t1 =
+            n.add_gate(GateType::And, "t1_" + s, {axb, carry});
+        const GateId t2 = n.add_gate(GateType::And, "t2_" + s, {a[i], b[i]});
+        carry = n.add_gate(GateType::Or, "c" + s, {t1, t2});
+        n.mark_output(sum);
+    }
+    n.add_gate(GateType::Buf, "cout", {carry});
+    n.mark_output(n.require("cout"));
+    n.validate();
+    return n;
+}
+
+Netlist comparator(std::size_t bits) {
+    Netlist n("cmp" + std::to_string(bits));
+    std::vector<GateId> a(bits), b(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        a[i] = n.add_input("a" + std::to_string(i));
+    for (std::size_t i = 0; i < bits; ++i)
+        b[i] = n.add_input("b" + std::to_string(i));
+
+    // eq = AND of per-bit XNOR; gt built MSB-down:
+    // gt_i = (a_i & ~b_i) | (eq_i & gt_{i-1})
+    std::vector<GateId> bit_eq(bits);
+    for (std::size_t i = 0; i < bits; ++i)
+        bit_eq[i] = n.add_gate(GateType::Xnor, "eq" + std::to_string(i),
+                               {a[i], b[i]});
+    GateId eq_all = bit_eq[0];
+    for (std::size_t i = 1; i < bits; ++i)
+        eq_all = n.add_gate(GateType::And, "eqc" + std::to_string(i),
+                            {eq_all, bit_eq[i]});
+    n.add_gate(GateType::Buf, "eq", {eq_all});
+    n.mark_output(n.require("eq"));
+
+    // LSB→MSB: gt(0..i) = (a_i & ~b_i) | (a_i==b_i & gt(0..i-1)) — a
+    // differing higher bit overrides everything below it.
+    GateId gt = -1;
+    for (std::size_t i = 0; i < bits; ++i) {
+        const std::string s = std::to_string(i);
+        const GateId nb = n.add_gate(GateType::Not, "nb" + s, {b[i]});
+        const GateId here = n.add_gate(GateType::And, "gth" + s, {a[i], nb});
+        if (gt < 0) {
+            gt = here;
+        } else {
+            const GateId chain =
+                n.add_gate(GateType::And, "gtc" + s, {bit_eq[i], gt});
+            gt = n.add_gate(GateType::Or, "gto" + s, {here, chain});
+        }
+    }
+    n.add_gate(GateType::Buf, "gt", {gt});
+    n.mark_output(n.require("gt"));
+    n.validate();
+    return n;
+}
+
+Netlist mux_tree(std::size_t select_bits) {
+    const std::size_t data = std::size_t{1} << select_bits;
+    Netlist n("mux" + std::to_string(data));
+    std::vector<GateId> d(data);
+    for (std::size_t i = 0; i < data; ++i)
+        d[i] = n.add_input("d" + std::to_string(i));
+    std::vector<GateId> sel(select_bits), nsel(select_bits);
+    for (std::size_t i = 0; i < select_bits; ++i)
+        sel[i] = n.add_input("s" + std::to_string(i));
+    for (std::size_t i = 0; i < select_bits; ++i)
+        nsel[i] = n.add_gate(GateType::Not, "ns" + std::to_string(i),
+                             {sel[i]});
+
+    std::vector<GateId> layer = d;
+    for (std::size_t level = 0; level < select_bits; ++level) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+            const std::string s =
+                std::to_string(level) + "_" + std::to_string(i / 2);
+            const GateId lo =
+                n.add_gate(GateType::And, "ml" + s, {layer[i], nsel[level]});
+            const GateId hi =
+                n.add_gate(GateType::And, "mh" + s, {layer[i + 1], sel[level]});
+            next.push_back(n.add_gate(GateType::Or, "mo" + s, {lo, hi}));
+        }
+        layer = std::move(next);
+    }
+    n.add_gate(GateType::Buf, "y", {layer.front()});
+    n.mark_output(n.require("y"));
+    n.validate();
+    return n;
+}
+
+Netlist parity_tree(std::size_t inputs) {
+    Netlist n("parity" + std::to_string(inputs));
+    std::vector<GateId> layer(inputs);
+    for (std::size_t i = 0; i < inputs; ++i)
+        layer[i] = n.add_input("i" + std::to_string(i));
+    std::size_t id = 0;
+    while (layer.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(n.add_gate(GateType::Xor,
+                                      "x" + std::to_string(id++),
+                                      {layer[i], layer[i + 1]}));
+        if (layer.size() % 2) next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    n.add_gate(GateType::Buf, "parity", {layer.front()});
+    n.mark_output(n.require("parity"));
+    n.validate();
+    return n;
+}
+
+Netlist alu(std::size_t slices) {
+    Netlist n("alu" + std::to_string(slices));
+    const GateId op0 = n.add_input("op0");
+    const GateId op1 = n.add_input("op1");
+    const GateId nop0 = n.add_gate(GateType::Not, "nop0", {op0});
+    const GateId nop1 = n.add_gate(GateType::Not, "nop1", {op1});
+    // opcode decode: 00 and, 01 or, 10 xor, 11 add
+    const GateId is_and = n.add_gate(GateType::And, "is_and", {nop1, nop0});
+    const GateId is_or = n.add_gate(GateType::And, "is_or", {nop1, op0});
+    const GateId is_xor = n.add_gate(GateType::And, "is_xor", {op1, nop0});
+    const GateId is_add = n.add_gate(GateType::And, "is_add", {op1, op0});
+
+    GateId carry = n.add_input("cin");
+    for (std::size_t i = 0; i < slices; ++i) {
+        const std::string s = std::to_string(i);
+        const GateId a = n.add_input("a" + s);
+        const GateId b = n.add_input("b" + s);
+        const GateId f_and = n.add_gate(GateType::And, "fa" + s, {a, b});
+        const GateId f_or = n.add_gate(GateType::Or, "fo" + s, {a, b});
+        const GateId f_xor = n.add_gate(GateType::Xor, "fx" + s, {a, b});
+        const GateId f_sum =
+            n.add_gate(GateType::Xor, "fs" + s, {f_xor, carry});
+        const GateId c1 = n.add_gate(GateType::And, "c1" + s, {f_xor, carry});
+        carry = n.add_gate(GateType::Or, "co" + s, {c1, f_and});
+
+        const GateId m0 = n.add_gate(GateType::And, "m0" + s, {f_and, is_and});
+        const GateId m1 = n.add_gate(GateType::And, "m1" + s, {f_or, is_or});
+        const GateId m2 = n.add_gate(GateType::And, "m2" + s, {f_xor, is_xor});
+        const GateId m3 = n.add_gate(GateType::And, "m3" + s, {f_sum, is_add});
+        const GateId o01 = n.add_gate(GateType::Or, "o01" + s, {m0, m1});
+        const GateId o23 = n.add_gate(GateType::Or, "o23" + s, {m2, m3});
+        const GateId y = n.add_gate(GateType::Or, "y" + s, {o01, o23});
+        n.mark_output(y);
+    }
+    n.add_gate(GateType::Buf, "cout", {carry});
+    n.mark_output(n.require("cout"));
+    n.validate();
+    return n;
+}
+
+Netlist counter(std::size_t bits) {
+    Netlist n("ctr" + std::to_string(bits));
+    const GateId en = n.add_input("en");
+
+    // Plan DFF ids: create DFFs referencing next-state nets built later.
+    std::vector<GateId> q(bits);
+    std::vector<std::string> next_names(bits);
+    // First create DFFs with forward references: we must know the ids of
+    // the next-state gates ahead of time, so build next-state logic first
+    // using placeholder names is impossible — instead use
+    // add_gate_unchecked with planned ids.
+    // Layout: [en, q0..qn-1, logic..., d0..dn-1] where DFF i's fanin is
+    // the "d<i>" gate added later.
+    // Easier: create DFFs now with fanin id guessed after logic; we
+    // cannot guess, so create DFFs pointing forward using the invariant
+    // that we append d-gates *last* in a known order.
+    // => First pass: create DFFs with dummy fanin = en, then rebuild is
+    // ugly. Use add_gate_unchecked with computed future ids instead.
+    //
+    // Future layout after DFFs: per bit i we add:
+    //   carry chain: bits-1 AND gates total (for i>=1)
+    //   toggle: XOR per bit
+    // We'll simply compute ids by counting additions in a dry run below.
+    // To stay simple and robust, do it concretely: ids are sequential, so
+    // record the number of gates added so far and append in a fixed order.
+    const GateId first_dff = static_cast<GateId>(n.size());
+    // d-gates will be the *last* `bits` gates; total gates after
+    // construction = first_dff + bits (DFFs) + (bits-1) (carry ANDs)
+    // + bits (XOR toggles) ... plus buffers for outputs. Compute:
+    const GateId d_base = static_cast<GateId>(
+        static_cast<std::size_t>(first_dff) + bits /*DFFs*/ +
+        (bits > 1 ? bits - 1 : 0) /*carry*/);
+    for (std::size_t i = 0; i < bits; ++i)
+        q[i] = n.add_gate_unchecked(
+            GateType::Dff, "q" + std::to_string(i),
+            {static_cast<GateId>(d_base + static_cast<GateId>(i))});
+
+    // carry chain: t0 = en, t_i = t_{i-1} & q_{i-1}
+    std::vector<GateId> t(bits);
+    t[0] = en;
+    for (std::size_t i = 1; i < bits; ++i)
+        t[i] = n.add_gate(GateType::And, "t" + std::to_string(i),
+                          {t[i - 1], q[i - 1]});
+    // toggles: d_i = q_i ^ t_i   (these are exactly the planned d-gates)
+    for (std::size_t i = 0; i < bits; ++i) {
+        const GateId d = n.add_gate(GateType::Xor, "d" + std::to_string(i),
+                                    {q[i], t[i]});
+        if (d != d_base + static_cast<GateId>(i))
+            throw SemanticError("counter construction id plan violated");
+    }
+    for (std::size_t i = 0; i < bits; ++i) n.mark_output(q[i]);
+    n.validate();
+    return n;
+}
+
+} // namespace ctk::gate::circuits

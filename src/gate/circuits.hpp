@@ -1,0 +1,40 @@
+// Built-in benchmark circuits.
+//
+// c17 is the smallest ISCAS-85 circuit, shipped verbatim in .bench form.
+// The generators build ISCAS-like synthetic circuits of scalable size so
+// benches can sweep circuit complexity without external files (the public
+// ISCAS distributions are not vendored; generated structures exercise the
+// same code paths — see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+
+#include "gate/netlist.hpp"
+
+namespace ctk::gate::circuits {
+
+/// ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates.
+[[nodiscard]] Netlist c17();
+
+/// n-bit ripple-carry adder: inputs a0..an-1, b0..bn-1, cin; outputs
+/// s0..sn-1, cout. 5n XOR/AND/OR gates.
+[[nodiscard]] Netlist ripple_adder(std::size_t bits);
+
+/// n-bit equality/greater comparator: outputs eq, gt.
+[[nodiscard]] Netlist comparator(std::size_t bits);
+
+/// 2^sel-to-1 multiplexer tree: data inputs d0.., select inputs s0..
+[[nodiscard]] Netlist mux_tree(std::size_t select_bits);
+
+/// n-input odd-parity tree (XOR reduction): output "parity".
+[[nodiscard]] Netlist parity_tree(std::size_t inputs);
+
+/// 1-bit ALU slice (and/or/xor/add with carry, 2-bit opcode), the classic
+/// textbook structure; `slices` chains them into an n-bit ALU.
+[[nodiscard]] Netlist alu(std::size_t slices);
+
+/// n-bit synchronous binary counter with enable (DFF-based, sequential):
+/// inputs en; outputs q0..qn-1.
+[[nodiscard]] Netlist counter(std::size_t bits);
+
+} // namespace ctk::gate::circuits

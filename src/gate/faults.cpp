@@ -1,0 +1,68 @@
+#include "gate/faults.hpp"
+
+#include <algorithm>
+
+namespace ctk::gate {
+
+std::string to_string(const Netlist& net, const Fault& f) {
+    const Gate& g = net.gate(f.gate);
+    std::string s = g.name;
+    s += f.pin < 0 ? "/out" : "/in" + std::to_string(f.pin);
+    s += f.sa1 ? " sa1" : " sa0";
+    return s;
+}
+
+std::vector<Fault> full_fault_list(const Netlist& net) {
+    std::vector<Fault> out;
+    for (std::size_t g = 0; g < net.size(); ++g) {
+        const GateId id = static_cast<GateId>(g);
+        for (bool sa1 : {false, true}) out.push_back(Fault{id, -1, sa1});
+        const auto& gate = net.gate(id);
+        for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin)
+            for (bool sa1 : {false, true})
+                out.push_back(Fault{id, static_cast<int>(pin), sa1});
+    }
+    return out;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& net) {
+    // Keep output faults on every gate. Keep an input-pin fault only when
+    // it is NOT equivalent to this gate's output fault. (Dominance
+    // collapsing is deliberately not applied — equivalence keeps coverage
+    // numbers exact.)
+    const auto fanout = net.fanout_counts();
+    std::vector<Fault> out;
+    for (std::size_t g = 0; g < net.size(); ++g) {
+        const GateId id = static_cast<GateId>(g);
+        const Gate& gate = net.gate(id);
+        for (bool sa1 : {false, true}) out.push_back(Fault{id, -1, sa1});
+        for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+            for (bool sa1 : {false, true}) {
+                bool equivalent = false;
+                switch (gate.type) {
+                case GateType::And: equivalent = !sa1; break;  // sa0 ≡ out sa0
+                case GateType::Nand: equivalent = !sa1; break; // sa0 ≡ out sa1
+                case GateType::Or: equivalent = sa1; break;    // sa1 ≡ out sa1
+                case GateType::Nor: equivalent = sa1; break;   // sa1 ≡ out sa0
+                case GateType::Buf:
+                case GateType::Not:
+                case GateType::Dff: equivalent = true; break;  // 1:1 through
+                default: break;
+                }
+                // The equivalence additionally requires the fanin net to be
+                // fanout-free w.r.t. this gate: with fanout >1 the branch
+                // fault is distinct from the stem fault but still collapses
+                // *into this gate's output fault*, which is what the rules
+                // above express — so fanout does not matter here. What does
+                // matter: for multi-input gates only ONE input fault class
+                // collapses; the non-controlling one survives.
+                if (!equivalent)
+                    out.push_back(Fault{id, static_cast<int>(pin), sa1});
+            }
+        }
+    }
+    (void)fanout;
+    return out;
+}
+
+} // namespace ctk::gate

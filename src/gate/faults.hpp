@@ -1,0 +1,39 @@
+// Single stuck-at fault model.
+//
+// Fault sites: every gate output and every gate input pin (input-pin
+// faults are distinct from the driving net's output fault in the presence
+// of fanout). Classic structural equivalence collapsing reduces the
+// universe before simulation:
+//   AND : input sa0 ≡ output sa0        NAND: input sa0 ≡ output sa1
+//   OR  : input sa1 ≡ output sa1        NOR : input sa1 ≡ output sa0
+//   NOT : input sa0 ≡ output sa1, input sa1 ≡ output sa0
+//   BUF/DFF: input saV ≡ output saV
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace ctk::gate {
+
+struct Fault {
+    GateId gate = 0;
+    int pin = -1;  ///< -1 = output fault, else fanin pin index
+    bool sa1 = false; ///< false = stuck-at-0, true = stuck-at-1
+
+    friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable site, e.g. "G10/out sa0" or "G10/in1 sa1".
+[[nodiscard]] std::string to_string(const Netlist& net, const Fault& f);
+
+/// The full (uncollapsed) fault universe: two faults per gate output
+/// (excluding unobservable sources without fanout is NOT done here) and
+/// two per gate input pin.
+[[nodiscard]] std::vector<Fault> full_fault_list(const Netlist& net);
+
+/// Structurally collapsed fault list (representatives only).
+[[nodiscard]] std::vector<Fault> collapse_faults(const Netlist& net);
+
+} // namespace ctk::gate

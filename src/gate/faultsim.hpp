@@ -1,0 +1,63 @@
+// Stuck-at fault simulation: serial (one pattern at a time) and
+// parallel-pattern (64 lanes per pass) with fault dropping.
+//
+// Combinational circuits are simulated single-frame; sequential circuits
+// frame-by-frame from the all-zero reset state, with the fault active in
+// every frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/faults.hpp"
+#include "gate/logicsim.hpp"
+
+namespace ctk::gate {
+
+/// One test pattern: values per primary input (per frame for sequential
+/// tests; combinational tests have exactly one frame).
+struct Pattern {
+    std::vector<std::vector<bool>> frames; ///< frames[f][pi]
+
+    [[nodiscard]] static Pattern single(std::vector<bool> pi_values) {
+        Pattern p;
+        p.frames.push_back(std::move(pi_values));
+        return p;
+    }
+};
+
+struct FaultSimResult {
+    std::size_t total_faults = 0;
+    std::size_t detected = 0;
+    std::vector<bool> detected_mask;       ///< per fault
+    std::vector<std::size_t> detected_by;  ///< pattern index per fault (or npos)
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] double coverage() const {
+        return total_faults == 0
+                   ? 1.0
+                   : static_cast<double>(detected) /
+                         static_cast<double>(total_faults);
+    }
+};
+
+/// Evaluate all net values with `fault` injected (scalar, one frame).
+/// `state` = DFF outputs. Exposed for ATPG and tests.
+[[nodiscard]] std::vector<PackedWord>
+eval_with_fault(const LogicSim& sim, const std::vector<PackedWord>& inputs,
+                const std::vector<PackedWord>& state, const Fault& fault);
+
+/// Serial fault simulation: for each still-undetected fault, simulate each
+/// pattern scalar-wise and compare outputs against the golden response.
+[[nodiscard]] FaultSimResult
+fault_simulate_serial(const Netlist& net, const std::vector<Fault>& faults,
+                      const std::vector<Pattern>& patterns);
+
+/// Parallel-pattern fault simulation: identical detection results, but
+/// packs 64 patterns per pass (combinational) or 64 lanes of the same
+/// frame sequence (sequential fallback = serial frames, parallel lanes).
+[[nodiscard]] FaultSimResult
+fault_simulate_parallel(const Netlist& net, const std::vector<Fault>& faults,
+                        const std::vector<Pattern>& patterns);
+
+} // namespace ctk::gate

@@ -1,0 +1,85 @@
+#include "gate/gate_dut.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::gate {
+
+GateDut::GateDut(Netlist netlist) : GateDut(std::move(netlist), Config{}) {}
+
+GateDut::GateDut(Netlist netlist, Config config)
+    : net_(std::move(netlist)), sim_(net_),
+      clock_period_s_(config.clock_period_s),
+      fault_(std::move(config.fault)),
+      state_(net_.dffs().size(), 0) {
+    evaluate();
+}
+
+std::string GateDut::name() const { return "gate:" + net_.name(); }
+
+std::vector<bool> GateDut::input_vector() const {
+    std::vector<bool> in;
+    in.reserve(net_.inputs().size());
+    for (GateId pi : net_.inputs()) {
+        const double v = voltage_in(net_.gate(pi).name);
+        in.push_back(v > supply() / 2.0);
+    }
+    return in;
+}
+
+void GateDut::evaluate() {
+    const auto in = input_vector();
+    std::vector<PackedWord> in_words(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in_words[i] = in[i] ? ~PackedWord{0} : 0;
+    if (fault_)
+        net_values_ = eval_with_fault(sim_, in_words, state_, *fault_);
+    else
+        net_values_ = sim_.eval(in_words, state_);
+}
+
+void GateDut::reset() {
+    Dut::reset();
+    since_clock_s_ = 0.0;
+    state_.assign(net_.dffs().size(), 0);
+    trace_ = Pattern{};
+    last_inputs_.clear();
+    evaluate();
+}
+
+void GateDut::step(double dt) {
+    // Combinational response is immediate; sequential state advances one
+    // clock per period.
+    evaluate();
+    const auto in = input_vector();
+    if (net_.is_sequential()) {
+        since_clock_s_ += dt;
+        while (since_clock_s_ >= clock_period_s_) {
+            since_clock_s_ -= clock_period_s_;
+            trace_.frames.push_back(in);
+            // Clock edge: latch next state (respecting an injected
+            // DFF-input fault via eval_with_fault's net values).
+            std::vector<PackedWord> next;
+            next.reserve(net_.dffs().size());
+            for (GateId d : net_.dffs()) {
+                PackedWord v = net_values_[static_cast<std::size_t>(
+                    net_.gate(d).fanins[0])];
+                if (fault_ && fault_->gate == d && fault_->pin == 0)
+                    v = fault_->sa1 ? ~PackedWord{0} : PackedWord{0};
+                next.push_back(v);
+            }
+            state_ = std::move(next);
+            evaluate();
+        }
+    } else if (in != last_inputs_) {
+        trace_.frames.push_back(in);
+        last_inputs_ = in;
+    }
+}
+
+double GateDut::pin_voltage(std::string_view pin) const {
+    const GateId id = net_.find(pin);
+    if (id < 0) return 0.0;
+    return (net_values_[static_cast<std::size_t>(id)] & 1u) ? supply() : 0.0;
+}
+
+} // namespace ctk::gate

@@ -1,0 +1,60 @@
+// GateDut: a gate-level netlist exposed through the component-test DUT
+// interface.
+//
+// This is the bridge for experiment E9: a component test written in the
+// paper's sheets can drive a gate-level DUT (put_u on input pins, get_u on
+// output pins), and the same stimulus sequence is replayed as test
+// patterns for stuck-at fault grading.
+//
+// Mapping: voltage > ubatt/2 on an input pin = logic 1; output pins are
+// driven to ubatt (logic 1) or 0 V. Sequential netlists clock once per
+// `clock_period_s` of simulated time.
+#pragma once
+
+#include <memory>
+
+#include "dut/dut.hpp"
+#include "gate/faultsim.hpp"
+#include "gate/logicsim.hpp"
+
+namespace ctk::gate {
+
+class GateDut : public dut::Dut {
+public:
+    struct Config {
+        double clock_period_s = 0.01; ///< sequential clock
+        /// Inject this fault into the simulated netlist (nullptr = golden).
+        std::unique_ptr<Fault> fault;
+    };
+
+    explicit GateDut(Netlist netlist);
+    GateDut(Netlist netlist, Config config);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    /// The stimulus trace recorded so far: one Pattern frame per clock
+    /// tick (sequential) or per distinct input vector (combinational) —
+    /// ready for fault grading with fault_simulate_parallel.
+    [[nodiscard]] const Pattern& recorded_pattern() const { return trace_; }
+
+    [[nodiscard]] const Netlist& netlist() const { return net_; }
+
+private:
+    void evaluate();
+    [[nodiscard]] std::vector<bool> input_vector() const;
+
+    Netlist net_;
+    LogicSim sim_;
+    double clock_period_s_;
+    std::unique_ptr<Fault> fault_;
+    double since_clock_s_ = 0.0;
+    std::vector<PackedWord> state_;      ///< DFF values (lane 0 only)
+    std::vector<PackedWord> net_values_; ///< last evaluation
+    Pattern trace_;
+    std::vector<bool> last_inputs_;
+};
+
+} // namespace ctk::gate

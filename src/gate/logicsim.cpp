@@ -1,0 +1,164 @@
+#include "gate/logicsim.hpp"
+
+namespace ctk::gate {
+
+LogicSim::LogicSim(const Netlist& netlist)
+    : net_(&netlist), order_(netlist.topo_order()) {}
+
+std::vector<PackedWord>
+LogicSim::eval(const std::vector<PackedWord>& inputs,
+               const std::vector<PackedWord>& state) const {
+    const auto& gates = net_->gates();
+    std::vector<PackedWord> value(gates.size(), 0);
+
+    const auto& pis = net_->inputs();
+    if (inputs.size() != pis.size())
+        throw SemanticError("LogicSim: expected " +
+                            std::to_string(pis.size()) + " input words, got " +
+                            std::to_string(inputs.size()));
+    for (std::size_t i = 0; i < pis.size(); ++i)
+        value[static_cast<std::size_t>(pis[i])] = inputs[i];
+
+    const auto& dffs = net_->dffs();
+    if (!dffs.empty()) {
+        if (state.size() != dffs.size())
+            throw SemanticError("LogicSim: expected " +
+                                std::to_string(dffs.size()) +
+                                " state words, got " +
+                                std::to_string(state.size()));
+        for (std::size_t i = 0; i < dffs.size(); ++i)
+            value[static_cast<std::size_t>(dffs[i])] = state[i];
+    }
+
+    for (GateId id : order_) {
+        const Gate& g = gates[static_cast<std::size_t>(id)];
+        auto in = [&](std::size_t i) {
+            return value[static_cast<std::size_t>(g.fanins[i])];
+        };
+        PackedWord v = 0;
+        switch (g.type) {
+        case GateType::Input:
+        case GateType::Dff:
+            continue; // sources, already set
+        case GateType::Const0: v = 0; break;
+        case GateType::Const1: v = ~PackedWord{0}; break;
+        case GateType::Buf: v = in(0); break;
+        case GateType::Not: v = ~in(0); break;
+        case GateType::And:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v &= in(i);
+            break;
+        case GateType::Nand:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v &= in(i);
+            v = ~v;
+            break;
+        case GateType::Or:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v |= in(i);
+            break;
+        case GateType::Nor:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v |= in(i);
+            v = ~v;
+            break;
+        case GateType::Xor:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v ^= in(i);
+            break;
+        case GateType::Xnor:
+            v = in(0);
+            for (std::size_t i = 1; i < g.fanins.size(); ++i) v ^= in(i);
+            v = ~v;
+            break;
+        }
+        value[static_cast<std::size_t>(id)] = v;
+    }
+    return value;
+}
+
+std::vector<PackedWord>
+LogicSim::next_state(const std::vector<PackedWord>& net_values) const {
+    std::vector<PackedWord> next;
+    next.reserve(net_->dffs().size());
+    for (GateId d : net_->dffs())
+        next.push_back(
+            net_values[static_cast<std::size_t>(net_->gate(d).fanins[0])]);
+    return next;
+}
+
+std::vector<PackedWord>
+LogicSim::outputs_of(const std::vector<PackedWord>& net_values) const {
+    std::vector<PackedWord> out;
+    out.reserve(net_->outputs().size());
+    for (GateId o : net_->outputs())
+        out.push_back(net_values[static_cast<std::size_t>(o)]);
+    return out;
+}
+
+std::vector<bool> LogicSim::eval_scalar(const std::vector<bool>& inputs,
+                                        const std::vector<bool>& state) const {
+    std::vector<PackedWord> in_words(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        in_words[i] = inputs[i] ? ~PackedWord{0} : 0;
+    std::vector<PackedWord> st_words(state.size());
+    for (std::size_t i = 0; i < state.size(); ++i)
+        st_words[i] = state[i] ? ~PackedWord{0} : 0;
+    const auto values = eval(in_words, st_words);
+    std::vector<bool> out;
+    out.reserve(net_->outputs().size());
+    for (GateId o : net_->outputs())
+        out.push_back((values[static_cast<std::size_t>(o)] & 1u) != 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Three-valued logic
+// ---------------------------------------------------------------------------
+
+V3 v3_not(V3 a) {
+    if (a == V3::X) return V3::X;
+    return a == V3::Zero ? V3::One : V3::Zero;
+}
+
+V3 v3_and(V3 a, V3 b) {
+    if (a == V3::Zero || b == V3::Zero) return V3::Zero;
+    if (a == V3::One && b == V3::One) return V3::One;
+    return V3::X;
+}
+
+V3 v3_or(V3 a, V3 b) {
+    if (a == V3::One || b == V3::One) return V3::One;
+    if (a == V3::Zero && b == V3::Zero) return V3::Zero;
+    return V3::X;
+}
+
+V3 v3_xor(V3 a, V3 b) {
+    if (a == V3::X || b == V3::X) return V3::X;
+    return a == b ? V3::Zero : V3::One;
+}
+
+V3 eval_gate_v3(GateType type, const std::vector<V3>& fanins) {
+    auto fold = [&](V3 (*op)(V3, V3)) {
+        V3 v = fanins.at(0);
+        for (std::size_t i = 1; i < fanins.size(); ++i) v = op(v, fanins[i]);
+        return v;
+    };
+    switch (type) {
+    case GateType::Const0: return V3::Zero;
+    case GateType::Const1: return V3::One;
+    case GateType::Buf:
+    case GateType::Dff: return fanins.at(0);
+    case GateType::Not: return v3_not(fanins.at(0));
+    case GateType::And: return fold(v3_and);
+    case GateType::Nand: return v3_not(fold(v3_and));
+    case GateType::Or: return fold(v3_or);
+    case GateType::Nor: return v3_not(fold(v3_or));
+    case GateType::Xor: return fold(v3_xor);
+    case GateType::Xnor: return v3_not(fold(v3_xor));
+    case GateType::Input: break;
+    }
+    throw SemanticError("eval_gate_v3: source gate has no function");
+}
+
+} // namespace ctk::gate

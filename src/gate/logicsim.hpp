@@ -1,0 +1,66 @@
+// Logic simulation: 64-way bit-parallel, scalar, and three-valued.
+//
+// The 64-way simulator packs 64 patterns into one uint64_t per net and is
+// the workhorse of parallel-pattern fault simulation (E9/E10). The
+// three-valued (0/1/X) simulator serves PODEM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace ctk::gate {
+
+/// A packed batch of up to 64 input patterns: word w of `bits[i]` is the
+/// value of input i across the 64 patterns.
+using PackedWord = std::uint64_t;
+
+struct PackedPatterns {
+    std::vector<PackedWord> inputs; ///< one word per primary input
+    int count = 64;                 ///< how many of the 64 lanes are valid
+};
+
+class LogicSim {
+public:
+    explicit LogicSim(const Netlist& netlist);
+
+    [[nodiscard]] const Netlist& netlist() const { return *net_; }
+
+    /// Evaluate one packed batch combinationally. `state` is the packed
+    /// DFF output values (size = dffs().size()); returns all net values
+    /// (size = netlist.size()).
+    [[nodiscard]] std::vector<PackedWord>
+    eval(const std::vector<PackedWord>& inputs,
+         const std::vector<PackedWord>& state = {}) const;
+
+    /// Next-state values after eval (one word per DFF, clock edge applied).
+    [[nodiscard]] std::vector<PackedWord>
+    next_state(const std::vector<PackedWord>& net_values) const;
+
+    /// Output values extracted from a net-value vector.
+    [[nodiscard]] std::vector<PackedWord>
+    outputs_of(const std::vector<PackedWord>& net_values) const;
+
+    /// Scalar convenience: single pattern, bool values.
+    [[nodiscard]] std::vector<bool>
+    eval_scalar(const std::vector<bool>& inputs,
+                const std::vector<bool>& state = {}) const;
+
+private:
+    const Netlist* net_;
+    std::vector<GateId> order_;
+};
+
+/// Three-valued logic for ATPG: 0, 1, X.
+enum class V3 : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+[[nodiscard]] V3 v3_not(V3 a);
+[[nodiscard]] V3 v3_and(V3 a, V3 b);
+[[nodiscard]] V3 v3_or(V3 a, V3 b);
+[[nodiscard]] V3 v3_xor(V3 a, V3 b);
+
+/// Evaluate one gate in three-valued logic over its fanin values.
+[[nodiscard]] V3 eval_gate_v3(GateType type, const std::vector<V3>& fanins);
+
+} // namespace ctk::gate

@@ -1,0 +1,166 @@
+#include "gate/netlist.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ctk::gate {
+
+std::string_view to_string(GateType t) {
+    switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Dff: return "DFF";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    }
+    return "?";
+}
+
+GateType gate_type_from(std::string_view s) {
+    const std::string u = str::upper(s);
+    if (u == "BUF" || u == "BUFF") return GateType::Buf;
+    if (u == "NOT" || u == "INV") return GateType::Not;
+    if (u == "AND") return GateType::And;
+    if (u == "NAND") return GateType::Nand;
+    if (u == "OR") return GateType::Or;
+    if (u == "NOR") return GateType::Nor;
+    if (u == "XOR") return GateType::Xor;
+    if (u == "XNOR") return GateType::Xnor;
+    if (u == "DFF") return GateType::Dff;
+    if (u == "CONST0") return GateType::Const0;
+    if (u == "CONST1") return GateType::Const1;
+    throw SemanticError("unknown gate type '" + std::string(s) + "'");
+}
+
+GateId Netlist::add_input(const std::string& name) {
+    if (by_name_.count(name))
+        throw SemanticError("duplicate net name '" + name + "'");
+    const GateId id = static_cast<GateId>(gates_.size());
+    gates_.push_back(Gate{GateType::Input, name, {}});
+    inputs_.push_back(id);
+    by_name_[name] = id;
+    return id;
+}
+
+GateId Netlist::add_gate(GateType type, const std::string& name,
+                         std::vector<GateId> fanins) {
+    for (GateId f : fanins)
+        if (f < 0 || static_cast<std::size_t>(f) >= gates_.size())
+            throw SemanticError("gate '" + name + "': fanin id out of range");
+    return add_gate_unchecked(type, name, std::move(fanins));
+}
+
+GateId Netlist::add_gate_unchecked(GateType type, const std::string& name,
+                                   std::vector<GateId> fanins) {
+    if (type == GateType::Input)
+        throw SemanticError("use add_input for primary inputs");
+    if (by_name_.count(name))
+        throw SemanticError("duplicate net name '" + name + "'");
+    const GateId id = static_cast<GateId>(gates_.size());
+    gates_.push_back(Gate{type, name, std::move(fanins)});
+    if (type == GateType::Dff) dffs_.push_back(id);
+    by_name_[name] = id;
+    return id;
+}
+
+void Netlist::mark_output(GateId id) {
+    if (id < 0 || static_cast<std::size_t>(id) >= gates_.size())
+        throw SemanticError("output id out of range");
+    if (std::find(outputs_.begin(), outputs_.end(), id) == outputs_.end())
+        outputs_.push_back(id);
+}
+
+GateId Netlist::find(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? GateId{-1} : it->second;
+}
+
+GateId Netlist::require(std::string_view name) const {
+    const GateId id = find(name);
+    if (id < 0)
+        throw SemanticError("netlist '" + name_ + "' has no net '" +
+                            std::string(name) + "'");
+    return id;
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+    std::vector<int> counts(gates_.size(), 0);
+    for (const auto& g : gates_)
+        for (GateId f : g.fanins) ++counts[static_cast<std::size_t>(f)];
+    return counts;
+}
+
+std::vector<GateId> Netlist::topo_order() const {
+    // Kahn's algorithm; DFF outputs are sources (their fanin edge belongs
+    // to the *next* frame), so DFFs carry no incoming edge here.
+    std::vector<int> pending(gates_.size(), 0);
+    std::vector<std::vector<GateId>> fanouts(gates_.size());
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        if (gates_[g].type == GateType::Dff) continue;
+        for (GateId f : gates_[g].fanins) {
+            ++pending[g];
+            fanouts[static_cast<std::size_t>(f)].push_back(
+                static_cast<GateId>(g));
+        }
+    }
+    std::vector<GateId> order;
+    order.reserve(gates_.size());
+    std::vector<GateId> ready;
+    for (std::size_t g = 0; g < gates_.size(); ++g)
+        if (pending[g] == 0) ready.push_back(static_cast<GateId>(g));
+    while (!ready.empty()) {
+        const GateId g = ready.back();
+        ready.pop_back();
+        order.push_back(g);
+        for (GateId out : fanouts[static_cast<std::size_t>(g)])
+            if (--pending[static_cast<std::size_t>(out)] == 0)
+                ready.push_back(out);
+    }
+    if (order.size() != gates_.size())
+        throw SemanticError("netlist '" + name_ +
+                            "' contains a combinational cycle");
+    return order;
+}
+
+void Netlist::validate() const {
+    if (outputs_.empty())
+        throw SemanticError("netlist '" + name_ + "' has no outputs");
+    for (const auto& g : gates_)
+        for (GateId f : g.fanins)
+            if (f < 0 || static_cast<std::size_t>(f) >= gates_.size())
+                throw SemanticError("gate '" + g.name +
+                                    "': fanin id out of range");
+    for (const auto& g : gates_) {
+        switch (g.type) {
+        case GateType::Input:
+        case GateType::Const0:
+        case GateType::Const1:
+            if (!g.fanins.empty())
+                throw SemanticError("source gate '" + g.name +
+                                    "' must have no fanins");
+            break;
+        case GateType::Buf:
+        case GateType::Not:
+        case GateType::Dff:
+            if (g.fanins.size() != 1)
+                throw SemanticError("gate '" + g.name +
+                                    "' must have exactly one fanin");
+            break;
+        default:
+            if (g.fanins.size() < 2)
+                throw SemanticError("gate '" + g.name +
+                                    "' needs at least two fanins");
+        }
+    }
+    (void)topo_order(); // throws on cycles
+}
+
+} // namespace ctk::gate

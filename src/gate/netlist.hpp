@@ -1,0 +1,108 @@
+// Gate-level netlists (ISCAS-style).
+//
+// This substrate exists to *quantify* component-test quality (experiment
+// E9): a component test suite is scored by the stuck-at fault coverage it
+// achieves on a gate-level DUT, the standard metric the paper's domain
+// uses when the real ECUs are proprietary.
+//
+// A netlist is a DAG of gates; INPUT pseudo-gates are primary inputs,
+// DFFs hold sequential state (their outputs act as pseudo-inputs within a
+// frame, their single fanin is the next-state function).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ctk::gate {
+
+enum class GateType : std::uint8_t {
+    Input,
+    Buf,
+    Not,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Dff,
+    Const0,
+    Const1,
+};
+
+[[nodiscard]] std::string_view to_string(GateType t);
+/// Parse a .bench gate keyword (case-insensitive); throws SemanticError.
+[[nodiscard]] GateType gate_type_from(std::string_view s);
+
+/// Gate ids are dense indices into the netlist.
+using GateId = std::int32_t;
+
+struct Gate {
+    GateType type = GateType::Input;
+    std::string name;
+    std::vector<GateId> fanins;
+};
+
+class Netlist {
+public:
+    Netlist() = default;
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    /// Add a primary input; returns its id.
+    GateId add_input(const std::string& name);
+    /// Add a gate; fanins must already exist. Returns its id.
+    GateId add_gate(GateType type, const std::string& name,
+                    std::vector<GateId> fanins);
+    /// Add a gate whose fanin ids may point *forward* (needed when loading
+    /// files with DFF feedback loops). Call validate() once construction
+    /// is complete — it performs the deferred range checks.
+    GateId add_gate_unchecked(GateType type, const std::string& name,
+                              std::vector<GateId> fanins);
+    /// Mark an existing gate as a primary output.
+    void mark_output(GateId id);
+
+    [[nodiscard]] std::size_t size() const { return gates_.size(); }
+    [[nodiscard]] const Gate& gate(GateId id) const { return gates_.at(id); }
+    [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+    [[nodiscard]] const std::vector<GateId>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::vector<GateId>& outputs() const {
+        return outputs_;
+    }
+    /// All DFF ids, in insertion order (the state vector layout).
+    [[nodiscard]] const std::vector<GateId>& dffs() const { return dffs_; }
+    [[nodiscard]] bool is_sequential() const { return !dffs_.empty(); }
+
+    [[nodiscard]] GateId find(std::string_view name) const; ///< -1 if absent
+    [[nodiscard]] GateId require(std::string_view name) const;
+
+    /// Number of fanout branches of each gate.
+    [[nodiscard]] std::vector<int> fanout_counts() const;
+
+    /// Topological evaluation order (inputs/DFF-outputs first). DFF next-
+    /// state inputs do not create cycles: a DFF's output is a source.
+    /// Throws SemanticError on a combinational cycle.
+    [[nodiscard]] std::vector<GateId> topo_order() const;
+
+    /// Structural checks: every fanin exists, arities are sane (NOT/BUF/
+    /// DFF have exactly one fanin, AND/OR/... at least two), at least one
+    /// output. Throws SemanticError on violation.
+    void validate() const;
+
+private:
+    std::string name_;
+    std::vector<Gate> gates_;
+    std::vector<GateId> inputs_;
+    std::vector<GateId> outputs_;
+    std::vector<GateId> dffs_;
+    std::map<std::string, GateId> by_name_;
+};
+
+} // namespace ctk::gate

@@ -1,0 +1,68 @@
+#include "gate/tpg.hpp"
+
+namespace ctk::gate {
+
+RandomTpgResult random_tpg(const Netlist& net,
+                           const std::vector<Fault>& faults,
+                           const RandomTpgOptions& options) {
+    Rng rng(options.seed);
+    const std::size_t n_pi = net.inputs().size();
+
+    RandomTpgResult result;
+    result.faultsim.total_faults = faults.size();
+    result.faultsim.detected_mask.assign(faults.size(), false);
+    result.faultsim.detected_by.assign(faults.size(), FaultSimResult::npos);
+
+    std::vector<Fault> active = faults;
+    std::vector<std::size_t> active_idx(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) active_idx[i] = i;
+
+    while (result.patterns.size() < options.max_patterns &&
+           result.faultsim.coverage() < options.target_coverage &&
+           !active.empty()) {
+        // One batch of up to 64 fresh patterns.
+        const std::size_t batch =
+            std::min<std::size_t>(64, options.max_patterns -
+                                          result.patterns.size());
+        std::vector<Pattern> fresh;
+        for (std::size_t p = 0; p < batch; ++p) {
+            Pattern pat;
+            for (std::size_t f = 0; f < options.frames_per_pattern; ++f) {
+                std::vector<bool> frame(n_pi);
+                for (std::size_t i = 0; i < n_pi; ++i)
+                    frame[i] = rng.next_bool();
+                pat.frames.push_back(std::move(frame));
+            }
+            fresh.push_back(std::move(pat));
+        }
+
+        const auto batch_result =
+            fault_simulate_parallel(net, active, fresh);
+
+        // Fold batch detections into the global result (indices shift as
+        // detected faults drop out of `active`).
+        std::vector<Fault> still;
+        std::vector<std::size_t> still_idx;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if (batch_result.detected_mask[i]) {
+                const std::size_t global = active_idx[i];
+                result.faultsim.detected_mask[global] = true;
+                result.faultsim.detected_by[global] =
+                    result.patterns.size() + batch_result.detected_by[i];
+                ++result.faultsim.detected;
+            } else {
+                still.push_back(active[i]);
+                still_idx.push_back(active_idx[i]);
+            }
+        }
+        active = std::move(still);
+        active_idx = std::move(still_idx);
+
+        for (auto& p : fresh) result.patterns.push_back(std::move(p));
+        result.curve.push_back(
+            CoveragePoint{result.patterns.size(), result.faultsim.coverage()});
+    }
+    return result;
+}
+
+} // namespace ctk::gate

@@ -1,0 +1,37 @@
+// Test pattern generation: random patterns with fault dropping, and the
+// coverage-vs-pattern-count curve behind experiment E9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gate/faultsim.hpp"
+
+namespace ctk::gate {
+
+struct RandomTpgOptions {
+    std::size_t max_patterns = 1024;
+    std::size_t frames_per_pattern = 1; ///< >1 exercises sequential DUTs
+    double target_coverage = 1.0;       ///< stop early when reached
+    std::uint64_t seed = 1;
+};
+
+struct CoveragePoint {
+    std::size_t patterns = 0;
+    double coverage = 0.0;
+};
+
+struct RandomTpgResult {
+    std::vector<Pattern> patterns;   ///< the generated test set
+    FaultSimResult faultsim;         ///< detection state after the last pattern
+    std::vector<CoveragePoint> curve;///< coverage after each batch of 64
+};
+
+/// Generate uniform random patterns, fault-simulate with dropping, stop at
+/// target coverage or the pattern budget.
+[[nodiscard]] RandomTpgResult random_tpg(const Netlist& net,
+                                         const std::vector<Fault>& faults,
+                                         const RandomTpgOptions& options = {});
+
+} // namespace ctk::gate

@@ -1,0 +1,119 @@
+#include "gate/unroll.hpp"
+
+#include "gate/atpg.hpp"
+
+namespace ctk::gate {
+
+Unrolled unroll(const Netlist& net, std::size_t frames) {
+    if (!net.is_sequential())
+        throw SemanticError("unroll: netlist '" + net.name() +
+                            "' is combinational — use it directly");
+    if (frames == 0) throw SemanticError("unroll: frames must be >= 1");
+
+    Unrolled u;
+    u.frames = frames;
+    u.original_inputs = net.inputs().size();
+    u.original_size = net.size();
+    u.net.set_name(net.name() + "_x" + std::to_string(frames));
+    u.copy_of.resize(frames * net.size());
+
+    // Each original gate produces exactly one copy per frame, added in
+    // (frame, original-id) order, so copy ids are f*N + g by construction;
+    // add_gate_unchecked tolerates intra-frame forward references.
+    for (std::size_t f = 0; f < frames; ++f) {
+        for (std::size_t g = 0; g < net.size(); ++g) {
+            const GateId og = static_cast<GateId>(g);
+            const Gate& gate = net.gate(og);
+            const std::string name =
+                gate.name + "@" + std::to_string(f);
+            GateId id = -1;
+            switch (gate.type) {
+            case GateType::Input:
+                id = u.net.add_input(name);
+                break;
+            case GateType::Dff:
+                if (f == 0) {
+                    // Reset state: all zero.
+                    id = u.net.add_gate(GateType::Const0, name, {});
+                } else {
+                    id = u.net.add_gate_unchecked(
+                        GateType::Buf, name,
+                        {u.copy(f - 1, gate.fanins[0])});
+                }
+                break;
+            default: {
+                std::vector<GateId> fanins;
+                fanins.reserve(gate.fanins.size());
+                for (GateId fi : gate.fanins)
+                    fanins.push_back(static_cast<GateId>(
+                        f * net.size() + static_cast<std::size_t>(fi)));
+                id = u.net.add_gate_unchecked(gate.type, name,
+                                              std::move(fanins));
+                break;
+            }
+            }
+            u.copy_of[f * net.size() + g] = id;
+            if (id != static_cast<GateId>(f * net.size() + g))
+                throw SemanticError("unroll: id plan violated");
+        }
+    }
+    for (std::size_t f = 0; f < frames; ++f)
+        for (GateId po : net.outputs()) u.net.mark_output(u.copy(f, po));
+    u.net.validate();
+    return u;
+}
+
+std::vector<Fault> map_fault(const Unrolled& u, const Fault& fault) {
+    std::vector<Fault> out;
+    out.reserve(u.frames);
+    for (std::size_t f = 0; f < u.frames; ++f)
+        out.push_back(Fault{u.copy(f, fault.gate), fault.pin, fault.sa1});
+    return out;
+}
+
+Pattern fold_pattern(const Unrolled& u, const Pattern& unrolled_pattern) {
+    if (unrolled_pattern.frames.size() != 1 ||
+        unrolled_pattern.frames[0].size() != u.frames * u.original_inputs)
+        throw SemanticError("fold_pattern: shape mismatch");
+    Pattern out;
+    const auto& flat = unrolled_pattern.frames[0];
+    for (std::size_t f = 0; f < u.frames; ++f)
+        out.frames.emplace_back(
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                               f * u.original_inputs),
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                               (f + 1) * u.original_inputs));
+    return out;
+}
+
+SeqAtpgResult seq_atpg(const Netlist& net, const std::vector<Fault>& faults,
+                       std::size_t frames, const AtpgOptions& options) {
+    // Approximation (sound, verification-backed): PODEM targets one frame
+    // copy at a time — the classic TFE formulation injects the fault in
+    // every frame simultaneously, which a single-fault PODEM cannot.
+    // Every candidate test is therefore *verified* by sequential fault
+    // simulation before it counts.
+    const Unrolled u = unroll(net, frames);
+    SeqAtpgResult result;
+    for (const auto& fault : faults) {
+        const auto copies = map_fault(u, fault);
+        bool found = false;
+        // Latest frame first: maximum state development before the fault
+        // must propagate to an observable output.
+        for (std::size_t k = copies.size(); k-- > 0 && !found;) {
+            const AtpgFaultResult r = podem(u.net, copies[k], options);
+            if (r.outcome != AtpgOutcome::Detected) continue;
+            const Pattern seq = fold_pattern(u, *r.pattern);
+            const auto check = fault_simulate_serial(net, {fault}, {seq});
+            if (check.detected == 1) {
+                result.patterns.push_back(seq);
+                ++result.detected;
+                found = true;
+            }
+        }
+        if (!found) ++result.not_found;
+    }
+    return result;
+}
+
+} // namespace ctk::gate

@@ -1,0 +1,71 @@
+// Time-frame expansion: unroll a sequential netlist into a combinational
+// one so combinational engines (PODEM, exhaustive analysis) apply to
+// sequential DUTs.
+//
+// Frame f gets a copy of every gate, named "<name>@f". DFF outputs in
+// frame 0 are tied to the reset state (CONST0 — CTK DUTs power up
+// zeroed); in frame f>0 they are buffers of the previous frame's
+// next-state nets. Primary inputs become per-frame inputs "<pi>@f";
+// primary outputs are observable in every frame.
+//
+// A stuck-at fault in the sequential circuit corresponds to the *set* of
+// its per-frame copies all being active at once; map_fault() returns the
+// fault on a chosen frame copy and ATPG-generated unrolled patterns are
+// folded back into frame sequences with fold_pattern().
+#pragma once
+
+#include "gate/atpg.hpp"
+#include "gate/faults.hpp"
+#include "gate/faultsim.hpp"
+
+namespace ctk::gate {
+
+struct Unrolled {
+    Netlist net;                 ///< combinational, frames × original
+    std::size_t frames = 0;
+    std::size_t original_inputs = 0;
+    /// Gate id of copy of original gate g in frame f:
+    /// copy_of[f * original_size + g].
+    std::vector<GateId> copy_of;
+    std::size_t original_size = 0;
+
+    [[nodiscard]] GateId copy(std::size_t frame, GateId original) const {
+        return copy_of[frame * original_size +
+                       static_cast<std::size_t>(original)];
+    }
+};
+
+/// Unroll `net` over `frames` time frames from the all-zero reset state.
+/// Throws ctk::SemanticError when net is combinational (use it directly)
+/// or frames == 0.
+[[nodiscard]] Unrolled unroll(const Netlist& net, std::size_t frames);
+
+/// The unrolled counterpart of a sequential fault, active in ALL frames.
+/// Returns one Fault per frame copy (inject the full set — but for PODEM,
+/// which takes a single fault, use the copies one at a time: detecting
+/// any single-frame copy underapproximates and stays sound).
+[[nodiscard]] std::vector<Fault> map_fault(const Unrolled& u,
+                                           const Fault& fault);
+
+/// Fold a pattern for the unrolled netlist (one frame of
+/// frames × original_inputs values) back into a multi-frame sequential
+/// pattern for the original circuit.
+[[nodiscard]] Pattern fold_pattern(const Unrolled& u,
+                                   const Pattern& unrolled_pattern);
+
+/// Sequential ATPG via time-frame expansion: for each fault, try PODEM on
+/// its frame copies (latest frame first — more state freedom) and return
+/// a sequential test when found. Coverage is verified by sequential fault
+/// simulation of the folded patterns.
+struct SeqAtpgResult {
+    std::vector<Pattern> patterns;
+    std::size_t detected = 0;
+    std::size_t not_found = 0; ///< untestable within the unroll depth
+};
+
+[[nodiscard]] SeqAtpgResult seq_atpg(const Netlist& net,
+                                     const std::vector<Fault>& faults,
+                                     std::size_t frames,
+                                     const AtpgOptions& options = {});
+
+} // namespace ctk::gate

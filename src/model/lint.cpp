@@ -1,0 +1,123 @@
+#include "model/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+namespace {
+
+struct Usage {
+    std::set<std::string> used_statuses;            // lower-cased
+    std::map<std::string, std::set<std::string>> statuses_per_signal;
+    std::set<std::string> stimulated_signals;       // lower-cased
+    std::set<std::string> checked_signals;          // lower-cased
+};
+
+Usage collect(const TestSuite& suite, const MethodRegistry& registry) {
+    Usage u;
+    auto note = [&](const std::string& signal, const std::string& status) {
+        const std::string sig = str::lower(signal);
+        u.used_statuses.insert(str::lower(status));
+        u.statuses_per_signal[sig].insert(str::lower(status));
+        const StatusDef* def = suite.statuses.find(status);
+        if (def && registry.require(def->method).is_put())
+            u.stimulated_signals.insert(sig);
+        else
+            u.checked_signals.insert(sig);
+    };
+    for (const auto& sig : suite.signals.signals())
+        if (!sig.initial_status.empty()) note(sig.name, sig.initial_status);
+    for (const auto& test : suite.tests)
+        for (const auto& step : test.steps)
+            for (const auto& a : step.assignments) note(a.signal, a.status);
+    return u;
+}
+
+} // namespace
+
+std::vector<LintWarning> lint(const TestSuite& suite,
+                              const MethodRegistry& registry) {
+    std::vector<LintWarning> out;
+    const Usage usage = collect(suite, registry);
+
+    // W1: unused statuses.
+    for (const auto& st : suite.statuses.statuses())
+        if (!usage.used_statuses.count(str::lower(st.name)))
+            out.push_back({"W1", st.name,
+                           "status is defined in the status table but never "
+                           "used by any test or initial condition"});
+
+    // W2 / W5: signals never observed / never driven.
+    for (const auto& sig : suite.signals.signals()) {
+        const std::string key = str::lower(sig.name);
+        if (sig.direction == SignalDirection::Output &&
+            !usage.checked_signals.count(key))
+            out.push_back({"W2", sig.name,
+                           "output signal is never checked by any test"});
+        if (sig.direction == SignalDirection::Input &&
+            !usage.stimulated_signals.count(key))
+            out.push_back({"W5", sig.name,
+                           "input signal is never stimulated (neither "
+                           "initial condition nor test step)"});
+    }
+
+    // W3: steps without expectations.
+    for (const auto& test : suite.tests) {
+        for (const auto& step : test.steps) {
+            bool has_check = false;
+            bool has_stimulus = false;
+            for (const auto& a : step.assignments) {
+                const StatusDef* def = suite.statuses.find(a.status);
+                if (!def) continue;
+                if (registry.require(def->method).is_get())
+                    has_check = true;
+                else
+                    has_stimulus = true;
+            }
+            if (has_stimulus && !has_check)
+                out.push_back(
+                    {"W3", test.name + "/step " + std::to_string(step.index),
+                     "step applies stimuli but checks no output — its "
+                     "effect is only verified if a later step looks"});
+        }
+    }
+
+    // W4: zero noise margin on get statuses whose window touches 0 or the
+    // reference rail exactly (min == 0 with nom == 0, or max == nom == 1
+    // in var units): a real instrument's offset/noise crosses the bound.
+    for (const auto& st : suite.statuses.statuses()) {
+        const MethodInfo* m = registry.find(st.method);
+        if (!m || !m->is_get() || !usage.used_statuses.count(
+                                      str::lower(st.name)))
+            continue;
+        if (st.min && st.nom && *st.min == *st.nom)
+            out.push_back({"W4", st.name,
+                           "lower limit equals the nominal value — no "
+                           "margin for instrument offset/noise (see the "
+                           "noisy-DVM finding in EXPERIMENTS.md)"});
+    }
+
+    // W6: inputs that only ever take one value.
+    for (const auto& sig : suite.signals.signals()) {
+        if (sig.direction != SignalDirection::Input) continue;
+        auto it = usage.statuses_per_signal.find(str::lower(sig.name));
+        if (it != usage.statuses_per_signal.end() && it->second.size() == 1)
+            out.push_back({"W6", sig.name,
+                           "input only ever receives status '" +
+                               *it->second.begin() +
+                               "' — its influence is never exercised"});
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const LintWarning& a, const LintWarning& b) {
+                  return std::tie(a.code, a.subject) <
+                         std::tie(b.code, b.subject);
+              });
+    return out;
+}
+
+} // namespace ctk::model

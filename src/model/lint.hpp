@@ -1,0 +1,41 @@
+// Suite linter: non-fatal quality diagnostics for test definitions.
+//
+// validate() rejects *invalid* suites; lint() flags *legal but risky*
+// ones — exactly the class of issue the reproduction found in the paper's
+// own sheets (E8 coverage holes, the Lo-floor robustness problem). An
+// OEM gate-keeping supplier sheets would run both.
+//
+// Checks:
+//   W1 unused-status        status defined but never referenced
+//   W2 signal-never-checked output signal declared but no test reads it
+//   W3 step-no-expectation  a step applies stimuli but checks nothing
+//   W4 zero-noise-margin    a get status whose limit window touches the
+//                           stimulus rail exactly (no instrument margin)
+//   W5 input-never-driven   input signal never stimulated (init or test)
+//   W6 single-value-input   input only ever receives one status — its
+//                           influence on the DUT is never exercised
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/test.hpp"
+
+namespace ctk::model {
+
+struct LintWarning {
+    std::string code;    ///< "W1".."W6"
+    std::string subject; ///< status/signal/step the warning is about
+    std::string message;
+
+    [[nodiscard]] std::string to_string() const {
+        return code + " " + subject + ": " + message;
+    }
+};
+
+/// Run all lint checks; returns warnings in a stable order (by code, then
+/// subject). The suite must already pass validate().
+[[nodiscard]] std::vector<LintWarning> lint(const TestSuite& suite,
+                                            const MethodRegistry& registry);
+
+} // namespace ctk::model

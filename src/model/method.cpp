@@ -1,0 +1,51 @@
+#include "model/method.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+MethodRegistry MethodRegistry::builtin() {
+    MethodRegistry r;
+    // Stimuli
+    r.add({"put_r", MethodKind::Put, "r", AttrType::Real, "Ohm"});
+    r.add({"put_u", MethodKind::Put, "u", AttrType::Real, "V"});
+    r.add({"put_i", MethodKind::Put, "i", AttrType::Real, "A"});
+    r.add({"put_can", MethodKind::Put, "data", AttrType::Bits, ""});
+    r.add({"put_pwm", MethodKind::Put, "duty", AttrType::Real, "%"});
+    r.add({"put_f", MethodKind::Put, "f", AttrType::Real, "Hz"});
+    // Measurements
+    r.add({"get_u", MethodKind::Get, "u", AttrType::Real, "V"});
+    r.add({"get_r", MethodKind::Get, "r", AttrType::Real, "Ohm"});
+    r.add({"get_i", MethodKind::Get, "i", AttrType::Real, "A"});
+    r.add({"get_can", MethodKind::Get, "data", AttrType::Bits, ""});
+    r.add({"get_f", MethodKind::Get, "f", AttrType::Real, "Hz"});
+    return r;
+}
+
+void MethodRegistry::add(MethodInfo info) {
+    info.name = str::lower(info.name);
+    for (auto& m : methods_) {
+        if (m.name == info.name) {
+            m = std::move(info);
+            return;
+        }
+    }
+    methods_.push_back(std::move(info));
+}
+
+const MethodInfo* MethodRegistry::find(std::string_view name) const {
+    const std::string key = str::lower(name);
+    for (const auto& m : methods_)
+        if (m.name == key) return &m;
+    return nullptr;
+}
+
+const MethodInfo& MethodRegistry::require(std::string_view name) const {
+    const MethodInfo* m = find(name);
+    if (!m)
+        throw SemanticError("unknown method '" + std::string(name) + "'");
+    return *m;
+}
+
+} // namespace ctk::model

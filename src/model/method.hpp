@@ -1,0 +1,69 @@
+// Method registry.
+//
+// A *method* is the paper's unit of stand capability: "put_r" (source a
+// resistance), "get_u" (measure a voltage), "put_can" (send a CAN frame)...
+// Statuses reference methods; resources advertise which methods they
+// support; the allocator matches the two. The registry is extensible so a
+// stand vendor can add methods without touching the framework.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctk::model {
+
+/// Whether a method drives the DUT or observes it.
+enum class MethodKind {
+    Put, ///< stimulus: applied to DUT inputs
+    Get, ///< expectation: measured at DUT outputs
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MethodKind k) {
+    return k == MethodKind::Put ? "put" : "get";
+}
+
+/// How the method's main attribute is valued.
+enum class AttrType {
+    Real,   ///< physical quantity (volts, ohms, hertz, ...)
+    Bits,   ///< bit-string payload such as "0001B" (CAN data)
+};
+
+struct MethodInfo {
+    std::string name;       ///< e.g. "get_u"
+    MethodKind kind = MethodKind::Put;
+    std::string attribute;  ///< main attribute, e.g. "u"
+    AttrType attr_type = AttrType::Real;
+    std::string unit;       ///< "V", "Ohm", "Hz", "s", "" for bits
+
+    [[nodiscard]] bool is_put() const { return kind == MethodKind::Put; }
+    [[nodiscard]] bool is_get() const { return kind == MethodKind::Get; }
+};
+
+/// Registry of known methods. Lookup is case-insensitive.
+class MethodRegistry {
+public:
+    /// Registry preloaded with the built-in methods:
+    /// put_r, put_u, put_can, put_pwm, put_f, get_u, get_r, get_i,
+    /// get_can, get_f.
+    [[nodiscard]] static MethodRegistry builtin();
+
+    /// Empty registry (for tests of the extension path).
+    [[nodiscard]] static MethodRegistry empty() { return MethodRegistry{}; }
+
+    /// Register a method; replaces an existing method of the same name.
+    void add(MethodInfo info);
+
+    [[nodiscard]] const MethodInfo* find(std::string_view name) const;
+
+    /// Throws ctk::SemanticError when the method is unknown.
+    [[nodiscard]] const MethodInfo& require(std::string_view name) const;
+
+    [[nodiscard]] const std::vector<MethodInfo>& all() const { return methods_; }
+
+private:
+    std::vector<MethodInfo> methods_;
+};
+
+} // namespace ctk::model

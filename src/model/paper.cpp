@@ -1,0 +1,132 @@
+#include "model/paper.hpp"
+
+#include <limits>
+
+namespace ctk::model::paper {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+StatusDef make(std::string name, std::string method, std::string attr,
+               std::string var, std::optional<double> nom,
+               std::optional<double> min, std::optional<double> max,
+               std::string data = {}) {
+    StatusDef d;
+    d.name = std::move(name);
+    d.method = std::move(method);
+    d.attribute = std::move(attr);
+    d.var = std::move(var);
+    d.nom = nom;
+    d.min = min;
+    d.max = max;
+    d.data = std::move(data);
+    return d;
+}
+} // namespace
+
+StatusTable status_table() {
+    StatusTable t;
+    t.add(make("Off", "put_can", "data", "", {}, {}, {}, "0001B"));
+    t.add(make("Open", "put_r", "r", "", 0.0, 0.0, 1.0));
+    t.add(make("Closed", "put_r", "r", "", kInf, 5000.0, kInf));
+    t.add(make("0", "put_can", "data", "", {}, {}, {}, "0B"));
+    t.add(make("1", "put_can", "data", "", {}, {}, {}, "1B"));
+    t.add(make("Lo", "get_u", "u", "UBATT", 0.0, 0.0, 0.3));
+    t.add(make("Ho", "get_u", "u", "UBATT", 1.0, 0.7, 1.1));
+    return t;
+}
+
+SignalSheet signal_sheet() {
+    SignalSheet s;
+    s.add({"IGN_ST", SignalDirection::Input, SignalKind::Bus, {}, "Off"});
+    s.add({"DS_FL", SignalDirection::Input, SignalKind::Pin, {}, "Closed"});
+    s.add({"DS_FR", SignalDirection::Input, SignalKind::Pin, {}, "Closed"});
+    s.add({"DS_RL", SignalDirection::Input, SignalKind::Pin, {}, "Closed"});
+    s.add({"DS_RR", SignalDirection::Input, SignalKind::Pin, {}, "Closed"});
+    s.add({"NIGHT", SignalDirection::Input, SignalKind::Bus, {}, "0"});
+    s.add({"INT_ILL", SignalDirection::Output, SignalKind::Pin,
+           {"INT_ILL_F", "INT_ILL_R"}, ""});
+    return s;
+}
+
+TestCase int_ill_test() {
+    TestCase t;
+    t.name = "int_ill";
+    auto step = [&](int idx, double dt,
+                    std::vector<Assignment> assigns,
+                    std::string remark) {
+        TestStep s;
+        s.index = idx;
+        s.dt = dt;
+        s.assignments = std::move(assigns);
+        s.remark = std::move(remark);
+        t.steps.push_back(std::move(s));
+    };
+    // Transcription of the paper's test definition sheet (Table 1).
+    step(0, 0.5,
+         {{"IGN_ST", "Off"}, {"DS_FL", "Closed"}, {"DS_FR", "Closed"},
+          {"NIGHT", "0"}, {"INT_ILL", "Lo"}},
+         "day: no interior");
+    step(1, 0.5, {{"DS_FL", "Open"}, {"INT_ILL", "Lo"}}, "illumination, if");
+    step(2, 0.5, {{"DS_FL", "Closed"}, {"DS_FR", "Open"}, {"INT_ILL", "Lo"}},
+         "doors are open");
+    step(3, 0.5, {{"DS_FR", "Closed"}, {"INT_ILL", "Lo"}}, "");
+    step(4, 0.5, {{"DS_FL", "Open"}, {"NIGHT", "1"}, {"INT_ILL", "Ho"}},
+         "night: interior");
+    step(5, 0.5, {{"DS_FL", "Closed"}, {"INT_ILL", "Lo"}},
+         "illumination on,");
+    step(6, 0.5, {{"DS_FL", "Open"}, {"INT_ILL", "Ho"}},
+         "if doors are open");
+    step(7, 280.0, {{"INT_ILL", "Ho"}}, "");
+    step(8, 25.0, {{"INT_ILL", "Lo"}}, "illumination");
+    step(9, 0.5, {{"DS_FL", "Closed"}, {"INT_ILL", "Lo"}},
+         "off after 300s");
+    return t;
+}
+
+TestSuite suite() {
+    TestSuite s;
+    s.name = "paper_int_ill";
+    s.signals = signal_sheet();
+    s.statuses = status_table();
+    s.tests.push_back(int_ill_test());
+    s.validate(MethodRegistry::builtin());
+    return s;
+}
+
+std::string workbook_text() {
+    // Verbatim German-locale export: ';' separators, decimal commas.
+    return
+        "#sheet signals\n"
+        "signal;direction;kind;pins;init\n"
+        "IGN_ST;in;bus;;Off\n"
+        "DS_FL;in;pin;;Closed\n"
+        "DS_FR;in;pin;;Closed\n"
+        "DS_RL;in;pin;;Closed\n"
+        "DS_RR;in;pin;;Closed\n"
+        "NIGHT;in;bus;;0\n"
+        "INT_ILL;out;pin;INT_ILL_F INT_ILL_R;\n"
+        "#sheet status\n"
+        "status;method;attribut;var (x);nom;min;max;D 1;D 2;D 3\n"
+        "Off;put_can;data;;0001B;;;;;\n"
+        "Open;put_r;r;;0;0;1;;;\n"
+        "Closed;put_r;r;;INF;5000;INF;;;\n"
+        "0;put_can;data;;0B;;;;;\n"
+        "1;put_can;data;;1B;;;;;\n"
+        "Lo;get_u;u;UBATT;0;0;0,3;;;\n"
+        "Ho;get_u;u;UBATT;1;0,7;1,1;;;\n"
+        "#sheet int_ill\n"
+        "test step;dt;IGN_ST;DS_FL;DS_FR;NIGHT;INT_ILL;remarks\n"
+        "0;0,5;Off;Closed;Closed;0;Lo;day: no interior\n"
+        "1;0,5;;Open;;;Lo;\"illumination, if\"\n"
+        "2;0,5;;Closed;Open;;Lo;doors are open\n"
+        "3;0,5;;;Closed;;Lo;\n"
+        "4;0,5;;Open;;1;Ho;night: interior\n"
+        "5;0,5;;Closed;;;Lo;\"illumination on,\"\n"
+        "6;0,5;;Open;;;Ho;if doors are open\n"
+        "7;280;;;;;Ho;\n"
+        "8;25;;;;;Lo;illumination\n"
+        "9;0,5;;Closed;;;Lo;off after 300s\n";
+}
+
+} // namespace ctk::model::paper

@@ -1,0 +1,47 @@
+// The paper's worked example (interior illumination), transcribed once and
+// reused by tests, benches and examples.
+//
+// Reconstruction notes (the published table text is OCR-damaged; see
+// DESIGN.md §1 "Known defects"):
+//  * `Open`  ⇒ put_r, nom 0 Ω  (accept 0…1 Ω):   door switch contact closes
+//    to ground when the door is open;
+//  * `Closed`⇒ put_r, nom INF  (accept ≥ 5 kΩ):  open contact;
+//  * `Lo`    ⇒ get_u, var UBATT, limits 0…0.3 × UBATT;
+//  * `Ho`    ⇒ get_u, var UBATT, limits 0.7…1.1 × UBATT (paper §3 prose);
+//  * `Off`   ⇒ put_can, payload 0001B (ignition off frame);
+//  * `0`/`1` ⇒ put_can, payloads 0B / 1B (light-sensor NIGHT bit).
+#pragma once
+
+#include <string>
+
+#include "model/sheets.hpp"
+#include "model/test.hpp"
+
+namespace ctk::model::paper {
+
+/// Table 2 — the status table.
+[[nodiscard]] StatusTable status_table();
+
+/// The signal definition sheet: IGN_ST, DS_FL/FR/RL/RR, NIGHT inputs and
+/// the INT_ILL output (pins INT_ILL_F / INT_ILL_R).
+[[nodiscard]] SignalSheet signal_sheet();
+
+/// Table 1 — the 10-step interior illumination test.
+[[nodiscard]] TestCase int_ill_test();
+
+/// The complete suite (signals + statuses + the INT_ILL test), validated
+/// against the builtin method registry.
+[[nodiscard]] TestSuite suite();
+
+/// The same suite as multi-sheet CSV text, decimal commas and all — the
+/// way it would leave a German-locale Excel. Parsing this with
+/// Workbook::parse_multi + suite_from_workbook reproduces suite().
+[[nodiscard]] std::string workbook_text();
+
+/// The illumination timeout the example encodes (steps 7–9): 300 s.
+inline constexpr double kIlluminationTimeoutS = 300.0;
+
+/// Nominal supply voltage used by the examples' stands.
+inline constexpr double kUbatt = 12.0;
+
+} // namespace ctk::model::paper

@@ -1,0 +1,273 @@
+#include "model/sheets.hpp"
+
+#include <array>
+
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+namespace {
+
+using tabular::Sheet;
+
+/// Find a column by any of several header aliases; npos when absent.
+std::size_t col_of(const Sheet& sheet, std::size_t header_row,
+                   std::initializer_list<std::string_view> aliases) {
+    for (auto alias : aliases) {
+        const std::size_t c = sheet.find_col(header_row, alias);
+        if (c != Sheet::npos) return c;
+    }
+    return Sheet::npos;
+}
+
+std::optional<double> cell_number(const Sheet& sheet, std::size_t r,
+                                  std::size_t c, const std::string& what) {
+    if (c == Sheet::npos) return std::nullopt;
+    const auto& cell = sheet.at(r, c);
+    if (cell.empty()) return std::nullopt;
+    auto num = cell.number();
+    if (!num)
+        throw SemanticError("sheet '" + sheet.name() + "' row " +
+                            std::to_string(r + 1) + ": " + what +
+                            " is not a number: '" + std::string(cell.text()) +
+                            "'");
+    return num;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Signal sheet
+// ---------------------------------------------------------------------------
+
+SignalSheet signal_sheet_from_sheet(const Sheet& sheet) {
+    const std::size_t hdr = 0;
+    const std::size_t c_name = col_of(sheet, hdr, {"signal", "name"});
+    if (c_name == Sheet::npos)
+        throw SemanticError("sheet '" + sheet.name() +
+                            "' has no 'signal' header column");
+    const std::size_t c_dir = col_of(sheet, hdr, {"direction", "dir"});
+    const std::size_t c_kind = col_of(sheet, hdr, {"kind", "type"});
+    const std::size_t c_pins = col_of(sheet, hdr, {"pins", "pin"});
+    const std::size_t c_init = col_of(sheet, hdr, {"init", "initial", "start"});
+
+    SignalSheet out;
+    for (std::size_t r = hdr + 1; r < sheet.row_count(); ++r) {
+        const auto name = sheet.at(r, c_name).text();
+        if (name.empty()) continue;
+        Signal s;
+        s.name = std::string(name);
+
+        const auto dir = sheet.at(r, c_dir).text();
+        if (str::iequals(dir, "in") || str::iequals(dir, "input") ||
+            dir.empty())
+            s.direction = SignalDirection::Input;
+        else if (str::iequals(dir, "out") || str::iequals(dir, "output"))
+            s.direction = SignalDirection::Output;
+        else
+            throw SemanticError("signal '" + s.name + "': bad direction '" +
+                                std::string(dir) + "'");
+
+        const auto kind = sheet.at(r, c_kind).text();
+        if (str::iequals(kind, "pin") || kind.empty())
+            s.kind = SignalKind::Pin;
+        else if (str::iequals(kind, "bus") || str::iequals(kind, "can"))
+            s.kind = SignalKind::Bus;
+        else
+            throw SemanticError("signal '" + s.name + "': bad kind '" +
+                                std::string(kind) + "'");
+
+        if (c_pins != Sheet::npos) {
+            for (const auto& pin :
+                 str::split(sheet.at(r, c_pins).text(), ' '))
+                if (!str::trim(pin).empty())
+                    s.pins.emplace_back(str::trim(pin));
+        }
+        if (c_init != Sheet::npos)
+            s.initial_status = std::string(sheet.at(r, c_init).text());
+        out.add(std::move(s));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Status sheet
+// ---------------------------------------------------------------------------
+
+StatusTable status_table_from_sheet(const Sheet& sheet) {
+    const std::size_t hdr = 0;
+    const std::size_t c_status = col_of(sheet, hdr, {"status"});
+    const std::size_t c_method = col_of(sheet, hdr, {"method"});
+    if (c_status == Sheet::npos || c_method == Sheet::npos)
+        throw SemanticError("sheet '" + sheet.name() +
+                            "' lacks 'status'/'method' header columns");
+    const std::size_t c_attr = col_of(sheet, hdr, {"attribut", "attribute"});
+    const std::size_t c_var = col_of(sheet, hdr, {"var (x)", "var(x)", "var"});
+    const std::size_t c_nom = col_of(sheet, hdr, {"nom", "nominal"});
+    const std::size_t c_min = col_of(sheet, hdr, {"min"});
+    const std::size_t c_max = col_of(sheet, hdr, {"max"});
+    const std::size_t c_d1 = col_of(sheet, hdr, {"d 1", "d1"});
+    const std::size_t c_d2 = col_of(sheet, hdr, {"d 2", "d2"});
+    const std::size_t c_d3 = col_of(sheet, hdr, {"d 3", "d3"});
+
+    StatusTable out;
+    for (std::size_t r = hdr + 1; r < sheet.row_count(); ++r) {
+        const auto name = sheet.at(r, c_status).text();
+        if (name.empty()) continue;
+        StatusDef def;
+        def.name = std::string(name);
+        def.method = str::lower(sheet.at(r, c_method).text());
+        if (c_attr != Sheet::npos)
+            def.attribute = std::string(sheet.at(r, c_attr).text());
+        if (c_var != Sheet::npos)
+            def.var = std::string(sheet.at(r, c_var).text());
+
+        // A bit payload ("0001B") may sit in the nom column; detect it
+        // before the numeric conversion (which would reject it).
+        if (c_nom != Sheet::npos) {
+            const auto& nom_cell = sheet.at(r, c_nom);
+            if (!nom_cell.empty() && !nom_cell.number() &&
+                parse_bits(nom_cell.text()))
+                def.data = std::string(nom_cell.text());
+            else
+                def.nom = cell_number(sheet, r, c_nom, "nom");
+        }
+        def.min = cell_number(sheet, r, c_min, "min");
+        def.max = cell_number(sheet, r, c_max, "max");
+        def.d1 = cell_number(sheet, r, c_d1, "D1");
+        def.d2 = cell_number(sheet, r, c_d2, "D2");
+        def.d3 = cell_number(sheet, r, c_d3, "D3");
+        out.add(std::move(def));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Test sheet
+// ---------------------------------------------------------------------------
+
+TestCase test_case_from_sheet(const Sheet& sheet) {
+    const std::size_t hdr = 0;
+    const std::size_t c_step =
+        col_of(sheet, hdr, {"test step", "step", "teststep"});
+    if (c_step == Sheet::npos)
+        throw SemanticError("sheet '" + sheet.name() +
+                            "' has no 'test step' header column");
+    // The Δt header survives OCR in several spellings.
+    const std::size_t c_dt =
+        col_of(sheet, hdr, {"dt", "Δt", "delta t", "deltat", "ǻt"});
+    if (c_dt == Sheet::npos)
+        throw SemanticError("sheet '" + sheet.name() +
+                            "' has no 'dt' header column");
+    const std::size_t c_remarks = col_of(sheet, hdr, {"remarks", "remark"});
+
+    // All remaining columns are signal columns.
+    std::vector<std::pair<std::size_t, std::string>> signal_cols;
+    for (std::size_t c = 0; c < sheet.row(hdr).size(); ++c) {
+        if (c == c_step || c == c_dt || c == c_remarks) continue;
+        const auto label = sheet.at(hdr, c).text();
+        if (!label.empty()) signal_cols.emplace_back(c, std::string(label));
+    }
+
+    TestCase test;
+    test.name = sheet.name();
+    for (std::size_t r = hdr + 1; r < sheet.row_count(); ++r) {
+        const auto& step_cell = sheet.at(r, c_step);
+        if (step_cell.empty()) continue;
+        auto idx = step_cell.number();
+        if (!idx)
+            throw SemanticError("sheet '" + sheet.name() + "' row " +
+                                std::to_string(r + 1) +
+                                ": test step is not a number");
+        TestStep step;
+        step.index = static_cast<int>(*idx);
+        auto dt = cell_number(sheet, r, c_dt, "dt");
+        if (!dt)
+            throw SemanticError("sheet '" + sheet.name() + "' row " +
+                                std::to_string(r + 1) + ": missing dt");
+        step.dt = *dt;
+        for (const auto& [c, signal] : signal_cols) {
+            const auto status = sheet.at(r, c).text();
+            if (!status.empty())
+                step.assignments.push_back(
+                    Assignment{signal, std::string(status)});
+        }
+        if (c_remarks != Sheet::npos)
+            step.remark = std::string(sheet.at(r, c_remarks).text());
+        test.steps.push_back(std::move(step));
+    }
+    return test;
+}
+
+// ---------------------------------------------------------------------------
+// Whole workbook
+// ---------------------------------------------------------------------------
+
+TestSuite suite_from_workbook(const tabular::Workbook& wb,
+                              std::string suite_name) {
+    TestSuite suite;
+    suite.name = std::move(suite_name);
+    suite.signals = signal_sheet_from_sheet(wb.require("signals"));
+    suite.statuses = status_table_from_sheet(wb.require("status"));
+    for (const auto& sheet : wb.sheets()) {
+        if (str::iequals(sheet.name(), "signals") ||
+            str::iequals(sheet.name(), "status"))
+            continue;
+        suite.tests.push_back(test_case_from_sheet(sheet));
+    }
+    if (suite.tests.empty())
+        throw SemanticError("workbook contains no test sheets");
+    return suite;
+}
+
+tabular::Workbook suite_to_workbook(const TestSuite& suite) {
+    tabular::Workbook wb;
+
+    {
+        Sheet s("signals");
+        s.add_row({"signal", "direction", "kind", "pins", "init"});
+        for (const auto& sig : suite.signals.signals()) {
+            std::vector<std::string> pins = sig.pins;
+            s.add_row({sig.name, std::string(to_string(sig.direction)),
+                       std::string(to_string(sig.kind)), str::join(pins, " "),
+                       sig.initial_status});
+        }
+        wb.add_sheet(std::move(s));
+    }
+    {
+        Sheet s("status");
+        s.add_row({"status", "method", "attribut", "var (x)", "nom", "min",
+                   "max", "D 1", "D 2", "D 3"});
+        auto fmt = [](const std::optional<double>& v) {
+            return v ? str::format_number(*v) : std::string{};
+        };
+        for (const auto& st : suite.statuses.statuses()) {
+            s.add_row({st.name, st.method, st.attribute, st.var,
+                       st.data.empty() ? fmt(st.nom) : st.data, fmt(st.min),
+                       fmt(st.max), fmt(st.d1), fmt(st.d2), fmt(st.d3)});
+        }
+        wb.add_sheet(std::move(s));
+    }
+    for (const auto& test : suite.tests) {
+        Sheet s(test.name);
+        std::vector<std::string> header{"test step", "dt"};
+        const auto used = test.used_signals();
+        header.insert(header.end(), used.begin(), used.end());
+        header.emplace_back("remarks");
+        s.add_row(header);
+        for (const auto& step : test.steps) {
+            std::vector<std::string> row{std::to_string(step.index),
+                                         str::format_number(step.dt)};
+            for (const auto& sig : used) {
+                const std::string* st = step.status_of(sig);
+                row.push_back(st ? *st : std::string{});
+            }
+            row.push_back(step.remark);
+            s.add_row(std::move(row));
+        }
+        wb.add_sheet(std::move(s));
+    }
+    return wb;
+}
+
+} // namespace ctk::model

@@ -1,0 +1,39 @@
+// Conversion between tabular workbooks (the Excel stand-in) and the model.
+//
+// Workbook convention:
+//  * a sheet named "signals" is the signal definition sheet,
+//  * a sheet named "status" is the status definition sheet,
+//  * every other sheet is one test definition sheet (sheet name = test name).
+//
+// Header spellings follow the paper, with tolerant aliases:
+//  signals:  signal | direction | kind | pins | init
+//  status:   status | method | attribut | var (x) | nom | min | max | D 1..D 3
+//  tests:    test step | dt (or Δt) | <signal>... | remarks
+#pragma once
+
+#include "model/test.hpp"
+#include "tabular/workbook.hpp"
+
+namespace ctk::model {
+
+/// Parse a complete suite from a workbook. `suite_name` becomes
+/// TestSuite::name. Throws ctk::SemanticError / ctk::ParseError on
+/// malformed sheets. Does NOT run TestSuite::validate — callers decide
+/// when to cross-check against a method registry.
+[[nodiscard]] TestSuite suite_from_workbook(const tabular::Workbook& wb,
+                                            std::string suite_name);
+
+/// Emit the suite back into workbook form; round-trips with
+/// suite_from_workbook.
+[[nodiscard]] tabular::Workbook suite_to_workbook(const TestSuite& suite);
+
+/// Parse just a status sheet (used by benches that only need Table 2).
+[[nodiscard]] StatusTable status_table_from_sheet(const tabular::Sheet& sheet);
+
+/// Parse just a signal sheet.
+[[nodiscard]] SignalSheet signal_sheet_from_sheet(const tabular::Sheet& sheet);
+
+/// Parse just a test sheet.
+[[nodiscard]] TestCase test_case_from_sheet(const tabular::Sheet& sheet);
+
+} // namespace ctk::model

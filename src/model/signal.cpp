@@ -1,0 +1,27 @@
+#include "model/signal.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+void SignalSheet::add(Signal s) {
+    if (find(s.name))
+        throw SemanticError("duplicate signal '" + s.name + "'");
+    if (s.name.empty()) throw SemanticError("signal with empty name");
+    signals_.push_back(std::move(s));
+}
+
+const Signal* SignalSheet::find(std::string_view name) const {
+    for (const auto& s : signals_)
+        if (str::iequals(s.name, name)) return &s;
+    return nullptr;
+}
+
+const Signal& SignalSheet::require(std::string_view name) const {
+    const Signal* s = find(name);
+    if (!s)
+        throw SemanticError("unknown signal '" + std::string(name) + "'");
+    return *s;
+}
+
+} // namespace ctk::model

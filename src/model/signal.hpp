@@ -1,0 +1,69 @@
+// Signals and the signal definition sheet.
+//
+// A *signal* is a named DUT interface point as seen by the test author:
+// logical (e.g. INT_ILL, the interior illumination output) rather than
+// physical. One logical signal may be wired through several physical pins
+// — the paper's INT_ILL is measured across INT_ILL_F and INT_ILL_R — so a
+// signal carries a pin list (defaulting to its own name).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ctk::model {
+
+/// Direction as seen from the DUT.
+enum class SignalDirection {
+    Input,  ///< test stand stimulates (door switches, ignition, ...)
+    Output, ///< test stand observes (interior illumination, ...)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SignalDirection d) {
+    return d == SignalDirection::Input ? "in" : "out";
+}
+
+/// Physical nature of the signal (drives validation: put_r is only
+/// meaningful on an electrical pin, put_can only on a bus signal).
+enum class SignalKind {
+    Pin, ///< electrical pin(s)
+    Bus, ///< CAN (or similar) bus signal
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SignalKind k) {
+    return k == SignalKind::Pin ? "pin" : "bus";
+}
+
+struct Signal {
+    std::string name;
+    SignalDirection direction = SignalDirection::Input;
+    SignalKind kind = SignalKind::Pin;
+    /// Physical pins realising the signal; empty = {name}.
+    std::vector<std::string> pins;
+    /// Status applied before any test starts ("" = none).
+    std::string initial_status;
+
+    /// Effective pin list ({name} when `pins` is empty).
+    [[nodiscard]] std::vector<std::string> effective_pins() const {
+        return pins.empty() ? std::vector<std::string>{name} : pins;
+    }
+};
+
+/// The signal definition sheet: all DUT I/O plus initial statuses.
+class SignalSheet {
+public:
+    /// Add a signal; name must be unique (case-insensitive).
+    void add(Signal s);
+
+    [[nodiscard]] const std::vector<Signal>& signals() const { return signals_; }
+    [[nodiscard]] const Signal* find(std::string_view name) const;
+    [[nodiscard]] const Signal& require(std::string_view name) const;
+    [[nodiscard]] bool empty() const { return signals_.empty(); }
+
+private:
+    std::vector<Signal> signals_;
+};
+
+} // namespace ctk::model

@@ -1,0 +1,100 @@
+#include "model/status.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+std::optional<double> StatusDef::put_value() const {
+    if (nom) return nom;
+    if (min && max) return (*min + *max) / 2.0;
+    if (min) return min;
+    if (max) return max;
+    return std::nullopt;
+}
+
+void StatusTable::add(StatusDef def) {
+    if (def.name.empty()) throw SemanticError("status with empty name");
+    for (const auto& s : statuses_)
+        if (s.name == def.name)
+            throw SemanticError("duplicate status '" + def.name + "'");
+    statuses_.push_back(std::move(def));
+}
+
+const StatusDef* StatusTable::find(std::string_view name) const {
+    for (const auto& s : statuses_)
+        if (s.name == name) return &s;
+    for (const auto& s : statuses_)
+        if (str::iequals(s.name, name)) return &s;
+    return nullptr;
+}
+
+const StatusDef& StatusTable::require(std::string_view name) const {
+    const StatusDef* s = find(name);
+    if (!s)
+        throw SemanticError("status '" + std::string(name) +
+                            "' is not defined in the status table");
+    return *s;
+}
+
+void StatusTable::validate(const MethodRegistry& registry) const {
+    for (const auto& s : statuses_) {
+        const MethodInfo& m = registry.require(s.method);
+        if (!s.attribute.empty() && !str::iequals(s.attribute, m.attribute))
+            throw SemanticError("status '" + s.name + "': attribute '" +
+                                s.attribute + "' does not match method " +
+                                m.name + "'s attribute '" + m.attribute + "'");
+        if (m.attr_type == AttrType::Bits) {
+            if (s.data.empty())
+                throw SemanticError("status '" + s.name +
+                                    "': method " + m.name +
+                                    " needs a bit payload");
+            if (!parse_bits(s.data))
+                throw SemanticError("status '" + s.name + "': bad bit payload '" +
+                                    s.data + "'");
+        } else if (m.is_put()) {
+            if (!s.put_value())
+                throw SemanticError("status '" + s.name +
+                                    "': put status needs a value");
+        } else { // get, real-valued
+            if (!s.min && !s.max)
+                throw SemanticError("status '" + s.name +
+                                    "': get status needs min and/or max");
+            if (s.min && s.max && *s.min > *s.max)
+                throw SemanticError("status '" + s.name + "': min > max");
+        }
+        for (const auto& d : {s.d1, s.d2, s.d3})
+            if (d && *d < 0)
+                throw SemanticError("status '" + s.name +
+                                    "': negative D parameter");
+    }
+}
+
+std::optional<std::vector<bool>> parse_bits(std::string_view s) {
+    std::string_view body = str::trim(s);
+    if (body.empty()) return std::nullopt;
+    if (body.back() == 'B' || body.back() == 'b')
+        body.remove_suffix(1);
+    if (body.empty()) return std::nullopt;
+    std::vector<bool> bits;
+    bits.reserve(body.size());
+    for (char c : body) {
+        if (c == '0')
+            bits.push_back(false);
+        else if (c == '1')
+            bits.push_back(true);
+        else
+            return std::nullopt;
+    }
+    return bits;
+}
+
+std::string format_bits(const std::vector<bool>& bits) {
+    std::string s;
+    s.reserve(bits.size() + 1);
+    for (bool b : bits) s += b ? '1' : '0';
+    s += 'B';
+    return s;
+}
+
+} // namespace ctk::model

@@ -1,0 +1,73 @@
+// Statuses and the status table.
+//
+// A *status* is the paper's abstraction decoupling test intent from stand
+// mechanics: the test sheet says "DS_FL = Open"; the status table says
+// what Open means physically (put_r, r ≈ 0 Ω). A status bound to an input
+// signal is a stimulus; bound to an output signal it is an expectation
+// with tolerance limits.
+//
+// Limit semantics (paper §3): when `var` is set, `nom`/`min`/`max` are
+// *multipliers* of that stand variable — status Ho with var=UBATT,
+// min=0.7, max=1.1 accepts 0.7·UBATT ≤ u ≤ 1.1·UBATT. Without `var` they
+// are absolute values in the method's unit.
+//
+// D-parameters (reconstructed; see DESIGN.md §5):
+//   D1 = settle time before the first evaluation,
+//   D2 = debounce (expectation must hold continuously for D2),
+//   D3 = timeout budget for the expectation within the step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/method.hpp"
+
+namespace ctk::model {
+
+struct StatusDef {
+    std::string name;          ///< e.g. "Ho"
+    std::string method;        ///< e.g. "get_u"
+    std::string attribute;     ///< e.g. "u" (must match the method's)
+    std::string var;           ///< reference variable, e.g. "UBATT"; "" = none
+    std::optional<double> nom; ///< nominal value (or multiplier)
+    std::optional<double> min; ///< lower limit (or multiplier)
+    std::optional<double> max; ///< upper limit (or multiplier)
+    std::string data;          ///< bit payload for Bits methods, e.g. "0001B"
+    std::optional<double> d1, d2, d3; ///< timing parameters [s]
+
+    /// The value a put-status applies (nom, else min/max midpoint).
+    [[nodiscard]] std::optional<double> put_value() const;
+};
+
+/// The status definition sheet. Name lookup is case-sensitive first and
+/// falls back to case-insensitive, because the paper distinguishes "0"/"1"
+/// but mixes case elsewhere.
+class StatusTable {
+public:
+    void add(StatusDef def);
+
+    [[nodiscard]] const std::vector<StatusDef>& statuses() const {
+        return statuses_;
+    }
+    [[nodiscard]] const StatusDef* find(std::string_view name) const;
+    [[nodiscard]] const StatusDef& require(std::string_view name) const;
+
+    /// Check every status against a method registry: method exists,
+    /// attribute matches, put-statuses have a value or data, get-statuses
+    /// have at least one limit. Throws ctk::SemanticError on violation.
+    void validate(const MethodRegistry& registry) const;
+
+private:
+    std::vector<StatusDef> statuses_;
+};
+
+/// Parse a bit payload like "0001B" (LSB-last text form) into bits.
+/// Returns nullopt if the string is not of the form [01]+B?
+[[nodiscard]] std::optional<std::vector<bool>> parse_bits(std::string_view s);
+
+/// Format bits back into the sheet form ("0001B").
+[[nodiscard]] std::string format_bits(const std::vector<bool>& bits);
+
+} // namespace ctk::model

@@ -1,0 +1,83 @@
+#include "model/test.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ctk::model {
+
+const std::string* TestStep::status_of(std::string_view signal) const {
+    for (const auto& a : assignments)
+        if (str::iequals(a.signal, signal)) return &a.status;
+    return nullptr;
+}
+
+std::vector<std::string> TestCase::used_signals() const {
+    std::vector<std::string> out;
+    for (const auto& step : steps) {
+        for (const auto& a : step.assignments) {
+            const bool seen = std::any_of(
+                out.begin(), out.end(),
+                [&](const std::string& s) { return str::iequals(s, a.signal); });
+            if (!seen) out.push_back(a.signal);
+        }
+    }
+    return out;
+}
+
+void TestSuite::validate(const MethodRegistry& registry) const {
+    statuses.validate(registry);
+
+    auto check_assignment = [&](const std::string& where,
+                                const std::string& signal_name,
+                                const std::string& status_name) {
+        const Signal& sig = signals.require(signal_name);
+        const StatusDef& st = statuses.require(status_name);
+        const MethodInfo& m = registry.require(st.method);
+        if (m.is_put() && sig.direction != SignalDirection::Input)
+            throw SemanticError(where + ": stimulus status '" + st.name +
+                                "' (" + m.name + ") assigned to output signal '" +
+                                sig.name + "'");
+        if (m.is_get() && sig.direction != SignalDirection::Output)
+            throw SemanticError(where + ": expectation status '" + st.name +
+                                "' (" + m.name + ") assigned to input signal '" +
+                                sig.name + "'");
+        const bool bus_method = m.attr_type == AttrType::Bits;
+        if (bus_method && sig.kind != SignalKind::Bus)
+            throw SemanticError(where + ": bus method " + m.name +
+                                " assigned to pin signal '" + sig.name + "'");
+        if (!bus_method && sig.kind != SignalKind::Pin)
+            throw SemanticError(where + ": pin method " + m.name +
+                                " assigned to bus signal '" + sig.name + "'");
+    };
+
+    for (const auto& sig : signals.signals())
+        if (!sig.initial_status.empty())
+            check_assignment("signal sheet, initial status of " + sig.name,
+                             sig.name, sig.initial_status);
+
+    for (const auto& test : tests) {
+        if (test.steps.empty())
+            throw SemanticError("test '" + test.name + "' has no steps");
+        int prev_index = -1;
+        for (const auto& step : test.steps) {
+            const std::string where =
+                "test '" + test.name + "', step " + std::to_string(step.index);
+            if (step.dt <= 0)
+                throw SemanticError(where + ": dwell time must be positive");
+            if (step.index <= prev_index)
+                throw SemanticError(where + ": step numbers must increase");
+            prev_index = step.index;
+            for (const auto& a : step.assignments)
+                check_assignment(where, a.signal, a.status);
+        }
+    }
+}
+
+const TestCase* TestSuite::find_test(std::string_view name) const {
+    for (const auto& t : tests)
+        if (str::iequals(t.name, name)) return &t;
+    return nullptr;
+}
+
+} // namespace ctk::model

@@ -1,0 +1,62 @@
+// Test steps, test cases, and the complete stand-independent test suite.
+//
+// Mirrors the paper's test definition sheet: a test is a numbered sequence
+// of steps; each step has a dwell time Δt and assigns statuses to a subset
+// of signals (stimuli for inputs, expectations for outputs). A status
+// assignment persists across later steps until overwritten — that is how
+// the paper's sparse sheet (empty cells) is to be read.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/signal.hpp"
+#include "model/status.hpp"
+
+namespace ctk::model {
+
+/// One "signal := status" cell of the test definition sheet.
+struct Assignment {
+    std::string signal;
+    std::string status;
+};
+
+struct TestStep {
+    int index = 0;       ///< the paper's "test step" column
+    double dt = 0.0;     ///< dwell time Δt [s]
+    std::vector<Assignment> assignments;
+    std::string remark;
+
+    /// Status assigned to `signal` in this step, or nullptr.
+    [[nodiscard]] const std::string* status_of(std::string_view signal) const;
+};
+
+/// One test definition sheet.
+struct TestCase {
+    std::string name;
+    std::vector<TestStep> steps;
+    /// Signals mentioned anywhere in this test, in first-use order.
+    [[nodiscard]] std::vector<std::string> used_signals() const;
+};
+
+/// A complete suite: signal sheet + status table + test sheets. This is
+/// the unit the compiler turns into one XML test script.
+struct TestSuite {
+    std::string name;
+    SignalSheet signals;
+    StatusTable statuses;
+    std::vector<TestCase> tests;
+
+    /// Cross-checks the whole suite against a method registry:
+    ///  * every status used in a test/initial state is defined,
+    ///  * put statuses only on input signals, get only on outputs,
+    ///  * bus methods only on bus signals, pin methods only on pins,
+    ///  * Δt > 0 and step indices strictly increasing within a test.
+    /// Throws ctk::SemanticError describing the first violation.
+    void validate(const MethodRegistry& registry) const;
+
+    [[nodiscard]] const TestCase* find_test(std::string_view name) const;
+};
+
+} // namespace ctk::model

@@ -1,0 +1,112 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace ctk::report {
+
+namespace {
+
+std::string fmt_opt(const std::optional<double>& v) {
+    return v ? str::format_number(*v, 4) : std::string{};
+}
+
+} // namespace
+
+std::string render_test_sheet(const script::ScriptTest& test,
+                              const core::TestResult& result) {
+    // Column set = signals in first-use order, as the paper's sheet shows.
+    std::vector<std::string> signals;
+    for (const auto& step : test.steps)
+        for (const auto& a : step.actions)
+            if (std::none_of(signals.begin(), signals.end(),
+                             [&](const std::string& s) {
+                                 return str::iequals(s, a.signal);
+                             }))
+                signals.push_back(a.signal);
+
+    TextTable t;
+    std::vector<std::string> header{"test step", "dt"};
+    for (const auto& s : signals) header.push_back(str::upper(s));
+    header.insert(header.end(), {"remarks", "measured", "verdict"});
+    t.header(header);
+
+    for (std::size_t i = 0; i < test.steps.size(); ++i) {
+        const auto& step = test.steps[i];
+        std::vector<std::string> row{std::to_string(step.nr),
+                                     str::format_number(step.dt)};
+        for (const auto& s : signals) {
+            std::string cell;
+            for (const auto& a : step.actions)
+                if (str::iequals(a.signal, s)) cell = a.status;
+            row.push_back(cell);
+        }
+        row.push_back(step.remark);
+
+        std::string measured, verdict;
+        if (i < result.steps.size()) {
+            const auto& sr = result.steps[i];
+            std::vector<std::string> ms;
+            for (const auto& c : sr.checks)
+                ms.push_back(c.expected_data.empty()
+                                 ? str::format_number(c.measured, 4)
+                                 : c.measured_data);
+            measured = str::join(ms, " ");
+            verdict = sr.passed ? "PASS" : "FAIL";
+        }
+        row.push_back(measured);
+        row.push_back(verdict);
+        t.row(row);
+    }
+    return t.render();
+}
+
+std::string render_summary(const core::RunResult& run) {
+    TextTable t;
+    t.header({"test", "steps", "failed steps", "checks", "verdict"});
+    for (const auto& test : run.tests) {
+        std::size_t checks = 0;
+        for (const auto& s : test.steps) checks += s.checks.size();
+        t.row({test.name, std::to_string(test.steps.size()),
+               std::to_string(test.failed_steps()), std::to_string(checks),
+               test.passed ? "PASS" : "FAIL"});
+    }
+    std::string out = "script '" + run.script_name + "' on stand '" +
+                      run.stand_name + "'\n";
+    out += t.render();
+    out += run.passed() ? "overall: PASS\n" : "overall: FAIL\n";
+    return out;
+}
+
+std::string render_allocation(const stand::Allocation& allocation) {
+    TextTable t;
+    t.header({"signal", "method", "resource", "pins", "via"});
+    for (const auto& e : allocation.entries) {
+        t.row({e.requirement.signal, e.requirement.method, e.resource,
+               str::join(e.requirement.pins, ","), str::join(e.via, ",")});
+    }
+    return t.render();
+}
+
+std::string to_csv(const core::RunResult& run) {
+    std::string out =
+        "test,step,signal,status,method,lo,hi,measured,passed\n";
+    for (const auto& test : run.tests) {
+        for (const auto& step : test.steps) {
+            for (const auto& c : step.checks) {
+                out += test.name + ',' + std::to_string(step.nr) + ',' +
+                       c.signal + ',' + c.status + ',' + c.method + ',' +
+                       fmt_opt(c.lo) + ',' + fmt_opt(c.hi) + ',' +
+                       (c.expected_data.empty()
+                            ? str::format_number(c.measured, 6)
+                            : c.measured_data) +
+                       ',' + (c.passed ? "1" : "0") + '\n';
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ctk::report

@@ -1,0 +1,28 @@
+// Reporting: render run results in the paper's table layout and as CSV.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "script/script.hpp"
+
+namespace ctk::report {
+
+/// Render one executed test in the layout of the paper's test definition
+/// sheet (Table 1) extended with measured values and verdicts: one row
+/// per step — Δt, per-signal statuses, remark, measured, verdict.
+[[nodiscard]] std::string render_test_sheet(const script::ScriptTest& test,
+                                            const core::TestResult& result);
+
+/// Compact summary of a whole run (tests, steps, checks, pass/fail).
+[[nodiscard]] std::string render_summary(const core::RunResult& run);
+
+/// The allocation plan as a table: signal, method, resource, routing.
+[[nodiscard]] std::string
+render_allocation(const stand::Allocation& allocation);
+
+/// Machine-readable CSV: one row per check
+/// (test,step,signal,status,method,lo,hi,measured,passed).
+[[nodiscard]] std::string to_csv(const core::RunResult& run);
+
+} // namespace ctk::report

@@ -1,0 +1,133 @@
+#include "script/script.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::script {
+
+std::set<std::string> MethodCall::variables() const {
+    std::set<std::string> out;
+    for (const auto& e : {value, min, max})
+        if (e) e->variables(out);
+    return out;
+}
+
+const ScriptSignal* TestScript::find_signal(std::string_view name) const {
+    for (const auto& s : signals)
+        if (str::iequals(s.name, name)) return &s;
+    return nullptr;
+}
+
+const ScriptSignal& TestScript::require_signal(std::string_view n) const {
+    const ScriptSignal* s = find_signal(n);
+    if (!s)
+        throw SemanticError("script declares no signal '" + std::string(n) +
+                            "'");
+    return *s;
+}
+
+std::set<std::string> TestScript::required_variables() const {
+    std::set<std::string> out;
+    auto collect = [&](const std::vector<SignalAction>& actions) {
+        for (const auto& a : actions)
+            for (const auto& v : a.call.variables()) out.insert(v);
+    };
+    collect(init);
+    for (const auto& t : tests)
+        for (const auto& s : t.steps) collect(s.actions);
+    return out;
+}
+
+namespace {
+
+/// Build the parameter expression for a status field: plain constant, or
+/// "(value*var)" when the status references a stand variable.
+expr::ExprPtr limit_expr(std::optional<double> value, const std::string& var) {
+    if (!value) return nullptr;
+    if (var.empty()) return expr::constant(*value);
+    return expr::parse("(" + str::format_number(*value, 12) + "*" +
+                       str::lower(var) + ")");
+}
+
+MethodCall lower_status(const model::StatusDef& st,
+                        const model::MethodRegistry& registry) {
+    const model::MethodInfo& info = registry.require(st.method);
+    MethodCall call;
+    call.method = info.name;
+    call.kind = info.kind;
+    call.attribute = info.attribute;
+    call.d1 = st.d1;
+    call.d2 = st.d2;
+    call.d3 = st.d3;
+    if (info.attr_type == model::AttrType::Bits) {
+        call.data = st.data;
+        return call;
+    }
+    if (info.is_put()) {
+        call.value = limit_expr(st.put_value(), st.var);
+        call.min = limit_expr(st.min, st.var);
+        call.max = limit_expr(st.max, st.var);
+    } else {
+        call.min = limit_expr(st.min, st.var);
+        call.max = limit_expr(st.max, st.var);
+    }
+    return call;
+}
+
+std::vector<std::string> lower_pins(const model::Signal& sig) {
+    std::vector<std::string> pins;
+    for (const auto& p : sig.effective_pins()) pins.push_back(str::lower(p));
+    return pins;
+}
+
+} // namespace
+
+TestScript compile(const model::TestSuite& suite,
+                   const model::MethodRegistry& registry) {
+    suite.validate(registry);
+
+    TestScript out;
+    out.name = suite.name;
+
+    for (const auto& sig : suite.signals.signals()) {
+        ScriptSignal decl;
+        decl.name = str::lower(sig.name);
+        decl.direction = sig.direction;
+        decl.kind = sig.kind;
+        decl.pins = lower_pins(sig);
+        out.signals.push_back(std::move(decl));
+
+        if (!sig.initial_status.empty()) {
+            SignalAction action;
+            action.signal = str::lower(sig.name);
+            action.status = sig.initial_status;
+            action.call =
+                lower_status(suite.statuses.require(sig.initial_status),
+                             registry);
+            out.init.push_back(std::move(action));
+        }
+    }
+
+    for (const auto& test : suite.tests) {
+        ScriptTest st;
+        st.name = test.name;
+        for (const auto& step : test.steps) {
+            ScriptStep ss;
+            ss.nr = step.index;
+            ss.dt = step.dt;
+            ss.remark = step.remark;
+            for (const auto& a : step.assignments) {
+                SignalAction action;
+                action.signal = str::lower(a.signal);
+                action.status = a.status;
+                action.call =
+                    lower_status(suite.statuses.require(a.status), registry);
+                ss.actions.push_back(std::move(action));
+            }
+            st.steps.push_back(std::move(ss));
+        }
+        out.tests.push_back(std::move(st));
+    }
+    return out;
+}
+
+} // namespace ctk::script

@@ -1,0 +1,84 @@
+// The stand-independent test script — the paper's central artefact.
+//
+// A TestScript is the compiled, self-contained form of a TestSuite: every
+// status reference is resolved into an explicit method call whose
+// parameters are expressions over stand variables (e.g. u_max =
+// "(1.1*ubatt)"). The XML serialisation of this structure is the
+// interchange format an OEM hands to a supplier; any stand with an
+// interpreter and the required resources can execute it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "model/test.hpp"
+
+namespace ctk::script {
+
+/// One resolved method invocation on a signal.
+struct MethodCall {
+    std::string method;                 ///< "put_r", "get_u", ...
+    model::MethodKind kind = model::MethodKind::Put;
+    std::string attribute;              ///< the method's main attribute
+    // Real-valued methods:
+    expr::ExprPtr value;                ///< put: value to apply (nullable)
+    expr::ExprPtr min;                  ///< limit / applied tolerance
+    expr::ExprPtr max;
+    // Bit-payload methods (put_can/get_can):
+    std::string data;                   ///< e.g. "0001B"; empty = none
+    // Timing (see DESIGN.md §5); unset = defaults (0 / 0 / step dt).
+    std::optional<double> d1, d2, d3;
+
+    /// Free stand variables referenced by any parameter expression.
+    [[nodiscard]] std::set<std::string> variables() const;
+};
+
+/// "Apply/check this method on this signal" within a step.
+struct SignalAction {
+    std::string signal;   ///< lower-cased logical signal name
+    std::string status;   ///< originating status name (traceability)
+    MethodCall call;
+};
+
+struct ScriptStep {
+    int nr = 0;
+    double dt = 0.0;
+    std::string remark;
+    std::vector<SignalAction> actions;
+};
+
+struct ScriptTest {
+    std::string name;
+    std::vector<ScriptStep> steps;
+};
+
+/// Signal declaration carried along for stand binding.
+struct ScriptSignal {
+    std::string name; ///< lower-cased
+    model::SignalDirection direction = model::SignalDirection::Input;
+    model::SignalKind kind = model::SignalKind::Pin;
+    std::vector<std::string> pins; ///< lower-cased physical pins
+};
+
+struct TestScript {
+    std::string name;
+    std::vector<ScriptSignal> signals;
+    /// Initial conditions applied before each test (from the signal sheet).
+    std::vector<SignalAction> init;
+    std::vector<ScriptTest> tests;
+
+    [[nodiscard]] const ScriptSignal* find_signal(std::string_view name) const;
+    [[nodiscard]] const ScriptSignal& require_signal(std::string_view n) const;
+
+    /// Union of stand variables required by all expressions ("ubatt", ...).
+    [[nodiscard]] std::set<std::string> required_variables() const;
+};
+
+/// Compile a validated suite into a script. Throws ctk::SemanticError on
+/// a suite that fails validation.
+[[nodiscard]] TestScript compile(const model::TestSuite& suite,
+                                 const model::MethodRegistry& registry);
+
+} // namespace ctk::script

@@ -1,0 +1,190 @@
+#include "script/xml_io.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::script {
+
+namespace {
+
+std::string expr_text(const expr::ExprPtr& e) {
+    return e ? e->to_string() : std::string{};
+}
+
+void write_action(const SignalAction& action, xml::Node& parent) {
+    xml::Node& sig = parent.add_child("signal");
+    sig.set_attr("name", action.signal);
+    if (!action.status.empty()) sig.set_attr("status", action.status);
+
+    xml::Node& m = sig.add_child(action.call.method);
+    const MethodCall& c = action.call;
+    if (!c.data.empty()) {
+        m.set_attr("data", c.data);
+    } else if (c.kind == model::MethodKind::Put) {
+        if (c.value) m.set_attr(c.attribute, expr_text(c.value));
+        if (c.max) m.set_attr(c.attribute + "_max", expr_text(c.max));
+        if (c.min) m.set_attr(c.attribute + "_min", expr_text(c.min));
+    } else {
+        // Paper order: max before min (see §3 listing).
+        if (c.max) m.set_attr(c.attribute + "_max", expr_text(c.max));
+        if (c.min) m.set_attr(c.attribute + "_min", expr_text(c.min));
+    }
+    auto put_d = [&](const char* name, const std::optional<double>& v) {
+        if (v) m.set_attr(name, str::format_number(*v));
+    };
+    put_d("d1", c.d1);
+    put_d("d2", c.d2);
+    put_d("d3", c.d3);
+}
+
+SignalAction read_action(const xml::Node& sig,
+                         const model::MethodRegistry& registry) {
+    SignalAction action;
+    action.signal = str::lower(sig.require_attr("name"));
+    if (const std::string* st = sig.attr("status")) action.status = *st;
+
+    if (sig.children().size() != 1)
+        throw SemanticError("signal element '" + action.signal +
+                            "' must contain exactly one method element");
+    const xml::Node& m = sig.children().front();
+    const model::MethodInfo& info = registry.require(m.name());
+
+    MethodCall& c = action.call;
+    c.method = info.name;
+    c.kind = info.kind;
+    c.attribute = info.attribute;
+    if (info.attr_type == model::AttrType::Bits) {
+        c.data = m.require_attr("data");
+    } else {
+        auto get_expr = [&](const std::string& attr) -> expr::ExprPtr {
+            const std::string* v = m.attr(attr);
+            return v ? expr::parse(*v) : nullptr;
+        };
+        c.value = get_expr(c.attribute);
+        c.min = get_expr(c.attribute + "_min");
+        c.max = get_expr(c.attribute + "_max");
+        if (info.is_put() && !c.value)
+            throw SemanticError("method " + info.name + " on signal '" +
+                                action.signal + "' has no '" + c.attribute +
+                                "' attribute");
+        if (info.is_get() && !c.min && !c.max)
+            throw SemanticError("method " + info.name + " on signal '" +
+                                action.signal + "' has no limits");
+    }
+    c.d1 = m.attr_number("d1");
+    c.d2 = m.attr_number("d2");
+    c.d3 = m.attr_number("d3");
+    return action;
+}
+
+} // namespace
+
+xml::Node to_xml(const TestScript& script) {
+    xml::Node root("testscript");
+    root.set_attr("name", script.name);
+    root.set_attr("version", "1.0");
+
+    for (const auto& var : script.required_variables())
+        root.add_child("requires").set_attr("var", var);
+
+    xml::Node& signals = root.add_child("signals");
+    for (const auto& s : script.signals) {
+        xml::Node& n = signals.add_child("signal");
+        n.set_attr("name", s.name);
+        n.set_attr("direction", std::string(model::to_string(s.direction)));
+        n.set_attr("kind", std::string(model::to_string(s.kind)));
+        if (!(s.pins.size() == 1 && s.pins[0] == s.name))
+            n.set_attr("pins", str::join(s.pins, " "));
+    }
+
+    if (!script.init.empty()) {
+        xml::Node& init = root.add_child("init");
+        for (const auto& a : script.init) write_action(a, init);
+    }
+
+    for (const auto& test : script.tests) {
+        xml::Node& t = root.add_child("test");
+        t.set_attr("name", test.name);
+        for (const auto& step : test.steps) {
+            xml::Node& s = t.add_child("step");
+            s.set_attr("nr", std::to_string(step.nr));
+            s.set_attr("dt", str::format_number(step.dt));
+            if (!step.remark.empty()) s.set_attr("remark", step.remark);
+            for (const auto& a : step.actions) write_action(a, s);
+        }
+    }
+    return root;
+}
+
+std::string to_xml_text(const TestScript& script) {
+    return xml::write(to_xml(script));
+}
+
+TestScript from_xml(const xml::Node& root,
+                    const model::MethodRegistry& registry) {
+    if (root.name() != "testscript")
+        throw SemanticError("root element must be <testscript>, got <" +
+                            root.name() + ">");
+    TestScript script;
+    if (const std::string* n = root.attr("name")) script.name = *n;
+
+    if (const xml::Node* signals = root.child("signals")) {
+        for (const xml::Node* s : signals->children_named("signal")) {
+            ScriptSignal decl;
+            decl.name = str::lower(s->require_attr("name"));
+            const std::string dir = s->attr("direction")
+                                        ? *s->attr("direction")
+                                        : std::string("in");
+            decl.direction = str::iequals(dir, "out")
+                                 ? model::SignalDirection::Output
+                                 : model::SignalDirection::Input;
+            const std::string kind =
+                s->attr("kind") ? *s->attr("kind") : std::string("pin");
+            decl.kind = str::iequals(kind, "bus") ? model::SignalKind::Bus
+                                                  : model::SignalKind::Pin;
+            if (const std::string* pins = s->attr("pins")) {
+                for (const auto& p : str::split(*pins, ' '))
+                    if (!str::trim(p).empty())
+                        decl.pins.push_back(str::lower(str::trim(p)));
+            } else {
+                decl.pins = {decl.name};
+            }
+            script.signals.push_back(std::move(decl));
+        }
+    }
+
+    if (const xml::Node* init = root.child("init"))
+        for (const xml::Node* a : init->children_named("signal"))
+            script.init.push_back(read_action(*a, registry));
+
+    for (const xml::Node* t : root.children_named("test")) {
+        ScriptTest test;
+        test.name = t->require_attr("name");
+        for (const xml::Node* s : t->children_named("step")) {
+            ScriptStep step;
+            auto nr = s->attr_number("nr");
+            if (!nr) throw SemanticError("step without nr attribute");
+            step.nr = static_cast<int>(*nr);
+            auto dt = s->attr_number("dt");
+            if (!dt || *dt <= 0)
+                throw SemanticError("step " + std::to_string(step.nr) +
+                                    ": missing or non-positive dt");
+            step.dt = *dt;
+            if (const std::string* r = s->attr("remark")) step.remark = *r;
+            for (const xml::Node* a : s->children_named("signal"))
+                step.actions.push_back(read_action(*a, registry));
+            test.steps.push_back(std::move(step));
+        }
+        script.tests.push_back(std::move(test));
+    }
+    if (script.tests.empty())
+        throw SemanticError("test script contains no <test> elements");
+    return script;
+}
+
+TestScript from_xml_text(std::string_view text,
+                         const model::MethodRegistry& registry,
+                         const std::string& origin) {
+    return from_xml(xml::parse(text, origin), registry);
+}
+
+} // namespace ctk::script

@@ -1,0 +1,49 @@
+// XML serialisation of test scripts — the on-the-wire interchange format.
+//
+// Schema (matching the paper's §3 listing for signal/method statements):
+//
+//   <testscript name="..." version="1.0">
+//     <requires var="ubatt" />                      — one per stand variable
+//     <signals>
+//       <signal name="int_ill" direction="out" kind="pin"
+//               pins="int_ill_f int_ill_r" />
+//     </signals>
+//     <init>   ... signal statements ... </init>
+//     <test name="int_ill">
+//       <step nr="0" dt="0.5" remark="...">
+//         <signal name="int_ill">
+//           <get_u u_max="(1.1*ubatt)" u_min="(0.7*ubatt)" />
+//         </signal>
+//       </step>
+//     </test>
+//   </testscript>
+//
+// Attribute conventions: a put method carries its attribute value plus
+// optional <attr>_min/_max tolerance; a get method carries <attr>_max then
+// <attr>_min (the paper's order); bit methods carry data="0001B"; timing
+// parameters are d1/d2/d3. The `status` attribute on the signal element
+// preserves traceability to the status table and round-trips.
+#pragma once
+
+#include "script/script.hpp"
+#include "xml/xml.hpp"
+
+namespace ctk::script {
+
+/// Serialise a script into an XML DOM.
+[[nodiscard]] xml::Node to_xml(const TestScript& script);
+
+/// Serialise straight to XML text.
+[[nodiscard]] std::string to_xml_text(const TestScript& script);
+
+/// Load a script from an XML DOM. Needs the method registry to know each
+/// method's kind and attribute. Throws ctk::SemanticError / ParseError.
+[[nodiscard]] TestScript from_xml(const xml::Node& root,
+                                  const model::MethodRegistry& registry);
+
+/// Parse XML text and load the script.
+[[nodiscard]] TestScript from_xml_text(std::string_view text,
+                                       const model::MethodRegistry& registry,
+                                       const std::string& origin = "<memory>");
+
+} // namespace ctk::script

@@ -1,0 +1,56 @@
+// Execution backend interface — the boundary between the script
+// interpreter and a concrete test stand.
+//
+// The paper's interpreter runs on physical stands; CTK's executor drives
+// this interface instead, so the same executor works against the virtual
+// stand (ctk::sim::VirtualStand), a gate-level DUT adapter, or — in a
+// deployment — real instrument drivers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stand/allocator.hpp"
+
+namespace ctk::sim {
+
+class StandBackend {
+public:
+    virtual ~StandBackend() = default;
+
+    /// Power-cycle: clear stimuli, reset the DUT and the clock.
+    virtual void reset() = 0;
+
+    /// Give the backend the static plan before a test runs (instrument
+    /// setup, e.g. arming frequency counters on their pins).
+    virtual void prepare(const stand::Allocation& plan) = 0;
+
+    /// Advance simulated time by dt seconds (one executor tick).
+    virtual void advance(double dt) = 0;
+
+    /// Current simulated time [s].
+    [[nodiscard]] virtual double now() const = 0;
+
+    /// Apply a real-valued stimulus through `resource` onto `pins`.
+    virtual void apply_real(const std::string& resource,
+                            const std::string& method,
+                            const std::vector<std::string>& pins,
+                            double value) = 0;
+
+    /// Deliver a bit payload (CAN frame) for a bus signal.
+    virtual void apply_bits(const std::string& resource,
+                            const std::string& signal,
+                            const std::vector<bool>& bits) = 0;
+
+    /// Measure a real-valued quantity through `resource` at `pins`
+    /// (two pins = differential, one pin = against ground).
+    [[nodiscard]] virtual double
+    measure_real(const std::string& resource, const std::string& method,
+                 const std::vector<std::string>& pins) = 0;
+
+    /// Read the DUT's last transmitted payload for a bus signal.
+    [[nodiscard]] virtual std::vector<bool>
+    measure_bits(const std::string& resource, const std::string& signal) = 0;
+};
+
+} // namespace ctk::sim

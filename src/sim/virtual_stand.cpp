@@ -1,0 +1,99 @@
+#include "sim/virtual_stand.hpp"
+
+#include "common/strings.hpp"
+
+namespace ctk::sim {
+
+VirtualStand::VirtualStand(const stand::StandDescription& desc,
+                           std::shared_ptr<dut::Dut> device,
+                           VirtualStandOptions options)
+    : device_(std::move(device)), options_(options), rng_(options.seed) {
+    if (!device_) throw Error("VirtualStand needs a DUT");
+    if (desc.variables().has("ubatt")) ubatt_ = desc.variables().get("ubatt");
+    device_->set_supply(ubatt_);
+}
+
+void VirtualStand::reset() {
+    device_->reset();
+    device_->set_supply(ubatt_);
+    now_s_ = 0.0;
+    freq_watches_.clear();
+    rng_ = Rng(options_.seed);
+}
+
+void VirtualStand::prepare(const stand::Allocation& plan) {
+    // Arm a frequency counter on every pin a get_f will probe.
+    for (const auto& e : plan.entries) {
+        if (!str::iequals(e.requirement.method, "get_f")) continue;
+        for (const auto& pin : e.requirement.pins)
+            freq_watches_.emplace(str::lower(pin), EdgeWatch{});
+    }
+}
+
+void VirtualStand::advance(double dt) {
+    device_->step(dt);
+    now_s_ += dt;
+    for (auto& [pin, watch] : freq_watches_) {
+        const bool level = device_->pin_voltage(pin) > ubatt_ / 2.0;
+        if (level && !watch.last_level) watch.edge_times.push_back(now_s_);
+        watch.last_level = level;
+        while (!watch.edge_times.empty() &&
+               watch.edge_times.front() < now_s_ - options_.freq_window_s)
+            watch.edge_times.pop_front();
+    }
+}
+
+void VirtualStand::apply_real(const std::string& resource,
+                              const std::string& method,
+                              const std::vector<std::string>& pins,
+                              double value) {
+    if (pins.empty())
+        throw StandError("apply_real via " + resource + ": no pins");
+    if (str::iequals(method, "put_r")) {
+        device_->set_pin_resistance(pins.front(), value);
+    } else if (str::iequals(method, "put_u")) {
+        device_->set_pin_voltage(pins.front(), value);
+    } else {
+        throw StandError("virtual stand cannot apply method '" + method +
+                         "'");
+    }
+}
+
+void VirtualStand::apply_bits(const std::string& /*resource*/,
+                              const std::string& signal,
+                              const std::vector<bool>& bits) {
+    device_->can_receive(signal, bits);
+}
+
+double VirtualStand::measure_real(const std::string& resource,
+                                  const std::string& method,
+                                  const std::vector<std::string>& pins) {
+    if (str::iequals(method, "get_u")) {
+        double v = 0.0;
+        if (pins.size() >= 2)
+            v = device_->pin_voltage(pins[0]) - device_->pin_voltage(pins[1]);
+        else if (!pins.empty())
+            v = device_->pin_voltage(pins.front());
+        v *= options_.dvm_gain;
+        if (options_.dvm_noise > 0)
+            v += rng_.next_range(-options_.dvm_noise, options_.dvm_noise);
+        return v;
+    }
+    if (str::iequals(method, "get_f")) {
+        if (pins.empty())
+            throw StandError("get_f via " + resource + ": no pins");
+        auto it = freq_watches_.find(str::lower(pins.front()));
+        if (it == freq_watches_.end())
+            throw StandError("get_f on unarmed pin '" + pins.front() + "'");
+        return static_cast<double>(it->second.edge_times.size()) /
+               options_.freq_window_s;
+    }
+    throw StandError("virtual stand cannot measure method '" + method + "'");
+}
+
+std::vector<bool> VirtualStand::measure_bits(const std::string& /*resource*/,
+                                             const std::string& signal) {
+    return device_->can_transmit(signal);
+}
+
+} // namespace ctk::sim

@@ -1,0 +1,73 @@
+// Virtual test stand: StandBackend implemented over a behavioural DUT.
+//
+// Substitutes the paper's physical instruments (DESIGN.md §2):
+//  * put_r  → resistance applied at the DUT pin (resistor decade + mux);
+//  * put_u  → voltage applied at the DUT pin (source);
+//  * put_can→ frame delivered to the DUT (CAN interface);
+//  * get_u  → DVM reading of the DUT's driven voltage, differential when
+//             the signal has two pins, with configurable gain error and
+//             gaussian-ish noise (deterministic, Rng-driven);
+//  * get_f  → frequency counter: rising edges on the pin over a sliding
+//             window (armed by prepare());
+//  * get_can→ the DUT's last transmitted frame.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dut/dut.hpp"
+#include "sim/backend.hpp"
+#include "stand/stand.hpp"
+
+namespace ctk::sim {
+
+struct VirtualStandOptions {
+    double dvm_gain = 1.0;        ///< multiplicative DVM error
+    double dvm_noise = 0.0;       ///< uniform ±noise [V] on each reading
+    double freq_window_s = 2.0;   ///< frequency counter gate time
+    std::uint64_t seed = 12345;   ///< noise generator seed
+};
+
+class VirtualStand final : public StandBackend {
+public:
+    /// `desc` supplies the stand variables (ubatt powers the DUT).
+    VirtualStand(const stand::StandDescription& desc,
+                 std::shared_ptr<dut::Dut> device,
+                 VirtualStandOptions options = {});
+
+    void reset() override;
+    void prepare(const stand::Allocation& plan) override;
+    void advance(double dt) override;
+    [[nodiscard]] double now() const override { return now_s_; }
+
+    void apply_real(const std::string& resource, const std::string& method,
+                    const std::vector<std::string>& pins,
+                    double value) override;
+    void apply_bits(const std::string& resource, const std::string& signal,
+                    const std::vector<bool>& bits) override;
+    [[nodiscard]] double
+    measure_real(const std::string& resource, const std::string& method,
+                 const std::vector<std::string>& pins) override;
+    [[nodiscard]] std::vector<bool>
+    measure_bits(const std::string& resource,
+                 const std::string& signal) override;
+
+    [[nodiscard]] dut::Dut& device() { return *device_; }
+
+private:
+    struct EdgeWatch {
+        bool last_level = false;
+        std::deque<double> edge_times;
+    };
+
+    double ubatt_ = 12.0;
+    double now_s_ = 0.0;
+    std::shared_ptr<dut::Dut> device_;
+    VirtualStandOptions options_;
+    Rng rng_;
+    std::map<std::string, EdgeWatch> freq_watches_; ///< pin -> edge log
+};
+
+} // namespace ctk::sim

@@ -1,0 +1,98 @@
+// Resource allocation — §4 of the paper.
+//
+// "For each method to be carried out, the test stand searches an
+//  appropriate resource, that can be connected to the signal pin. If this
+//  is not possible an error message is generated."
+//
+// The allocator computes a static plan per test: every signal a test
+// touches gets one resource for the whole test (a stimulus must persist
+// across steps, and re-patching mid-test is not something the paper's
+// stands do). A resource is *feasible* for a requirement when it
+//   (a) supports the method,
+//   (b) can realise every value the test demands of that signal within
+//       the status tolerances, and
+//   (c) is routable to every physical pin of the signal.
+// Two policies are provided: the paper's first-fit greedy search and an
+// augmenting-path bipartite matching (ablation E10 measures the gap).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "script/script.hpp"
+#include "stand/stand.hpp"
+
+namespace ctk::stand {
+
+/// One value the test demands of a signal (a put's nominal + tolerance or
+/// a get's expected window), with the originating status for messages.
+struct ValueDemand {
+    std::string status;
+    double nominal = 0.0;
+    std::optional<double> tol_min;
+    std::optional<double> tol_max;
+};
+
+/// Everything one signal needs from the stand during one test.
+struct Requirement {
+    std::string signal;
+    std::string method;
+    bool is_get = false;
+    bool is_bits = false;
+    std::vector<std::string> pins;
+    std::vector<ValueDemand> demands;
+};
+
+/// Pseudo-resource id for passively satisfied requirements: a put_r whose
+/// every demand accepts INF (an open contact, e.g. the paper's `Closed`
+/// status) needs no instrument at all — the pin is simply left
+/// unconnected. This is why the Figure-1 stand serves four door switches
+/// with only two resistor decades.
+inline constexpr const char* kUnconnected = "(open)";
+
+/// Requirement → resource binding.
+struct AllocationEntry {
+    Requirement requirement;
+    std::string resource;
+    std::vector<std::string> via; ///< routing element per pin
+
+    [[nodiscard]] bool is_unconnected() const {
+        return resource == kUnconnected;
+    }
+};
+
+struct Allocation {
+    std::vector<AllocationEntry> entries;
+    [[nodiscard]] const AllocationEntry* for_signal(std::string_view s) const;
+};
+
+enum class AllocPolicy {
+    Greedy,   ///< the paper's first-fit search, in declaration order
+    Matching, ///< bipartite maximum matching (finds a plan whenever one exists)
+};
+
+/// Derive the per-signal requirements of `test` (plus the script's init
+/// block), evaluating limit expressions against the stand variables.
+/// Throws ctk::SemanticError when the script needs an undefined variable.
+[[nodiscard]] std::vector<Requirement>
+build_requirements(const script::TestScript& script,
+                   const script::ScriptTest& test, const expr::Env& variables);
+
+/// True when `resource` can serve `req` on `desc` (method + values + routing).
+[[nodiscard]] bool feasible(const StandDescription& desc,
+                            const Resource& resource, const Requirement& req);
+
+/// Compute a plan. Throws ctk::StandError with a per-signal explanation
+/// when no feasible assignment exists under the chosen policy.
+[[nodiscard]] Allocation allocate(const StandDescription& desc,
+                                  const std::vector<Requirement>& requirements,
+                                  AllocPolicy policy = AllocPolicy::Greedy);
+
+/// Convenience: requirements + allocation for one test.
+[[nodiscard]] Allocation
+allocate_test(const StandDescription& desc, const script::TestScript& script,
+              const script::ScriptTest& test,
+              AllocPolicy policy = AllocPolicy::Greedy);
+
+} // namespace ctk::stand

@@ -1,0 +1,126 @@
+#include "stand/paper.hpp"
+
+namespace ctk::stand::paper {
+
+namespace {
+
+Resource dvm(std::string id, double min_v, double max_v) {
+    Resource r;
+    r.id = std::move(id);
+    r.label = "DVM";
+    r.methods.push_back(
+        MethodSupport{"get_u", {ParamRange{"u", min_v, max_v, "V"}}});
+    return r;
+}
+
+Resource decade(std::string id, double max_ohm) {
+    Resource r;
+    r.id = std::move(id);
+    r.label = "Resistor decade";
+    r.methods.push_back(
+        MethodSupport{"put_r", {ParamRange{"r", 0.0, max_ohm, "Ohm"}}});
+    r.supports_disconnect = true; // mux/relay tap can open the path
+    return r;
+}
+
+Resource can_interface(std::string id) {
+    Resource r;
+    r.id = std::move(id);
+    r.label = "CAN interface";
+    r.methods.push_back(MethodSupport{"put_can", {}});
+    r.methods.push_back(MethodSupport{"get_can", {}});
+    r.shareable = true;
+    return r;
+}
+
+} // namespace
+
+StandDescription figure1_stand() {
+    StandDescription s("figure1");
+    s.add_resource(dvm("Ress1", -60.0, 60.0));
+    s.add_resource(decade("Ress2", 1.0e6));
+    s.add_resource(decade("Ress3", 2.0e5));
+    s.add_resource(can_interface("Can1"));
+
+    // Table 4 — the connection matrix, verbatim.
+    s.connect("Ress1", "int_ill_f", "Sw1.1");
+    s.connect("Ress1", "int_ill_r", "Sw1.2");
+    s.connect("Ress2", "ds_fl", "Mx1.2");
+    s.connect("Ress2", "ds_fr", "Mx2.2");
+    s.connect("Ress2", "ds_rl", "Mx3.2");
+    s.connect("Ress2", "ds_rr", "Mx4.2");
+    s.connect("Ress3", "ds_fl", "Mx1.1");
+    s.connect("Ress3", "ds_fr", "Mx2.1");
+    s.connect("Ress3", "ds_rl", "Mx3.1");
+    s.connect("Ress3", "ds_rr", "Mx4.1");
+    // Bus signals attach to the CAN interface directly.
+    s.connect("Can1", "ign_st", "bus");
+    s.connect("Can1", "night", "bus");
+
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+StandDescription supplier_stand() {
+    StandDescription s("supplier");
+    s.add_resource(dvm("DVM1", -20.0, 20.0));
+    s.add_resource(decade("Dec1", 5.0e5));
+    s.add_resource(decade("Dec2", 5.0e5));
+    s.add_resource(decade("Dec3", 5.0e5));
+    s.add_resource(decade("Dec4", 5.0e5));
+    s.add_resource(can_interface("Can1"));
+
+    s.connect("DVM1", "int_ill_f", "K1.1");
+    s.connect("DVM1", "int_ill_r", "K1.2");
+    s.connect("Dec1", "ds_fl", "K2");
+    s.connect("Dec2", "ds_fr", "K3");
+    s.connect("Dec3", "ds_rl", "K4");
+    s.connect("Dec4", "ds_rr", "K5");
+    s.connect("Can1", "ign_st", "bus");
+    s.connect("Can1", "night", "bus");
+
+    s.set_variable("ubatt", 13.5);
+    return s;
+}
+
+StandDescription deficient_stand() {
+    StandDescription s("deficient");
+    s.add_resource(dvm("DVM1", -20.0, 20.0));
+    s.add_resource(decade("Dec1", 5.0e5));
+    s.add_resource(decade("Dec2", 5.0e5));
+    s.add_resource(can_interface("Can1"));
+
+    // The DVM is wired to the door pins only — INT_ILL is unreachable, so
+    // allocating the paper script must fail with the §4 error.
+    s.connect("DVM1", "ds_fl", "K1.1");
+    s.connect("DVM1", "ds_fr", "K1.2");
+    s.connect("Dec1", "ds_fl", "K2");
+    s.connect("Dec2", "ds_fr", "K3");
+    s.connect("Can1", "ign_st", "bus");
+    s.connect("Can1", "night", "bus");
+
+    s.set_variable("ubatt", 12.0);
+    return s;
+}
+
+std::string figure1_workbook_text() {
+    return
+        "#sheet resources\n"
+        "resource;label;method;attribut;min;max;unit;disconnect;shareable\n"
+        "Ress1;DVM;get_u;u;-60;60;V;;\n"
+        "Ress2;Resistor decade;put_r;r;0;1,00E+06;Ohm;yes;\n"
+        "Ress3;Resistor decade;put_r;r;0;2,00E+05;Ohm;yes;\n"
+        "Can1;CAN interface;put_can;;;;;;yes\n"
+        "Can1;CAN interface;get_can;;;;;;\n"
+        "#sheet connections\n"
+        ";int_ill_f;int_ill_r;ds_fl;ds_fr;ds_rl;ds_rr;ign_st;night\n"
+        "Ress1;Sw1.1;Sw1.2;;;;;;\n"
+        "Ress2;;;Mx1.2;Mx2.2;Mx3.2;Mx4.2;;\n"
+        "Ress3;;;Mx1.1;Mx2.1;Mx3.1;Mx4.1;;\n"
+        "Can1;;;;;;;bus;bus\n"
+        "#sheet variables\n"
+        "var;value\n"
+        "ubatt;12\n";
+}
+
+} // namespace ctk::stand::paper

@@ -1,0 +1,35 @@
+// The paper's test stand (Tables 3–4, Figure 1) plus two alternative
+// stands used by the portability experiments (E7).
+//
+// Reconstruction note: Table 3 in the published text lists the resistor
+// decades with method "get_r" while the prose says they support "put_r";
+// a decade *sources* a resistance, so put_r is used here (documented in
+// EXPERIMENTS.md). A CAN interface resource is added because the worked
+// example stimulates IGN_ST/NIGHT via put_can but the paper's resource
+// table only shows the electrical instruments.
+#pragma once
+
+#include "stand/stand.hpp"
+
+namespace ctk::stand::paper {
+
+/// Tables 3 + 4: one DVM (±60 V) behind Sw1.1/Sw1.2, two resistor
+/// decades (0–1 MΩ and 0–200 kΩ) behind the 4×2 multiplexer bank, plus a
+/// shareable CAN interface. Variable ubatt = 12 V.
+[[nodiscard]] StandDescription figure1_stand();
+
+/// A differently-equipped "supplier" stand that can still run the same
+/// script: four dedicated relay-switched decades (one per door pin, no
+/// multiplexers), a 0–20 V DVM, ubatt = 13.5 V.
+[[nodiscard]] StandDescription supplier_stand();
+
+/// A deliberately deficient stand: its DVM cannot be routed to the
+/// INT_ILL pins — executing the paper script on it must raise the §4
+/// "no resource" error.
+[[nodiscard]] StandDescription deficient_stand();
+
+/// The same Figure-1 stand in workbook text form (multi-sheet CSV), used
+/// to exercise StandDescription::from_workbook.
+[[nodiscard]] std::string figure1_workbook_text();
+
+} // namespace ctk::stand::paper

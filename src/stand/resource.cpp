@@ -1,0 +1,74 @@
+#include "stand/resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace ctk::stand {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const ParamRange* MethodSupport::range_of(std::string_view attribute) const {
+    for (const auto& r : ranges)
+        if (str::iequals(r.attribute, attribute)) return &r;
+    return nullptr;
+}
+
+const MethodSupport* Resource::find_method(std::string_view m) const {
+    for (const auto& ms : methods)
+        if (str::iequals(ms.method, m)) return &ms;
+    return nullptr;
+}
+
+bool Resource::can_realise(std::string_view method, bool is_get,
+                           std::optional<double> tol_min,
+                           std::optional<double> tol_max) const {
+    const MethodSupport* ms = find_method(method);
+    if (!ms) return false;
+    if (ms->ranges.empty()) return true; // e.g. CAN payloads: no numeric range
+
+    const ParamRange& r = ms->ranges.front();
+    const double lo = tol_min.value_or(-kInf);
+    const double hi = tol_max.value_or(kInf);
+    if (lo > hi) return false;
+
+    if (is_get) {
+        // Must be able to measure every value inside the expected window;
+        // infinite bounds cannot be demanded of any instrument and are
+        // treated as "up to the instrument's own range".
+        const double need_lo = std::isinf(lo) ? r.min : lo;
+        const double need_hi = std::isinf(hi) ? r.max : hi;
+        return r.min <= need_lo && need_hi <= r.max;
+    }
+    // put: some realisable value must fall inside the tolerance window.
+    if (std::max(r.min, lo) <= std::min(r.max, hi)) return true;
+    return supports_disconnect && hi == kInf; // realise INF by opening the path
+}
+
+std::optional<double> Resource::realised_value(
+    std::string_view method, double nominal, std::optional<double> tol_min,
+    std::optional<double> tol_max) const {
+    if (!can_realise(method, /*is_get=*/false, tol_min, tol_max))
+        return std::nullopt;
+    const MethodSupport* ms = find_method(method);
+    if (!ms || ms->ranges.empty()) return nominal;
+
+    const ParamRange& r = ms->ranges.front();
+    const double lo = std::max(r.min, tol_min.value_or(-kInf));
+    const double hi = std::min(r.max, tol_max.value_or(kInf));
+    if (lo > hi) {
+        // Only reachable via the disconnect path.
+        if (supports_disconnect && tol_max.value_or(kInf) == kInf) return kInf;
+        return std::nullopt;
+    }
+    if (std::isinf(nominal) && nominal > 0 && supports_disconnect &&
+        tol_max.value_or(kInf) == kInf)
+        return kInf; // exact INF beats clamping to the decade's maximum
+    return std::clamp(nominal, lo, hi);
+}
+
+} // namespace ctk::stand

@@ -1,0 +1,72 @@
+// Test stand resources.
+//
+// A resource is one instrument of the stand (DVM, resistor decade, CAN
+// interface...). Per the paper §4, a resource is described *only* by the
+// methods it supports and the valid parameter range of each — that is the
+// whole contract the allocator matches against, which is what makes test
+// scripts portable across stands.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ctk::stand {
+
+/// Valid range of one method parameter on one resource.
+struct ParamRange {
+    std::string attribute; ///< e.g. "u"
+    double min = 0.0;
+    double max = 0.0;
+    std::string unit;      ///< "V", "Ohm", ... (informational)
+};
+
+/// One supported method with its parameter ranges.
+struct MethodSupport {
+    std::string method; ///< lower-cased, e.g. "get_u"
+    std::vector<ParamRange> ranges;
+
+    [[nodiscard]] const ParamRange* range_of(std::string_view attribute) const;
+};
+
+struct Resource {
+    std::string id;    ///< e.g. "Ress1"
+    std::string label; ///< e.g. "DVM"
+    std::vector<MethodSupport> methods;
+    /// True when the resource can open the path entirely (a decade behind
+    /// a mux tap realises r = INF by disconnecting). Lets a stand satisfy
+    /// a put_r INF status exactly.
+    bool supports_disconnect = false;
+    /// True when the resource can serve several signals at once (a CAN
+    /// interface transmits frames for many bus signals; an electrical
+    /// source cannot drive two pins independently).
+    bool shareable = false;
+
+    [[nodiscard]] const MethodSupport* find_method(std::string_view m) const;
+
+    /// Can this resource apply/measure `method` such that the realised
+    /// value lies within [tol_min, tol_max]?
+    ///  * put: the resource range (plus INF when it can disconnect) must
+    ///    intersect the tolerance window;
+    ///  * get: the finite part of the expected window must lie inside the
+    ///    measurable range (a DVM must cover the whole window it is asked
+    ///    to judge).
+    /// Methods without a numeric attribute (CAN payloads) only require
+    /// method support.
+    [[nodiscard]] bool can_realise(std::string_view method, bool is_get,
+                                   std::optional<double> tol_min,
+                                   std::optional<double> tol_max) const;
+
+    /// The value the resource would actually apply for a put with nominal
+    /// `nominal` and tolerance [tol_min, tol_max]: the nominal clamped into
+    /// the feasible intersection (INF when realised by disconnecting).
+    /// Returns nullopt when infeasible.
+    [[nodiscard]] std::optional<double> realised_value(
+        std::string_view method, double nominal,
+        std::optional<double> tol_min, std::optional<double> tol_max) const;
+};
+
+} // namespace ctk::stand

@@ -1,0 +1,220 @@
+#include "stand/stand.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ctk::stand {
+
+void StandDescription::add_resource(Resource r) {
+    if (r.id.empty()) throw SemanticError("resource with empty id");
+    if (find_resource(r.id))
+        throw SemanticError("duplicate resource '" + r.id + "'");
+    resources_.push_back(std::move(r));
+}
+
+const Resource* StandDescription::find_resource(std::string_view id) const {
+    for (const auto& r : resources_)
+        if (str::iequals(r.id, id)) return &r;
+    return nullptr;
+}
+
+const Resource& StandDescription::require_resource(std::string_view id) const {
+    const Resource* r = find_resource(id);
+    if (!r)
+        throw SemanticError("stand '" + name_ + "' has no resource '" +
+                            std::string(id) + "'");
+    return *r;
+}
+
+void StandDescription::connect(std::string resource, std::string pin,
+                               std::string via) {
+    (void)require_resource(resource); // existence check
+    connections_.push_back(
+        Connection{std::move(resource), str::lower(pin), std::move(via)});
+}
+
+const Connection* StandDescription::connection(std::string_view resource,
+                                               std::string_view pin) const {
+    for (const auto& c : connections_)
+        if (str::iequals(c.resource, resource) && str::iequals(c.pin, pin))
+            return &c;
+    return nullptr;
+}
+
+bool StandDescription::reaches(std::string_view resource,
+                               const std::vector<std::string>& pins) const {
+    return std::all_of(pins.begin(), pins.end(), [&](const std::string& p) {
+        return connection(resource, p) != nullptr;
+    });
+}
+
+std::vector<std::string> StandDescription::pins() const {
+    std::vector<std::string> out;
+    for (const auto& c : connections_) {
+        if (std::none_of(out.begin(), out.end(), [&](const std::string& p) {
+                return str::iequals(p, c.pin);
+            }))
+            out.push_back(c.pin);
+    }
+    return out;
+}
+
+void StandDescription::set_variable(std::string_view name, double value) {
+    variables_.set(name, value);
+}
+
+std::vector<std::string> StandDescription::missing_variables(
+    const std::set<std::string>& required) const {
+    std::vector<std::string> missing;
+    for (const auto& v : required)
+        if (!variables_.has(v)) missing.push_back(v);
+    return missing;
+}
+
+// ---------------------------------------------------------------------------
+// Tabular I/O
+// ---------------------------------------------------------------------------
+
+StandDescription StandDescription::from_workbook(const tabular::Workbook& wb,
+                                                 std::string name) {
+    StandDescription out(std::move(name));
+
+    // resources: resource;label;method;attribut;min;max;unit;disconnect
+    {
+        const tabular::Sheet& s = wb.require("resources");
+        const std::size_t c_res = s.find_col(0, "resource");
+        const std::size_t c_label = s.find_col(0, "label");
+        const std::size_t c_method = s.find_col(0, "method");
+        const std::size_t c_attr = s.find_col(0, "attribut") != tabular::Sheet::npos
+                                       ? s.find_col(0, "attribut")
+                                       : s.find_col(0, "attribute");
+        const std::size_t c_min = s.find_col(0, "min");
+        const std::size_t c_max = s.find_col(0, "max");
+        const std::size_t c_unit = s.find_col(0, "unit");
+        const std::size_t c_disc = s.find_col(0, "disconnect");
+        const std::size_t c_share = s.find_col(0, "shareable");
+        if (c_res == tabular::Sheet::npos || c_method == tabular::Sheet::npos)
+            throw SemanticError("resources sheet lacks resource/method columns");
+
+        for (std::size_t r = 1; r < s.row_count(); ++r) {
+            const auto id = s.at(r, c_res).text();
+            if (id.empty()) continue;
+            Resource* res = nullptr;
+            for (auto& existing : out.resources_)
+                if (str::iequals(existing.id, id)) res = &existing;
+            if (!res) {
+                Resource fresh;
+                fresh.id = std::string(id);
+                fresh.label = std::string(s.at(r, c_label).text());
+                out.resources_.push_back(std::move(fresh));
+                res = &out.resources_.back();
+            }
+            if (!s.at(r, c_disc).empty()) res->supports_disconnect = true;
+            if (c_share != tabular::Sheet::npos && !s.at(r, c_share).empty())
+                res->shareable = true;
+
+            MethodSupport ms;
+            ms.method = str::lower(s.at(r, c_method).text());
+            const auto attr = s.at(r, c_attr).text();
+            if (!attr.empty()) {
+                ParamRange pr;
+                pr.attribute = std::string(attr);
+                auto mn = s.at(r, c_min).number();
+                auto mx = s.at(r, c_max).number();
+                pr.min = mn.value_or(0.0);
+                pr.max = mx.value_or(0.0);
+                pr.unit = std::string(s.at(r, c_unit).text());
+                ms.ranges.push_back(std::move(pr));
+            }
+            res->methods.push_back(std::move(ms));
+        }
+    }
+
+    // connections: first column = resource id, header row = pin names.
+    {
+        const tabular::Sheet& s = wb.require("connections");
+        for (std::size_t r = 1; r < s.row_count(); ++r) {
+            const auto id = s.at(r, 0).text();
+            if (id.empty()) continue;
+            for (std::size_t c = 1; c < s.row(0).size(); ++c) {
+                const auto pin = s.at(0, c).text();
+                const auto via = s.at(r, c).text();
+                if (!pin.empty() && !via.empty())
+                    out.connect(std::string(id), std::string(pin),
+                                std::string(via));
+            }
+        }
+    }
+
+    if (const tabular::Sheet* s = wb.find("variables")) {
+        for (std::size_t r = 1; r < s->row_count(); ++r) {
+            const auto var = s->at(r, 0).text();
+            if (var.empty()) continue;
+            auto value = s->at(r, 1).number();
+            if (!value)
+                throw SemanticError("variable '" + std::string(var) +
+                                    "' has a non-numeric value");
+            out.set_variable(var, *value);
+        }
+    }
+    return out;
+}
+
+tabular::Workbook StandDescription::to_workbook() const {
+    tabular::Workbook wb;
+    {
+        tabular::Sheet s("resources");
+        s.add_row({"resource", "label", "method", "attribut", "min", "max",
+                   "unit", "disconnect", "shareable"});
+        for (const auto& r : resources_) {
+            bool first = true;
+            for (const auto& ms : r.methods) {
+                std::vector<std::string> row{
+                    r.id, first ? r.label : std::string{}, ms.method};
+                if (!ms.ranges.empty()) {
+                    const auto& pr = ms.ranges.front();
+                    row.push_back(pr.attribute);
+                    row.push_back(str::format_number(pr.min));
+                    row.push_back(str::format_number(pr.max));
+                    row.push_back(pr.unit);
+                } else {
+                    row.insert(row.end(), {"", "", "", ""});
+                }
+                row.push_back(first && r.supports_disconnect ? "yes" : "");
+                row.push_back(first && r.shareable ? "yes" : "");
+                s.add_row(std::move(row));
+                first = false;
+            }
+        }
+        wb.add_sheet(std::move(s));
+    }
+    {
+        tabular::Sheet s("connections");
+        const auto all_pins = pins();
+        std::vector<std::string> header{""};
+        header.insert(header.end(), all_pins.begin(), all_pins.end());
+        s.add_row(header);
+        for (const auto& r : resources_) {
+            std::vector<std::string> row{r.id};
+            bool any = false;
+            for (const auto& p : all_pins) {
+                const Connection* c = connection(r.id, p);
+                row.push_back(c ? c->via : std::string{});
+                any = any || c;
+            }
+            if (any) s.add_row(std::move(row));
+        }
+        wb.add_sheet(std::move(s));
+    }
+    {
+        tabular::Sheet s("variables");
+        s.add_row({"var", "value"});
+        for (const auto& [k, v] : variables_.values())
+            s.add_row({k, str::format_number(v)});
+        wb.add_sheet(std::move(s));
+    }
+    return wb;
+}
+
+} // namespace ctk::stand

@@ -1,0 +1,79 @@
+// Stand description: resources + connection matrix + stand variables.
+//
+// This is the per-stand half of the paper's method (§4): the test script
+// never mentions any of it. The connection matrix says which resource can
+// reach which DUT pin and *via which routing element* (switch "Sw1.1",
+// multiplexer tap "Mx3.2", or a bus attachment); the variables supply the
+// values referenced by script expressions (ubatt, ...).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "stand/resource.hpp"
+#include "tabular/workbook.hpp"
+
+namespace ctk::stand {
+
+/// One routable (resource, pin) pair.
+struct Connection {
+    std::string resource; ///< resource id
+    std::string pin;      ///< DUT pin name (lower-cased)
+    std::string via;      ///< routing element, e.g. "Sw1.1"
+};
+
+class StandDescription {
+public:
+    StandDescription() = default;
+    explicit StandDescription(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    // -- resources ---------------------------------------------------------
+    void add_resource(Resource r);
+    [[nodiscard]] const std::vector<Resource>& resources() const {
+        return resources_;
+    }
+    [[nodiscard]] const Resource* find_resource(std::string_view id) const;
+    [[nodiscard]] const Resource& require_resource(std::string_view id) const;
+
+    // -- connections -------------------------------------------------------
+    void connect(std::string resource, std::string pin, std::string via);
+    [[nodiscard]] const std::vector<Connection>& connections() const {
+        return connections_;
+    }
+    /// The routing element connecting `resource` to `pin`, or nullptr.
+    [[nodiscard]] const Connection* connection(std::string_view resource,
+                                               std::string_view pin) const;
+    /// True when `resource` can reach *all* of `pins`.
+    [[nodiscard]] bool reaches(std::string_view resource,
+                               const std::vector<std::string>& pins) const;
+    /// All pins mentioned in the matrix, in first-seen order.
+    [[nodiscard]] std::vector<std::string> pins() const;
+
+    // -- variables -----------------------------------------------------------
+    void set_variable(std::string_view name, double value);
+    [[nodiscard]] const expr::Env& variables() const { return variables_; }
+
+    /// Variables the given script requires but this stand does not define.
+    [[nodiscard]] std::vector<std::string>
+    missing_variables(const std::set<std::string>& required) const;
+
+    // -- tabular I/O ---------------------------------------------------------
+    /// Load from a workbook with sheets "resources", "connections",
+    /// "variables" (see bench_table3/4 for the exact layout).
+    [[nodiscard]] static StandDescription
+    from_workbook(const tabular::Workbook& wb, std::string name);
+    [[nodiscard]] tabular::Workbook to_workbook() const;
+
+private:
+    std::string name_;
+    std::vector<Resource> resources_;
+    std::vector<Connection> connections_;
+    expr::Env variables_;
+};
+
+} // namespace ctk::stand

@@ -1,0 +1,41 @@
+// A spreadsheet cell.
+//
+// Cells keep their raw text; numeric interpretation happens on demand via
+// ctk::str::parse_number so that "0,5", "0.5", "INF" and "" are all valid
+// sheet content (the paper's sheets are German-locale Excel exports).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/strings.hpp"
+
+namespace ctk::tabular {
+
+class Cell {
+public:
+    Cell() = default;
+    explicit Cell(std::string raw) : raw_(std::move(raw)) {}
+
+    [[nodiscard]] const std::string& raw() const noexcept { return raw_; }
+
+    /// Whitespace-trimmed view of the raw content.
+    [[nodiscard]] std::string_view text() const { return str::trim(raw_); }
+
+    [[nodiscard]] bool empty() const { return text().empty(); }
+
+    /// Numeric value if the cell parses as a number (comma or point).
+    [[nodiscard]] std::optional<double> number() const {
+        return str::parse_number(raw_);
+    }
+
+    friend bool operator==(const Cell& a, const Cell& b) {
+        return a.text() == b.text();
+    }
+
+private:
+    std::string raw_;
+};
+
+} // namespace ctk::tabular

@@ -1,0 +1,135 @@
+#include "tabular/csv.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace ctk::tabular {
+
+char detect_separator(std::string_view text) {
+    // Examine the first non-empty line only: header rows never contain
+    // quoted separators in practice, and one line is enough to vote.
+    std::size_t end = text.find('\n');
+    std::string_view line = text.substr(0, end);
+    while (line.empty() && end != std::string_view::npos) {
+        text.remove_prefix(end + 1);
+        end = text.find('\n');
+        line = text.substr(0, end);
+    }
+    constexpr std::array<char, 3> candidates{';', ',', '\t'};
+    char best = ';';
+    std::size_t best_count = 0;
+    for (char cand : candidates) {
+        std::size_t count = 0;
+        bool quoted = false;
+        for (char c : line) {
+            if (c == '"') quoted = !quoted;
+            else if (c == cand && !quoted) ++count;
+        }
+        if (count > best_count) {
+            best = cand;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+Sheet parse_csv(std::string_view text, std::string sheet_name,
+                const CsvOptions& opts) {
+    const char sep = opts.separator ? opts.separator : detect_separator(text);
+
+    Sheet sheet(std::move(sheet_name));
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool row_has_content = false;
+    std::size_t line = 1, col = 1;
+    SourcePos quote_start;
+
+    auto end_field = [&] {
+        row.push_back(std::move(field));
+        field.clear();
+    };
+    auto end_row = [&] {
+        end_field();
+        for (const auto& f : row)
+            if (!str::trim(f).empty()) {
+                row_has_content = true;
+                break;
+            }
+        if (row_has_content || !opts.skip_blank_rows) sheet.add_row(std::move(row));
+        row = {};
+        row_has_content = false;
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                    ++col;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+                if (c == '\n') {
+                    ++line;
+                    col = 0;
+                }
+            }
+        } else if (c == '"' && str::trim(field).empty()) {
+            in_quotes = true;
+            field.clear(); // drop leading whitespace before the quote
+            quote_start = SourcePos{opts.origin, line, col};
+        } else if (c == sep) {
+            end_field();
+        } else if (c == '\n') {
+            if (!field.empty() && field.back() == '\r') field.pop_back();
+            end_row();
+            ++line;
+            col = 0;
+        } else {
+            field += c;
+        }
+        ++col;
+    }
+    if (in_quotes)
+        throw ParseError(quote_start, "unterminated quoted CSV field");
+    if (!field.empty() || !row.empty()) {
+        if (!field.empty() && field.back() == '\r') field.pop_back();
+        end_row();
+    }
+    return sheet;
+}
+
+std::string emit_csv(const Sheet& sheet, char separator) {
+    std::string out;
+    for (std::size_t r = 0; r < sheet.row_count(); ++r) {
+        const auto& row = sheet.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) out += separator;
+            const std::string& raw = row[c].raw();
+            const bool needs_quote =
+                raw.find(separator) != std::string::npos ||
+                raw.find('"') != std::string::npos ||
+                raw.find('\n') != std::string::npos;
+            if (needs_quote) {
+                out += '"';
+                for (char ch : raw) {
+                    if (ch == '"') out += '"';
+                    out += ch;
+                }
+                out += '"';
+            } else {
+                out += raw;
+            }
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ctk::tabular

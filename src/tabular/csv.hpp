@@ -1,0 +1,36 @@
+// CSV/TSV parsing and emission (RFC 4180 quoting).
+//
+// German-locale Excel exports use ';' as the field separator because ','
+// is the decimal separator; parse_csv auto-detects among {';', ',', '\t'}
+// unless an explicit separator is given.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tabular/sheet.hpp"
+
+namespace ctk::tabular {
+
+struct CsvOptions {
+    char separator = 0;        ///< 0 = auto-detect per file
+    bool skip_blank_rows = true;
+    std::string origin = "<memory>"; ///< file name for error positions
+};
+
+/// Parse CSV text into a sheet. Throws ctk::ParseError on unterminated
+/// quotes. Quoted fields may contain separators, quotes ("" escape) and
+/// newlines.
+[[nodiscard]] Sheet parse_csv(std::string_view text, std::string sheet_name,
+                              const CsvOptions& opts = {});
+
+/// Emit a sheet as CSV using `separator` (default ';'), quoting fields
+/// that contain the separator, quotes or newlines. Round-trips with
+/// parse_csv.
+[[nodiscard]] std::string emit_csv(const Sheet& sheet, char separator = ';');
+
+/// Pick the separator used by `text`: the candidate among {';', ',', '\t'}
+/// appearing most often outside quotes in the first non-empty line.
+[[nodiscard]] char detect_separator(std::string_view text);
+
+} // namespace ctk::tabular

@@ -1,0 +1,44 @@
+#include "tabular/sheet.hpp"
+
+#include <algorithm>
+
+namespace ctk::tabular {
+
+const Cell Sheet::empty_cell_{};
+
+std::size_t Sheet::col_count() const {
+    std::size_t w = 0;
+    for (const auto& r : rows_) w = std::max(w, r.size());
+    return w;
+}
+
+void Sheet::add_row(std::vector<std::string> raw_cells) {
+    std::vector<Cell> row;
+    row.reserve(raw_cells.size());
+    for (auto& raw : raw_cells) row.emplace_back(std::move(raw));
+    rows_.push_back(std::move(row));
+}
+
+const Cell& Sheet::at(std::size_t row, std::size_t col) const {
+    if (row >= rows_.size()) return empty_cell_;
+    const auto& r = rows_[row];
+    if (col >= r.size()) return empty_cell_;
+    return r[col];
+}
+
+std::size_t Sheet::find_row(std::string_view label) const {
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        if (str::iequals(at(i, 0).text(), label)) return i;
+    return npos;
+}
+
+std::size_t Sheet::find_col(std::size_t header_row,
+                            std::string_view label) const {
+    if (header_row >= rows_.size()) return npos;
+    const auto& r = rows_[header_row];
+    for (std::size_t c = 0; c < r.size(); ++c)
+        if (str::iequals(r[c].text(), label)) return c;
+    return npos;
+}
+
+} // namespace ctk::tabular

@@ -1,0 +1,54 @@
+// Sheet: a named rectangular grid of cells, the unit the paper's method is
+// defined in (signal definition sheet, test definition sheet, status sheet).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tabular/cell.hpp"
+
+namespace ctk::tabular {
+
+class Sheet {
+public:
+    Sheet() = default;
+    explicit Sheet(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Widest row in the sheet (rows may be ragged after CSV import).
+    [[nodiscard]] std::size_t col_count() const;
+
+    /// Append a row of raw strings.
+    void add_row(std::vector<std::string> raw_cells);
+
+    /// Cell access; out-of-range coordinates yield an empty cell, which
+    /// keeps consumers free of bounds bookkeeping on ragged sheets.
+    [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+    [[nodiscard]] const std::vector<Cell>& row(std::size_t r) const {
+        return rows_.at(r);
+    }
+
+    /// Index of the first row whose first cell equals `label`
+    /// (case-insensitive), or npos.
+    [[nodiscard]] std::size_t find_row(std::string_view label) const;
+
+    /// Index of the column in `header_row` whose cell equals `label`
+    /// (case-insensitive), or npos.
+    [[nodiscard]] std::size_t find_col(std::size_t header_row,
+                                       std::string_view label) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+private:
+    std::string name_;
+    std::vector<std::vector<Cell>> rows_;
+    static const Cell empty_cell_;
+};
+
+} // namespace ctk::tabular

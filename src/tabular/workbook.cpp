@@ -1,0 +1,112 @@
+#include "tabular/workbook.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ctk::tabular {
+
+Sheet& Workbook::add_sheet(Sheet sheet) {
+    for (auto& s : sheets_) {
+        if (str::iequals(s.name(), sheet.name())) {
+            s = std::move(sheet);
+            return s;
+        }
+    }
+    sheets_.push_back(std::move(sheet));
+    return sheets_.back();
+}
+
+const Sheet* Workbook::find(std::string_view name) const {
+    for (const auto& s : sheets_)
+        if (str::iequals(s.name(), name)) return &s;
+    return nullptr;
+}
+
+const Sheet& Workbook::require(std::string_view name) const {
+    const Sheet* s = find(name);
+    if (!s)
+        throw SemanticError("workbook has no sheet named '" +
+                            std::string(name) + "'");
+    return *s;
+}
+
+Workbook Workbook::parse_multi(std::string_view text, const CsvOptions& opts) {
+    Workbook wb;
+    std::string current_name;
+    std::string current_body;
+
+    auto flush = [&] {
+        if (!current_name.empty()) {
+            CsvOptions o = opts;
+            o.origin = opts.origin + "#" + current_name;
+            wb.add_sheet(parse_csv(current_body, current_name, o));
+        }
+        current_body.clear();
+    };
+
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t end = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, end == std::string_view::npos ? std::string_view::npos
+                                               : end - pos);
+        std::string_view trimmed = str::trim(line);
+        if (str::starts_with(trimmed, "#sheet")) {
+            flush();
+            current_name = std::string(str::trim(trimmed.substr(6)));
+            if (current_name.empty())
+                throw ParseError(SourcePos{opts.origin, 0, 0},
+                                 "#sheet marker without a name");
+        } else if (!str::starts_with(trimmed, "#")) {
+            if (!current_name.empty()) {
+                current_body.append(line);
+                current_body += '\n';
+            }
+        }
+        if (end == std::string_view::npos) break;
+        pos = end + 1;
+    }
+    flush();
+    return wb;
+}
+
+std::string Workbook::emit_multi(char separator) const {
+    std::string out;
+    for (const auto& s : sheets_) {
+        out += "#sheet " + s.name() + "\n";
+        out += emit_csv(s, separator);
+    }
+    return out;
+}
+
+Workbook Workbook::load_dir(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw Error("not a directory: " + dir);
+
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".csv")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    Workbook wb;
+    for (const auto& p : files) {
+        std::ifstream in(p);
+        if (!in) throw Error("cannot open " + p.string());
+        std::ostringstream body;
+        body << in.rdbuf();
+        CsvOptions opts;
+        opts.origin = p.string();
+        wb.add_sheet(parse_csv(body.str(), p.stem().string(), opts));
+    }
+    return wb;
+}
+
+} // namespace ctk::tabular

@@ -1,0 +1,50 @@
+// Workbook: the Excel-file stand-in — an ordered collection of named sheets.
+//
+// Two on-disk forms are supported:
+//  * a directory of "<sheet>.csv" files, and
+//  * a single "multi-sheet" text file where lines of the form
+//        #sheet <Name>
+//    start a new sheet (handy for embedding fixtures in tests/benches).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tabular/csv.hpp"
+#include "tabular/sheet.hpp"
+
+namespace ctk::tabular {
+
+class Workbook {
+public:
+    Workbook() = default;
+
+    /// Add (or replace, by name) a sheet; returns a stable reference.
+    Sheet& add_sheet(Sheet sheet);
+
+    [[nodiscard]] const std::vector<Sheet>& sheets() const { return sheets_; }
+
+    /// Sheet lookup by case-insensitive name; nullptr when absent.
+    [[nodiscard]] const Sheet* find(std::string_view name) const;
+
+    /// Like find(), but throws ctk::SemanticError when absent.
+    [[nodiscard]] const Sheet& require(std::string_view name) const;
+
+    /// Parse a multi-sheet text (see file comment). Content before the
+    /// first "#sheet" marker is ignored; "#" comment lines are skipped.
+    [[nodiscard]] static Workbook parse_multi(std::string_view text,
+                                              const CsvOptions& opts = {});
+
+    /// Serialise to the multi-sheet form (round-trips with parse_multi).
+    [[nodiscard]] std::string emit_multi(char separator = ';') const;
+
+    /// Load every "*.csv" in a directory as one sheet each (sheet name =
+    /// file stem). Throws ctk::Error if the directory cannot be read.
+    [[nodiscard]] static Workbook load_dir(const std::string& dir);
+
+private:
+    std::vector<Sheet> sheets_;
+};
+
+} // namespace ctk::tabular

@@ -1,0 +1,366 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace ctk::xml {
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+Node& Node::set_attr(std::string name, std::string value) {
+    for (auto& a : attrs_) {
+        if (a.name == name) {
+            a.value = std::move(value);
+            return *this;
+        }
+    }
+    attrs_.push_back(Attribute{std::move(name), std::move(value)});
+    return *this;
+}
+
+const std::string* Node::attr(std::string_view name) const {
+    for (const auto& a : attrs_)
+        if (a.name == name) return &a.value;
+    return nullptr;
+}
+
+const std::string& Node::require_attr(std::string_view name) const {
+    const std::string* v = attr(name);
+    if (!v)
+        throw SemanticError("element <" + name_ + "> is missing attribute '" +
+                            std::string(name) + "'");
+    return *v;
+}
+
+std::optional<double> Node::attr_number(std::string_view name) const {
+    const std::string* v = attr(name);
+    if (!v) return std::nullopt;
+    return str::parse_number(*v);
+}
+
+Node& Node::add_child(std::string name) {
+    children_.emplace_back(std::move(name));
+    return children_.back();
+}
+
+Node& Node::add_child(Node node) {
+    children_.push_back(std::move(node));
+    return children_.back();
+}
+
+const Node* Node::child(std::string_view name) const {
+    for (const auto& c : children_)
+        if (c.name_ == name) return &c;
+    return nullptr;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+    std::vector<const Node*> out;
+    for (const auto& c : children_)
+        if (c.name_ == name) out.push_back(&c);
+    return out;
+}
+
+bool operator==(const Node& a, const Node& b) {
+    if (a.name_ != b.name_ || a.text_ != b.text_) return false;
+    if (a.attrs_.size() != b.attrs_.size()) return false;
+    for (std::size_t i = 0; i < a.attrs_.size(); ++i)
+        if (a.attrs_[i].name != b.attrs_[i].name ||
+            a.attrs_[i].value != b.attrs_[i].value)
+            return false;
+    return a.children_ == b.children_;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string escape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        case '\'': out += "&apos;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void write_node(const Node& n, const WriteOptions& opts, int depth,
+                std::string& out) {
+    auto pad = [&](int d) {
+        if (opts.indent >= 0)
+            out.append(static_cast<std::size_t>(d * opts.indent), ' ');
+    };
+    auto newline = [&] {
+        if (opts.indent >= 0) out += '\n';
+    };
+
+    pad(depth);
+    out += '<';
+    out += n.name();
+    for (const auto& a : n.attrs()) {
+        out += ' ';
+        out += a.name;
+        out += "=\"";
+        out += escape(a.value);
+        out += '"';
+    }
+    if (n.children().empty() && n.text().empty()) {
+        out += " />";
+        newline();
+        return;
+    }
+    out += '>';
+    if (n.children().empty()) {
+        // Text-only element stays on one line: <remark>day: no interior</remark>
+        out += escape(n.text());
+        out += "</";
+        out += n.name();
+        out += '>';
+        newline();
+        return;
+    }
+    newline();
+    if (!n.text().empty()) {
+        pad(depth + 1);
+        out += escape(n.text());
+        newline();
+    }
+    for (const auto& c : n.children()) write_node(c, opts, depth + 1, out);
+    pad(depth);
+    out += "</";
+    out += n.name();
+    out += '>';
+    newline();
+}
+
+} // namespace
+
+std::string write(const Node& root, const WriteOptions& opts) {
+    std::string out;
+    if (opts.declaration) {
+        out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+        if (opts.indent >= 0) out += '\n';
+    }
+    write_node(root, opts, 0, out);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string origin)
+        : text_(text), origin_(std::move(origin)) {}
+
+    Node parse_document() {
+        skip_misc();
+        if (eof()) fail("document has no root element");
+        Node root = parse_element();
+        skip_misc();
+        if (!eof()) fail("content after root element");
+        return root;
+    }
+
+private:
+    std::string_view text_;
+    std::string origin_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t col_ = 1;
+
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+    [[nodiscard]] bool peek_is(std::string_view s) const {
+        return text_.substr(pos_, s.size()) == s;
+    }
+
+    char advance() {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void expect(char c) {
+        if (eof() || peek() != c)
+            fail(std::string("expected '") + c + "'");
+        advance();
+    }
+
+    void expect_str(std::string_view s) {
+        if (!peek_is(s)) fail("expected '" + std::string(s) + "'");
+        for (std::size_t i = 0; i < s.size(); ++i) advance();
+    }
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw ParseError(SourcePos{origin_, line_, col_}, msg);
+    }
+
+    void skip_ws() {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
+            advance();
+    }
+
+    /// Skip whitespace, the XML declaration, comments and PIs.
+    void skip_misc() {
+        for (;;) {
+            skip_ws();
+            if (peek_is("<?")) {
+                while (!eof() && !peek_is("?>")) advance();
+                if (eof()) fail("unterminated processing instruction");
+                expect_str("?>");
+            } else if (peek_is("<!--")) {
+                skip_comment();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void skip_comment() {
+        expect_str("<!--");
+        while (!eof() && !peek_is("-->")) advance();
+        if (eof()) fail("unterminated comment");
+        expect_str("-->");
+    }
+
+    [[nodiscard]] static bool is_name_char(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '-' || c == '.' || c == ':';
+    }
+
+    std::string parse_name() {
+        if (eof() || !is_name_char(peek())) fail("expected a name");
+        std::string name;
+        while (!eof() && is_name_char(peek())) name += advance();
+        return name;
+    }
+
+    std::string parse_entity() {
+        expect('&');
+        std::string ent;
+        while (!eof() && peek() != ';') ent += advance();
+        if (eof()) fail("unterminated entity reference");
+        expect(';');
+        if (ent == "amp") return "&";
+        if (ent == "lt") return "<";
+        if (ent == "gt") return ">";
+        if (ent == "quot") return "\"";
+        if (ent == "apos") return "'";
+        if (!ent.empty() && ent[0] == '#') {
+            int base = 10;
+            std::string digits = ent.substr(1);
+            if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+                base = 16;
+                digits = digits.substr(1);
+            }
+            try {
+                const long code = std::stol(digits, nullptr, base);
+                if (code > 0 && code < 128)
+                    return std::string(1, static_cast<char>(code));
+            } catch (...) {
+                // fall through to the error below
+            }
+            fail("unsupported character reference &" + ent + ";");
+        }
+        fail("unknown entity &" + ent + ";");
+    }
+
+    std::string parse_attr_value() {
+        if (eof() || (peek() != '"' && peek() != '\''))
+            fail("expected quoted attribute value");
+        const char quote = advance();
+        std::string value;
+        while (!eof() && peek() != quote) {
+            if (peek() == '&')
+                value += parse_entity();
+            else
+                value += advance();
+        }
+        if (eof()) fail("unterminated attribute value");
+        advance(); // closing quote
+        return value;
+    }
+
+    Node parse_element() {
+        expect('<');
+        Node node(parse_name());
+        for (;;) {
+            skip_ws();
+            if (eof()) fail("unterminated start tag");
+            if (peek() == '>') {
+                advance();
+                break;
+            }
+            if (peek_is("/>")) {
+                expect_str("/>");
+                return node;
+            }
+            std::string attr_name = parse_name();
+            skip_ws();
+            expect('=');
+            skip_ws();
+            if (node.attr(attr_name))
+                fail("duplicate attribute '" + attr_name + "'");
+            node.set_attr(std::move(attr_name), parse_attr_value());
+        }
+        // Content until matching end tag.
+        std::string text;
+        for (;;) {
+            if (eof()) fail("missing </" + node.name() + ">");
+            if (peek_is("<!--")) {
+                skip_comment();
+            } else if (peek_is("<![CDATA[")) {
+                expect_str("<![CDATA[");
+                while (!eof() && !peek_is("]]>")) text += advance();
+                if (eof()) fail("unterminated CDATA section");
+                expect_str("]]>");
+            } else if (peek_is("</")) {
+                expect_str("</");
+                std::string end_name = parse_name();
+                if (end_name != node.name())
+                    fail("mismatched end tag </" + end_name + ">, expected </" +
+                         node.name() + ">");
+                skip_ws();
+                expect('>');
+                break;
+            } else if (peek() == '<') {
+                node.add_child(parse_element());
+            } else if (peek() == '&') {
+                text += parse_entity();
+            } else {
+                text += advance();
+            }
+        }
+        node.set_text(std::string(str::trim(text)));
+        return node;
+    }
+};
+
+} // namespace
+
+Node parse(std::string_view text, const std::string& origin) {
+    return Parser(text, origin).parse_document();
+}
+
+} // namespace ctk::xml

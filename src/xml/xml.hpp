@@ -1,0 +1,84 @@
+// Minimal XML DOM — the paper's interchange format for test scripts.
+//
+// Deliberately small: elements, ordered attributes, child elements and
+// character data. That is the entire vocabulary the test-script schema
+// needs (<testscript>, <test>, <step>, <signal>, method elements), and a
+// self-contained implementation keeps the repository dependency-free.
+//
+// Supported on parse: declarations (<?xml?>), comments, CDATA, the five
+// predefined entities plus numeric character references (ASCII range).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ctk::xml {
+
+struct Attribute {
+    std::string name;
+    std::string value;
+};
+
+class Node {
+public:
+    Node() = default;
+    explicit Node(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+    /// Concatenated character data directly inside this element.
+    [[nodiscard]] const std::string& text() const noexcept { return text_; }
+    void set_text(std::string t) { text_ = std::move(t); }
+
+    // -- attributes (ordered, duplicates rejected) ------------------------
+    Node& set_attr(std::string name, std::string value);
+    [[nodiscard]] const std::string* attr(std::string_view name) const;
+    [[nodiscard]] const std::string& require_attr(std::string_view name) const;
+    [[nodiscard]] std::optional<double> attr_number(std::string_view name) const;
+    [[nodiscard]] const std::vector<Attribute>& attrs() const { return attrs_; }
+
+    // -- children ----------------------------------------------------------
+    /// Append a child element and return a reference to it.
+    Node& add_child(std::string name);
+    Node& add_child(Node node);
+    [[nodiscard]] const std::vector<Node>& children() const { return children_; }
+    [[nodiscard]] std::vector<Node>& children() { return children_; }
+
+    /// First child with the given element name, or nullptr.
+    [[nodiscard]] const Node* child(std::string_view name) const;
+    /// All children with the given element name.
+    [[nodiscard]] std::vector<const Node*> children_named(std::string_view name) const;
+
+    /// Structural equality (names, attributes in order, text, children).
+    friend bool operator==(const Node& a, const Node& b);
+
+private:
+    std::string name_;
+    std::string text_;
+    std::vector<Attribute> attrs_;
+    std::vector<Node> children_;
+};
+
+struct WriteOptions {
+    bool declaration = true; ///< emit <?xml version="1.0" encoding="UTF-8"?>
+    int indent = 2;          ///< spaces per depth level; <0 = single line
+};
+
+/// Serialise a document rooted at `root`.
+[[nodiscard]] std::string write(const Node& root, const WriteOptions& opts = {});
+
+/// Escape character data / attribute values.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+/// Parse a document; returns the root element.
+/// Throws ctk::ParseError with line/column on malformed input.
+[[nodiscard]] Node parse(std::string_view text,
+                         const std::string& origin = "<memory>");
+
+} // namespace ctk::xml

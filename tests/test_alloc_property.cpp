@@ -1,0 +1,183 @@
+// Property tests for the allocator over randomly generated stands and
+// requirement sets (parameterized across seeds).
+//
+// Invariants checked on every instance:
+//  P1  any plan returned (either policy) is *valid*: every entry's
+//      resource supports the method, is routable to all pins, can realise
+//      every demand, and no non-shareable resource serves two signals;
+//  P2  if greedy succeeds, matching succeeds (matching is complete);
+//  P3  matching never succeeds on an instance where no perfect matching
+//      exists (cross-checked against brute-force enumeration);
+//  P4  passive (unconnected) entries appear only for put_r requirements
+//      whose demands all accept INF.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/rng.hpp"
+#include "stand/allocator.hpp"
+
+namespace ctk::stand {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Instance {
+    StandDescription desc{"random"};
+    std::vector<Requirement> requirements;
+};
+
+/// Random instance: n resources, m requirements, connection density p,
+/// random ranges; some demands INF-friendly.
+Instance make_instance(Rng& rng) {
+    Instance inst;
+    const int n_res = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+    const int n_req = 1 + static_cast<int>(rng.next_below(6));  // 1..6
+
+    for (int r = 0; r < n_res; ++r) {
+        Resource res;
+        res.id = "R" + std::to_string(r);
+        res.label = "decade";
+        const double max_ohm = 100.0 * static_cast<double>(
+                                   1 + rng.next_below(10000));
+        res.methods.push_back(MethodSupport{
+            "put_r", {ParamRange{"r", 0.0, max_ohm, "Ohm"}}});
+        res.supports_disconnect = rng.next_bool(0.5);
+        inst.desc.add_resource(res);
+    }
+
+    for (int q = 0; q < n_req; ++q) {
+        Requirement req;
+        req.signal = "s" + std::to_string(q);
+        req.method = "put_r";
+        req.pins = {"p" + std::to_string(q)};
+        const int demands = 1 + static_cast<int>(rng.next_below(3));
+        for (int d = 0; d < demands; ++d) {
+            ValueDemand vd;
+            vd.status = "st" + std::to_string(d);
+            if (rng.next_bool(0.3)) {
+                vd.nominal = kInf; // Closed-style
+                vd.tol_min = 5000.0;
+                vd.tol_max = kInf;
+            } else {
+                const double lo =
+                    static_cast<double>(rng.next_below(100000));
+                vd.nominal = lo;
+                vd.tol_min = lo;
+                vd.tol_max = lo + 1000.0;
+            }
+            req.demands.push_back(vd);
+        }
+        inst.requirements.push_back(req);
+    }
+
+    // Random connectivity with density ~0.5.
+    for (int r = 0; r < n_res; ++r)
+        for (int q = 0; q < n_req; ++q)
+            if (rng.next_bool(0.5))
+                inst.desc.connect("R" + std::to_string(r),
+                                  "p" + std::to_string(q),
+                                  "K" + std::to_string(r) + "_" +
+                                      std::to_string(q));
+    return inst;
+}
+
+bool plan_is_valid(const Instance& inst, const Allocation& plan) {
+    std::map<std::string, int> uses;
+    if (plan.entries.size() != inst.requirements.size()) return false;
+    for (const auto& e : plan.entries) {
+        if (e.is_unconnected()) {
+            // P4: only INF-friendly put_r requirements may be passive.
+            if (e.requirement.is_get || e.requirement.method != "put_r")
+                return false;
+            for (const auto& d : e.requirement.demands)
+                if (d.tol_max.value_or(kInf) != kInf) return false;
+            continue;
+        }
+        const Resource* res = inst.desc.find_resource(e.resource);
+        if (!res) return false;
+        if (!feasible(inst.desc, *res, e.requirement)) return false;
+        if (!res->shareable && ++uses[res->id] > 1) return false;
+    }
+    return true;
+}
+
+/// Brute-force feasibility: does ANY assignment (resources distinct per
+/// non-passive requirement) satisfy all requirements?
+bool feasible_by_enumeration(const Instance& inst) {
+    const auto& reqs = inst.requirements;
+    const auto& resources = inst.desc.resources();
+    std::vector<int> chosen(reqs.size(), -1);
+
+    // Passive requirements never consume resources.
+    auto passive = [&](const Requirement& r) {
+        return std::all_of(r.demands.begin(), r.demands.end(),
+                           [&](const ValueDemand& d) {
+                               return d.tol_max.value_or(kInf) == kInf;
+                           });
+    };
+
+    std::function<bool(std::size_t, unsigned)> rec =
+        [&](std::size_t i, unsigned used_mask) {
+            if (i == reqs.size()) return true;
+            if (passive(reqs[i])) return rec(i + 1, used_mask);
+            for (std::size_t j = 0; j < resources.size(); ++j) {
+                if (used_mask & (1u << j)) continue;
+                if (!feasible(inst.desc, resources[j], reqs[i])) continue;
+                if (rec(i + 1, used_mask | (1u << j))) return true;
+            }
+            return false;
+        };
+    return rec(0, 0);
+}
+
+class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorProperty, InvariantsHoldOnRandomInstances) {
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        const Instance inst = make_instance(rng);
+
+        bool greedy_ok = false, matching_ok = false;
+        Allocation greedy_plan, matching_plan;
+        try {
+            greedy_plan = allocate(inst.desc, inst.requirements,
+                                   AllocPolicy::Greedy);
+            greedy_ok = true;
+        } catch (const StandError&) {
+        }
+        try {
+            matching_plan = allocate(inst.desc, inst.requirements,
+                                     AllocPolicy::Matching);
+            matching_ok = true;
+        } catch (const StandError&) {
+        }
+
+        // P1: returned plans are valid.
+        if (greedy_ok) {
+            EXPECT_TRUE(plan_is_valid(inst, greedy_plan)) << "trial " << trial;
+        }
+        if (matching_ok) {
+            EXPECT_TRUE(plan_is_valid(inst, matching_plan))
+                << "trial " << trial;
+        }
+
+        // P2: matching dominates greedy.
+        if (greedy_ok) {
+            EXPECT_TRUE(matching_ok) << "trial " << trial;
+        }
+
+        // P3: matching agrees with brute force.
+        EXPECT_EQ(matching_ok, feasible_by_enumeration(inst))
+            << "trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+} // namespace
+} // namespace ctk::stand

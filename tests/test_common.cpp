@@ -1,0 +1,158 @@
+// Unit tests: common utilities (strings, numbers, table renderer, rng).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace ctk {
+namespace {
+
+using str::parse_number;
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+    EXPECT_EQ(str::trim("  abc  "), "abc");
+    EXPECT_EQ(str::trim("\t a b \n"), "a b");
+    EXPECT_EQ(str::trim(""), "");
+    EXPECT_EQ(str::trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = str::split("a;;b;", ';');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, CaseConversionAndIequals) {
+    EXPECT_EQ(str::lower("AbC"), "abc");
+    EXPECT_EQ(str::upper("aBc"), "ABC");
+    EXPECT_TRUE(str::iequals("UBATT", "ubatt"));
+    EXPECT_FALSE(str::iequals("UBATT", "ubat"));
+    EXPECT_FALSE(str::iequals("a", "ab"));
+}
+
+struct NumberCase {
+    const char* text;
+    double expected;
+};
+
+class ParseNumberValid : public ::testing::TestWithParam<NumberCase> {};
+
+TEST_P(ParseNumberValid, ParsesTo) {
+    const auto& [text, expected] = GetParam();
+    const auto v = parse_number(text);
+    ASSERT_TRUE(v.has_value()) << text;
+    if (std::isinf(expected))
+        EXPECT_EQ(*v, expected);
+    else
+        EXPECT_DOUBLE_EQ(*v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DecimalFormats, ParseNumberValid,
+    ::testing::Values(NumberCase{"0,5", 0.5},        // German comma
+                      NumberCase{"0.5", 0.5},        // point
+                      NumberCase{"280", 280.0},      //
+                      NumberCase{"-60", -60.0},      //
+                      NumberCase{"1,00E+06", 1e6},   // Excel scientific
+                      NumberCase{"2,00E+05", 2e5},   //
+                      NumberCase{"1e-3", 1e-3},      //
+                      NumberCase{" 25 ", 25.0},      // padded
+                      NumberCase{"INF", std::numeric_limits<double>::infinity()},
+                      NumberCase{"-INF", -std::numeric_limits<double>::infinity()},
+                      NumberCase{"inf", std::numeric_limits<double>::infinity()},
+                      NumberCase{"+5", 5.0}));
+
+class ParseNumberInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParseNumberInvalid, Rejects) {
+    EXPECT_FALSE(parse_number(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, ParseNumberInvalid,
+                         ::testing::Values("", "abc", "1,2,3", "0001B",
+                                           "Open", "12 34", "--5", "1.2.3"));
+
+TEST(FormatNumber, CompactForms) {
+    EXPECT_EQ(str::format_number(280.0), "280");
+    EXPECT_EQ(str::format_number(0.5), "0.5");
+    EXPECT_EQ(str::format_number(std::numeric_limits<double>::infinity()),
+              "INF");
+    EXPECT_EQ(str::format_number(-std::numeric_limits<double>::infinity()),
+              "-INF");
+    EXPECT_EQ(str::format_number(-60.0), "-60");
+}
+
+TEST(FormatNumber, RoundTripsThroughParse) {
+    for (double v : {0.5, 280.0, 1e6, -60.0, 0.3, 1.1, 0.7, 13.5}) {
+        const auto back = parse_number(str::format_number(v, 12));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_DOUBLE_EQ(*back, v);
+    }
+}
+
+TEST(SourcePos, FormatsFileLineColumn) {
+    EXPECT_EQ((SourcePos{"a.csv", 3, 7}).to_string(), "a.csv:3:7");
+    EXPECT_EQ((SourcePos{"a.csv", 3, 0}).to_string(), "a.csv:3");
+    EXPECT_EQ((SourcePos{"", 0, 0}).to_string(), "<unknown>");
+}
+
+TEST(ParseErrorTest, CarriesPosition) {
+    const ParseError e(SourcePos{"x.xml", 2, 5}, "boom");
+    EXPECT_EQ(e.pos().line, 2u);
+    EXPECT_STREQ(e.what(), "x.xml:2:5: boom");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t;
+    t.header({"a", "long"});
+    t.row({"xx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a  | long |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+    Rng a(1), b(2);
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UnitValuesInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.next_unit();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RangeRespectsBounds) {
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.next_range(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+} // namespace
+} // namespace ctk

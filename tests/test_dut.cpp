@@ -1,0 +1,426 @@
+// Unit tests: behavioural ECU models (the DUT substrate).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "dut/catalogue.hpp"
+
+namespace ctk::dut {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Advance a DUT in small ticks (mirrors the executor's sampling).
+void run(Dut& d, double seconds, double tick = 0.05) {
+    double t = 0;
+    while (t < seconds - 1e-9) {
+        const double dt = std::min(tick, seconds - t);
+        d.step(dt);
+        t += dt;
+    }
+}
+
+std::vector<bool> bits(std::initializer_list<int> vals) {
+    std::vector<bool> out;
+    for (int v : vals) out.push_back(v != 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Interior light
+// ---------------------------------------------------------------------------
+
+class InteriorLight : public ::testing::Test {
+protected:
+    InteriorLightEcu ecu;
+    void night(bool on) { ecu.can_receive("night", bits({on ? 1 : 0})); }
+    void door(const char* pin, bool open) {
+        ecu.set_pin_resistance(pin, open ? 0.0 : kInf);
+    }
+    double lamp() {
+        return ecu.pin_voltage("int_ill_f") - ecu.pin_voltage("int_ill_r");
+    }
+};
+
+TEST_F(InteriorLight, OffDuringDayEvenWithDoorOpen) {
+    night(false);
+    door("ds_fl", true);
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 0.0);
+}
+
+TEST_F(InteriorLight, OnAtNightWithAnyDoorOpen) {
+    night(true);
+    for (const char* pin : {"ds_fl", "ds_fr", "ds_rl", "ds_rr"}) {
+        ecu.reset();
+        night(true);
+        door(pin, true);
+        run(ecu, 0.5);
+        EXPECT_DOUBLE_EQ(lamp(), 12.0) << pin;
+    }
+}
+
+TEST_F(InteriorLight, OffAtNightWithDoorsClosed) {
+    night(true);
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 0.0);
+}
+
+TEST_F(InteriorLight, TimesOutAfter300Seconds) {
+    night(true);
+    door("ds_fl", true);
+    run(ecu, 299.0, 0.5);
+    EXPECT_GT(lamp(), 0.0);
+    run(ecu, 2.0, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 0.0);
+}
+
+TEST_F(InteriorLight, ClosingDoorsRearmsTheTimeout) {
+    night(true);
+    door("ds_fl", true);
+    run(ecu, 299.0, 0.5);
+    door("ds_fl", false);
+    run(ecu, 1.0);
+    door("ds_fl", true);
+    run(ecu, 100.0, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 12.0); // fresh budget
+}
+
+TEST_F(InteriorLight, IgnitionStateDoesNotGateTheLamp) {
+    night(true);
+    door("ds_fl", true);
+    ecu.can_receive("ign_st", bits({0, 0, 0, 1}));
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 12.0);
+}
+
+TEST_F(InteriorLight, SupplyVoltageTracksUbatt) {
+    ecu.set_supply(13.5);
+    night(true);
+    door("ds_fl", true);
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 13.5);
+}
+
+TEST_F(InteriorLight, ResetClearsState) {
+    night(true);
+    door("ds_fl", true);
+    run(ecu, 0.5);
+    EXPECT_TRUE(ecu.lit());
+    ecu.reset();
+    EXPECT_FALSE(ecu.lit());
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 0.0); // stimuli cleared too
+}
+
+TEST_F(InteriorLight, HighResistanceCountsAsClosedDoor) {
+    night(true);
+    ecu.set_pin_resistance("ds_fl", 5000.0); // open contact = door closed
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 0.0);
+    ecu.set_pin_resistance("ds_fl", 50.0); // below threshold = door open
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(lamp(), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wiper
+// ---------------------------------------------------------------------------
+
+class Wiper : public ::testing::Test {
+protected:
+    WiperEcu ecu;
+    void lever(int code) {
+        ecu.can_receive("wiper_sw", bits({(code >> 1) & 1, code & 1}));
+    }
+};
+
+TEST_F(Wiper, OffMeansNoOutput) {
+    lever(0);
+    run(ecu, 1.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 0.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_hi"), 0.0);
+}
+
+TEST_F(Wiper, SlowRunsLowWindingContinuously) {
+    lever(2);
+    run(ecu, 3.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 12.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_hi"), 0.0);
+}
+
+TEST_F(Wiper, FastRunsHighWinding) {
+    lever(3);
+    run(ecu, 3.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 0.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_hi"), 12.0);
+}
+
+TEST_F(Wiper, IntervalAlternatesWipeAndPause) {
+    ecu.set_pin_resistance("int_pot", 0.0); // minimum interval: 2 s pause
+    lever(1);
+    run(ecu, 0.5); // inside the 1 s wipe
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 12.0);
+    run(ecu, 1.0); // t=1.5: pause (1..3)
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 0.0);
+    run(ecu, 2.0); // t=3.5: next wipe
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 12.0);
+}
+
+TEST_F(Wiper, PotentiometerStretchesTheInterval) {
+    ecu.set_pin_resistance("int_pot", 50000.0);
+    EXPECT_DOUBLE_EQ(ecu.current_interval_s(), 20.0);
+    ecu.set_pin_resistance("int_pot", 0.0);
+    EXPECT_DOUBLE_EQ(ecu.current_interval_s(), 2.0);
+    ecu.set_pin_resistance("int_pot", 25000.0);
+    EXPECT_DOUBLE_EQ(ecu.current_interval_s(), 11.0);
+}
+
+TEST_F(Wiper, LongIntervalStillPausedAt19s) {
+    ecu.set_pin_resistance("int_pot", 50000.0);
+    lever(1);
+    run(ecu, 19.5, 0.5); // wipe 1 s + pause 20 s: still pausing
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 0.0);
+    run(ecu, 2.0, 0.5); // t=21.5: wiping again
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("wiper_lo"), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Power window
+// ---------------------------------------------------------------------------
+
+class PowerWindow : public ::testing::Test {
+protected:
+    PowerWindowEcu ecu;
+    void ignition(bool on) { ecu.can_receive("ign_st", bits({on ? 1 : 0})); }
+    void press(const char* pin, bool on) {
+        ecu.set_pin_resistance(pin, on ? 0.0 : kInf);
+    }
+};
+
+TEST_F(PowerWindow, NoMovementWithIgnitionOff) {
+    ignition(false);
+    press("win_up", true);
+    run(ecu, 1.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 0.0);
+    EXPECT_DOUBLE_EQ(ecu.position(), 0.0);
+}
+
+TEST_F(PowerWindow, ClosesWhilePressed) {
+    ignition(true);
+    press("win_up", true);
+    run(ecu, 2.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 12.0);
+    EXPECT_NEAR(ecu.position(), 50.0, 2.0); // 2 s of a 4 s stroke
+}
+
+TEST_F(PowerWindow, StopsAtTheTop) {
+    ignition(true);
+    press("win_up", true);
+    run(ecu, 6.0);
+    EXPECT_DOUBLE_EQ(ecu.position(), 100.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 0.0);
+}
+
+TEST_F(PowerWindow, AntiPinchReversesAndLatches) {
+    ignition(true);
+    press("win_up", true);
+    run(ecu, 1.0);
+    press("pinch", true);
+    run(ecu, 0.3);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_dn"), 12.0); // reversing
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 0.0);
+    run(ecu, 1.0); // reversal (1 s) over, still latched
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_dn"), 0.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 0.0);
+    press("pinch", false);
+    run(ecu, 0.5); // still latched while switch held
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 0.0);
+    press("win_up", false);
+    run(ecu, 0.2);
+    press("win_up", true); // fresh press works again
+    run(ecu, 0.5);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_up"), 12.0);
+}
+
+TEST_F(PowerWindow, OpensAndStopsAtBottom) {
+    ignition(true);
+    press("win_up", true);
+    run(ecu, 6.0); // fully closed
+    press("win_up", false);
+    press("win_dn", true);
+    run(ecu, 2.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_dn"), 12.0);
+    run(ecu, 4.0);
+    EXPECT_DOUBLE_EQ(ecu.position(), 0.0);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("mot_dn"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Central lock
+// ---------------------------------------------------------------------------
+
+class CentralLock : public ::testing::Test {
+protected:
+    CentralLockEcu ecu;
+    void cmd(int code) {
+        ecu.can_receive("lock_cmd", bits({(code >> 1) & 1, code & 1}));
+    }
+    void speed(unsigned kmh) {
+        std::vector<bool> b;
+        for (int i = 7; i >= 0; --i) b.push_back(((kmh >> i) & 1) != 0);
+        ecu.can_receive("speed", b);
+    }
+};
+
+TEST_F(CentralLock, LockCommandPulsesActuator) {
+    cmd(1);
+    run(ecu, 0.2);
+    EXPECT_TRUE(ecu.locked());
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("lock_act"), 12.0);
+    run(ecu, 0.6); // pulse (0.5 s) over
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("lock_act"), 0.0);
+    EXPECT_TRUE(ecu.locked());
+}
+
+TEST_F(CentralLock, UnlockCommandPulsesOtherActuator) {
+    cmd(1);
+    run(ecu, 1.0);
+    cmd(2);
+    run(ecu, 0.2);
+    EXPECT_FALSE(ecu.locked());
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("unlock_act"), 12.0);
+}
+
+TEST_F(CentralLock, RepeatedLockCommandDoesNotRepulse) {
+    cmd(1);
+    run(ecu, 1.0);
+    cmd(0);
+    run(ecu, 0.2);
+    cmd(1); // already locked: edge fires but no actuation
+    run(ecu, 0.2);
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("lock_act"), 0.0);
+}
+
+TEST_F(CentralLock, AutoLocksAboveThresholdOncePerPhase) {
+    speed(50);
+    run(ecu, 0.2);
+    EXPECT_TRUE(ecu.locked());
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("lock_act"), 12.0);
+    cmd(2); // unlock while still fast: must NOT immediately re-lock
+    run(ecu, 1.0);
+    EXPECT_FALSE(ecu.locked());
+    speed(0); // slow down re-arms
+    run(ecu, 0.2);
+    speed(50);
+    run(ecu, 0.2);
+    EXPECT_TRUE(ecu.locked());
+}
+
+TEST_F(CentralLock, CrashForcesUnlock) {
+    cmd(1);
+    run(ecu, 1.0);
+    EXPECT_TRUE(ecu.locked());
+    ecu.set_pin_resistance("crash", 0.0);
+    run(ecu, 0.2);
+    EXPECT_FALSE(ecu.locked());
+    EXPECT_DOUBLE_EQ(ecu.pin_voltage("unlock_act"), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Turn signal
+// ---------------------------------------------------------------------------
+
+class TurnSignal : public ::testing::Test {
+protected:
+    TurnSignalEcu ecu;
+    void lever(int code) {
+        ecu.can_receive("turn_sw", bits({(code >> 1) & 1, code & 1}));
+    }
+    /// Count rising edges on a lamp over `seconds`.
+    int edges(const char* pin, double seconds) {
+        int count = 0;
+        bool last = ecu.pin_voltage(pin) > 6.0;
+        double t = 0;
+        while (t < seconds) {
+            ecu.step(0.01);
+            t += 0.01;
+            const bool now = ecu.pin_voltage(pin) > 6.0;
+            if (now && !last) ++count;
+            last = now;
+        }
+        return count;
+    }
+};
+
+TEST_F(TurnSignal, LeftLeverFlashesLeftOnly) {
+    lever(1);
+    EXPECT_EQ(edges("lamp_r", 4.0), 0);
+    lever(1);
+    const int left = edges("lamp_l", 4.0);
+    EXPECT_GE(left, 5); // 1.5 Hz over 4 s ≈ 6 edges
+    EXPECT_LE(left, 7);
+}
+
+TEST_F(TurnSignal, HazardButtonTogglesBothLamps) {
+    ecu.set_pin_resistance("hazard", 0.0); // press
+    ecu.step(0.05);
+    EXPECT_TRUE(ecu.hazard_active());
+    ecu.set_pin_resistance("hazard", 1e9); // release
+    ecu.step(0.05);
+    EXPECT_TRUE(ecu.hazard_active()); // still on (toggle)
+    EXPECT_GE(edges("lamp_l", 2.0), 2);
+    EXPECT_GE(edges("lamp_r", 2.0), 2);
+    ecu.set_pin_resistance("hazard", 0.0); // press again: off
+    ecu.step(0.05);
+    EXPECT_FALSE(ecu.hazard_active());
+}
+
+TEST_F(TurnSignal, HoldingTheButtonTogglesOnlyOnce) {
+    ecu.set_pin_resistance("hazard", 0.0);
+    run(ecu, 1.0);
+    EXPECT_TRUE(ecu.hazard_active());
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue
+// ---------------------------------------------------------------------------
+
+TEST(Catalogue, GoldenFactoriesForAllFamilies) {
+    for (const char* fam : {"interior_light", "wiper", "power_window",
+                            "central_lock", "turn_signal"}) {
+        const auto d = make_golden(fam);
+        ASSERT_NE(d, nullptr) << fam;
+    }
+    EXPECT_THROW((void)make_golden("toaster"), ctk::SemanticError);
+}
+
+TEST(Catalogue, MutantsCoverEveryFamily) {
+    const auto all = mutant_catalogue();
+    EXPECT_EQ(all.size(), 24u);
+    EXPECT_EQ(mutants_of("interior_light").size(), 8u);
+    EXPECT_EQ(mutants_of("wiper").size(), 4u);
+    EXPECT_TRUE(mutants_of("toaster").empty());
+    for (const auto& m : all) {
+        const auto d = m.make();
+        ASSERT_NE(d, nullptr) << m.ecu << "/" << m.name;
+    }
+}
+
+TEST(Catalogue, MutantsDifferFromGolden) {
+    // Spot check: the stuck_off mutant never lights.
+    const auto mutants = mutants_of("interior_light");
+    const auto it =
+        std::find_if(mutants.begin(), mutants.end(),
+                     [](const Mutant& m) { return m.name == "stuck_off"; });
+    ASSERT_NE(it, mutants.end());
+    const auto d = it->make();
+    d->can_receive("night", {true});
+    d->set_pin_resistance("ds_fl", 0.0);
+    run(*d, 0.5);
+    EXPECT_DOUBLE_EQ(d->pin_voltage("int_ill_f"), 0.0);
+}
+
+} // namespace
+} // namespace ctk::dut

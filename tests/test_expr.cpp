@@ -1,0 +1,150 @@
+// Unit tests: the expression engine behind script parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "expr/expr.hpp"
+
+namespace ctk::expr {
+namespace {
+
+const Env kEnv{{"ubatt", 12.0}, {"x", 3.0}, {"y", -2.0}};
+
+struct EvalCase {
+    const char* text;
+    double expected;
+};
+
+class ExprEval : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(ExprEval, Evaluates) {
+    const auto& [text, expected] = GetParam();
+    EXPECT_DOUBLE_EQ(eval(text, kEnv), expected) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprEval,
+    ::testing::Values(EvalCase{"1+2", 3.0},                 //
+                      EvalCase{"2*3+4", 10.0},              // precedence
+                      EvalCase{"2+3*4", 14.0},              //
+                      EvalCase{"(2+3)*4", 20.0},            // parens
+                      EvalCase{"10-4-3", 3.0},              // left assoc
+                      EvalCase{"24/4/2", 3.0},              //
+                      EvalCase{"2^3^2", 512.0},             // right assoc
+                      EvalCase{"-3^2", -9.0},               // unary binds last
+                      EvalCase{"--5", 5.0},                 //
+                      EvalCase{"+7", 7.0},                  //
+                      EvalCase{"1.5e2", 150.0},             // scientific
+                      EvalCase{"0.5", 0.5}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperFormulas, ExprEval,
+    ::testing::Values(EvalCase{"(1.1*ubatt)", 13.2},  // the §3 listing
+                      EvalCase{"(0.7*ubatt)", 8.4},   //
+                      EvalCase{"(0*ubatt)", 0.0},     //
+                      EvalCase{"(0.3*UBATT)", 3.6})); // case-insensitive
+
+INSTANTIATE_TEST_SUITE_P(
+    VariablesAndFunctions, ExprEval,
+    ::testing::Values(EvalCase{"x*y", -6.0},              //
+                      EvalCase{"min(x, 2, 7)", 2.0},      //
+                      EvalCase{"max(x, ubatt)", 12.0},    //
+                      EvalCase{"abs(y)", 2.0},            //
+                      EvalCase{"clamp(x, 0, 2)", 2.0},    //
+                      EvalCase{"floor(2.9)", 2.0},        //
+                      EvalCase{"ceil(2.1)", 3.0},         //
+                      EvalCase{"sqrt(x*x)", 3.0},         //
+                      EvalCase{"min(1+1, 2*2)", 2.0}));
+
+TEST(ExprParse, InfLiteral) {
+    EXPECT_EQ(eval("INF", kEnv), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(eval("-INF", kEnv), -std::numeric_limits<double>::infinity());
+}
+
+TEST(ExprEvalSpecial, DivisionByZeroFollowsIeee) {
+    EXPECT_TRUE(std::isinf(eval("1/0", kEnv)));
+    EXPECT_TRUE(std::isinf(eval("-1/0", kEnv)));
+}
+
+TEST(ExprEvalSpecial, UnboundVariableThrows) {
+    EXPECT_THROW((void)eval("nope+1", kEnv), SemanticError);
+}
+
+TEST(ExprEvalSpecial, SqrtOfNegativeThrows) {
+    EXPECT_THROW((void)eval("sqrt(0-4)", kEnv), SemanticError);
+}
+
+class ExprParseErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprParseErrors, Throws) {
+    EXPECT_THROW((void)parse(GetParam()), ParseError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, ExprParseErrors,
+                         ::testing::Values("", "   ", "1+", "(1+2", "1 2",
+                                           "*3", "min(", "2..5", "a b"));
+
+TEST(ExprParseErrors2, UnknownFunctionThrowsAtParseTime) {
+    EXPECT_THROW((void)parse("frob(1)"), SemanticError);
+}
+
+TEST(ExprParseErrors2, WrongArityThrowsAtParseTime) {
+    EXPECT_THROW((void)parse("abs(1,2)"), SemanticError);
+    EXPECT_THROW((void)parse("clamp(1)"), SemanticError);
+}
+
+TEST(ExprVariables, CollectsFreeVariablesLowercased) {
+    const auto vars = parse("(1.1*UBATT) + min(x, Y)")->variables();
+    EXPECT_EQ(vars, (std::set<std::string>{"ubatt", "x", "y"}));
+    EXPECT_TRUE(parse("1+2")->variables().empty());
+}
+
+class ExprToStringRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprToStringRoundTrip, ReparseGivesSameValue) {
+    const ExprPtr e = parse(GetParam());
+    const ExprPtr again = parse(e->to_string());
+    EXPECT_DOUBLE_EQ(e->eval(kEnv), again->eval(kEnv)) << e->to_string();
+    EXPECT_EQ(e->to_string(), again->to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Forms, ExprToStringRoundTrip,
+                         ::testing::Values("(1.1*ubatt)", "1+2*3",
+                                           "min(x,y,3)", "-x^2",
+                                           "clamp(x,0,ubatt)", "2^3^2",
+                                           "(x+y)/(x-y)"));
+
+TEST(ExprFold, CollapsesConstantSubtrees) {
+    const ExprPtr folded = fold(parse("2*3 + x"));
+    // The left operand should now be a literal 6.
+    EXPECT_EQ(folded->to_string(), "(6+x)");
+    EXPECT_DOUBLE_EQ(folded->eval(kEnv), 9.0);
+}
+
+TEST(ExprFold, FullyConstantBecomesNumber) {
+    const ExprPtr folded = fold(parse("2*(3+4)"));
+    EXPECT_EQ(folded->kind(), Expr::Kind::Number);
+    EXPECT_DOUBLE_EQ(folded->eval(Env{}), 14.0);
+}
+
+TEST(ExprFold, KeepsVariableParts) {
+    const ExprPtr folded = fold(parse("min(1+1, x)"));
+    EXPECT_EQ(folded->to_string(), "min(2,x)");
+}
+
+TEST(ExprConstant, BuildsLiteralNode) {
+    EXPECT_DOUBLE_EQ(constant(4.5)->eval(Env{}), 4.5);
+    EXPECT_EQ(constant(4.5)->kind(), Expr::Kind::Number);
+}
+
+TEST(EnvTest, CaseInsensitiveSetGet) {
+    Env env;
+    env.set("UBatt", 13.5);
+    EXPECT_TRUE(env.has("ubatt"));
+    EXPECT_DOUBLE_EQ(env.get("UBATT"), 13.5);
+    EXPECT_THROW((void)env.get("other"), SemanticError);
+}
+
+} // namespace
+} // namespace ctk::expr

@@ -1,0 +1,237 @@
+// Extended gate-substrate tests: generator property sweeps across sizes,
+// fault-universe invariants, sequential fault simulation, shipped-data
+// consistency.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "gate/atpg.hpp"
+#include "gate/bench_io.hpp"
+#include "gate/circuits.hpp"
+#include "gate/tpg.hpp"
+
+namespace ctk::gate {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generator property sweeps (TEST_P over size)
+// ---------------------------------------------------------------------------
+
+class AdderSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderSizes, ArithmeticHoldsAtEverySize) {
+    const std::size_t bits = GetParam();
+    const Netlist n = circuits::ripple_adder(bits);
+    n.validate();
+    EXPECT_EQ(n.inputs().size(), 2 * bits + 1);
+    EXPECT_EQ(n.outputs().size(), bits + 1);
+    const LogicSim sim(n);
+    Rng rng(bits * 7 + 1);
+    const unsigned mask = bits >= 32 ? ~0u : ((1u << bits) - 1);
+    for (int trial = 0; trial < 50; ++trial) {
+        const unsigned a = static_cast<unsigned>(rng.next_u64()) & mask;
+        const unsigned b = static_cast<unsigned>(rng.next_u64()) & mask;
+        const bool cin = rng.next_bool();
+        std::vector<bool> in;
+        for (std::size_t i = 0; i < bits; ++i) in.push_back((a >> i) & 1);
+        for (std::size_t i = 0; i < bits; ++i) in.push_back((b >> i) & 1);
+        in.push_back(cin);
+        const auto out = sim.eval_scalar(in);
+        unsigned long long sum = 0;
+        for (std::size_t i = 0; i < bits; ++i)
+            sum |= (out[i] ? 1ull : 0ull) << i;
+        sum |= (out[bits] ? 1ull : 0ull) << bits;
+        EXPECT_EQ(sum, static_cast<unsigned long long>(a) + b + (cin ? 1 : 0))
+            << "bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdderSizes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+class CounterSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CounterSizes, WrapsAtModulus) {
+    const std::size_t bits = GetParam();
+    const Netlist n = circuits::counter(bits);
+    n.validate();
+    const LogicSim sim(n);
+    std::vector<PackedWord> state(bits, 0);
+    const std::vector<PackedWord> en{~PackedWord{0}};
+    const unsigned modulus = 1u << bits;
+    for (unsigned t = 1; t <= 2 * modulus + 3; ++t) {
+        state = sim.next_state(sim.eval(en, state));
+        unsigned q = 0;
+        for (std::size_t i = 0; i < bits; ++i)
+            q |= static_cast<unsigned>(state[i] & 1u) << i;
+        EXPECT_EQ(q, t % modulus) << "bits=" << bits << " t=" << t;
+    }
+    // With enable low the counter holds.
+    const std::vector<PackedWord> hold{0};
+    const auto held = sim.next_state(sim.eval(hold, state));
+    EXPECT_EQ(held, state);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CounterSizes,
+                         ::testing::Values(1u, 2u, 4u, 6u));
+
+class ParitySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParitySizes, OddInputCountsHandled) {
+    const std::size_t inputs = GetParam();
+    const Netlist n = circuits::parity_tree(inputs);
+    const LogicSim sim(n);
+    // all-zeros → 0; single one → 1; all-ones → popcount parity.
+    EXPECT_FALSE(sim.eval_scalar(std::vector<bool>(inputs, false))[0]);
+    std::vector<bool> one(inputs, false);
+    one[inputs / 2] = true;
+    EXPECT_TRUE(sim.eval_scalar(one)[0]);
+    EXPECT_EQ(sim.eval_scalar(std::vector<bool>(inputs, true))[0],
+              inputs % 2 == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParitySizes,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 16u));
+
+// ---------------------------------------------------------------------------
+// Fault universe invariants
+// ---------------------------------------------------------------------------
+
+class FaultUniverse : public ::testing::TestWithParam<const char*> {
+protected:
+    [[nodiscard]] static Netlist circuit(const std::string& which) {
+        if (which == "c17") return circuits::c17();
+        if (which == "adder") return circuits::ripple_adder(4);
+        if (which == "alu") return circuits::alu(2);
+        return circuits::mux_tree(2);
+    }
+};
+
+TEST_P(FaultUniverse, CollapsedIsSubsetOfFull) {
+    const Netlist n = circuit(GetParam());
+    const auto full = full_fault_list(n);
+    const auto collapsed = collapse_faults(n);
+    EXPECT_LT(collapsed.size(), full.size());
+    for (const auto& f : collapsed)
+        EXPECT_NE(std::find(full.begin(), full.end(), f), full.end())
+            << to_string(n, f);
+    // No duplicates in either list.
+    auto unique_count = [](std::vector<Fault> v) {
+        std::sort(v.begin(), v.end(), [](const Fault& a, const Fault& b) {
+            return std::tie(a.gate, a.pin, a.sa1) <
+                   std::tie(b.gate, b.pin, b.sa1);
+        });
+        return static_cast<std::size_t>(
+            std::unique(v.begin(), v.end()) - v.begin());
+    };
+    EXPECT_EQ(unique_count(full), full.size());
+    EXPECT_EQ(unique_count(collapsed), collapsed.size());
+}
+
+TEST_P(FaultUniverse, CollapsedCoverageImpliesFullEquivalentDetection) {
+    // A pattern set achieving 100% on the collapsed list must achieve
+    // 100% on the full list too (equivalence collapsing is lossless).
+    const Netlist n = circuit(GetParam());
+    const auto collapsed = collapse_faults(n);
+    const auto atpg = run_atpg(n, collapsed);
+    if (atpg.untestable > 0) GTEST_SKIP() << "circuit has redundancy";
+    const auto full = full_fault_list(n);
+    const auto full_result = fault_simulate_parallel(n, full, atpg.patterns);
+    EXPECT_DOUBLE_EQ(full_result.coverage(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FaultUniverse,
+                         ::testing::Values("c17", "adder", "alu", "mux"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sequential fault simulation details
+// ---------------------------------------------------------------------------
+
+TEST(SequentialFaultSim, LongerSequencesDetectMore) {
+    const Netlist n = circuits::counter(4);
+    const auto faults = collapse_faults(n);
+    auto coverage_with_frames = [&](std::size_t frames) {
+        Pattern p;
+        for (std::size_t f = 0; f < frames; ++f) p.frames.push_back({true});
+        return fault_simulate_parallel(n, faults, {p}).coverage();
+    };
+    const double c2 = coverage_with_frames(2);
+    const double c8 = coverage_with_frames(8);
+    const double c20 = coverage_with_frames(20);
+    EXPECT_LE(c2, c8);
+    EXPECT_LE(c8, c20);
+    EXPECT_GT(c20, 0.8); // a free-running counter exposes nearly everything
+}
+
+TEST(SequentialFaultSim, DffOutputFaultIsStateStuck) {
+    // q0 stuck-at-1 in a counter: the LSB never toggles to 0.
+    const Netlist n = circuits::counter(2);
+    const Fault f{n.require("q0"), -1, true};
+    Pattern p;
+    for (int i = 0; i < 4; ++i) p.frames.push_back({true});
+    const auto r = fault_simulate_parallel(n, {f}, {p});
+    EXPECT_EQ(r.detected, 1u);
+}
+
+TEST(SequentialFaultSim, RandomTpgWithFramesCoversCounter) {
+    const Netlist n = circuits::counter(3);
+    RandomTpgOptions opts;
+    opts.frames_per_pattern = 12;
+    opts.max_patterns = 128;
+    const auto r = random_tpg(n, collapse_faults(n), opts);
+    EXPECT_GT(r.faultsim.coverage(), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped data files stay consistent with the in-code circuits
+// ---------------------------------------------------------------------------
+
+TEST(ShippedData, C17BenchFileMatchesBuiltin) {
+    std::ifstream in(std::string(CTK_SOURCE_DIR) + "/data/c17.bench");
+    ASSERT_TRUE(in.good()) << "data/c17.bench missing";
+    std::ostringstream body;
+    body << in.rdbuf();
+    const Netlist file_net = parse_bench(body.str(), "data/c17.bench");
+    const Netlist builtin = circuits::c17();
+    ASSERT_EQ(file_net.size(), builtin.size());
+    // Exhaustive behavioural equivalence (5 inputs → 32 patterns).
+    const LogicSim fs(file_net), bs(builtin);
+    for (unsigned v = 0; v < 32; ++v) {
+        std::vector<bool> in_bits(5);
+        for (int i = 0; i < 5; ++i) in_bits[i] = (v >> i) & 1;
+        EXPECT_EQ(fs.eval_scalar(in_bits), bs.eval_scalar(in_bits)) << v;
+    }
+}
+
+TEST(BenchIoExtra, EmittedFileReloadsAfterDiskRoundTrip) {
+    namespace fs = std::filesystem;
+    const auto path = fs::temp_directory_path() / "ctk_alu.bench";
+    {
+        std::ofstream out(path);
+        out << emit_bench(circuits::alu(3));
+    }
+    std::ifstream in(path);
+    std::ostringstream body;
+    body << in.rdbuf();
+    const Netlist back = parse_bench(body.str(), path.string());
+    EXPECT_EQ(back.size(), circuits::alu(3).size());
+    fs::remove(path);
+}
+
+TEST(BenchIoExtra, ArityErrorsSurfaceThroughValidate) {
+    EXPECT_THROW(
+        (void)parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n"),
+        SemanticError);
+    EXPECT_THROW(
+        (void)parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"),
+        SemanticError);
+}
+
+} // namespace
+} // namespace ctk::gate

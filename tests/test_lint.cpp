@@ -1,0 +1,151 @@
+// Unit tests: the suite linter.
+#include <gtest/gtest.h>
+
+#include "core/kb.hpp"
+#include "model/lint.hpp"
+#include "model/paper.hpp"
+
+namespace ctk::model {
+namespace {
+
+const MethodRegistry kReg = MethodRegistry::builtin();
+
+std::vector<std::string> codes_for(const std::vector<LintWarning>& warnings,
+                                   std::string_view subject) {
+    std::vector<std::string> out;
+    for (const auto& w : warnings)
+        if (str::iequals(w.subject, subject)) out.push_back(w.code);
+    return out;
+}
+
+bool has(const std::vector<LintWarning>& warnings, const std::string& code,
+         std::string_view subject) {
+    const auto cs = codes_for(warnings, subject);
+    return std::find(cs.begin(), cs.end(), code) != cs.end();
+}
+
+TEST(Lint, PaperSheetFindingsAreExactlyTheKnownOnes) {
+    // Linting the published sheet reproduces the reproduction's findings:
+    //  * W4 on Lo — the hard 0 V floor (noisy-DVM failure, EXPERIMENTS.md);
+    //  * W6 on IGN_ST — ignition is never varied (always Off);
+    //  * W6 on DS_RL / DS_RR — rear doors only ever Closed.
+    const auto warnings = lint(paper::suite(), kReg);
+    EXPECT_TRUE(has(warnings, "W4", "Lo"));
+    EXPECT_TRUE(has(warnings, "W6", "IGN_ST"));
+    EXPECT_TRUE(has(warnings, "W6", "DS_RL"));
+    EXPECT_TRUE(has(warnings, "W6", "DS_RR"));
+    EXPECT_EQ(warnings.size(), 4u)
+        << "unexpected extra findings in the paper sheet";
+}
+
+TEST(Lint, CleanSyntheticSuiteHasNoWarnings) {
+    TestSuite s;
+    s.name = "clean";
+    s.signals.add({"IN1", SignalDirection::Input, SignalKind::Pin, {}, ""});
+    s.signals.add({"OUT1", SignalDirection::Output, SignalKind::Pin, {}, ""});
+    StatusDef on;
+    on.name = "On";
+    on.method = "put_r";
+    on.nom = 0.0;
+    on.min = 0.0;
+    on.max = 1.0;
+    s.statuses.add(on);
+    StatusDef off = on;
+    off.name = "OffR";
+    off.nom = 1e6;
+    s.statuses.add(off);
+    StatusDef hi;
+    hi.name = "Hi";
+    hi.method = "get_u";
+    hi.nom = 12.0;
+    hi.min = 8.0;
+    hi.max = 14.0;
+    s.statuses.add(hi);
+    TestCase t;
+    t.name = "t";
+    TestStep st0;
+    st0.index = 0;
+    st0.dt = 0.5;
+    st0.assignments = {{"IN1", "On"}, {"OUT1", "Hi"}};
+    TestStep st1;
+    st1.index = 1;
+    st1.dt = 0.5;
+    st1.assignments = {{"IN1", "OffR"}, {"OUT1", "Hi"}};
+    t.steps = {st0, st1};
+    s.tests.push_back(t);
+    s.validate(kReg);
+    EXPECT_TRUE(lint(s, kReg).empty());
+}
+
+TEST(Lint, EachWarningClassTriggers) {
+    TestSuite s;
+    s.name = "dirty";
+    s.signals.add({"IN1", SignalDirection::Input, SignalKind::Pin, {}, ""});
+    s.signals.add({"IN2", SignalDirection::Input, SignalKind::Pin, {}, ""});
+    s.signals.add({"OUT1", SignalDirection::Output, SignalKind::Pin, {}, ""});
+    s.signals.add({"OUT2", SignalDirection::Output, SignalKind::Pin, {}, ""});
+
+    StatusDef drive;
+    drive.name = "Drive";
+    drive.method = "put_r";
+    drive.nom = 0.0;
+    drive.min = 0.0;
+    drive.max = 1.0;
+    s.statuses.add(drive);
+    StatusDef unused = drive;
+    unused.name = "Ghost"; // W1
+    s.statuses.add(unused);
+    StatusDef zero;
+    zero.name = "ZeroFloor"; // W4 (min == nom)
+    zero.method = "get_u";
+    zero.nom = 0.0;
+    zero.min = 0.0;
+    zero.max = 3.0;
+    s.statuses.add(zero);
+
+    TestCase t;
+    t.name = "t";
+    TestStep st0;
+    st0.index = 0;
+    st0.dt = 0.5;
+    st0.assignments = {{"IN1", "Drive"}}; // W3: stimulus, no check
+    TestStep st1;
+    st1.index = 1;
+    st1.dt = 0.5;
+    st1.assignments = {{"OUT1", "ZeroFloor"}};
+    t.steps = {st0, st1};
+    s.tests.push_back(t);
+    s.validate(kReg);
+
+    const auto warnings = lint(s, kReg);
+    EXPECT_TRUE(has(warnings, "W1", "Ghost"));
+    EXPECT_TRUE(has(warnings, "W2", "OUT2"));  // never checked
+    EXPECT_TRUE(has(warnings, "W3", "t/step 0"));
+    EXPECT_TRUE(has(warnings, "W4", "ZeroFloor"));
+    EXPECT_TRUE(has(warnings, "W5", "IN2"));   // never driven
+    EXPECT_TRUE(has(warnings, "W6", "IN1"));   // single value
+}
+
+TEST(Lint, KnowledgeBaseSuitesCarryOnlyKnownWarningClasses) {
+    // Extension suites may carry understood findings (shared statuses a
+    // family does not use → W1; the paper's Lo floor → W4; constant
+    // inputs → W6) but never W2/W3/W5 — every declared signal is driven
+    // and observed, and every stimulating step also checks something.
+    for (const auto& family : core::kb::families()) {
+        const auto warnings = lint(core::kb::suite_for(family), kReg);
+        for (const auto& w : warnings) {
+            EXPECT_NE(w.code, "W2") << family << ": " << w.to_string();
+            EXPECT_NE(w.code, "W3") << family << ": " << w.to_string();
+            EXPECT_NE(w.code, "W5") << family << ": " << w.to_string();
+        }
+    }
+    // The enriched interior-light suite removes the W6 findings on the
+    // rear doors? No — it varies DS_FR at night but DS_RL/DS_RR stay
+    // constant; pinned here:
+    const auto enriched =
+        lint(core::kb::enriched_interior_light_suite(), kReg);
+    EXPECT_TRUE(has(enriched, "W6", "DS_RL"));
+}
+
+} // namespace
+} // namespace ctk::model

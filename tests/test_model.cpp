@@ -1,0 +1,317 @@
+// Unit tests: the stand-independent data model and sheet conversion.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "model/paper.hpp"
+#include "model/sheets.hpp"
+#include "tabular/workbook.hpp"
+
+namespace ctk::model {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(MethodRegistry, BuiltinMethodsPresent) {
+    const auto reg = MethodRegistry::builtin();
+    EXPECT_TRUE(reg.find("put_r")->is_put());
+    EXPECT_TRUE(reg.find("get_u")->is_get());
+    EXPECT_EQ(reg.find("get_u")->attribute, "u");
+    EXPECT_EQ(reg.find("put_can")->attr_type, AttrType::Bits);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    EXPECT_THROW((void)reg.require("nope"), SemanticError);
+}
+
+TEST(MethodRegistry, LookupIsCaseInsensitive) {
+    const auto reg = MethodRegistry::builtin();
+    EXPECT_NE(reg.find("GET_U"), nullptr);
+}
+
+TEST(MethodRegistry, AddReplacesByName) {
+    auto reg = MethodRegistry::empty();
+    reg.add({"put_x", MethodKind::Put, "x", AttrType::Real, "X"});
+    reg.add({"PUT_X", MethodKind::Put, "x2", AttrType::Real, "X"});
+    ASSERT_EQ(reg.all().size(), 1u);
+    EXPECT_EQ(reg.find("put_x")->attribute, "x2");
+}
+
+TEST(Bits, ParseAndFormat) {
+    const auto bits = parse_bits("0001B");
+    ASSERT_TRUE(bits.has_value());
+    EXPECT_EQ(bits->size(), 4u);
+    EXPECT_EQ(format_bits(*bits), "0001B");
+    EXPECT_TRUE(parse_bits("1").has_value()); // suffix optional
+    EXPECT_FALSE(parse_bits("").has_value());
+    EXPECT_FALSE(parse_bits("B").has_value());
+    EXPECT_FALSE(parse_bits("012B").has_value());
+}
+
+TEST(StatusDefTest, PutValuePrefersNominal) {
+    StatusDef d;
+    d.min = 2.0;
+    d.max = 4.0;
+    EXPECT_DOUBLE_EQ(*d.put_value(), 3.0); // midpoint
+    d.nom = 2.5;
+    EXPECT_DOUBLE_EQ(*d.put_value(), 2.5);
+}
+
+TEST(StatusTable, DuplicateAndEmptyNamesRejected) {
+    StatusTable t;
+    StatusDef d;
+    d.name = "A";
+    d.method = "put_r";
+    d.nom = 1.0;
+    t.add(d);
+    EXPECT_THROW(t.add(d), SemanticError);
+    StatusDef e;
+    EXPECT_THROW(t.add(e), SemanticError);
+}
+
+TEST(StatusTable, LookupPrefersExactCaseThenInsensitive) {
+    StatusTable t;
+    StatusDef lo;
+    lo.name = "Lo";
+    lo.method = "get_u";
+    lo.min = 0.0;
+    lo.max = 0.3;
+    t.add(lo);
+    EXPECT_EQ(t.find("Lo")->name, "Lo");
+    EXPECT_EQ(t.find("LO")->name, "Lo");
+    EXPECT_EQ(t.find("zz"), nullptr);
+}
+
+TEST(StatusTable, ValidateCatchesBadDefinitions) {
+    const auto reg = MethodRegistry::builtin();
+
+    auto make_table = [](StatusDef d) {
+        StatusTable t;
+        t.add(std::move(d));
+        return t;
+    };
+
+    StatusDef unknown;
+    unknown.name = "X";
+    unknown.method = "frob";
+    EXPECT_THROW(make_table(unknown).validate(reg), SemanticError);
+
+    StatusDef no_value;
+    no_value.name = "X";
+    no_value.method = "put_r";
+    EXPECT_THROW(make_table(no_value).validate(reg), SemanticError);
+
+    StatusDef no_limits;
+    no_limits.name = "X";
+    no_limits.method = "get_u";
+    EXPECT_THROW(make_table(no_limits).validate(reg), SemanticError);
+
+    StatusDef crossed;
+    crossed.name = "X";
+    crossed.method = "get_u";
+    crossed.min = 2.0;
+    crossed.max = 1.0;
+    EXPECT_THROW(make_table(crossed).validate(reg), SemanticError);
+
+    StatusDef bad_bits;
+    bad_bits.name = "X";
+    bad_bits.method = "put_can";
+    bad_bits.data = "02B";
+    EXPECT_THROW(make_table(bad_bits).validate(reg), SemanticError);
+
+    StatusDef wrong_attr;
+    wrong_attr.name = "X";
+    wrong_attr.method = "get_u";
+    wrong_attr.attribute = "r";
+    wrong_attr.min = 0.0;
+    EXPECT_THROW(make_table(wrong_attr).validate(reg), SemanticError);
+
+    StatusDef negative_d;
+    negative_d.name = "X";
+    negative_d.method = "get_u";
+    negative_d.min = 0.0;
+    negative_d.d1 = -1.0;
+    EXPECT_THROW(make_table(negative_d).validate(reg), SemanticError);
+}
+
+TEST(SignalSheetTest, DuplicateSignalRejected) {
+    SignalSheet s;
+    s.add({"A", SignalDirection::Input, SignalKind::Pin, {}, ""});
+    EXPECT_THROW(
+        s.add({"a", SignalDirection::Input, SignalKind::Pin, {}, ""}),
+        SemanticError);
+}
+
+TEST(SignalTest, EffectivePinsDefaultToName) {
+    Signal s{"INT_ILL", SignalDirection::Output, SignalKind::Pin,
+             {"F", "R"}, ""};
+    EXPECT_EQ(s.effective_pins(), (std::vector<std::string>{"F", "R"}));
+    Signal t{"DS_FL", SignalDirection::Input, SignalKind::Pin, {}, ""};
+    EXPECT_EQ(t.effective_pins(), (std::vector<std::string>{"DS_FL"}));
+}
+
+// ---------------------------------------------------------------------------
+// The paper fixture
+// ---------------------------------------------------------------------------
+
+TEST(PaperFixture, StatusTableMatchesTable2) {
+    const StatusTable t = paper::status_table();
+    ASSERT_EQ(t.statuses().size(), 7u);
+
+    const StatusDef& ho = t.require("Ho");
+    EXPECT_EQ(ho.method, "get_u");
+    EXPECT_EQ(ho.var, "UBATT");
+    EXPECT_DOUBLE_EQ(*ho.min, 0.7);
+    EXPECT_DOUBLE_EQ(*ho.max, 1.1);
+
+    const StatusDef& off = t.require("Off");
+    EXPECT_EQ(off.method, "put_can");
+    EXPECT_EQ(off.data, "0001B");
+
+    const StatusDef& closed = t.require("Closed");
+    EXPECT_EQ(*closed.nom, kInf);
+    EXPECT_DOUBLE_EQ(*closed.min, 5000.0);
+}
+
+TEST(PaperFixture, TestSheetMatchesTable1) {
+    const TestCase t = paper::int_ill_test();
+    ASSERT_EQ(t.steps.size(), 10u);
+    EXPECT_DOUBLE_EQ(t.steps[0].dt, 0.5);
+    EXPECT_DOUBLE_EQ(t.steps[7].dt, 280.0);
+    EXPECT_DOUBLE_EQ(t.steps[8].dt, 25.0);
+    EXPECT_EQ(*t.steps[0].status_of("IGN_ST"), "Off");
+    EXPECT_EQ(*t.steps[4].status_of("NIGHT"), "1");
+    EXPECT_EQ(*t.steps[4].status_of("INT_ILL"), "Ho");
+    EXPECT_EQ(t.steps[7].status_of("DS_FL"), nullptr); // sparse cell
+    EXPECT_EQ(t.steps[9].remark, "off after 300s");
+    // Step timing encodes the 300 s timeout: steps 6..8 span 305.5 s.
+    EXPECT_GT(t.steps[6].dt + t.steps[7].dt + t.steps[8].dt,
+              paper::kIlluminationTimeoutS);
+}
+
+TEST(PaperFixture, SuiteValidates) {
+    EXPECT_NO_THROW((void)paper::suite());
+}
+
+TEST(PaperFixture, UsedSignalsInFirstUseOrder) {
+    const auto used = paper::int_ill_test().used_signals();
+    ASSERT_EQ(used.size(), 5u);
+    EXPECT_EQ(used[0], "IGN_ST");
+    EXPECT_EQ(used[4], "INT_ILL");
+}
+
+TEST(SuiteValidation, CatchesCrossReferences) {
+    const auto reg = MethodRegistry::builtin();
+
+    // put status on an output signal
+    TestSuite s = paper::suite();
+    s.tests[0].steps[0].assignments.push_back({"INT_ILL", "Open"});
+    EXPECT_THROW(s.validate(reg), SemanticError);
+
+    // get status on an input signal
+    TestSuite s2 = paper::suite();
+    s2.tests[0].steps[0].assignments.push_back({"DS_FL", "Ho"});
+    EXPECT_THROW(s2.validate(reg), SemanticError);
+
+    // bus method on a pin signal
+    TestSuite s3 = paper::suite();
+    s3.tests[0].steps[0].assignments.push_back({"DS_FL", "Off"});
+    EXPECT_THROW(s3.validate(reg), SemanticError);
+
+    // unknown status
+    TestSuite s4 = paper::suite();
+    s4.tests[0].steps[0].assignments.push_back({"DS_FL", "Nope"});
+    EXPECT_THROW(s4.validate(reg), SemanticError);
+
+    // unknown signal
+    TestSuite s5 = paper::suite();
+    s5.tests[0].steps[0].assignments.push_back({"GHOST", "Open"});
+    EXPECT_THROW(s5.validate(reg), SemanticError);
+
+    // non-positive dwell
+    TestSuite s6 = paper::suite();
+    s6.tests[0].steps[3].dt = 0.0;
+    EXPECT_THROW(s6.validate(reg), SemanticError);
+
+    // non-increasing step numbers
+    TestSuite s7 = paper::suite();
+    s7.tests[0].steps[3].index = 1;
+    EXPECT_THROW(s7.validate(reg), SemanticError);
+
+    // empty test
+    TestSuite s8 = paper::suite();
+    s8.tests[0].steps.clear();
+    EXPECT_THROW(s8.validate(reg), SemanticError);
+}
+
+// ---------------------------------------------------------------------------
+// Sheet conversion
+// ---------------------------------------------------------------------------
+
+TEST(Sheets, PaperWorkbookTextParsesToSuite) {
+    const auto wb = tabular::Workbook::parse_multi(paper::workbook_text());
+    const TestSuite s = suite_from_workbook(wb, "paper_int_ill");
+    EXPECT_NO_THROW(s.validate(MethodRegistry::builtin()));
+
+    const TestSuite ref = paper::suite();
+    ASSERT_EQ(s.tests.size(), 1u);
+    ASSERT_EQ(s.tests[0].steps.size(), ref.tests[0].steps.size());
+    for (std::size_t i = 0; i < ref.tests[0].steps.size(); ++i) {
+        const auto& a = s.tests[0].steps[i];
+        const auto& b = ref.tests[0].steps[i];
+        EXPECT_EQ(a.index, b.index) << "step " << i;
+        EXPECT_DOUBLE_EQ(a.dt, b.dt) << "step " << i;
+        ASSERT_EQ(a.assignments.size(), b.assignments.size()) << "step " << i;
+        for (std::size_t j = 0; j < a.assignments.size(); ++j) {
+            EXPECT_EQ(a.assignments[j].signal, b.assignments[j].signal);
+            EXPECT_EQ(a.assignments[j].status, b.assignments[j].status);
+        }
+    }
+    // Status table: spot-check the ×UBATT limits survived the comma locale.
+    EXPECT_DOUBLE_EQ(*s.statuses.require("Ho").min, 0.7);
+    EXPECT_DOUBLE_EQ(*s.statuses.require("Lo").max, 0.3);
+    EXPECT_EQ(*s.statuses.require("Closed").nom, kInf);
+}
+
+TEST(Sheets, SuiteToWorkbookRoundTrips) {
+    const TestSuite ref = paper::suite();
+    const auto wb = suite_to_workbook(ref);
+    const TestSuite back = suite_from_workbook(wb, ref.name);
+    EXPECT_NO_THROW(back.validate(MethodRegistry::builtin()));
+    ASSERT_EQ(back.tests.size(), ref.tests.size());
+    EXPECT_EQ(back.tests[0].steps.size(), ref.tests[0].steps.size());
+    EXPECT_EQ(back.statuses.statuses().size(), ref.statuses.statuses().size());
+    EXPECT_EQ(back.signals.signals().size(), ref.signals.signals().size());
+    EXPECT_EQ(back.signals.require("INT_ILL").pins,
+              (std::vector<std::string>{"INT_ILL_F", "INT_ILL_R"}));
+}
+
+TEST(Sheets, MissingHeaderColumnsThrow) {
+    tabular::Sheet s("bad");
+    s.add_row({"nothing", "here"});
+    EXPECT_THROW((void)signal_sheet_from_sheet(s), SemanticError);
+    EXPECT_THROW((void)status_table_from_sheet(s), SemanticError);
+    EXPECT_THROW((void)test_case_from_sheet(s), SemanticError);
+}
+
+TEST(Sheets, TestSheetRequiresNumericSteps) {
+    tabular::Sheet s("t");
+    s.add_row({"test step", "dt", "SIG"});
+    s.add_row({"zero", "0,5", "Open"});
+    EXPECT_THROW((void)test_case_from_sheet(s), SemanticError);
+}
+
+TEST(Sheets, TestSheetRequiresDt) {
+    tabular::Sheet s("t");
+    s.add_row({"test step", "dt", "SIG"});
+    s.add_row({"0", "", "Open"});
+    EXPECT_THROW((void)test_case_from_sheet(s), SemanticError);
+}
+
+TEST(Sheets, WorkbookWithoutTestsThrows) {
+    const auto wb = tabular::Workbook::parse_multi(
+        "#sheet signals\nsignal;direction\nA;in\n"
+        "#sheet status\nstatus;method\n");
+    EXPECT_THROW((void)suite_from_workbook(wb, "x"), SemanticError);
+}
+
+} // namespace
+} // namespace ctk::model

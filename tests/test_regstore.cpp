@@ -1,0 +1,174 @@
+// Unit tests: the regression store (longitudinal knowledge base).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/engine.hpp"
+#include "core/kb.hpp"
+#include "core/regstore.hpp"
+#include "dut/catalogue.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+namespace {
+
+RunResult run_interior(std::shared_ptr<dut::Dut> device) {
+    const auto registry = model::MethodRegistry::builtin();
+    const auto script =
+        script::compile(kb::suite_for("interior_light"), registry);
+    auto desc = kb::stand_for("interior_light");
+    TestEngine engine(desc,
+                      std::make_shared<sim::VirtualStand>(desc, device));
+    return engine.run(script);
+}
+
+TEST(RegStore, RecordsOneEntryPerTest) {
+    RegressionStore store;
+    store.record(run_interior(dut::make_golden("interior_light")), "B1");
+    ASSERT_EQ(store.entries().size(), 1u);
+    const auto& e = store.entries().front();
+    EXPECT_EQ(e.label, "B1");
+    EXPECT_EQ(e.script, "paper_int_ill");
+    EXPECT_EQ(e.test, "int_ill");
+    EXPECT_EQ(e.steps, 10u);
+    EXPECT_TRUE(e.passed);
+}
+
+TEST(RegStore, DetectsRegressionsBetweenSamples) {
+    RegressionStore store;
+    store.record(run_interior(dut::make_golden("interior_light")), "B1");
+    // Sample B2 is defective.
+    const auto mutants = dut::mutants_of("interior_light");
+    const auto it = std::find_if(
+        mutants.begin(), mutants.end(),
+        [](const dut::Mutant& m) { return m.name == "stuck_off"; });
+    store.record(run_interior(it->make()), "B2");
+
+    const auto regressed = store.regressions("B1", "B2");
+    ASSERT_EQ(regressed.size(), 1u);
+    EXPECT_EQ(regressed.front(), "paper_int_ill/int_ill");
+    // No regression in the other direction.
+    EXPECT_TRUE(store.regressions("B2", "B1").empty());
+    EXPECT_EQ(store.ever_failed(),
+              (std::vector<std::string>{"paper_int_ill/int_ill"}));
+    EXPECT_DOUBLE_EQ(store.pass_rate("paper_int_ill"), 0.5);
+    EXPECT_DOUBLE_EQ(store.pass_rate("unknown"), 1.0);
+}
+
+TEST(RegStore, CsvRoundTrip) {
+    RegressionStore store;
+    RegressionEntry e;
+    e.label = "P1;Q";
+    e.script = "s";
+    e.stand = "st";
+    e.test = "t";
+    e.steps = 7;
+    e.failed_steps = 2;
+    e.passed = false;
+    store.add(e);
+    const RegressionStore back =
+        RegressionStore::from_csv_text(store.to_csv_text());
+    ASSERT_EQ(back.entries().size(), 1u);
+    EXPECT_EQ(back.entries()[0].label, "P1;Q"); // quoting survived
+    EXPECT_EQ(back.entries()[0].steps, 7u);
+    EXPECT_EQ(back.entries()[0].failed_steps, 2u);
+    EXPECT_FALSE(back.entries()[0].passed);
+}
+
+TEST(RegStore, SaveAndLoad) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "ctk_regstore_test.csv").string();
+    RegressionStore store;
+    store.record(run_interior(dut::make_golden("interior_light")), "B1");
+    store.save(path);
+    const RegressionStore back = RegressionStore::load(path);
+    EXPECT_EQ(back.entries().size(), store.entries().size());
+    fs::remove(path);
+    EXPECT_THROW((void)RegressionStore::load(path), Error);
+}
+
+TEST(RegStore, MalformedCsvRejected) {
+    EXPECT_THROW((void)RegressionStore::from_csv_text(
+                     "label;script;stand;test;steps;failed_steps;passed\n"
+                     "a;b;c;d;not_a_number;0;1\n"),
+                 SemanticError);
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge-base consistency
+// ---------------------------------------------------------------------------
+
+TEST(KnowledgeBase, EverySuiteValidatesAndCompiles) {
+    const auto registry = model::MethodRegistry::builtin();
+    for (const auto& family : kb::families()) {
+        const auto suite = kb::suite_for(family);
+        EXPECT_NO_THROW(suite.validate(registry)) << family;
+        const auto script = script::compile(suite, registry);
+        EXPECT_FALSE(script.tests.empty()) << family;
+        // Round trip through XML.
+        const auto back = script::from_xml_text(
+            script::to_xml_text(script), registry);
+        EXPECT_EQ(script::to_xml_text(back), script::to_xml_text(script))
+            << family;
+    }
+    EXPECT_THROW((void)kb::suite_for("toaster"), SemanticError);
+    EXPECT_THROW((void)kb::stand_for("toaster"), SemanticError);
+}
+
+TEST(KnowledgeBase, EveryStandAllocatesItsSuite) {
+    const auto registry = model::MethodRegistry::builtin();
+    for (const auto& family : kb::families()) {
+        const auto script =
+            script::compile(kb::suite_for(family), registry);
+        const auto desc = kb::stand_for(family);
+        for (const auto& test : script.tests)
+            EXPECT_NO_THROW((void)stand::allocate_test(desc, script, test))
+                << family << "/" << test.name;
+    }
+}
+
+TEST(KnowledgeBase, StatusNamesAreReusedAcrossFamilies) {
+    // The paper's knowledge argument: shared vocabulary. Pressed/Released
+    // and Lo/Ho must appear in every pin-based family.
+    for (const char* family : {"power_window", "central_lock"}) {
+        const auto suite = kb::suite_for(family);
+        EXPECT_NE(suite.statuses.find("Pressed"), nullptr) << family;
+        EXPECT_NE(suite.statuses.find("Released"), nullptr) << family;
+        EXPECT_NE(suite.statuses.find("Lo"), nullptr) << family;
+        EXPECT_NE(suite.statuses.find("Ho"), nullptr) << family;
+    }
+}
+
+TEST(KnowledgeBase, LockStateIsCheckedOverCan) {
+    // The central-lock suite exercises get_can end to end.
+    const auto suite = kb::suite_for("central_lock");
+    const auto registry = model::MethodRegistry::builtin();
+    const auto script = script::compile(suite, registry);
+    bool found_get_can = false;
+    for (const auto& step : script.tests[0].steps)
+        for (const auto& a : step.actions)
+            if (a.call.method == "get_can") found_get_can = true;
+    EXPECT_TRUE(found_get_can);
+
+    // And a swapped-state DUT would be caught: check the golden run's
+    // measured payloads.
+    auto desc = kb::stand_for("central_lock");
+    TestEngine engine(desc, std::make_shared<sim::VirtualStand>(
+                                desc, dut::make_golden("central_lock")));
+    const auto result = engine.run(script);
+    EXPECT_TRUE(result.passed());
+    bool checked_payload = false;
+    for (const auto& step : result.tests[0].steps)
+        for (const auto& c : step.checks)
+            if (c.method == "get_can") {
+                checked_payload = true;
+                EXPECT_FALSE(c.measured_data.empty());
+            }
+    EXPECT_TRUE(checked_payload);
+}
+
+} // namespace
+} // namespace ctk::core

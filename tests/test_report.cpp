@@ -1,0 +1,86 @@
+// Unit tests: report rendering details.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "dut/catalogue.hpp"
+#include "model/paper.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+#include "stand/paper.hpp"
+
+namespace ctk::report {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+core::RunResult run_paper() {
+    const auto script = script::compile(model::paper::suite(), kReg);
+    auto desc = stand::paper::figure1_stand();
+    core::TestEngine engine(
+        desc, std::make_shared<sim::VirtualStand>(
+                  desc, dut::make_golden("interior_light")));
+    return engine.run(script);
+}
+
+TEST(Report, TestSheetColumnsFollowFirstUseOrder) {
+    const auto script = script::compile(model::paper::suite(), kReg);
+    const auto result = run_paper();
+    const std::string sheet =
+        render_test_sheet(script.tests[0], result.tests[0]);
+    // Header order matches the paper: IGN_ST before DS_FL before INT_ILL.
+    const auto p_ign = sheet.find("IGN_ST");
+    const auto p_fl = sheet.find("DS_FL");
+    const auto p_ill = sheet.find("INT_ILL");
+    ASSERT_NE(p_ign, std::string::npos);
+    EXPECT_LT(p_ign, p_fl);
+    EXPECT_LT(p_fl, p_ill);
+    // One row per step plus header/rule.
+    EXPECT_EQ(std::count(sheet.begin(), sheet.end(), '\n'), 12);
+}
+
+TEST(Report, AllocationShowsUnconnectedRearDoors) {
+    const auto script = script::compile(model::paper::suite(), kReg);
+    const auto desc = stand::paper::figure1_stand();
+    const auto plan = stand::allocate_test(desc, script, script.tests[0]);
+    const std::string out = render_allocation(plan);
+    EXPECT_NE(out.find("(open)"), std::string::npos);
+    EXPECT_NE(out.find("Sw1.1,Sw1.2"), std::string::npos);
+}
+
+TEST(Report, CsvEscapesNothingButIsStable) {
+    const auto r = run_paper();
+    const std::string csv = to_csv(r);
+    // Header + one row per check; all rows passed (",1" terminated).
+    std::istringstream lines(csv);
+    std::string line;
+    std::getline(lines, line);
+    EXPECT_EQ(line, "test,step,signal,status,method,lo,hi,measured,passed");
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        ++rows;
+        EXPECT_EQ(line.substr(line.size() - 2), ",1") << line;
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8u) << line;
+    }
+    EXPECT_EQ(rows, r.check_count());
+}
+
+TEST(Report, SummaryCountsFailedSteps) {
+    const auto mutants = dut::mutants_of("interior_light");
+    const auto it = std::find_if(
+        mutants.begin(), mutants.end(),
+        [](const dut::Mutant& m) { return m.name == "ignore_night"; });
+    const auto script = script::compile(model::paper::suite(), kReg);
+    auto desc = stand::paper::figure1_stand();
+    core::TestEngine engine(
+        desc, std::make_shared<sim::VirtualStand>(desc, it->make()));
+    const auto r = engine.run(script);
+    const std::string summary = render_summary(r);
+    EXPECT_NE(summary.find("FAIL"), std::string::npos);
+    EXPECT_NE(summary.find("overall: FAIL"), std::string::npos);
+    // The failed-step count in the table is non-zero.
+    EXPECT_GT(r.tests[0].failed_steps(), 0u);
+}
+
+} // namespace
+} // namespace ctk::report

@@ -1,0 +1,208 @@
+// Unit tests: compilation to test scripts and XML round-trips.
+#include <gtest/gtest.h>
+
+#include "model/paper.hpp"
+#include "script/xml_io.hpp"
+
+namespace ctk::script {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+TestScript compile_paper() { return compile(model::paper::suite(), kReg); }
+
+TEST(Compile, ScriptStructureMirrorsSuite) {
+    const TestScript s = compile_paper();
+    EXPECT_EQ(s.name, "paper_int_ill");
+    EXPECT_EQ(s.signals.size(), 7u);
+    ASSERT_EQ(s.tests.size(), 1u);
+    EXPECT_EQ(s.tests[0].steps.size(), 10u);
+    // init: every input signal with an initial status (6 of 7).
+    EXPECT_EQ(s.init.size(), 6u);
+}
+
+TEST(Compile, SignalNamesAreLowercased) {
+    const TestScript s = compile_paper();
+    EXPECT_NE(s.find_signal("int_ill"), nullptr);
+    EXPECT_EQ(s.require_signal("int_ill").pins,
+              (std::vector<std::string>{"int_ill_f", "int_ill_r"}));
+    EXPECT_EQ(s.require_signal("int_ill").direction,
+              model::SignalDirection::Output);
+    EXPECT_THROW((void)s.require_signal("ghost"), SemanticError);
+}
+
+TEST(Compile, HoLimitsBecomeUbattExpressions) {
+    const TestScript s = compile_paper();
+    // step 4 assigns Ho to int_ill.
+    const ScriptStep& step4 = s.tests[0].steps[4];
+    const SignalAction* ho = nullptr;
+    for (const auto& a : step4.actions)
+        if (a.signal == "int_ill") ho = &a;
+    ASSERT_NE(ho, nullptr);
+    EXPECT_EQ(ho->call.method, "get_u");
+    EXPECT_EQ(ho->call.min->to_string(), "(0.7*ubatt)");
+    EXPECT_EQ(ho->call.max->to_string(), "(1.1*ubatt)");
+    EXPECT_EQ(ho->call.variables(), (std::set<std::string>{"ubatt"}));
+}
+
+TEST(Compile, RequiredVariablesCollected) {
+    const TestScript s = compile_paper();
+    EXPECT_EQ(s.required_variables(), (std::set<std::string>{"ubatt"}));
+}
+
+TEST(Compile, InvalidSuiteRejected) {
+    model::TestSuite bad = model::paper::suite();
+    bad.tests[0].steps[0].assignments.push_back({"INT_ILL", "Open"});
+    EXPECT_THROW((void)compile(bad, kReg), SemanticError);
+}
+
+TEST(XmlIo, ReproducesPaperListing) {
+    // The exact §3 fragment: <signal name="int_ill">
+    //   <get_u u_max="(1.1*ubatt)" u_min="(0.7*ubatt)" />
+    const TestScript s = compile_paper();
+    const std::string text = to_xml_text(s);
+    EXPECT_NE(text.find("<signal name=\"int_ill\""), std::string::npos);
+    EXPECT_NE(
+        text.find("<get_u u_max=\"(1.1*ubatt)\" u_min=\"(0.7*ubatt)\" />"),
+        std::string::npos)
+        << text;
+}
+
+TEST(XmlIo, RoundTripPreservesEverything) {
+    const TestScript s = compile_paper();
+    const TestScript back = from_xml_text(to_xml_text(s), kReg);
+
+    EXPECT_EQ(back.name, s.name);
+    ASSERT_EQ(back.signals.size(), s.signals.size());
+    for (std::size_t i = 0; i < s.signals.size(); ++i) {
+        EXPECT_EQ(back.signals[i].name, s.signals[i].name);
+        EXPECT_EQ(back.signals[i].direction, s.signals[i].direction);
+        EXPECT_EQ(back.signals[i].kind, s.signals[i].kind);
+        EXPECT_EQ(back.signals[i].pins, s.signals[i].pins);
+    }
+    ASSERT_EQ(back.init.size(), s.init.size());
+    ASSERT_EQ(back.tests.size(), s.tests.size());
+    const ScriptTest& bt = back.tests[0];
+    const ScriptTest& st = s.tests[0];
+    ASSERT_EQ(bt.steps.size(), st.steps.size());
+    for (std::size_t i = 0; i < st.steps.size(); ++i) {
+        EXPECT_EQ(bt.steps[i].nr, st.steps[i].nr);
+        EXPECT_DOUBLE_EQ(bt.steps[i].dt, st.steps[i].dt);
+        EXPECT_EQ(bt.steps[i].remark, st.steps[i].remark);
+        ASSERT_EQ(bt.steps[i].actions.size(), st.steps[i].actions.size());
+        for (std::size_t j = 0; j < st.steps[i].actions.size(); ++j) {
+            const auto& a = bt.steps[i].actions[j];
+            const auto& b = st.steps[i].actions[j];
+            EXPECT_EQ(a.signal, b.signal);
+            EXPECT_EQ(a.status, b.status);
+            EXPECT_EQ(a.call.method, b.call.method);
+            EXPECT_EQ(a.call.data, b.call.data);
+            auto text = [](const expr::ExprPtr& e) {
+                return e ? e->to_string() : std::string{};
+            };
+            EXPECT_EQ(text(a.call.min), text(b.call.min));
+            EXPECT_EQ(text(a.call.max), text(b.call.max));
+            EXPECT_EQ(text(a.call.value), text(b.call.value));
+        }
+    }
+    // Second generation must be byte-identical (canonical form).
+    EXPECT_EQ(to_xml_text(back), to_xml_text(s));
+}
+
+TEST(XmlIo, DParametersRoundTrip) {
+    model::TestSuite suite = model::paper::suite();
+    // Rebuild the status table with a settle/debounce/timeout on Ho.
+    model::StatusTable timed;
+    for (model::StatusDef st : suite.statuses.statuses()) {
+        if (st.name == "Ho") {
+            st.d1 = 0.1;
+            st.d2 = 0.2;
+            st.d3 = 0.4;
+        }
+        timed.add(std::move(st));
+    }
+    suite.statuses = std::move(timed);
+    const TestScript s = compile(suite, kReg);
+    const std::string text = to_xml_text(s);
+    EXPECT_NE(text.find("d1=\"0.1\""), std::string::npos);
+    const TestScript back = from_xml_text(text, kReg);
+    const auto& actions = back.tests[0].steps[4].actions;
+    const auto it = std::find_if(actions.begin(), actions.end(),
+                                 [](const SignalAction& a) {
+                                     return a.signal == "int_ill";
+                                 });
+    ASSERT_NE(it, actions.end());
+    EXPECT_DOUBLE_EQ(*it->call.d1, 0.1);
+    EXPECT_DOUBLE_EQ(*it->call.d2, 0.2);
+    EXPECT_DOUBLE_EQ(*it->call.d3, 0.4);
+}
+
+struct BadScriptCase {
+    const char* name;
+    const char* xml;
+};
+
+class XmlIoErrors : public ::testing::TestWithParam<BadScriptCase> {};
+
+TEST_P(XmlIoErrors, Throws) {
+    EXPECT_THROW((void)from_xml_text(GetParam().xml, kReg), Error)
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlIoErrors,
+    ::testing::Values(
+        BadScriptCase{"wrong_root", "<nope/>"},
+        BadScriptCase{"no_tests", "<testscript name=\"x\"/>"},
+        BadScriptCase{"step_without_nr",
+                      "<testscript><test name=\"t\"><step dt=\"1\"/></test>"
+                      "</testscript>"},
+        BadScriptCase{"step_without_dt",
+                      "<testscript><test name=\"t\"><step nr=\"0\"/></test>"
+                      "</testscript>"},
+        BadScriptCase{"negative_dt",
+                      "<testscript><test name=\"t\"><step nr=\"0\" "
+                      "dt=\"-1\"/></test></testscript>"},
+        BadScriptCase{"unknown_method",
+                      "<testscript><test name=\"t\"><step nr=\"0\" dt=\"1\">"
+                      "<signal name=\"s\"><frob x=\"1\"/></signal></step>"
+                      "</test></testscript>"},
+        BadScriptCase{"get_without_limits",
+                      "<testscript><test name=\"t\"><step nr=\"0\" dt=\"1\">"
+                      "<signal name=\"s\"><get_u/></signal></step>"
+                      "</test></testscript>"},
+        BadScriptCase{"put_without_value",
+                      "<testscript><test name=\"t\"><step nr=\"0\" dt=\"1\">"
+                      "<signal name=\"s\"><put_r/></signal></step>"
+                      "</test></testscript>"},
+        BadScriptCase{"two_methods_per_signal",
+                      "<testscript><test name=\"t\"><step nr=\"0\" dt=\"1\">"
+                      "<signal name=\"s\"><put_r r=\"1\"/><put_r r=\"2\"/>"
+                      "</signal></step></test></testscript>"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(XmlIo, MinimalHandwrittenScriptLoads) {
+    // A supplier could write this by hand — no init, default pins.
+    const char* text =
+        "<testscript name=\"mini\">"
+        "  <signals>"
+        "    <signal name=\"in1\" direction=\"in\" kind=\"pin\"/>"
+        "    <signal name=\"out1\" direction=\"out\" kind=\"pin\"/>"
+        "  </signals>"
+        "  <test name=\"t\">"
+        "    <step nr=\"0\" dt=\"0.5\">"
+        "      <signal name=\"in1\"><put_r r=\"100\"/></signal>"
+        "      <signal name=\"out1\"><get_u u_max=\"5\" u_min=\"1\"/></signal>"
+        "    </step>"
+        "  </test>"
+        "</testscript>";
+    const TestScript s = from_xml_text(text, kReg);
+    EXPECT_EQ(s.require_signal("in1").pins,
+              (std::vector<std::string>{"in1"}));
+    EXPECT_TRUE(s.required_variables().empty());
+    const auto& call = s.tests[0].steps[0].actions[0].call;
+    EXPECT_DOUBLE_EQ(call.value->eval(expr::Env{}), 100.0);
+}
+
+} // namespace
+} // namespace ctk::script

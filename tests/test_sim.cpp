@@ -1,0 +1,149 @@
+// Unit tests: the virtual test stand backend.
+#include <gtest/gtest.h>
+
+#include "dut/interior_light.hpp"
+#include "dut/turn_signal.hpp"
+#include "sim/virtual_stand.hpp"
+#include "stand/paper.hpp"
+
+namespace ctk::sim {
+namespace {
+
+std::shared_ptr<dut::InteriorLightEcu> make_light() {
+    return std::make_shared<dut::InteriorLightEcu>();
+}
+
+VirtualStand make_stand(std::shared_ptr<dut::Dut> d,
+                        VirtualStandOptions opts = {}) {
+    return VirtualStand(stand::paper::figure1_stand(), std::move(d), opts);
+}
+
+TEST(VirtualStandTest, AppliesResistanceAndMeasuresVoltage) {
+    auto light = make_light();
+    VirtualStand vs = make_stand(light);
+    vs.apply_bits("Can1", "night", {true});
+    vs.apply_real("Ress3", "put_r", {"ds_fl"}, 0.0);
+    vs.advance(0.2);
+    const double v = vs.measure_real("Ress1", "get_u",
+                                     {"int_ill_f", "int_ill_r"});
+    EXPECT_DOUBLE_EQ(v, 12.0);
+}
+
+TEST(VirtualStandTest, SupplyComesFromStandVariables) {
+    stand::StandDescription desc = stand::paper::figure1_stand();
+    desc.set_variable("ubatt", 13.5);
+    auto light = make_light();
+    VirtualStand vs(desc, light);
+    vs.apply_bits("Can1", "night", {true});
+    vs.apply_real("Ress3", "put_r", {"ds_fl"}, 0.0);
+    vs.advance(0.2);
+    EXPECT_DOUBLE_EQ(
+        vs.measure_real("Ress1", "get_u", {"int_ill_f", "int_ill_r"}), 13.5);
+}
+
+TEST(VirtualStandTest, InfResistanceMeansOpenDoor) {
+    auto light = make_light();
+    VirtualStand vs = make_stand(light);
+    vs.apply_bits("Can1", "night", {true});
+    vs.apply_real("Ress3", "put_r", {"ds_fl"},
+                  std::numeric_limits<double>::infinity());
+    vs.advance(0.2);
+    EXPECT_DOUBLE_EQ(
+        vs.measure_real("Ress1", "get_u", {"int_ill_f", "int_ill_r"}), 0.0);
+}
+
+TEST(VirtualStandTest, DvmGainAndNoiseAreApplied) {
+    VirtualStandOptions opts;
+    opts.dvm_gain = 1.01;
+    auto light = make_light();
+    VirtualStand vs = make_stand(light, opts);
+    vs.apply_bits("Can1", "night", {true});
+    vs.apply_real("Ress3", "put_r", {"ds_fl"}, 0.0);
+    vs.advance(0.2);
+    EXPECT_NEAR(vs.measure_real("Ress1", "get_u", {"int_ill_f", "int_ill_r"}),
+                12.12, 1e-9);
+
+    VirtualStandOptions noisy;
+    noisy.dvm_noise = 0.05;
+    auto light2 = make_light();
+    VirtualStand vs2 = make_stand(light2, noisy);
+    vs2.apply_bits("Can1", "night", {true});
+    vs2.apply_real("Ress3", "put_r", {"ds_fl"}, 0.0);
+    vs2.advance(0.2);
+    double lo = 1e9, hi = -1e9;
+    for (int i = 0; i < 50; ++i) {
+        const double v =
+            vs2.measure_real("Ress1", "get_u", {"int_ill_f", "int_ill_r"});
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GE(lo, 12.0 - 0.05);
+    EXPECT_LE(hi, 12.0 + 0.05);
+    EXPECT_GT(hi - lo, 1e-4); // noise actually varies
+}
+
+TEST(VirtualStandTest, ResetRestoresPowerOnState) {
+    auto light = make_light();
+    VirtualStand vs = make_stand(light);
+    vs.apply_bits("Can1", "night", {true});
+    vs.apply_real("Ress3", "put_r", {"ds_fl"}, 0.0);
+    vs.advance(0.5);
+    EXPECT_GT(vs.now(), 0.0);
+    vs.reset();
+    EXPECT_DOUBLE_EQ(vs.now(), 0.0);
+    vs.advance(0.1);
+    EXPECT_DOUBLE_EQ(
+        vs.measure_real("Ress1", "get_u", {"int_ill_f", "int_ill_r"}), 0.0);
+}
+
+TEST(VirtualStandTest, UnsupportedMethodsThrow) {
+    auto light = make_light();
+    VirtualStand vs = make_stand(light);
+    EXPECT_THROW(vs.apply_real("Ress2", "put_q", {"x"}, 1.0), StandError);
+    EXPECT_THROW((void)vs.measure_real("Ress1", "get_q", {"x"}), StandError);
+    EXPECT_THROW((void)vs.measure_real("Ress1", "get_f", {"unarmed"}),
+                 StandError);
+}
+
+TEST(VirtualStandTest, FrequencyCounterMeasuresFlashRate) {
+    auto ts = std::make_shared<dut::TurnSignalEcu>();
+    stand::StandDescription desc("fc");
+    stand::Resource fc;
+    fc.id = "FC1";
+    fc.methods.push_back(stand::MethodSupport{
+        "get_f", {stand::ParamRange{"f", 0, 1e6, "Hz"}}});
+    desc.add_resource(fc);
+    desc.connect("FC1", "lamp_l", "K1");
+    desc.set_variable("ubatt", 12.0);
+    VirtualStand vs(desc, ts);
+
+    // Arm the counter as the engine's prepare() would.
+    stand::Allocation plan;
+    stand::AllocationEntry e;
+    e.requirement.signal = "lamp_l";
+    e.requirement.method = "get_f";
+    e.requirement.pins = {"lamp_l"};
+    e.resource = "FC1";
+    plan.entries.push_back(e);
+    vs.prepare(plan);
+
+    ts->can_receive("turn_sw", {false, true}); // left
+    for (int i = 0; i < 80; ++i) vs.advance(0.05); // 4 s
+    const double f = vs.measure_real("FC1", "get_f", {"lamp_l"});
+    EXPECT_GE(f, 1.0);
+    EXPECT_LE(f, 2.0); // nominal 1.5 Hz, gate 2 s
+
+    ts->can_receive("turn_sw", {false, false}); // off
+    for (int i = 0; i < 80; ++i) vs.advance(0.05);
+    EXPECT_DOUBLE_EQ(vs.measure_real("FC1", "get_f", {"lamp_l"}), 0.0);
+}
+
+TEST(VirtualStandTest, CanLoopbackThroughDut) {
+    auto light = make_light();
+    VirtualStand vs = make_stand(light);
+    // The interior light ECU transmits nothing.
+    EXPECT_TRUE(vs.measure_bits("Can1", "ign_st").empty());
+}
+
+} // namespace
+} // namespace ctk::sim

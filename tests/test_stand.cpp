@@ -1,0 +1,306 @@
+// Unit tests: resources, stand descriptions, the §4 allocator.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "model/paper.hpp"
+#include "script/xml_io.hpp"
+#include "stand/allocator.hpp"
+#include "stand/paper.hpp"
+
+namespace ctk::stand {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+Resource make_decade(double max_ohm, bool disconnect = true) {
+    Resource r;
+    r.id = "Dec";
+    r.label = "decade";
+    r.methods.push_back(
+        MethodSupport{"put_r", {ParamRange{"r", 0.0, max_ohm, "Ohm"}}});
+    r.supports_disconnect = disconnect;
+    return r;
+}
+
+Resource make_dvm(double lo, double hi) {
+    Resource r;
+    r.id = "Dvm";
+    r.label = "DVM";
+    r.methods.push_back(
+        MethodSupport{"get_u", {ParamRange{"u", lo, hi, "V"}}});
+    return r;
+}
+
+TEST(Resource, FindMethodCaseInsensitive) {
+    const Resource r = make_decade(1e6);
+    EXPECT_NE(r.find_method("PUT_R"), nullptr);
+    EXPECT_EQ(r.find_method("get_u"), nullptr);
+}
+
+TEST(Resource, PutFeasibleWhenRangeIntersectsTolerance) {
+    const Resource r = make_decade(1e6, /*disconnect=*/false);
+    // Open: 0..1 Ohm — intersects [0, 1e6].
+    EXPECT_TRUE(r.can_realise("put_r", false, 0.0, 1.0));
+    // Window entirely above range.
+    EXPECT_FALSE(r.can_realise("put_r", false, 2e6, kInf));
+}
+
+TEST(Resource, PutInfRequiresDisconnectWhenAboveRange) {
+    // Closed: tolerance [5000, INF]. A decade reaching 1 MOhm intersects
+    // regardless; one maxing at 1 kOhm only works via disconnect.
+    const Resource small_with_disc = [&] {
+        Resource r = make_decade(1000.0, true);
+        return r;
+    }();
+    const Resource small_no_disc = make_decade(1000.0, false);
+    EXPECT_TRUE(small_with_disc.can_realise("put_r", false, 5000.0, kInf));
+    EXPECT_FALSE(small_no_disc.can_realise("put_r", false, 5000.0, kInf));
+}
+
+TEST(Resource, RealisedValueClampsNominalIntoWindow) {
+    const Resource r = make_decade(2e5, true);
+    // Open (nom 0): applies 0.
+    EXPECT_DOUBLE_EQ(*r.realised_value("put_r", 0.0, 0.0, 1.0), 0.0);
+    // Closed (nom INF, window [5000, INF]): disconnect gives exact INF.
+    EXPECT_EQ(*r.realised_value("put_r", kInf, 5000.0, kInf), kInf);
+    // Without disconnect: clamps to the decade's max, still in window.
+    const Resource nd = make_decade(2e5, false);
+    EXPECT_DOUBLE_EQ(*nd.realised_value("put_r", kInf, 5000.0, kInf), 2e5);
+    // Infeasible window.
+    EXPECT_FALSE(nd.realised_value("put_r", 3e5, 3e5, 4e5).has_value());
+}
+
+TEST(Resource, GetRequiresCoveringTheExpectedWindow) {
+    const Resource dvm = make_dvm(-60, 60);
+    EXPECT_TRUE(dvm.can_realise("get_u", true, 8.4, 13.2));   // Ho at 12 V
+    EXPECT_TRUE(dvm.can_realise("get_u", true, 0.0, 3.6));    // Lo
+    EXPECT_FALSE(dvm.can_realise("get_u", true, -100.0, 0.0)); // below range
+    const Resource small = make_dvm(0, 10);
+    EXPECT_FALSE(small.can_realise("get_u", true, 8.4, 13.2)); // 13.2 > 10
+}
+
+TEST(Resource, MethodsWithoutRangesOnlyNeedSupport) {
+    Resource can;
+    can.id = "Can";
+    can.methods.push_back(MethodSupport{"put_can", {}});
+    EXPECT_TRUE(can.can_realise("put_can", false, std::nullopt, std::nullopt));
+}
+
+// ---------------------------------------------------------------------------
+// Stand description
+// ---------------------------------------------------------------------------
+
+TEST(StandDesc, DuplicateResourceRejected) {
+    StandDescription s("x");
+    s.add_resource(make_decade(1.0));
+    EXPECT_THROW(s.add_resource(make_decade(1.0)), SemanticError);
+}
+
+TEST(StandDesc, ConnectRequiresKnownResource) {
+    StandDescription s("x");
+    EXPECT_THROW(s.connect("ghost", "pin", "K1"), SemanticError);
+}
+
+TEST(StandDesc, Figure1MatchesTables3And4) {
+    const StandDescription s = paper::figure1_stand();
+    // Table 3.
+    const Resource& r1 = s.require_resource("Ress1");
+    EXPECT_EQ(r1.label, "DVM");
+    const ParamRange* u = r1.find_method("get_u")->range_of("u");
+    EXPECT_DOUBLE_EQ(u->min, -60.0);
+    EXPECT_DOUBLE_EQ(u->max, 60.0);
+    EXPECT_DOUBLE_EQ(
+        s.require_resource("Ress2").find_method("put_r")->range_of("r")->max,
+        1.0e6);
+    EXPECT_DOUBLE_EQ(
+        s.require_resource("Ress3").find_method("put_r")->range_of("r")->max,
+        2.0e5);
+    // Table 4 (spot checks, verbatim cells).
+    EXPECT_EQ(s.connection("Ress1", "int_ill_f")->via, "Sw1.1");
+    EXPECT_EQ(s.connection("Ress1", "int_ill_r")->via, "Sw1.2");
+    EXPECT_EQ(s.connection("Ress2", "ds_rr")->via, "Mx4.2");
+    EXPECT_EQ(s.connection("Ress3", "ds_fl")->via, "Mx1.1");
+    EXPECT_EQ(s.connection("Ress1", "ds_fl"), nullptr);
+    EXPECT_TRUE(s.reaches("Ress1", {"int_ill_f", "int_ill_r"}));
+    EXPECT_FALSE(s.reaches("Ress2", {"int_ill_f"}));
+    EXPECT_DOUBLE_EQ(s.variables().get("ubatt"), 12.0);
+}
+
+TEST(StandDesc, WorkbookRoundTrip) {
+    const StandDescription ref = paper::figure1_stand();
+    const StandDescription back =
+        StandDescription::from_workbook(ref.to_workbook(), ref.name());
+    EXPECT_EQ(back.resources().size(), ref.resources().size());
+    EXPECT_EQ(back.connections().size(), ref.connections().size());
+    EXPECT_EQ(back.connection("Ress3", "ds_rl")->via, "Mx3.1");
+    EXPECT_TRUE(back.require_resource("Ress2").supports_disconnect);
+    EXPECT_TRUE(back.require_resource("Can1").shareable);
+    EXPECT_DOUBLE_EQ(back.variables().get("ubatt"), 12.0);
+}
+
+TEST(StandDesc, WorkbookTextParses) {
+    const auto wb =
+        tabular::Workbook::parse_multi(paper::figure1_workbook_text());
+    const StandDescription s = StandDescription::from_workbook(wb, "fig1");
+    EXPECT_DOUBLE_EQ(
+        s.require_resource("Ress2").find_method("put_r")->range_of("r")->max,
+        1.0e6); // "1,00E+06" survived the locale
+    EXPECT_EQ(s.connection("Can1", "night")->via, "bus");
+}
+
+TEST(StandDesc, MissingVariablesListed) {
+    StandDescription s("x");
+    const auto missing = s.missing_variables({"ubatt", "tempr"});
+    ASSERT_EQ(missing.size(), 2u);
+    s.set_variable("ubatt", 12.0);
+    EXPECT_EQ(s.missing_variables({"ubatt"}).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocator
+// ---------------------------------------------------------------------------
+
+script::TestScript paper_script() {
+    return script::compile(model::paper::suite(), kReg);
+}
+
+TEST(Allocator, PaperAllocationPicksExpectedResources) {
+    const StandDescription s = paper::figure1_stand();
+    const script::TestScript sc = paper_script();
+    const Allocation plan = allocate_test(s, sc, sc.tests[0]);
+
+    // INT_ILL must go to the DVM through Sw1.1/Sw1.2 (the paper's wiring).
+    const AllocationEntry* ill = plan.for_signal("int_ill");
+    ASSERT_NE(ill, nullptr);
+    EXPECT_EQ(ill->resource, "Ress1");
+    EXPECT_EQ(ill->via, (std::vector<std::string>{"Sw1.1", "Sw1.2"}));
+
+    // Each stimulated door switch gets its own decade.
+    const AllocationEntry* fl = plan.for_signal("ds_fl");
+    const AllocationEntry* fr = plan.for_signal("ds_fr");
+    ASSERT_NE(fl, nullptr);
+    ASSERT_NE(fr, nullptr);
+    EXPECT_NE(fl->resource, fr->resource);
+    EXPECT_TRUE(fl->resource == "Ress2" || fl->resource == "Ress3");
+    EXPECT_TRUE(fr->resource == "Ress2" || fr->resource == "Ress3");
+
+    // Bus signals share the CAN interface.
+    EXPECT_EQ(plan.for_signal("ign_st")->resource, "Can1");
+    EXPECT_EQ(plan.for_signal("night")->resource, "Can1");
+
+    // The rear doors are only ever 'Closed' (open contact): no decade is
+    // consumed — the pins are simply left unconnected. This is how a
+    // two-decade stand serves a four-door DUT.
+    EXPECT_TRUE(plan.for_signal("ds_rl")->is_unconnected());
+    EXPECT_TRUE(plan.for_signal("ds_rr")->is_unconnected());
+}
+
+TEST(Allocator, RequirementsMergeRepeatedStatuses) {
+    const StandDescription s = paper::figure1_stand();
+    const script::TestScript sc = paper_script();
+    const auto reqs = build_requirements(sc, sc.tests[0], s.variables());
+    // 6 signals are touched: ign_st, ds_fl, ds_fr, ds_rl, ds_rr, night,
+    // int_ill — ds_rl/ds_rr only via init. That is 7 requirements.
+    EXPECT_EQ(reqs.size(), 7u);
+    for (const auto& r : reqs) {
+        if (r.signal == "int_ill") {
+            // Lo and Ho: exactly two distinct demands despite 10 steps.
+            EXPECT_EQ(r.demands.size(), 2u);
+            EXPECT_TRUE(r.is_get);
+        }
+        if (r.signal == "ds_fl") {
+            // Open and Closed.
+            EXPECT_EQ(r.demands.size(), 2u);
+            EXPECT_FALSE(r.is_get);
+        }
+    }
+}
+
+TEST(Allocator, DeficientStandRaisesPaperError) {
+    const StandDescription s = paper::deficient_stand();
+    const script::TestScript sc = paper_script();
+    try {
+        (void)allocate_test(s, sc, sc.tests[0]);
+        FAIL() << "expected StandError";
+    } catch (const StandError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no resource"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("int_ill"), std::string::npos) << msg;
+    }
+}
+
+TEST(Allocator, MissingVariableRaisesStandError) {
+    StandDescription s = paper::figure1_stand();
+    StandDescription no_var("no_var");
+    for (const auto& r : s.resources()) no_var.add_resource(r);
+    for (const auto& c : s.connections())
+        no_var.connect(c.resource, c.pin, c.via);
+    const script::TestScript sc = paper_script();
+    EXPECT_THROW((void)allocate_test(no_var, sc, sc.tests[0]), StandError);
+}
+
+TEST(Allocator, SupplierStandAllocatesSameScript) {
+    const StandDescription s = paper::supplier_stand();
+    const script::TestScript sc = paper_script();
+    const Allocation plan = allocate_test(s, sc, sc.tests[0]);
+    EXPECT_EQ(plan.for_signal("int_ill")->resource, "DVM1");
+}
+
+TEST(Allocator, MatchingSucceedsWhereGreedyFails) {
+    // Two requirements: sig_a can use R1 or R2, sig_b only R1.
+    // Greedy (declaration order sig_a first, resource order R1 first)
+    // burns R1 on sig_a and fails on sig_b; matching reassigns.
+    StandDescription s("tight");
+    Resource r1;
+    r1.id = "R1";
+    r1.methods.push_back(
+        MethodSupport{"put_r", {ParamRange{"r", 0.0, 1e6, "Ohm"}}});
+    Resource r2 = r1;
+    r2.id = "R2";
+    s.add_resource(r1);
+    s.add_resource(r2);
+    s.connect("R1", "sig_a", "K1");
+    s.connect("R2", "sig_a", "K2");
+    s.connect("R1", "sig_b", "K3");
+
+    Requirement a;
+    a.signal = "sig_a";
+    a.method = "put_r";
+    a.pins = {"sig_a"};
+    a.demands.push_back(ValueDemand{"X", 100.0, 0.0, 1000.0});
+    Requirement b = a;
+    b.signal = "sig_b";
+    b.pins = {"sig_b"};
+
+    EXPECT_THROW((void)allocate(s, {a, b}, AllocPolicy::Greedy), StandError);
+    const Allocation plan = allocate(s, {a, b}, AllocPolicy::Matching);
+    EXPECT_EQ(plan.for_signal("sig_a")->resource, "R2");
+    EXPECT_EQ(plan.for_signal("sig_b")->resource, "R1");
+}
+
+TEST(Allocator, ValueDemandOutsideEveryResourceFails) {
+    StandDescription s("small");
+    s.add_resource(make_decade(100.0, /*disconnect=*/false));
+    s.connect("Dec", "p", "K1");
+    Requirement r;
+    r.signal = "p";
+    r.method = "put_r";
+    r.pins = {"p"};
+    r.demands.push_back(ValueDemand{"Big", 5000.0, 4000.0, 6000.0});
+    EXPECT_THROW((void)allocate(s, {r}), StandError);
+}
+
+TEST(Allocator, MatchingHandlesPaperScript) {
+    const StandDescription s = paper::figure1_stand();
+    const script::TestScript sc = paper_script();
+    const Allocation plan =
+        allocate_test(s, sc, sc.tests[0], AllocPolicy::Matching);
+    EXPECT_EQ(plan.for_signal("int_ill")->resource, "Ress1");
+    EXPECT_NE(plan.for_signal("ds_fl")->resource,
+              plan.for_signal("ds_fr")->resource);
+}
+
+} // namespace
+} // namespace ctk::stand

@@ -1,0 +1,176 @@
+// Unit tests: CSV/TSV parsing, sheets, multi-sheet workbooks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "tabular/csv.hpp"
+#include "tabular/workbook.hpp"
+
+namespace ctk::tabular {
+namespace {
+
+TEST(Csv, DetectsSemicolonSeparator) {
+    EXPECT_EQ(detect_separator("a;b;c\n1;2;3\n"), ';');
+    EXPECT_EQ(detect_separator("a,b,c\n"), ',');
+    EXPECT_EQ(detect_separator("a\tb\tc\n"), '\t');
+}
+
+TEST(Csv, ParsesSimpleGrid) {
+    const Sheet s = parse_csv("a;b\n1;2\n", "t");
+    EXPECT_EQ(s.row_count(), 2u);
+    EXPECT_EQ(s.col_count(), 2u);
+    EXPECT_EQ(s.at(0, 0).text(), "a");
+    EXPECT_EQ(s.at(1, 1).text(), "2");
+}
+
+TEST(Csv, QuotedFieldsKeepSeparatorsAndNewlines) {
+    const Sheet s =
+        parse_csv("\"a;b\";\"line1\nline2\";\"he said \"\"hi\"\"\"\n", "t");
+    EXPECT_EQ(s.at(0, 0).raw(), "a;b");
+    EXPECT_EQ(s.at(0, 1).raw(), "line1\nline2");
+    EXPECT_EQ(s.at(0, 2).raw(), "he said \"hi\"");
+}
+
+TEST(Csv, UnterminatedQuoteThrowsWithPosition) {
+    try {
+        (void)parse_csv("a;\"unclosed\n", "t");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.pos().line, 1u);
+    }
+}
+
+TEST(Csv, SkipsBlankRowsByDefault) {
+    const Sheet s = parse_csv("a;b\n;\n\n1;2\n", "t");
+    EXPECT_EQ(s.row_count(), 2u);
+}
+
+TEST(Csv, KeepsBlankRowsOnRequest) {
+    CsvOptions opts;
+    opts.skip_blank_rows = false;
+    opts.separator = ';';
+    const Sheet s = parse_csv("a;b\n;\n1;2\n", "t", opts);
+    EXPECT_EQ(s.row_count(), 3u);
+}
+
+TEST(Csv, HandlesCrLfLineEndings) {
+    const Sheet s = parse_csv("a;b\r\n1;2\r\n", "t");
+    EXPECT_EQ(s.at(0, 1).text(), "b");
+    EXPECT_EQ(s.at(1, 1).text(), "2");
+}
+
+TEST(Csv, EmitRoundTripsQuoting) {
+    Sheet s("t");
+    s.add_row({"plain", "with;sep", "with\"quote", "multi\nline"});
+    s.add_row({"0,5", "", "x", ""});
+    const Sheet back = parse_csv(emit_csv(s), "t");
+    ASSERT_EQ(back.row_count(), s.row_count());
+    for (std::size_t r = 0; r < s.row_count(); ++r)
+        for (std::size_t c = 0; c < s.col_count(); ++c)
+            EXPECT_EQ(back.at(r, c).raw(), s.at(r, c).raw())
+                << "r=" << r << " c=" << c;
+}
+
+TEST(Cell, NumberHandlesGermanDecimals) {
+    EXPECT_DOUBLE_EQ(*Cell("0,5").number(), 0.5);
+    EXPECT_FALSE(Cell("Open").number().has_value());
+    EXPECT_TRUE(Cell("  ").empty());
+}
+
+TEST(Sheet, FindRowAndColAreCaseInsensitive) {
+    Sheet s("t");
+    s.add_row({"Status", "Method", "Attribut"});
+    s.add_row({"Ho", "get_u", "u"});
+    EXPECT_EQ(s.find_col(0, "method"), 1u);
+    EXPECT_EQ(s.find_col(0, "ATTRIBUT"), 2u);
+    EXPECT_EQ(s.find_col(0, "missing"), Sheet::npos);
+    EXPECT_EQ(s.find_row("ho"), 1u);
+    EXPECT_EQ(s.find_row("nope"), Sheet::npos);
+}
+
+TEST(Sheet, OutOfRangeAccessYieldsEmptyCell) {
+    Sheet s("t");
+    s.add_row({"a"});
+    EXPECT_TRUE(s.at(5, 5).empty());
+    EXPECT_TRUE(s.at(0, 3).empty());
+}
+
+TEST(Workbook, ParseMultiSplitsSheets) {
+    const Workbook wb = Workbook::parse_multi(
+        "# a comment\n"
+        "#sheet alpha\n"
+        "a;b\n"
+        "#sheet beta\n"
+        "c;d\n1;2\n");
+    ASSERT_EQ(wb.sheets().size(), 2u);
+    EXPECT_EQ(wb.sheets()[0].name(), "alpha");
+    EXPECT_EQ(wb.require("beta").row_count(), 2u);
+    EXPECT_EQ(wb.find("gamma"), nullptr);
+    EXPECT_THROW((void)wb.require("gamma"), SemanticError);
+}
+
+TEST(Workbook, SheetLookupIsCaseInsensitive) {
+    Workbook wb;
+    wb.add_sheet(Sheet("Signals"));
+    EXPECT_NE(wb.find("signals"), nullptr);
+}
+
+TEST(Workbook, AddSheetReplacesByName) {
+    Workbook wb;
+    Sheet a("s");
+    a.add_row({"old"});
+    wb.add_sheet(std::move(a));
+    Sheet b("S");
+    b.add_row({"new"});
+    wb.add_sheet(std::move(b));
+    ASSERT_EQ(wb.sheets().size(), 1u);
+    EXPECT_EQ(wb.require("s").at(0, 0).text(), "new");
+}
+
+TEST(Workbook, EmitMultiRoundTrips) {
+    Workbook wb;
+    Sheet s1("one");
+    s1.add_row({"a", "b;c"});
+    wb.add_sheet(std::move(s1));
+    Sheet s2("two");
+    s2.add_row({"x"});
+    wb.add_sheet(std::move(s2));
+
+    const Workbook back = Workbook::parse_multi(wb.emit_multi());
+    ASSERT_EQ(back.sheets().size(), 2u);
+    EXPECT_EQ(back.require("one").at(0, 1).raw(), "b;c");
+    EXPECT_EQ(back.require("two").at(0, 0).text(), "x");
+}
+
+TEST(Workbook, SheetMarkerWithoutNameThrows) {
+    EXPECT_THROW((void)Workbook::parse_multi("#sheet   \na;b\n"), ParseError);
+}
+
+TEST(Workbook, LoadDirReadsCsvFiles) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "ctk_tabular_test_dir";
+    fs::create_directories(dir);
+    {
+        std::ofstream f(dir / "signals.csv");
+        f << "signal;direction\nX;in\n";
+    }
+    {
+        std::ofstream f(dir / "status.csv");
+        f << "status;method\nHo;get_u\n";
+    }
+    const Workbook wb = Workbook::load_dir(dir.string());
+    EXPECT_EQ(wb.sheets().size(), 2u);
+    EXPECT_EQ(wb.require("signals").at(1, 0).text(), "X");
+    fs::remove_all(dir);
+}
+
+TEST(Workbook, LoadDirRejectsMissingDirectory) {
+    EXPECT_THROW((void)Workbook::load_dir("/nonexistent/ctk"), Error);
+}
+
+} // namespace
+} // namespace ctk::tabular

@@ -1,0 +1,131 @@
+// Unit tests: time-frame expansion and sequential ATPG.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gate/circuits.hpp"
+#include "gate/tpg.hpp"
+#include "gate/unroll.hpp"
+
+namespace ctk::gate {
+namespace {
+
+TEST(Unroll, RejectsCombinationalAndZeroFrames) {
+    EXPECT_THROW((void)unroll(circuits::c17(), 4), SemanticError);
+    EXPECT_THROW((void)unroll(circuits::counter(2), 0), SemanticError);
+}
+
+TEST(Unroll, StructureHasPlannedShape) {
+    const Netlist n = circuits::counter(3);
+    const Unrolled u = unroll(n, 5);
+    EXPECT_FALSE(u.net.is_sequential());
+    EXPECT_EQ(u.net.size(), 5 * n.size());
+    EXPECT_EQ(u.net.inputs().size(), 5 * n.inputs().size());
+    EXPECT_EQ(u.net.outputs().size(), 5 * n.outputs().size());
+    // Frame-0 DFF copies are reset constants.
+    for (GateId d : n.dffs())
+        EXPECT_EQ(u.net.gate(u.copy(0, d)).type, GateType::Const0);
+    // Frame-k DFF copies buffer the previous frame's next-state net.
+    for (GateId d : n.dffs()) {
+        const Gate& copy = u.net.gate(u.copy(3, d));
+        EXPECT_EQ(copy.type, GateType::Buf);
+        EXPECT_EQ(copy.fanins[0], u.copy(2, n.gate(d).fanins[0]));
+    }
+}
+
+TEST(Unroll, UnrolledSimulationMatchesSequentialSimulation) {
+    const Netlist n = circuits::counter(4);
+    const std::size_t frames = 7;
+    const Unrolled u = unroll(n, frames);
+    const LogicSim seq(n);
+    const LogicSim comb(u.net);
+
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Random enable sequence.
+        std::vector<bool> en(frames);
+        for (auto&& e : en) e = rng.next_bool();
+
+        // Sequential reference.
+        std::vector<std::vector<bool>> seq_outputs;
+        std::vector<PackedWord> state(n.dffs().size(), 0);
+        for (std::size_t f = 0; f < frames; ++f) {
+            const std::vector<PackedWord> in{
+                en[f] ? ~PackedWord{0} : PackedWord{0}};
+            const auto values = seq.eval(in, state);
+            std::vector<bool> outs;
+            for (GateId po : n.outputs())
+                outs.push_back(
+                    (values[static_cast<std::size_t>(po)] & 1u) != 0);
+            seq_outputs.push_back(outs);
+            state = seq.next_state(values);
+        }
+
+        // Unrolled evaluation of the same sequence.
+        std::vector<bool> flat;
+        for (std::size_t f = 0; f < frames; ++f) flat.push_back(en[f]);
+        const auto comb_out = comb.eval_scalar(flat);
+        std::size_t k = 0;
+        for (std::size_t f = 0; f < frames; ++f)
+            for (std::size_t o = 0; o < n.outputs().size(); ++o, ++k)
+                EXPECT_EQ(comb_out[k], seq_outputs[f][o])
+                    << "trial " << trial << " frame " << f;
+    }
+}
+
+TEST(Unroll, MapFaultCoversEveryFrame) {
+    const Netlist n = circuits::counter(2);
+    const Unrolled u = unroll(n, 4);
+    const Fault f{n.require("t1"), -1, false};
+    const auto copies = map_fault(u, f);
+    ASSERT_EQ(copies.size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_EQ(copies[k].gate, u.copy(k, f.gate));
+        EXPECT_EQ(copies[k].sa1, f.sa1);
+    }
+}
+
+TEST(Unroll, FoldPatternSplitsFrames) {
+    const Netlist n = circuits::counter(2);
+    const Unrolled u = unroll(n, 3);
+    Pattern flat = Pattern::single({true, false, true});
+    const Pattern seq = fold_pattern(u, flat);
+    ASSERT_EQ(seq.frames.size(), 3u);
+    EXPECT_EQ(seq.frames[0], std::vector<bool>{true});
+    EXPECT_EQ(seq.frames[1], std::vector<bool>{false});
+    EXPECT_EQ(seq.frames[2], std::vector<bool>{true});
+    EXPECT_THROW((void)fold_pattern(u, Pattern::single({true})),
+                 SemanticError);
+}
+
+TEST(SeqAtpg, CoversTheCounterBeyondRandomShortSequences) {
+    const Netlist n = circuits::counter(4);
+    const auto faults = collapse_faults(n);
+    const auto result = seq_atpg(n, faults, /*frames=*/20);
+    // Every generated pattern is verified sequentially inside seq_atpg,
+    // so `detected` is a true lower bound.
+    EXPECT_GT(static_cast<double>(result.detected) /
+                  static_cast<double>(faults.size()),
+              0.85);
+    // Replay confirms.
+    const auto replay = fault_simulate_parallel(n, faults, result.patterns);
+    EXPECT_GE(replay.detected, result.detected);
+}
+
+TEST(SeqAtpg, FindsTheDeepFaultOnlyWithEnoughFrames) {
+    // Exciting "carry into the MSB stuck-at-0" requires the lower three
+    // bits to reach 111 — at least 7 enabled frames — plus one more frame
+    // to observe q3. A 4-frame unroll provably cannot do it; 12 can.
+    const Netlist n = circuits::counter(4);
+    const Fault deep{n.require("t3"), -1, false};
+    const auto shallow = seq_atpg(n, {deep}, 4);
+    EXPECT_EQ(shallow.not_found, 1u);
+    const auto deep_enough = seq_atpg(n, {deep}, 12);
+    EXPECT_EQ(deep_enough.detected, 1u);
+    // And the generated sequence really is ≥ 9 frames of mostly-enabled
+    // counting (verified sequentially inside seq_atpg already).
+    ASSERT_EQ(deep_enough.patterns.size(), 1u);
+    EXPECT_EQ(deep_enough.patterns[0].frames.size(), 12u);
+}
+
+} // namespace
+} // namespace ctk::gate

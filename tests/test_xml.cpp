@@ -1,0 +1,155 @@
+// Unit tests: XML DOM, writer, parser, round-trips.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace ctk::xml {
+namespace {
+
+TEST(XmlWrite, PaperListingShape) {
+    // The §3 listing: <signal name="int_ill">
+    //                   <get_u u_max="(1.1*ubatt)" u_min="(0.7*ubatt)" />
+    //                 </signal>
+    Node sig("signal");
+    sig.set_attr("name", "int_ill");
+    Node& m = sig.add_child("get_u");
+    m.set_attr("u_max", "(1.1*ubatt)");
+    m.set_attr("u_min", "(0.7*ubatt)");
+
+    WriteOptions opts;
+    opts.declaration = false;
+    const std::string out = write(sig, opts);
+    EXPECT_EQ(out,
+              "<signal name=\"int_ill\">\n"
+              "  <get_u u_max=\"(1.1*ubatt)\" u_min=\"(0.7*ubatt)\" />\n"
+              "</signal>\n");
+}
+
+TEST(XmlWrite, EscapesSpecialCharacters) {
+    Node n("a");
+    n.set_attr("v", "x<y&\"z\"");
+    n.set_text("a>b");
+    WriteOptions opts;
+    opts.declaration = false;
+    const std::string out = write(n, opts);
+    EXPECT_NE(out.find("x&lt;y&amp;&quot;z&quot;"), std::string::npos);
+    EXPECT_NE(out.find("a&gt;b"), std::string::npos);
+}
+
+TEST(XmlParse, MinimalDocument) {
+    const Node n = parse("<root a=\"1\"><child/></root>");
+    EXPECT_EQ(n.name(), "root");
+    EXPECT_EQ(*n.attr("a"), "1");
+    ASSERT_EQ(n.children().size(), 1u);
+    EXPECT_EQ(n.children()[0].name(), "child");
+}
+
+TEST(XmlParse, DeclarationCommentsCdataEntities) {
+    const Node n = parse("<?xml version=\"1.0\"?>\n"
+                         "<!-- top comment -->\n"
+                         "<r><!-- in --><![CDATA[1<2]]> &amp; more</r>");
+    EXPECT_EQ(n.text(), "1<2 & more");
+}
+
+TEST(XmlParse, NumericCharacterReferences) {
+    const Node n = parse("<r a=\"&#65;&#x42;\"/>");
+    EXPECT_EQ(*n.attr("a"), "AB");
+}
+
+TEST(XmlParse, AttrNumberParsesExpressionsAsNumbersOnly) {
+    const Node n = parse("<r a=\"2.5\" b=\"(1*x)\"/>");
+    EXPECT_DOUBLE_EQ(*n.attr_number("a"), 2.5);
+    EXPECT_FALSE(n.attr_number("b").has_value());
+    EXPECT_FALSE(n.attr_number("missing").has_value());
+}
+
+TEST(XmlParse, RequireAttrThrowsWhenMissing) {
+    const Node n = parse("<r a=\"1\"/>");
+    EXPECT_EQ(n.require_attr("a"), "1");
+    EXPECT_THROW((void)n.require_attr("b"), SemanticError);
+}
+
+struct BadXmlCase {
+    const char* name;
+    const char* text;
+};
+
+class XmlParseErrors : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(XmlParseErrors, Throws) {
+    EXPECT_THROW((void)parse(GetParam().text), ParseError) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParseErrors,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"mismatch", "<a></b>"},
+        BadXmlCase{"unterminated_tag", "<a"},
+        BadXmlCase{"unterminated_attr", "<a v=\"x/>"},
+        BadXmlCase{"duplicate_attr", "<a v=\"1\" v=\"2\"/>"},
+        BadXmlCase{"missing_close", "<a><b></b>"},
+        BadXmlCase{"trailing_content", "<a/><b/>"},
+        BadXmlCase{"bad_entity", "<a>&nope;</a>"},
+        BadXmlCase{"unterminated_comment", "<!-- x"},
+        BadXmlCase{"unterminated_cdata", "<a><![CDATA[x</a>"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(XmlParse, ReportsLineAndColumn) {
+    try {
+        (void)parse("<a>\n  <b>\n</a>");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.pos().line, 3u);
+    }
+}
+
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, ParseWriteParseIsStable) {
+    const Node first = parse(GetParam());
+    const std::string emitted = write(first);
+    const Node second = parse(emitted);
+    EXPECT_TRUE(first == second) << emitted;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, XmlRoundTrip,
+    ::testing::Values(
+        "<r/>",
+        "<r a=\"1\" b=\"two\"/>",
+        "<r><c1/><c2 x=\"y\"><d/></c2></r>",
+        "<r>some text</r>",
+        "<r a=\"&lt;&amp;&gt;\">esc &quot;q&quot;</r>",
+        "<testscript name=\"s\"><test name=\"t\"><step nr=\"0\" dt=\"0.5\">"
+        "<signal name=\"int_ill\"><get_u u_max=\"(1.1*ubatt)\" "
+        "u_min=\"(0.7*ubatt)\"/></signal></step></test></testscript>"));
+
+TEST(XmlNode, ChildLookupHelpers) {
+    const Node n = parse("<r><a i=\"1\"/><b/><a i=\"2\"/></r>");
+    EXPECT_EQ(n.child("b")->name(), "b");
+    EXPECT_EQ(n.child("zz"), nullptr);
+    const auto all_a = n.children_named("a");
+    ASSERT_EQ(all_a.size(), 2u);
+    EXPECT_EQ(*all_a[1]->attr("i"), "2");
+}
+
+TEST(XmlNode, SetAttrReplacesExisting) {
+    Node n("x");
+    n.set_attr("k", "1");
+    n.set_attr("k", "2");
+    ASSERT_EQ(n.attrs().size(), 1u);
+    EXPECT_EQ(*n.attr("k"), "2");
+}
+
+TEST(XmlWrite, SingleLineModeHasNoNewlines) {
+    Node n("a");
+    n.add_child("b");
+    WriteOptions opts;
+    opts.declaration = false;
+    opts.indent = -1;
+    EXPECT_EQ(write(n, opts).find('\n'), std::string::npos);
+}
+
+} // namespace
+} // namespace ctk::xml

@@ -1,0 +1,80 @@
+// ctkc — the component-test compiler.
+//
+// Reads a multi-sheet workbook (the Excel-export stand-in: sheets named
+// "signals", "status", plus one sheet per test; see docs/README) and
+// emits the stand-independent XML test script.
+//
+//   usage: ctkc <workbook-file> [suite-name] [-o <out.xml>]
+//
+// Exit codes: 0 ok, 1 usage, 2 parse/validation error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "model/lint.hpp"
+#include "model/sheets.hpp"
+#include "script/xml_io.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ctk;
+
+    std::string in_path;
+    std::string suite_name;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: ctkc <workbook-file> [suite-name] "
+                         "[-o <out.xml>]\n";
+            return 0;
+        } else if (in_path.empty()) {
+            in_path = arg;
+        } else if (suite_name.empty()) {
+            suite_name = arg;
+        } else {
+            std::cerr << "ctkc: unexpected argument '" << arg << "'\n";
+            return 1;
+        }
+    }
+    if (in_path.empty()) {
+        std::cerr << "usage: ctkc <workbook-file> [suite-name] "
+                     "[-o <out.xml>]\n";
+        return 1;
+    }
+    if (suite_name.empty()) suite_name = in_path;
+
+    try {
+        std::ifstream in(in_path);
+        if (!in) throw Error("cannot read " + in_path);
+        std::ostringstream body;
+        body << in.rdbuf();
+
+        tabular::CsvOptions opts;
+        opts.origin = in_path;
+        const auto wb = tabular::Workbook::parse_multi(body.str(), opts);
+        const auto suite = model::suite_from_workbook(wb, suite_name);
+        const auto registry = model::MethodRegistry::builtin();
+        const std::string xml =
+            script::to_xml_text(script::compile(suite, registry));
+
+        for (const auto& w : model::lint(suite, registry))
+            std::cerr << "ctkc: warning: " << w.to_string() << "\n";
+
+        if (out_path.empty()) {
+            std::cout << xml;
+        } else {
+            std::ofstream out(out_path);
+            if (!out) throw Error("cannot write " + out_path);
+            out << xml;
+            std::cerr << "ctkc: wrote " << out_path << " (" << xml.size()
+                      << " bytes, " << suite.tests.size() << " test(s))\n";
+        }
+        return 0;
+    } catch (const Error& e) {
+        std::cerr << "ctkc: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,123 @@
+// ctkrun — the test-stand interpreter (virtual stand edition).
+//
+// Executes an XML test script on a stand description against one of the
+// built-in behavioural ECUs, exactly the role of the paper's per-stand
+// interpreter.
+//
+//   usage: ctkrun <script.xml> --stand <stand-workbook> --dut <family>
+//                 [--policy greedy|matching] [--csv <out.csv>]
+//                 [--store <store.csv> --label <label>]
+//
+// The stand workbook holds sheets "resources", "connections", and
+// "variables" (see stand::paper::figure1_workbook_text() for the layout).
+// Exit codes: 0 all tests pass, 1 usage, 2 framework error (allocation,
+// parsing), 3 DUT failed the tests.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "core/regstore.hpp"
+#include "dut/catalogue.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ctk::Error("cannot read " + path);
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace ctk;
+
+    std::string script_path, stand_path, family, csv_path, store_path, label;
+    auto policy = stand::AllocPolicy::Greedy;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "ctkrun: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--stand") stand_path = next();
+        else if (arg == "--dut") family = next();
+        else if (arg == "--csv") csv_path = next();
+        else if (arg == "--store") store_path = next();
+        else if (arg == "--label") label = next();
+        else if (arg == "--policy") {
+            const std::string p = next();
+            policy = p == "matching" ? stand::AllocPolicy::Matching
+                                     : stand::AllocPolicy::Greedy;
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: ctkrun <script.xml> --stand <workbook> "
+                         "--dut <family> [--policy greedy|matching] "
+                         "[--csv out.csv] [--store store.csv --label L]\n";
+            return 0;
+        } else if (script_path.empty()) {
+            script_path = arg;
+        } else {
+            std::cerr << "ctkrun: unexpected argument '" << arg << "'\n";
+            return 1;
+        }
+    }
+    if (script_path.empty() || stand_path.empty() || family.empty()) {
+        std::cerr << "usage: ctkrun <script.xml> --stand <workbook> "
+                     "--dut <family>\n";
+        return 1;
+    }
+
+    try {
+        const auto registry = model::MethodRegistry::builtin();
+        const auto script =
+            script::from_xml_text(slurp(script_path), registry, script_path);
+
+        tabular::CsvOptions opts;
+        opts.origin = stand_path;
+        const auto stand_wb =
+            tabular::Workbook::parse_multi(slurp(stand_path), opts);
+        auto desc = stand::StandDescription::from_workbook(stand_wb,
+                                                           stand_path);
+
+        core::TestEngine engine(
+            desc, std::make_shared<sim::VirtualStand>(
+                      desc, dut::make_golden(family)));
+        core::RunOptions run_opts;
+        run_opts.policy = policy;
+        const auto result = engine.run(script, run_opts);
+
+        for (std::size_t i = 0; i < script.tests.size(); ++i)
+            std::cout << report::render_test_sheet(script.tests[i],
+                                                   result.tests[i])
+                      << "\n";
+        std::cout << report::render_summary(result);
+
+        if (!csv_path.empty()) {
+            std::ofstream out(csv_path);
+            if (!out) throw Error("cannot write " + csv_path);
+            out << report::to_csv(result);
+        }
+        if (!store_path.empty()) {
+            core::RegressionStore store;
+            if (std::ifstream probe(store_path); probe.good())
+                store = core::RegressionStore::load(store_path);
+            store.record(result, label.empty() ? "unlabelled" : label);
+            store.save(store_path);
+            std::cerr << "ctkrun: recorded " << result.tests.size()
+                      << " test(s) in " << store_path << "\n";
+        }
+        return result.passed() ? 0 : 3;
+    } catch (const Error& e) {
+        std::cerr << "ctkrun: " << e.what() << "\n";
+        return 2;
+    }
+}
