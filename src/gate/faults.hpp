@@ -22,7 +22,12 @@ struct Fault {
     int pin = -1;  ///< -1 = output fault, else fanin pin index
     bool sa1 = false; ///< false = stuck-at-0, true = stuck-at-1
 
-    friend bool operator==(const Fault&, const Fault&) = default;
+    friend bool operator==(const Fault& a, const Fault& b) {
+        return a.gate == b.gate && a.pin == b.pin && a.sa1 == b.sa1;
+    }
+    friend bool operator!=(const Fault& a, const Fault& b) {
+        return !(a == b);
+    }
 };
 
 /// Human-readable site, e.g. "G10/out sa0" or "G10/in1 sa1".
