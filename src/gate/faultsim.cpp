@@ -1,11 +1,21 @@
 #include "gate/faultsim.hpp"
 
 #include <algorithm>
-#include <bit>
 
 namespace ctk::gate {
 
 namespace {
+
+/// Index of the lowest set bit (w != 0). C++17 stand-in for
+/// std::countr_zero.
+int lowest_set_bit(PackedWord w) {
+    int n = 0;
+    while ((w & 1u) == 0) {
+        w >>= 1;
+        ++n;
+    }
+    return n;
+}
 
 /// Packed evaluation with optional fault injection.
 std::vector<PackedWord> eval_gates(const Netlist& net,
@@ -206,7 +216,7 @@ FaultSimResult simulate(const Netlist& net, const std::vector<Fault>& faults,
                 net, sim, order, frame_in, golden, lanes, faults[fi]);
             if (lanes_hit) {
                 result.detected_mask[fi] = true;
-                const int first = std::countr_zero(lanes_hit);
+                const int first = lowest_set_bit(lanes_hit);
                 result.detected_by[fi] =
                     chunk[static_cast<std::size_t>(first)];
                 ++result.detected;
