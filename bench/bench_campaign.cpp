@@ -1,0 +1,146 @@
+// bench_campaign — CampaignRunner scaling on the knowledge-base families.
+//
+// Builds a campaign of R repetitions of every builtin KB family (each job
+// compiles to the same script but owns a fresh VirtualStand + golden DUT)
+// and executes it at increasing worker counts, asserting that the
+// aggregated verdicts are bit-identical to the sequential run before
+// reporting wall-clock numbers and speedups.
+//
+// Two modes:
+//  * default: every backend is wrapped in a LatencyBackend emulating a
+//    fast instrument bus (the regime the paper's stands live in — and
+//    the regime where overlapping jobs pays even on few cores);
+//  * --no-latency: pure CPU-bound virtual stands; speedup then tracks
+//    the machine's core count.
+//
+//   usage: bench_campaign [--repeat R] [--jobs n1,n2,...] [--no-latency]
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/campaign.hpp"
+#include "sim/latency.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace {
+
+using namespace ctk;
+
+/// Parse a small non-negative integer; nullopt on garbage.
+std::optional<unsigned> parse_count(std::string_view text) {
+    const auto n = str::parse_number(text);
+    if (!n || !(*n >= 0 && *n <= 4096) || *n != std::floor(*n))
+        return std::nullopt;
+    return static_cast<unsigned>(*n);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 4;
+    std::vector<unsigned> worker_counts = {1, 2, 4};
+    bool latency = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_campaign: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeat") {
+            const auto n = parse_count(next());
+            if (!n) {
+                std::cerr << "bench_campaign: --repeat needs an integer "
+                             "in [0, 4096]\n";
+                return 1;
+            }
+            repeat = *n;
+        } else if (arg == "--jobs") {
+            worker_counts.clear();
+            for (const auto& part : str::split(next(), ',')) {
+                const auto n = parse_count(str::trim(part));
+                if (!n || *n == 0) {
+                    std::cerr << "bench_campaign: --jobs needs a "
+                                 "comma-separated list of integers "
+                                 "in [1, 4096]\n";
+                    return 1;
+                }
+                worker_counts.push_back(*n);
+            }
+        } else if (arg == "--no-latency") {
+            latency = false;
+        } else {
+            std::cerr << "usage: bench_campaign [--repeat R] "
+                         "[--jobs n1,n2,...] [--no-latency]\n";
+            return 1;
+        }
+    }
+
+    // The job list: R rounds over every KB family. With latency emulation
+    // each backend behaves like a stand on a fast instrument bus.
+    sim::LatencyOptions lat;
+    lat.advance_s = 200e-6;
+    lat.apply_s = 100e-6;
+    lat.measure_s = 100e-6;
+
+    auto build_jobs = [&]() {
+        std::vector<core::CampaignJob> jobs;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            for (auto& job : core::kb_campaign()) {
+                job.name += "#" + std::to_string(r);
+                if (latency) {
+                    auto inner = job.make_backend;
+                    job.make_backend =
+                        [inner, lat](const stand::StandDescription& desc) {
+                            return std::make_shared<sim::LatencyBackend>(
+                                inner(desc), lat);
+                        };
+                }
+                jobs.push_back(std::move(job));
+            }
+        }
+        return jobs;
+    };
+
+    std::cout << "bench_campaign: " << repeat << " round(s) over the KB "
+              << "families, latency emulation "
+              << (latency ? "ON (advance 200us, apply/measure 100us)"
+                          : "OFF")
+              << "\n";
+
+    double base_wall = 0.0;
+    std::string base_print;
+    for (unsigned workers : worker_counts) {
+        core::CampaignOptions opts;
+        opts.jobs = workers;
+        core::CampaignRunner runner(opts);
+        for (auto& job : build_jobs()) runner.add(std::move(job));
+        const auto result = runner.run_all();
+
+        const std::string print = core::verdict_fingerprint(result);
+        if (base_print.empty()) {
+            base_print = print;
+            base_wall = result.wall_s;
+        } else if (print != base_print) {
+            std::cerr << "bench_campaign: verdict mismatch at --jobs "
+                      << workers << " — campaign is not deterministic!\n";
+            return 2;
+        }
+
+        std::cout << "  jobs=" << workers << ": "
+                  << str::format_number(result.wall_s, 4) << " s  ("
+                  << result.jobs.size() << " job(s), "
+                  << result.check_count() << " check(s), speedup x"
+                  << str::format_number(base_wall / result.wall_s, 3)
+                  << ", verdicts "
+                  << (result.passed() ? "PASS" : "FAIL") << ")\n";
+    }
+    std::cout << "  verdicts identical across all worker counts\n";
+    return 0;
+}

@@ -1,0 +1,193 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/strings.hpp"
+#include "core/kb.hpp"
+#include "dut/catalogue.hpp"
+#include "model/method.hpp"
+#include "report/report.hpp"
+#include "script/script.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Execute one job into its result slot. Never throws: framework errors
+/// become data so sibling jobs on the pool are unaffected.
+CampaignJobResult execute_job(const CampaignJob& job) {
+    CampaignJobResult out;
+    out.name = job.name;
+    const auto start = Clock::now();
+    try {
+        if (!job.make_backend)
+            throw Error("campaign job '" + job.name + "' has no backend "
+                        "factory");
+        TestEngine engine(job.stand, job.make_backend(job.stand));
+        out.run = engine.run(job.script, job.options);
+    } catch (const std::exception& e) {
+        out.framework_error = true;
+        out.error_message = e.what();
+    } catch (...) {
+        // A factory is user code; even a non-std exception must not
+        // escape a pool worker (std::terminate) or poison siblings.
+        out.framework_error = true;
+        out.error_message = "unknown non-standard exception";
+    }
+    out.wall_s = seconds_since(start);
+    return out;
+}
+
+} // namespace
+
+bool CampaignResult::passed() const {
+    return std::all_of(jobs.begin(), jobs.end(),
+                       [](const CampaignJobResult& j) { return j.passed(); });
+}
+
+std::size_t CampaignResult::framework_failures() const {
+    return static_cast<std::size_t>(std::count_if(
+        jobs.begin(), jobs.end(),
+        [](const CampaignJobResult& j) { return j.framework_error; }));
+}
+
+std::size_t CampaignResult::failed_jobs() const {
+    return static_cast<std::size_t>(std::count_if(
+        jobs.begin(), jobs.end(),
+        [](const CampaignJobResult& j) { return !j.passed(); }));
+}
+
+std::size_t CampaignResult::test_count() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs)
+        if (!j.framework_error) n += j.run.tests.size();
+    return n;
+}
+
+std::size_t CampaignResult::check_count() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs)
+        if (!j.framework_error) n += j.run.check_count();
+    return n;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(options) {}
+
+void CampaignRunner::add(CampaignJob job) {
+    jobs_.push_back(std::move(job));
+}
+
+CampaignResult CampaignRunner::run_all() {
+    unsigned workers = options_.jobs;
+    if (workers == 0) {
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(1,
+                                                             jobs_.size())));
+
+    CampaignResult result;
+    result.workers = workers;
+    result.jobs.resize(jobs_.size());
+    const auto start = Clock::now();
+
+    if (workers <= 1) {
+        // Inline path: bit-identical to a sequential loop of
+        // TestEngine::run calls on the calling thread.
+        for (std::size_t i = 0; i < jobs_.size(); ++i)
+            result.jobs[i] = execute_job(jobs_[i]);
+    } else {
+        // Work-stealing by atomic ticket: each worker claims the next
+        // unclaimed submission index and writes only its own slot, so
+        // result order is the submission order whatever the schedule.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= jobs_.size()) return;
+                result.jobs[i] = execute_job(jobs_[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+
+    result.wall_s = seconds_since(start);
+    jobs_.clear();
+    return result;
+}
+
+CampaignJob family_job(const std::string& family,
+                       const RunOptions& options) {
+    const auto registry = model::MethodRegistry::builtin();
+    CampaignJob job;
+    job.name = family;
+    job.script = script::compile(kb::suite_for(family), registry);
+    job.stand = kb::stand_for(family);
+    job.make_backend = [family](const stand::StandDescription& desc) {
+        return std::make_shared<sim::VirtualStand>(desc,
+                                                   dut::make_golden(family));
+    };
+    job.options = options;
+    return job;
+}
+
+std::vector<CampaignJob> kb_campaign(const RunOptions& options) {
+    std::vector<CampaignJob> jobs;
+    for (const auto& family : kb::families())
+        jobs.push_back(family_job(family, options));
+    return jobs;
+}
+
+std::string verdict_fingerprint(const CampaignJobResult& job) {
+    if (job.framework_error)
+        return job.name + "|ERROR:" + job.error_message + "\n";
+    return job.name + (job.run.passed() ? "|PASS|" : "|FAIL|") +
+           report::to_csv(job.run) + "\n";
+}
+
+std::string verdict_fingerprint(const CampaignResult& result) {
+    std::string out;
+    for (const auto& j : result.jobs) out += verdict_fingerprint(j);
+    return out;
+}
+
+std::string render_campaign(const CampaignResult& result) {
+    std::ostringstream out;
+    out << "campaign: " << result.jobs.size() << " job(s), "
+        << result.workers << " worker(s)\n";
+    for (const auto& j : result.jobs) {
+        out << "  " << std::left << std::setw(24) << j.name << std::right;
+        if (j.framework_error) {
+            out << "FRAMEWORK ERROR: " << j.error_message << "\n";
+            continue;
+        }
+        out << std::setw(3) << j.run.tests.size() << " test(s)  "
+            << std::setw(4) << j.run.check_count() << " check(s)  "
+            << std::setw(8) << str::format_number(j.wall_s, 3) << " s  "
+            << (j.run.passed() ? "PASS" : "FAIL") << "\n";
+    }
+    out << "  " << (result.passed() ? "PASSED" : "FAILED") << ": "
+        << result.jobs.size() - result.failed_jobs() << "/"
+        << result.jobs.size() << " job(s), " << result.test_count()
+        << " test(s), " << result.check_count() << " check(s) in "
+        << str::format_number(result.wall_s, 3) << " s\n";
+    return out.str();
+}
+
+} // namespace ctk::core

@@ -1,0 +1,129 @@
+// Campaign execution — many suites, many stands, one verdict table.
+//
+// The compositional-testing literature (Kanso & Chebaro; Daca et al.)
+// treats the component suites of a system as one composed campaign. This
+// module is CTK's scale layer for that view: a CampaignRunner takes N
+// independent jobs (compiled script × stand description × backend
+// factory), executes them on a worker pool, and aggregates verdicts into
+// a CampaignResult whose job order is the submission order regardless of
+// thread count — campaigns are reproducible artefacts, not races.
+//
+// Thread-confinement contract (audited over src/sim, src/stand,
+// src/core): every job constructs its *own* backend (and thus its own
+// DUT and noise Rng) through the job's factory and its own TestEngine;
+// no CTK module keeps mutable global state. Workers therefore share
+// nothing but the result slots, each of which is written by exactly one
+// worker.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace ctk::core {
+
+/// Builds a fresh, thread-confined backend for one job execution.
+using BackendFactory = std::function<std::shared_ptr<sim::StandBackend>(
+    const stand::StandDescription&)>;
+
+/// One unit of campaign work. The job owns everything it needs, so it
+/// can run on any worker without touching shared state.
+struct CampaignJob {
+    std::string name;               ///< label, e.g. the ECU family
+    script::TestScript script;      ///< compiled, stand-independent suite
+    stand::StandDescription stand;  ///< stand the script is bound to
+    BackendFactory make_backend;    ///< fresh backend per execution
+    RunOptions options;             ///< engine options for this job
+};
+
+/// Outcome of one job. Exactly one of `run` (verdicts) or
+/// `error_message` (framework failure, the paper's §4 error path) is
+/// meaningful, discriminated by `framework_error`.
+struct CampaignJobResult {
+    std::string name;
+    bool framework_error = false; ///< StandError & friends, not a verdict
+    std::string error_message;    ///< what() of the framework failure
+    RunResult run;                ///< valid when !framework_error
+    double wall_s = 0.0;          ///< wall-clock spent executing the job
+
+    /// DUT verdict: true iff the job ran and every test passed.
+    [[nodiscard]] bool passed() const {
+        return !framework_error && run.passed();
+    }
+};
+
+struct CampaignResult {
+    std::vector<CampaignJobResult> jobs; ///< submission order, always
+    double wall_s = 0.0;                 ///< whole-campaign wall clock
+    unsigned workers = 1;                ///< worker threads actually used
+
+    [[nodiscard]] bool passed() const;
+    [[nodiscard]] std::size_t framework_failures() const;
+    [[nodiscard]] std::size_t failed_jobs() const;
+    [[nodiscard]] std::size_t test_count() const;
+    [[nodiscard]] std::size_t check_count() const;
+};
+
+struct CampaignOptions {
+    /// Worker threads. 0 = one per hardware thread; 1 = run inline on
+    /// the calling thread (bit-identical to a sequential loop of
+    /// TestEngine::run calls).
+    unsigned jobs = 0;
+};
+
+/// Executes queued jobs on a worker pool. Typical use:
+///
+///   CampaignOptions opts;
+///   opts.jobs = 8;
+///   CampaignRunner runner(opts);
+///   for (const auto& family : kb::families())
+///       runner.add(family_job(family));
+///   const auto result = runner.run_all();
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignOptions options = {});
+
+    /// Queue one job. Order of add() calls is the order of results.
+    void add(CampaignJob job);
+
+    [[nodiscard]] std::size_t queued() const { return jobs_.size(); }
+
+    /// Execute every queued job and clear the queue. A job that throws
+    /// ctk::Error (or any std::exception) is reported as a framework
+    /// failure in its result slot; sibling jobs are unaffected.
+    [[nodiscard]] CampaignResult run_all();
+
+private:
+    CampaignOptions options_;
+    std::vector<CampaignJob> jobs_;
+};
+
+/// The knowledge-base campaign job for one ECU family: suite_for(family)
+/// compiled with the builtin registry, bound to stand_for(family), run
+/// on a VirtualStand against a golden (defect-free) DUT.
+[[nodiscard]] CampaignJob family_job(const std::string& family,
+                                     const RunOptions& options = {});
+
+/// family_job for every kb::families() entry — the full KB campaign.
+[[nodiscard]] std::vector<CampaignJob>
+kb_campaign(const RunOptions& options = {});
+
+/// Compact human-readable campaign table (one row per job: name,
+/// tests, checks, wall clock, verdict) plus a summary line.
+[[nodiscard]] std::string render_campaign(const CampaignResult& result);
+
+/// Stable fingerprint of everything verdict-relevant in one job result
+/// (name, pass/fail, every check row) — wall clock and worker count are
+/// excluded. Two runs of the same campaign must fingerprint equal
+/// whatever the thread count; tests and benches assert determinism
+/// against this.
+[[nodiscard]] std::string verdict_fingerprint(const CampaignJobResult& job);
+
+/// Concatenated per-job fingerprints, in submission order.
+[[nodiscard]] std::string verdict_fingerprint(const CampaignResult& result);
+
+} // namespace ctk::core

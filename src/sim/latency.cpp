@@ -1,0 +1,66 @@
+#include "sim/latency.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace ctk::sim {
+
+namespace {
+
+void nap(double seconds) {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+} // namespace
+
+LatencyBackend::LatencyBackend(std::shared_ptr<StandBackend> inner,
+                               LatencyOptions options)
+    : inner_(std::move(inner)), options_(options) {
+    if (!inner_) throw Error("LatencyBackend needs an inner backend");
+}
+
+void LatencyBackend::reset() { inner_->reset(); }
+
+void LatencyBackend::prepare(const stand::Allocation& plan) {
+    inner_->prepare(plan);
+}
+
+void LatencyBackend::advance(double dt) {
+    nap(options_.advance_s);
+    inner_->advance(dt);
+}
+
+double LatencyBackend::now() const { return inner_->now(); }
+
+void LatencyBackend::apply_real(const std::string& resource,
+                                const std::string& method,
+                                const std::vector<std::string>& pins,
+                                double value) {
+    nap(options_.apply_s);
+    inner_->apply_real(resource, method, pins, value);
+}
+
+void LatencyBackend::apply_bits(const std::string& resource,
+                                const std::string& signal,
+                                const std::vector<bool>& bits) {
+    nap(options_.apply_s);
+    inner_->apply_bits(resource, signal, bits);
+}
+
+double LatencyBackend::measure_real(const std::string& resource,
+                                    const std::string& method,
+                                    const std::vector<std::string>& pins) {
+    nap(options_.measure_s);
+    return inner_->measure_real(resource, method, pins);
+}
+
+std::vector<bool> LatencyBackend::measure_bits(const std::string& resource,
+                                               const std::string& signal) {
+    nap(options_.measure_s);
+    return inner_->measure_bits(resource, signal);
+}
+
+} // namespace ctk::sim

@@ -1,0 +1,52 @@
+// Latency-emulating backend decorator.
+//
+// A VirtualStand advances *simulated* time instantly; a physical stand
+// does not — every stimulus and measurement crosses an instrument bus
+// (GPIB/serial/CAN) and costs real wall-clock time, which is exactly why
+// the paper's campaigns are slow and why CampaignRunner overlaps jobs.
+// LatencyBackend wraps any StandBackend and sleeps a configurable real
+// duration per operation, turning the virtual stand into an honest
+// stand-in for instrument-bound execution in benches and soak tests.
+// Verdicts are untouched: every call is forwarded verbatim.
+#pragma once
+
+#include <memory>
+
+#include "sim/backend.hpp"
+
+namespace ctk::sim {
+
+struct LatencyOptions {
+    double apply_s = 0.0;   ///< per put_* operation (source settling)
+    double measure_s = 0.0; ///< per get_* operation (DVM/counter gate)
+    double advance_s = 0.0; ///< per executor tick (interpreter cadence)
+};
+
+class LatencyBackend final : public StandBackend {
+public:
+    LatencyBackend(std::shared_ptr<StandBackend> inner,
+                   LatencyOptions options);
+
+    void reset() override;
+    void prepare(const stand::Allocation& plan) override;
+    void advance(double dt) override;
+    [[nodiscard]] double now() const override;
+
+    void apply_real(const std::string& resource, const std::string& method,
+                    const std::vector<std::string>& pins,
+                    double value) override;
+    void apply_bits(const std::string& resource, const std::string& signal,
+                    const std::vector<bool>& bits) override;
+    [[nodiscard]] double
+    measure_real(const std::string& resource, const std::string& method,
+                 const std::vector<std::string>& pins) override;
+    [[nodiscard]] std::vector<bool>
+    measure_bits(const std::string& resource,
+                 const std::string& signal) override;
+
+private:
+    std::shared_ptr<StandBackend> inner_;
+    LatencyOptions options_;
+};
+
+} // namespace ctk::sim

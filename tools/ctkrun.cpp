@@ -7,16 +7,27 @@
 //   usage: ctkrun <script.xml> --stand <stand-workbook> --dut <family>
 //                 [--policy greedy|matching] [--csv <out.csv>]
 //                 [--store <store.csv> --label <label>]
+//          ctkrun --families [f1,f2,...] [--jobs N]
+//                 [--policy greedy|matching]
+//
+// The second form runs the knowledge-base campaign: every named family's
+// suite (all of kb::families() when the flag has no value) compiled and
+// executed on its reference stand against a golden DUT, fanned out over
+// N worker threads (0 = one per hardware thread).
 //
 // The stand workbook holds sheets "resources", "connections", and
 // "variables" (see stand::paper::figure1_workbook_text() for the layout).
 // Exit codes: 0 all tests pass, 1 usage, 2 framework error (allocation,
 // parsing), 3 DUT failed the tests.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "common/strings.hpp"
+#include "core/campaign.hpp"
 #include "core/engine.hpp"
+#include "core/kb.hpp"
 #include "core/regstore.hpp"
 #include "dut/catalogue.hpp"
 #include "report/report.hpp"
@@ -40,6 +51,9 @@ int main(int argc, char** argv) {
 
     std::string script_path, stand_path, family, csv_path, store_path, label;
     auto policy = stand::AllocPolicy::Greedy;
+    bool campaign_mode = false;
+    std::vector<std::string> families;
+    unsigned jobs = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -54,14 +68,30 @@ int main(int argc, char** argv) {
         else if (arg == "--csv") csv_path = next();
         else if (arg == "--store") store_path = next();
         else if (arg == "--label") label = next();
-        else if (arg == "--policy") {
+        else if (arg == "--families") {
+            campaign_mode = true;
+            // Optional comma-separated value; absent = all KB families.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                for (const auto& f : str::split(next(), ','))
+                    families.push_back(std::string(str::trim(f)));
+        } else if (arg == "--jobs") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 0 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "ctkrun: --jobs needs an integer in "
+                             "[0, 4096]\n";
+                return 1;
+            }
+            jobs = static_cast<unsigned>(*n);
+        } else if (arg == "--policy") {
             const std::string p = next();
             policy = p == "matching" ? stand::AllocPolicy::Matching
                                      : stand::AllocPolicy::Greedy;
         } else if (arg == "-h" || arg == "--help") {
             std::cout << "usage: ctkrun <script.xml> --stand <workbook> "
                          "--dut <family> [--policy greedy|matching] "
-                         "[--csv out.csv] [--store store.csv --label L]\n";
+                         "[--csv out.csv] [--store store.csv --label L]\n"
+                         "       ctkrun --families [f1,f2,...] [--jobs N] "
+                         "[--policy greedy|matching]\n";
             return 0;
         } else if (script_path.empty()) {
             script_path = arg;
@@ -70,9 +100,38 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
+
+    if (campaign_mode) {
+        if (!script_path.empty() || !stand_path.empty() || !family.empty() ||
+            !csv_path.empty() || !store_path.empty() || !label.empty()) {
+            std::cerr << "ctkrun: --families cannot be combined with a "
+                         "script, --stand, --dut, --csv, --store or "
+                         "--label\n";
+            return 1;
+        }
+        try {
+            if (families.empty()) families = core::kb::families();
+            core::RunOptions run_opts;
+            run_opts.policy = policy;
+            core::CampaignOptions copts;
+            copts.jobs = jobs;
+            core::CampaignRunner runner(copts);
+            for (const auto& f : families)
+                runner.add(core::family_job(f, run_opts));
+            const auto result = runner.run_all();
+            std::cout << core::render_campaign(result);
+            if (result.framework_failures() > 0) return 2;
+            return result.passed() ? 0 : 3;
+        } catch (const Error& e) {
+            std::cerr << "ctkrun: " << e.what() << "\n";
+            return 2;
+        }
+    }
+
     if (script_path.empty() || stand_path.empty() || family.empty()) {
         std::cerr << "usage: ctkrun <script.xml> --stand <workbook> "
-                     "--dut <family>\n";
+                     "--dut <family>\n"
+                     "       ctkrun --families [f1,f2,...] [--jobs N]\n";
         return 1;
     }
 
