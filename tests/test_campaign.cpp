@@ -1,0 +1,204 @@
+// Unit + stress tests for the campaign execution layer: deterministic
+// result ordering at any worker count, framework-failure isolation, and
+// exact equivalence of the jobs=1 path with sequential TestEngine runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/kb.hpp"
+#include "dut/catalogue.hpp"
+#include "report/report.hpp"
+#include "sim/latency.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+CampaignResult run_campaign(std::vector<CampaignJob> jobs, unsigned workers) {
+    CampaignOptions opts;
+    opts.jobs = workers;
+    CampaignRunner runner(opts);
+    for (auto& job : jobs) runner.add(std::move(job));
+    return runner.run_all();
+}
+
+TEST(Campaign, KbFamiliesAllPass) {
+    const auto result = run_campaign(kb_campaign(), 2);
+    ASSERT_EQ(result.jobs.size(), kb::families().size());
+    EXPECT_TRUE(result.passed());
+    EXPECT_EQ(result.framework_failures(), 0u);
+    EXPECT_EQ(result.failed_jobs(), 0u);
+    EXPECT_EQ(result.test_count(), result.jobs.size());
+    EXPECT_GT(result.check_count(), 0u);
+    for (const auto& j : result.jobs) EXPECT_GE(j.wall_s, 0.0);
+}
+
+TEST(Campaign, ResultOrderIsSubmissionOrderForEveryWorkerCount) {
+    // Give earlier jobs *more* emulated instrument latency than later
+    // ones, so with several workers the completion order is roughly the
+    // reverse of the submission order — the result order must not care.
+    auto build = [&]() {
+        std::vector<CampaignJob> jobs;
+        const auto families = kb::families();
+        for (std::size_t i = 0; i < families.size(); ++i) {
+            CampaignJob job = family_job(families[i]);
+            sim::LatencyOptions lat;
+            lat.advance_s = static_cast<double>(families.size() - i) * 20e-6;
+            auto inner = job.make_backend;
+            job.make_backend =
+                [inner, lat](const stand::StandDescription& desc) {
+                    return std::make_shared<sim::LatencyBackend>(inner(desc),
+                                                                 lat);
+                };
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+
+    const auto sequential = run_campaign(build(), 1);
+    std::vector<std::string> expected_names;
+    for (const auto& j : sequential.jobs) expected_names.push_back(j.name);
+    ASSERT_EQ(expected_names, kb::families());
+
+    for (unsigned workers : {2u, 3u, 8u}) {
+        const auto result = run_campaign(build(), workers);
+        ASSERT_EQ(result.jobs.size(), sequential.jobs.size()) << workers;
+        for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+            EXPECT_EQ(result.jobs[i].name, expected_names[i]) << workers;
+            EXPECT_EQ(verdict_fingerprint(result.jobs[i]),
+                      verdict_fingerprint(sequential.jobs[i]))
+                << workers;
+        }
+    }
+}
+
+TEST(Campaign, ThrowingJobIsIsolatedFromSiblings) {
+    // Job 1 of 3 runs on a stand stripped of its variables, so the
+    // engine throws StandError (missing required variables) before any
+    // step executes. The sibling jobs must be unaffected.
+    for (unsigned workers : {1u, 3u}) {
+        std::vector<CampaignJob> copy;
+        copy.push_back(family_job("interior_light"));
+        CampaignJob b = family_job("wiper");
+        b.name = "wiper-broken";
+        b.stand = stand::StandDescription("empty-stand");
+        copy.push_back(std::move(b));
+        copy.push_back(family_job("central_lock"));
+
+        const auto result = run_campaign(std::move(copy), workers);
+        ASSERT_EQ(result.jobs.size(), 3u);
+        EXPECT_FALSE(result.passed());
+        EXPECT_EQ(result.framework_failures(), 1u);
+        EXPECT_EQ(result.failed_jobs(), 1u);
+
+        EXPECT_TRUE(result.jobs[0].passed());
+        EXPECT_TRUE(result.jobs[1].framework_error);
+        EXPECT_NE(result.jobs[1].error_message.find("variable"),
+                  std::string::npos)
+            << result.jobs[1].error_message;
+        EXPECT_TRUE(result.jobs[2].passed());
+        // Framework failures are not counted as executed tests.
+        EXPECT_EQ(result.test_count(), 2u);
+    }
+}
+
+TEST(Campaign, BrokenBackendFactoryIsAFrameworkFailure) {
+    CampaignJob job = family_job("turn_signal");
+    job.make_backend = [](const stand::StandDescription&)
+        -> std::shared_ptr<sim::StandBackend> {
+        throw StandError("instrument bus offline");
+    };
+    std::vector<CampaignJob> jobs;
+    jobs.push_back(std::move(job));
+    const auto result = run_campaign(std::move(jobs), 2);
+    ASSERT_EQ(result.jobs.size(), 1u);
+    EXPECT_TRUE(result.jobs[0].framework_error);
+    EXPECT_EQ(result.jobs[0].error_message, "instrument bus offline");
+}
+
+TEST(Campaign, MissingFactoryIsReportedNotFatal) {
+    CampaignJob job = family_job("wiper");
+    job.make_backend = nullptr;
+    std::vector<CampaignJob> jobs;
+    jobs.push_back(std::move(job));
+    const auto result = run_campaign(std::move(jobs), 1);
+    ASSERT_EQ(result.jobs.size(), 1u);
+    EXPECT_TRUE(result.jobs[0].framework_error);
+    EXPECT_NE(result.jobs[0].error_message.find("backend"),
+              std::string::npos);
+}
+
+TEST(Campaign, SingleWorkerMatchesSequentialEngineRunsExactly) {
+    // jobs=1 must be bit-identical to hand-rolled sequential
+    // TestEngine::run calls over the same scripts and stands.
+    std::vector<std::string> sequential;
+    for (const auto& family : kb::families()) {
+        const auto script = script::compile(kb::suite_for(family), kReg);
+        auto desc = kb::stand_for(family);
+        TestEngine engine(desc, std::make_shared<sim::VirtualStand>(
+                                    desc, dut::make_golden(family)));
+        sequential.push_back(report::to_csv(engine.run(script)));
+    }
+
+    const auto result = run_campaign(kb_campaign(), 1);
+    EXPECT_EQ(result.workers, 1u);
+    ASSERT_EQ(result.jobs.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+        ASSERT_FALSE(result.jobs[i].framework_error);
+        EXPECT_EQ(report::to_csv(result.jobs[i].run), sequential[i])
+            << result.jobs[i].name;
+    }
+}
+
+TEST(Campaign, StressManyJobsManyWorkersStaysDeterministic) {
+    // 8 rounds over the KB (40 jobs) at a worker count far above the
+    // machine's core count: ordering and verdicts must match jobs=1.
+    auto build = [&]() {
+        std::vector<CampaignJob> jobs;
+        for (int r = 0; r < 8; ++r)
+            for (auto& job : kb_campaign()) {
+                job.name += "#" + std::to_string(r);
+                jobs.push_back(std::move(job));
+            }
+        return jobs;
+    };
+    const auto baseline = run_campaign(build(), 1);
+    const auto wide = run_campaign(build(), 16);
+    ASSERT_EQ(wide.jobs.size(), baseline.jobs.size());
+    EXPECT_TRUE(wide.passed());
+    for (std::size_t i = 0; i < baseline.jobs.size(); ++i)
+        EXPECT_EQ(verdict_fingerprint(wide.jobs[i]),
+                  verdict_fingerprint(baseline.jobs[i]));
+}
+
+TEST(Campaign, RunnerDefaultsAndQueueLifecycle) {
+    CampaignRunner runner;
+    EXPECT_EQ(runner.queued(), 0u);
+    runner.add(family_job("wiper"));
+    EXPECT_EQ(runner.queued(), 1u);
+    const auto first = runner.run_all();
+    EXPECT_EQ(first.jobs.size(), 1u);
+    EXPECT_GE(first.workers, 1u);
+    // run_all clears the queue; a second run is empty, not a rerun.
+    EXPECT_EQ(runner.queued(), 0u);
+    const auto second = runner.run_all();
+    EXPECT_TRUE(second.jobs.empty());
+    EXPECT_TRUE(second.passed());
+}
+
+TEST(Campaign, RenderCampaignListsJobsAndSummary) {
+    const auto result = run_campaign(kb_campaign(), 2);
+    const std::string out = render_campaign(result);
+    for (const auto& family : kb::families())
+        EXPECT_NE(out.find(family), std::string::npos) << out;
+    EXPECT_NE(out.find("PASSED"), std::string::npos);
+    EXPECT_NE(out.find("worker(s)"), std::string::npos);
+}
+
+} // namespace
+} // namespace ctk::core

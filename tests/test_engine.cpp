@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 
 #include "core/engine.hpp"
 #include "core/kb.hpp"
@@ -360,6 +361,184 @@ TEST(Reports, AllocationRenderingListsRouting) {
     const std::string out = report::render_allocation(plan);
     EXPECT_NE(out.find("Sw1.1,Sw1.2"), std::string::npos);
     EXPECT_NE(out.find("Ress1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Debounce-window boundaries (D1 settle / D2 debounce / D3 latest-start)
+//
+// The engine verdict (engine.cpp) is: final sample OK, AND the trailing
+// run of OK samples started no later than max(D1, dt − D2), AND (when D3
+// is set) no later than D3. These tests pin each clause at its boundary
+// with a backend whose measurement is an exact function of time, so the
+// sample trace is fully scripted: dwell 1 s, tick 0.1 s → samples at
+// 0.1 … 1.0; the trace switches between 5 V (bad) and 1 V (good, limits
+// [0.9, 1.1]) at chosen instants.
+// ---------------------------------------------------------------------------
+
+/// Backend whose measure_real returns trace(now): the executor's view of
+/// the DUT is exactly the programmed waveform.
+class TraceBackend final : public sim::StandBackend {
+public:
+    explicit TraceBackend(std::function<double(double)> trace)
+        : trace_(std::move(trace)) {}
+
+    void reset() override { now_s_ = 0.0; }
+    void prepare(const stand::Allocation&) override {}
+    void advance(double dt) override { now_s_ += dt; }
+    [[nodiscard]] double now() const override { return now_s_; }
+
+    void apply_real(const std::string&, const std::string&,
+                    const std::vector<std::string>&, double) override {}
+    void apply_bits(const std::string&, const std::string&,
+                    const std::vector<bool>&) override {}
+    [[nodiscard]] double measure_real(const std::string&,
+                                      const std::string&,
+                                      const std::vector<std::string>&)
+        override {
+        return trace_(now_s_);
+    }
+    [[nodiscard]] std::vector<bool>
+    measure_bits(const std::string&, const std::string&) override {
+        return {};
+    }
+
+private:
+    std::function<double(double)> trace_;
+    double now_s_ = 0.0;
+};
+
+/// Minimal one-signal script: a single 1 s step checking get_u on "sig"
+/// against [0.9, 1.1] with the given timing parameters.
+script::TestScript timing_script(std::optional<double> d1,
+                                 std::optional<double> d2,
+                                 std::optional<double> d3) {
+    script::TestScript script;
+    script.name = "timing";
+    script::ScriptSignal sig;
+    sig.name = "sig";
+    sig.direction = model::SignalDirection::Output;
+    sig.kind = model::SignalKind::Pin;
+    sig.pins = {"p1"};
+    script.signals.push_back(sig);
+
+    script::SignalAction check;
+    check.signal = "sig";
+    check.status = "Good";
+    check.call.method = "get_u";
+    check.call.kind = model::MethodKind::Get;
+    check.call.attribute = "u";
+    check.call.min = expr::constant(0.9);
+    check.call.max = expr::constant(1.1);
+    check.call.d1 = d1;
+    check.call.d2 = d2;
+    check.call.d3 = d3;
+
+    script::ScriptStep step;
+    step.nr = 1;
+    step.dt = 1.0;
+    step.actions.push_back(check);
+
+    script::ScriptTest test;
+    test.name = "t";
+    test.steps.push_back(step);
+    script.tests.push_back(test);
+    return script;
+}
+
+/// A stand with one DVM that reaches the signal pin.
+stand::StandDescription timing_stand() {
+    stand::StandDescription desc("timing-stand");
+    stand::Resource dvm;
+    dvm.id = "dvm";
+    dvm.label = "DVM";
+    dvm.methods.push_back({"get_u", {{"u", -1000.0, 1000.0, "V"}}});
+    desc.add_resource(dvm);
+    desc.connect("dvm", "p1", "w1");
+    return desc;
+}
+
+CheckResult run_trace(std::optional<double> d1, std::optional<double> d2,
+                      std::optional<double> d3,
+                      std::function<double(double)> trace) {
+    auto desc = timing_stand();
+    TestEngine engine(desc,
+                      std::make_shared<TraceBackend>(std::move(trace)));
+    RunOptions opts;
+    opts.tick_s = 0.1;
+    opts.init_settle_s = 0.0;
+    const RunResult r = engine.run(timing_script(d1, d2, d3), opts);
+    return r.tests.at(0).steps.at(0).checks.at(0);
+}
+
+TEST(DebounceBoundaries, FinalSampleAloneDoesNotSatisfyD2) {
+    // Good only from t ≥ 0.95: the final sample (t = 1.0) satisfies the
+    // limits, but the trailing OK run starts at 1.0 > dt − D2 = 0.7 —
+    // the trailing-run rule must reject what a check-at-end accepts.
+    auto late = [](double t) { return t < 0.95 ? 5.0 : 1.0; };
+    const auto cr = run_trace(std::nullopt, 0.3, std::nullopt, late);
+    EXPECT_FALSE(cr.passed);
+    EXPECT_NEAR(cr.measured, 1.0, 1e-12); // final sample was in-limits
+    EXPECT_NE(cr.message.find("debounce"), std::string::npos) << cr.message;
+    // Without a debounce window the same trace passes (defaults are
+    // check-at-end-of-dwell).
+    EXPECT_TRUE(
+        run_trace(std::nullopt, std::nullopt, std::nullopt, late).passed);
+}
+
+TEST(DebounceBoundaries, D2HoldBoundaryIsInclusive) {
+    // D2 = 0.3 requires the run to start at or before 0.7. Good from
+    // t ≥ 0.65 → run starts at sample 0.7: exactly on the boundary, PASS.
+    EXPECT_TRUE(run_trace(std::nullopt, 0.3, std::nullopt, [](double t) {
+                    return t < 0.65 ? 5.0 : 1.0;
+                }).passed);
+    // Good from t ≥ 0.75 → run starts at 0.8: one tick late, FAIL.
+    const auto cr = run_trace(std::nullopt, 0.3, std::nullopt,
+                              [](double t) { return t < 0.75 ? 5.0 : 1.0; });
+    EXPECT_FALSE(cr.passed);
+    EXPECT_NE(cr.message.find("debounce"), std::string::npos) << cr.message;
+}
+
+TEST(DebounceBoundaries, SamplesBeforeD1AreNeverRequired) {
+    // Garbage until 0.35, good after. With D1 = 0.35 the bad samples are
+    // never taken, so even a full-dwell debounce (D2 = 1.0) passes …
+    auto settle = [](double t) { return t < 0.35 ? 5.0 : 1.0; };
+    EXPECT_TRUE(run_trace(0.35, 1.0, std::nullopt, settle).passed);
+    // … while with D1 = 0 the same trace starts its OK run at 0.4 and
+    // fails the same debounce window.
+    const auto cr = run_trace(std::nullopt, 1.0, std::nullopt, settle);
+    EXPECT_FALSE(cr.passed);
+    EXPECT_NE(cr.message.find("debounce"), std::string::npos) << cr.message;
+}
+
+TEST(DebounceBoundaries, D3LatestStartBoundaryIsInclusive) {
+    // Good from t ≥ 0.55 → trailing run starts at sample 0.6.
+    auto mid = [](double t) { return t < 0.55 ? 5.0 : 1.0; };
+    // D3 = 0.6: settled exactly at the deadline, PASS.
+    EXPECT_TRUE(run_trace(std::nullopt, std::nullopt, 0.6, mid).passed);
+    // D3 = 0.5: settled one tick after the deadline, FAIL with the D3
+    // diagnostic.
+    const auto cr = run_trace(std::nullopt, std::nullopt, 0.5, mid);
+    EXPECT_FALSE(cr.passed);
+    EXPECT_NE(cr.message.find("D3"), std::string::npos) << cr.message;
+}
+
+TEST(DebounceBoundaries, FinalSampleMustPassEvenWhenRunWasLong) {
+    // Good the whole dwell except the final sample: the long OK run does
+    // not rescue a bad end-of-dwell value.
+    const auto cr = run_trace(std::nullopt, std::nullopt, std::nullopt,
+                              [](double t) { return t < 0.95 ? 1.0 : 5.0; });
+    EXPECT_FALSE(cr.passed);
+    EXPECT_NE(cr.message.find("end of dwell"), std::string::npos)
+        << cr.message;
+}
+
+TEST(DebounceBoundaries, FirstSampleOkCountsFromStepStart) {
+    // A trace that is good from the very first sample is assumed to have
+    // held since step start (nothing earlier is observable): even
+    // D2 = dt and a tight D3 = 0 pass.
+    auto good = [](double) { return 1.0; };
+    EXPECT_TRUE(run_trace(std::nullopt, 1.0, std::nullopt, good).passed);
+    EXPECT_TRUE(run_trace(std::nullopt, std::nullopt, 0.0, good).passed);
 }
 
 } // namespace

@@ -1,6 +1,7 @@
 // Unit tests: compilation to test scripts and XML round-trips.
 #include <gtest/gtest.h>
 
+#include "core/kb.hpp"
 #include "model/paper.hpp"
 #include "script/xml_io.hpp"
 
@@ -202,6 +203,89 @@ TEST(XmlIo, MinimalHandwrittenScriptLoads) {
     EXPECT_TRUE(s.required_variables().empty());
     const auto& call = s.tests[0].steps[0].actions[0].call;
     EXPECT_DOUBLE_EQ(call.value->eval(expr::Env{}), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden round-trips over the whole knowledge base: compile every builtin
+// family to XML, parse it back, and require full structural equality —
+// script serialisation must not drift silently for *any* shipped suite.
+// ---------------------------------------------------------------------------
+
+std::string expr_text(const expr::ExprPtr& e) {
+    return e ? e->to_string() : std::string{};
+}
+
+void expect_action_equal(const SignalAction& got, const SignalAction& want,
+                         const std::string& where) {
+    EXPECT_EQ(got.signal, want.signal) << where;
+    EXPECT_EQ(got.status, want.status) << where;
+    EXPECT_EQ(got.call.method, want.call.method) << where;
+    EXPECT_EQ(got.call.kind, want.call.kind) << where;
+    EXPECT_EQ(got.call.attribute, want.call.attribute) << where;
+    EXPECT_EQ(got.call.data, want.call.data) << where;
+    EXPECT_EQ(expr_text(got.call.value), expr_text(want.call.value)) << where;
+    EXPECT_EQ(expr_text(got.call.min), expr_text(want.call.min)) << where;
+    EXPECT_EQ(expr_text(got.call.max), expr_text(want.call.max)) << where;
+    EXPECT_EQ(got.call.d1, want.call.d1) << where;
+    EXPECT_EQ(got.call.d2, want.call.d2) << where;
+    EXPECT_EQ(got.call.d3, want.call.d3) << where;
+}
+
+void expect_script_equal(const TestScript& got, const TestScript& want) {
+    EXPECT_EQ(got.name, want.name);
+    ASSERT_EQ(got.signals.size(), want.signals.size());
+    for (std::size_t i = 0; i < want.signals.size(); ++i) {
+        EXPECT_EQ(got.signals[i].name, want.signals[i].name);
+        EXPECT_EQ(got.signals[i].direction, want.signals[i].direction);
+        EXPECT_EQ(got.signals[i].kind, want.signals[i].kind);
+        EXPECT_EQ(got.signals[i].pins, want.signals[i].pins);
+    }
+    ASSERT_EQ(got.init.size(), want.init.size());
+    for (std::size_t i = 0; i < want.init.size(); ++i)
+        expect_action_equal(got.init[i], want.init[i],
+                            "init[" + std::to_string(i) + "]");
+    ASSERT_EQ(got.tests.size(), want.tests.size());
+    for (std::size_t t = 0; t < want.tests.size(); ++t) {
+        EXPECT_EQ(got.tests[t].name, want.tests[t].name);
+        ASSERT_EQ(got.tests[t].steps.size(), want.tests[t].steps.size());
+        for (std::size_t s = 0; s < want.tests[t].steps.size(); ++s) {
+            const ScriptStep& gs = got.tests[t].steps[s];
+            const ScriptStep& ws = want.tests[t].steps[s];
+            const std::string where = want.tests[t].name + "/step" +
+                                      std::to_string(ws.nr);
+            EXPECT_EQ(gs.nr, ws.nr) << where;
+            EXPECT_DOUBLE_EQ(gs.dt, ws.dt) << where;
+            EXPECT_EQ(gs.remark, ws.remark) << where;
+            ASSERT_EQ(gs.actions.size(), ws.actions.size()) << where;
+            for (std::size_t a = 0; a < ws.actions.size(); ++a)
+                expect_action_equal(gs.actions[a], ws.actions[a], where);
+        }
+    }
+}
+
+class KbGoldenRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KbGoldenRoundTrip, CompileSerialiseParseIsIdentity) {
+    const TestScript original =
+        compile(core::kb::suite_for(GetParam()), kReg);
+    const std::string first_xml = to_xml_text(original);
+    const TestScript back = from_xml_text(first_xml, kReg);
+    expect_script_equal(back, original);
+    // Canonical form: a second generation is byte-identical.
+    EXPECT_EQ(to_xml_text(back), first_xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(KnowledgeBase, KbGoldenRoundTrip,
+                         ::testing::ValuesIn(core::kb::families()),
+                         [](const auto& info) { return info.param; });
+
+TEST(KbGoldenRoundTrip, EnrichedInteriorLightSuiteRoundTrips) {
+    const TestScript original =
+        compile(core::kb::enriched_interior_light_suite(), kReg);
+    const std::string text = to_xml_text(original);
+    const TestScript back = from_xml_text(text, kReg);
+    expect_script_equal(back, original);
+    EXPECT_EQ(to_xml_text(back), text);
 }
 
 } // namespace

@@ -1,6 +1,8 @@
 // Unit tests: XML DOM, writer, parser, round-trips.
 #include <gtest/gtest.h>
 
+#include "core/kb.hpp"
+#include "script/xml_io.hpp"
 #include "xml/xml.hpp"
 
 namespace ctk::xml {
@@ -150,6 +152,30 @@ TEST(XmlWrite, SingleLineModeHasNoNewlines) {
     opts.indent = -1;
     EXPECT_EQ(write(n, opts).find('\n'), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Golden round-trips at the raw XML layer: the serialised script of every
+// builtin KB family must survive parse → write → parse with DOM equality
+// and a stable canonical text form.
+// ---------------------------------------------------------------------------
+
+class KbScriptXml : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KbScriptXml, ParseWriteParseIsStableForCompiledSuites) {
+    const auto registry = ctk::model::MethodRegistry::builtin();
+    const std::string text = script::to_xml_text(
+        script::compile(core::kb::suite_for(GetParam()), registry));
+
+    const Node first = parse(text);
+    const std::string emitted = write(first);
+    const Node second = parse(emitted);
+    EXPECT_TRUE(first == second) << emitted;
+    EXPECT_EQ(write(second), emitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(KnowledgeBase, KbScriptXml,
+                         ::testing::ValuesIn(ctk::core::kb::families()),
+                         [](const auto& info) { return info.param; });
 
 } // namespace
 } // namespace ctk::xml
