@@ -1,0 +1,352 @@
+// bench_plan — prices the compile-once plan layer and the handle tier.
+//
+// Three experiments, each asserting verdict equality before timing:
+//  1. tick sampling: the per-tick measurement workload of every KB
+//     family's compiled plan, driven per-sample through the string tier
+//     vs one measure_batch per tick through the handle tier (the ISSUE's
+//     ≥2x microbench);
+//  2. plan execute: full CompiledPlan::execute wall clock, Strings vs
+//     Handles path, over R repetitions;
+//  3. campaign reuse: R repetitions of the KB campaign with per-job
+//     compile (legacy jobs) vs one shared CompiledPlan per family, at
+//     1 and 4 workers.
+//
+// Results go to stdout and, machine-readable, to BENCH_plan.json.
+//
+//   usage: bench_plan [--repeat R] [--out file.json]
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/campaign.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "dut/catalogue.hpp"
+#include "report/report.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+double sink = 0.0; ///< defeats dead-code elimination of measurement loops
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One family's sampling workload: a prepared backend plus the measure
+/// channels of its compiled plan.
+struct SamplingSetup {
+    std::string family;
+    std::shared_ptr<sim::VirtualStand> backend;
+    std::vector<core::PlanChannel> channels; ///< measure triples
+    std::vector<sim::ChannelId> ids;         ///< resolved handles
+};
+
+SamplingSetup sampling_setup(const std::string& family) {
+    const auto registry = model::MethodRegistry::builtin();
+    const auto script = script::compile(core::kb::suite_for(family),
+                                        registry);
+    const auto desc = core::kb::stand_for(family);
+    const auto plan = core::CompiledPlan::compile(script, desc);
+
+    SamplingSetup setup;
+    setup.family = family;
+    setup.backend = std::make_shared<sim::VirtualStand>(
+        desc, dut::make_golden(family));
+    const auto& test = plan.tests().front();
+    setup.backend->reset();
+    setup.backend->prepare(test.allocation);
+    setup.backend->advance(0.05); // arm edge watches, settle the DUT
+    for (const auto& c : test.channels) {
+        if (!str::starts_with(c.method, "get_")) continue;
+        setup.channels.push_back(c);
+        setup.ids.push_back(setup.backend->resolve(c.resource, c.method,
+                                                   c.pins));
+    }
+    return setup;
+}
+
+struct SamplingResult {
+    std::string family;
+    std::size_t channels = 0;
+    std::size_t samples = 0;
+    double string_s = 0.0;
+    double handle_s = 0.0;
+};
+
+SamplingResult run_sampling(SamplingSetup& setup) {
+    auto& backend = *setup.backend;
+    const std::size_t n = setup.ids.size();
+    std::vector<double> out(n);
+
+    auto string_tick = [&]() {
+        for (const auto& c : setup.channels)
+            sink += backend.measure_real(c.resource, c.method, c.pins);
+    };
+    auto handle_tick = [&]() {
+        backend.measure_batch(setup.ids.data(), n, out.data());
+        for (double v : out) sink += v;
+    };
+
+    // Equal readings first (guards the comparison, warms the caches).
+    for (int i = 0; i < 100; ++i) {
+        string_tick();
+        handle_tick();
+    }
+
+    // Calibrate the tick count on the cheaper path to ~100 ms.
+    std::size_t ticks = 1024;
+    for (;;) {
+        const double probe = time_s([&]() {
+            for (std::size_t i = 0; i < ticks; ++i) handle_tick();
+        });
+        if (probe >= 0.025 || ticks >= (1u << 22)) {
+            ticks = static_cast<std::size_t>(
+                std::max(1.0, ticks * 0.1 / std::max(probe, 1e-9)));
+            break;
+        }
+        ticks *= 4;
+    }
+
+    SamplingResult r;
+    r.family = setup.family;
+    r.channels = n;
+    r.samples = ticks * n;
+    r.string_s = time_s([&]() {
+        for (std::size_t i = 0; i < ticks; ++i) string_tick();
+    });
+    r.handle_s = time_s([&]() {
+        for (std::size_t i = 0; i < ticks; ++i) handle_tick();
+    });
+    return r;
+}
+
+double ns_per_sample(double seconds, std::size_t samples) {
+    return samples == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(samples);
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 8;
+    std::string out_path = "BENCH_plan.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_plan: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeat") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_plan: --repeat needs an integer in "
+                             "[1, 4096]\n";
+                return 1;
+            }
+            repeat = static_cast<std::size_t>(*n);
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_plan [--repeat R] [--out file]\n";
+            return 1;
+        }
+    }
+
+    const auto families = core::kb::families();
+    const auto registry = model::MethodRegistry::builtin();
+
+    // ---------------------------------------------- 1. tick sampling
+    std::cout << "bench_plan: per-tick sampling, string tier vs "
+                 "measure_batch handle tier\n";
+    std::vector<SamplingResult> sampling;
+    std::size_t total_samples = 0;
+    double total_string_s = 0.0, total_handle_s = 0.0;
+    for (const auto& family : families) {
+        auto setup = sampling_setup(family);
+        if (setup.ids.empty()) continue;
+        auto r = run_sampling(setup);
+        total_samples += r.samples;
+        total_string_s += r.string_s;
+        total_handle_s += r.handle_s;
+        std::cout << "  " << family << ": " << r.channels
+                  << " channel(s), "
+                  << str::format_number(ns_per_sample(r.string_s,
+                                                      r.samples), 4)
+                  << " ns/sample strings vs "
+                  << str::format_number(ns_per_sample(r.handle_s,
+                                                      r.samples), 4)
+                  << " ns/sample handles (x"
+                  << str::format_number(r.string_s / r.handle_s, 3)
+                  << ")\n";
+        sampling.push_back(std::move(r));
+    }
+    const double sampling_speedup = total_string_s / total_handle_s;
+    std::cout << "  overall: "
+              << str::format_number(ns_per_sample(total_string_s,
+                                                  total_samples), 4)
+              << " -> "
+              << str::format_number(ns_per_sample(total_handle_s,
+                                                  total_samples), 4)
+              << " ns/sample, speedup x"
+              << str::format_number(sampling_speedup, 3) << "\n";
+
+    // ---------------------------------------------- 2. plan execute
+    std::cout << "bench_plan: CompiledPlan::execute, Strings vs Handles "
+                 "path, " << repeat << " repetition(s)\n";
+    double exec_strings_s = 0.0, exec_handles_s = 0.0;
+    {
+        std::string strings_print, handles_print;
+        for (const auto& family : families) {
+            const auto script =
+                script::compile(core::kb::suite_for(family), registry);
+            const auto desc = core::kb::stand_for(family);
+            const auto plan = core::CompiledPlan::compile(script, desc);
+            auto backend = std::make_shared<sim::VirtualStand>(
+                desc, dut::make_golden(family));
+            exec_strings_s += time_s([&]() {
+                for (std::size_t r = 0; r < repeat; ++r)
+                    strings_print = report::to_csv(plan.execute(
+                        *backend, core::PlanPath::Strings));
+            });
+            exec_handles_s += time_s([&]() {
+                for (std::size_t r = 0; r < repeat; ++r)
+                    handles_print = report::to_csv(plan.execute(
+                        *backend, core::PlanPath::Handles));
+            });
+            if (strings_print != handles_print) {
+                std::cerr << "bench_plan: path verdict mismatch on "
+                          << family << "!\n";
+                return 2;
+            }
+        }
+    }
+    std::cout << "  strings "
+              << str::format_number(exec_strings_s, 4) << " s, handles "
+              << str::format_number(exec_handles_s, 4) << " s (x"
+              << str::format_number(exec_strings_s / exec_handles_s, 3)
+              << ")\n";
+
+    // ---------------------------------------------- 3. campaign reuse
+    std::cout << "bench_plan: KB campaign x" << repeat
+              << ", per-job compile vs shared plans\n";
+    auto legacy_jobs = [&]() {
+        // Family-major, names mirroring plan_campaign (suffix only when
+        // repeating) so the fingerprints must match byte for byte.
+        std::vector<core::CampaignJob> jobs;
+        for (const auto& family : families)
+            for (std::size_t r = 0; r < repeat; ++r) {
+                auto job = core::family_job(family);
+                if (repeat > 1)
+                    job.name = family + "#" + std::to_string(r);
+                jobs.push_back(std::move(job));
+            }
+        return jobs;
+    };
+    struct CampaignRow {
+        unsigned workers = 0;
+        double legacy_s = 0.0;
+        double shared_s = 0.0;
+    };
+    std::vector<CampaignRow> campaign_rows;
+    for (unsigned workers : {1u, 4u}) {
+        auto run = [&](std::vector<core::CampaignJob> jobs) {
+            core::CampaignOptions opts;
+            opts.jobs = workers;
+            core::CampaignRunner runner(opts);
+            for (auto& job : jobs) runner.add(std::move(job));
+            return runner.run_all();
+        };
+        CampaignRow row;
+        row.workers = workers;
+        core::CampaignResult legacy, shared;
+        row.legacy_s = time_s([&]() { legacy = run(legacy_jobs()); });
+        row.shared_s = time_s([&]() {
+            shared = run(core::kb_plan_campaign(repeat));
+        });
+        if (core::verdict_fingerprint(legacy) !=
+            core::verdict_fingerprint(shared)) {
+            std::cerr << "bench_plan: campaign verdict mismatch at "
+                      << workers << " worker(s)!\n";
+            return 2;
+        }
+        std::cout << "  workers=" << workers << ": per-job compile "
+                  << str::format_number(row.legacy_s, 4)
+                  << " s, shared plans "
+                  << str::format_number(row.shared_s, 4) << " s (x"
+                  << str::format_number(row.legacy_s / row.shared_s, 3)
+                  << ")\n";
+        campaign_rows.push_back(row);
+    }
+
+    // ---------------------------------------------- JSON trajectory
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_plan\",\n";
+    json << "  \"tick_sampling\": {\n";
+    json << "    \"string_ns_per_sample\": "
+         << json_num(ns_per_sample(total_string_s, total_samples)) << ",\n";
+    json << "    \"handle_ns_per_sample\": "
+         << json_num(ns_per_sample(total_handle_s, total_samples)) << ",\n";
+    json << "    \"speedup\": " << json_num(sampling_speedup) << ",\n";
+    json << "    \"families\": [";
+    for (std::size_t i = 0; i < sampling.size(); ++i) {
+        const auto& r = sampling[i];
+        json << (i ? ", " : "") << "{\"family\": \"" << r.family
+             << "\", \"channels\": " << r.channels
+             << ", \"samples\": " << r.samples
+             << ", \"string_ns_per_sample\": "
+             << json_num(ns_per_sample(r.string_s, r.samples))
+             << ", \"handle_ns_per_sample\": "
+             << json_num(ns_per_sample(r.handle_s, r.samples))
+             << ", \"speedup\": " << json_num(r.string_s / r.handle_s)
+             << "}";
+    }
+    json << "]\n  },\n";
+    json << "  \"plan_execute\": {\"repeats\": " << repeat
+         << ", \"strings_s\": " << json_num(exec_strings_s)
+         << ", \"handles_s\": " << json_num(exec_handles_s)
+         << ", \"speedup\": "
+         << json_num(exec_strings_s / exec_handles_s) << "},\n";
+    json << "  \"campaign_reuse\": {\"repeats\": " << repeat
+         << ", \"rows\": [";
+    for (std::size_t i = 0; i < campaign_rows.size(); ++i) {
+        const auto& row = campaign_rows[i];
+        json << (i ? ", " : "") << "{\"workers\": " << row.workers
+             << ", \"per_job_compile_s\": " << json_num(row.legacy_s)
+             << ", \"shared_plan_s\": " << json_num(row.shared_s)
+             << ", \"speedup\": "
+             << json_num(row.legacy_s / row.shared_s) << "}";
+    }
+    json << "]}\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_plan: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cout << "  wrote " << out_path << "\n";
+
+    if (sink == 12345.6789) std::cout << "";
+    return 0;
+}

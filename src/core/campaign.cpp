@@ -9,6 +9,7 @@
 
 #include "common/strings.hpp"
 #include "core/kb.hpp"
+#include "core/plan.hpp"
 #include "dut/catalogue.hpp"
 #include "model/method.hpp"
 #include "report/report.hpp"
@@ -35,8 +36,18 @@ CampaignJobResult execute_job(const CampaignJob& job) {
         if (!job.make_backend)
             throw Error("campaign job '" + job.name + "' has no backend "
                         "factory");
-        TestEngine engine(job.stand, job.make_backend(job.stand));
-        out.run = engine.run(job.script, job.options);
+        if (job.plan) {
+            // Shared-plan path: the suite was bound to the stand once;
+            // this job only executes it on its own fresh backend.
+            auto backend = job.make_backend(job.stand);
+            if (!backend)
+                throw Error("campaign job '" + job.name +
+                            "' factory returned no backend");
+            out.run = job.plan->execute(*backend);
+        } else {
+            TestEngine engine(job.stand, job.make_backend(job.stand));
+            out.run = engine.run(job.script, job.options);
+        }
     } catch (const std::exception& e) {
         out.framework_error = true;
         out.error_message = e.what();
@@ -152,6 +163,53 @@ std::vector<CampaignJob> kb_campaign(const RunOptions& options) {
     for (const auto& family : kb::families())
         jobs.push_back(family_job(family, options));
     return jobs;
+}
+
+std::shared_ptr<const CompiledPlan> family_plan(const std::string& family,
+                                                const RunOptions& options) {
+    const auto job = family_job(family, options);
+    return std::make_shared<CompiledPlan>(
+        CompiledPlan::compile(job.script, job.stand, options));
+}
+
+std::vector<CampaignJob>
+plan_campaign(const std::vector<std::string>& families, std::size_t repeats,
+              const RunOptions& options) {
+    std::vector<CampaignJob> jobs;
+    for (const auto& family : families) {
+        // Unknown families throw here (SemanticError), as family_job
+        // always did; the repetitions below reuse its script, stand and
+        // backend factory, so the plan and legacy paths cannot diverge.
+        const CampaignJob base = family_job(family, options);
+        std::shared_ptr<const CompiledPlan> plan;
+        try {
+            plan = std::make_shared<CompiledPlan>(
+                CompiledPlan::compile(base.script, base.stand, options));
+        } catch (const Error&) {
+            // Bind failure: leave the plan empty so every repetition
+            // binds — and fails — inside its own worker, preserving the
+            // campaign's per-job framework-failure isolation.
+        }
+        for (std::size_t r = 0; r < repeats; ++r) {
+            CampaignJob job;
+            job.name =
+                repeats == 1 ? family : family + "#" + std::to_string(r);
+            job.stand = base.stand;
+            job.make_backend = base.make_backend;
+            job.options = base.options;
+            if (plan)
+                job.plan = plan; // script never consulted on this path
+            else
+                job.script = base.script;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<CampaignJob> kb_plan_campaign(std::size_t repeats,
+                                          const RunOptions& options) {
+    return plan_campaign(kb::families(), repeats, options);
 }
 
 std::string verdict_fingerprint(const CampaignJobResult& job) {

@@ -26,18 +26,27 @@
 
 namespace ctk::core {
 
+class CompiledPlan; // core/plan.hpp
+
 /// Builds a fresh, thread-confined backend for one job execution.
 using BackendFactory = std::function<std::shared_ptr<sim::StandBackend>(
     const stand::StandDescription&)>;
 
 /// One unit of campaign work. The job owns everything it needs, so it
-/// can run on any worker without touching shared state.
+/// can run on any worker without touching shared state — except `plan`,
+/// which is an immutable artefact deliberately shared between the jobs
+/// of one suite: CompiledPlan::execute is const and reentrant, so N
+/// repetitions compile once and execute N times on their own backends.
 struct CampaignJob {
     std::string name;               ///< label, e.g. the ECU family
     script::TestScript script;      ///< compiled, stand-independent suite
     stand::StandDescription stand;  ///< stand the script is bound to
     BackendFactory make_backend;    ///< fresh backend per execution
     RunOptions options;             ///< engine options for this job
+    /// Shared pre-bound plan. When set, the job executes the plan
+    /// directly and `script`/`options` are not consulted (both were
+    /// baked into the plan at compile time).
+    std::shared_ptr<const CompiledPlan> plan;
 };
 
 /// Outcome of one job. Exactly one of `run` (verdicts) or
@@ -111,6 +120,23 @@ private:
 /// family_job for every kb::families() entry — the full KB campaign.
 [[nodiscard]] std::vector<CampaignJob>
 kb_campaign(const RunOptions& options = {});
+
+/// Compile one family's suite against its reference stand, once, into a
+/// shareable plan (see CampaignJob::plan).
+[[nodiscard]] std::shared_ptr<const CompiledPlan>
+family_plan(const std::string& family, const RunOptions& options = {});
+
+/// `repeats` plan-backed jobs per named family, the repetitions of each
+/// family sharing one CompiledPlan (compile once, execute many). Job
+/// names are the family name when repeats == 1 — fingerprint-comparable
+/// with kb_campaign() — and "family#r" otherwise.
+[[nodiscard]] std::vector<CampaignJob>
+plan_campaign(const std::vector<std::string>& families,
+              std::size_t repeats = 1, const RunOptions& options = {});
+
+/// plan_campaign over every kb::families() entry.
+[[nodiscard]] std::vector<CampaignJob>
+kb_plan_campaign(std::size_t repeats = 1, const RunOptions& options = {});
 
 /// Compact human-readable campaign table (one row per job: name,
 /// tests, checks, wall clock, verdict) plus a summary line.

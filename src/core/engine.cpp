@@ -1,10 +1,8 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "common/strings.hpp"
+#include "core/plan.hpp"
 
 namespace ctk::core {
 
@@ -32,237 +30,23 @@ TestEngine::TestEngine(stand::StandDescription desc,
     if (!backend_) throw Error("TestEngine needs a backend");
 }
 
-namespace {
-
-std::optional<double> eval_opt(const expr::ExprPtr& e, const expr::Env& env) {
-    if (!e) return std::nullopt;
-    return e->eval(env);
-}
-
-/// Apply one stimulus action through its allocated resource; returns the
-/// report entry.
-AppliedStimulus apply_stimulus(const stand::StandDescription& desc,
-                               const stand::Allocation& plan,
-                               sim::StandBackend& backend,
-                               const script::SignalAction& action,
-                               const expr::Env& env) {
-    const stand::AllocationEntry* entry = plan.for_signal(action.signal);
-    if (!entry)
-        throw StandError("no allocation for signal '" + action.signal + "'");
-
-    AppliedStimulus applied;
-    applied.signal = action.signal;
-    applied.status = action.status;
-    applied.method = action.call.method;
-    applied.resource = entry->resource;
-
-    if (entry->is_unconnected()) {
-        // Passive realisation: the pin stays open, i.e. r = INF.
-        applied.value = std::numeric_limits<double>::infinity();
-        backend.apply_real(entry->resource, action.call.method,
-                           entry->requirement.pins, applied.value);
-        return applied;
-    }
-    const stand::Resource& res = desc.require_resource(entry->resource);
-
-    if (!action.call.data.empty()) {
-        auto bits = model::parse_bits(action.call.data);
-        if (!bits)
-            throw StandError("bad bit payload '" + action.call.data + "'");
-        backend.apply_bits(res.id, action.signal, *bits);
-        applied.data = action.call.data;
-        return applied;
-    }
-
-    const double nominal = action.call.value ? action.call.value->eval(env)
-                                             : 0.0;
-    auto realised = res.realised_value(action.call.method, nominal,
-                                       eval_opt(action.call.min, env),
-                                       eval_opt(action.call.max, env));
-    if (!realised)
-        throw StandError("resource " + res.id + " cannot realise " +
-                         action.call.method + " = " +
-                         str::format_number(nominal) + " on signal '" +
-                         action.signal + "'");
-    backend.apply_real(res.id, action.call.method,
-                       entry->requirement.pins, *realised);
-    applied.value = *realised;
-    return applied;
-}
-
-/// Expectation being tracked across the dwell of one step.
-struct PendingCheck {
-    const script::SignalAction* action = nullptr;
-    const stand::AllocationEntry* entry = nullptr;
-    std::optional<double> lo, hi;
-    double d1 = 0.0, d2 = 0.0;
-    std::optional<double> d3;
-    // sample trace
-    double last_measured = 0.0;
-    double trailing_ok_start = 0.0; ///< start time of the trailing OK run
-    bool any_sample = false;
-    bool last_ok = false;
-};
-
-bool within(double v, const std::optional<double>& lo,
-            const std::optional<double>& hi) {
-    if (lo && v < *lo - 1e-12) return false;
-    if (hi && v > *hi + 1e-12) return false;
-    return true;
-}
-
-} // namespace
-
-TestResult TestEngine::execute(const script::TestScript& script,
-                               const script::ScriptTest& test,
-                               const RunOptions& options) {
-    const auto missing = desc_.missing_variables(script.required_variables());
-    if (!missing.empty())
-        throw StandError("stand '" + desc_.name() +
-                         "' does not define required variable(s): " +
-                         str::join(missing, ", "));
-    const expr::Env& env = desc_.variables();
-
-    TestResult result;
-    result.name = test.name;
-    result.allocation = stand::allocate(
-        desc_, stand::build_requirements(script, test, env), options.policy);
-
-    backend_->reset();
-    backend_->prepare(result.allocation);
-
-    // Initial conditions (signal sheet): apply, then settle briefly.
-    for (const auto& a : script.init)
-        if (a.call.kind == model::MethodKind::Put)
-            (void)apply_stimulus(desc_, result.allocation, *backend_, a, env);
-    if (options.init_settle_s > 0) backend_->advance(options.init_settle_s);
-
-    for (const auto& step : test.steps) {
-        StepResult sr;
-        sr.nr = step.nr;
-        sr.dt = step.dt;
-        sr.remark = step.remark;
-
-        std::vector<PendingCheck> checks;
-        for (const auto& action : step.actions) {
-            if (action.call.kind == model::MethodKind::Put) {
-                sr.stimuli.push_back(apply_stimulus(
-                    desc_, result.allocation, *backend_, action, env));
-                continue;
-            }
-            PendingCheck pc;
-            pc.action = &action;
-            pc.entry = result.allocation.for_signal(action.signal);
-            if (!pc.entry)
-                throw StandError("no allocation for signal '" +
-                                 action.signal + "'");
-            pc.lo = eval_opt(action.call.min, env);
-            pc.hi = eval_opt(action.call.max, env);
-            pc.d1 = action.call.d1.value_or(0.0);
-            pc.d2 = action.call.d2.value_or(0.0);
-            pc.d3 = action.call.d3;
-            checks.push_back(pc);
-        }
-
-        // Advance across the dwell, sampling every tick.
-        const double tick = std::max(1e-6, std::min(options.tick_s, step.dt));
-        double elapsed = 0.0;
-        while (elapsed < step.dt - 1e-9) {
-            const double dt = std::min(tick, step.dt - elapsed);
-            backend_->advance(dt);
-            elapsed += dt;
-            for (auto& pc : checks) {
-                if (elapsed + 1e-9 < pc.d1) continue; // settle time
-                if (!pc.action->call.data.empty()) continue; // bits: end only
-                const double v = backend_->measure_real(
-                    pc.entry->resource, pc.action->call.method,
-                    pc.entry->requirement.pins);
-                const bool ok = within(v, pc.lo, pc.hi);
-                // Start of the trailing OK run; a first sample that is
-                // already OK is assumed to have held since step start
-                // (nothing earlier is observable).
-                if (ok && (!pc.any_sample || !pc.last_ok))
-                    pc.trailing_ok_start = pc.any_sample ? elapsed : 0.0;
-                pc.last_ok = ok;
-                pc.any_sample = true;
-                pc.last_measured = v;
-            }
-        }
-
-        // Verdicts.
-        for (auto& pc : checks) {
-            CheckResult cr;
-            cr.signal = pc.action->signal;
-            cr.status = pc.action->status;
-            cr.method = pc.action->call.method;
-            cr.resource = pc.entry->resource;
-            cr.lo = pc.lo;
-            cr.hi = pc.hi;
-
-            if (!pc.action->call.data.empty()) {
-                cr.expected_data = pc.action->call.data;
-                const auto got = backend_->measure_bits(pc.entry->resource,
-                                                        pc.action->signal);
-                cr.measured_data = model::format_bits(got);
-                const auto want = model::parse_bits(cr.expected_data);
-                cr.passed = want && got == *want;
-                if (!cr.passed)
-                    cr.message = "expected " + cr.expected_data + ", got " +
-                                 cr.measured_data;
-            } else if (!pc.any_sample) {
-                cr.passed = false;
-                cr.message = "no sample inside the dwell (D1 too large?)";
-            } else {
-                cr.measured = pc.last_measured;
-                const double hold_needed =
-                    std::max(pc.d1, step.dt - pc.d2);
-                cr.passed = pc.last_ok &&
-                            pc.trailing_ok_start <= hold_needed + 1e-9 &&
-                            (!pc.d3 || pc.trailing_ok_start <= *pc.d3 + 1e-9);
-                if (!cr.passed) {
-                    if (!pc.last_ok)
-                        cr.message = "measured " +
-                                     str::format_number(cr.measured) +
-                                     " outside [" +
-                                     (cr.lo ? str::format_number(*cr.lo) : "-INF") +
-                                     ", " +
-                                     (cr.hi ? str::format_number(*cr.hi) : "INF") +
-                                     "] at end of dwell";
-                    else if (pc.d3 && pc.trailing_ok_start > *pc.d3)
-                        cr.message = "settled only after D3";
-                    else
-                        cr.message = "did not hold for the debounce window D2";
-                }
-            }
-            sr.passed = sr.passed && cr.passed;
-            sr.checks.push_back(std::move(cr));
-        }
-
-        result.passed = result.passed && sr.passed;
-        result.steps.push_back(std::move(sr));
-        if (!result.passed && options.stop_on_first_failure) break;
-    }
-    return result;
-}
-
 RunResult TestEngine::run(const script::TestScript& script,
                           const RunOptions& options) {
-    RunResult out;
-    out.script_name = script.name;
-    out.stand_name = desc_.name();
-    for (const auto& test : script.tests)
-        out.tests.push_back(execute(script, test, options));
-    return out;
+    return CompiledPlan::compile(script, desc_, options).execute(*backend_);
 }
 
 TestResult TestEngine::run_test(const script::TestScript& script,
                                 std::string_view test_name,
                                 const RunOptions& options) {
-    for (const auto& test : script.tests)
-        if (str::iequals(test.name, test_name))
-            return execute(script, test, options);
-    throw SemanticError("script has no test named '" +
-                        std::string(test_name) + "'");
+    const auto plan =
+        CompiledPlan::compile_test(script, test_name, desc_, options);
+    auto run = plan.execute(*backend_);
+    return std::move(run.tests.front());
+}
+
+CompiledPlan TestEngine::compile(const script::TestScript& script,
+                                 const RunOptions& options) const {
+    return CompiledPlan::compile(script, desc_, options);
 }
 
 } // namespace ctk::core

@@ -1,8 +1,14 @@
 // TestEngine — the heart of CTK.
 //
 // Pipeline (mirrors the paper end-to-end):
-//   workbook ──compile──► TestScript (XML) ──bind(stand)──► allocation
+//   workbook ──compile──► TestScript (XML) ──bind(stand)──► CompiledPlan
 //            ──execute(backend)──► per-step verdicts ──► RunResult
+//
+// Since the plan-layer refactor the engine is a thin façade: run() binds
+// the script to the stand exactly once (core/plan.hpp — allocation,
+// limit evaluation, payload parsing, channel table) and then executes
+// the compiled plan over the backend's handle tier. Callers that want
+// to execute one binding many times hold the CompiledPlan themselves.
 //
 // Execution semantics (DESIGN.md §5):
 //  * at step start every stimulus of the step is applied, then simulated
@@ -31,6 +37,8 @@
 #include "stand/stand.hpp"
 
 namespace ctk::core {
+
+class CompiledPlan; // core/plan.hpp
 
 struct RunOptions {
     double tick_s = 0.05;        ///< sampling period during a dwell
@@ -94,26 +102,29 @@ public:
     TestEngine(stand::StandDescription desc,
                std::shared_ptr<sim::StandBackend> backend);
 
-    /// Execute every test of the script. Throws ctk::StandError when the
-    /// stand cannot realise the script (allocation failure, missing
-    /// variables) — the paper's §4 error path.
+    /// Compile-then-execute every test of the script. Throws
+    /// ctk::StandError when the stand cannot realise the script
+    /// (allocation failure, missing variables, unrealisable stimulus) —
+    /// the paper's §4 error path, raised at bind time before any
+    /// instrument is touched.
     [[nodiscard]] RunResult run(const script::TestScript& script,
                                 const RunOptions& options = {});
 
-    /// Execute a single test by name.
+    /// Compile-then-execute a single test by name.
     [[nodiscard]] TestResult run_test(const script::TestScript& script,
                                       std::string_view test_name,
                                       const RunOptions& options = {});
+
+    /// Bind the script to this engine's stand without executing it — the
+    /// reusable artefact for run-many workloads (see core/plan.hpp).
+    [[nodiscard]] CompiledPlan compile(const script::TestScript& script,
+                                       const RunOptions& options = {}) const;
 
     [[nodiscard]] const stand::StandDescription& description() const {
         return desc_;
     }
 
 private:
-    [[nodiscard]] TestResult execute(const script::TestScript& script,
-                                     const script::ScriptTest& test,
-                                     const RunOptions& options);
-
     stand::StandDescription desc_;
     std::shared_ptr<sim::StandBackend> backend_;
 };

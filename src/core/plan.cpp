@@ -1,0 +1,424 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.hpp"
+#include "model/status.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+std::optional<double> eval_opt(const expr::ExprPtr& e, const expr::Env& env) {
+    if (!e) return std::nullopt;
+    return e->eval(env);
+}
+
+bool within(double v, const std::optional<double>& lo,
+            const std::optional<double>& hi) {
+    if (lo && v < *lo - 1e-12) return false;
+    if (hi && v > *hi + 1e-12) return false;
+    return true;
+}
+
+/// Per-test compile state: deduplicates (resource, method, pins) triples
+/// into the channel table.
+class ChannelTable {
+public:
+    ChannelSlot slot_for(const std::string& resource,
+                         const std::string& method,
+                         const std::vector<std::string>& pins) {
+        for (std::size_t i = 0; i < channels_.size(); ++i) {
+            const PlanChannel& c = channels_[i];
+            if (c.resource == resource && c.method == method &&
+                c.pins == pins)
+                return static_cast<ChannelSlot>(i);
+        }
+        channels_.push_back(PlanChannel{resource, method, pins});
+        return static_cast<ChannelSlot>(channels_.size() - 1);
+    }
+
+    std::vector<PlanChannel> take() { return std::move(channels_); }
+
+private:
+    std::vector<PlanChannel> channels_;
+};
+
+/// Lower one Put action: realise the value / parse the payload once.
+PlanStimulus lower_stimulus(const stand::StandDescription& desc,
+                            const stand::Allocation& allocation,
+                            const script::SignalAction& action,
+                            const expr::Env& env, ChannelTable& table) {
+    const stand::AllocationEntry* entry =
+        allocation.for_signal(action.signal);
+    if (!entry)
+        throw StandError("no allocation for signal '" + action.signal + "'");
+
+    PlanStimulus out;
+    out.signal = action.signal;
+    out.status = action.status;
+    out.method = action.call.method;
+    out.resource = entry->resource;
+
+    if (entry->is_unconnected()) {
+        // Passive realisation: the pin stays open, i.e. r = INF.
+        out.value = std::numeric_limits<double>::infinity();
+        out.slot = table.slot_for(entry->resource, action.call.method,
+                                  entry->requirement.pins);
+        return out;
+    }
+    const stand::Resource& res = desc.require_resource(entry->resource);
+
+    if (!action.call.data.empty()) {
+        auto bits = model::parse_bits(action.call.data);
+        if (!bits)
+            throw StandError("bad bit payload '" + action.call.data + "'");
+        out.is_bits = true;
+        out.data = action.call.data;
+        out.bits = std::move(*bits);
+        return out;
+    }
+
+    const double nominal =
+        action.call.value ? action.call.value->eval(env) : 0.0;
+    auto realised = res.realised_value(action.call.method, nominal,
+                                       eval_opt(action.call.min, env),
+                                       eval_opt(action.call.max, env));
+    if (!realised)
+        throw StandError("resource " + res.id + " cannot realise " +
+                         action.call.method + " = " +
+                         str::format_number(nominal) + " on signal '" +
+                         action.signal + "'");
+    out.value = *realised;
+    out.slot = table.slot_for(entry->resource, action.call.method,
+                              entry->requirement.pins);
+    return out;
+}
+
+/// Lower one Get action: evaluate limits and timing once.
+PlanCheck lower_check(const stand::Allocation& allocation,
+                      const script::SignalAction& action,
+                      const expr::Env& env, ChannelTable& table) {
+    const stand::AllocationEntry* entry =
+        allocation.for_signal(action.signal);
+    if (!entry)
+        throw StandError("no allocation for signal '" + action.signal + "'");
+
+    PlanCheck out;
+    out.signal = action.signal;
+    out.status = action.status;
+    out.method = action.call.method;
+    out.resource = entry->resource;
+    out.lo = eval_opt(action.call.min, env);
+    out.hi = eval_opt(action.call.max, env);
+    out.d1 = action.call.d1.value_or(0.0);
+    out.d2 = action.call.d2.value_or(0.0);
+    out.d3 = action.call.d3;
+    if (!action.call.data.empty()) {
+        out.is_bits = true;
+        out.expected_data = action.call.data;
+        out.want_bits = model::parse_bits(action.call.data);
+    } else {
+        out.slot = table.slot_for(entry->resource, action.call.method,
+                                  entry->requirement.pins);
+    }
+    return out;
+}
+
+CompiledTest compile_one(const script::TestScript& script,
+                         const script::ScriptTest& test,
+                         const stand::StandDescription& desc,
+                         const expr::Env& env, const RunOptions& options) {
+    CompiledTest out;
+    out.name = test.name;
+    out.allocation = stand::allocate(
+        desc, stand::build_requirements(script, test, env), options.policy);
+
+    ChannelTable table;
+    for (const auto& a : script.init)
+        if (a.call.kind == model::MethodKind::Put)
+            out.init.push_back(
+                lower_stimulus(desc, out.allocation, a, env, table));
+
+    for (const auto& step : test.steps) {
+        PlanStep ps;
+        ps.nr = step.nr;
+        ps.dt = step.dt;
+        ps.tick = std::max(1e-6, std::min(options.tick_s, step.dt));
+        ps.remark = step.remark;
+        for (const auto& action : step.actions) {
+            if (action.call.kind == model::MethodKind::Put)
+                ps.stimuli.push_back(lower_stimulus(desc, out.allocation,
+                                                    action, env, table));
+            else
+                ps.checks.push_back(
+                    lower_check(out.allocation, action, env, table));
+        }
+        out.steps.push_back(std::move(ps));
+    }
+    out.channels = table.take();
+    return out;
+}
+
+/// The bind-time variable check shared by compile() and compile_test():
+/// always scoped to the FULL script, so executing one test still
+/// surfaces an incomplete stand workbook (legacy interpreter behavior).
+void require_variables(const script::TestScript& script,
+                       const stand::StandDescription& desc) {
+    const auto missing = desc.missing_variables(script.required_variables());
+    if (!missing.empty())
+        throw StandError("stand '" + desc.name() +
+                         "' does not define required variable(s): " +
+                         str::join(missing, ", "));
+}
+
+/// Sample trace of one check across a dwell (per-execution state).
+struct Trace {
+    double last_measured = 0.0;
+    double trailing_ok_start = 0.0; ///< start time of the trailing OK run
+    bool any_sample = false;
+    bool last_ok = false;
+};
+
+void record_sample(Trace& tr, double v, double elapsed,
+                   const PlanCheck& check) {
+    const bool ok = within(v, check.lo, check.hi);
+    // Start of the trailing OK run; a first sample that is already OK is
+    // assumed to have held since step start (nothing earlier is
+    // observable).
+    if (ok && (!tr.any_sample || !tr.last_ok))
+        tr.trailing_ok_start = tr.any_sample ? elapsed : 0.0;
+    tr.last_ok = ok;
+    tr.any_sample = true;
+    tr.last_measured = v;
+}
+
+AppliedStimulus report_entry(const PlanStimulus& s) {
+    AppliedStimulus applied;
+    applied.signal = s.signal;
+    applied.status = s.status;
+    applied.method = s.method;
+    applied.resource = s.resource;
+    applied.value = s.is_bits ? 0.0 : s.value;
+    applied.data = s.data;
+    return applied;
+}
+
+/// Reusable per-execution scratch so the tick loop never allocates after
+/// the first step.
+struct ExecScratch {
+    std::vector<sim::ChannelId> ids;       ///< slot -> backend channel id
+    std::vector<Trace> traces;             ///< one per check of the step
+    std::vector<sim::ChannelId> batch_ids; ///< this tick's eligible ids
+    std::vector<std::size_t> batch_checks; ///< check index per batch entry
+    std::vector<double> batch_out;
+};
+
+void apply_one(const PlanStimulus& s, const CompiledTest& test,
+               sim::StandBackend& backend, PlanPath path,
+               const ExecScratch& scratch) {
+    if (s.is_bits) {
+        backend.apply_bits(s.resource, s.signal, s.bits);
+    } else if (path == PlanPath::Handles) {
+        backend.apply_real(scratch.ids[s.slot], s.value);
+    } else {
+        const PlanChannel& c = test.channels[s.slot];
+        backend.apply_real(c.resource, c.method, c.pins, s.value);
+    }
+}
+
+TestResult execute_test(const CompiledTest& test, const RunOptions& options,
+                        sim::StandBackend& backend, PlanPath path,
+                        ExecScratch& scratch) {
+    TestResult result;
+    result.name = test.name;
+    result.allocation = test.allocation;
+
+    backend.reset();
+    backend.prepare(test.allocation);
+
+    scratch.ids.clear();
+    if (path == PlanPath::Handles) {
+        scratch.ids.reserve(test.channels.size());
+        for (const auto& c : test.channels)
+            scratch.ids.push_back(backend.resolve(c.resource, c.method,
+                                                  c.pins));
+    }
+
+    for (const auto& s : test.init)
+        apply_one(s, test, backend, path, scratch);
+    if (options.init_settle_s > 0) backend.advance(options.init_settle_s);
+
+    for (const auto& step : test.steps) {
+        StepResult sr;
+        sr.nr = step.nr;
+        sr.dt = step.dt;
+        sr.remark = step.remark;
+
+        for (const auto& s : step.stimuli) {
+            apply_one(s, test, backend, path, scratch);
+            sr.stimuli.push_back(report_entry(s));
+        }
+
+        scratch.traces.assign(step.checks.size(), Trace{});
+
+        // Advance across the dwell, sampling every tick. The loop shape
+        // (tick clamping, elapsed accumulation, eligibility epsilons)
+        // matches the legacy interpreter statement for statement so the
+        // float trajectories are identical.
+        double elapsed = 0.0;
+        while (elapsed < step.dt - 1e-9) {
+            const double dt = std::min(step.tick, step.dt - elapsed);
+            backend.advance(dt);
+            elapsed += dt;
+
+            if (path == PlanPath::Handles) {
+                scratch.batch_ids.clear();
+                scratch.batch_checks.clear();
+                for (std::size_t i = 0; i < step.checks.size(); ++i) {
+                    const PlanCheck& c = step.checks[i];
+                    if (elapsed + 1e-9 < c.d1) continue; // settle time
+                    if (c.is_bits) continue;             // bits: end only
+                    scratch.batch_ids.push_back(scratch.ids[c.slot]);
+                    scratch.batch_checks.push_back(i);
+                }
+                if (!scratch.batch_ids.empty()) {
+                    scratch.batch_out.resize(scratch.batch_ids.size());
+                    backend.measure_batch(scratch.batch_ids.data(),
+                                          scratch.batch_ids.size(),
+                                          scratch.batch_out.data());
+                    for (std::size_t j = 0; j < scratch.batch_ids.size();
+                         ++j) {
+                        const std::size_t i = scratch.batch_checks[j];
+                        record_sample(scratch.traces[i],
+                                      scratch.batch_out[j], elapsed,
+                                      step.checks[i]);
+                    }
+                }
+            } else {
+                for (std::size_t i = 0; i < step.checks.size(); ++i) {
+                    const PlanCheck& c = step.checks[i];
+                    if (elapsed + 1e-9 < c.d1) continue; // settle time
+                    if (c.is_bits) continue;             // bits: end only
+                    const PlanChannel& ch = test.channels[c.slot];
+                    const double v = backend.measure_real(
+                        ch.resource, ch.method, ch.pins);
+                    record_sample(scratch.traces[i], v, elapsed, c);
+                }
+            }
+        }
+
+        // Verdicts.
+        for (std::size_t i = 0; i < step.checks.size(); ++i) {
+            const PlanCheck& c = step.checks[i];
+            const Trace& tr = scratch.traces[i];
+            CheckResult cr;
+            cr.signal = c.signal;
+            cr.status = c.status;
+            cr.method = c.method;
+            cr.resource = c.resource;
+            cr.lo = c.lo;
+            cr.hi = c.hi;
+
+            if (c.is_bits) {
+                cr.expected_data = c.expected_data;
+                const auto got = backend.measure_bits(c.resource, c.signal);
+                cr.measured_data = model::format_bits(got);
+                cr.passed = c.want_bits && got == *c.want_bits;
+                if (!cr.passed)
+                    cr.message = "expected " + cr.expected_data + ", got " +
+                                 cr.measured_data;
+            } else if (!tr.any_sample) {
+                cr.passed = false;
+                cr.message = "no sample inside the dwell (D1 too large?)";
+            } else {
+                cr.measured = tr.last_measured;
+                const double hold_needed = std::max(c.d1, step.dt - c.d2);
+                cr.passed = tr.last_ok &&
+                            tr.trailing_ok_start <= hold_needed + 1e-9 &&
+                            (!c.d3 ||
+                             tr.trailing_ok_start <= *c.d3 + 1e-9);
+                if (!cr.passed) {
+                    if (!tr.last_ok)
+                        cr.message =
+                            "measured " + str::format_number(cr.measured) +
+                            " outside [" +
+                            (cr.lo ? str::format_number(*cr.lo) : "-INF") +
+                            ", " +
+                            (cr.hi ? str::format_number(*cr.hi) : "INF") +
+                            "] at end of dwell";
+                    else if (c.d3 && tr.trailing_ok_start > *c.d3)
+                        cr.message = "settled only after D3";
+                    else
+                        cr.message =
+                            "did not hold for the debounce window D2";
+                }
+            }
+            sr.passed = sr.passed && cr.passed;
+            sr.checks.push_back(std::move(cr));
+        }
+
+        result.passed = result.passed && sr.passed;
+        result.steps.push_back(std::move(sr));
+        if (!result.passed && options.stop_on_first_failure) break;
+    }
+    return result;
+}
+
+} // namespace
+
+CompiledPlan CompiledPlan::compile(const script::TestScript& script,
+                                   const stand::StandDescription& desc,
+                                   const RunOptions& options) {
+    require_variables(script, desc);
+    const expr::Env& env = desc.variables();
+
+    CompiledPlan plan;
+    plan.script_name_ = script.name;
+    plan.stand_name_ = desc.name();
+    plan.options_ = options;
+    for (const auto& test : script.tests)
+        plan.tests_.push_back(
+            compile_one(script, test, desc, env, options));
+    return plan;
+}
+
+CompiledPlan CompiledPlan::compile_test(const script::TestScript& script,
+                                        std::string_view test_name,
+                                        const stand::StandDescription& desc,
+                                        const RunOptions& options) {
+    for (const auto& test : script.tests) {
+        if (!str::iequals(test.name, test_name)) continue;
+        require_variables(script, desc);
+        CompiledPlan plan;
+        plan.script_name_ = script.name;
+        plan.stand_name_ = desc.name();
+        plan.options_ = options;
+        plan.tests_.push_back(
+            compile_one(script, test, desc, desc.variables(), options));
+        return plan;
+    }
+    throw SemanticError("script has no test named '" +
+                        std::string(test_name) + "'");
+}
+
+RunResult CompiledPlan::execute(sim::StandBackend& backend,
+                                PlanPath path) const {
+    RunResult out;
+    out.script_name = script_name_;
+    out.stand_name = stand_name_;
+    ExecScratch scratch;
+    for (const auto& test : tests_)
+        out.tests.push_back(
+            execute_test(test, options_, backend, path, scratch));
+    return out;
+}
+
+std::size_t CompiledPlan::channel_count() const {
+    std::size_t n = 0;
+    for (const auto& t : tests_) n += t.channels.size();
+    return n;
+}
+
+} // namespace ctk::core

@@ -1,0 +1,154 @@
+// Compile-once execution plans (DESIGN.md §7).
+//
+// The paper's interpreter binds a test sheet to a stand once and then
+// just drives instruments; CompiledPlan is that split made explicit. A
+// TestScript bound to a StandDescription compiles into a plan:
+//  * resource allocation solved per test (paper §4),
+//  * every limit / D-parameter expression evaluated against the stand
+//    variables,
+//  * every bit payload parsed,
+//  * every stimulus realised against its resource's parameter ranges,
+//  * every (resource, method, pins) triple deduplicated into a per-test
+//    channel table referenced by integer slot.
+// Executing the plan does none of that again: it resolves the channel
+// table against the backend's handle tier once per test and then runs
+// the tick loop over integer ids, sampling each tick's eligible checks
+// with ONE measure_batch() call.
+//
+// A plan is immutable after compile() and execute() is const: one plan
+// can be executed concurrently on many thread-confined backends — the
+// campaign layer compiles each suite once and runs it N times.
+//
+// Two execution paths exist so equivalence stays testable (and so the
+// benches can price the difference): PlanPath::Strings replays the
+// legacy per-sample string calls; PlanPath::Handles (the default) drives
+// the handle tier. Both produce bit-identical verdicts — sampling order,
+// tick schedule, and noise draws are the same.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace ctk::core {
+
+/// Index into a CompiledTest's channel table. Not a backend ChannelId:
+/// backends issue their own ids when the plan is bound at execute time.
+using ChannelSlot = std::uint32_t;
+
+enum class PlanPath {
+    Strings, ///< legacy per-sample string calls (reference path)
+    Handles, ///< resolve once, drive by id, batch per tick (hot path)
+};
+
+/// One deduplicated (resource, method, pins) triple of a compiled test.
+struct PlanChannel {
+    std::string resource;
+    std::string method;
+    std::vector<std::string> pins;
+};
+
+/// A stimulus lowered to its realised form: value computed, payload
+/// parsed, channel resolved to a slot. The string fields feed reports.
+struct PlanStimulus {
+    std::string signal;
+    std::string status;
+    std::string method;
+    std::string resource;
+    bool is_bits = false;
+    double value = 0.0;        ///< realised value (INF = open path)
+    std::string data;          ///< original payload text (bits)
+    std::vector<bool> bits;    ///< parsed payload (bits)
+    ChannelSlot slot = 0;      ///< valid when !is_bits
+};
+
+/// An expectation lowered to evaluated limits and timing parameters.
+struct PlanCheck {
+    std::string signal;
+    std::string status;
+    std::string method;
+    std::string resource;
+    std::optional<double> lo, hi;
+    double d1 = 0.0, d2 = 0.0;
+    std::optional<double> d3;
+    bool is_bits = false;
+    std::string expected_data;
+    /// Parsed payload; nullopt when expected_data does not parse (the
+    /// check then fails as a verdict, never as an exception).
+    std::optional<std::vector<bool>> want_bits;
+    ChannelSlot slot = 0;      ///< valid when !is_bits
+};
+
+struct PlanStep {
+    int nr = 0;
+    double dt = 0.0;
+    double tick = 0.0; ///< resolved sampling period for this dwell
+    std::string remark;
+    std::vector<PlanStimulus> stimuli;
+    std::vector<PlanCheck> checks;
+};
+
+/// One test bound to the stand: allocation plus flattened steps.
+struct CompiledTest {
+    std::string name;
+    stand::Allocation allocation;
+    std::vector<PlanStimulus> init; ///< signal-sheet initial conditions
+    std::vector<PlanStep> steps;
+    std::vector<PlanChannel> channels; ///< slot -> triple
+};
+
+class CompiledPlan {
+public:
+    /// Bind every test of `script` to `desc`. Throws ctk::StandError when
+    /// the stand cannot realise the script (missing variables, allocation
+    /// failure, unrealisable stimulus, bad stimulus payload) — the same
+    /// failures the legacy interpreter raised at run time, moved to
+    /// compile time. Binding is eager across ALL steps: an unrealisable
+    /// stimulus throws here even when it sits in a step that
+    /// RunOptions::stop_on_first_failure would have skipped at run time
+    /// (DESIGN.md §6 — framework failures never become verdicts).
+    [[nodiscard]] static CompiledPlan
+    compile(const script::TestScript& script,
+            const stand::StandDescription& desc,
+            const RunOptions& options = {});
+
+    /// Bind a single test by (case-insensitive) name. Throws
+    /// ctk::SemanticError when the script has no such test.
+    [[nodiscard]] static CompiledPlan
+    compile_test(const script::TestScript& script, std::string_view test_name,
+                 const stand::StandDescription& desc,
+                 const RunOptions& options = {});
+
+    /// Execute every compiled test on `backend`. const and reentrant:
+    /// concurrent executions on distinct backends share the plan safely.
+    [[nodiscard]] RunResult execute(sim::StandBackend& backend,
+                                    PlanPath path = PlanPath::Handles) const;
+
+    [[nodiscard]] const std::string& script_name() const {
+        return script_name_;
+    }
+    [[nodiscard]] const std::string& stand_name() const {
+        return stand_name_;
+    }
+    [[nodiscard]] const RunOptions& options() const { return options_; }
+    [[nodiscard]] const std::vector<CompiledTest>& tests() const {
+        return tests_;
+    }
+
+    /// Total channel-table entries across tests (diagnostics/benches).
+    [[nodiscard]] std::size_t channel_count() const;
+
+private:
+    CompiledPlan() = default;
+
+    std::string script_name_;
+    std::string stand_name_;
+    RunOptions options_;
+    std::vector<CompiledTest> tests_;
+};
+
+} // namespace ctk::core

@@ -74,10 +74,18 @@ std::vector<bool> CentralLockEcu::can_transmit(std::string_view signal) const {
 }
 
 double CentralLockEcu::pin_voltage(std::string_view pin) const {
-    if (str::iequals(pin, "lock_act"))
-        return lock_pulse_left_s_ > 0 ? supply() : 0.0;
-    if (str::iequals(pin, "unlock_act"))
-        return unlock_pulse_left_s_ > 0 ? supply() : 0.0;
+    return pin_voltage_at(pin_index(pin));
+}
+
+int CentralLockEcu::pin_index(std::string_view pin) const {
+    if (str::iequals(pin, "lock_act")) return 0;
+    if (str::iequals(pin, "unlock_act")) return 1;
+    return -1;
+}
+
+double CentralLockEcu::pin_voltage_at(int index) const {
+    if (index == 0) return lock_pulse_left_s_ > 0 ? supply() : 0.0;
+    if (index == 1) return unlock_pulse_left_s_ > 0 ? supply() : 0.0;
     return 0.0;
 }
 

@@ -35,6 +35,8 @@ public:
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] int pin_index(std::string_view pin) const override;
+    [[nodiscard]] double pin_voltage_at(int index) const override;
     [[nodiscard]] std::vector<bool>
     can_transmit(std::string_view signal) const override;
     void reset() override;

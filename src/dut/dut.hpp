@@ -44,6 +44,29 @@ public:
     /// Voltage the DUT currently drives on an output pin (0 if unknown).
     [[nodiscard]] virtual double pin_voltage(std::string_view pin) const = 0;
 
+    // -- pin handle tier ---------------------------------------------
+    // The DUT-boundary mirror of the backend's channel handles
+    // (DESIGN.md §7): a stand resolves an output pin name once and then
+    // samples by dense integer index, skipping the per-read name
+    // comparison. Contract: pin_voltage_at(pin_index(p)) ==
+    // pin_voltage(p) for every pin. The defaults keep handle-unaware
+    // DUT models working — callers fall back to the string read when
+    // pin_index answers -1.
+
+    /// Dense index of a known output pin; -1 when the model does not
+    /// implement the handle tier or does not drive the pin.
+    [[nodiscard]] virtual int pin_index(std::string_view pin) const {
+        (void)pin;
+        return -1;
+    }
+
+    /// Voltage at a pin resolved by pin_index(); index -1 reads 0 V
+    /// (an unconnected probe sees ground, as in the string tier).
+    [[nodiscard]] virtual double pin_voltage_at(int index) const {
+        (void)index;
+        return 0.0;
+    }
+
     /// Last frame the DUT transmitted for a bus signal (empty if none).
     [[nodiscard]] virtual std::vector<bool>
     can_transmit(std::string_view signal) const;

@@ -58,12 +58,19 @@ void InteriorLightEcu::step(double dt) {
 }
 
 double InteriorLightEcu::pin_voltage(std::string_view pin) const {
-    if (str::iequals(pin, "int_ill_f")) {
-        if (!lit_) return 0.0;
-        return faults_.half_voltage ? supply() / 2.0 : supply();
-    }
-    if (str::iequals(pin, "int_ill_r")) return 0.0; // return line
-    return 0.0;
+    return pin_voltage_at(pin_index(pin));
+}
+
+int InteriorLightEcu::pin_index(std::string_view pin) const {
+    if (str::iequals(pin, "int_ill_f")) return 0;
+    if (str::iequals(pin, "int_ill_r")) return 1;
+    return -1;
+}
+
+double InteriorLightEcu::pin_voltage_at(int index) const {
+    if (index != 0) return 0.0; // int_ill_r is the return line
+    if (!lit_) return 0.0;
+    return faults_.half_voltage ? supply() / 2.0 : supply();
 }
 
 } // namespace ctk::dut

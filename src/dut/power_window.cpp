@@ -72,8 +72,18 @@ void PowerWindowEcu::step(double dt) {
 }
 
 double PowerWindowEcu::pin_voltage(std::string_view pin) const {
-    if (str::iequals(pin, "mot_up")) return driving_up_ ? supply() : 0.0;
-    if (str::iequals(pin, "mot_dn")) return driving_dn_ ? supply() : 0.0;
+    return pin_voltage_at(pin_index(pin));
+}
+
+int PowerWindowEcu::pin_index(std::string_view pin) const {
+    if (str::iequals(pin, "mot_up")) return 0;
+    if (str::iequals(pin, "mot_dn")) return 1;
+    return -1;
+}
+
+double PowerWindowEcu::pin_voltage_at(int index) const {
+    if (index == 0) return driving_up_ ? supply() : 0.0;
+    if (index == 1) return driving_dn_ ? supply() : 0.0;
     return 0.0;
 }
 

@@ -36,6 +36,8 @@ public:
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] int pin_index(std::string_view pin) const override;
+    [[nodiscard]] double pin_voltage_at(int index) const override;
     void reset() override;
     void step(double dt) override;
 

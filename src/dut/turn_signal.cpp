@@ -19,6 +19,13 @@ void TurnSignalEcu::reset() {
     hazard_on_ = false;
     hazard_was_pressed_ = false;
     phase_s_ = 0.0;
+    lever_ = 0;
+}
+
+void TurnSignalEcu::can_receive(std::string_view signal,
+                                const std::vector<bool>& bits) {
+    Dut::can_receive(signal, bits);
+    lever_ = bits_value(can_in("turn_sw"));
 }
 
 void TurnSignalEcu::step(double dt) {
@@ -40,15 +47,25 @@ bool TurnSignalEcu::lamp_phase_on() const {
 }
 
 double TurnSignalEcu::pin_voltage(std::string_view pin) const {
-    const unsigned lever = bits_value(can_in("turn_sw"));
-    const bool left_cmd = hazard_on_ || lever == 1;
-    const bool right_cmd =
-        (hazard_on_ && !faults_.hazard_only_left) || lever == 2;
+    return pin_voltage_at(pin_index(pin));
+}
 
-    if (str::iequals(pin, "lamp_l"))
+int TurnSignalEcu::pin_index(std::string_view pin) const {
+    if (str::iequals(pin, "lamp_l")) return 0;
+    if (str::iequals(pin, "lamp_r")) return 1;
+    return -1;
+}
+
+double TurnSignalEcu::pin_voltage_at(int index) const {
+    if (index == 0) {
+        const bool left_cmd = hazard_on_ || lever_ == 1;
         return left_cmd && lamp_phase_on() ? supply() : 0.0;
-    if (str::iequals(pin, "lamp_r"))
+    }
+    if (index == 1) {
+        const bool right_cmd =
+            (hazard_on_ && !faults_.hazard_only_left) || lever_ == 2;
         return right_cmd && lamp_phase_on() ? supply() : 0.0;
+    }
     return 0.0;
 }
 

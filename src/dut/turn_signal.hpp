@@ -32,6 +32,10 @@ public:
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] int pin_index(std::string_view pin) const override;
+    [[nodiscard]] double pin_voltage_at(int index) const override;
+    void can_receive(std::string_view signal,
+                     const std::vector<bool>& bits) override;
     void reset() override;
     void step(double dt) override;
 
@@ -45,6 +49,9 @@ private:
     bool hazard_on_ = false;
     bool hazard_was_pressed_ = false;
     double phase_s_ = 0.0;
+    /// Lever position from the turn_sw frame, cached on frame arrival
+    /// so lamp-pin reads stay free of bus-payload lookups.
+    unsigned lever_ = 0;
 };
 
 } // namespace ctk::dut

@@ -14,14 +14,20 @@ WiperEcu::WiperEcu(Config config, Faults faults)
 
 std::string WiperEcu::name() const { return "wiper"; }
 
-WiperEcu::Mode WiperEcu::mode() const {
+void WiperEcu::update_mode() {
     const auto& bits = can_in("wiper_sw");
     switch (bits_value(bits)) {
-    case 1: return Mode::Interval;
-    case 2: return Mode::Slow;
-    case 3: return faults_.no_fast_mode ? Mode::Slow : Mode::Fast;
-    default: return Mode::Off;
+    case 1: mode_ = Mode::Interval; break;
+    case 2: mode_ = Mode::Slow; break;
+    case 3: mode_ = faults_.no_fast_mode ? Mode::Slow : Mode::Fast; break;
+    default: mode_ = Mode::Off; break;
     }
+}
+
+void WiperEcu::can_receive(std::string_view signal,
+                           const std::vector<bool>& bits) {
+    Dut::can_receive(signal, bits);
+    update_mode();
 }
 
 double WiperEcu::current_interval_s() const {
@@ -36,6 +42,7 @@ void WiperEcu::reset() {
     Dut::reset();
     phase_s_ = 0.0;
     wiping_ = false;
+    update_mode();
 }
 
 void WiperEcu::step(double dt) {
@@ -58,14 +65,23 @@ void WiperEcu::step(double dt) {
 }
 
 double WiperEcu::pin_voltage(std::string_view pin) const {
-    const Mode m = mode();
-    if (str::iequals(pin, "wiper_lo")) {
+    return pin_voltage_at(pin_index(pin));
+}
+
+int WiperEcu::pin_index(std::string_view pin) const {
+    if (str::iequals(pin, "wiper_lo")) return 0;
+    if (str::iequals(pin, "wiper_hi")) return 1;
+    return -1;
+}
+
+double WiperEcu::pin_voltage_at(int index) const {
+    if (index == 0) {
         if (faults_.stuck_wiping) return supply();
-        const bool low_on = (m == Mode::Slow) || (m == Mode::Interval && wiping_);
+        const bool low_on =
+            (mode_ == Mode::Slow) || (mode_ == Mode::Interval && wiping_);
         return low_on ? supply() : 0.0;
     }
-    if (str::iequals(pin, "wiper_hi"))
-        return m == Mode::Fast ? supply() : 0.0;
+    if (index == 1) return mode_ == Mode::Fast ? supply() : 0.0;
     return 0.0;
 }
 

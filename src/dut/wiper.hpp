@@ -36,6 +36,10 @@ public:
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] int pin_index(std::string_view pin) const override;
+    [[nodiscard]] double pin_voltage_at(int index) const override;
+    void can_receive(std::string_view signal,
+                     const std::vector<bool>& bits) override;
     void reset() override;
     void step(double dt) override;
 
@@ -44,10 +48,14 @@ public:
 
 private:
     enum class Mode { Off, Interval, Slow, Fast };
-    [[nodiscard]] Mode mode() const;
+    /// Lever mode, derived from the wiper_sw frame. Cached on frame
+    /// arrival so output-pin reads stay free of bus-payload lookups.
+    [[nodiscard]] Mode mode() const { return mode_; }
+    void update_mode();
 
     Config config_;
     Faults faults_;
+    Mode mode_ = Mode::Off;
     double phase_s_ = 0.0;    ///< time inside the current wipe/pause cycle
     bool wiping_ = false;
 };

@@ -1,0 +1,46 @@
+#include "sim/backend.hpp"
+
+#include "common/error.hpp"
+
+namespace ctk::sim {
+
+// Default handle tier: remember the triple, replay it through the string
+// virtuals. Correct for any backend; native overrides exist for speed.
+
+ChannelId StandBackend::resolve(const std::string& resource,
+                                const std::string& method,
+                                const std::vector<std::string>& pins) {
+    // Dedupe: re-resolving a triple returns its existing id, so channel
+    // tables stay bounded however many times a plan re-binds on the
+    // same backend. Linear search — resolve is the cold path and
+    // per-backend tables are small.
+    for (std::size_t i = 0; i < bindings_.size(); ++i) {
+        const ChannelBinding& b = bindings_[i];
+        if (b.resource == resource && b.method == method && b.pins == pins)
+            return static_cast<ChannelId>(i);
+    }
+    bindings_.push_back(ChannelBinding{resource, method, pins});
+    return static_cast<ChannelId>(bindings_.size() - 1);
+}
+
+void StandBackend::apply_real(ChannelId channel, double value) {
+    const ChannelBinding& b = binding(channel);
+    apply_real(b.resource, b.method, b.pins, value);
+}
+
+void StandBackend::measure_batch(const ChannelId* channels, std::size_t count,
+                                 double* out) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const ChannelBinding& b = binding(channels[i]);
+        out[i] = measure_real(b.resource, b.method, b.pins);
+    }
+}
+
+const StandBackend::ChannelBinding&
+StandBackend::binding(ChannelId channel) const {
+    if (channel >= bindings_.size())
+        throw StandError("unknown channel id " + std::to_string(channel));
+    return bindings_[channel];
+}
+
+} // namespace ctk::sim

@@ -5,14 +5,34 @@
 // this interface instead, so the same executor works against the virtual
 // stand (ctk::sim::VirtualStand), a gate-level DUT adapter, or — in a
 // deployment — real instrument drivers.
+//
+// Two tiers of API (DESIGN.md §7):
+//  * the *string* tier names everything symbolically (resource id, method
+//    name, pin list) on every call — simple to implement, and how the
+//    paper's interpreter talks to its instruments;
+//  * the *handle* tier binds a (resource, method, pins) triple ONCE via
+//    resolve() to a dense integer ChannelId and then drives the channel
+//    by id, with measure_batch() sampling many channels in one virtual
+//    call — the hot path of the compiled-plan executor.
+// The handle tier has default implementations that forward to the string
+// tier, so an out-of-tree backend that only implements the strings keeps
+// working unchanged; performance-minded backends override the handles.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "stand/allocator.hpp"
 
 namespace ctk::sim {
+
+/// Dense integer handle for one bound (resource, method, pins) triple.
+/// Ids are assigned by the backend in resolve() order and stay valid for
+/// the backend's lifetime — reset() does not invalidate them. Backends
+/// are thread-confined (one owner thread), so no call is synchronised.
+using ChannelId = std::uint32_t;
 
 class StandBackend {
 public:
@@ -30,6 +50,8 @@ public:
 
     /// Current simulated time [s].
     [[nodiscard]] virtual double now() const = 0;
+
+    // -- string tier ---------------------------------------------------
 
     /// Apply a real-valued stimulus through `resource` onto `pins`.
     virtual void apply_real(const std::string& resource,
@@ -51,6 +73,41 @@ public:
     /// Read the DUT's last transmitted payload for a bus signal.
     [[nodiscard]] virtual std::vector<bool>
     measure_bits(const std::string& resource, const std::string& signal) = 0;
+
+    // -- handle tier ---------------------------------------------------
+
+    /// Bind a (resource, method, pins) triple to a channel id. The
+    /// default keeps the triple and replays it through the string tier;
+    /// native backends classify the method once and cache whatever makes
+    /// their per-sample work cheap.
+    [[nodiscard]] virtual ChannelId
+    resolve(const std::string& resource, const std::string& method,
+            const std::vector<std::string>& pins);
+
+    /// Handle twin of apply_real(strings).
+    virtual void apply_real(ChannelId channel, double value);
+
+    /// Sample `count` channels in one call, in the order given, writing
+    /// one value per channel into `out`. Sampling order is observable
+    /// (noise generators draw per reading), so implementations must
+    /// visit `channels` strictly left to right.
+    virtual void measure_batch(const ChannelId* channels, std::size_t count,
+                               double* out);
+
+protected:
+    /// The triple a default-resolved channel was bound to.
+    struct ChannelBinding {
+        std::string resource;
+        std::string method;
+        std::vector<std::string> pins;
+    };
+
+    /// Binding lookup for the default handle tier. Throws ctk::StandError
+    /// for an id this backend never issued.
+    [[nodiscard]] const ChannelBinding& binding(ChannelId channel) const;
+
+private:
+    std::vector<ChannelBinding> bindings_; ///< default-tier registry
 };
 
 } // namespace ctk::sim

@@ -7,29 +7,31 @@
 
 namespace ctk::sim {
 
-namespace {
-
-void nap(double seconds) {
-    if (seconds <= 0) return;
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
-
-} // namespace
-
 LatencyBackend::LatencyBackend(std::shared_ptr<StandBackend> inner,
                                LatencyOptions options)
     : inner_(std::move(inner)), options_(options) {
     if (!inner_) throw Error("LatencyBackend needs an inner backend");
 }
 
-void LatencyBackend::reset() { inner_->reset(); }
+void LatencyBackend::cost(double seconds) {
+    if (seconds <= 0) return;
+    emulated_s_ += seconds;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void LatencyBackend::reset() {
+    ++counts_.resets;
+    inner_->reset();
+}
 
 void LatencyBackend::prepare(const stand::Allocation& plan) {
+    ++counts_.prepares;
     inner_->prepare(plan);
 }
 
 void LatencyBackend::advance(double dt) {
-    nap(options_.advance_s);
+    ++counts_.advances;
+    cost(options_.advance_s);
     inner_->advance(dt);
 }
 
@@ -39,28 +41,55 @@ void LatencyBackend::apply_real(const std::string& resource,
                                 const std::string& method,
                                 const std::vector<std::string>& pins,
                                 double value) {
-    nap(options_.apply_s);
+    ++counts_.applies;
+    cost(options_.apply_s);
     inner_->apply_real(resource, method, pins, value);
 }
 
 void LatencyBackend::apply_bits(const std::string& resource,
                                 const std::string& signal,
                                 const std::vector<bool>& bits) {
-    nap(options_.apply_s);
+    ++counts_.applies;
+    cost(options_.apply_s);
     inner_->apply_bits(resource, signal, bits);
 }
 
 double LatencyBackend::measure_real(const std::string& resource,
                                     const std::string& method,
                                     const std::vector<std::string>& pins) {
-    nap(options_.measure_s);
+    ++counts_.measures;
+    cost(options_.measure_s);
     return inner_->measure_real(resource, method, pins);
 }
 
 std::vector<bool> LatencyBackend::measure_bits(const std::string& resource,
                                                const std::string& signal) {
-    nap(options_.measure_s);
+    ++counts_.measures;
+    cost(options_.measure_s);
     return inner_->measure_bits(resource, signal);
+}
+
+ChannelId LatencyBackend::resolve(const std::string& resource,
+                                  const std::string& method,
+                                  const std::vector<std::string>& pins) {
+    // Pass-through: the decorator speaks the inner backend's ids, so a
+    // channel resolved here is indistinguishable from one resolved on
+    // the inner backend directly.
+    return inner_->resolve(resource, method, pins);
+}
+
+void LatencyBackend::apply_real(ChannelId channel, double value) {
+    ++counts_.applies;
+    cost(options_.apply_s);
+    inner_->apply_real(channel, value);
+}
+
+void LatencyBackend::measure_batch(const ChannelId* channels,
+                                   std::size_t count, double* out) {
+    ++counts_.batch_calls;
+    counts_.batch_channels += count;
+    cost(options_.measure_s); // one bus transaction per batch
+    inner_->measure_batch(channels, count, out);
 }
 
 } // namespace ctk::sim

@@ -8,8 +8,20 @@
 // duration per operation, turning the virtual stand into an honest
 // stand-in for instrument-bound execution in benches and soak tests.
 // Verdicts are untouched: every call is forwarded verbatim.
+//
+// Handle tier: resolve() is pass-through (the decorator reuses the inner
+// backend's channel ids), and measure_batch() costs ONE measure gate per
+// call however many channels it samples — a batched readout crosses the
+// instrument bus once, which is precisely the economic argument for the
+// batch API on a physical stand.
+//
+// Accounting: the decorator counts every operation and accumulates the
+// delay it *requested* (counts().emulated_wall_s()); tests assert the
+// per-op arithmetic against the counters instead of the flaky wall
+// clock.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "sim/backend.hpp"
@@ -20,6 +32,17 @@ struct LatencyOptions {
     double apply_s = 0.0;   ///< per put_* operation (source settling)
     double measure_s = 0.0; ///< per get_* operation (DVM/counter gate)
     double advance_s = 0.0; ///< per executor tick (interpreter cadence)
+};
+
+/// Operation counters of one LatencyBackend (since construction).
+struct LatencyCounts {
+    std::uint64_t resets = 0;
+    std::uint64_t prepares = 0;
+    std::uint64_t advances = 0;       ///< ticks forwarded
+    std::uint64_t applies = 0;        ///< apply_real + apply_bits, both tiers
+    std::uint64_t measures = 0;       ///< measure_real + measure_bits
+    std::uint64_t batch_calls = 0;    ///< measure_batch invocations
+    std::uint64_t batch_channels = 0; ///< channels sampled across batches
 };
 
 class LatencyBackend final : public StandBackend {
@@ -44,9 +67,29 @@ public:
     measure_bits(const std::string& resource,
                  const std::string& signal) override;
 
+    [[nodiscard]] ChannelId
+    resolve(const std::string& resource, const std::string& method,
+            const std::vector<std::string>& pins) override;
+    void apply_real(ChannelId channel, double value) override;
+    void measure_batch(const ChannelId* channels, std::size_t count,
+                       double* out) override;
+
+    [[nodiscard]] const LatencyCounts& counts() const { return counts_; }
+
+    /// Total delay this decorator has requested so far: the deterministic
+    /// ledger of counts × configured per-op delays (real sleeps are at
+    /// least this long, never exactly).
+    [[nodiscard]] double emulated_wall_s() const { return emulated_s_; }
+
+    [[nodiscard]] const LatencyOptions& options() const { return options_; }
+
 private:
+    void cost(double seconds);
+
     std::shared_ptr<StandBackend> inner_;
     LatencyOptions options_;
+    LatencyCounts counts_;
+    double emulated_s_ = 0.0;
 };
 
 } // namespace ctk::sim

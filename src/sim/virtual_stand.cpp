@@ -19,6 +19,7 @@ void VirtualStand::reset() {
     now_s_ = 0.0;
     freq_watches_.clear();
     rng_ = Rng(options_.seed);
+    ++generation_; // invalidates cached EdgeWatch pointers, not channel ids
 }
 
 void VirtualStand::prepare(const stand::Allocation& plan) {
@@ -94,6 +95,114 @@ double VirtualStand::measure_real(const std::string& resource,
 std::vector<bool> VirtualStand::measure_bits(const std::string& /*resource*/,
                                              const std::string& signal) {
     return device_->can_transmit(signal);
+}
+
+ChannelId VirtualStand::resolve(const std::string& resource,
+                                const std::string& method,
+                                const std::vector<std::string>& pins) {
+    Channel ch;
+    if (str::iequals(method, "put_r") || str::iequals(method, "put_u")) {
+        if (pins.empty())
+            throw StandError("apply_real via " + resource + ": no pins");
+        ch.kind = str::iequals(method, "put_r") ? Channel::Kind::PutR
+                                                : Channel::Kind::PutU;
+        ch.pin0 = pins.front();
+    } else if (str::iequals(method, "get_u")) {
+        ch.kind = Channel::Kind::GetU;
+        ch.differential = pins.size() >= 2;
+        if (!pins.empty()) ch.pin0 = pins.front();
+        if (ch.differential) ch.pin1 = pins[1];
+        if (!ch.pin0.empty()) {
+            ch.idx0 = device_->pin_index(ch.pin0);
+            ch.idx1 = ch.differential ? device_->pin_index(ch.pin1) : -1;
+            // Index reads require every *known* pin resolved; a -1 pin
+            // reads 0 V in both tiers, so a partially resolved pair is
+            // only usable when pin_voltage would agree — play safe and
+            // fall back to the string read unless all pins resolved.
+            ch.use_pin_index =
+                ch.idx0 >= 0 && (!ch.differential || ch.idx1 >= 0);
+        }
+    } else if (str::iequals(method, "get_f")) {
+        if (pins.empty())
+            throw StandError("get_f via " + resource + ": no pins");
+        ch.kind = Channel::Kind::GetF;
+        ch.pin0 = pins.front();
+        ch.key0 = str::lower(pins.front());
+    } else {
+        throw StandError("virtual stand cannot serve method '" + method +
+                         "'");
+    }
+    // Classification throws *before* the triple is registered, so the
+    // base registry and channels_ stay in lockstep. The base resolve
+    // dedupes: an id below the table size is already classified.
+    const ChannelId id = StandBackend::resolve(resource, method, pins);
+    if (id < channels_.size()) return id;
+    channels_.push_back(std::move(ch));
+    return id;
+}
+
+void VirtualStand::apply_real(ChannelId channel, double value) {
+    if (channel >= channels_.size())
+        throw StandError("unknown channel id " + std::to_string(channel));
+    const Channel& ch = channels_[channel];
+    switch (ch.kind) {
+    case Channel::Kind::PutR:
+        device_->set_pin_resistance(ch.pin0, value);
+        return;
+    case Channel::Kind::PutU:
+        device_->set_pin_voltage(ch.pin0, value);
+        return;
+    default:
+        throw StandError("channel " + std::to_string(channel) +
+                         " is a measurement, not a stimulus");
+    }
+}
+
+double VirtualStand::measure_channel(const Channel& ch) {
+    switch (ch.kind) {
+    case Channel::Kind::GetU: {
+        // Same arithmetic, in the same order, as the string tier — the
+        // two tiers must draw identical noise sequences. The DUT's pin
+        // handle tier returns the same voltage as the string read by
+        // contract (dut.hpp), just without the per-read name lookup.
+        double v = 0.0;
+        if (ch.use_pin_index)
+            v = ch.differential ? device_->pin_voltage_at(ch.idx0) -
+                                      device_->pin_voltage_at(ch.idx1)
+                                : device_->pin_voltage_at(ch.idx0);
+        else if (ch.differential)
+            v = device_->pin_voltage(ch.pin0) - device_->pin_voltage(ch.pin1);
+        else if (!ch.pin0.empty())
+            v = device_->pin_voltage(ch.pin0);
+        v *= options_.dvm_gain;
+        if (options_.dvm_noise > 0)
+            v += rng_.next_range(-options_.dvm_noise, options_.dvm_noise);
+        return v;
+    }
+    case Channel::Kind::GetF: {
+        if (ch.watch_gen != generation_) {
+            auto it = freq_watches_.find(ch.key0);
+            if (it == freq_watches_.end())
+                throw StandError("get_f on unarmed pin '" + ch.pin0 + "'");
+            ch.watch = &it->second;
+            ch.watch_gen = generation_;
+        }
+        return static_cast<double>(ch.watch->edge_times.size()) /
+               options_.freq_window_s;
+    }
+    default:
+        throw StandError("channel is a stimulus, not a measurement");
+    }
+}
+
+void VirtualStand::measure_batch(const ChannelId* channels, std::size_t count,
+                                 double* out) {
+    for (std::size_t i = 0; i < count; ++i) {
+        if (channels[i] >= channels_.size())
+            throw StandError("unknown channel id " +
+                             std::to_string(channels[i]));
+        out[i] = measure_channel(channels_[channels[i]]);
+    }
 }
 
 } // namespace ctk::sim

@@ -10,11 +10,22 @@
 //  * get_f  → frequency counter: rising edges on the pin over a sliding
 //             window (armed by prepare());
 //  * get_can→ the DUT's last transmitted frame.
+//
+// The handle tier is implemented natively: resolve() classifies the
+// method once and caches the pin names (and, for get_f, the armed edge
+// watch), so per-tick sampling through measure_batch() does no string
+// comparison, no lower-casing allocation, and no per-channel virtual
+// dispatch. Values are computed by exactly the same arithmetic as the
+// string tier, in the same order — the two tiers draw identical noise
+// sequences and produce bit-identical verdicts.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dut/dut.hpp"
@@ -54,6 +65,14 @@ public:
     measure_bits(const std::string& resource,
                  const std::string& signal) override;
 
+    // Native handle tier (see the header comment).
+    [[nodiscard]] ChannelId
+    resolve(const std::string& resource, const std::string& method,
+            const std::vector<std::string>& pins) override;
+    void apply_real(ChannelId channel, double value) override;
+    void measure_batch(const ChannelId* channels, std::size_t count,
+                       double* out) override;
+
     [[nodiscard]] dut::Dut& device() { return *device_; }
 
 private:
@@ -62,12 +81,32 @@ private:
         std::deque<double> edge_times;
     };
 
+    /// One natively resolved channel. get_u resolves the DUT's pin
+    /// handle tier when the model implements it (idx >= 0); get_f
+    /// caches the armed EdgeWatch, revalidated against generation_
+    /// because reset() rebuilds the watch map (channel ids themselves
+    /// stay valid).
+    struct Channel {
+        enum class Kind { PutR, PutU, GetU, GetF } kind = Kind::GetU;
+        std::string pin0, pin1;     ///< as given (pin1: differential get_u)
+        std::string key0;           ///< lower-cased pin0 (get_f map key)
+        bool differential = false;
+        bool use_pin_index = false; ///< get_u via Dut::pin_voltage_at
+        int idx0 = -1, idx1 = -1;   ///< resolved DUT pin handles
+        mutable EdgeWatch* watch = nullptr;
+        mutable std::uint64_t watch_gen = ~std::uint64_t{0};
+    };
+
+    [[nodiscard]] double measure_channel(const Channel& ch);
+
     double ubatt_ = 12.0;
     double now_s_ = 0.0;
     std::shared_ptr<dut::Dut> device_;
     VirtualStandOptions options_;
     Rng rng_;
     std::map<std::string, EdgeWatch> freq_watches_; ///< pin -> edge log
+    std::vector<Channel> channels_;                 ///< native handle table
+    std::uint64_t generation_ = 0;                  ///< bumped by reset()
 };
 
 } // namespace ctk::sim

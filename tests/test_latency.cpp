@@ -1,0 +1,176 @@
+// LatencyBackend tests: per-op delay accounting against the decorator's
+// deterministic counters, decorator transparency (fingerprints equal to
+// the undecorated backend on both execution paths), and batch-readout
+// economics (one measure gate per measure_batch call).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "dut/catalogue.hpp"
+#include "sim/latency.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::sim {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+std::shared_ptr<VirtualStand> inner_stand(const std::string& family,
+                                          const stand::StandDescription& d) {
+    return std::make_shared<VirtualStand>(d, dut::make_golden(family));
+}
+
+std::string family_fingerprint(const std::string& family,
+                               StandBackend& backend,
+                               core::PlanPath path) {
+    const auto script = script::compile(core::kb::suite_for(family), kReg);
+    const auto desc = core::kb::stand_for(family);
+    const auto plan = core::CompiledPlan::compile(script, desc);
+    core::CampaignJobResult job;
+    job.name = family;
+    job.run = plan.execute(backend, path);
+    return core::verdict_fingerprint(job);
+}
+
+TEST(Latency, NeedsAnInnerBackend) {
+    EXPECT_THROW(LatencyBackend(nullptr, LatencyOptions{}), Error);
+}
+
+TEST(Latency, CountsEveryOperationOfARun) {
+    const std::string family = "wiper";
+    const auto desc = core::kb::stand_for(family);
+    LatencyBackend backend(inner_stand(family, desc), LatencyOptions{});
+
+    const auto print =
+        family_fingerprint(family, backend, core::PlanPath::Handles);
+    EXPECT_NE(print.find("PASS"), std::string::npos) << print;
+
+    const LatencyCounts& c = backend.counts();
+    EXPECT_GE(c.resets, 1u);
+    EXPECT_GE(c.prepares, 1u);
+    EXPECT_GT(c.advances, 0u);
+    EXPECT_GT(c.applies, 0u);
+    EXPECT_GT(c.batch_calls, 0u);
+    EXPECT_GE(c.batch_channels, c.batch_calls);
+    // The handle path never measures one channel at a time during the
+    // dwell; only bits checks use measure_bits at the end of a step.
+    EXPECT_LT(c.measures, c.batch_channels);
+}
+
+TEST(Latency, EmulatedWallClockIsTheCountLedger) {
+    // The accounting contract: emulated_wall_s() is exactly the per-op
+    // delay arithmetic over the counters — testable without touching the
+    // real (flaky) clock.
+    const std::string family = "turn_signal";
+    const auto desc = core::kb::stand_for(family);
+    LatencyOptions lat;
+    lat.advance_s = 3e-6;
+    lat.apply_s = 5e-6;
+    lat.measure_s = 7e-6;
+    LatencyBackend backend(inner_stand(family, desc), lat);
+
+    (void)family_fingerprint(family, backend, core::PlanPath::Handles);
+
+    const LatencyCounts& c = backend.counts();
+    const double expected =
+        static_cast<double>(c.advances) * lat.advance_s +
+        static_cast<double>(c.applies) * lat.apply_s +
+        static_cast<double>(c.measures + c.batch_calls) * lat.measure_s;
+    EXPECT_NEAR(backend.emulated_wall_s(), expected, 1e-12);
+    EXPECT_GT(backend.emulated_wall_s(), 0.0);
+}
+
+TEST(Latency, StringPathPaysPerSampleBatchPathPerTick) {
+    // Same plan, same delays: the string path holds the measure gate
+    // once per (check, tick) while the batch path holds it once per
+    // tick — the batch economics the decorator models.
+    const std::string family = "power_window";
+    const auto desc = core::kb::stand_for(family);
+
+    LatencyBackend strings(inner_stand(family, desc), LatencyOptions{});
+    const auto a =
+        family_fingerprint(family, strings, core::PlanPath::Strings);
+    LatencyBackend handles(inner_stand(family, desc), LatencyOptions{});
+    const auto b =
+        family_fingerprint(family, handles, core::PlanPath::Handles);
+
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(strings.counts().batch_calls, 0u);
+    EXPECT_GT(strings.counts().measures, handles.counts().measures);
+    EXPECT_GT(handles.counts().batch_calls, 0u);
+    // Identical sample traffic, just packaged differently.
+    EXPECT_EQ(strings.counts().measures - handles.counts().measures,
+              handles.counts().batch_channels);
+    EXPECT_LT(handles.counts().batch_calls, handles.counts().batch_channels);
+}
+
+TEST(Latency, DecoratorIsTransparentToVerdicts) {
+    // Fingerprints through the decorator equal the undecorated backend,
+    // whatever the delays, on both execution paths.
+    LatencyOptions lat;
+    lat.advance_s = 2e-6;
+    lat.apply_s = 1e-6;
+    lat.measure_s = 1e-6;
+    for (const auto& family : core::kb::families()) {
+        const auto desc = core::kb::stand_for(family);
+        for (core::PlanPath path :
+             {core::PlanPath::Strings, core::PlanPath::Handles}) {
+            auto bare = inner_stand(family, desc);
+            const auto undecorated =
+                family_fingerprint(family, *bare, path);
+            LatencyBackend decorated(inner_stand(family, desc), lat);
+            EXPECT_EQ(family_fingerprint(family, decorated, path),
+                      undecorated)
+                << family;
+        }
+    }
+}
+
+TEST(Latency, SleepsAtLeastTheRequestedDelay) {
+    // sleep_for guarantees "at least": a loose lower bound is the only
+    // wall-clock assertion that cannot flake.
+    LatencyOptions lat;
+    lat.advance_s = 1e-3;
+    const auto desc = core::kb::stand_for("wiper");
+    LatencyBackend backend(inner_stand("wiper", desc), lat);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 5; ++i) backend.advance(0.01);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_GE(elapsed, 0.9 * backend.emulated_wall_s());
+    EXPECT_NEAR(backend.emulated_wall_s(), 5e-3, 1e-12);
+}
+
+TEST(Latency, ResolveIsPassThroughToTheInnerBackend) {
+    // Ids issued through the decorator must drive the inner backend's
+    // native channels: resolve via the decorator, measure via the inner
+    // backend directly, and vice versa.
+    const auto desc = core::kb::stand_for("interior_light");
+    auto inner = inner_stand("interior_light", desc);
+    LatencyBackend decorated(inner, LatencyOptions{});
+
+    const std::vector<std::string> pins{"int_ill_f", "int_ill_r"};
+    const ChannelId via_decorator =
+        decorated.resolve("Ress1", "get_u", pins);
+    // Re-resolving the same triple — through the decorator or on the
+    // inner backend directly — dedupes to the same id.
+    const ChannelId via_inner = inner->resolve("Ress1", "get_u", pins);
+    EXPECT_EQ(via_decorator, via_inner);
+    EXPECT_EQ(decorated.resolve("Ress1", "get_u", pins), via_decorator);
+
+    double from_decorator = -1.0, from_inner = -1.0;
+    decorated.measure_batch(&via_decorator, 1, &from_decorator);
+    inner->measure_batch(&via_decorator, 1, &from_inner);
+    EXPECT_EQ(from_decorator, from_inner);
+}
+
+} // namespace
+} // namespace ctk::sim

@@ -7,13 +7,15 @@
 //   usage: ctkrun <script.xml> --stand <stand-workbook> --dut <family>
 //                 [--policy greedy|matching] [--csv <out.csv>]
 //                 [--store <store.csv> --label <label>]
-//          ctkrun --families [f1,f2,...] [--jobs N]
+//          ctkrun --families [f1,f2,...] [--jobs N] [--repeat R]
 //                 [--policy greedy|matching]
 //
 // The second form runs the knowledge-base campaign: every named family's
-// suite (all of kb::families() when the flag has no value) compiled and
-// executed on its reference stand against a golden DUT, fanned out over
-// N worker threads (0 = one per hardware thread).
+// suite (all of kb::families() when the flag has no value) compiled ONCE
+// into an execution plan bound to its reference stand, then executed
+// against a golden DUT — R times per family with --repeat (each
+// repetition on a fresh backend, all sharing the family's plan) — fanned
+// out over N worker threads (0 = one per hardware thread).
 //
 // The stand workbook holds sheets "resources", "connections", and
 // "variables" (see stand::paper::figure1_workbook_text() for the layout).
@@ -22,6 +24,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
     bool campaign_mode = false;
     std::vector<std::string> families;
     unsigned jobs = 0;
+    unsigned repeat = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -82,6 +86,14 @@ int main(int argc, char** argv) {
                 return 1;
             }
             jobs = static_cast<unsigned>(*n);
+        } else if (arg == "--repeat") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "ctkrun: --repeat needs an integer in "
+                             "[1, 4096]\n";
+                return 1;
+            }
+            repeat = static_cast<unsigned>(*n);
         } else if (arg == "--policy") {
             const std::string p = next();
             policy = p == "matching" ? stand::AllocPolicy::Matching
@@ -91,7 +103,7 @@ int main(int argc, char** argv) {
                          "--dut <family> [--policy greedy|matching] "
                          "[--csv out.csv] [--store store.csv --label L]\n"
                          "       ctkrun --families [f1,f2,...] [--jobs N] "
-                         "[--policy greedy|matching]\n";
+                         "[--repeat R] [--policy greedy|matching]\n";
             return 0;
         } else if (script_path.empty()) {
             script_path = arg;
@@ -116,8 +128,19 @@ int main(int argc, char** argv) {
             core::CampaignOptions copts;
             copts.jobs = jobs;
             core::CampaignRunner runner(copts);
-            for (const auto& f : families)
-                runner.add(core::family_job(f, run_opts));
+            // Each family's suite is bound to its stand exactly once;
+            // the --repeat repetitions share the compiled plan. A family
+            // whose plan fails to bind falls back to binding (and
+            // failing) per repetition — report only what compiled.
+            auto jobs_list = core::plan_campaign(families, repeat, run_opts);
+            std::set<const core::CompiledPlan*> plans;
+            for (const auto& job : jobs_list)
+                if (job.plan) plans.insert(job.plan.get());
+            std::cout << "ctkrun: " << plans.size() << "/"
+                      << families.size()
+                      << " plan(s) compiled once, executed x" << repeat
+                      << "\n";
+            for (auto& job : jobs_list) runner.add(std::move(job));
             const auto result = runner.run_all();
             std::cout << core::render_campaign(result);
             if (result.framework_failures() > 0) return 2;
@@ -131,7 +154,8 @@ int main(int argc, char** argv) {
     if (script_path.empty() || stand_path.empty() || family.empty()) {
         std::cerr << "usage: ctkrun <script.xml> --stand <workbook> "
                      "--dut <family>\n"
-                     "       ctkrun --families [f1,f2,...] [--jobs N]\n";
+                     "       ctkrun --families [f1,f2,...] [--jobs N] "
+                     "[--repeat R]\n";
         return 1;
     }
 
