@@ -1,0 +1,215 @@
+// bench_fault_grading — prices the system-level fault-grading workload.
+//
+// The grading campaign turns one KB suite run into |universe| + 1 runs,
+// so it is the first CTK workload whose size scales with the fault
+// model rather than the suite — exactly the campaign regime the
+// ROADMAP pushes toward. The KB is replicated --scale times (the
+// many-variants regime: one universe per ECU variant), then graded
+// along two axes, outcomes asserted identical first:
+//  * workers: 1 / 4 / 8 threads on the shared fault-job pool;
+//  * plan sharing: each family's CompiledPlan compiled once and shared
+//    by every fault job vs re-bound inside every job (per-job compile).
+// Setup (suite compile, universe generation) happens outside the timed
+// region; the clock covers golden runs + the fault campaign — the part
+// that scales with the universe. The headline is faults graded/second.
+//
+// Results go to stdout and, machine-readable, to
+// BENCH_fault_grading.json.
+//
+//   usage: bench_fault_grading [--repeat R] [--scale S] [--smoke]
+//                              [--out file.json]
+#include <cmath>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+/// Fresh grading setups for `scale` copies of the knowledge base.
+std::vector<core::FamilyGradingSetup> build_setups(std::size_t scale) {
+    std::vector<core::FamilyGradingSetup> setups;
+    for (std::size_t s = 0; s < scale; ++s)
+        for (const auto& family : core::kb::families()) {
+            auto setup = core::kb_grading_setup(family);
+            if (scale > 1)
+                setup.family = family + "#" + std::to_string(s);
+            setups.push_back(std::move(setup));
+        }
+    return setups;
+}
+
+core::GradingResult run_grading(const core::GradingOptions& opts,
+                                std::vector<core::FamilyGradingSetup> setups) {
+    core::GradingCampaign grading(opts);
+    for (auto& setup : setups) grading.add(std::move(setup));
+    return grading.run_all();
+}
+
+struct BenchRow {
+    unsigned workers = 0;
+    bool share_plan = true;
+    double wall_s = 0.0;
+    double faults_per_s = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 3;
+    std::size_t scale = 8;
+    std::string out_path = "BENCH_fault_grading.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_fault_grading: " << arg
+                          << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parse_count = [&](const char* flag) -> std::size_t {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_fault_grading: " << flag
+                          << " needs an integer in [1, 4096]\n";
+                std::exit(1);
+            }
+            return static_cast<std::size_t>(*n);
+        };
+        if (arg == "--repeat") {
+            repeat = parse_count("--repeat");
+        } else if (arg == "--scale") {
+            scale = parse_count("--scale");
+        } else if (arg == "--smoke") {
+            repeat = 1; // CI: one repetition, small KB multiple
+            scale = 2;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_fault_grading [--repeat R] "
+                         "[--scale S] [--smoke] [--out file]\n";
+            return 1;
+        }
+    }
+
+    // Reference grading: sequential, shared plans. Everything else must
+    // reproduce its outcomes bit for bit before its time can count.
+    core::GradingOptions ref_opts;
+    ref_opts.jobs = 1;
+    const auto reference = run_grading(ref_opts, build_setups(scale));
+    const std::string want = core::outcome_fingerprint(reference);
+    const std::size_t faults = reference.fault_count();
+    std::cout << "bench_fault_grading: " << faults << " fault(s), "
+              << reference.families.size() << " family universe(s) (KB x"
+              << scale << "), coverage "
+              << str::format_number(100.0 * reference.coverage(), 4)
+              << " %, x" << repeat << " repetition(s)\n";
+
+    std::vector<BenchRow> rows;
+    for (const bool share_plan : {true, false}) {
+        for (const unsigned workers : {1u, 4u, 8u}) {
+            core::GradingOptions opts;
+            opts.jobs = workers;
+            opts.share_plan = share_plan;
+
+            double best = 0.0;
+            for (std::size_t r = 0; r < repeat; ++r) {
+                auto setups = build_setups(scale); // untimed
+                core::GradingResult result;
+                const double wall = time_s(
+                    [&]() { result = run_grading(opts, std::move(setups)); });
+                if (core::outcome_fingerprint(result) != want) {
+                    std::cerr << "bench_fault_grading: outcome mismatch "
+                                 "at workers="
+                              << workers << " share_plan=" << share_plan
+                              << "!\n";
+                    return 2;
+                }
+                if (r == 0 || wall < best) best = wall;
+            }
+
+            BenchRow row;
+            row.workers = workers;
+            row.share_plan = share_plan;
+            row.wall_s = best;
+            row.faults_per_s = static_cast<double>(faults) / best;
+            std::cout << "  "
+                      << (share_plan ? "shared-plan" : "per-job    ")
+                      << "  workers=" << workers << ": "
+                      << str::format_number(best, 4) << " s, "
+                      << str::format_number(row.faults_per_s, 5)
+                      << " faults/s\n";
+            rows.push_back(row);
+        }
+    }
+
+    auto find = [&](bool share, unsigned workers) -> const BenchRow& {
+        for (const auto& r : rows)
+            if (r.share_plan == share && r.workers == workers) return r;
+        return rows.front();
+    };
+    std::cout << "  scaling (shared plans): x"
+              << str::format_number(
+                     find(true, 1).wall_s / find(true, 4).wall_s, 3)
+              << " at 4 workers, x"
+              << str::format_number(
+                     find(true, 1).wall_s / find(true, 8).wall_s, 3)
+              << " at 8\n";
+    std::cout << "  shared vs per-job compile at 4 workers: x"
+              << str::format_number(
+                     find(false, 4).wall_s / find(true, 4).wall_s, 3)
+              << "\n";
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_fault_grading\",\n";
+    json << "  \"faults\": " << faults << ",\n";
+    json << "  \"scale\": " << scale << ",\n";
+    json << "  \"families\": " << reference.families.size() << ",\n";
+    json << "  \"coverage\": " << json_num(reference.coverage()) << ",\n";
+    json << "  \"detected\": " << reference.detected() << ",\n";
+    json << "  \"repeats\": " << repeat << ",\n";
+    json << "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        json << (i ? ", " : "") << "{\"workers\": " << r.workers
+             << ", \"mode\": \""
+             << (r.share_plan ? "shared_plan" : "per_job_compile")
+             << "\", \"wall_s\": " << json_num(r.wall_s)
+             << ", \"faults_per_s\": " << json_num(r.faults_per_s) << "}";
+    }
+    json << "]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_fault_grading: cannot write " << out_path
+                  << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cout << "  wrote " << out_path << "\n";
+    return 0;
+}

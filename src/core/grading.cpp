@@ -1,0 +1,356 @@
+#include "core/grading.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "dut/catalogue.hpp"
+#include "model/method.hpp"
+#include "script/script.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Lockstep walk of golden vs faulty verdicts: count every check whose
+/// pass/fail differs, remember where the first flip happened. Both runs
+/// execute the same plan, so the structures match; the size guards only
+/// keep a malformed custom setup from reading out of bounds.
+void classify_flips(const RunResult& golden, const RunResult& faulty,
+                    FaultGrade& grade) {
+    const std::size_t nt = std::min(golden.tests.size(), faulty.tests.size());
+    for (std::size_t t = 0; t < nt; ++t) {
+        const auto& gt = golden.tests[t];
+        const auto& ft = faulty.tests[t];
+        const std::size_t ns = std::min(gt.steps.size(), ft.steps.size());
+        for (std::size_t s = 0; s < ns; ++s) {
+            const auto& gs = gt.steps[s];
+            const auto& fs = ft.steps[s];
+            const std::size_t nc =
+                std::min(gs.checks.size(), fs.checks.size());
+            for (std::size_t c = 0; c < nc; ++c) {
+                if (gs.checks[c].passed == fs.checks[c].passed) continue;
+                if (grade.flipped_checks == 0)
+                    grade.first_flip = gt.name + "/" +
+                                       std::to_string(gs.nr) + "/" +
+                                       gs.checks[c].signal;
+                ++grade.flipped_checks;
+            }
+        }
+    }
+}
+
+/// Per-family compile/golden state carried from queueing to
+/// classification.
+struct FamilyExec {
+    std::shared_ptr<const CompiledPlan> plan;
+    RunResult golden_run;
+    std::size_t first_job = 0; ///< index of the family's first fault job
+};
+
+} // namespace
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+    switch (outcome) {
+    case FaultOutcome::Detected: return "detected";
+    case FaultOutcome::Undetected: return "undetected";
+    case FaultOutcome::FrameworkError: return "framework-error";
+    }
+    return "unknown";
+}
+
+std::size_t FamilyGrade::detected() const {
+    return static_cast<std::size_t>(std::count_if(
+        faults.begin(), faults.end(), [](const FaultGrade& f) {
+            return f.outcome == FaultOutcome::Detected;
+        }));
+}
+
+std::size_t FamilyGrade::undetected() const {
+    return static_cast<std::size_t>(std::count_if(
+        faults.begin(), faults.end(), [](const FaultGrade& f) {
+            return f.outcome == FaultOutcome::Undetected;
+        }));
+}
+
+std::size_t FamilyGrade::framework_errors() const {
+    return static_cast<std::size_t>(std::count_if(
+        faults.begin(), faults.end(), [](const FaultGrade& f) {
+            return f.outcome == FaultOutcome::FrameworkError;
+        }));
+}
+
+double FamilyGrade::coverage() const {
+    const std::size_t graded = detected() + undetected();
+    if (graded == 0) return 1.0;
+    return static_cast<double>(detected()) / static_cast<double>(graded);
+}
+
+std::size_t GradingResult::fault_count() const {
+    std::size_t n = 0;
+    for (const auto& f : families) n += f.faults.size();
+    return n;
+}
+
+std::size_t GradingResult::detected() const {
+    std::size_t n = 0;
+    for (const auto& f : families) n += f.detected();
+    return n;
+}
+
+std::size_t GradingResult::undetected() const {
+    std::size_t n = 0;
+    for (const auto& f : families) n += f.undetected();
+    return n;
+}
+
+std::size_t GradingResult::framework_errors() const {
+    std::size_t n = 0;
+    for (const auto& f : families) n += f.framework_errors();
+    return n;
+}
+
+double GradingResult::coverage() const {
+    const std::size_t graded = detected() + undetected();
+    if (graded == 0) return 1.0;
+    return static_cast<double>(detected()) / static_cast<double>(graded);
+}
+
+bool GradingResult::clean() const {
+    return framework_errors() == 0 &&
+           std::none_of(families.begin(), families.end(),
+                        [](const FamilyGrade& f) { return f.golden_error; });
+}
+
+sim::FaultSurface plan_fault_surface(const CompiledPlan& plan) {
+    sim::FaultSurface surface;
+    auto add_unique = [](std::vector<std::string>& out,
+                         const std::string& name) {
+        const std::string key = str::lower(name);
+        if (std::find(out.begin(), out.end(), key) == out.end())
+            out.push_back(key);
+    };
+    for (const auto& test : plan.tests()) {
+        for (const auto& ch : test.channels) {
+            if (!str::starts_with(ch.method, "get_")) continue;
+            for (const auto& pin : ch.pins)
+                add_unique(surface.output_pins, pin);
+        }
+        auto add_bits = [&](const std::vector<PlanStimulus>& stimuli) {
+            for (const auto& s : stimuli)
+                if (s.is_bits) add_unique(surface.can_signals, s.signal);
+        };
+        add_bits(test.init);
+        for (const auto& step : test.steps) add_bits(step.stimuli);
+    }
+    return surface;
+}
+
+std::vector<sim::FaultSpec> kb_fault_universe(const std::string& family,
+                                              const RunOptions& options) {
+    return kb_grading_setup(family, options).universe;
+}
+
+FamilyGradingSetup kb_grading_setup(const std::string& family,
+                                    const RunOptions& options) {
+    const auto registry = model::MethodRegistry::builtin();
+    FamilyGradingSetup setup;
+    setup.family = family;
+    setup.script = script::compile(kb::suite_for(family), registry);
+    setup.stand = kb::stand_for(family);
+    setup.plan = std::make_shared<CompiledPlan>(
+        CompiledPlan::compile(setup.script, setup.stand, options));
+    setup.universe = sim::make_fault_universe(plan_fault_surface(*setup.plan));
+    setup.make_golden = [family](const stand::StandDescription& desc) {
+        return std::make_shared<sim::VirtualStand>(desc,
+                                                   dut::make_golden(family));
+    };
+    setup.make_faulty = [family](const stand::StandDescription& desc,
+                                 const sim::FaultSpec& fault) {
+        return std::make_shared<sim::VirtualStand>(
+            desc, std::make_shared<sim::FaultyDut>(dut::make_golden(family),
+                                                   fault));
+    };
+    return setup;
+}
+
+std::string detection_fingerprint(const RunResult& run) {
+    std::string out;
+    for (const auto& test : run.tests) {
+        out += test.name;
+        out += test.passed ? "|P\n" : "|F\n";
+        for (const auto& step : test.steps)
+            for (const auto& check : step.checks) {
+                out += std::to_string(step.nr) + "|" + check.signal + "|" +
+                       check.status + (check.passed ? "|P\n" : "|F\n");
+            }
+    }
+    return out;
+}
+
+std::string outcome_fingerprint(const GradingResult& result) {
+    std::string out;
+    for (const auto& family : result.families) {
+        out += family.family;
+        out += family.golden_error ? "|golden-error\n" : "|golden-ok\n";
+        out += family.golden_fingerprint;
+        for (const auto& f : family.faults) {
+            out += f.fault.id();
+            out += "|";
+            out += fault_outcome_name(f.outcome);
+            out += "|" + std::to_string(f.flipped_checks);
+            out += "|" + f.first_flip + "\n";
+        }
+    }
+    return out;
+}
+
+GradingCampaign::GradingCampaign(GradingOptions options)
+    : options_(std::move(options)) {}
+
+void GradingCampaign::add(FamilyGradingSetup setup) {
+    setups_.push_back(std::move(setup));
+}
+
+void GradingCampaign::add_kb_family(const std::string& family) {
+    add(kb_grading_setup(family, options_.run));
+}
+
+std::size_t GradingCampaign::queued_faults() const {
+    std::size_t n = 0;
+    for (const auto& s : setups_) n += s.universe.size();
+    return n;
+}
+
+GradingResult GradingCampaign::run_all() {
+    GradingResult result;
+    const auto start = Clock::now();
+
+    CampaignOptions copts;
+    copts.jobs = options_.jobs;
+    CampaignRunner runner(copts);
+    std::vector<FamilyExec> execs;
+
+    // Phase 1 — per family: compile once, run golden inline, queue one
+    // job per fault. Golden runs are sequential by design: they are few,
+    // cheap, and their fingerprints gate everything downstream.
+    for (const auto& setup : setups_) {
+        FamilyGrade grade;
+        grade.family = setup.family;
+        FamilyExec exec;
+        try {
+            auto plan = setup.plan;
+            if (!plan)
+                plan = std::make_shared<CompiledPlan>(CompiledPlan::compile(
+                    setup.script, setup.stand, options_.run));
+            if (!setup.make_golden)
+                throw Error("grading family '" + setup.family +
+                            "' has no golden backend factory");
+            auto backend = setup.make_golden(setup.stand);
+            if (!backend)
+                throw Error("grading family '" + setup.family +
+                            "' factory returned no backend");
+            const auto golden_start = Clock::now();
+            exec.golden_run = plan->execute(*backend);
+            grade.golden_wall_s = seconds_since(golden_start);
+            grade.golden_passed = exec.golden_run.passed();
+            grade.golden_fingerprint = detection_fingerprint(exec.golden_run);
+            exec.plan = std::move(plan);
+        } catch (const std::exception& e) {
+            grade.golden_error = true;
+            grade.golden_message = e.what();
+        }
+
+        exec.first_job = runner.queued();
+        if (!grade.golden_error) {
+            for (const auto& fault : setup.universe) {
+                CampaignJob job;
+                job.name = setup.family + "/" + fault.id();
+                job.stand = setup.stand;
+                const auto make_faulty = setup.make_faulty;
+                job.make_backend =
+                    [make_faulty, fault, family = setup.family](
+                        const stand::StandDescription& desc)
+                    -> std::shared_ptr<sim::StandBackend> {
+                    if (!make_faulty)
+                        throw Error("grading family '" + family +
+                                    "' has no faulty backend factory");
+                    return make_faulty(desc, fault);
+                };
+                if (options_.share_plan) {
+                    job.plan = exec.plan;
+                } else {
+                    job.script = setup.script;
+                    job.options = options_.run;
+                }
+                runner.add(std::move(job));
+            }
+        }
+        result.families.push_back(std::move(grade));
+        execs.push_back(std::move(exec));
+    }
+
+    // Phase 2 — every family's fault jobs on ONE shared worker pool.
+    const CampaignResult campaign = runner.run_all();
+    result.workers = campaign.workers;
+
+    // Phase 3 — classify each fault against its family's golden run.
+    for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+        FamilyGrade& grade = result.families[fi];
+        const FamilyExec& exec = execs[fi];
+        if (grade.golden_error) {
+            // Nothing executed: the whole universe is ungradeable, which
+            // is a framework condition, not a coverage statement.
+            for (const auto& fault : setups_[fi].universe) {
+                FaultGrade fg;
+                fg.fault = fault;
+                fg.outcome = FaultOutcome::FrameworkError;
+                fg.error_message =
+                    "golden run failed: " + grade.golden_message;
+                grade.faults.push_back(std::move(fg));
+            }
+            continue;
+        }
+        for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
+            const CampaignJobResult& jr = campaign.jobs[exec.first_job + k];
+            FaultGrade fg;
+            fg.fault = setups_[fi].universe[k];
+            fg.wall_s = jr.wall_s;
+            if (jr.framework_error) {
+                fg.outcome = FaultOutcome::FrameworkError;
+                fg.error_message = jr.error_message;
+            } else {
+                classify_flips(exec.golden_run, jr.run, fg);
+                fg.outcome = detection_fingerprint(jr.run) !=
+                                     grade.golden_fingerprint
+                                 ? FaultOutcome::Detected
+                                 : FaultOutcome::Undetected;
+            }
+            grade.faults.push_back(std::move(fg));
+        }
+    }
+
+    result.wall_s = seconds_since(start);
+    setups_.clear();
+    return result;
+}
+
+GradingResult grade_kb(const GradingOptions& options,
+                       const std::vector<std::string>& families) {
+    GradingCampaign grading(options);
+    for (const auto& family :
+         families.empty() ? kb::families() : families)
+        grading.add_kb_family(family);
+    return grading.run_all();
+}
+
+} // namespace ctk::core

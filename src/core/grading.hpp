@@ -1,0 +1,182 @@
+// Fault-injection grading of the knowledge-base test suites.
+//
+// The paper's thesis is that components must be carefully tested before
+// HIL integration — which begs the question: how good are the KB suites
+// themselves? src/gate answers it for netlists by stuck-at fault
+// simulation; this module answers it at the system level the paper
+// cares about, in the spirit of black-box component-fault detection
+// (Peled et al.) and mutation analysis (catalogue.hpp's E8):
+//
+//   fault universe (sim/fault_inject) ─┐
+//   golden CompiledPlan run ───────────┤  one CampaignJob per fault on
+//                                      ├─ the existing worker pool ──►
+//   per-fault verdict fingerprints ────┘  detected / undetected / error
+//
+// A GradingCampaign compiles each family's plan ONCE, executes the
+// golden (fault-free) run, then fans one job per fault across a
+// CampaignRunner — every job sharing the plan but owning a fresh
+// backend whose DUT is wrapped in a FaultyDut. A fault is *detected*
+// when the faulty run's detection fingerprint (check verdicts only, no
+// measured values — a fault that shifts a reading inside its limits is
+// NOT caught) differs from the golden run's; a job that throws is a
+// *framework error*, isolated exactly as in any campaign. Coverage is
+// detected / (detected + undetected); framework errors are reported
+// separately and make ctkgrade --kb exit nonzero.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "sim/fault_inject.hpp"
+
+namespace ctk::core {
+
+enum class FaultOutcome {
+    Detected,       ///< some check verdict flipped vs the golden run
+    Undetected,     ///< the suite passed/failed identically — a miss
+    FrameworkError, ///< the faulty run threw (not a verdict, §4 path)
+};
+
+[[nodiscard]] const char* fault_outcome_name(FaultOutcome outcome);
+
+/// Grade of one injected fault.
+struct FaultGrade {
+    sim::FaultSpec fault;
+    FaultOutcome outcome = FaultOutcome::Undetected;
+    std::string error_message;      ///< framework-error detail
+    double wall_s = 0.0;            ///< faulty execution wall clock
+    std::size_t flipped_checks = 0; ///< checks whose verdict differs
+    std::string first_flip;         ///< "test/step/signal" of first flip
+};
+
+/// Grade of one ECU family's suite against its fault universe.
+struct FamilyGrade {
+    std::string family;
+    bool golden_error = false;  ///< golden compile/run itself failed
+    std::string golden_message;
+    bool golden_passed = false; ///< golden run verdict (should be true)
+    double golden_wall_s = 0.0;
+    std::string golden_fingerprint; ///< detection fingerprint of golden
+    std::vector<FaultGrade> faults;
+
+    [[nodiscard]] std::size_t detected() const;
+    [[nodiscard]] std::size_t undetected() const;
+    [[nodiscard]] std::size_t framework_errors() const;
+    /// detected / (detected + undetected); 1.0 when nothing was
+    /// gradeable (vacuous).
+    [[nodiscard]] double coverage() const;
+};
+
+struct GradingResult {
+    std::vector<FamilyGrade> families; ///< add() order
+    double wall_s = 0.0;               ///< whole grading wall clock
+    unsigned workers = 1;
+
+    [[nodiscard]] std::size_t fault_count() const;
+    [[nodiscard]] std::size_t detected() const;
+    [[nodiscard]] std::size_t undetected() const;
+    [[nodiscard]] std::size_t framework_errors() const;
+    [[nodiscard]] double coverage() const;
+    /// True when every golden run succeeded and no fault hit the
+    /// framework-error path — the gate CI propagates.
+    [[nodiscard]] bool clean() const;
+};
+
+struct GradingOptions {
+    /// Worker threads for the per-fault campaign (0 = hardware threads,
+    /// 1 = inline). Outcomes are bit-identical at any count.
+    unsigned jobs = 0;
+    /// Compile each family's plan once and share it across fault jobs
+    /// (the default). false re-binds per job through TestEngine — the
+    /// bench's ablation axis; verdicts are identical either way.
+    bool share_plan = true;
+    RunOptions run; ///< engine options baked into the plans
+};
+
+/// Builds the faulty execution environment for one fault of a family.
+using FaultyBackendFactory = std::function<std::shared_ptr<sim::StandBackend>(
+    const stand::StandDescription&, const sim::FaultSpec&)>;
+
+/// Everything needed to grade one family. kb_grading_setup() fills it
+/// from the knowledge base; tests substitute their own universe or
+/// factories (e.g. a factory that throws, to exercise error isolation).
+struct FamilyGradingSetup {
+    std::string family;
+    script::TestScript script;
+    stand::StandDescription stand;
+    std::vector<sim::FaultSpec> universe;
+    BackendFactory make_golden;       ///< fault-free backend
+    FaultyBackendFactory make_faulty; ///< per-fault backend
+    /// Optional pre-bound plan of `script` × `stand` (what
+    /// kb_grading_setup fills, so the suite compiles exactly once).
+    /// run_all() compiles one when null; callers that replace `script`
+    /// or `stand` after setup must clear it.
+    std::shared_ptr<const CompiledPlan> plan;
+};
+
+/// The observable surface of a family's suite, derived from its
+/// compiled plan: every pin a get_* channel probes, every bus signal a
+/// put_can stimulus sends. Deterministic (plan order).
+[[nodiscard]] sim::FaultSurface plan_fault_surface(const CompiledPlan& plan);
+
+/// make_fault_universe over the family's plan surface.
+[[nodiscard]] std::vector<sim::FaultSpec>
+kb_fault_universe(const std::string& family, const RunOptions& options = {});
+
+/// KB defaults: suite_for/stand_for, golden VirtualStand, FaultyDut
+/// around a golden device per fault. Throws SemanticError for unknown
+/// families (as family_job does).
+[[nodiscard]] FamilyGradingSetup
+kb_grading_setup(const std::string& family, const RunOptions& options = {});
+
+/// Verdict-only fingerprint: test/step/check identity plus pass/fail,
+/// deliberately excluding measured values and failure messages — the
+/// equality that defines "the suite did not notice".
+[[nodiscard]] std::string detection_fingerprint(const RunResult& run);
+
+/// Stable digest of a whole grading (family, fault id, outcome, golden
+/// fingerprint) — what the determinism tests and benches compare across
+/// worker counts and plan-sharing modes.
+[[nodiscard]] std::string outcome_fingerprint(const GradingResult& result);
+
+/// Compiles once, runs golden, fans one job per fault (see header
+/// comment). Typical use:
+///
+///   GradingOptions opts;
+///   opts.jobs = 8;
+///   GradingCampaign grading(opts);
+///   for (const auto& family : kb::families())
+///       grading.add_kb_family(family);
+///   const auto result = grading.run_all();
+class GradingCampaign {
+public:
+    explicit GradingCampaign(GradingOptions options = {});
+
+    /// Queue one family. add() order is the result order.
+    void add(FamilyGradingSetup setup);
+    void add_kb_family(const std::string& family);
+
+    [[nodiscard]] std::size_t queued_faults() const;
+
+    /// Grade every queued family and clear the queue. Golden runs
+    /// execute inline (sequential, deterministic); fault jobs of ALL
+    /// families share one worker pool so the fleet stays busy across
+    /// family boundaries.
+    [[nodiscard]] GradingResult run_all();
+
+private:
+    GradingOptions options_;
+    std::vector<FamilyGradingSetup> setups_;
+};
+
+/// Grade `families` (empty = every kb::families() entry) with KB
+/// defaults — the ctkgrade --kb entry point.
+[[nodiscard]] GradingResult
+grade_kb(const GradingOptions& options = {},
+         const std::vector<std::string>& families = {});
+
+} // namespace ctk::core

@@ -13,6 +13,28 @@ std::string fmt_opt(const std::optional<double>& v) {
     return v ? str::format_number(*v, 4) : std::string{};
 }
 
+/// Coverage cell; "-" when nothing was gradeable (a 0/0 "100 %" next
+/// to a golden failure would be actively misleading).
+std::string fmt_coverage(double coverage, std::size_t graded) {
+    if (graded == 0) return "-";
+    return str::format_number(100.0 * coverage, 4) + " %";
+}
+
+/// Commas and newlines are the CSV structure; squash them in free-text
+/// fields (error messages) so every fault stays one well-formed row.
+std::string csv_field(std::string text) {
+    for (char& c : text) {
+        if (c == ',') c = ';';
+        if (c == '\n' || c == '\r') c = ' ';
+    }
+    return text;
+}
+
+std::string golden_verdict(const core::FamilyGrade& family) {
+    if (family.golden_error) return "ERROR";
+    return family.golden_passed ? "PASS" : "FAIL";
+}
+
 } // namespace
 
 std::string render_test_sheet(const script::ScriptTest& test,
@@ -104,6 +126,85 @@ std::string to_csv(const core::RunResult& run) {
                             : c.measured_data) +
                        ',' + (c.passed ? "1" : "0") + '\n';
             }
+        }
+    }
+    return out;
+}
+
+std::string render_fault_grading(const core::GradingResult& result,
+                                 bool per_fault) {
+    std::string out = "fault grading: " +
+                      std::to_string(result.fault_count()) +
+                      " fault(s) across " +
+                      std::to_string(result.families.size()) +
+                      " family(s), " + std::to_string(result.workers) +
+                      " worker(s)\n";
+
+    TextTable t;
+    t.header({"family", "faults", "detected", "undetected", "fw-errors",
+              "coverage", "golden"});
+    for (const auto& family : result.families) {
+        t.row({family.family, std::to_string(family.faults.size()),
+               std::to_string(family.detected()),
+               std::to_string(family.undetected()),
+               std::to_string(family.framework_errors()),
+               fmt_coverage(family.coverage(),
+                            family.detected() + family.undetected()),
+               golden_verdict(family)});
+    }
+    t.rule();
+    const std::size_t graded = result.detected() + result.undetected();
+    t.row({"TOTAL", std::to_string(result.fault_count()),
+           std::to_string(result.detected()),
+           std::to_string(result.undetected()),
+           std::to_string(result.framework_errors()),
+           fmt_coverage(result.coverage(), graded), ""});
+    out += t.render();
+
+    if (per_fault) {
+        for (const auto& family : result.families) {
+            out += family.family + ":\n";
+            if (family.golden_error) {
+                out += "  golden run failed: " + family.golden_message +
+                       "\n";
+                continue;
+            }
+            TextTable d;
+            d.header({"fault", "outcome", "flips", "first flip"});
+            for (const auto& f : family.faults) {
+                d.row({f.fault.id(), fault_outcome_name(f.outcome),
+                       std::to_string(f.flipped_checks),
+                       f.outcome == core::FaultOutcome::FrameworkError
+                           ? f.error_message
+                           : f.first_flip});
+            }
+            out += d.render();
+        }
+    }
+
+    out += "coverage: " + fmt_coverage(result.coverage(), graded) + " (" +
+           std::to_string(result.detected()) + "/" +
+           std::to_string(graded) + " graded fault(s) detected), " +
+           std::to_string(result.framework_errors()) +
+           " framework error(s) in " +
+           str::format_number(result.wall_s, 3) + " s\n";
+    return out;
+}
+
+std::string fault_grading_to_csv(const core::GradingResult& result) {
+    std::string out =
+        "family,fault,kind,target,magnitude,outcome,flipped_checks,"
+        "first_flip,error\n";
+    for (const auto& family : result.families) {
+        for (const auto& f : family.faults) {
+            out += family.family + ',' + f.fault.id() + ',' +
+                   sim::fault_kind_name(f.fault.kind) + ',' +
+                   f.fault.target + ',' +
+                   str::format_number(f.fault.magnitude) + ',' +
+                   fault_outcome_name(f.outcome) + ',' +
+                   std::to_string(f.flipped_checks) + ',' +
+                   csv_field(f.first_flip) + ',' +
+                   csv_field(f.error_message) + '\n';
         }
     }
     return out;

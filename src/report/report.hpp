@@ -1,9 +1,11 @@
-// Reporting: render run results in the paper's table layout and as CSV.
+// Reporting: render run results in the paper's table layout and as CSV,
+// plus the fault-grading coverage tables (DESIGN.md §8).
 #pragma once
 
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/grading.hpp"
 #include "script/script.hpp"
 
 namespace ctk::report {
@@ -24,5 +26,20 @@ render_allocation(const stand::Allocation& allocation);
 /// Machine-readable CSV: one row per check
 /// (test,step,signal,status,method,lo,hi,measured,passed).
 [[nodiscard]] std::string to_csv(const core::RunResult& run);
+
+/// Fault-grading coverage table: one row per family (faults, detected,
+/// undetected, framework errors, coverage, golden verdict) plus a TOTAL
+/// rule and a summary line. With `per_fault` set, each family is
+/// followed by its per-fault detail table (fault id, outcome, flipped
+/// checks, where the first flip happened).
+[[nodiscard]] std::string
+render_fault_grading(const core::GradingResult& result,
+                     bool per_fault = false);
+
+/// Machine-readable CSV of a grading: one row per fault
+/// (family,fault,kind,target,magnitude,outcome,flipped_checks,
+/// first_flip,error).
+[[nodiscard]] std::string
+fault_grading_to_csv(const core::GradingResult& result);
 
 } // namespace ctk::report

@@ -1,0 +1,143 @@
+#include "sim/fault_inject.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace ctk::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+    switch (kind) {
+    case FaultKind::PinStuckLow: return "stuck_low";
+    case FaultKind::PinStuckHigh: return "stuck_high";
+    case FaultKind::PinOffset: return "offset";
+    case FaultKind::PinScale: return "scale";
+    case FaultKind::CanDrop: return "can_drop";
+    case FaultKind::CanCorrupt: return "can_corrupt";
+    case FaultKind::TimingSkew: return "skew";
+    }
+    return "unknown";
+}
+
+std::string FaultSpec::id() const {
+    std::string out = std::string(fault_kind_name(kind)) + "@" + target;
+    switch (kind) {
+    case FaultKind::PinOffset:
+        out += (magnitude >= 0 ? "+" : "") + str::format_number(magnitude);
+        break;
+    case FaultKind::PinScale:
+    case FaultKind::TimingSkew:
+        out += "*" + str::format_number(magnitude);
+        break;
+    default: break;
+    }
+    return out;
+}
+
+std::vector<FaultSpec> make_fault_universe(const FaultSurface& surface) {
+    std::vector<FaultSpec> out;
+    for (const auto& pin : surface.output_pins) {
+        const std::string p = str::lower(pin);
+        out.push_back({FaultKind::PinStuckLow, p, 0.0});
+        out.push_back({FaultKind::PinStuckHigh, p, 0.0});
+        out.push_back({FaultKind::PinOffset, p, 0.8});
+        out.push_back({FaultKind::PinScale, p, 0.8});
+    }
+    for (const auto& signal : surface.can_signals) {
+        const std::string s = str::lower(signal);
+        out.push_back({FaultKind::CanDrop, s, 0.0});
+        out.push_back({FaultKind::CanCorrupt, s, 0.0});
+    }
+    out.push_back({FaultKind::TimingSkew, "clock", 1.35});
+    out.push_back({FaultKind::TimingSkew, "clock", 0.7});
+    return out;
+}
+
+FaultyDut::FaultyDut(std::unique_ptr<dut::Dut> inner, FaultSpec fault)
+    : inner_(std::move(inner)), fault_(std::move(fault)) {
+    if (!inner_) throw Error("FaultyDut needs a device to wrap");
+    if (is_pin_fault()) target_idx_ = inner_->pin_index(fault_.target);
+}
+
+bool FaultyDut::is_pin_fault() const {
+    switch (fault_.kind) {
+    case FaultKind::PinStuckLow:
+    case FaultKind::PinStuckHigh:
+    case FaultKind::PinOffset:
+    case FaultKind::PinScale: return true;
+    default: return false;
+    }
+}
+
+double FaultyDut::mutate(double volts) const {
+    switch (fault_.kind) {
+    case FaultKind::PinStuckLow: return 0.0;
+    case FaultKind::PinStuckHigh: return inner_->supply();
+    case FaultKind::PinOffset: return volts + fault_.magnitude;
+    case FaultKind::PinScale: return volts * fault_.magnitude;
+    default: return volts;
+    }
+}
+
+std::string FaultyDut::name() const {
+    return inner_->name() + "!" + fault_.id();
+}
+
+void FaultyDut::set_supply(double ubatt) {
+    Dut::set_supply(ubatt); // keep supply() on the wrapper honest
+    inner_->set_supply(ubatt);
+}
+
+void FaultyDut::set_pin_resistance(std::string_view pin, double ohms) {
+    inner_->set_pin_resistance(pin, ohms);
+}
+
+void FaultyDut::set_pin_voltage(std::string_view pin, double volts) {
+    inner_->set_pin_voltage(pin, volts);
+}
+
+void FaultyDut::can_receive(std::string_view signal,
+                            const std::vector<bool>& bits) {
+    if (str::iequals(signal, fault_.target)) {
+        if (fault_.kind == FaultKind::CanDrop) return;
+        if (fault_.kind == FaultKind::CanCorrupt) {
+            std::vector<bool> flipped(bits.size());
+            for (std::size_t i = 0; i < bits.size(); ++i)
+                flipped[i] = !bits[i];
+            inner_->can_receive(signal, flipped);
+            return;
+        }
+    }
+    inner_->can_receive(signal, bits);
+}
+
+double FaultyDut::pin_voltage(std::string_view pin) const {
+    const double v = inner_->pin_voltage(pin);
+    if (is_pin_fault() && str::iequals(pin, fault_.target)) return mutate(v);
+    return v;
+}
+
+int FaultyDut::pin_index(std::string_view pin) const {
+    return inner_->pin_index(pin);
+}
+
+double FaultyDut::pin_voltage_at(int index) const {
+    const double v = inner_->pin_voltage_at(index);
+    if (index >= 0 && index == target_idx_) return mutate(v);
+    return v;
+}
+
+std::vector<bool> FaultyDut::can_transmit(std::string_view signal) const {
+    return inner_->can_transmit(signal);
+}
+
+void FaultyDut::reset() {
+    Dut::reset();
+    inner_->reset();
+}
+
+void FaultyDut::step(double dt) {
+    inner_->step(fault_.kind == FaultKind::TimingSkew ? dt * fault_.magnitude
+                                                      : dt);
+}
+
+} // namespace ctk::sim

@@ -1,0 +1,121 @@
+// System-level fault injection — the DUT-boundary mirror of gate/faults.
+//
+// gate/faultsim grades a test set by mutating a netlist one stuck-at
+// fault at a time; this module lifts the same idea to the behavioural
+// ECU layer the paper actually tests. A FaultyDut wraps a real Dut and
+// applies ONE small deterministic mutation between the stand backend
+// and the device:
+//  * PinStuckLow / PinStuckHigh — an output pin reads 0 V / supply
+//    regardless of the device state (driver transistor shorted open /
+//    closed), intercepted in both the string tier (pin_voltage) and the
+//    handle tier (pin_voltage_at, via the cached pin_index);
+//  * PinOffset / PinScale — output-channel drift: every read of the pin
+//    gains a constant offset / a gain error (aged driver, wrong shunt);
+//  * CanDrop / CanCorrupt — a bus receive for one signal is silently
+//    dropped / delivered with every bit inverted (dead transceiver /
+//    swapped wiring);
+//  * TimingSkew — the device's internal clock runs fast or slow by a
+//    constant factor (step(dt) becomes step(dt * magnitude)), skewing
+//    every debounce, interval and blink period.
+//
+// The decorator is transparent when the fault is a no-op (offset 0,
+// scale 1, skew 1): byte-identical verdicts to the undecorated device —
+// tests assert this, it is what makes golden-vs-faulty comparison sound.
+//
+// make_fault_universe() expands a family's observable surface (output
+// pins the suite measures, bus signals the suite sends) into the full
+// deterministic fault list; core/grading derives that surface from the
+// family's CompiledPlan and grades the suite against every entry.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dut/dut.hpp"
+
+namespace ctk::sim {
+
+enum class FaultKind {
+    PinStuckLow,  ///< output pin reads 0 V
+    PinStuckHigh, ///< output pin reads the supply voltage
+    PinOffset,    ///< output pin reads true value + magnitude [V]
+    PinScale,     ///< output pin reads true value * magnitude
+    CanDrop,      ///< receives for one bus signal are dropped
+    CanCorrupt,   ///< receives for one bus signal arrive bit-inverted
+    TimingSkew,   ///< internal clock runs at magnitude * real rate
+};
+
+/// Stable lower-case name of a fault kind ("stuck_low", "can_drop", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One injectable fault. `target` is the output pin (Pin* kinds) or bus
+/// signal (Can* kinds) the mutation attaches to; TimingSkew is global
+/// and uses the pseudo-target "clock". Specs are pure data — the same
+/// spec applied to two fresh devices yields identical behaviour.
+struct FaultSpec {
+    FaultKind kind = FaultKind::PinStuckLow;
+    std::string target;     ///< pin / signal name (lower case), or "clock"
+    double magnitude = 0.0; ///< offset [V], gain factor, or clock factor
+
+    /// Stable unique id within a universe, e.g. "stuck_high@wiper_lo",
+    /// "offset@lamp_l+0.8", "can_drop@turn_sw", "skew@clock*1.35".
+    [[nodiscard]] std::string id() const;
+
+    [[nodiscard]] bool operator==(const FaultSpec& o) const {
+        return kind == o.kind && target == o.target &&
+               magnitude == o.magnitude;
+    }
+};
+
+/// The observable surface a fault universe is generated from.
+struct FaultSurface {
+    std::vector<std::string> output_pins; ///< pins the suite measures
+    std::vector<std::string> can_signals; ///< bus signals the suite sends
+};
+
+/// Expand a surface into the deterministic fault universe: per output
+/// pin stuck_low, stuck_high, offset +0.8 V, scale x0.8; per bus signal
+/// can_drop and can_corrupt; plus the two clock skews x1.35 and x0.7.
+/// Order is the surface order — two calls with the same surface produce
+/// the same list.
+[[nodiscard]] std::vector<FaultSpec>
+make_fault_universe(const FaultSurface& surface);
+
+/// The decorator: a Dut with exactly one seeded fault between the stand
+/// and the wrapped device. All state lives in the inner device; the
+/// wrapper only rewrites the faulted interaction.
+class FaultyDut final : public dut::Dut {
+public:
+    FaultyDut(std::unique_ptr<dut::Dut> inner, FaultSpec fault);
+
+    [[nodiscard]] std::string name() const override;
+    void set_supply(double ubatt) override;
+    void set_pin_resistance(std::string_view pin, double ohms) override;
+    void set_pin_voltage(std::string_view pin, double volts) override;
+    void can_receive(std::string_view signal,
+                     const std::vector<bool>& bits) override;
+    [[nodiscard]] double pin_voltage(std::string_view pin) const override;
+    [[nodiscard]] int pin_index(std::string_view pin) const override;
+    [[nodiscard]] double pin_voltage_at(int index) const override;
+    [[nodiscard]] std::vector<bool>
+    can_transmit(std::string_view signal) const override;
+    void reset() override;
+    void step(double dt) override;
+
+    [[nodiscard]] const FaultSpec& fault() const { return fault_; }
+    [[nodiscard]] const dut::Dut& inner() const { return *inner_; }
+
+private:
+    [[nodiscard]] bool is_pin_fault() const;
+    [[nodiscard]] double mutate(double volts) const;
+
+    std::unique_ptr<dut::Dut> inner_;
+    FaultSpec fault_;
+    /// Inner handle of the faulted pin, resolved once: the handle tier
+    /// (pin_voltage_at) must see exactly the mutation the string tier
+    /// sees, without a per-read name lookup.
+    int target_idx_ = -1;
+};
+
+} // namespace ctk::sim

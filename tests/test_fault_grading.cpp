@@ -1,0 +1,266 @@
+// Fault-injection grading tests: deterministic universes, golden-run
+// equivalence with an undecorated engine run, planted-fault detection,
+// worker-count independence, and framework-error isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "dut/catalogue.hpp"
+#include "report/report.hpp"
+#include "sim/fault_inject.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+GradingResult grade(unsigned jobs, bool share_plan = true,
+                    const std::vector<std::string>& families = {}) {
+    GradingOptions opts;
+    opts.jobs = jobs;
+    opts.share_plan = share_plan;
+    return grade_kb(opts, families);
+}
+
+TEST(FaultGrading, UniverseIsDeterministicAndCoversEveryKind) {
+    for (const auto& family : kb::families()) {
+        const auto first = kb_fault_universe(family);
+        const auto second = kb_fault_universe(family);
+        ASSERT_FALSE(first.empty()) << family;
+        ASSERT_EQ(first.size(), second.size()) << family;
+        for (std::size_t i = 0; i < first.size(); ++i)
+            EXPECT_EQ(first[i].id(), second[i].id()) << family;
+
+        // Every family measures pins, sends bus frames, and gets the
+        // two clock skews, so all seven kinds must be represented.
+        for (const auto kind :
+             {sim::FaultKind::PinStuckLow, sim::FaultKind::PinStuckHigh,
+              sim::FaultKind::PinOffset, sim::FaultKind::PinScale,
+              sim::FaultKind::CanDrop, sim::FaultKind::CanCorrupt,
+              sim::FaultKind::TimingSkew}) {
+            EXPECT_TRUE(std::any_of(
+                first.begin(), first.end(),
+                [&](const sim::FaultSpec& f) { return f.kind == kind; }))
+                << family << " lacks " << sim::fault_kind_name(kind);
+        }
+
+        // Ids are unique — they key the per-fault rows everywhere.
+        for (std::size_t i = 0; i < first.size(); ++i)
+            for (std::size_t j = i + 1; j < first.size(); ++j)
+                EXPECT_NE(first[i].id(), first[j].id()) << family;
+    }
+}
+
+TEST(FaultGrading, SurfaceComesFromThePlanNotTheDut) {
+    const auto script = script::compile(kb::suite_for("wiper"), kReg);
+    const auto plan =
+        CompiledPlan::compile(script, kb::stand_for("wiper"), RunOptions{});
+    const auto surface = plan_fault_surface(plan);
+    EXPECT_EQ(surface.output_pins,
+              (std::vector<std::string>{"wiper_lo", "wiper_hi"}));
+    EXPECT_EQ(surface.can_signals,
+              (std::vector<std::string>{"wiper_sw"}));
+}
+
+TEST(FaultGrading, GoldenRunMatchesUndecoratedEngineRun) {
+    const auto result = grade(1);
+    ASSERT_EQ(result.families.size(), kb::families().size());
+    for (const auto& family : result.families) {
+        ASSERT_FALSE(family.golden_error) << family.golden_message;
+        EXPECT_TRUE(family.golden_passed) << family.family;
+
+        // The grading golden fingerprint must equal a plain engine run
+        // of the same suite on an undecorated golden device.
+        const auto script =
+            script::compile(kb::suite_for(family.family), kReg);
+        auto desc = kb::stand_for(family.family);
+        TestEngine engine(desc,
+                          std::make_shared<sim::VirtualStand>(
+                              desc, dut::make_golden(family.family)));
+        EXPECT_EQ(family.golden_fingerprint,
+                  detection_fingerprint(engine.run(script)))
+            << family.family;
+    }
+}
+
+TEST(FaultGrading, NoOpFaultIsByteTransparent) {
+    // Offset 0 / scale 1 / skew 1 mutate nothing: the decorated run must
+    // be byte-identical (full CSV, including measured values) to the
+    // undecorated one — the soundness condition golden-vs-faulty
+    // comparison rests on.
+    const auto script = script::compile(kb::suite_for("wiper"), kReg);
+    const auto desc = kb::stand_for("wiper");
+    const auto plan = CompiledPlan::compile(script, desc, RunOptions{});
+
+    sim::VirtualStand plain(desc, dut::make_golden("wiper"));
+    const std::string want = report::to_csv(plan.execute(plain));
+
+    for (const sim::FaultSpec& noop :
+         {sim::FaultSpec{sim::FaultKind::PinOffset, "wiper_lo", 0.0},
+          sim::FaultSpec{sim::FaultKind::PinScale, "wiper_lo", 1.0},
+          sim::FaultSpec{sim::FaultKind::TimingSkew, "clock", 1.0}}) {
+        sim::VirtualStand faulty(
+            desc, std::make_shared<sim::FaultyDut>(dut::make_golden("wiper"),
+                                                   noop));
+        EXPECT_EQ(report::to_csv(plan.execute(faulty)), want) << noop.id();
+    }
+}
+
+TEST(FaultGrading, PlantedAlwaysDetectableFaultIsDetected) {
+    // wiper_lo stuck at supply fails step 0 ("lever off: no wiping",
+    // expects Lo) in every schedule — the hand-planted canary.
+    const auto result = grade(4, true, {"wiper"});
+    ASSERT_EQ(result.families.size(), 1u);
+    const auto& faults = result.families[0].faults;
+    const auto planted = std::find_if(
+        faults.begin(), faults.end(), [](const FaultGrade& f) {
+            return f.fault.kind == sim::FaultKind::PinStuckHigh &&
+                   f.fault.target == "wiper_lo";
+        });
+    ASSERT_NE(planted, faults.end());
+    EXPECT_EQ(planted->outcome, FaultOutcome::Detected);
+    EXPECT_GT(planted->flipped_checks, 0u);
+    EXPECT_EQ(planted->first_flip, "wiper_modes/0/wiper_lo");
+}
+
+TEST(FaultGrading, WorkerCountDoesNotChangeOutcomes) {
+    const auto one = grade(1);
+    const auto eight = grade(8);
+    EXPECT_EQ(outcome_fingerprint(one), outcome_fingerprint(eight));
+    ASSERT_EQ(one.families.size(), eight.families.size());
+    for (std::size_t i = 0; i < one.families.size(); ++i) {
+        EXPECT_EQ(one.families[i].coverage(), eight.families[i].coverage());
+        EXPECT_EQ(one.families[i].detected(), eight.families[i].detected());
+    }
+    EXPECT_EQ(one.coverage(), eight.coverage());
+    EXPECT_TRUE(one.clean());
+    EXPECT_TRUE(eight.clean());
+}
+
+TEST(FaultGrading, SharedPlanAndPerJobCompileAgree) {
+    const auto shared = grade(2, true);
+    const auto per_job = grade(2, false);
+    EXPECT_EQ(outcome_fingerprint(shared), outcome_fingerprint(per_job));
+}
+
+TEST(FaultGrading, AccountingAddsUp) {
+    const auto result = grade(2);
+    std::size_t families_faults = 0;
+    for (const auto& family : result.families) {
+        families_faults += family.faults.size();
+        EXPECT_EQ(family.detected() + family.undetected() +
+                      family.framework_errors(),
+                  family.faults.size());
+        EXPECT_GE(family.coverage(), 0.0);
+        EXPECT_LE(family.coverage(), 1.0);
+        EXPECT_GE(family.golden_wall_s, 0.0);
+        for (const auto& f : family.faults) EXPECT_GE(f.wall_s, 0.0);
+    }
+    EXPECT_EQ(result.fault_count(), families_faults);
+    EXPECT_GT(result.detected(), 0u);    // stuck faults always land
+    EXPECT_GT(result.undetected(), 0u);  // drift faults never land
+    EXPECT_EQ(result.framework_errors(), 0u);
+}
+
+TEST(FaultGrading, InjectedFrameworkErrorIsIsolatedNotFatal) {
+    // A faulty-backend factory that throws for exactly one fault: that
+    // fault must grade as framework-error, every sibling normally, and
+    // the overall result must flag unclean.
+    const auto clean = grade(1, true, {"wiper"});
+    ASSERT_EQ(clean.families.size(), 1u);
+
+    for (unsigned workers : {1u, 4u}) {
+        auto setup = kb_grading_setup("wiper");
+        ASSERT_FALSE(setup.universe.empty());
+        const std::string bad_id = setup.universe.front().id();
+        const auto inner = setup.make_faulty;
+        setup.make_faulty = [inner, bad_id](
+                                const stand::StandDescription& desc,
+                                const sim::FaultSpec& fault)
+            -> std::shared_ptr<sim::StandBackend> {
+            if (fault.id() == bad_id)
+                throw StandError("injected instrument failure");
+            return inner(desc, fault);
+        };
+
+        GradingOptions opts;
+        opts.jobs = workers;
+        GradingCampaign grading(opts);
+        grading.add(std::move(setup));
+        EXPECT_GT(grading.queued_faults(), 0u);
+        const auto result = grading.run_all();
+
+        ASSERT_EQ(result.families.size(), 1u);
+        const auto& family = result.families[0];
+        ASSERT_EQ(family.faults.size(), clean.families[0].faults.size());
+        EXPECT_EQ(family.framework_errors(), 1u);
+        EXPECT_FALSE(result.clean());
+
+        EXPECT_EQ(family.faults[0].outcome, FaultOutcome::FrameworkError);
+        EXPECT_EQ(family.faults[0].error_message,
+                  "injected instrument failure");
+        for (std::size_t i = 1; i < family.faults.size(); ++i) {
+            EXPECT_EQ(family.faults[i].outcome,
+                      clean.families[0].faults[i].outcome)
+                << family.faults[i].fault.id();
+        }
+    }
+}
+
+TEST(FaultGrading, GoldenFailureMarksWholeFamilyAsFrameworkError) {
+    // Strip the stand of its variables: the plan cannot bind, the
+    // golden run fails, and every fault of that family becomes a
+    // framework error — while a sibling family grades normally.
+    auto broken = kb_grading_setup("wiper");
+    broken.stand = stand::StandDescription("empty-stand");
+    broken.plan.reset(); // the pre-bound plan no longer matches the stand
+
+    GradingOptions opts;
+    opts.jobs = 2;
+    GradingCampaign grading(opts);
+    grading.add(std::move(broken));
+    grading.add(kb_grading_setup("turn_signal"));
+    const auto result = grading.run_all();
+
+    ASSERT_EQ(result.families.size(), 2u);
+    EXPECT_TRUE(result.families[0].golden_error);
+    EXPECT_FALSE(result.families[0].golden_message.empty());
+    EXPECT_EQ(result.families[0].framework_errors(),
+              result.families[0].faults.size());
+    EXPECT_FALSE(result.clean());
+
+    EXPECT_FALSE(result.families[1].golden_error);
+    EXPECT_GT(result.families[1].detected(), 0u);
+}
+
+TEST(FaultGrading, UnknownFamilyThrowsSemanticError) {
+    EXPECT_THROW((void)kb_fault_universe("toaster"), SemanticError);
+    EXPECT_THROW((void)kb_grading_setup("toaster"), SemanticError);
+}
+
+TEST(FaultGrading, QueueLifecycle) {
+    GradingCampaign grading;
+    EXPECT_EQ(grading.queued_faults(), 0u);
+    grading.add_kb_family("wiper");
+    const std::size_t queued = grading.queued_faults();
+    EXPECT_GT(queued, 0u);
+    const auto first = grading.run_all();
+    EXPECT_EQ(first.families.size(), 1u);
+    EXPECT_EQ(first.families[0].faults.size(), queued);
+    // run_all clears the queue; a second run grades nothing.
+    EXPECT_EQ(grading.queued_faults(), 0u);
+    const auto second = grading.run_all();
+    EXPECT_TRUE(second.families.empty());
+    EXPECT_TRUE(second.clean());
+    EXPECT_EQ(second.coverage(), 1.0); // vacuous
+}
+
+} // namespace
+} // namespace ctk::core

@@ -82,5 +82,41 @@ TEST(Report, SummaryCountsFailedSteps) {
     EXPECT_GT(r.tests[0].failed_steps(), 0u);
 }
 
+TEST(Report, FaultGradingTableListsFamiliesAndTotals) {
+    core::GradingOptions opts;
+    opts.jobs = 2;
+    const auto grading = core::grade_kb(opts, {"wiper", "turn_signal"});
+    const std::string out = render_fault_grading(grading);
+    EXPECT_NE(out.find("wiper"), std::string::npos);
+    EXPECT_NE(out.find("turn_signal"), std::string::npos);
+    EXPECT_NE(out.find("TOTAL"), std::string::npos);
+    EXPECT_NE(out.find("coverage"), std::string::npos);
+    EXPECT_NE(out.find("worker(s)"), std::string::npos);
+    // Per-fault ids only appear in the detail rendering.
+    EXPECT_EQ(out.find("stuck_low@wiper_lo"), std::string::npos);
+    const std::string detail = render_fault_grading(grading, true);
+    EXPECT_NE(detail.find("stuck_low@wiper_lo"), std::string::npos);
+    EXPECT_NE(detail.find("detected"), std::string::npos);
+}
+
+TEST(Report, FaultGradingCsvHasOneRowPerFault) {
+    core::GradingOptions opts;
+    opts.jobs = 1;
+    const auto grading = core::grade_kb(opts, {"wiper"});
+    const std::string csv = fault_grading_to_csv(grading);
+    std::istringstream lines(csv);
+    std::string line;
+    std::getline(lines, line);
+    EXPECT_EQ(line,
+              "family,fault,kind,target,magnitude,outcome,flipped_checks,"
+              "first_flip,error");
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        ++rows;
+        EXPECT_EQ(line.rfind("wiper,", 0), 0u) << line;
+    }
+    EXPECT_EQ(rows, grading.fault_count());
+}
+
 } // namespace
 } // namespace ctk::report

@@ -1,8 +1,12 @@
 // Unit tests: the virtual test stand backend.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "dut/interior_light.hpp"
 #include "dut/turn_signal.hpp"
+#include "dut/wiper.hpp"
+#include "sim/fault_inject.hpp"
 #include "sim/virtual_stand.hpp"
 #include "stand/paper.hpp"
 
@@ -143,6 +147,120 @@ TEST(VirtualStandTest, CanLoopbackThroughDut) {
     VirtualStand vs = make_stand(light);
     // The interior light ECU transmits nothing.
     EXPECT_TRUE(vs.measure_bits("Can1", "ign_st").empty());
+}
+
+// --------------------------------------------------------- FaultyDut
+
+TEST(FaultyDutTest, FaultIdsAreStable) {
+    EXPECT_EQ(FaultSpec({FaultKind::PinStuckLow, "wiper_lo", 0.0}).id(),
+              "stuck_low@wiper_lo");
+    EXPECT_EQ(FaultSpec({FaultKind::PinOffset, "lamp_l", 0.8}).id(),
+              "offset@lamp_l+0.8");
+    EXPECT_EQ(FaultSpec({FaultKind::PinScale, "lamp_l", 0.8}).id(),
+              "scale@lamp_l*0.8");
+    EXPECT_EQ(FaultSpec({FaultKind::CanDrop, "turn_sw", 0.0}).id(),
+              "can_drop@turn_sw");
+    EXPECT_EQ(FaultSpec({FaultKind::TimingSkew, "clock", 1.35}).id(),
+              "skew@clock*1.35");
+}
+
+TEST(FaultyDutTest, StuckFaultAppliesInBothPinTiers) {
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::PinStuckHigh, "wiper_lo", 0.0});
+    // Lever off: a healthy wiper drives nothing, the fault pins the low
+    // winding at supply — through the string read AND the handle read.
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 12.0);
+    const int idx = faulty.pin_index("wiper_lo");
+    ASSERT_GE(idx, 0);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage_at(idx), 12.0);
+    // The sibling pin is untouched in both tiers.
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 0.0);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage_at(faulty.pin_index("wiper_hi")),
+                     0.0);
+}
+
+TEST(FaultyDutTest, DriftFaultsShiftOnlyTheTargetPin) {
+    FaultyDut offset(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::PinOffset, "wiper_lo", 0.8});
+    offset.can_receive("wiper_sw", {true, false}); // slow: lo = supply
+    offset.step(0.1);
+    EXPECT_DOUBLE_EQ(offset.pin_voltage("wiper_lo"), 12.8);
+    EXPECT_DOUBLE_EQ(offset.pin_voltage("wiper_hi"), 0.0);
+
+    FaultyDut scale(std::make_unique<dut::WiperEcu>(),
+                    {FaultKind::PinScale, "wiper_lo", 0.8});
+    scale.can_receive("wiper_sw", {true, false});
+    scale.step(0.1);
+    EXPECT_DOUBLE_EQ(scale.pin_voltage("wiper_lo"), 12.0 * 0.8);
+    EXPECT_DOUBLE_EQ(scale.pin_voltage_at(scale.pin_index("wiper_lo")),
+                     12.0 * 0.8);
+}
+
+TEST(FaultyDutTest, CanDropBlocksOnlyTheTargetSignal) {
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::CanDrop, "wiper_sw", 0.0});
+    faulty.can_receive("wiper_sw", {true, false}); // slow — dropped
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 0.0);
+}
+
+TEST(FaultyDutTest, CanCorruptInvertsThePayload) {
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::CanCorrupt, "wiper_sw", 0.0});
+    // "off" (00) arrives as "fast" (11): high winding on.
+    faulty.can_receive("wiper_sw", {false, false});
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 12.0);
+    // "fast" (11) arrives as "off" (00): everything off.
+    faulty.can_receive("wiper_sw", {true, true});
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 0.0);
+}
+
+TEST(FaultyDutTest, TimingSkewScalesTheInternalClock) {
+    dut::WiperEcu plain;
+    FaultyDut slowed(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::TimingSkew, "clock", 0.5});
+    // Interval mode, pot open (max interval). After 1.5 s real time the
+    // healthy ECU finished its 1 s wipe; the half-speed one is at 0.75 s
+    // internal time, still wiping.
+    plain.can_receive("wiper_sw", {false, true});
+    slowed.can_receive("wiper_sw", {false, true});
+    plain.step(1.5);
+    slowed.step(1.5);
+    EXPECT_DOUBLE_EQ(plain.pin_voltage("wiper_lo"), 0.0);
+    EXPECT_DOUBLE_EQ(slowed.pin_voltage("wiper_lo"), 12.0);
+}
+
+TEST(FaultyDutTest, ResetAndSupplyForwardToTheInnerDevice) {
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::PinStuckHigh, "wiper_lo", 0.0});
+    faulty.set_supply(9.0);
+    EXPECT_DOUBLE_EQ(faulty.supply(), 9.0);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 9.0); // stuck level
+    faulty.can_receive("wiper_sw", {true, true});
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 9.0);
+    faulty.reset();
+    faulty.step(0.1);
+    // Reset cleared the frame: fast mode is gone, the fault persists.
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 0.0);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 9.0);
+}
+
+TEST(FaultyDutTest, UniverseExpandsTheSurfaceDeterministically) {
+    FaultSurface surface;
+    surface.output_pins = {"Lamp_L"};
+    surface.can_signals = {"TURN_SW"};
+    const auto universe = make_fault_universe(surface);
+    std::vector<std::string> ids;
+    for (const auto& f : universe) ids.push_back(f.id());
+    EXPECT_EQ(ids, (std::vector<std::string>{
+                       "stuck_low@lamp_l", "stuck_high@lamp_l",
+                       "offset@lamp_l+0.8", "scale@lamp_l*0.8",
+                       "can_drop@turn_sw", "can_corrupt@turn_sw",
+                       "skew@clock*1.35", "skew@clock*0.7"}));
 }
 
 } // namespace

@@ -1,22 +1,35 @@
-// ctkgrade — stuck-at fault grading for gate-level DUTs.
+// ctkgrade — fault grading for gate-level and system-level DUTs.
 //
-// Loads an ISCAS .bench netlist (or one of the built-in circuits), runs
-// random TPG up to a pattern budget, tops the remainder up with PODEM,
-// and prints the coverage breakdown.
+// Gate mode (the original): loads an ISCAS .bench netlist (or one of
+// the built-in circuits), runs random TPG up to a pattern budget, tops
+// the remainder up with PODEM, and prints the coverage breakdown.
+//
+// KB mode (--kb): grades the knowledge-base test suites themselves by
+// system-level fault injection (DESIGN.md §8) — every family's suite is
+// compiled once, run golden, then re-run against each entry of the
+// family's generated fault universe (pin stuck/drift, CAN drop/corrupt,
+// clock skew) on a worker pool; prints the per-family coverage table.
 //
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
+//          ctkgrade --kb [--families a,b] [--jobs N] [--detail]
+//                   [--csv out.csv]
 //          builtin names: c17, adder8, cmp8, mux16, alu4, parity16,
 //          counter4 (sequential; random only)
 //
-// Exit codes: 0 ok, 1 usage, 2 parse error.
+// Exit codes: 0 ok, 1 usage, 2 parse/framework error, 3 KB grading hit
+// framework-error faults (or a golden run failed) — CI propagates this.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "common/strings.hpp"
+#include "core/grading.hpp"
 #include "gate/atpg.hpp"
 #include "gate/bench_io.hpp"
 #include "gate/circuits.hpp"
 #include "gate/tpg.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -40,21 +53,87 @@ ctk::gate::Netlist load(const std::string& spec) {
     return parse_bench(body.str(), spec);
 }
 
+const char* kUsage =
+    "usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]\n"
+    "       ctkgrade --kb [--families a,b] [--jobs N] [--detail] "
+    "[--csv out.csv]\n";
+
+int run_kb_grading(const std::vector<std::string>& families, unsigned jobs,
+                   bool detail, const std::string& csv_path) {
+    using namespace ctk;
+    try {
+        core::GradingOptions opts;
+        opts.jobs = jobs;
+        const auto result = core::grade_kb(opts, families);
+        std::cout << report::render_fault_grading(result, detail);
+        if (!csv_path.empty()) {
+            std::ofstream out(csv_path);
+            if (!out) throw Error("cannot write " + csv_path);
+            out << report::fault_grading_to_csv(result);
+            std::cerr << "ctkgrade: wrote " << csv_path << "\n";
+        }
+        // Low coverage is information; a framework error is a defect in
+        // the grading harness or the stand — that must fail CI.
+        return result.clean() ? 0 : 3;
+    } catch (const Error& e) {
+        std::cerr << "ctkgrade: " << e.what() << "\n";
+        return 2;
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     using namespace ctk;
     using namespace ctk::gate;
 
-    std::string spec;
+    std::string spec, csv_path;
     std::size_t budget = 256;
+    bool kb_mode = false;
+    bool detail = false;
+    unsigned jobs = 0;
+    std::vector<std::string> families;
+    std::string kb_only_flag; ///< first KB-mode flag seen, for diagnostics
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--patterns" && i + 1 < argc) {
-            budget = static_cast<std::size_t>(std::stoul(argv[++i]));
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "ctkgrade: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--patterns") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 1e9) || *n != std::floor(*n)) {
+                std::cerr << "ctkgrade: --patterns needs an integer in "
+                             "[1, 1e9]\n";
+                return 1;
+            }
+            budget = static_cast<std::size_t>(*n);
+        } else if (arg == "--kb") {
+            kb_mode = true;
+        } else if (arg == "--families") {
+            if (kb_only_flag.empty()) kb_only_flag = arg;
+            for (const auto& f : str::split(next(), ','))
+                families.push_back(std::string(str::trim(f)));
+        } else if (arg == "--jobs") {
+            if (kb_only_flag.empty()) kb_only_flag = arg;
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 0 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "ctkgrade: --jobs needs an integer in "
+                             "[0, 4096]\n";
+                return 1;
+            }
+            jobs = static_cast<unsigned>(*n);
+        } else if (arg == "--detail") {
+            if (kb_only_flag.empty()) kb_only_flag = arg;
+            detail = true;
+        } else if (arg == "--csv") {
+            if (kb_only_flag.empty()) kb_only_flag = arg;
+            csv_path = next();
         } else if (arg == "-h" || arg == "--help") {
-            std::cout << "usage: ctkgrade <netlist.bench | builtin:NAME> "
-                         "[--patterns N]\n";
+            std::cout << kUsage;
             return 0;
         } else if (spec.empty()) {
             spec = arg;
@@ -63,9 +142,22 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
+
+    if (kb_mode) {
+        if (!spec.empty()) {
+            std::cerr << "ctkgrade: --kb cannot be combined with a "
+                         "netlist\n";
+            return 1;
+        }
+        return run_kb_grading(families, jobs, detail, csv_path);
+    }
+    if (!kb_only_flag.empty()) {
+        std::cerr << "ctkgrade: " << kb_only_flag
+                  << " only applies to --kb mode\n";
+        return 1;
+    }
     if (spec.empty()) {
-        std::cerr << "usage: ctkgrade <netlist.bench | builtin:NAME> "
-                     "[--patterns N]\n";
+        std::cerr << kUsage;
         return 1;
     }
 
