@@ -56,7 +56,7 @@ int main() {
         };
         char fin[16];
         std::snprintf(fin, sizeof fin, "%.1f %%",
-                      100.0 * r.faultsim.coverage());
+                      100.0 * r.faultsim.coverage().value_or(0.0));
         curve.row({c.name, std::to_string(c.net.size()),
                    std::to_string(faults.size()), at(64), at(128), at(256),
                    fin, std::to_string(r.patterns.size())});
@@ -81,15 +81,16 @@ int main() {
                                                     atpg.patterns);
         char rc[16], pc[16];
         std::snprintf(rc, sizeof rc, "%.1f %%",
-                      100.0 * rnd.faultsim.coverage());
-        std::snprintf(pc, sizeof pc, "%.1f %%", 100.0 * replay.coverage());
+                      100.0 * rnd.faultsim.coverage().value_or(0.0));
+        std::snprintf(pc, sizeof pc, "%.1f %%", 100.0 * replay.coverage().value_or(0.0));
         vs.row({c.name, rc, std::to_string(rnd.patterns.size()), pc,
                 std::to_string(atpg.patterns.size()),
                 std::to_string(atpg.untestable)});
         // PODEM must cover every testable fault it claims; with our
         // irredundant generators everything is testable.
         ok = ok && atpg.aborted == 0;
-        ok = ok && replay.coverage() >= rnd.faultsim.coverage() - 1e-12;
+        ok = ok && replay.coverage().value_or(0.0) >=
+                 rnd.faultsim.coverage().value_or(0.0) - 1e-12;
         ok = ok && replay.detected + atpg.untestable == faults.size();
     }
     std::cout << vs.render() << "\n";
@@ -122,14 +123,14 @@ int main() {
         TextTable grade;
         grade.header({"test set", "vectors", "coverage"});
         char g1[16], g2[16];
-        std::snprintf(g1, sizeof g1, "%.1f %%", 100.0 * graded.coverage());
+        std::snprintf(g1, sizeof g1, "%.1f %%", 100.0 * graded.coverage().value_or(0.0));
         std::snprintf(g2, sizeof g2, "%.1f %%",
-                      100.0 * rnd.faultsim.coverage());
+                      100.0 * rnd.faultsim.coverage().value_or(0.0));
         grade.row({"arithmetic sheet", std::to_string(sheet.size()), g1});
         grade.row({"random (same budget)", std::to_string(rnd.patterns.size()),
                    g2});
         std::cout << grade.render();
-        ok = ok && graded.coverage() > 0.5;
+        ok = ok && graded.coverage().value_or(0.0) > 0.5;
     }
 
     // (d) Sequential DUTs: random frame sequences vs time-frame-expansion
@@ -148,7 +149,7 @@ int main() {
         sq.header({"method", "tests", "coverage"});
         char s1[16], s2[16];
         std::snprintf(s1, sizeof s1, "%.1f %%",
-                      100.0 * rnd.faultsim.coverage());
+                      100.0 * rnd.faultsim.coverage().value_or(0.0));
         std::snprintf(s2, sizeof s2, "%.1f %%",
                       100.0 * static_cast<double>(seq.detected) /
                           static_cast<double>(faults.size()));

@@ -126,8 +126,8 @@ int main(int argc, char** argv) {
     std::cout << "bench_fault_grading: " << faults << " fault(s), "
               << reference.families.size() << " family universe(s) (KB x"
               << scale << "), coverage "
-              << str::format_number(100.0 * reference.coverage(), 4)
-              << " %, x" << repeat << " repetition(s)\n";
+              << core::format_coverage(reference.coverage()) << ", x"
+              << repeat << " repetition(s)\n";
 
     std::vector<BenchRow> rows;
     for (const bool share_plan : {true, false}) {
@@ -189,7 +189,8 @@ int main(int argc, char** argv) {
     json << "  \"faults\": " << faults << ",\n";
     json << "  \"scale\": " << scale << ",\n";
     json << "  \"families\": " << reference.families.size() << ",\n";
-    json << "  \"coverage\": " << json_num(reference.coverage()) << ",\n";
+    json << "  \"coverage\": "
+         << json_num(reference.coverage().value_or(0.0)) << ",\n";
     json << "  \"detected\": " << reference.detected() << ",\n";
     json << "  \"repeats\": " << repeat << ",\n";
     json << "  \"rows\": [";

@@ -145,20 +145,21 @@ int main() {
     std::cout << "\ncomponent test: " << trace.size() << " vectors, "
               << graded.detected << "/" << graded.total_faults
               << " stuck-at faults detected ("
-              << 100.0 * graded.coverage() << " %)\n";
+              << core::format_coverage(graded.coverage()) << ")\n";
 
     // 3. Contrast with random TPG and PODEM.
     gate::RandomTpgOptions ropts;
     ropts.max_patterns = 64;
     const auto random = gate::random_tpg(net, faults, ropts);
     std::cout << "random TPG:     " << random.patterns.size() << " vectors, "
-              << 100.0 * random.faultsim.coverage() << " % coverage\n";
+              << core::format_coverage(random.faultsim.coverage())
+              << " coverage\n";
 
     const auto atpg = gate::run_atpg(net, faults);
     const auto replay = gate::fault_simulate_parallel(net, faults,
                                                       atpg.patterns);
     std::cout << "PODEM ATPG:     " << atpg.patterns.size() << " vectors, "
-              << 100.0 * replay.coverage() << " % coverage ("
+              << core::format_coverage(replay.coverage()) << " coverage ("
               << atpg.untestable << " untestable)\n";
 
     // 4. A seeded stuck-at fault must make the component test fail.
@@ -175,6 +176,6 @@ int main() {
               << "\n";
 
     const bool ok = result.passed() && !faulty_result.passed() &&
-                    graded.coverage() > 0.5;
+                    graded.coverage().value_or(0.0) > 0.5;
     return ok ? 0 : 1;
 }

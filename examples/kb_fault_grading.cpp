@@ -35,7 +35,9 @@ int main() {
     grading.add_kb_family("wiper");
     const auto result = grading.run_all();
 
-    std::cout << "\n" << report::render_fault_grading(result, true);
+    // The grading converts to the layer-agnostic coverage kernel — the
+    // very same renderer and CSV schema a graded netlist uses.
+    std::cout << "\n" << report::render_coverage(result.to_coverage(), true);
 
     // The undetected faults are the suite's blind spots — each one is a
     // concrete test the knowledge base is missing.

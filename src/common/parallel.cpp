@@ -1,0 +1,53 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctk::parallel {
+
+unsigned resolve_workers(unsigned jobs, std::size_t work) {
+    unsigned workers = jobs;
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    return static_cast<unsigned>(std::min<std::size_t>(
+        workers, std::max<std::size_t>(1, work)));
+}
+
+void for_shards(std::size_t count, unsigned workers,
+                const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+
+    if (workers <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    const unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(workers, count));
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+}
+
+} // namespace ctk::parallel

@@ -1,0 +1,32 @@
+// Shared worker-pool primitive — the scale machinery behind campaign
+// execution (core/campaign) and sharded gate fault simulation
+// (gate/faultsim).
+//
+// One idiom, two layers: N independent work items, an atomic-ticket
+// pool of worker threads, every index claimed exactly once, results
+// written only by the claiming worker. A worker count <= 1 degenerates
+// to an inline loop on the calling thread — bit-identical to the
+// sequential code it replaced, which is what every determinism test in
+// the tree leans on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ctk::parallel {
+
+/// Resolve a user-facing --jobs value against the amount of work:
+/// 0 = one worker per hardware thread, then clamped to [1, work]
+/// (never more workers than items, never fewer than one).
+[[nodiscard]] unsigned resolve_workers(unsigned jobs, std::size_t work);
+
+/// Invoke fn(0), ..., fn(count - 1), each exactly once, on `workers`
+/// threads (<= 1 = inline on the calling thread). `fn` must be safe to
+/// call concurrently for distinct indices and must write only state
+/// owned by its index. Exceptions escaping `fn` are captured; the
+/// first one is rethrown on the calling thread after the pool joins,
+/// so a throwing shard cannot leak threads or crash siblings.
+void for_shards(std::size_t count, unsigned workers,
+                const std::function<void(std::size_t)>& fn);
+
+} // namespace ctk::parallel

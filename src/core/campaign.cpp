@@ -1,12 +1,11 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
-#include <thread>
 
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/kb.hpp"
 #include "core/plan.hpp"
@@ -102,41 +101,23 @@ void CampaignRunner::add(CampaignJob job) {
 }
 
 CampaignResult CampaignRunner::run_all() {
-    unsigned workers = options_.jobs;
-    if (workers == 0) {
-        workers = std::max(1u, std::thread::hardware_concurrency());
-    }
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, std::max<std::size_t>(1,
-                                                             jobs_.size())));
+    const unsigned workers =
+        parallel::resolve_workers(options_.jobs, jobs_.size());
 
     CampaignResult result;
     result.workers = workers;
     result.jobs.resize(jobs_.size());
     const auto start = Clock::now();
 
-    if (workers <= 1) {
-        // Inline path: bit-identical to a sequential loop of
-        // TestEngine::run calls on the calling thread.
-        for (std::size_t i = 0; i < jobs_.size(); ++i)
-            result.jobs[i] = execute_job(jobs_[i]);
-    } else {
-        // Work-stealing by atomic ticket: each worker claims the next
-        // unclaimed submission index and writes only its own slot, so
-        // result order is the submission order whatever the schedule.
-        std::atomic<std::size_t> next{0};
-        auto worker = [&]() {
-            for (;;) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= jobs_.size()) return;
-                result.jobs[i] = execute_job(jobs_[i]);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-        for (auto& t : pool) t.join();
-    }
+    // One job per shard on the shared atomic-ticket pool
+    // (common/parallel — the same primitive sharded gate fault
+    // simulation runs on): each worker claims the next unclaimed
+    // submission index and writes only its own slot, so result order
+    // is the submission order whatever the schedule; workers <= 1 is
+    // bit-identical to a sequential loop of TestEngine::run calls.
+    parallel::for_shards(jobs_.size(), workers, [&](std::size_t i) {
+        result.jobs[i] = execute_job(jobs_[i]);
+    });
 
     result.wall_s = seconds_since(start);
     jobs_.clear();

@@ -1,0 +1,160 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t count_outcome(const std::vector<CoverageEntry>& entries,
+                          FaultOutcome outcome) {
+    return static_cast<std::size_t>(std::count_if(
+        entries.begin(), entries.end(), [outcome](const CoverageEntry& e) {
+            return e.outcome == outcome;
+        }));
+}
+
+} // namespace
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+    switch (outcome) {
+    case FaultOutcome::Detected: return "detected";
+    case FaultOutcome::Undetected: return "undetected";
+    case FaultOutcome::Untestable: return "untestable";
+    case FaultOutcome::FrameworkError: return "framework-error";
+    }
+    return "unknown";
+}
+
+std::optional<double> coverage_ratio(std::size_t detected,
+                                     std::size_t graded) {
+    if (graded == 0) return std::nullopt;
+    return static_cast<double>(detected) / static_cast<double>(graded);
+}
+
+std::string format_coverage(std::optional<double> coverage) {
+    if (!coverage) return "n/a";
+    return str::format_number(100.0 * *coverage, 4) + " %";
+}
+
+std::size_t CoverageGroup::detected() const {
+    return count_outcome(entries, FaultOutcome::Detected);
+}
+
+std::size_t CoverageGroup::undetected() const {
+    return count_outcome(entries, FaultOutcome::Undetected);
+}
+
+std::size_t CoverageGroup::untestable() const {
+    return count_outcome(entries, FaultOutcome::Untestable);
+}
+
+std::size_t CoverageGroup::framework_errors() const {
+    return count_outcome(entries, FaultOutcome::FrameworkError);
+}
+
+std::size_t CoverageGroup::graded() const {
+    return detected() + undetected();
+}
+
+std::optional<double> CoverageGroup::coverage() const {
+    return coverage_ratio(detected(), graded());
+}
+
+std::size_t CoverageMatrix::fault_count() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.entries.size();
+    return n;
+}
+
+std::size_t CoverageMatrix::detected() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.detected();
+    return n;
+}
+
+std::size_t CoverageMatrix::undetected() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.undetected();
+    return n;
+}
+
+std::size_t CoverageMatrix::untestable() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.untestable();
+    return n;
+}
+
+std::size_t CoverageMatrix::framework_errors() const {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.framework_errors();
+    return n;
+}
+
+std::size_t CoverageMatrix::graded() const {
+    return detected() + undetected();
+}
+
+std::optional<double> CoverageMatrix::coverage() const {
+    return coverage_ratio(detected(), graded());
+}
+
+bool CoverageMatrix::clean() const {
+    return framework_errors() == 0 &&
+           std::none_of(groups.begin(), groups.end(),
+                        [](const CoverageGroup& g) { return g.setup_error; });
+}
+
+std::string coverage_fingerprint(const CoverageGroup& group) {
+    std::string out = group.name;
+    out += group.setup_error ? "|setup-error\n" : "|setup-ok\n";
+    for (const auto& e : group.entries) {
+        out += e.id;
+        out += "|";
+        out += fault_outcome_name(e.outcome);
+        out += "|";
+        out += e.detected_by ? std::to_string(*e.detected_by) : "-";
+        out += "|" + e.detected_at;
+        out += "|" + std::to_string(e.flipped_checks) + "\n";
+    }
+    return out;
+}
+
+std::string coverage_fingerprint(const CoverageMatrix& matrix) {
+    std::string out;
+    for (const auto& group : matrix.groups)
+        out += coverage_fingerprint(group);
+    return out;
+}
+
+CoverageMatrix grade_universes(
+    const std::vector<std::shared_ptr<GradedUniverse>>& universes,
+    unsigned jobs) {
+    CoverageMatrix matrix;
+    // Report the pool each universe actually gets: jobs resolved
+    // against the largest single universe (each grade() re-resolves
+    // against its own fault count).
+    std::size_t most = 0;
+    for (const auto& universe : universes)
+        if (universe) most = std::max(most, universe->fault_count());
+    matrix.workers = parallel::resolve_workers(jobs, most);
+    const auto start = Clock::now();
+    // Universes grade sequentially; each spreads its own faults over
+    // the worker pool. Grading two universes concurrently would only
+    // interleave their pools without adding parallel work.
+    for (const auto& universe : universes) {
+        if (!universe) continue;
+        matrix.groups.push_back(universe->grade(jobs));
+    }
+    matrix.wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return matrix;
+}
+
+} // namespace ctk::core

@@ -1,0 +1,146 @@
+// Layer-agnostic fault-coverage kernel.
+//
+// Two fault domains grade test suites in this tree: gate/faultsim
+// grades pattern sets against stuck-at faults in a netlist, and
+// core/grading grades the KB suites against system-level FaultSpecs.
+// The compositional-testing literature (Kanso & Chebaro 2014; Daca &
+// Henzinger 2019) treats these per-layer verdicts as one coverage
+// story — so the repo keeps exactly one coverage currency, defined
+// here, instead of one bespoke result type per layer:
+//
+//   * FaultOutcome — the shared verdict vocabulary, including the
+//     ATPG-only Untestable (proven-redundant faults leave the graded
+//     denominator; they are not misses).
+//   * CoverageEntry — one fault × outcome cell with *optional*
+//     detected-by attribution. The index is std::optional, not a raw
+//     npos sentinel: an absent attribution cannot be used to index
+//     past a pattern list by accident.
+//   * CoverageGroup — one graded universe (a netlist, an ECU family)
+//     with rollup counts and the kernel-wide zero-fault rule.
+//   * CoverageMatrix — groups × outcomes, the thing report/ tools/
+//     bench render, gate and compare.
+//
+// The zero-fault rule, defined once for every layer: coverage is
+// detected / (detected + undetected) and is *n/a* (std::nullopt) when
+// nothing was graded. Nobody divides by zero and nobody reports
+// "100 % of nothing" — the seed tree disagreed with itself here
+// (gate said 1.0, KB said 0/0).
+//
+// GradedUniverse is the abstraction both domains implement
+// (gate::NetlistUniverse, core::KbFamilyUniverse): name a universe,
+// count its faults, grade it on N workers into a CoverageGroup with
+// outcomes independent of the worker count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ctk::core {
+
+enum class FaultOutcome {
+    Detected,       ///< the test set noticed the fault
+    Undetected,     ///< graded and missed — a real blind spot
+    Untestable,     ///< proven undetectable (redundant logic); not graded
+    FrameworkError, ///< the grading run itself failed; not a verdict
+};
+
+[[nodiscard]] const char* fault_outcome_name(FaultOutcome outcome);
+
+/// detected / graded, or n/a (nullopt) when graded == 0 — the one
+/// zero-fault behaviour every layer shares.
+[[nodiscard]] std::optional<double> coverage_ratio(std::size_t detected,
+                                                   std::size_t graded);
+
+/// "87.5 %" (paper-style percent) or "n/a".
+[[nodiscard]] std::string format_coverage(std::optional<double> coverage);
+
+/// One fault × outcome cell.
+struct CoverageEntry {
+    std::string id;   ///< stable fault id within its group
+    std::string kind; ///< fault-kind label ("sa0", "stuck_high", ...)
+    FaultOutcome outcome = FaultOutcome::Undetected;
+    /// Index of the detecting pattern in the group's pattern space;
+    /// engaged iff outcome == Detected *and* the domain attributes by
+    /// index (the KB side attributes by check site instead).
+    std::optional<std::size_t> detected_by;
+    /// Human-readable detection site: "pattern 12" on the gate side,
+    /// "test/step/signal" of the first flipped check on the KB side.
+    std::string detected_at;
+    std::size_t flipped_checks = 0; ///< KB: checks whose verdict flipped
+    std::string error_message;      ///< FrameworkError detail
+};
+
+/// One graded universe: a netlist's collapsed fault list, or an ECU
+/// family's generated FaultSpec universe.
+struct CoverageGroup {
+    std::string name;
+    /// Free-form per-domain verdict column: the KB golden-run verdict
+    /// ("PASS"/"FAIL"/"ERROR"), "-" on the gate side.
+    std::string status;
+    bool setup_error = false; ///< the golden/reference run itself failed
+    std::string setup_message;
+    std::vector<CoverageEntry> entries;
+
+    [[nodiscard]] std::size_t detected() const;
+    [[nodiscard]] std::size_t undetected() const;
+    [[nodiscard]] std::size_t untestable() const;
+    [[nodiscard]] std::size_t framework_errors() const;
+    /// detected + undetected — untestable and framework-error faults
+    /// make no coverage statement.
+    [[nodiscard]] std::size_t graded() const;
+    [[nodiscard]] std::optional<double> coverage() const;
+};
+
+/// The full fault × outcome matrix: one group per graded universe.
+struct CoverageMatrix {
+    std::vector<CoverageGroup> groups; ///< grading order
+    double wall_s = 0.0;               ///< whole-grading wall clock
+    unsigned workers = 1;
+
+    [[nodiscard]] std::size_t fault_count() const;
+    [[nodiscard]] std::size_t detected() const;
+    [[nodiscard]] std::size_t undetected() const;
+    [[nodiscard]] std::size_t untestable() const;
+    [[nodiscard]] std::size_t framework_errors() const;
+    [[nodiscard]] std::size_t graded() const;
+    [[nodiscard]] std::optional<double> coverage() const;
+    /// True when every setup succeeded and no fault hit the
+    /// framework-error path — the gate CI propagates.
+    [[nodiscard]] bool clean() const;
+};
+
+/// Stable digest of everything outcome-relevant (group, fault id,
+/// outcome, attribution) — wall clock and worker count excluded. What
+/// the determinism tests and benches compare across worker counts.
+[[nodiscard]] std::string coverage_fingerprint(const CoverageMatrix& matrix);
+[[nodiscard]] std::string coverage_fingerprint(const CoverageGroup& group);
+
+/// A fault domain that can grade itself into a CoverageGroup.
+/// Implementations: gate::NetlistUniverse (stuck-at faults × generated
+/// patterns), core::KbFamilyUniverse (FaultSpecs × a KB suite).
+class GradedUniverse {
+public:
+    virtual ~GradedUniverse() = default;
+
+    /// Group name the grade will carry.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Size of the fault universe that grade() will score.
+    [[nodiscard]] virtual std::size_t fault_count() const = 0;
+
+    /// Grade the whole universe on `jobs` workers (0 = one per
+    /// hardware thread). Outcomes must be identical at every count.
+    [[nodiscard]] virtual CoverageGroup grade(unsigned jobs) = 0;
+};
+
+/// Grade every universe into one matrix (groups in input order); the
+/// cross-layer entry point — a netlist and an ECU family can sit in
+/// the same matrix.
+[[nodiscard]] CoverageMatrix grade_universes(
+    const std::vector<std::shared_ptr<GradedUniverse>>& universes,
+    unsigned jobs = 0);
+
+} // namespace ctk::core

@@ -59,15 +59,6 @@ struct FamilyExec {
 
 } // namespace
 
-const char* fault_outcome_name(FaultOutcome outcome) {
-    switch (outcome) {
-    case FaultOutcome::Detected: return "detected";
-    case FaultOutcome::Undetected: return "undetected";
-    case FaultOutcome::FrameworkError: return "framework-error";
-    }
-    return "unknown";
-}
-
 std::size_t FamilyGrade::detected() const {
     return static_cast<std::size_t>(std::count_if(
         faults.begin(), faults.end(), [](const FaultGrade& f) {
@@ -89,10 +80,36 @@ std::size_t FamilyGrade::framework_errors() const {
         }));
 }
 
-double FamilyGrade::coverage() const {
-    const std::size_t graded = detected() + undetected();
-    if (graded == 0) return 1.0;
-    return static_cast<double>(detected()) / static_cast<double>(graded);
+std::size_t FamilyGrade::graded() const {
+    return detected() + undetected();
+}
+
+std::optional<double> FamilyGrade::coverage() const {
+    return coverage_ratio(detected(), graded());
+}
+
+CoverageGroup FamilyGrade::coverage_group() const {
+    CoverageGroup group;
+    group.name = family;
+    group.status = golden_error ? "ERROR" : golden_passed ? "PASS" : "FAIL";
+    group.setup_error = golden_error;
+    group.setup_message = golden_message;
+    group.entries.reserve(faults.size());
+    for (const auto& f : faults) {
+        CoverageEntry entry;
+        entry.id = f.fault.id();
+        entry.kind = sim::fault_kind_name(f.fault.kind);
+        entry.outcome = f.outcome;
+        // The KB side attributes by check site, not pattern index:
+        // detected_by stays disengaged, detected_at names the first
+        // flipped check.
+        if (f.outcome == FaultOutcome::Detected)
+            entry.detected_at = f.first_flip;
+        entry.flipped_checks = f.flipped_checks;
+        entry.error_message = f.error_message;
+        group.entries.push_back(std::move(entry));
+    }
+    return group;
 }
 
 std::size_t GradingResult::fault_count() const {
@@ -119,16 +136,28 @@ std::size_t GradingResult::framework_errors() const {
     return n;
 }
 
-double GradingResult::coverage() const {
-    const std::size_t graded = detected() + undetected();
-    if (graded == 0) return 1.0;
-    return static_cast<double>(detected()) / static_cast<double>(graded);
+std::size_t GradingResult::graded() const {
+    return detected() + undetected();
+}
+
+std::optional<double> GradingResult::coverage() const {
+    return coverage_ratio(detected(), graded());
 }
 
 bool GradingResult::clean() const {
     return framework_errors() == 0 &&
            std::none_of(families.begin(), families.end(),
                         [](const FamilyGrade& f) { return f.golden_error; });
+}
+
+CoverageMatrix GradingResult::to_coverage() const {
+    CoverageMatrix matrix;
+    matrix.wall_s = wall_s;
+    matrix.workers = workers;
+    matrix.groups.reserve(families.size());
+    for (const auto& family : families)
+        matrix.groups.push_back(family.coverage_group());
+    return matrix;
 }
 
 sim::FaultSurface plan_fault_surface(const CompiledPlan& plan) {
@@ -351,6 +380,26 @@ GradingResult grade_kb(const GradingOptions& options,
          families.empty() ? kb::families() : families)
         grading.add_kb_family(family);
     return grading.run_all();
+}
+
+KbFamilyUniverse::KbFamilyUniverse(std::string family, RunOptions options)
+    : setup_(kb_grading_setup(family, options)),
+      options_(std::move(options)) {}
+
+std::string KbFamilyUniverse::name() const { return setup_.family; }
+
+std::size_t KbFamilyUniverse::fault_count() const {
+    return setup_.universe.size();
+}
+
+CoverageGroup KbFamilyUniverse::grade(unsigned jobs) {
+    GradingOptions options;
+    options.jobs = jobs;
+    options.run = options_;
+    GradingCampaign grading(options);
+    grading.add(setup_);
+    const GradingResult result = grading.run_all();
+    return result.families.front().coverage_group();
 }
 
 } // namespace ctk::core

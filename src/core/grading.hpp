@@ -19,29 +19,28 @@
 // when the faulty run's detection fingerprint (check verdicts only, no
 // measured values — a fault that shifts a reading inside its limits is
 // NOT caught) differs from the golden run's; a job that throws is a
-// *framework error*, isolated exactly as in any campaign. Coverage is
-// detected / (detected + undetected); framework errors are reported
-// separately and make ctkgrade --kb exit nonzero.
+// *framework error*, isolated exactly as in any campaign.
+//
+// Coverage bookkeeping lives in the shared kernel (core/coverage.hpp):
+// outcomes are core::FaultOutcome, a grading converts to a
+// CoverageGroup/CoverageMatrix via coverage_group()/to_coverage(), and
+// the zero-fault rule (coverage is n/a when nothing was graded) is the
+// kernel's, identical to the gate layer's. Framework errors are
+// reported separately and make ctkgrade --kb exit nonzero.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/coverage.hpp"
 #include "sim/fault_inject.hpp"
 
 namespace ctk::core {
-
-enum class FaultOutcome {
-    Detected,       ///< some check verdict flipped vs the golden run
-    Undetected,     ///< the suite passed/failed identically — a miss
-    FrameworkError, ///< the faulty run threw (not a verdict, §4 path)
-};
-
-[[nodiscard]] const char* fault_outcome_name(FaultOutcome outcome);
 
 /// Grade of one injected fault.
 struct FaultGrade {
@@ -66,9 +65,13 @@ struct FamilyGrade {
     [[nodiscard]] std::size_t detected() const;
     [[nodiscard]] std::size_t undetected() const;
     [[nodiscard]] std::size_t framework_errors() const;
-    /// detected / (detected + undetected); 1.0 when nothing was
-    /// gradeable (vacuous).
-    [[nodiscard]] double coverage() const;
+    [[nodiscard]] std::size_t graded() const;
+    /// detected / graded; n/a when nothing was gradeable (the coverage
+    /// kernel's zero-fault rule).
+    [[nodiscard]] std::optional<double> coverage() const;
+    /// Kernel view: one CoverageGroup, entries positional with
+    /// `faults`, status = the golden verdict ("PASS"/"FAIL"/"ERROR").
+    [[nodiscard]] CoverageGroup coverage_group() const;
 };
 
 struct GradingResult {
@@ -80,10 +83,14 @@ struct GradingResult {
     [[nodiscard]] std::size_t detected() const;
     [[nodiscard]] std::size_t undetected() const;
     [[nodiscard]] std::size_t framework_errors() const;
-    [[nodiscard]] double coverage() const;
+    [[nodiscard]] std::size_t graded() const;
+    [[nodiscard]] std::optional<double> coverage() const;
     /// True when every golden run succeeded and no fault hit the
     /// framework-error path — the gate CI propagates.
     [[nodiscard]] bool clean() const;
+    /// Kernel view of the whole grading — what report::render_coverage
+    /// and coverage_to_csv consume.
+    [[nodiscard]] CoverageMatrix to_coverage() const;
 };
 
 struct GradingOptions {
@@ -178,5 +185,26 @@ private:
 [[nodiscard]] GradingResult
 grade_kb(const GradingOptions& options = {},
          const std::vector<std::string>& families = {});
+
+/// GradedUniverse implementation for one KB family — the system-level
+/// twin of gate::NetlistUniverse: same kernel, same downstream
+/// renderers, a netlist and an ECU family can share one matrix.
+/// Throws SemanticError for unknown families (as kb_grading_setup
+/// does).
+class KbFamilyUniverse final : public GradedUniverse {
+public:
+    explicit KbFamilyUniverse(std::string family, RunOptions options = {});
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t fault_count() const override;
+    [[nodiscard]] CoverageGroup grade(unsigned jobs) override;
+
+private:
+    /// The family's suite compiles exactly once, in the constructor;
+    /// every grade() call re-queues a copy of the setup (the plan is a
+    /// shared immutable artefact, so the copy is cheap).
+    FamilyGradingSetup setup_;
+    RunOptions options_;
+};
 
 } // namespace ctk::core

@@ -269,4 +269,24 @@ AtpgResult run_atpg(const Netlist& net, const std::vector<Fault>& faults,
     return out;
 }
 
+std::vector<Fault> undetected_remainder(const std::vector<Fault>& faults,
+                                        const core::CoverageGroup& graded) {
+    if (graded.entries.size() != faults.size())
+        throw SemanticError("coverage group '" + graded.name + "' has " +
+                            std::to_string(graded.entries.size()) +
+                            " entries for " + std::to_string(faults.size()) +
+                            " faults — not a grade of this universe");
+    std::vector<Fault> rest;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        if (graded.entries[i].outcome == core::FaultOutcome::Undetected)
+            rest.push_back(faults[i]);
+    return rest;
+}
+
+AtpgResult run_atpg(const Netlist& net, const std::vector<Fault>& faults,
+                    const core::CoverageGroup& graded,
+                    const AtpgOptions& options) {
+    return run_atpg(net, undetected_remainder(faults, graded), options);
+}
+
 } // namespace ctk::gate

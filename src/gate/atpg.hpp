@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/coverage.hpp"
 #include "gate/faultsim.hpp"
 
 namespace ctk::gate {
@@ -46,6 +47,23 @@ struct AtpgResult {
 /// after random TPG). X inputs in generated patterns are filled with 0.
 [[nodiscard]] AtpgResult run_atpg(const Netlist& net,
                                   const std::vector<Fault>& faults,
+                                  const AtpgOptions& options = {});
+
+/// The still-undetected remainder of a graded universe, read straight
+/// off the coverage kernel: faults[i] is included iff graded.entries[i]
+/// has outcome Undetected. Entries must be positional with `faults`
+/// (as gate::to_coverage produces them); a size mismatch throws
+/// ctk::SemanticError.
+[[nodiscard]] std::vector<Fault>
+undetected_remainder(const std::vector<Fault>& faults,
+                     const core::CoverageGroup& graded);
+
+/// run_atpg over undetected_remainder(faults, graded) — the top-up
+/// consumes its work list from a CoverageMatrix group instead of a
+/// hand-rebuilt fault list.
+[[nodiscard]] AtpgResult run_atpg(const Netlist& net,
+                                  const std::vector<Fault>& faults,
+                                  const core::CoverageGroup& graded,
                                   const AtpgOptions& options = {});
 
 } // namespace ctk::gate

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace ctk::gate {
 
 namespace {
@@ -121,28 +123,164 @@ PackedWord lane_mask(int count) {
                        : ((PackedWord{1} << count) - 1);
 }
 
-/// Simulate `chunk` (≤64 patterns, all with `frames` frames) against one
-/// fault; returns a lane mask of detecting lanes.
-PackedWord detect_lanes(const Netlist& net, const LogicSim& sim,
+/// One packed pass: up to 64 same-length patterns with their golden
+/// responses, ready to be replayed against any fault. Immutable after
+/// packing — shards share it read-only.
+struct PackedChunk {
+    std::vector<std::vector<PackedWord>> frame_in; ///< [frame][pi]
+    std::vector<std::vector<PackedWord>> golden;   ///< [frame][po]
+    std::vector<std::size_t> pattern_idx;          ///< lane → pattern index
+    int lanes = 0;
+};
+
+/// Simulate one chunk against one fault; returns a lane mask of
+/// detecting lanes.
+PackedWord detect_lanes(const Netlist& net,
                         const std::vector<GateId>& order,
-                        const std::vector<std::vector<PackedWord>>& frame_in,
-                        const std::vector<std::vector<PackedWord>>& golden_out,
-                        int lanes, const Fault& fault) {
-    (void)sim;
+                        const PackedChunk& chunk, const Fault& fault) {
     std::vector<PackedWord> state(net.dffs().size(), 0);
     PackedWord detected = 0;
-    for (std::size_t f = 0; f < frame_in.size(); ++f) {
-        const auto values = eval_gates(net, order, frame_in[f], state, &fault);
+    for (std::size_t f = 0; f < chunk.frame_in.size(); ++f) {
+        const auto values =
+            eval_gates(net, order, chunk.frame_in[f], state, &fault);
         const auto& outs = net.outputs();
         for (std::size_t o = 0; o < outs.size(); ++o) {
-            const PackedWord good = golden_out[f][o];
+            const PackedWord good = chunk.golden[f][o];
             const PackedWord bad =
                 values[static_cast<std::size_t>(outs[o])];
             detected |= (good ^ bad);
         }
         state = next_state_with_fault(net, values, &fault);
     }
-    return detected & lane_mask(lanes);
+    return detected & lane_mask(chunk.lanes);
+}
+
+/// Pack patterns into chunks (grouped by frame count so lanes in one
+/// pass stay aligned, stable order) and compute the golden responses —
+/// once per simulation, whatever the fault and shard count.
+std::vector<PackedChunk> pack_patterns(const Netlist& net,
+                                       const LogicSim& sim,
+                                       const std::vector<GateId>& order,
+                                       const std::vector<Pattern>& patterns,
+                                       int lanes_per_pass) {
+    const std::size_t n_pi = net.inputs().size();
+
+    std::vector<std::size_t> idx(patterns.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return patterns[a].frames.size() <
+                                patterns[b].frames.size();
+                     });
+
+    std::vector<PackedChunk> chunks;
+    std::size_t at = 0;
+    while (at < idx.size()) {
+        const std::size_t frames = patterns[idx[at]].frames.size();
+        PackedChunk chunk;
+        while (at < idx.size() &&
+               chunk.pattern_idx.size() <
+                   static_cast<std::size_t>(lanes_per_pass) &&
+               patterns[idx[at]].frames.size() == frames)
+            chunk.pattern_idx.push_back(idx[at++]);
+        chunk.lanes = static_cast<int>(chunk.pattern_idx.size());
+
+        // Pack inputs per frame: frame_in[f][pi] word, lane l = pattern l.
+        chunk.frame_in.assign(frames, std::vector<PackedWord>(n_pi, 0));
+        for (int l = 0; l < chunk.lanes; ++l) {
+            const Pattern& p =
+                patterns[chunk.pattern_idx[static_cast<std::size_t>(l)]];
+            for (std::size_t f = 0; f < frames; ++f)
+                for (std::size_t i = 0; i < n_pi; ++i)
+                    if (p.frames[f][i])
+                        chunk.frame_in[f][i] |= PackedWord{1} << l;
+        }
+
+        // Golden responses per frame.
+        chunk.golden.resize(frames);
+        std::vector<PackedWord> state(net.dffs().size(), 0);
+        for (std::size_t f = 0; f < frames; ++f) {
+            const auto values =
+                eval_gates(net, order, chunk.frame_in[f], state, nullptr);
+            chunk.golden[f] = sim.outputs_of(values);
+            state = next_state_with_fault(net, values, nullptr);
+        }
+        chunks.push_back(std::move(chunk));
+    }
+    return chunks;
+}
+
+/// Grade faults[begin, end) against every chunk. Fault dropping is
+/// local to the range: each fault independently stops at its first
+/// detecting chunk, so a range's results do not depend on how the
+/// fault list was partitioned.
+FaultSimResult simulate_range(const Netlist& net,
+                              const std::vector<GateId>& order,
+                              const std::vector<PackedChunk>& chunks,
+                              const std::vector<Fault>& faults,
+                              std::size_t begin, std::size_t end) {
+    FaultSimResult result;
+    result.total_faults = end - begin;
+    result.detected_mask.assign(end - begin, false);
+    result.detected_by.assign(end - begin, std::nullopt);
+    for (std::size_t fi = begin; fi < end; ++fi) {
+        for (const PackedChunk& chunk : chunks) {
+            const PackedWord lanes_hit =
+                detect_lanes(net, order, chunk, faults[fi]);
+            if (!lanes_hit) continue;
+            const int first = lowest_set_bit(lanes_hit);
+            result.detected_mask[fi - begin] = true;
+            result.detected_by[fi - begin] =
+                chunk.pattern_idx[static_cast<std::size_t>(first)];
+            ++result.detected;
+            break; // fault dropping
+        }
+    }
+    return result;
+}
+
+FaultSimResult simulate(const Netlist& net, const std::vector<Fault>& faults,
+                        const std::vector<Pattern>& patterns,
+                        int lanes_per_pass, unsigned jobs) {
+    FaultSimResult result;
+    result.total_faults = faults.size();
+    result.detected_mask.assign(faults.size(), false);
+    result.detected_by.assign(faults.size(), std::nullopt);
+    if (faults.empty()) return result;
+
+    const LogicSim sim(net);
+    const auto order = net.topo_order();
+    const auto chunks =
+        pack_patterns(net, sim, order, patterns, lanes_per_pass);
+
+    const unsigned workers = parallel::resolve_workers(jobs, faults.size());
+    if (workers <= 1) return simulate_range(net, order, chunks, faults, 0,
+                                            faults.size());
+
+    // Contiguous shards, a few per worker so the atomic-ticket pool can
+    // rebalance when detections cluster. Each shard writes only its own
+    // slot; the stitch below restores fault-list order.
+    const std::size_t shards = std::min<std::size_t>(
+        faults.size(), static_cast<std::size_t>(workers) * 4);
+    const std::size_t per_shard = (faults.size() + shards - 1) / shards;
+    std::vector<FaultSimResult> parts(shards);
+    parallel::for_shards(shards, workers, [&](std::size_t s) {
+        const std::size_t begin = s * per_shard;
+        const std::size_t end =
+            std::min(faults.size(), begin + per_shard);
+        if (begin < end)
+            parts[s] = simulate_range(net, order, chunks, faults, begin, end);
+    });
+
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t begin = s * per_shard;
+        for (std::size_t i = 0; i < parts[s].detected_mask.size(); ++i) {
+            result.detected_mask[begin + i] = parts[s].detected_mask[i];
+            result.detected_by[begin + i] = parts[s].detected_by[i];
+        }
+        result.detected += parts[s].detected;
+    }
+    return result;
 }
 
 } // namespace
@@ -154,90 +292,23 @@ eval_with_fault(const LogicSim& sim, const std::vector<PackedWord>& inputs,
                       state, &fault);
 }
 
-namespace {
-
-FaultSimResult simulate(const Netlist& net, const std::vector<Fault>& faults,
-                        const std::vector<Pattern>& patterns,
-                        int lanes_per_pass) {
-    const LogicSim sim(net);
-    const auto order = net.topo_order();
-    const std::size_t n_pi = net.inputs().size();
-
-    FaultSimResult result;
-    result.total_faults = faults.size();
-    result.detected_mask.assign(faults.size(), false);
-    result.detected_by.assign(faults.size(), FaultSimResult::npos);
-
-    // Group patterns by frame count so lanes in one pass stay aligned.
-    std::vector<std::size_t> idx(patterns.size());
-    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-    std::stable_sort(idx.begin(), idx.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return patterns[a].frames.size() <
-                                patterns[b].frames.size();
-                     });
-
-    std::size_t at = 0;
-    while (at < idx.size()) {
-        const std::size_t frames = patterns[idx[at]].frames.size();
-        std::vector<std::size_t> chunk;
-        while (at < idx.size() && chunk.size() <
-                   static_cast<std::size_t>(lanes_per_pass) &&
-               patterns[idx[at]].frames.size() == frames)
-            chunk.push_back(idx[at++]);
-        const int lanes = static_cast<int>(chunk.size());
-
-        // Pack inputs per frame: frame_in[f][pi] word, lane l = pattern l.
-        std::vector<std::vector<PackedWord>> frame_in(
-            frames, std::vector<PackedWord>(n_pi, 0));
-        for (int l = 0; l < lanes; ++l) {
-            const Pattern& p = patterns[chunk[static_cast<std::size_t>(l)]];
-            for (std::size_t f = 0; f < frames; ++f)
-                for (std::size_t i = 0; i < n_pi; ++i)
-                    if (p.frames[f][i])
-                        frame_in[f][i] |= PackedWord{1} << l;
-        }
-
-        // Golden responses per frame.
-        std::vector<std::vector<PackedWord>> golden(frames);
-        {
-            std::vector<PackedWord> state(net.dffs().size(), 0);
-            for (std::size_t f = 0; f < frames; ++f) {
-                const auto values =
-                    eval_gates(net, order, frame_in[f], state, nullptr);
-                golden[f] = sim.outputs_of(values);
-                state = next_state_with_fault(net, values, nullptr);
-            }
-        }
-
-        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-            if (result.detected_mask[fi]) continue; // fault dropping
-            const PackedWord lanes_hit = detect_lanes(
-                net, sim, order, frame_in, golden, lanes, faults[fi]);
-            if (lanes_hit) {
-                result.detected_mask[fi] = true;
-                const int first = lowest_set_bit(lanes_hit);
-                result.detected_by[fi] =
-                    chunk[static_cast<std::size_t>(first)];
-                ++result.detected;
-            }
-        }
-    }
-    return result;
-}
-
-} // namespace
-
 FaultSimResult fault_simulate_serial(const Netlist& net,
                                      const std::vector<Fault>& faults,
                                      const std::vector<Pattern>& patterns) {
-    return simulate(net, faults, patterns, 1);
+    return simulate(net, faults, patterns, 1, 1);
 }
 
 FaultSimResult fault_simulate_parallel(const Netlist& net,
                                        const std::vector<Fault>& faults,
                                        const std::vector<Pattern>& patterns) {
-    return simulate(net, faults, patterns, 64);
+    return simulate(net, faults, patterns, 64, 1);
+}
+
+FaultSimResult fault_simulate_sharded(const Netlist& net,
+                                      const std::vector<Fault>& faults,
+                                      const std::vector<Pattern>& patterns,
+                                      unsigned jobs) {
+    return simulate(net, faults, patterns, 64, jobs);
 }
 
 } // namespace ctk::gate

@@ -1,5 +1,12 @@
-// Stuck-at fault simulation: serial (one pattern at a time) and
-// parallel-pattern (64 lanes per pass) with fault dropping.
+// Stuck-at fault simulation: serial (one pattern at a time),
+// parallel-pattern (64 lanes per pass), and sharded (the fault list
+// partitioned across the common/parallel worker pool, every shard
+// running 64-lane packs with shard-local fault dropping).
+//
+// All three produce bit-identical detection masks and detected-by
+// attribution: fault dropping is per fault — detection of fault i
+// never reads the detection state of fault j — so partitioning the
+// list changes nothing observable (DESIGN.md §9).
 //
 // Combinational circuits are simulated single-frame; sequential circuits
 // frame-by-frame from the all-zero reset state, with the fault active in
@@ -7,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "gate/faults.hpp"
@@ -29,15 +37,17 @@ struct Pattern {
 struct FaultSimResult {
     std::size_t total_faults = 0;
     std::size_t detected = 0;
-    std::vector<bool> detected_mask;       ///< per fault
-    std::vector<std::size_t> detected_by;  ///< pattern index per fault (or npos)
-    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<bool> detected_mask; ///< per fault
+    /// First detecting pattern index per fault; nullopt while
+    /// undetected — absent attribution cannot index past `patterns`.
+    std::vector<std::optional<std::size_t>> detected_by;
 
-    [[nodiscard]] double coverage() const {
-        return total_faults == 0
-                   ? 1.0
-                   : static_cast<double>(detected) /
-                         static_cast<double>(total_faults);
+    /// detected / total, or n/a for an empty universe (the coverage
+    /// kernel's zero-fault rule — see core/coverage.hpp).
+    [[nodiscard]] std::optional<double> coverage() const {
+        if (total_faults == 0) return std::nullopt;
+        return static_cast<double>(detected) /
+               static_cast<double>(total_faults);
     }
 };
 
@@ -59,5 +69,16 @@ fault_simulate_serial(const Netlist& net, const std::vector<Fault>& faults,
 [[nodiscard]] FaultSimResult
 fault_simulate_parallel(const Netlist& net, const std::vector<Fault>& faults,
                         const std::vector<Pattern>& patterns);
+
+/// Sharded parallel-pattern fault simulation: the fault list is
+/// partitioned into contiguous shards claimed by `jobs` worker threads
+/// (0 = one per hardware thread; 1 = fault_simulate_parallel inline).
+/// Patterns are packed and golden responses computed once, shared
+/// read-only by every shard; fault dropping stays shard-local, so
+/// detection masks and attribution are bit-identical to the serial
+/// path at every worker count.
+[[nodiscard]] FaultSimResult
+fault_simulate_sharded(const Netlist& net, const std::vector<Fault>& faults,
+                       const std::vector<Pattern>& patterns, unsigned jobs);
 
 } // namespace ctk::gate

@@ -1,0 +1,99 @@
+#include "gate/grade.hpp"
+
+namespace ctk::gate {
+
+core::CoverageGroup to_coverage(const Netlist& net,
+                                const std::vector<Fault>& faults,
+                                const FaultSimResult& result,
+                                std::string group_name) {
+    if (result.detected_mask.size() != faults.size() ||
+        result.detected_by.size() != faults.size())
+        throw SemanticError("fault-sim result sized for " +
+                            std::to_string(result.detected_mask.size()) +
+                            " faults, universe has " +
+                            std::to_string(faults.size()));
+    core::CoverageGroup group;
+    group.name = group_name.empty() ? net.name() : std::move(group_name);
+    group.status = "-";
+    group.entries.reserve(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        core::CoverageEntry entry;
+        entry.id = to_string(net, faults[i]);
+        entry.kind = faults[i].sa1 ? "sa1" : "sa0";
+        if (result.detected_mask[i]) {
+            entry.outcome = core::FaultOutcome::Detected;
+            entry.detected_by = result.detected_by[i];
+            if (entry.detected_by)
+                entry.detected_at =
+                    "pattern " + std::to_string(*entry.detected_by);
+        }
+        group.entries.push_back(std::move(entry));
+    }
+    return group;
+}
+
+GateGradeResult grade_netlist(const Netlist& net,
+                              const GateGradeOptions& options) {
+    GateGradeResult out;
+    out.faults = collapse_faults(net);
+
+    RandomTpgOptions ropts;
+    ropts.max_patterns = options.max_patterns;
+    ropts.frames_per_pattern =
+        options.frames_per_pattern != 0 ? options.frames_per_pattern
+        : net.is_sequential()           ? 8
+                                        : 1;
+    ropts.seed = options.seed;
+    ropts.jobs = options.jobs;
+    auto rnd = random_tpg(net, out.faults, ropts);
+    out.patterns = std::move(rnd.patterns);
+    out.random_patterns = out.patterns.size();
+    out.random_detected = rnd.faultsim.detected;
+    out.coverage = to_coverage(net, out.faults, rnd.faultsim);
+
+    if (options.atpg_top_up && !net.is_sequential() &&
+        rnd.faultsim.detected < out.faults.size()) {
+        out.atpg = run_atpg(net, out.faults, out.coverage, options.atpg);
+        // Fold the top-up back into the kernel view. per_fault order is
+        // the Undetected-entry order, and the detected ones appended
+        // their pattern to atpg.patterns in that same order.
+        std::size_t k = 0;
+        std::size_t pattern = 0;
+        for (auto& entry : out.coverage.entries) {
+            if (entry.outcome != core::FaultOutcome::Undetected) continue;
+            const AtpgFaultResult& fr = out.atpg.per_fault[k++];
+            switch (fr.outcome) {
+            case AtpgOutcome::Detected:
+                entry.outcome = core::FaultOutcome::Detected;
+                entry.detected_by = out.random_patterns + pattern;
+                entry.detected_at =
+                    "pattern " + std::to_string(*entry.detected_by);
+                ++pattern;
+                break;
+            case AtpgOutcome::Untestable:
+                entry.outcome = core::FaultOutcome::Untestable;
+                break;
+            case AtpgOutcome::Aborted:
+                break; // honestly still undetected
+            }
+        }
+        for (const auto& p : out.atpg.patterns) out.patterns.push_back(p);
+    }
+    return out;
+}
+
+NetlistUniverse::NetlistUniverse(Netlist net, GateGradeOptions options)
+    : net_(std::move(net)), options_(options),
+      faults_(collapse_faults(net_)) {}
+
+std::string NetlistUniverse::name() const { return net_.name(); }
+
+std::size_t NetlistUniverse::fault_count() const { return faults_.size(); }
+
+core::CoverageGroup NetlistUniverse::grade(unsigned jobs) {
+    GateGradeOptions options = options_;
+    options.jobs = jobs;
+    return grade_netlist(net_, options).coverage;
+}
+
+} // namespace ctk::gate

@@ -1,0 +1,69 @@
+// The netlist-side producer of the shared coverage kernel
+// (core/coverage.hpp): collapse the fault universe, grade it with
+// sharded random TPG, top the combinational remainder up with PODEM —
+// one CoverageGroup out, positional with the collapsed fault list.
+//
+// This is what ctkgrade's netlist mode runs; core/grading is the
+// KB-side twin. Both feed report::render_coverage / coverage_to_csv,
+// so a netlist and an ECU family read identically downstream.
+#pragma once
+
+#include <cstdint>
+
+#include "core/coverage.hpp"
+#include "gate/atpg.hpp"
+#include "gate/tpg.hpp"
+
+namespace ctk::gate {
+
+/// Kernel view of a fault-sim result: one CoverageGroup whose entries
+/// are positional with `faults` — id = fault site ("G22/out sa1"),
+/// kind = "sa0"/"sa1", detected_by = the detecting pattern index.
+/// `group_name` defaults to the netlist's name.
+[[nodiscard]] core::CoverageGroup
+to_coverage(const Netlist& net, const std::vector<Fault>& faults,
+            const FaultSimResult& result, std::string group_name = {});
+
+struct GateGradeOptions {
+    std::size_t max_patterns = 256;     ///< random-TPG pattern budget
+    std::size_t frames_per_pattern = 0; ///< 0 = auto: 8 sequential, 1 comb
+    unsigned jobs = 1;                  ///< fault-sim workers (0 = hardware)
+    bool atpg_top_up = true;            ///< PODEM remainder (comb only)
+    std::uint64_t seed = 1;
+    AtpgOptions atpg;
+};
+
+struct GateGradeResult {
+    std::vector<Fault> faults;     ///< collapsed universe (entry order)
+    std::vector<Pattern> patterns; ///< random prefix + ATPG top-up patterns
+    std::size_t random_patterns = 0; ///< size of the random prefix
+    std::size_t random_detected = 0; ///< detections before the top-up
+    AtpgResult atpg;               ///< empty when the top-up was skipped
+    core::CoverageGroup coverage;  ///< the kernel view, final outcomes
+};
+
+/// Grade a netlist end to end. Outcomes are identical at every
+/// `jobs` count; only wall clock changes. ATPG-detected faults gain
+/// detected-by attribution into the appended pattern list; faults
+/// PODEM proves redundant become Untestable (excluded from the graded
+/// denominator); aborted searches stay Undetected.
+[[nodiscard]] GateGradeResult
+grade_netlist(const Netlist& net, const GateGradeOptions& options = {});
+
+/// GradedUniverse implementation for a netlist — the gate-side twin of
+/// core::KbFamilyUniverse.
+class NetlistUniverse final : public core::GradedUniverse {
+public:
+    explicit NetlistUniverse(Netlist net, GateGradeOptions options = {});
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::size_t fault_count() const override;
+    [[nodiscard]] core::CoverageGroup grade(unsigned jobs) override;
+
+private:
+    Netlist net_;
+    GateGradeOptions options_;
+    std::vector<Fault> faults_;
+};
+
+} // namespace ctk::gate

@@ -11,14 +11,15 @@ RandomTpgResult random_tpg(const Netlist& net,
     RandomTpgResult result;
     result.faultsim.total_faults = faults.size();
     result.faultsim.detected_mask.assign(faults.size(), false);
-    result.faultsim.detected_by.assign(faults.size(), FaultSimResult::npos);
+    result.faultsim.detected_by.assign(faults.size(), std::nullopt);
 
     std::vector<Fault> active = faults;
     std::vector<std::size_t> active_idx(faults.size());
     for (std::size_t i = 0; i < faults.size(); ++i) active_idx[i] = i;
 
     while (result.patterns.size() < options.max_patterns &&
-           result.faultsim.coverage() < options.target_coverage &&
+           result.faultsim.coverage().value_or(1.0) <
+               options.target_coverage &&
            !active.empty()) {
         // One batch of up to 64 fresh patterns.
         const std::size_t batch =
@@ -37,7 +38,7 @@ RandomTpgResult random_tpg(const Netlist& net,
         }
 
         const auto batch_result =
-            fault_simulate_parallel(net, active, fresh);
+            fault_simulate_sharded(net, active, fresh, options.jobs);
 
         // Fold batch detections into the global result (indices shift as
         // detected faults drop out of `active`).
@@ -48,7 +49,7 @@ RandomTpgResult random_tpg(const Netlist& net,
                 const std::size_t global = active_idx[i];
                 result.faultsim.detected_mask[global] = true;
                 result.faultsim.detected_by[global] =
-                    result.patterns.size() + batch_result.detected_by[i];
+                    result.patterns.size() + *batch_result.detected_by[i];
                 ++result.faultsim.detected;
             } else {
                 still.push_back(active[i]);
@@ -59,8 +60,9 @@ RandomTpgResult random_tpg(const Netlist& net,
         active_idx = std::move(still_idx);
 
         for (auto& p : fresh) result.patterns.push_back(std::move(p));
-        result.curve.push_back(
-            CoveragePoint{result.patterns.size(), result.faultsim.coverage()});
+        result.curve.push_back(CoveragePoint{
+            result.patterns.size(),
+            result.faultsim.coverage().value_or(0.0)});
     }
     return result;
 }

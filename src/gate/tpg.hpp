@@ -15,6 +15,10 @@ struct RandomTpgOptions {
     std::size_t frames_per_pattern = 1; ///< >1 exercises sequential DUTs
     double target_coverage = 1.0;       ///< stop early when reached
     std::uint64_t seed = 1;
+    /// Worker threads for each batch's sharded fault simulation
+    /// (0 = hardware threads). Patterns and detections are identical
+    /// at any count — only wall clock changes.
+    unsigned jobs = 1;
 };
 
 struct CoveragePoint {

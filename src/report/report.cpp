@@ -13,13 +13,6 @@ std::string fmt_opt(const std::optional<double>& v) {
     return v ? str::format_number(*v, 4) : std::string{};
 }
 
-/// Coverage cell; "-" when nothing was gradeable (a 0/0 "100 %" next
-/// to a golden failure would be actively misleading).
-std::string fmt_coverage(double coverage, std::size_t graded) {
-    if (graded == 0) return "-";
-    return str::format_number(100.0 * coverage, 4) + " %";
-}
-
 /// Commas and newlines are the CSV structure; squash them in free-text
 /// fields (error messages) so every fault stays one well-formed row.
 std::string csv_field(std::string text) {
@@ -28,11 +21,6 @@ std::string csv_field(std::string text) {
         if (c == '\n' || c == '\r') c = ' ';
     }
     return text;
-}
-
-std::string golden_verdict(const core::FamilyGrade& family) {
-    if (family.golden_error) return "ERROR";
-    return family.golden_passed ? "PASS" : "FAIL";
 }
 
 } // namespace
@@ -131,80 +119,79 @@ std::string to_csv(const core::RunResult& run) {
     return out;
 }
 
-std::string render_fault_grading(const core::GradingResult& result,
-                                 bool per_fault) {
-    std::string out = "fault grading: " +
-                      std::to_string(result.fault_count()) +
+std::string render_coverage(const core::CoverageMatrix& matrix,
+                            bool per_fault) {
+    std::string out = "fault coverage: " +
+                      std::to_string(matrix.fault_count()) +
                       " fault(s) across " +
-                      std::to_string(result.families.size()) +
-                      " family(s), " + std::to_string(result.workers) +
+                      std::to_string(matrix.groups.size()) +
+                      " group(s), " + std::to_string(matrix.workers) +
                       " worker(s)\n";
 
     TextTable t;
-    t.header({"family", "faults", "detected", "undetected", "fw-errors",
-              "coverage", "golden"});
-    for (const auto& family : result.families) {
-        t.row({family.family, std::to_string(family.faults.size()),
-               std::to_string(family.detected()),
-               std::to_string(family.undetected()),
-               std::to_string(family.framework_errors()),
-               fmt_coverage(family.coverage(),
-                            family.detected() + family.undetected()),
-               golden_verdict(family)});
+    t.header({"group", "faults", "detected", "undetected", "untestable",
+              "fw-errors", "coverage", "status"});
+    for (const auto& group : matrix.groups) {
+        t.row({group.name, std::to_string(group.entries.size()),
+               std::to_string(group.detected()),
+               std::to_string(group.undetected()),
+               std::to_string(group.untestable()),
+               std::to_string(group.framework_errors()),
+               core::format_coverage(group.coverage()), group.status});
     }
     t.rule();
-    const std::size_t graded = result.detected() + result.undetected();
-    t.row({"TOTAL", std::to_string(result.fault_count()),
-           std::to_string(result.detected()),
-           std::to_string(result.undetected()),
-           std::to_string(result.framework_errors()),
-           fmt_coverage(result.coverage(), graded), ""});
+    t.row({"TOTAL", std::to_string(matrix.fault_count()),
+           std::to_string(matrix.detected()),
+           std::to_string(matrix.undetected()),
+           std::to_string(matrix.untestable()),
+           std::to_string(matrix.framework_errors()),
+           core::format_coverage(matrix.coverage()), ""});
     out += t.render();
 
     if (per_fault) {
-        for (const auto& family : result.families) {
-            out += family.family + ":\n";
-            if (family.golden_error) {
-                out += "  golden run failed: " + family.golden_message +
-                       "\n";
+        for (const auto& group : matrix.groups) {
+            out += group.name + ":\n";
+            if (group.setup_error) {
+                out += "  setup failed: " + group.setup_message + "\n";
                 continue;
             }
             TextTable d;
-            d.header({"fault", "outcome", "flips", "first flip"});
-            for (const auto& f : family.faults) {
-                d.row({f.fault.id(), fault_outcome_name(f.outcome),
-                       std::to_string(f.flipped_checks),
-                       f.outcome == core::FaultOutcome::FrameworkError
-                           ? f.error_message
-                           : f.first_flip});
+            d.header({"fault", "outcome", "detected at", "flips"});
+            for (const auto& e : group.entries) {
+                d.row({e.id, fault_outcome_name(e.outcome),
+                       e.outcome == core::FaultOutcome::FrameworkError
+                           ? e.error_message
+                           : e.detected_at,
+                       std::to_string(e.flipped_checks)});
             }
             out += d.render();
         }
     }
 
-    out += "coverage: " + fmt_coverage(result.coverage(), graded) + " (" +
-           std::to_string(result.detected()) + "/" +
-           std::to_string(graded) + " graded fault(s) detected), " +
-           std::to_string(result.framework_errors()) +
+    out += "coverage: " + core::format_coverage(matrix.coverage()) + " (" +
+           std::to_string(matrix.detected()) + "/" +
+           std::to_string(matrix.graded()) +
+           " graded fault(s) detected), " +
+           std::to_string(matrix.untestable()) + " untestable, " +
+           std::to_string(matrix.framework_errors()) +
            " framework error(s) in " +
-           str::format_number(result.wall_s, 3) + " s\n";
+           str::format_number(matrix.wall_s, 3) + " s\n";
     return out;
 }
 
-std::string fault_grading_to_csv(const core::GradingResult& result) {
+std::string coverage_to_csv(const core::CoverageMatrix& matrix) {
     std::string out =
-        "family,fault,kind,target,magnitude,outcome,flipped_checks,"
-        "first_flip,error\n";
-    for (const auto& family : result.families) {
-        for (const auto& f : family.faults) {
-            out += family.family + ',' + f.fault.id() + ',' +
-                   sim::fault_kind_name(f.fault.kind) + ',' +
-                   f.fault.target + ',' +
-                   str::format_number(f.fault.magnitude) + ',' +
-                   fault_outcome_name(f.outcome) + ',' +
-                   std::to_string(f.flipped_checks) + ',' +
-                   csv_field(f.first_flip) + ',' +
-                   csv_field(f.error_message) + '\n';
+        "group,fault,kind,outcome,detected_by,detected_at,"
+        "flipped_checks,error\n";
+    for (const auto& group : matrix.groups) {
+        for (const auto& e : group.entries) {
+            out += group.name + ',' + csv_field(e.id) + ',' + e.kind + ',' +
+                   fault_outcome_name(e.outcome) + ',' +
+                   (e.detected_by ? std::to_string(*e.detected_by)
+                                  : std::string{}) +
+                   ',' + csv_field(e.detected_at) + ',' +
+                   std::to_string(e.flipped_checks) + ',' +
+                   csv_field(e.error_message) + '\n';
         }
     }
     return out;

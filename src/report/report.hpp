@@ -1,11 +1,14 @@
 // Reporting: render run results in the paper's table layout and as CSV,
-// plus the fault-grading coverage tables (DESIGN.md §8).
+// plus the unified fault-coverage tables (DESIGN.md §8–§9). Coverage
+// rendering consumes the layer-agnostic kernel (core/coverage.hpp)
+// only — a graded netlist and a graded KB family print and export
+// through exactly the same schema.
 #pragma once
 
 #include <string>
 
+#include "core/coverage.hpp"
 #include "core/engine.hpp"
-#include "core/grading.hpp"
 #include "script/script.hpp"
 
 namespace ctk::report {
@@ -27,19 +30,19 @@ render_allocation(const stand::Allocation& allocation);
 /// (test,step,signal,status,method,lo,hi,measured,passed).
 [[nodiscard]] std::string to_csv(const core::RunResult& run);
 
-/// Fault-grading coverage table: one row per family (faults, detected,
-/// undetected, framework errors, coverage, golden verdict) plus a TOTAL
-/// rule and a summary line. With `per_fault` set, each family is
-/// followed by its per-fault detail table (fault id, outcome, flipped
-/// checks, where the first flip happened).
+/// Unified fault-coverage table: one row per group (faults, detected,
+/// undetected, untestable, framework errors, coverage, status) plus a
+/// TOTAL rule and a summary line. Coverage of an empty graded set
+/// renders "n/a" — never a fabricated 100 %. With `per_fault` set,
+/// each group is followed by its per-fault detail table (fault id,
+/// outcome, detection site, flipped checks).
 [[nodiscard]] std::string
-render_fault_grading(const core::GradingResult& result,
-                     bool per_fault = false);
+render_coverage(const core::CoverageMatrix& matrix, bool per_fault = false);
 
-/// Machine-readable CSV of a grading: one row per fault
-/// (family,fault,kind,target,magnitude,outcome,flipped_checks,
-/// first_flip,error).
+/// Machine-readable CSV of a coverage matrix, one row per fault:
+/// group,fault,kind,outcome,detected_by,detected_at,flipped_checks,
+/// error — the same schema for both fault domains.
 [[nodiscard]] std::string
-fault_grading_to_csv(const core::GradingResult& result);
+coverage_to_csv(const core::CoverageMatrix& matrix);
 
 } // namespace ctk::report

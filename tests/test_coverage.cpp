@@ -1,0 +1,172 @@
+// The layer-agnostic coverage kernel (core/coverage.hpp): rollup
+// arithmetic, the zero-fault rule on BOTH fault domains, fingerprints,
+// and the GradedUniverse abstraction mixing a netlist and an ECU
+// family in one matrix.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/grading.hpp"
+#include "gate/circuits.hpp"
+#include "gate/grade.hpp"
+#include "report/report.hpp"
+
+namespace ctk {
+namespace {
+
+core::CoverageEntry entry(const char* id, core::FaultOutcome outcome) {
+    core::CoverageEntry e;
+    e.id = id;
+    e.kind = "sa0";
+    e.outcome = outcome;
+    return e;
+}
+
+TEST(CoverageKernel, RatioNeverDividesByZero) {
+    EXPECT_EQ(core::coverage_ratio(0, 0), std::nullopt);
+    EXPECT_EQ(core::coverage_ratio(3, 4), std::optional<double>(0.75));
+    EXPECT_EQ(core::coverage_ratio(0, 8), std::optional<double>(0.0));
+    EXPECT_EQ(core::format_coverage(std::nullopt), "n/a");
+    EXPECT_EQ(core::format_coverage(0.5), "50 %");
+    EXPECT_EQ(core::format_coverage(1.0), "100 %");
+}
+
+TEST(CoverageKernel, GroupRollupsExcludeUntestableAndErrors) {
+    core::CoverageGroup group;
+    group.name = "g";
+    group.entries.push_back(entry("a", core::FaultOutcome::Detected));
+    group.entries.push_back(entry("b", core::FaultOutcome::Detected));
+    group.entries.push_back(entry("c", core::FaultOutcome::Undetected));
+    group.entries.push_back(entry("d", core::FaultOutcome::Untestable));
+    group.entries.push_back(entry("e", core::FaultOutcome::FrameworkError));
+
+    EXPECT_EQ(group.detected(), 2u);
+    EXPECT_EQ(group.undetected(), 1u);
+    EXPECT_EQ(group.untestable(), 1u);
+    EXPECT_EQ(group.framework_errors(), 1u);
+    // Untestable and framework-error faults make no coverage statement.
+    EXPECT_EQ(group.graded(), 3u);
+    ASSERT_TRUE(group.coverage().has_value());
+    EXPECT_DOUBLE_EQ(*group.coverage(), 2.0 / 3.0);
+}
+
+TEST(CoverageKernel, MatrixAggregatesGroupsAndFlagsUnclean) {
+    core::CoverageMatrix matrix;
+    core::CoverageGroup a;
+    a.name = "a";
+    a.entries.push_back(entry("x", core::FaultOutcome::Detected));
+    core::CoverageGroup b;
+    b.name = "b";
+    b.entries.push_back(entry("y", core::FaultOutcome::Undetected));
+    matrix.groups = {a, b};
+
+    EXPECT_EQ(matrix.fault_count(), 2u);
+    EXPECT_EQ(matrix.graded(), 2u);
+    EXPECT_EQ(matrix.coverage(), std::optional<double>(0.5));
+    EXPECT_TRUE(matrix.clean());
+
+    matrix.groups[1].setup_error = true;
+    EXPECT_FALSE(matrix.clean());
+    matrix.groups[1].setup_error = false;
+    matrix.groups[1].entries.push_back(
+        entry("z", core::FaultOutcome::FrameworkError));
+    EXPECT_FALSE(matrix.clean());
+}
+
+TEST(CoverageKernel, EmptyUniverseIsNaOnBothLayers) {
+    // The satellite regression: the seed tree reported 1.0 (gate) and
+    // 0/0 (KB) for an empty universe. The kernel defines ONE rule —
+    // n/a, never a division by zero — and both layers follow it.
+
+    // Gate side: an empty fault list through the sharded simulator.
+    const gate::Netlist net = gate::circuits::c17();
+    const std::vector<gate::Pattern> patterns{
+        gate::Pattern::single({false, false, false, false, false})};
+    const auto sim =
+        gate::fault_simulate_sharded(net, {}, patterns, 4);
+    EXPECT_EQ(sim.total_faults, 0u);
+    EXPECT_EQ(sim.coverage(), std::nullopt);
+    const auto group = gate::to_coverage(net, {}, sim);
+    EXPECT_EQ(group.coverage(), std::nullopt);
+
+    // KB side: a grading with nothing queued.
+    core::GradingCampaign grading;
+    const auto empty = grading.run_all();
+    EXPECT_EQ(empty.coverage(), std::nullopt);
+    EXPECT_EQ(empty.to_coverage().coverage(), std::nullopt);
+
+    // A family grade with no faults agrees too.
+    core::FamilyGrade family;
+    family.family = "none";
+    EXPECT_EQ(family.coverage(), std::nullopt);
+    EXPECT_EQ(family.coverage_group().coverage(), std::nullopt);
+}
+
+TEST(CoverageKernel, FingerprintTracksOutcomeRelevantFieldsOnly) {
+    core::CoverageMatrix matrix;
+    core::CoverageGroup group;
+    group.name = "g";
+    group.entries.push_back(entry("a", core::FaultOutcome::Detected));
+    matrix.groups.push_back(group);
+    const std::string base = core::coverage_fingerprint(matrix);
+
+    core::CoverageMatrix timed = matrix;
+    timed.wall_s = 42.0;
+    timed.workers = 8;
+    EXPECT_EQ(core::coverage_fingerprint(timed), base); // timing excluded
+
+    core::CoverageMatrix flipped = matrix;
+    flipped.groups[0].entries[0].outcome = core::FaultOutcome::Undetected;
+    EXPECT_NE(core::coverage_fingerprint(flipped), base);
+
+    core::CoverageMatrix attributed = matrix;
+    attributed.groups[0].entries[0].detected_by = 7;
+    EXPECT_NE(core::coverage_fingerprint(attributed), base);
+}
+
+TEST(CoverageKernel, GradeUniversesMixesBothDomainsInOneMatrix) {
+    // The cross-layer promise: a netlist and an ECU family grade into
+    // one CoverageMatrix through the same GradedUniverse interface,
+    // and outcomes are worker-count independent on both sides.
+    std::vector<std::shared_ptr<core::GradedUniverse>> universes;
+    universes.push_back(std::make_shared<gate::NetlistUniverse>(
+        gate::circuits::c17()));
+    universes.push_back(
+        std::make_shared<core::KbFamilyUniverse>("wiper"));
+
+    EXPECT_EQ(universes[0]->name(), "c17");
+    EXPECT_EQ(universes[1]->name(), "wiper");
+    EXPECT_GT(universes[0]->fault_count(), 0u);
+    EXPECT_GT(universes[1]->fault_count(), 0u);
+
+    const auto one = core::grade_universes(universes, 1);
+    const auto four = core::grade_universes(universes, 4);
+    ASSERT_EQ(one.groups.size(), 2u);
+    EXPECT_EQ(one.groups[0].name, "c17");
+    EXPECT_EQ(one.groups[1].name, "wiper");
+    EXPECT_EQ(core::coverage_fingerprint(one),
+              core::coverage_fingerprint(four));
+    // c17 has no redundant faults and random TPG closes it fully.
+    EXPECT_EQ(one.groups[0].coverage(), std::optional<double>(1.0));
+    ASSERT_TRUE(one.groups[1].coverage().has_value());
+    EXPECT_GT(*one.groups[1].coverage(), 0.0);
+
+    // Both groups flow through the one render/CSV schema.
+    const std::string csv = report::coverage_to_csv(one);
+    EXPECT_EQ(csv.rfind("group,fault,kind,outcome,detected_by,"
+                        "detected_at,flipped_checks,error\n",
+                        0),
+              0u);
+    EXPECT_NE(csv.find("c17,"), std::string::npos);
+    EXPECT_NE(csv.find("wiper,"), std::string::npos);
+    const std::string table = report::render_coverage(one);
+    EXPECT_NE(table.find("c17"), std::string::npos);
+    EXPECT_NE(table.find("wiper"), std::string::npos);
+}
+
+} // namespace
+} // namespace ctk

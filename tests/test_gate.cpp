@@ -360,7 +360,7 @@ TEST(FaultSim, C17ExhaustiveDetectsAllCollapsedFaults) {
         fault_simulate_parallel(n, faults, exhaustive_patterns(5));
     // c17 has no redundant stuck-at faults.
     EXPECT_EQ(result.detected, result.total_faults);
-    EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(result.coverage().value_or(0.0), 1.0);
 }
 
 TEST(FaultSim, StuckOutputFaultDetectedByObviousPattern) {
@@ -438,7 +438,7 @@ TEST(FaultSim, SequentialCounterFaultsDetected) {
     Pattern p;
     for (int f = 0; f < 10; ++f) p.frames.push_back({true});
     const auto result = fault_simulate_parallel(n, faults, {p});
-    EXPECT_GT(result.coverage(), 0.5);
+    EXPECT_GT(result.coverage().value_or(0.0), 0.5);
     // Serial agrees.
     const auto serial = fault_simulate_serial(n, faults, {p});
     EXPECT_EQ(serial.detected_mask, result.detected_mask);
@@ -451,7 +451,7 @@ TEST(FaultSim, SequentialCounterFaultsDetected) {
 TEST(RandomTpg, ReachesFullCoverageOnC17) {
     const Netlist n = circuits::c17();
     const auto result = random_tpg(n, collapse_faults(n));
-    EXPECT_DOUBLE_EQ(result.faultsim.coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(result.faultsim.coverage().value_or(0.0), 1.0);
     EXPECT_FALSE(result.curve.empty());
     // Curve is monotonically non-decreasing.
     for (std::size_t i = 1; i < result.curve.size(); ++i)
@@ -538,7 +538,7 @@ TEST(Podem, FullAtpgOnAdderAchievesFullCoverage) {
     EXPECT_EQ(atpg.aborted, 0u);
     EXPECT_EQ(atpg.untestable, 0u); // adders have no redundancy
     const auto replay = fault_simulate_parallel(n, faults, atpg.patterns);
-    EXPECT_DOUBLE_EQ(replay.coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(replay.coverage().value_or(0.0), 1.0);
 }
 
 // ---------------------------------------------------------------------------

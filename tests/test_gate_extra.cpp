@@ -140,7 +140,7 @@ TEST_P(FaultUniverse, CollapsedCoverageImpliesFullEquivalentDetection) {
     if (atpg.untestable > 0) GTEST_SKIP() << "circuit has redundancy";
     const auto full = full_fault_list(n);
     const auto full_result = fault_simulate_parallel(n, full, atpg.patterns);
-    EXPECT_DOUBLE_EQ(full_result.coverage(), 1.0);
+    EXPECT_DOUBLE_EQ(full_result.coverage().value_or(0.0), 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Circuits, FaultUniverse,
@@ -159,7 +159,9 @@ TEST(SequentialFaultSim, LongerSequencesDetectMore) {
     auto coverage_with_frames = [&](std::size_t frames) {
         Pattern p;
         for (std::size_t f = 0; f < frames; ++f) p.frames.push_back({true});
-        return fault_simulate_parallel(n, faults, {p}).coverage();
+        return fault_simulate_parallel(n, faults, {p})
+            .coverage()
+            .value_or(0.0);
     };
     const double c2 = coverage_with_frames(2);
     const double c8 = coverage_with_frames(8);
@@ -185,7 +187,7 @@ TEST(SequentialFaultSim, RandomTpgWithFramesCoversCounter) {
     opts.frames_per_pattern = 12;
     opts.max_patterns = 128;
     const auto r = random_tpg(n, collapse_faults(n), opts);
-    EXPECT_GT(r.faultsim.coverage(), 0.85);
+    EXPECT_GT(r.faultsim.coverage().value_or(0.0), 0.85);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,242 @@
+// Sharded fault simulation and the gate-side coverage producer:
+// shard-count invariance (masks AND attribution bit-identical to the
+// serial path), kernel-routed ATPG top-up, and grade_netlist
+// determinism across worker counts.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gate/circuits.hpp"
+#include "gate/grade.hpp"
+
+namespace ctk::gate {
+namespace {
+
+std::vector<Pattern> random_patterns(const Netlist& net, std::size_t count,
+                                     std::size_t frames,
+                                     std::uint64_t seed = 101) {
+    Rng rng(seed);
+    std::vector<Pattern> patterns;
+    for (std::size_t p = 0; p < count; ++p) {
+        Pattern pat;
+        for (std::size_t f = 0; f < frames; ++f) {
+            std::vector<bool> frame(net.inputs().size());
+            for (auto&& v : frame) v = rng.next_bool();
+            pat.frames.push_back(std::move(frame));
+        }
+        patterns.push_back(std::move(pat));
+    }
+    return patterns;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance (the acceptance criterion: bit-identical
+// detected_mask and attribution to fault_simulate_serial at every
+// worker count, combinational and sequential)
+// ---------------------------------------------------------------------------
+
+class ShardInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardInvariance, ShardedMatchesSerialAtEveryWorkerCount) {
+    const std::string which = GetParam();
+    const Netlist net = which == "c17"     ? circuits::c17()
+                        : which == "adder" ? circuits::ripple_adder(5)
+                        : which == "alu"   ? circuits::alu(3)
+                        : which == "mux"   ? circuits::mux_tree(3)
+                                           : circuits::counter(4);
+    const auto faults = collapse_faults(net);
+    const auto patterns =
+        random_patterns(net, 60, net.is_sequential() ? 6 : 1);
+
+    const auto serial = fault_simulate_serial(net, faults, patterns);
+    for (const unsigned jobs : {1u, 4u, 8u}) {
+        const auto sharded =
+            fault_simulate_sharded(net, faults, patterns, jobs);
+        EXPECT_EQ(sharded.detected, serial.detected) << "jobs=" << jobs;
+        EXPECT_EQ(sharded.detected_mask, serial.detected_mask)
+            << "jobs=" << jobs;
+        EXPECT_EQ(sharded.detected_by, serial.detected_by)
+            << "jobs=" << jobs;
+    }
+    // jobs = 0 (hardware threads) agrees too.
+    const auto hw = fault_simulate_sharded(net, faults, patterns, 0);
+    EXPECT_EQ(hw.detected_mask, serial.detected_mask);
+    EXPECT_EQ(hw.detected_by, serial.detected_by);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, ShardInvariance,
+                         ::testing::Values("c17", "adder", "alu", "mux",
+                                           "counter"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+TEST(ShardedFaultSim, AttributionNeverExceedsPatternList) {
+    const Netlist net = circuits::ripple_adder(4);
+    const auto faults = collapse_faults(net);
+    const auto patterns = random_patterns(net, 37, 1);
+    const auto result = fault_simulate_sharded(net, faults, patterns, 4);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        // optional attribution is engaged exactly when detected, and an
+        // engaged value is a valid pattern index — the reason the raw
+        // npos sentinel is gone.
+        EXPECT_EQ(result.detected_by[i].has_value(),
+                  static_cast<bool>(result.detected_mask[i]));
+        if (result.detected_by[i]) {
+            EXPECT_LT(*result.detected_by[i], patterns.size());
+        }
+    }
+}
+
+TEST(ShardedFaultSim, DetectingPatternActuallyDetects) {
+    const Netlist net = circuits::alu(2);
+    const auto faults = collapse_faults(net);
+    const auto patterns = random_patterns(net, 50, 1);
+    const auto result = fault_simulate_sharded(net, faults, patterns, 8);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (!result.detected_by[i]) continue;
+        const auto replay = fault_simulate_serial(
+            net, {faults[i]}, {patterns[*result.detected_by[i]]});
+        EXPECT_EQ(replay.detected, 1u) << to_string(net, faults[i]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-routed ATPG top-up
+// ---------------------------------------------------------------------------
+
+TEST(GateCoverage, UndetectedRemainderReadsOffTheKernel) {
+    const Netlist net = circuits::mux_tree(3);
+    const auto faults = collapse_faults(net);
+    const auto patterns = random_patterns(net, 8, 1);
+    const auto sim = fault_simulate_sharded(net, faults, patterns, 2);
+    const auto group = to_coverage(net, faults, sim);
+    ASSERT_GT(group.undetected(), 0u) << "budget too generous for test";
+
+    const auto remainder = undetected_remainder(faults, group);
+    EXPECT_EQ(remainder.size(), group.undetected());
+
+    // The coverage overload is exactly run_atpg over that remainder.
+    const auto via_kernel = run_atpg(net, faults, group);
+    const auto direct = run_atpg(net, remainder);
+    EXPECT_EQ(via_kernel.detected, direct.detected);
+    EXPECT_EQ(via_kernel.untestable, direct.untestable);
+    EXPECT_EQ(via_kernel.patterns.size(), direct.patterns.size());
+
+    // A grade of some other universe is rejected, not misread.
+    core::CoverageGroup wrong = group;
+    wrong.entries.pop_back();
+    EXPECT_THROW((void)undetected_remainder(faults, wrong), SemanticError);
+    EXPECT_THROW((void)run_atpg(net, faults, wrong), SemanticError);
+}
+
+TEST(GateCoverage, GradeNetlistFoldsTopUpIntoTheMatrix) {
+    const Netlist net = circuits::mux_tree(3);
+    GateGradeOptions options;
+    options.max_patterns = 8; // deliberately leave coverage incomplete
+    options.jobs = 2;
+    const auto graded = grade_netlist(net, options);
+
+    ASSERT_EQ(graded.coverage.entries.size(), graded.faults.size());
+    EXPECT_GT(graded.atpg.detected, 0u);
+    EXPECT_EQ(graded.atpg.aborted, 0u);
+    // mux trees are irredundant: after the top-up everything is
+    // detected and nothing graded is left behind.
+    EXPECT_EQ(graded.coverage.undetected(), 0u);
+    EXPECT_EQ(graded.coverage.untestable(), 0u);
+    EXPECT_EQ(graded.coverage.coverage(), std::optional<double>(1.0));
+    EXPECT_EQ(graded.patterns.size(),
+              graded.random_patterns + graded.atpg.patterns.size());
+
+    // Every attribution — random prefix or ATPG top-up — points at a
+    // pattern that really detects its fault.
+    for (std::size_t i = 0; i < graded.faults.size(); ++i) {
+        const auto& entry = graded.coverage.entries[i];
+        ASSERT_TRUE(entry.detected_by.has_value()) << entry.id;
+        ASSERT_LT(*entry.detected_by, graded.patterns.size());
+        const auto replay = fault_simulate_serial(
+            net, {graded.faults[i]},
+            {graded.patterns[*entry.detected_by]});
+        EXPECT_EQ(replay.detected, 1u) << entry.id;
+    }
+}
+
+TEST(GateCoverage, RedundantFaultBecomesUntestableNotMissed) {
+    // The classically redundant site from the PODEM tests: AND(b, !b)
+    // is constant 0, so its output sa0 is undetectable. The kernel
+    // must file it under Untestable — out of the graded denominator —
+    // rather than leave it an apparent blind spot.
+    Netlist n("redundant");
+    const GateId a = n.add_input("a");
+    const GateId b = n.add_input("b");
+    const GateId nb = n.add_gate(GateType::Not, "nb", {b});
+    const GateId c0 = n.add_gate(GateType::And, "c0", {b, nb});
+    const GateId y = n.add_gate(GateType::Or, "y", {a, c0});
+    n.mark_output(y);
+
+    GateGradeOptions options;
+    options.max_patterns = 16;
+    const auto graded = grade_netlist(n, options);
+    EXPECT_EQ(graded.coverage.untestable(), graded.atpg.untestable);
+    EXPECT_GT(graded.coverage.untestable(), 0u);
+    EXPECT_EQ(graded.coverage.undetected(), 0u);
+    EXPECT_EQ(graded.coverage.coverage(), std::optional<double>(1.0));
+    (void)a;
+    (void)c0;
+}
+
+TEST(GateCoverage, SequentialGradeSkipsTopUpHonestly) {
+    GateGradeOptions options;
+    options.max_patterns = 64;
+    const auto graded = grade_netlist(circuits::counter(4), options);
+    EXPECT_TRUE(graded.atpg.per_fault.empty()); // PODEM is single-frame
+    EXPECT_EQ(graded.patterns.size(), graded.random_patterns);
+    ASSERT_TRUE(graded.coverage.coverage().has_value());
+    EXPECT_GT(*graded.coverage.coverage(), 0.5);
+}
+
+TEST(GateCoverage, GradeNetlistIsWorkerCountInvariant) {
+    for (const Netlist& net :
+         {circuits::c17(), circuits::mux_tree(3), circuits::counter(4)}) {
+        std::optional<std::string> want;
+        for (const unsigned jobs : {1u, 4u, 8u}) {
+            GateGradeOptions options;
+            options.max_patterns = 16;
+            options.jobs = jobs;
+            const auto graded = grade_netlist(net, options);
+            const std::string got =
+                core::coverage_fingerprint(graded.coverage);
+            if (!want)
+                want = got;
+            else
+                EXPECT_EQ(got, *want)
+                    << net.name() << " at jobs=" << jobs;
+        }
+    }
+}
+
+TEST(GateCoverage, NetlistUniverseReportsTheCollapsedCount) {
+    NetlistUniverse universe(circuits::c17());
+    EXPECT_EQ(universe.name(), "c17");
+    EXPECT_EQ(universe.fault_count(),
+              collapse_faults(circuits::c17()).size());
+    const auto group = universe.grade(2);
+    EXPECT_EQ(group.entries.size(), universe.fault_count());
+    EXPECT_EQ(group.coverage(), std::optional<double>(1.0));
+}
+
+TEST(GateCoverage, ToCoverageRejectsMismatchedResult) {
+    const Netlist net = circuits::c17();
+    const auto faults = collapse_faults(net);
+    FaultSimResult wrong;
+    wrong.total_faults = 1;
+    wrong.detected_mask.assign(1, false);
+    wrong.detected_by.assign(1, std::nullopt);
+    EXPECT_THROW((void)to_coverage(net, faults, wrong), SemanticError);
+}
+
+} // namespace
+} // namespace ctk::gate

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.hpp"
+#include "core/grading.hpp"
 #include "dut/catalogue.hpp"
 #include "model/paper.hpp"
 #include "report/report.hpp"
@@ -82,40 +83,55 @@ TEST(Report, SummaryCountsFailedSteps) {
     EXPECT_GT(r.tests[0].failed_steps(), 0u);
 }
 
-TEST(Report, FaultGradingTableListsFamiliesAndTotals) {
+TEST(Report, CoverageTableListsGroupsAndTotals) {
     core::GradingOptions opts;
     opts.jobs = 2;
     const auto grading = core::grade_kb(opts, {"wiper", "turn_signal"});
-    const std::string out = render_fault_grading(grading);
+    const auto matrix = grading.to_coverage();
+    const std::string out = render_coverage(matrix);
     EXPECT_NE(out.find("wiper"), std::string::npos);
     EXPECT_NE(out.find("turn_signal"), std::string::npos);
     EXPECT_NE(out.find("TOTAL"), std::string::npos);
     EXPECT_NE(out.find("coverage"), std::string::npos);
+    EXPECT_NE(out.find("untestable"), std::string::npos);
     EXPECT_NE(out.find("worker(s)"), std::string::npos);
     // Per-fault ids only appear in the detail rendering.
     EXPECT_EQ(out.find("stuck_low@wiper_lo"), std::string::npos);
-    const std::string detail = render_fault_grading(grading, true);
+    const std::string detail = render_coverage(matrix, true);
     EXPECT_NE(detail.find("stuck_low@wiper_lo"), std::string::npos);
     EXPECT_NE(detail.find("detected"), std::string::npos);
 }
 
-TEST(Report, FaultGradingCsvHasOneRowPerFault) {
+TEST(Report, CoverageCsvHasOneRowPerFault) {
     core::GradingOptions opts;
     opts.jobs = 1;
     const auto grading = core::grade_kb(opts, {"wiper"});
-    const std::string csv = fault_grading_to_csv(grading);
+    const std::string csv = coverage_to_csv(grading.to_coverage());
     std::istringstream lines(csv);
     std::string line;
     std::getline(lines, line);
     EXPECT_EQ(line,
-              "family,fault,kind,target,magnitude,outcome,flipped_checks,"
-              "first_flip,error");
+              "group,fault,kind,outcome,detected_by,detected_at,"
+              "flipped_checks,error");
     std::size_t rows = 0;
     while (std::getline(lines, line)) {
         ++rows;
         EXPECT_EQ(line.rfind("wiper,", 0), 0u) << line;
     }
     EXPECT_EQ(rows, grading.fault_count());
+}
+
+TEST(Report, CoverageOfNothingRendersNa) {
+    // The kernel's zero-fault rule surfaces in the report: a group with
+    // no graded faults prints n/a — never a fabricated 100 %.
+    core::CoverageMatrix matrix;
+    core::CoverageGroup group;
+    group.name = "empty";
+    group.status = "-";
+    matrix.groups.push_back(group);
+    const std::string out = render_coverage(matrix);
+    EXPECT_NE(out.find("n/a"), std::string::npos);
+    EXPECT_EQ(out.find("100 %"), std::string::npos);
 }
 
 } // namespace

@@ -1,34 +1,46 @@
-// ctkgrade — fault grading for gate-level and system-level DUTs.
+// ctkgrade — fault grading for gate-level and system-level DUTs,
+// unified behind the coverage kernel (DESIGN.md §9).
 //
 // Gate mode (the original): loads an ISCAS .bench netlist (or one of
-// the built-in circuits), runs random TPG up to a pattern budget, tops
-// the remainder up with PODEM, and prints the coverage breakdown.
+// the built-in circuits), grades its collapsed stuck-at universe with
+// sharded random TPG (--jobs worker threads) plus a PODEM top-up that
+// consumes the undetected remainder straight from the coverage matrix.
 //
 // KB mode (--kb): grades the knowledge-base test suites themselves by
 // system-level fault injection (DESIGN.md §8) — every family's suite is
 // compiled once, run golden, then re-run against each entry of the
 // family's generated fault universe (pin stuck/drift, CAN drop/corrupt,
-// clock skew) on a worker pool; prints the per-family coverage table.
+// clock skew) on a worker pool.
+//
+// Both modes print the same coverage table, export the same CSV schema
+// and honour the same flags: --jobs (worker threads; outcomes identical
+// at any count), --detail (per-fault rows), --csv (machine-readable
+// export) and --min-coverage (CI gate: exit 4 when total coverage is
+// below the threshold, or when nothing was graded at all).
 //
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
+//                   [--jobs N] [--detail] [--csv out.csv]
+//                   [--min-coverage X]
 //          ctkgrade --kb [--families a,b] [--jobs N] [--detail]
-//                   [--csv out.csv]
+//                   [--csv out.csv] [--min-coverage X]
 //          builtin names: c17, adder8, cmp8, mux16, alu4, parity16,
 //          counter4 (sequential; random only)
 //
 // Exit codes: 0 ok, 1 usage, 2 parse/framework error, 3 KB grading hit
-// framework-error faults (or a golden run failed) — CI propagates this.
+// framework-error faults (or a golden run failed), 4 coverage below
+// --min-coverage — CI propagates 3 and 4.
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/grading.hpp"
-#include "gate/atpg.hpp"
 #include "gate/bench_io.hpp"
 #include "gate/circuits.hpp"
-#include "gate/tpg.hpp"
+#include "gate/grade.hpp"
 #include "report/report.hpp"
 
 namespace {
@@ -54,27 +66,102 @@ ctk::gate::Netlist load(const std::string& spec) {
 }
 
 const char* kUsage =
-    "usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]\n"
-    "       ctkgrade --kb [--families a,b] [--jobs N] [--detail] "
-    "[--csv out.csv]\n";
+    "usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N] "
+    "[--jobs N]\n"
+    "                [--detail] [--csv out.csv] [--min-coverage X]\n"
+    "       ctkgrade --kb [--families a,b] [--jobs N] [--detail]\n"
+    "                [--csv out.csv] [--min-coverage X]\n";
 
-int run_kb_grading(const std::vector<std::string>& families, unsigned jobs,
-                   bool detail, const std::string& csv_path) {
+/// Flags shared verbatim by both modes.
+struct CommonOptions {
+    unsigned jobs = 0;
+    bool detail = false;
+    std::string csv_path;
+    double min_coverage = -1.0; ///< < 0 = no gate
+};
+
+/// Render, export and CI-gate one coverage matrix — the single tail
+/// both modes funnel into.
+int finish(const ctk::core::CoverageMatrix& matrix,
+           const CommonOptions& options, int status) {
+    using namespace ctk;
+    std::cout << report::render_coverage(matrix, options.detail);
+    if (!options.csv_path.empty()) {
+        std::ofstream out(options.csv_path);
+        if (!out) throw Error("cannot write " + options.csv_path);
+        out << report::coverage_to_csv(matrix);
+        std::cerr << "ctkgrade: wrote " << options.csv_path << "\n";
+    }
+    if (status != 0) return status;
+    if (options.min_coverage >= 0.0) {
+        const auto coverage = matrix.coverage();
+        // No graded faults means no evidence the threshold is met:
+        // fail closed rather than pass vacuously.
+        if (!coverage || *coverage < options.min_coverage) {
+            std::cerr << "ctkgrade: coverage "
+                      << core::format_coverage(coverage) << " below "
+                      << "--min-coverage "
+                      << str::format_number(100.0 * options.min_coverage, 4)
+                      << " %\n";
+            return 4;
+        }
+    }
+    return 0;
+}
+
+int run_kb_grading(const std::vector<std::string>& families,
+                   const CommonOptions& options) {
     using namespace ctk;
     try {
         core::GradingOptions opts;
-        opts.jobs = jobs;
+        opts.jobs = options.jobs;
         const auto result = core::grade_kb(opts, families);
-        std::cout << report::render_fault_grading(result, detail);
-        if (!csv_path.empty()) {
-            std::ofstream out(csv_path);
-            if (!out) throw Error("cannot write " + csv_path);
-            out << report::fault_grading_to_csv(result);
-            std::cerr << "ctkgrade: wrote " << csv_path << "\n";
-        }
         // Low coverage is information; a framework error is a defect in
         // the grading harness or the stand — that must fail CI.
-        return result.clean() ? 0 : 3;
+        return finish(result.to_coverage(), options,
+                      result.clean() ? 0 : 3);
+    } catch (const Error& e) {
+        std::cerr << "ctkgrade: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+int run_gate_grading(const std::string& spec, std::size_t budget,
+                     const CommonOptions& options) {
+    using namespace ctk;
+    using namespace ctk::gate;
+    try {
+        const Netlist net = load(spec);
+
+        GateGradeOptions gopts;
+        gopts.max_patterns = budget;
+        gopts.jobs = options.jobs;
+        const auto start = std::chrono::steady_clock::now();
+        const auto graded = grade_netlist(net, gopts);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+        std::cout << net.name() << ": " << net.size() << " gates, "
+                  << net.inputs().size() << " PIs, " << net.outputs().size()
+                  << " POs, " << net.dffs().size() << " DFFs; "
+                  << full_fault_list(net).size() << " faults, "
+                  << graded.faults.size() << " after collapsing\n";
+        std::cout << "random TPG: " << graded.random_patterns
+                  << " patterns, " << graded.random_detected << "/"
+                  << graded.faults.size() << " detected\n";
+        if (!graded.atpg.per_fault.empty())
+            std::cout << "PODEM top-up: " << graded.atpg.detected
+                      << " detected, " << graded.atpg.untestable
+                      << " untestable, " << graded.atpg.aborted
+                      << " aborted\n";
+
+        core::CoverageMatrix matrix;
+        matrix.groups.push_back(graded.coverage);
+        matrix.workers = parallel::resolve_workers(
+            options.jobs, graded.faults.size());
+        matrix.wall_s = wall;
+        return finish(matrix, options, 0);
     } catch (const Error& e) {
         std::cerr << "ctkgrade: " << e.what() << "\n";
         return 2;
@@ -85,15 +172,13 @@ int run_kb_grading(const std::vector<std::string>& families, unsigned jobs,
 
 int main(int argc, char** argv) {
     using namespace ctk;
-    using namespace ctk::gate;
 
-    std::string spec, csv_path;
+    std::string spec;
     std::size_t budget = 256;
+    bool budget_set = false;
     bool kb_mode = false;
-    bool detail = false;
-    unsigned jobs = 0;
+    CommonOptions common;
     std::vector<std::string> families;
-    std::string kb_only_flag; ///< first KB-mode flag seen, for diagnostics
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -111,27 +196,32 @@ int main(int argc, char** argv) {
                 return 1;
             }
             budget = static_cast<std::size_t>(*n);
+            budget_set = true;
         } else if (arg == "--kb") {
             kb_mode = true;
         } else if (arg == "--families") {
-            if (kb_only_flag.empty()) kb_only_flag = arg;
             for (const auto& f : str::split(next(), ','))
                 families.push_back(std::string(str::trim(f)));
         } else if (arg == "--jobs") {
-            if (kb_only_flag.empty()) kb_only_flag = arg;
             const auto n = str::parse_number(next());
             if (!n || !(*n >= 0 && *n <= 4096) || *n != std::floor(*n)) {
                 std::cerr << "ctkgrade: --jobs needs an integer in "
                              "[0, 4096]\n";
                 return 1;
             }
-            jobs = static_cast<unsigned>(*n);
+            common.jobs = static_cast<unsigned>(*n);
         } else if (arg == "--detail") {
-            if (kb_only_flag.empty()) kb_only_flag = arg;
-            detail = true;
+            common.detail = true;
         } else if (arg == "--csv") {
-            if (kb_only_flag.empty()) kb_only_flag = arg;
-            csv_path = next();
+            common.csv_path = next();
+        } else if (arg == "--min-coverage") {
+            const auto x = str::parse_number(next());
+            if (!x || !(*x >= 0.0 && *x <= 1.0)) {
+                std::cerr << "ctkgrade: --min-coverage needs a fraction "
+                             "in [0, 1]\n";
+                return 1;
+            }
+            common.min_coverage = *x;
         } else if (arg == "-h" || arg == "--help") {
             std::cout << kUsage;
             return 0;
@@ -149,53 +239,20 @@ int main(int argc, char** argv) {
                          "netlist\n";
             return 1;
         }
-        return run_kb_grading(families, jobs, detail, csv_path);
+        if (budget_set) {
+            std::cerr << "ctkgrade: --patterns only applies to netlist "
+                         "mode\n";
+            return 1;
+        }
+        return run_kb_grading(families, common);
     }
-    if (!kb_only_flag.empty()) {
-        std::cerr << "ctkgrade: " << kb_only_flag
-                  << " only applies to --kb mode\n";
+    if (!families.empty()) {
+        std::cerr << "ctkgrade: --families only applies to --kb mode\n";
         return 1;
     }
     if (spec.empty()) {
         std::cerr << kUsage;
         return 1;
     }
-
-    try {
-        const Netlist net = load(spec);
-        const auto faults = collapse_faults(net);
-        std::cout << net.name() << ": " << net.size() << " gates, "
-                  << net.inputs().size() << " PIs, " << net.outputs().size()
-                  << " POs, " << net.dffs().size() << " DFFs; "
-                  << full_fault_list(net).size() << " faults, "
-                  << faults.size() << " after collapsing\n";
-
-        RandomTpgOptions opts;
-        opts.max_patterns = budget;
-        opts.frames_per_pattern = net.is_sequential() ? 8 : 1;
-        const auto rnd = random_tpg(net, faults, opts);
-        std::cout << "random TPG: " << rnd.patterns.size() << " patterns, "
-                  << rnd.faultsim.detected << "/" << faults.size() << " ("
-                  << 100.0 * rnd.faultsim.coverage() << " %)\n";
-
-        if (!net.is_sequential() &&
-            rnd.faultsim.detected < faults.size()) {
-            std::vector<Fault> rest;
-            for (std::size_t i = 0; i < faults.size(); ++i)
-                if (!rnd.faultsim.detected_mask[i]) rest.push_back(faults[i]);
-            const auto atpg = run_atpg(net, rest);
-            std::cout << "PODEM top-up: " << atpg.detected << " detected, "
-                      << atpg.untestable << " untestable, " << atpg.aborted
-                      << " aborted\n";
-            const double total = static_cast<double>(
-                rnd.faultsim.detected + atpg.detected);
-            std::cout << "combined coverage: "
-                      << 100.0 * total / static_cast<double>(faults.size())
-                      << " %\n";
-        }
-        return 0;
-    } catch (const Error& e) {
-        std::cerr << "ctkgrade: " << e.what() << "\n";
-        return 2;
-    }
+    return run_gate_grading(spec, budget, common);
 }
