@@ -1,0 +1,222 @@
+// bench_augment — prices the coverage-guided augmentation loop.
+//
+// Augmentation is grading-plus: every family is graded, the undetected
+// remainder drives a candidate search (each candidate compiled once and
+// executed twice or three times on the campaign pool), and the
+// augmented suite is regraded to fixpoint. The interesting numbers are
+// the cost of the whole loop relative to a plain grading pass and how
+// the candidate waves scale with workers — determinism is asserted
+// first (the augmented XML must be byte-identical at every worker
+// count, or the timings are comparing different work).
+//
+// The KB is replicated --scale times (one augmentation per ECU
+// variant, the many-variants regime); the headline is closed blind
+// spots per second. Results go to stdout and, machine-readable, to
+// BENCH_augment.json.
+//
+//   usage: bench_augment [--repeat R] [--scale S] [--smoke]
+//                        [--out file.json]
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/augment.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "script/xml_io.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+std::vector<core::FamilyGradingSetup> build_setups(std::size_t scale) {
+    std::vector<core::FamilyGradingSetup> setups;
+    for (std::size_t s = 0; s < scale; ++s)
+        for (const auto& family : core::kb::families()) {
+            auto setup = core::kb_grading_setup(family);
+            if (scale > 1)
+                setup.family = family + "#" + std::to_string(s);
+            setups.push_back(std::move(setup));
+        }
+    return setups;
+}
+
+core::AugmentationResult
+run_augmentation(unsigned jobs, std::vector<core::FamilyGradingSetup> s) {
+    core::AugmentOptions opts;
+    opts.jobs = jobs;
+    core::SuiteAugmenter augmenter(opts);
+    for (auto& setup : s) augmenter.add(std::move(setup));
+    return augmenter.run_all();
+}
+
+struct BenchRow {
+    unsigned workers = 0;
+    double wall_s = 0.0;
+    double closed_per_s = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 3;
+    std::size_t scale = 4;
+    std::string out_path = "BENCH_augment.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_augment: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parse_count = [&](const char* flag) -> std::size_t {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_augment: " << flag
+                          << " needs an integer in [1, 4096]\n";
+                std::exit(1);
+            }
+            return static_cast<std::size_t>(*n);
+        };
+        if (arg == "--repeat") {
+            repeat = parse_count("--repeat");
+        } else if (arg == "--scale") {
+            scale = parse_count("--scale");
+        } else if (arg == "--smoke") {
+            repeat = 1;
+            scale = 2;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_augment [--repeat R] [--scale S] "
+                         "[--smoke] [--out file]\n";
+            return 1;
+        }
+    }
+
+    // Reference: sequential augmentation. Every worker count must
+    // reproduce its fingerprint (and thus its augmented XML) bit for
+    // bit before its time can count.
+    const auto reference = run_augmentation(1, build_setups(scale));
+    const std::string want = core::augmentation_fingerprint(reference);
+    std::size_t closed = 0, added = 0, candidate_runs = 0;
+    for (const auto& family : reference.families) {
+        closed += family.closed();
+        added += family.added.size();
+        candidate_runs += family.candidate_runs;
+    }
+    const auto before = reference.before();
+    const auto after = reference.after();
+    std::cout << "bench_augment: " << after.fault_count()
+              << " fault(s) over " << reference.families.size()
+              << " family universe(s) (KB x" << scale << "), coverage "
+              << core::format_coverage(before.coverage()) << " -> "
+              << core::format_coverage(after.coverage()) << ", " << closed
+              << " closed by " << added << " synthesized test(s), x"
+              << repeat << " repetition(s)\n";
+
+    // A plain grading pass at 4 workers prices the "grade only" half,
+    // so the augmentation overhead is readable off the report.
+    {
+        core::GradingOptions gopts;
+        gopts.jobs = 4;
+        double grade_wall = 0.0;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            auto setups = build_setups(scale); // untimed
+            core::GradingCampaign grading(gopts);
+            for (auto& s : setups) grading.add(std::move(s));
+            core::GradingResult result;
+            const double wall =
+                time_s([&]() { result = grading.run_all(); });
+            if (r == 0 || wall < grade_wall) grade_wall = wall;
+        }
+        std::cout << "  grade-only     workers=4: "
+                  << str::format_number(grade_wall, 4) << " s\n";
+    }
+
+    std::vector<BenchRow> rows;
+    for (const unsigned workers : {1u, 4u, 8u}) {
+        double best = 0.0;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            auto setups = build_setups(scale); // untimed
+            core::AugmentationResult result;
+            const double wall = time_s([&]() {
+                result = run_augmentation(workers, std::move(setups));
+            });
+            if (core::augmentation_fingerprint(result) != want) {
+                std::cerr << "bench_augment: outcome mismatch at workers="
+                          << workers << "!\n";
+                return 2;
+            }
+            if (r == 0 || wall < best) best = wall;
+        }
+        BenchRow row;
+        row.workers = workers;
+        row.wall_s = best;
+        row.closed_per_s = static_cast<double>(closed) / best;
+        std::cout << "  grade+augment  workers=" << workers << ": "
+                  << str::format_number(best, 4) << " s, "
+                  << str::format_number(row.closed_per_s, 5)
+                  << " closed blind spots/s\n";
+        rows.push_back(row);
+    }
+
+    std::cout << "  scaling: x"
+              << str::format_number(rows[0].wall_s / rows[1].wall_s, 3)
+              << " at 4 workers, x"
+              << str::format_number(rows[0].wall_s / rows[2].wall_s, 3)
+              << " at 8\n";
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_augment\",\n";
+    json << "  \"scale\": " << scale << ",\n";
+    json << "  \"families\": " << reference.families.size() << ",\n";
+    json << "  \"faults\": " << after.fault_count() << ",\n";
+    json << "  \"coverage_before\": "
+         << json_num(before.coverage().value_or(0.0)) << ",\n";
+    json << "  \"coverage_after\": "
+         << json_num(after.coverage().value_or(0.0)) << ",\n";
+    json << "  \"closed\": " << closed << ",\n";
+    json << "  \"synthesized_tests\": " << added << ",\n";
+    json << "  \"untestable\": " << after.untestable() << ",\n";
+    json << "  \"candidate_runs\": " << candidate_runs << ",\n";
+    json << "  \"repeats\": " << repeat << ",\n";
+    json << "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        json << (i ? ", " : "") << "{\"workers\": " << r.workers
+             << ", \"wall_s\": " << json_num(r.wall_s)
+             << ", \"closed_per_s\": " << json_num(r.closed_per_s) << "}";
+    }
+    json << "]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_augment: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cout << "  wrote " << out_path << "\n";
+    return 0;
+}

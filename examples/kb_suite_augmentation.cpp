@@ -1,0 +1,42 @@
+// Closing a suite's blind spots with the coverage-guided augmenter.
+//
+// kb_fault_grading.cpp ends by listing the wiper suite's blind spots —
+// drift faults the wide Lo/Ho bands swallow. This example runs the
+// grade→augment→regrade loop (DESIGN.md §10) on the same family: the
+// undetected remainder drives a deterministic candidate search
+// (tightened check bands, probe steps), accepted tests append to the
+// suite, and the regrade shows the blind spots closed. The augmented
+// suite serialises as ordinary KB XML — the artefact an OEM would
+// check back into the knowledge base.
+//
+//   $ ./example_kb_suite_augmentation
+#include <iostream>
+
+#include "core/augment.hpp"
+#include "report/report.hpp"
+#include "script/xml_io.hpp"
+
+int main() {
+    using namespace ctk;
+
+    core::AugmentOptions opts;
+    opts.jobs = 4;
+    opts.budget = 200; // candidate evaluations per fault and round
+    const auto result = core::augment_kb(opts, {"wiper"});
+
+    // The delta story: coverage before/after, the synthesized tests
+    // with their provenance, per-fault verdicts incl. certificates.
+    std::cout << report::render_augmentation(result, true);
+
+    // The augmented suite is an ordinary test script: round-trippable
+    // XML, runnable on any conforming stand.
+    const auto& family = result.families.front();
+    std::cout << "\naugmented suite (" << family.augmented.tests.size()
+              << " tests, " << family.added.size() << " synthesized):\n";
+    for (const auto& added : family.added)
+        std::cout << "  " << added.name << " <- " << added.kind << " @ "
+                  << added.origin << " (closes " << added.fault_id
+                  << ")\n";
+    std::cout << "\n" << script::to_xml_text(family.augmented);
+    return 0;
+}

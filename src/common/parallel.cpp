@@ -22,7 +22,18 @@ void for_shards(std::size_t count, unsigned workers,
     if (count == 0) return;
 
     if (workers <= 1 || count == 1) {
-        for (std::size_t i = 0; i < count; ++i) fn(i);
+        // Same exception semantics as the pool below: every index still
+        // runs, the first exception is rethrown afterwards — a caller
+        // cannot tell the worker counts apart by which shards executed.
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!error) error = std::current_exception();
+            }
+        }
+        if (error) std::rethrow_exception(error);
         return;
     }
 

@@ -23,9 +23,11 @@ namespace ctk::parallel {
 /// Invoke fn(0), ..., fn(count - 1), each exactly once, on `workers`
 /// threads (<= 1 = inline on the calling thread). `fn` must be safe to
 /// call concurrently for distinct indices and must write only state
-/// owned by its index. Exceptions escaping `fn` are captured; the
-/// first one is rethrown on the calling thread after the pool joins,
-/// so a throwing shard cannot leak threads or crash siblings.
+/// owned by its index. Exceptions escaping `fn` are captured; every
+/// other index still runs and the first exception is rethrown on the
+/// calling thread after the pool joins — a throwing shard cannot leak
+/// threads, crash siblings, or (at any worker count, including the
+/// inline path) change which shards execute.
 void for_shards(std::size_t count, unsigned workers,
                 const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,1137 @@
+#include "core/augment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "script/xml_io.hpp"
+#include "stand/resource.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Candidates per evaluation wave. Deliberately constant — NOT derived
+/// from the worker count — so the number of candidates tried (and with
+/// it every counter in the result) is identical at jobs=1 and jobs=8;
+/// the pool parallelises within a wave, it never changes its size.
+constexpr std::size_t kWave = 8;
+
+/// Dwell menu of the equivalence-sweep random walks [s].
+constexpr double kWalkDwells[] = {0.05, 0.1, 0.2, 0.5, 1.0};
+
+/// Probe-step dwell fractions of the following step's dwell, midpoint
+/// first — the order the skew windows are most likely to be hit in.
+constexpr double kProbeFractions[] = {0.5, 0.25, 0.75, 0.125,
+                                      0.375, 0.625, 0.875};
+
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// "offset@wiper_lo+0.8" -> "offset_wiper_lo_0_8": a stable, readable
+/// test-name stem unique per fault id within a universe.
+std::string sanitize_id(const std::string& id) {
+    std::string out;
+    for (const char c : id) {
+        const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9');
+        if (alnum)
+            out += c;
+        else if (!out.empty() && out.back() != '_')
+            out += '_';
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+}
+
+std::string aug_test_name(const sim::FaultSpec& fault) {
+    return "aug_" + sanitize_id(fault.id());
+}
+
+// ---------------------------------------------------------------------------
+// Stand-observable surface + stimulus alphabet (equivalence sweep)
+// ---------------------------------------------------------------------------
+
+/// One observation the stand can physically make of the DUT: a DVM
+/// voltage, a frequency counter's threshold level, or a transmitted CAN
+/// frame. The sweep compares golden and faulty backends on exactly this
+/// surface — nothing a conforming test could not measure.
+struct ObsChannel {
+    enum class Kind { Voltage, Level, Frame };
+    Kind kind = Kind::Voltage;
+    std::string resource;
+    std::string target; ///< pin (Voltage/Level) or bus signal (Frame)
+
+    [[nodiscard]] std::string label() const {
+        switch (kind) {
+        case Kind::Voltage: return "u@" + target;
+        case Kind::Level: return "f-level@" + target;
+        case Kind::Frame: return "can@" + target;
+        }
+        return target;
+    }
+};
+
+std::vector<ObsChannel> observation_surface(
+    const stand::StandDescription& desc) {
+    std::vector<ObsChannel> out;
+    auto add = [&](ObsChannel::Kind kind, const std::string& resource,
+                   const std::string& target) {
+        for (const auto& o : out)
+            if (o.kind == kind && o.target == target) return;
+        ObsChannel ch;
+        ch.kind = kind;
+        ch.resource = resource;
+        ch.target = target;
+        out.push_back(std::move(ch));
+    };
+    for (const auto& c : desc.connections()) {
+        const stand::Resource* res = desc.find_resource(c.resource);
+        if (!res) continue;
+        if (res->find_method("get_u"))
+            add(ObsChannel::Kind::Voltage, c.resource, c.pin);
+        if (res->find_method("get_f"))
+            add(ObsChannel::Kind::Level, c.resource, c.pin);
+        if (res->find_method("get_can"))
+            add(ObsChannel::Kind::Frame, c.resource, c.pin);
+    }
+    return out;
+}
+
+/// One entry of the suite's stimulus alphabet, replayable on any backend.
+struct Stimulus {
+    bool is_bits = false;
+    std::string resource;
+    std::string method; ///< real stimuli
+    std::string signal; ///< bus stimuli
+    std::vector<std::string> pins;
+    double value = 0.0;
+    std::vector<bool> bits;
+
+    [[nodiscard]] std::string key() const {
+        std::string k = resource + "|" + method + "|" + signal + "|" +
+                        str::join(pins, " ") + "|" +
+                        str::format_number(value, 12) + "|";
+        for (const bool b : bits) k += b ? '1' : '0';
+        return k;
+    }
+};
+
+void apply_stimulus(const Stimulus& s, sim::StandBackend& backend) {
+    if (s.is_bits)
+        backend.apply_bits(s.resource, s.signal, s.bits);
+    else
+        backend.apply_real(s.resource, s.method, s.pins, s.value);
+}
+
+/// Lower one compiled stimulus back to its replayable form.
+Stimulus make_stimulus(const PlanStimulus& ps, const CompiledTest& test) {
+    Stimulus s;
+    if (ps.is_bits) {
+        s.is_bits = true;
+        s.resource = ps.resource;
+        s.signal = ps.signal;
+        s.bits = ps.bits;
+    } else {
+        const PlanChannel& ch = test.channels[ps.slot];
+        s.resource = ch.resource;
+        s.method = ch.method;
+        s.pins = ch.pins;
+        s.value = ps.value;
+    }
+    return s;
+}
+
+/// Every distinct realised stimulus of the compiled suite, in first-use
+/// order — the alphabet the random walks draw from.
+std::vector<Stimulus> stimulus_alphabet(const CompiledPlan& plan) {
+    std::vector<Stimulus> out;
+    std::map<std::string, bool> seen;
+    auto add = [&](const PlanStimulus& ps, const CompiledTest& test) {
+        Stimulus s = make_stimulus(ps, test);
+        const std::string k = s.key();
+        if (seen.emplace(k, true).second) out.push_back(std::move(s));
+    };
+    for (const auto& test : plan.tests()) {
+        for (const auto& ps : test.init) add(ps, test);
+        for (const auto& step : test.steps)
+            for (const auto& ps : step.stimuli) add(ps, test);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-equivalence sweep
+// ---------------------------------------------------------------------------
+
+struct SweepOutcome {
+    bool equivalent = false;
+    std::string note; ///< certificate text or first-divergence witness
+};
+
+/// Compare the two backends on every observation channel; returns the
+/// label of the first differing observable, empty when none differ.
+std::string compare_observables(const std::vector<ObsChannel>& obs,
+                                double threshold,
+                                sim::StandBackend& golden,
+                                sim::StandBackend& faulty) {
+    for (const auto& ch : obs) {
+        switch (ch.kind) {
+        case ObsChannel::Kind::Voltage: {
+            const std::vector<std::string> pins{ch.target};
+            if (golden.measure_real(ch.resource, "get_u", pins) !=
+                faulty.measure_real(ch.resource, "get_u", pins))
+                return ch.label();
+            break;
+        }
+        case ObsChannel::Kind::Level: {
+            // A frequency counter only sees which side of its edge
+            // threshold the pin sits on — drift that never crosses the
+            // threshold is invisible, and the sweep must not pretend
+            // otherwise.
+            const std::vector<std::string> pins{ch.target};
+            const bool g = golden.measure_real(ch.resource, "get_u", pins) >
+                           threshold;
+            const bool f = faulty.measure_real(ch.resource, "get_u", pins) >
+                           threshold;
+            if (g != f) return ch.label();
+            break;
+        }
+        case ObsChannel::Kind::Frame:
+            if (golden.measure_bits(ch.resource, ch.target) !=
+                faulty.measure_bits(ch.resource, ch.target))
+                return ch.label();
+            break;
+        }
+    }
+    return {};
+}
+
+/// Drive golden and faulty backends in lockstep: the suite's own
+/// schedule first, then seeded random walks over the stimulus alphabet,
+/// comparing the stand-observable surface every tick. No divergence
+/// within the bound yields the Untestable certificate; a divergence is
+/// the witness that a distinguishing test exists.
+SweepOutcome bounded_equivalence_sweep(const FamilyGradingSetup& setup,
+                                       const CompiledPlan& plan,
+                                       const sim::FaultSpec& fault,
+                                       const AugmentOptions& options) {
+    SweepOutcome out;
+    try {
+        const auto obs = observation_surface(setup.stand);
+        if (obs.empty()) {
+            out.note = "no stand-observable surface";
+            return out; // nothing observable — but no certificate either
+        }
+        double ubatt = 12.0;
+        if (setup.stand.variables().has("ubatt"))
+            ubatt = setup.stand.variables().get("ubatt");
+        const double threshold = ubatt / 2.0;
+        const double tick = std::max(1e-3, options.run.tick_s);
+
+        auto golden = setup.make_golden(setup.stand);
+        auto faulty = setup.make_faulty(setup.stand, fault);
+        if (!golden || !faulty)
+            throw Error("sweep factories returned no backend");
+
+        std::size_t ticks = 0;
+        std::string witness;
+        auto advance_compare = [&](double dt) {
+            double elapsed = 0.0;
+            while (elapsed < dt - 1e-9 && witness.empty()) {
+                const double chunk = std::min(tick, dt - elapsed);
+                golden->advance(chunk);
+                faulty->advance(chunk);
+                elapsed += chunk;
+                ++ticks;
+                witness = compare_observables(obs, threshold, *golden,
+                                              *faulty);
+            }
+        };
+
+        // Phase 1 — replay the suite's own schedule (it is the best
+        // distinguishing experiment we already have).
+        for (const auto& test : plan.tests()) {
+            golden->reset();
+            faulty->reset();
+            for (const auto& ps : test.init) {
+                const Stimulus s = make_stimulus(ps, test);
+                apply_stimulus(s, *golden);
+                apply_stimulus(s, *faulty);
+            }
+            advance_compare(options.run.init_settle_s);
+            for (const auto& step : test.steps) {
+                if (!witness.empty()) break;
+                for (const auto& ps : step.stimuli) {
+                    const Stimulus s = make_stimulus(ps, test);
+                    apply_stimulus(s, *golden);
+                    apply_stimulus(s, *faulty);
+                }
+                advance_compare(step.dt);
+                if (!witness.empty()) {
+                    out.note = "distinguishable in replay " + test.name +
+                               "/" + std::to_string(step.nr) + ": " +
+                               witness;
+                    return out;
+                }
+            }
+            if (!witness.empty()) break;
+        }
+        if (!witness.empty()) {
+            out.note = "distinguishable in replay: " + witness;
+            return out;
+        }
+
+        // Phase 2 — seeded random walks over the stimulus alphabet.
+        const auto alphabet = stimulus_alphabet(plan);
+        if (!alphabet.empty()) {
+            Rng rng(options.seed ^ fnv1a(fault.id()));
+            for (std::size_t w = 0;
+                 w < options.equiv_walks && witness.empty(); ++w) {
+                golden->reset();
+                faulty->reset();
+                for (std::size_t k = 0;
+                     k < options.equiv_steps && witness.empty(); ++k) {
+                    const Stimulus& s =
+                        alphabet[rng.next_below(alphabet.size())];
+                    apply_stimulus(s, *golden);
+                    apply_stimulus(s, *faulty);
+                    const double dwell = kWalkDwells[rng.next_below(
+                        std::size(kWalkDwells))];
+                    advance_compare(dwell);
+                    if (!witness.empty())
+                        out.note = "distinguishable in walk " +
+                                   std::to_string(w) + "/" +
+                                   std::to_string(k) + ": " + witness;
+                }
+            }
+        }
+        if (!witness.empty()) return out;
+
+        out.equivalent = true;
+        out.note = "bounded-equivalent on " + std::to_string(obs.size()) +
+                   " stand observable(s): suite replay + " +
+                   std::to_string(options.equiv_walks) + " walks x " +
+                   std::to_string(options.equiv_steps) + " steps, " +
+                   std::to_string(ticks) + " ticks compared";
+        return out;
+    } catch (const std::exception& e) {
+        // A failing sweep never certifies anything; the fault simply
+        // proceeds to the candidate search.
+        out.equivalent = false;
+        out.note = std::string("sweep failed: ") + e.what();
+        return out;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation
+// ---------------------------------------------------------------------------
+
+/// One real-valued check site of the (current) family script, with the
+/// golden measured value the tightened band centres on.
+struct CheckSite {
+    std::size_t test = 0;   ///< index into script.tests
+    std::size_t step = 0;   ///< index into test.steps
+    std::size_t action = 0; ///< index into step.actions
+    std::size_t check = 0;  ///< index among the step's Get actions
+    std::string signal;
+    double golden = 0.0;
+    std::string resource; ///< compiled resource (limit clamping)
+    std::string label;    ///< "test/stepnr/signal"
+};
+
+std::vector<CheckSite> collect_sites(const script::TestScript& script,
+                                     const RunResult& golden,
+                                     const CompiledPlan& plan) {
+    std::vector<CheckSite> out;
+    for (std::size_t ti = 0;
+         ti < script.tests.size() && ti < golden.tests.size() &&
+         ti < plan.tests().size();
+         ++ti) {
+        const auto& test = script.tests[ti];
+        for (std::size_t si = 0; si < test.steps.size() &&
+                                 si < golden.tests[ti].steps.size();
+             ++si) {
+            const auto& step = test.steps[si];
+            std::size_t gi = 0; // index among Get actions == check index
+            for (std::size_t ai = 0; ai < step.actions.size(); ++ai) {
+                const auto& action = step.actions[ai];
+                if (action.call.kind != model::MethodKind::Get) continue;
+                const std::size_t check = gi++;
+                if (!action.call.data.empty()) continue; // bits: skip
+                const auto& checks = golden.tests[ti].steps[si].checks;
+                if (check >= checks.size()) continue;
+                CheckSite site;
+                site.test = ti;
+                site.step = si;
+                site.action = ai;
+                site.check = check;
+                site.signal = action.signal;
+                site.golden = checks[check].measured;
+                const auto& pchecks = plan.tests()[ti].steps[si].checks;
+                if (check < pchecks.size())
+                    site.resource = pchecks[check].resource;
+                site.label = test.name + "/" + std::to_string(step.nr) +
+                             "/" + action.signal;
+                out.push_back(std::move(site));
+            }
+        }
+    }
+    return out;
+}
+
+/// Does `signal` of the script measure `pin`?
+bool signal_measures_pin(const script::TestScript& script,
+                         const std::string& signal,
+                         const std::string& pin) {
+    const script::ScriptSignal* decl = script.find_signal(signal);
+    if (!decl) return false;
+    const auto& pins =
+        decl->pins.empty() ? std::vector<std::string>{decl->name}
+                           : decl->pins;
+    for (const auto& p : pins)
+        if (str::iequals(p, pin)) return true;
+    return false;
+}
+
+bool is_pin_fault(const sim::FaultSpec& fault) {
+    switch (fault.kind) {
+    case sim::FaultKind::PinStuckLow:
+    case sim::FaultKind::PinStuckHigh:
+    case sim::FaultKind::PinOffset:
+    case sim::FaultKind::PinScale:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/// Narrow [golden - tol, golden + tol] into the measuring resource's
+/// parameter range so the candidate stays allocatable (a frequency
+/// counter cannot be asked to judge a window reaching below 0 Hz).
+void clamp_limits(const stand::StandDescription& desc,
+                  const std::string& resource, const std::string& method,
+                  const std::string& attribute, double& lo, double& hi) {
+    const stand::Resource* res = desc.find_resource(resource);
+    if (!res) return;
+    const stand::MethodSupport* m = res->find_method(method);
+    if (!m) return;
+    const stand::ParamRange* r = m->range_of(attribute);
+    if (!r) return;
+    lo = std::max(lo, r->min);
+    hi = std::min(hi, r->max);
+    if (lo > hi) {
+        lo = r->min;
+        hi = r->max;
+    }
+}
+
+/// One candidate mutation: a cloned test prefix whose last step carries
+/// the augmentation check (tightened in place, or on an appended probe
+/// step). `needs_measure` marks probes whose band centre is unknown
+/// until the wide variant ran once on the clean DUT.
+struct Candidate {
+    script::ScriptTest test;
+    std::size_t aug_step = 0;  ///< index of the step holding the check
+    std::size_t aug_action = 0;///< index of the check action in that step
+    std::size_t aug_check = 0; ///< Get-index of the check in that step
+    bool needs_measure = false;
+    std::string resource; ///< measuring resource (limit clamping)
+    std::string origin;
+    std::string kind; ///< "tighten" or "probe"
+    bool dead = false; ///< compile failed — skipped but still counted
+};
+
+void set_band(script::MethodCall& call, double centre, double rel_tol,
+              double abs_tol, const stand::StandDescription& desc,
+              const std::string& resource) {
+    const double tol =
+        std::max(abs_tol, rel_tol * std::fabs(centre));
+    double lo = centre - tol;
+    double hi = centre + tol;
+    clamp_limits(desc, resource, call.method, call.attribute, lo, hi);
+    call.min = expr::constant(lo);
+    call.max = expr::constant(hi);
+}
+
+/// Deterministic candidate list for one fault, tighten candidates first
+/// (largest golden magnitude first — the sites drift moves the most),
+/// then probe steps in schedule order.
+std::vector<Candidate> generate_candidates(
+    const script::TestScript& script, const std::vector<CheckSite>& sites,
+    const sim::FaultSpec& fault, const stand::StandDescription& desc,
+    const AugmentOptions& options, std::size_t limit) {
+    std::vector<Candidate> out;
+    const std::string name = aug_test_name(fault);
+
+    auto relevant = [&](const CheckSite& site) {
+        if (!is_pin_fault(fault)) return true;
+        return signal_measures_pin(script, site.signal, fault.target);
+    };
+
+    // -- tightened existing checks ------------------------------------
+    std::vector<const CheckSite*> tighten;
+    for (const auto& site : sites)
+        if (relevant(site)) tighten.push_back(&site);
+    std::stable_sort(tighten.begin(), tighten.end(),
+                     [](const CheckSite* a, const CheckSite* b) {
+                         return std::fabs(a->golden) > std::fabs(b->golden);
+                     });
+    for (const CheckSite* site : tighten) {
+        if (out.size() >= limit) return out;
+        Candidate c;
+        c.kind = "tighten";
+        c.origin = site->label;
+        c.resource = site->resource;
+        const auto& src = script.tests[site->test];
+        c.test.name = name;
+        c.test.steps.assign(src.steps.begin(),
+                            src.steps.begin() +
+                                static_cast<std::ptrdiff_t>(site->step) + 1);
+        c.aug_step = site->step;
+        c.aug_action = site->action;
+        c.aug_check = site->check;
+        script::MethodCall& call =
+            c.test.steps[c.aug_step].actions[c.aug_action].call;
+        set_band(call, site->golden, options.rel_tol, options.abs_tol,
+                 desc, c.resource);
+        c.test.steps[c.aug_step].actions[c.aug_action].status = "AugBand";
+        out.push_back(std::move(c));
+    }
+
+    // -- probe steps ----------------------------------------------------
+    // Template call per signal: the first real get check the suite
+    // already makes on it (method, attribute and feasible limits).
+    std::vector<std::pair<std::string, const CheckSite*>> templates;
+    for (const auto& site : sites) {
+        if (!relevant(site)) continue;
+        bool known = false;
+        for (const auto& t : templates)
+            if (t.first == site.signal) known = true;
+        if (!known) templates.emplace_back(site.signal, &site);
+    }
+
+    for (std::size_t ti = 0; ti < script.tests.size(); ++ti) {
+        const auto& src = script.tests[ti];
+        for (std::size_t si = 0; si < src.steps.size(); ++si) {
+            const double next_dt = si + 1 < src.steps.size()
+                                       ? src.steps[si + 1].dt
+                                       : src.steps[si].dt;
+            for (const auto& [signal, site] : templates) {
+                for (const double frac : kProbeFractions) {
+                    if (out.size() >= limit) return out;
+                    Candidate c;
+                    c.kind = "probe";
+                    c.origin = src.name + "/" +
+                               std::to_string(src.steps[si].nr) + "+" +
+                               str::format_number(frac * next_dt, 4) + "s/" +
+                               signal;
+                    c.resource = site->resource;
+                    c.needs_measure = true;
+                    c.test.name = name;
+                    c.test.steps.assign(
+                        src.steps.begin(),
+                        src.steps.begin() +
+                            static_cast<std::ptrdiff_t>(si) + 1);
+                    script::ScriptStep probe;
+                    probe.nr = src.steps[si].nr + 1;
+                    probe.dt = std::max(0.01, frac * next_dt);
+                    probe.remark = "augmentation probe";
+                    script::SignalAction action =
+                        script.tests[site->test]
+                            .steps[site->step]
+                            .actions[site->action];
+                    action.status = "AugProbe";
+                    probe.actions.push_back(std::move(action));
+                    c.aug_step = c.test.steps.size();
+                    c.aug_action = 0;
+                    c.aug_check = 0;
+                    c.test.steps.push_back(std::move(probe));
+                    out.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-pool plumbing
+// ---------------------------------------------------------------------------
+
+script::TestScript single_test_script(const FamilyGradingSetup& setup,
+                                      const script::ScriptTest& test) {
+    script::TestScript s;
+    s.name = setup.script.name;
+    s.signals = setup.script.signals;
+    s.init = setup.script.init;
+    s.tests.push_back(test);
+    return s;
+}
+
+CampaignJob make_job(std::string name, const FamilyGradingSetup& setup,
+                     std::shared_ptr<const CompiledPlan> plan,
+                     BackendFactory factory) {
+    CampaignJob job;
+    job.name = std::move(name);
+    job.stand = setup.stand;
+    job.plan = std::move(plan);
+    job.make_backend = std::move(factory);
+    return job;
+}
+
+BackendFactory faulty_factory(const FamilyGradingSetup& setup,
+                              const sim::FaultSpec& fault) {
+    const auto make_faulty = setup.make_faulty;
+    const std::string family = setup.family;
+    return [make_faulty, fault,
+            family](const stand::StandDescription& desc)
+               -> std::shared_ptr<sim::StandBackend> {
+        if (!make_faulty)
+            throw Error("augmenting family '" + family +
+                        "' has no faulty backend factory");
+        return make_faulty(desc, fault);
+    };
+}
+
+/// A synthesized test accepted earlier in the loop, reusable as a
+/// detector for later faults of the same family.
+struct AcceptedTest {
+    std::string name;
+    std::shared_ptr<const CompiledPlan> plan; ///< single-test plan
+    std::string clean_fingerprint;
+    script::ScriptTest test;
+    std::string origin;
+    std::string kind;
+    std::string fault_id;
+};
+
+/// Per-fault working state across rounds.
+struct FaultState {
+    AugmentOutcome outcome = AugmentOutcome::NoCandidateDetects;
+    bool open = false; ///< still undetected, still worth working on
+    bool sweep_done = false;
+    std::string test_name;
+    std::string note;
+    std::size_t tried = 0;
+};
+
+FamilyGrade grade_once(FamilyGradingSetup setup,
+                       const AugmentOptions& options) {
+    GradingOptions gopts;
+    gopts.jobs = options.jobs;
+    gopts.run = options.run;
+    GradingCampaign grading(gopts);
+    grading.add(std::move(setup));
+    GradingResult result = grading.run_all();
+    return std::move(result.families.front());
+}
+
+} // namespace
+
+const char* augment_outcome_name(AugmentOutcome outcome) {
+    switch (outcome) {
+    case AugmentOutcome::AlreadyDetected: return "already-detected";
+    case AugmentOutcome::ClosedByNewTest: return "closed-by-new-test";
+    case AugmentOutcome::ClosedByEarlierTest: return "closed-by-earlier-test";
+    case AugmentOutcome::Untestable: return "untestable";
+    case AugmentOutcome::BudgetExhausted: return "budget-exhausted";
+    case AugmentOutcome::NoCandidateDetects: return "no-candidate-detects";
+    case AugmentOutcome::FrameworkError: return "framework-error";
+    }
+    return "unknown";
+}
+
+std::size_t FamilyAugmentation::closed() const {
+    return static_cast<std::size_t>(std::count_if(
+        faults.begin(), faults.end(), [](const FaultAugmentation& f) {
+            return f.outcome == AugmentOutcome::ClosedByNewTest ||
+                   f.outcome == AugmentOutcome::ClosedByEarlierTest;
+        }));
+}
+
+std::size_t FamilyAugmentation::untestable() const {
+    return static_cast<std::size_t>(std::count_if(
+        faults.begin(), faults.end(), [](const FaultAugmentation& f) {
+            return f.outcome == AugmentOutcome::Untestable;
+        }));
+}
+
+CoverageMatrix AugmentationResult::before() const {
+    CoverageMatrix matrix;
+    matrix.wall_s = wall_s;
+    matrix.workers = workers;
+    for (const auto& family : families)
+        matrix.groups.push_back(family.before);
+    return matrix;
+}
+
+CoverageMatrix AugmentationResult::after() const {
+    CoverageMatrix matrix;
+    matrix.wall_s = wall_s;
+    matrix.workers = workers;
+    for (const auto& family : families)
+        matrix.groups.push_back(family.after);
+    return matrix;
+}
+
+bool AugmentationResult::clean() const {
+    for (const auto& family : families) {
+        if (family.golden_error) return false;
+        for (const auto& f : family.faults)
+            if (f.outcome == AugmentOutcome::FrameworkError) return false;
+    }
+    return true;
+}
+
+std::string augmentation_fingerprint(const AugmentationResult& result) {
+    std::string out;
+    for (const auto& family : result.families) {
+        out += family.family;
+        out += family.golden_error ? "|golden-error\n" : "|golden-ok\n";
+        for (const auto& f : family.faults) {
+            out += f.fault.id();
+            out += "|";
+            out += augment_outcome_name(f.outcome);
+            out += "|" + f.test_name;
+            out += "|" + std::to_string(f.candidates_tried) + "\n";
+        }
+        for (const auto& t : family.added)
+            out += "+" + t.name + "|" + t.fault_id + "|" + t.origin + "|" +
+                   t.kind + "\n";
+        out += coverage_fingerprint(family.after);
+        out += script::to_xml_text(family.augmented);
+    }
+    return out;
+}
+
+SuiteAugmenter::SuiteAugmenter(AugmentOptions options)
+    : options_(std::move(options)) {}
+
+void SuiteAugmenter::add(FamilyGradingSetup setup) {
+    setups_.push_back(std::move(setup));
+}
+
+void SuiteAugmenter::add_kb_family(const std::string& family) {
+    add(kb_grading_setup(family, options_.run));
+}
+
+namespace {
+
+/// The whole grade→augment→regrade loop for one family.
+FamilyAugmentation augment_family(const FamilyGradingSetup& original,
+                                  const AugmentOptions& options,
+                                  std::size_t& rounds_out) {
+    FamilyAugmentation out;
+    out.family = original.family;
+    out.augmented = original.script;
+
+    FamilyGradingSetup working = original;
+    FamilyGrade grade = grade_once(working, options);
+    out.before = grade.coverage_group();
+
+    const std::size_t n = working.universe.size();
+    std::vector<FaultState> states(n);
+
+    if (grade.golden_error) {
+        out.golden_error = true;
+        out.golden_message = grade.golden_message;
+        out.after = out.before;
+        for (std::size_t i = 0; i < n; ++i) {
+            states[i].outcome = AugmentOutcome::FrameworkError;
+            states[i].note = grade.golden_message;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            FaultAugmentation fa;
+            fa.fault = working.universe[i];
+            fa.outcome = states[i].outcome;
+            fa.note = states[i].note;
+            out.faults.push_back(std::move(fa));
+        }
+        return out;
+    }
+
+    auto absorb_grade = [&](const FamilyGrade& g) {
+        for (std::size_t i = 0; i < n && i < g.faults.size(); ++i) {
+            const FaultGrade& fg = g.faults[i];
+            FaultState& st = states[i];
+            switch (fg.outcome) {
+            case FaultOutcome::Detected:
+                st.open = false;
+                if (st.outcome == AugmentOutcome::ClosedByNewTest) break;
+                if (str::starts_with(fg.first_flip, "aug_")) {
+                    st.outcome = AugmentOutcome::ClosedByEarlierTest;
+                    st.test_name =
+                        fg.first_flip.substr(0, fg.first_flip.find('/'));
+                } else {
+                    st.outcome = AugmentOutcome::AlreadyDetected;
+                }
+                if (st.note.empty()) st.note = fg.first_flip;
+                break;
+            case FaultOutcome::Undetected:
+                if (st.outcome == AugmentOutcome::Untestable) {
+                    st.open = false;
+                } else {
+                    st.open = true;
+                    if (st.outcome == AugmentOutcome::ClosedByNewTest ||
+                        st.outcome == AugmentOutcome::ClosedByEarlierTest) {
+                        // The standalone replay did not reproduce in
+                        // the full suite — never true for deterministic
+                        // backends, but never report a closure the
+                        // regrade disproved.
+                        st.outcome = AugmentOutcome::NoCandidateDetects;
+                        st.test_name.clear();
+                    }
+                }
+                break;
+            case FaultOutcome::FrameworkError:
+                st.open = false;
+                st.outcome = AugmentOutcome::FrameworkError;
+                st.note = fg.error_message;
+                break;
+            case FaultOutcome::Untestable:
+                st.open = false;
+                st.outcome = AugmentOutcome::Untestable;
+                break;
+            }
+        }
+    };
+    absorb_grade(grade);
+
+    std::vector<AcceptedTest> accepted;
+    std::size_t round = 0;
+
+    while (true) {
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < n; ++i)
+            if (states[i].open) pending.push_back(i);
+        if (pending.empty() || round >= options.max_rounds) break;
+        ++round;
+
+        // Current script's plan + golden run: the site values the
+        // tightened bands centre on.
+        if (!working.plan)
+            working.plan = std::make_shared<CompiledPlan>(
+                CompiledPlan::compile(working.script, working.stand,
+                                      options.run));
+        // Acceptances inside this round reset working.plan (the script
+        // grew); the round keeps operating on its entry snapshot.
+        const std::shared_ptr<const CompiledPlan> round_plan = working.plan;
+        RunResult golden_run;
+        try {
+            auto backend = working.make_golden(working.stand);
+            if (!backend) throw Error("no golden backend");
+            golden_run = round_plan->execute(*backend);
+        } catch (const std::exception& e) {
+            out.golden_error = true;
+            out.golden_message = e.what();
+            break;
+        }
+        const auto sites =
+            collect_sites(working.script, golden_run, *round_plan);
+
+        // 1 — bounded-equivalence sweeps, batched over the pool: each
+        // sweep drives its own pair of backends and writes only its
+        // own slot, so outcomes are worker-count independent.
+        std::vector<std::size_t> to_sweep;
+        for (const std::size_t idx : pending)
+            if (!states[idx].sweep_done) to_sweep.push_back(idx);
+        if (!to_sweep.empty()) {
+            std::vector<SweepOutcome> sweeps(to_sweep.size());
+            parallel::for_shards(
+                to_sweep.size(),
+                parallel::resolve_workers(options.jobs, to_sweep.size()),
+                [&](std::size_t k) {
+                    sweeps[k] = bounded_equivalence_sweep(
+                        working, *round_plan,
+                        working.universe[to_sweep[k]], options);
+                });
+            for (std::size_t k = 0; k < to_sweep.size(); ++k) {
+                FaultState& st = states[to_sweep[k]];
+                st.sweep_done = true;
+                st.note = sweeps[k].note;
+                if (sweeps[k].equivalent) {
+                    st.outcome = AugmentOutcome::Untestable;
+                    st.open = false;
+                }
+            }
+        }
+
+        // Tests accepted in *previous* rounds were already replayed
+        // against every still-open fault by the end-of-round regrade —
+        // only same-round acceptances are informative in step 2.
+        const std::size_t round_accepted_start = accepted.size();
+
+        bool progress = false;
+        for (const std::size_t idx : pending) {
+            const sim::FaultSpec& fault = working.universe[idx];
+            FaultState& st = states[idx];
+            if (!st.open) continue; // certified untestable above
+
+            // 2 — does a test synthesized earlier this round catch it?
+            if (accepted.size() > round_accepted_start) {
+                CampaignOptions copts;
+                copts.jobs = options.jobs;
+                CampaignRunner runner(copts);
+                for (std::size_t a = round_accepted_start;
+                     a < accepted.size(); ++a)
+                    runner.add(make_job(
+                        accepted[a].name + "?" + fault.id(), working,
+                        accepted[a].plan,
+                        faulty_factory(working, fault)));
+                const CampaignResult replay = runner.run_all();
+                out.candidate_runs += replay.jobs.size();
+                bool closed = false;
+                for (std::size_t j = 0; j < replay.jobs.size(); ++j) {
+                    const std::size_t a = round_accepted_start + j;
+                    const auto& jr = replay.jobs[j];
+                    if (jr.framework_error) continue;
+                    if (detection_fingerprint(jr.run) !=
+                        accepted[a].clean_fingerprint) {
+                        st.outcome = AugmentOutcome::ClosedByEarlierTest;
+                        st.test_name = accepted[a].name;
+                        st.open = false;
+                        closed = true;
+                        break;
+                    }
+                }
+                if (closed) continue;
+            }
+
+            // 3 — candidate search, in deterministic waves on the pool.
+            // Generating one past the budget disambiguates "space
+            // larger than the budget" from "space exactly the budget,
+            // searched exhaustively".
+            auto candidates = generate_candidates(
+                working.script, sites, fault, working.stand, options,
+                options.budget + 1);
+            const bool space_truncated =
+                candidates.size() > options.budget;
+            if (space_truncated) candidates.pop_back();
+            std::size_t cursor = 0;
+            bool accepted_here = false;
+            while (cursor < candidates.size() && !accepted_here) {
+                const std::size_t wave_end =
+                    std::min(candidates.size(), cursor + kWave);
+
+                // Phase A — probes measure their band centre on the
+                // clean DUT first (wide limits borrowed from the
+                // template check keep the candidate allocatable).
+                {
+                    CampaignOptions copts;
+                    copts.jobs = options.jobs;
+                    CampaignRunner runner(copts);
+                    std::vector<std::size_t> measured;
+                    for (std::size_t i = cursor; i < wave_end; ++i) {
+                        Candidate& c = candidates[i];
+                        if (!c.needs_measure) continue;
+                        try {
+                            auto plan = std::make_shared<CompiledPlan>(
+                                CompiledPlan::compile(
+                                    single_test_script(working, c.test),
+                                    working.stand, options.run));
+                            runner.add(make_job(
+                                "measure#" + std::to_string(i), working,
+                                std::move(plan), working.make_golden));
+                            measured.push_back(i);
+                        } catch (const std::exception&) {
+                            c.dead = true;
+                        }
+                    }
+                    const CampaignResult wave = runner.run_all();
+                    out.candidate_runs += wave.jobs.size();
+                    for (std::size_t j = 0; j < measured.size(); ++j) {
+                        Candidate& c = candidates[measured[j]];
+                        const auto& jr = wave.jobs[j];
+                        if (jr.framework_error ||
+                            jr.run.tests.empty() ||
+                            c.aug_step >= jr.run.tests[0].steps.size() ||
+                            c.aug_check >=
+                                jr.run.tests[0].steps[c.aug_step]
+                                    .checks.size()) {
+                            c.dead = true;
+                            continue;
+                        }
+                        const double centre = jr.run.tests[0]
+                                                  .steps[c.aug_step]
+                                                  .checks[c.aug_check]
+                                                  .measured;
+                        script::MethodCall& call =
+                            c.test.steps[c.aug_step]
+                                .actions[c.aug_action]
+                                .call;
+                        set_band(call, centre, options.rel_tol,
+                                 options.abs_tol, working.stand,
+                                 c.resource);
+                    }
+                }
+
+                // Phase B — every live candidate runs clean (golden
+                // preservation + reference fingerprint) and faulty
+                // (detection) on the shared pool.
+                CampaignOptions copts;
+                copts.jobs = options.jobs;
+                CampaignRunner runner(copts);
+                std::vector<std::pair<std::size_t,
+                                      std::shared_ptr<const CompiledPlan>>>
+                    live;
+                for (std::size_t i = cursor; i < wave_end; ++i) {
+                    Candidate& c = candidates[i];
+                    if (c.dead) continue;
+                    try {
+                        auto plan = std::make_shared<CompiledPlan>(
+                            CompiledPlan::compile(
+                                single_test_script(working, c.test),
+                                working.stand, options.run));
+                        runner.add(make_job("clean#" + std::to_string(i),
+                                            working, plan,
+                                            working.make_golden));
+                        runner.add(make_job("faulty#" + std::to_string(i),
+                                            working, plan,
+                                            faulty_factory(working,
+                                                           fault)));
+                        live.emplace_back(i, std::move(plan));
+                    } catch (const std::exception&) {
+                        c.dead = true;
+                    }
+                }
+                const CampaignResult wave = runner.run_all();
+                out.candidate_runs += wave.jobs.size();
+                for (std::size_t j = 0; j < live.size(); ++j) {
+                    const auto& clean = wave.jobs[2 * j];
+                    const auto& faulty = wave.jobs[2 * j + 1];
+                    if (clean.framework_error || faulty.framework_error)
+                        continue;
+                    if (!clean.run.passed()) continue; // golden regression
+                    const std::string clean_fp =
+                        detection_fingerprint(clean.run);
+                    if (detection_fingerprint(faulty.run) == clean_fp)
+                        continue; // fault not noticed
+                    Candidate& c = candidates[live[j].first];
+                    AcceptedTest a;
+                    a.name = c.test.name;
+                    a.plan = live[j].second;
+                    a.clean_fingerprint = clean_fp;
+                    a.test = c.test;
+                    a.origin = c.origin;
+                    a.kind = c.kind;
+                    a.fault_id = fault.id();
+                    working.script.tests.push_back(c.test);
+                    working.plan.reset(); // recompiled next round/regrade
+                    SynthesizedTest s;
+                    s.name = a.name;
+                    s.fault_id = a.fault_id;
+                    s.origin = a.origin;
+                    s.kind = a.kind;
+                    out.added.push_back(std::move(s));
+                    accepted.push_back(std::move(a));
+                    st.outcome = AugmentOutcome::ClosedByNewTest;
+                    st.test_name = c.test.name;
+                    st.note = c.kind + " @ " + c.origin;
+                    st.open = false;
+                    st.tried += live[j].first - cursor + 1;
+                    accepted_here = true;
+                    progress = true;
+                    break;
+                }
+                if (!accepted_here) st.tried += wave_end - cursor;
+                cursor = wave_end;
+            }
+            if (!accepted_here && st.open) {
+                st.outcome = space_truncated
+                                 ? AugmentOutcome::BudgetExhausted
+                                 : AugmentOutcome::NoCandidateDetects;
+                // stays open: a later round's tests may still close it.
+            }
+        }
+
+        // No acceptance means the suite (and thus its grade) did not
+        // change — the fixpoint is reached without another regrade.
+        if (!progress) break;
+
+        // Regrade the augmented suite — the loop's fixpoint check and
+        // the empirical proof the acceptances hold in the full suite.
+        if (!working.plan)
+            working.plan = std::make_shared<CompiledPlan>(
+                CompiledPlan::compile(working.script, working.stand,
+                                      options.run));
+        grade = grade_once(working, options);
+        absorb_grade(grade);
+    }
+
+    rounds_out = std::max(rounds_out, round);
+    out.augmented = working.script;
+    out.after = grade.coverage_group();
+    if (out.golden_error) {
+        out.after.setup_error = true;
+        out.after.setup_message = out.golden_message;
+    }
+
+    // Bounded-equivalent faults leave the graded denominator — the KB
+    // analogue of the gate layer's proven-redundant classification.
+    for (std::size_t i = 0; i < n && i < out.after.entries.size(); ++i)
+        if (states[i].outcome == AugmentOutcome::Untestable &&
+            out.after.entries[i].outcome == FaultOutcome::Undetected)
+            out.after.entries[i].outcome = FaultOutcome::Untestable;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        FaultAugmentation fa;
+        fa.fault = working.universe[i];
+        fa.outcome = states[i].outcome;
+        fa.test_name = states[i].test_name;
+        fa.candidates_tried = states[i].tried;
+        fa.note = states[i].note;
+        out.faults.push_back(std::move(fa));
+    }
+    return out;
+}
+
+} // namespace
+
+AugmentationResult SuiteAugmenter::run_all() {
+    AugmentationResult result;
+    const auto start = Clock::now();
+    std::size_t queued = 0;
+    for (const auto& s : setups_) queued += s.universe.size();
+    result.workers =
+        parallel::resolve_workers(options_.jobs, std::max<std::size_t>(
+                                                     queued, 1));
+    for (const auto& setup : setups_)
+        result.families.push_back(
+            augment_family(setup, options_, result.rounds));
+    result.wall_s = seconds_since(start);
+    setups_.clear();
+    return result;
+}
+
+AugmentationResult augment_kb(const AugmentOptions& options,
+                              const std::vector<std::string>& families) {
+    SuiteAugmenter augmenter(options);
+    for (const auto& family :
+         families.empty() ? kb::families() : families)
+        augmenter.add_kb_family(family);
+    return augmenter.run_all();
+}
+
+} // namespace ctk::core

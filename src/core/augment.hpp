@@ -1,0 +1,185 @@
+// Coverage-guided suite augmentation — the KB twin of the gate layer's
+// ATPG top-up loop (DESIGN.md §10).
+//
+// PR 3/4 built the grading half of the paper's story: the KB suites are
+// scored against a system-level fault universe and the undetected
+// remainder is pinned (59.38 % coverage at the seed of this module —
+// every drift fault and the turn_signal/central_lock clock skews slip
+// through). The gate layer already *closes* its own remainder: run_atpg
+// reads the undetected faults off the coverage kernel and generates
+// patterns for them. This module is the same loop one layer up, in the
+// spirit of black-box test generation against unspecified components
+// (Xie & Dang) and compositional FSM test derivation (Kanso & Chebaro):
+//
+//   grade (core/grading) ──► undetected remainder ──► per fault:
+//     1. bounded-equivalence sweep — drive the golden and the faulty
+//        backend through the suite's own stimulus schedule plus seeded
+//        random walks over the suite's stimulus alphabet, comparing the
+//        *stand-observable* surface every tick (DVM voltages, frequency-
+//        counter threshold levels, transmitted CAN frames). A fault with
+//        no distinguishing experiment is classified Untestable — the KB
+//        analogue of a PODEM redundancy proof, explicitly *bounded* (the
+//        black-box caveat: equivalence holds relative to the explored
+//        stimulus space, and the certificate records that bound).
+//     2. candidate search — a small, deterministic space of test
+//        mutations: *tightened* check tolerances (the limits of an
+//        existing check site narrowed around the golden measured value,
+//        which exposes offset/scale drift the Lo/Ho bands swallow) and
+//        *probe steps* (a cloned test prefix plus a short extra dwell
+//        with a tightened check, which samples inside the timing windows
+//        clock skew shifts). Every candidate is compiled once and then
+//        executed on the existing campaign pool: once against the clean
+//        DUT (the no-golden-regression gate and the reference
+//        fingerprint) and once against the FaultyDut (the detection
+//        gate). The first candidate in deterministic order that passes
+//        clean and flips the detection fingerprint is accepted.
+//   accepted tests append to the family's TestScript ──► regrade ──►
+//   loop until fixpoint (nothing newly accepted) or the per-fault
+//   candidate budget is exhausted.
+//
+// Accepted tests are ordinary ScriptTests: they serialise through
+// script/xml_io like everything else, so an augmented suite round-trips
+// as KB XML and runs on any conforming stand. Determinism is end to
+// end: candidate order, wave size, sweep walks and acceptance are all
+// independent of the worker count — the same seed yields byte-identical
+// augmented XML at jobs=1 and jobs=8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/grading.hpp"
+
+namespace ctk::core {
+
+/// What the augmenter concluded for one fault of a family's universe.
+enum class AugmentOutcome {
+    AlreadyDetected,    ///< the un-augmented suite caught it
+    ClosedByNewTest,    ///< a test synthesized for this fault caught it
+    ClosedByEarlierTest,///< a test synthesized for a sibling fault caught it
+    Untestable,         ///< bounded-equivalence certificate (see header)
+    BudgetExhausted,    ///< candidates remained when the budget ran out
+    NoCandidateDetects, ///< full candidate space searched, nothing detects
+    FrameworkError,     ///< grading/search infrastructure failed
+};
+
+[[nodiscard]] const char* augment_outcome_name(AugmentOutcome outcome);
+
+struct AugmentOptions {
+    /// Worker threads for grading, candidate waves and the regrade
+    /// (0 = hardware threads). Outcomes and the augmented XML are
+    /// bit-identical at any count.
+    unsigned jobs = 0;
+    /// Candidate evaluations per fault and round. 0 disables the search
+    /// (faults keep their grade, sweep classification still runs).
+    std::size_t budget = 200;
+    /// Fixpoint bound on grade→augment→regrade rounds.
+    std::size_t max_rounds = 3;
+    /// Seeds the equivalence-sweep random walks (per fault: mixed with
+    /// the fault id). Same seed ⇒ byte-identical augmented XML.
+    std::uint64_t seed = 0xc7b5eedULL;
+    /// Tightened-limit width: max(abs_tol, rel_tol * |golden value|).
+    double rel_tol = 0.04;
+    double abs_tol = 0.15;
+    /// Bounded-equivalence sweep size: seeded random walks over the
+    /// suite's stimulus alphabet, on top of the suite-schedule replay.
+    std::size_t equiv_walks = 24;
+    std::size_t equiv_steps = 48;
+    RunOptions run; ///< engine options baked into every compiled plan
+};
+
+/// Per-fault augmentation verdict, in universe order.
+struct FaultAugmentation {
+    sim::FaultSpec fault;
+    AugmentOutcome outcome = AugmentOutcome::FrameworkError;
+    std::string test_name; ///< closing test (ClosedBy* outcomes)
+    std::size_t candidates_tried = 0;
+    /// Human-readable evidence: first divergence site of the sweep, the
+    /// equivalence certificate, or the framework-error message.
+    std::string note;
+};
+
+/// One test the augmenter appended to a family's script.
+struct SynthesizedTest {
+    std::string name;     ///< appended ScriptTest name ("aug_...")
+    std::string fault_id; ///< fault it was synthesized for
+    std::string origin;   ///< "test/step/signal" site the candidate grew from
+    std::string kind;     ///< "tighten" or "probe"
+};
+
+struct FamilyAugmentation {
+    std::string family;
+    bool golden_error = false; ///< the initial golden run itself failed
+    std::string golden_message;
+    /// Original suite plus every accepted synthesized test — serialise
+    /// with script::to_xml_text() to export the augmented KB entry.
+    script::TestScript augmented;
+    std::vector<SynthesizedTest> added;
+    std::vector<FaultAugmentation> faults; ///< universe order
+    CoverageGroup before; ///< grade of the un-augmented suite
+    /// Regrade of the augmented suite, with bounded-equivalent faults
+    /// reclassified Untestable (they leave the graded denominator, as
+    /// redundant faults do on the gate side).
+    CoverageGroup after;
+    std::size_t candidate_runs = 0; ///< plan executions spent searching
+
+    [[nodiscard]] bool changed() const { return !added.empty(); }
+    [[nodiscard]] std::size_t closed() const;
+    [[nodiscard]] std::size_t untestable() const;
+};
+
+struct AugmentationResult {
+    std::vector<FamilyAugmentation> families; ///< add() order
+    std::size_t rounds = 0; ///< grade→augment→regrade rounds executed
+    double wall_s = 0.0;
+    unsigned workers = 1;
+
+    [[nodiscard]] CoverageMatrix before() const;
+    [[nodiscard]] CoverageMatrix after() const;
+    /// True when every golden run succeeded and no fault or candidate
+    /// evaluation hit the framework-error path.
+    [[nodiscard]] bool clean() const;
+};
+
+/// Stable digest of everything outcome-relevant — per-fault outcomes,
+/// synthesized-test provenance, the after-coverage kernel fingerprint
+/// and the augmented XML itself. Wall clock and worker count excluded;
+/// the determinism tests compare this across jobs counts and reruns.
+[[nodiscard]] std::string
+augmentation_fingerprint(const AugmentationResult& result);
+
+/// Grade, augment and regrade queued families (see header comment).
+/// Typical use:
+///
+///   AugmentOptions opts;
+///   opts.jobs = 8;
+///   SuiteAugmenter augmenter(opts);
+///   for (const auto& family : kb::families())
+///       augmenter.add_kb_family(family);
+///   const auto result = augmenter.run_all();
+class SuiteAugmenter {
+public:
+    explicit SuiteAugmenter(AugmentOptions options = {});
+
+    /// Queue one family. add() order is the result order.
+    void add(FamilyGradingSetup setup);
+    void add_kb_family(const std::string& family);
+
+    /// Augment every queued family and clear the queue.
+    [[nodiscard]] AugmentationResult run_all();
+
+private:
+    AugmentOptions options_;
+    std::vector<FamilyGradingSetup> setups_;
+};
+
+/// Augment `families` (empty = every kb::families() entry) with KB
+/// defaults — the ctkgrade --kb --augment entry point.
+[[nodiscard]] AugmentationResult
+augment_kb(const AugmentOptions& options = {},
+           const std::vector<std::string>& families = {});
+
+} // namespace ctk::core

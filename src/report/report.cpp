@@ -179,6 +179,67 @@ std::string render_coverage(const core::CoverageMatrix& matrix,
     return out;
 }
 
+std::string render_augmentation(const core::AugmentationResult& result,
+                                bool per_fault) {
+    std::string out = "suite augmentation: " +
+                      std::to_string(result.families.size()) +
+                      " family(ies), " + std::to_string(result.rounds) +
+                      " round(s), " + std::to_string(result.workers) +
+                      " worker(s)\n";
+
+    TextTable t;
+    t.header({"family", "faults", "before", "after", "+tests",
+              "untestable", "runs"});
+    for (const auto& family : result.families) {
+        t.row({family.family, std::to_string(family.faults.size()),
+               core::format_coverage(family.before.coverage()),
+               core::format_coverage(family.after.coverage()),
+               std::to_string(family.added.size()),
+               std::to_string(family.untestable()),
+               std::to_string(family.candidate_runs)});
+    }
+    const core::CoverageMatrix before = result.before();
+    const core::CoverageMatrix after = result.after();
+    t.rule();
+    t.row({"TOTAL", std::to_string(after.fault_count()),
+           core::format_coverage(before.coverage()),
+           core::format_coverage(after.coverage()), "", "", ""});
+    out += t.render();
+
+    for (const auto& family : result.families) {
+        if (family.golden_error) {
+            out += family.family + ": golden run failed: " +
+                   family.golden_message + "\n";
+            continue;
+        }
+        for (const auto& s : family.added)
+            out += family.family + ": added " + s.name + " (" + s.kind +
+                   " @ " + s.origin + ", for " + s.fault_id + ")\n";
+    }
+
+    if (per_fault) {
+        for (const auto& family : result.families) {
+            out += family.family + ":\n";
+            TextTable d;
+            d.header({"fault", "outcome", "closed by", "tried", "note"});
+            for (const auto& f : family.faults) {
+                d.row({f.fault.id(),
+                       core::augment_outcome_name(f.outcome), f.test_name,
+                       std::to_string(f.candidates_tried), f.note});
+            }
+            out += d.render();
+        }
+    }
+
+    out += "coverage: " + core::format_coverage(before.coverage()) +
+           " -> " + core::format_coverage(after.coverage()) + " (" +
+           std::to_string(after.detected()) + "/" +
+           std::to_string(after.graded()) + " graded, " +
+           std::to_string(after.untestable()) + " untestable) in " +
+           str::format_number(result.wall_s, 3) + " s\n";
+    return out;
+}
+
 std::string coverage_to_csv(const core::CoverageMatrix& matrix) {
     std::string out =
         "group,fault,kind,outcome,detected_by,detected_at,"

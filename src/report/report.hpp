@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "core/augment.hpp"
 #include "core/coverage.hpp"
 #include "core/engine.hpp"
 #include "script/script.hpp"
@@ -44,5 +45,15 @@ render_coverage(const core::CoverageMatrix& matrix, bool per_fault = false);
 /// error — the same schema for both fault domains.
 [[nodiscard]] std::string
 coverage_to_csv(const core::CoverageMatrix& matrix);
+
+/// The augmentation story: one row per family (faults, coverage before
+/// → after, tests added, untestable, candidate executions), the list of
+/// synthesized tests with their provenance, and — with `per_fault` —
+/// the per-fault augmentation verdicts including the bounded-equivalence
+/// certificates. The after-coverage table itself renders through
+/// render_coverage, so both grading modes keep one schema.
+[[nodiscard]] std::string
+render_augmentation(const core::AugmentationResult& result,
+                    bool per_fault = false);
 
 } // namespace ctk::report

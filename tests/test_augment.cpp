@@ -1,0 +1,301 @@
+// Suite-augmentation tests: fixpoint determinism (same seed =>
+// byte-identical augmented XML), golden preservation (augmented suites
+// pass the clean DUT), worker-count independence, budget-exhaustion
+// handling, untestable certificates, and XML round-trips of the
+// synthesized tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "core/kb.hpp"
+#include "core/plan.hpp"
+#include "dut/catalogue.hpp"
+#include "script/xml_io.hpp"
+#include "sim/virtual_stand.hpp"
+
+namespace ctk::core {
+namespace {
+
+const model::MethodRegistry kReg = model::MethodRegistry::builtin();
+
+AugmentationResult augment(unsigned jobs,
+                           const std::vector<std::string>& families = {},
+                           std::size_t budget = 200,
+                           std::uint64_t seed = 0xc7b5eedULL) {
+    AugmentOptions opts;
+    opts.jobs = jobs;
+    opts.budget = budget;
+    opts.seed = seed;
+    return augment_kb(opts, families);
+}
+
+/// The full-KB augmentation is the expensive fixture half the suite
+/// asserts against — run it once.
+const AugmentationResult& kb_augmentation() {
+    static const AugmentationResult result = augment(4);
+    return result;
+}
+
+TEST(Augment, LiftsKbCoverageToTheFloorWithNoOpenFaults) {
+    const auto& result = kb_augmentation();
+    EXPECT_TRUE(result.clean());
+    ASSERT_EQ(result.families.size(), kb::families().size());
+
+    const CoverageMatrix before = result.before();
+    const CoverageMatrix after = result.after();
+    ASSERT_TRUE(before.coverage().has_value());
+    ASSERT_TRUE(after.coverage().has_value());
+    // The motivating numbers: 59.38 % at the seed of this PR, >= 90 %
+    // after augmentation — the floor CI enforces.
+    EXPECT_NEAR(*before.coverage(), 0.5938, 0.0001);
+    EXPECT_GE(*after.coverage(), 0.9);
+    EXPECT_EQ(after.undetected(), 0u);
+    EXPECT_EQ(after.framework_errors(), 0u);
+
+    for (const auto& family : result.families) {
+        EXPECT_FALSE(family.golden_error) << family.family;
+        for (const auto& f : family.faults)
+            EXPECT_TRUE(f.outcome != AugmentOutcome::BudgetExhausted &&
+                        f.outcome != AugmentOutcome::NoCandidateDetects &&
+                        f.outcome != AugmentOutcome::FrameworkError)
+                << family.family << "/" << f.fault.id() << ": "
+                << augment_outcome_name(f.outcome);
+    }
+}
+
+TEST(Augment, FixpointIsDeterministicForTheSameSeed) {
+    const auto& first = kb_augmentation();
+    const auto second = augment(4);
+    EXPECT_EQ(augmentation_fingerprint(first),
+              augmentation_fingerprint(second));
+    ASSERT_EQ(first.families.size(), second.families.size());
+    for (std::size_t i = 0; i < first.families.size(); ++i) {
+        // Byte-identical augmented XML — the artefact --out ships.
+        EXPECT_EQ(script::to_xml_text(first.families[i].augmented),
+                  script::to_xml_text(second.families[i].augmented))
+            << first.families[i].family;
+    }
+}
+
+TEST(Augment, WorkerCountDoesNotChangeTheAugmentation) {
+    const auto one = augment(1, {"wiper", "central_lock"});
+    const auto eight = augment(8, {"wiper", "central_lock"});
+    EXPECT_EQ(augmentation_fingerprint(one),
+              augmentation_fingerprint(eight));
+    ASSERT_EQ(one.families.size(), 2u);
+    ASSERT_EQ(eight.families.size(), 2u);
+    for (std::size_t i = 0; i < one.families.size(); ++i) {
+        EXPECT_EQ(script::to_xml_text(one.families[i].augmented),
+                  script::to_xml_text(eight.families[i].augmented));
+        EXPECT_EQ(one.families[i].candidate_runs,
+                  eight.families[i].candidate_runs);
+    }
+}
+
+TEST(Augment, AugmentedSuitesPassTheCleanDut) {
+    // No golden regression, end to end: every augmented script, bound
+    // fresh to its reference stand, passes on an undecorated golden
+    // device.
+    for (const auto& family : kb_augmentation().families) {
+        const auto plan = CompiledPlan::compile(
+            family.augmented, kb::stand_for(family.family), RunOptions{});
+        sim::VirtualStand backend(kb::stand_for(family.family),
+                                  dut::make_golden(family.family));
+        const RunResult run = plan.execute(backend);
+        EXPECT_TRUE(run.passed()) << family.family;
+        EXPECT_EQ(run.tests.size(), family.augmented.tests.size());
+    }
+}
+
+TEST(Augment, SynthesizedScriptsRoundTripThroughXml) {
+    for (const auto& family : kb_augmentation().families) {
+        ASSERT_FALSE(family.added.empty()) << family.family;
+        const std::string xml = script::to_xml_text(family.augmented);
+        const script::TestScript parsed =
+            script::from_xml_text(xml, kReg, family.family + ".xml");
+        // Serialisation is idempotent through a parse cycle...
+        EXPECT_EQ(script::to_xml_text(parsed), xml) << family.family;
+        ASSERT_EQ(parsed.tests.size(), family.augmented.tests.size());
+        // ...and the re-parsed script executes to the same verdicts.
+        const auto desc = kb::stand_for(family.family);
+        const auto plan = CompiledPlan::compile(parsed, desc, RunOptions{});
+        sim::VirtualStand backend(desc, dut::make_golden(family.family));
+        EXPECT_TRUE(plan.execute(backend).passed()) << family.family;
+    }
+}
+
+TEST(Augment, RegradeOfAugmentedSuiteAgreesWithReportedAfterGroup) {
+    // The 'after' group must be reproducible by an independent grading
+    // of the exported suite (untestable entries map back to undetected,
+    // which is exactly what the certificate re-classifies).
+    const auto& family = kb_augmentation().families[1]; // wiper
+    ASSERT_EQ(family.family, "wiper");
+
+    auto setup = kb_grading_setup("wiper");
+    setup.script = family.augmented;
+    setup.plan.reset();
+    GradingOptions gopts;
+    gopts.jobs = 2;
+    GradingCampaign grading(gopts);
+    grading.add(std::move(setup));
+    const auto regrade = grading.run_all();
+    ASSERT_EQ(regrade.families.size(), 1u);
+    const CoverageGroup fresh = regrade.families[0].coverage_group();
+
+    ASSERT_EQ(fresh.entries.size(), family.after.entries.size());
+    for (std::size_t i = 0; i < fresh.entries.size(); ++i) {
+        const FaultOutcome want =
+            family.after.entries[i].outcome == FaultOutcome::Untestable
+                ? FaultOutcome::Undetected
+                : family.after.entries[i].outcome;
+        EXPECT_EQ(fresh.entries[i].outcome, want)
+            << fresh.entries[i].id;
+    }
+}
+
+TEST(Augment, BudgetZeroDisablesTheSearchButKeepsCertificates) {
+    const auto result = augment(2, {"wiper"}, /*budget=*/0);
+    ASSERT_EQ(result.families.size(), 1u);
+    const auto& family = result.families[0];
+
+    // Nothing synthesized, the script is untouched...
+    EXPECT_TRUE(family.added.empty());
+    EXPECT_EQ(script::to_xml_text(family.augmented),
+              script::to_xml_text(
+                  script::compile(kb::suite_for("wiper"), kReg)));
+    // ...the drift blind spots are explicitly budget-exhausted...
+    std::size_t exhausted = 0;
+    for (const auto& f : family.faults)
+        if (f.outcome == AugmentOutcome::BudgetExhausted) {
+            ++exhausted;
+            EXPECT_EQ(f.candidates_tried, 0u) << f.fault.id();
+        }
+    EXPECT_GT(exhausted, 0u);
+    // ...and the after coverage equals the before coverage (wiper has
+    // no untestable faults to reclassify).
+    EXPECT_EQ(family.after.coverage(), family.before.coverage());
+}
+
+TEST(Augment, SmallBudgetStopsAtTheBudgetNotTheCandidateSpace) {
+    // central_lock's clock skews need probe candidates that sit beyond
+    // the first few tighten sites; a budget of 4 must stop there and
+    // say so. The budget is per fault and per round (AugmentOptions),
+    // and the default fixpoint allows max_rounds = 3 of them.
+    const auto result = augment(2, {"central_lock"}, /*budget=*/4);
+    ASSERT_EQ(result.families.size(), 1u);
+    bool saw_exhausted = false;
+    for (const auto& f : result.families[0].faults) {
+        EXPECT_LE(f.candidates_tried, 4u * 3u) << f.fault.id();
+        if (f.outcome == AugmentOutcome::BudgetExhausted) {
+            saw_exhausted = true;
+            EXPECT_EQ(f.candidates_tried % 4u, 0u) << f.fault.id();
+        }
+    }
+    EXPECT_TRUE(saw_exhausted);
+}
+
+TEST(Augment, UntestableCertificatesNameTheBound) {
+    // The stand-unobservable faults (a frequency counter cannot see
+    // lamp drift; the interior light ignores ign_st; int_ill_r is a
+    // 0 V return line) are certified bounded-equivalent, not counted
+    // as misses — and the certificate says what was explored.
+    const std::vector<std::pair<std::string, std::string>> expected{
+        {"interior_light", "stuck_low@int_ill_r"},
+        {"interior_light", "scale@int_ill_r*0.8"},
+        {"interior_light", "can_drop@ign_st"},
+        {"interior_light", "can_corrupt@ign_st"},
+        {"turn_signal", "offset@lamp_l+0.8"},
+        {"turn_signal", "scale@lamp_l*0.8"},
+        {"turn_signal", "offset@lamp_r+0.8"},
+        {"turn_signal", "scale@lamp_r*0.8"},
+    };
+    std::vector<std::pair<std::string, std::string>> untestable;
+    for (const auto& family : kb_augmentation().families)
+        for (const auto& f : family.faults)
+            if (f.outcome == AugmentOutcome::Untestable) {
+                untestable.emplace_back(family.family, f.fault.id());
+                EXPECT_NE(f.note.find("bounded-equivalent"),
+                          std::string::npos)
+                    << f.fault.id();
+            }
+    EXPECT_EQ(untestable, expected);
+}
+
+TEST(Augment, GoldenErrorIsIsolatedPerFamily) {
+    auto broken = kb_grading_setup("wiper");
+    broken.stand = stand::StandDescription("empty-stand");
+    broken.plan.reset();
+
+    AugmentOptions opts;
+    opts.jobs = 2;
+    SuiteAugmenter augmenter(opts);
+    augmenter.add(std::move(broken));
+    augmenter.add(kb_grading_setup("turn_signal"));
+    const auto result = augmenter.run_all();
+
+    ASSERT_EQ(result.families.size(), 2u);
+    EXPECT_TRUE(result.families[0].golden_error);
+    EXPECT_FALSE(result.families[0].golden_message.empty());
+    for (const auto& f : result.families[0].faults)
+        EXPECT_EQ(f.outcome, AugmentOutcome::FrameworkError);
+    EXPECT_FALSE(result.clean());
+
+    EXPECT_FALSE(result.families[1].golden_error);
+    EXPECT_FALSE(result.families[1].added.empty());
+}
+
+TEST(Augment, SynthesizedTestNamesAreUniqueAndTraceable) {
+    for (const auto& family : kb_augmentation().families) {
+        std::map<std::string, std::size_t> names;
+        for (const auto& test : family.augmented.tests)
+            ++names[test.name];
+        for (const auto& [name, count] : names)
+            EXPECT_EQ(count, 1u) << family.family << "/" << name;
+        for (const auto& added : family.added) {
+            EXPECT_EQ(added.name.rfind("aug_", 0), 0u) << added.name;
+            EXPECT_FALSE(added.fault_id.empty());
+            EXPECT_FALSE(added.origin.empty());
+            EXPECT_TRUE(added.kind == "tighten" || added.kind == "probe")
+                << added.kind;
+            // Every added test exists in the augmented script.
+            EXPECT_TRUE(std::any_of(
+                family.augmented.tests.begin(),
+                family.augmented.tests.end(),
+                [&](const script::ScriptTest& t) {
+                    return t.name == added.name;
+                }))
+                << added.name;
+        }
+    }
+}
+
+TEST(Augment, UnknownFamilyThrowsSemanticError) {
+    AugmentOptions opts;
+    SuiteAugmenter augmenter(opts);
+    EXPECT_THROW(augmenter.add_kb_family("toaster"), SemanticError);
+}
+
+TEST(Augment, EveryClosureIsAttributedToAnExistingTest) {
+    for (const auto& family : kb_augmentation().families)
+        for (const auto& f : family.faults) {
+            if (f.outcome != AugmentOutcome::ClosedByNewTest &&
+                f.outcome != AugmentOutcome::ClosedByEarlierTest)
+                continue;
+            EXPECT_TRUE(std::any_of(
+                family.augmented.tests.begin(),
+                family.augmented.tests.end(),
+                [&](const script::ScriptTest& t) {
+                    return t.name == f.test_name;
+                }))
+                << family.family << "/" << f.fault.id() << " -> "
+                << f.test_name;
+        }
+}
+
+} // namespace
+} // namespace ctk::core

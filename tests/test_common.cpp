@@ -1,10 +1,13 @@
 // Unit tests: common utilities (strings, numbers, table renderer, rng).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -151,6 +154,68 @@ TEST(Rng, RangeRespectsBounds) {
         const double v = r.next_range(-3.0, 5.0);
         EXPECT_GE(v, -3.0);
         EXPECT_LT(v, 5.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel::for_shards — until now only exercised indirectly through
+// faultsim and the campaign runner; these pin the edge cases directly.
+// ---------------------------------------------------------------------------
+
+TEST(ForShards, ZeroItemsInvokesNothingAndDoesNotHang) {
+    for (const unsigned workers : {0u, 1u, 4u, 16u}) {
+        std::atomic<std::size_t> calls{0};
+        parallel::for_shards(0, workers,
+                             [&](std::size_t) { ++calls; });
+        EXPECT_EQ(calls.load(), 0u) << workers << " workers";
+    }
+}
+
+TEST(ForShards, FewerItemsThanWorkersClaimsEachIndexExactlyOnce) {
+    // 3 items on 16 requested workers: every index runs exactly once,
+    // surplus workers must neither double-claim nor deadlock.
+    std::vector<std::atomic<int>> hits(3);
+    for (auto& h : hits) h = 0;
+    parallel::for_shards(3, 16, [&](std::size_t i) {
+        ASSERT_LT(i, hits.size());
+        ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ForShards, ResolveWorkersClampsToWork) {
+    EXPECT_EQ(parallel::resolve_workers(16, 3), 3u);
+    EXPECT_EQ(parallel::resolve_workers(1, 100), 1u);
+    EXPECT_GE(parallel::resolve_workers(0, 100), 1u); // hardware threads
+    EXPECT_EQ(parallel::resolve_workers(4, 0), 1u);   // never zero
+}
+
+TEST(ForShards, WorkerExceptionIsRethrownAndSiblingsComplete) {
+    // One shard throws; the pool must join, every *other* index must
+    // still have run, and the first exception must surface on the
+    // calling thread — a throwing shard cannot leak threads or crash
+    // siblings (the contract faultsim and the campaigns rely on).
+    for (const unsigned workers : {1u, 4u}) {
+        std::vector<std::atomic<int>> hits(17);
+        for (auto& h : hits) h = 0;
+        bool threw = false;
+        try {
+            parallel::for_shards(hits.size(), workers, [&](std::size_t i) {
+                if (i == 5) throw StandError("shard 5 exploded");
+                ++hits[i];
+            });
+        } catch (const StandError& e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "shard 5 exploded");
+        }
+        EXPECT_TRUE(threw) << workers << " workers";
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            if (i == 5) continue;
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << ", " << workers << " workers";
+        }
+        EXPECT_EQ(hits[5].load(), 0);
     }
 }
 

@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/campaign.hpp"
+#include "core/grading.hpp"
 #include "core/kb.hpp"
 #include "core/plan.hpp"
 #include "dut/catalogue.hpp"
 #include "report/report.hpp"
+#include "sim/fault_inject.hpp"
 #include "sim/virtual_stand.hpp"
 
 namespace ctk::core {
@@ -241,6 +244,67 @@ TEST(Plan, EngineCompileProducesTheSamePlan) {
     auto backend = fresh_backend(family, desc);
     EXPECT_EQ(fingerprint(family, plan.execute(*backend)),
               fingerprint(family, engine.run(script)));
+}
+
+TEST(Plan, StringAndHandleTiersAgreeUnderRandomFaultInjection) {
+    // 100 seeded random fault specs per run, drawn over every kind —
+    // including the drift and skew paths no fixed-universe test drives
+    // through both tiers. The two execution paths must produce the
+    // same detection fingerprint for every faulty DUT, exactly as they
+    // do for the golden one: fault injection sits below the backend,
+    // so the tier split must be invisible to it.
+    Rng rng(0xd1ffe7ULL);
+    const std::vector<std::string> families{"wiper", "central_lock",
+                                            "turn_signal"};
+    std::vector<sim::FaultKind> kinds{
+        sim::FaultKind::PinStuckLow, sim::FaultKind::PinStuckHigh,
+        sim::FaultKind::PinOffset,   sim::FaultKind::PinScale,
+        sim::FaultKind::CanDrop,     sim::FaultKind::CanCorrupt,
+        sim::FaultKind::TimingSkew};
+
+    for (std::size_t trial = 0; trial < 100; ++trial) {
+        const std::string& family =
+            families[rng.next_below(families.size())];
+        const auto setup = kb_grading_setup(family);
+        const auto& surface_plan = *setup.plan;
+        const auto surface = plan_fault_surface(surface_plan);
+
+        sim::FaultSpec fault;
+        fault.kind = kinds[rng.next_below(kinds.size())];
+        switch (fault.kind) {
+        case sim::FaultKind::CanDrop:
+        case sim::FaultKind::CanCorrupt:
+            fault.target = surface.can_signals[rng.next_below(
+                surface.can_signals.size())];
+            break;
+        case sim::FaultKind::TimingSkew:
+            fault.target = "clock";
+            fault.magnitude = rng.next_range(0.4, 2.0);
+            break;
+        default:
+            fault.target = surface.output_pins[rng.next_below(
+                surface.output_pins.size())];
+            if (fault.kind == sim::FaultKind::PinOffset)
+                fault.magnitude = rng.next_range(-2.0, 2.0);
+            else if (fault.kind == sim::FaultKind::PinScale)
+                fault.magnitude = rng.next_range(0.2, 1.5);
+            break;
+        }
+
+        auto strings_backend = std::make_shared<sim::VirtualStand>(
+            setup.stand, std::make_shared<sim::FaultyDut>(
+                             dut::make_golden(family), fault));
+        auto handles_backend = std::make_shared<sim::VirtualStand>(
+            setup.stand, std::make_shared<sim::FaultyDut>(
+                             dut::make_golden(family), fault));
+        const auto via_strings =
+            surface_plan.execute(*strings_backend, PlanPath::Strings);
+        const auto via_handles =
+            surface_plan.execute(*handles_backend, PlanPath::Handles);
+        EXPECT_EQ(detection_fingerprint(via_strings),
+                  detection_fingerprint(via_handles))
+            << family << "/" << fault.id() << " (trial " << trial << ")";
+    }
 }
 
 } // namespace

@@ -134,5 +134,50 @@ TEST(Report, CoverageOfNothingRendersNa) {
     EXPECT_EQ(out.find("100 %"), std::string::npos);
 }
 
+TEST(Report, AugmentationRenderTellsTheWholeStory) {
+    core::AugmentationResult result;
+    result.rounds = 1;
+    result.workers = 2;
+
+    core::FamilyAugmentation family;
+    family.family = "wiper";
+    family.before.name = "wiper";
+    family.before.status = "PASS";
+    core::CoverageEntry miss;
+    miss.id = "offset@wiper_lo+0.8";
+    miss.kind = "offset";
+    miss.outcome = core::FaultOutcome::Undetected;
+    family.before.entries.push_back(miss);
+    family.after = family.before;
+    family.after.entries[0].outcome = core::FaultOutcome::Detected;
+    family.after.entries[0].detected_at = "aug_offset/1/wiper_lo";
+
+    core::SynthesizedTest added;
+    added.name = "aug_offset_wiper_lo_0_8";
+    added.fault_id = "offset@wiper_lo+0.8";
+    added.origin = "wiper_modes/1/wiper_lo";
+    added.kind = "tighten";
+    family.added.push_back(added);
+
+    core::FaultAugmentation fa;
+    fa.fault = sim::FaultSpec{sim::FaultKind::PinOffset, "wiper_lo", 0.8};
+    fa.outcome = core::AugmentOutcome::ClosedByNewTest;
+    fa.test_name = added.name;
+    fa.candidates_tried = 1;
+    fa.note = "tighten @ wiper_modes/1/wiper_lo";
+    family.faults.push_back(fa);
+    family.candidate_runs = 2;
+    result.families.push_back(family);
+
+    const std::string out = render_augmentation(result, true);
+    EXPECT_NE(out.find("wiper"), std::string::npos);
+    EXPECT_NE(out.find("aug_offset_wiper_lo_0_8"), std::string::npos);
+    EXPECT_NE(out.find("tighten @ wiper_modes/1/wiper_lo"),
+              std::string::npos);
+    EXPECT_NE(out.find("closed-by-new-test"), std::string::npos);
+    // Before 0 %, after 100 % — the headline delta renders.
+    EXPECT_NE(out.find("0 % -> 100 %"), std::string::npos);
+}
+
 } // namespace
 } // namespace ctk::report

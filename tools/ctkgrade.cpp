@@ -12,17 +12,25 @@
 // family's generated fault universe (pin stuck/drift, CAN drop/corrupt,
 // clock skew) on a worker pool.
 //
-// Both modes print the same coverage table, export the same CSV schema
-// and honour the same flags: --jobs (worker threads; outcomes identical
-// at any count), --detail (per-fault rows), --csv (machine-readable
-// export) and --min-coverage (CI gate: exit 4 when total coverage is
-// below the threshold, or when nothing was graded at all).
+// Augment mode (--kb --augment, DESIGN.md §10): after grading, the
+// undetected remainder feeds the coverage-guided suite augmenter — the
+// KB twin of the gate layer's PODEM top-up. Synthesized tests append to
+// each family's suite, the suites are regraded to fixpoint, and --out
+// exports the augmented suites as round-trippable KB XML.
+//
+// Both grading modes print the same coverage table, export the same CSV
+// schema and honour the same flags: --jobs (worker threads; outcomes
+// identical at any count), --detail (per-fault rows), --csv
+// (machine-readable export) and --min-coverage (CI gate: exit 4 when
+// total coverage is below the threshold, or when nothing was graded at
+// all; in augment mode the gate judges the *after* coverage).
 //
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
 //                   [--jobs N] [--detail] [--csv out.csv]
 //                   [--min-coverage X]
 //          ctkgrade --kb [--families a,b] [--jobs N] [--detail]
 //                   [--csv out.csv] [--min-coverage X]
+//                   [--augment] [--budget N] [--seed S] [--out DIR]
 //          builtin names: c17, adder8, cmp8, mux16, alu4, parity16,
 //          counter4 (sequential; random only)
 //
@@ -31,17 +39,20 @@
 // --min-coverage — CI propagates 3 and 4.
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "core/augment.hpp"
 #include "core/grading.hpp"
 #include "gate/bench_io.hpp"
 #include "gate/circuits.hpp"
 #include "gate/grade.hpp"
 #include "report/report.hpp"
+#include "script/xml_io.hpp"
 
 namespace {
 
@@ -70,7 +81,8 @@ const char* kUsage =
     "[--jobs N]\n"
     "                [--detail] [--csv out.csv] [--min-coverage X]\n"
     "       ctkgrade --kb [--families a,b] [--jobs N] [--detail]\n"
-    "                [--csv out.csv] [--min-coverage X]\n";
+    "                [--csv out.csv] [--min-coverage X]\n"
+    "                [--augment] [--budget N] [--seed S] [--out DIR]\n";
 
 /// Flags shared verbatim by both modes.
 struct CommonOptions {
@@ -120,6 +132,36 @@ int run_kb_grading(const std::vector<std::string>& families,
         // the grading harness or the stand — that must fail CI.
         return finish(result.to_coverage(), options,
                       result.clean() ? 0 : 3);
+    } catch (const Error& e) {
+        std::cerr << "ctkgrade: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+int run_kb_augmentation(const std::vector<std::string>& families,
+                        const CommonOptions& options,
+                        const ctk::core::AugmentOptions& aopts,
+                        const std::string& out_dir) {
+    using namespace ctk;
+    try {
+        const auto result = core::augment_kb(aopts, families);
+        std::cout << report::render_augmentation(result, options.detail);
+        if (!out_dir.empty()) {
+            std::filesystem::create_directories(out_dir);
+            for (const auto& family : result.families) {
+                const std::string path =
+                    (std::filesystem::path(out_dir) /
+                     (family.family + ".xml"))
+                        .string();
+                std::ofstream out(path);
+                if (!out) throw Error("cannot write " + path);
+                out << script::to_xml_text(family.augmented);
+                std::cerr << "ctkgrade: wrote " << path << "\n";
+            }
+        }
+        // The CSV and the --min-coverage gate judge the *augmented*
+        // suites — the artefact this mode ships.
+        return finish(result.after(), options, result.clean() ? 0 : 3);
     } catch (const Error& e) {
         std::cerr << "ctkgrade: " << e.what() << "\n";
         return 2;
@@ -177,6 +219,10 @@ int main(int argc, char** argv) {
     std::size_t budget = 256;
     bool budget_set = false;
     bool kb_mode = false;
+    bool augment = false;
+    bool aug_flag_set = false; ///< --budget/--seed seen (augment-only)
+    core::AugmentOptions aug_opts;
+    std::string out_dir;
     CommonOptions common;
     std::vector<std::string> families;
     for (int i = 1; i < argc; ++i) {
@@ -199,6 +245,28 @@ int main(int argc, char** argv) {
             budget_set = true;
         } else if (arg == "--kb") {
             kb_mode = true;
+        } else if (arg == "--augment") {
+            augment = true;
+        } else if (arg == "--budget") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 0 && *n <= 1e6) || *n != std::floor(*n)) {
+                std::cerr << "ctkgrade: --budget needs an integer in "
+                             "[0, 1e6]\n";
+                return 1;
+            }
+            aug_opts.budget = static_cast<std::size_t>(*n);
+            aug_flag_set = true;
+        } else if (arg == "--seed") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 0) || *n != std::floor(*n)) {
+                std::cerr << "ctkgrade: --seed needs a non-negative "
+                             "integer\n";
+                return 1;
+            }
+            aug_opts.seed = static_cast<std::uint64_t>(*n);
+            aug_flag_set = true;
+        } else if (arg == "--out") {
+            out_dir = next();
         } else if (arg == "--families") {
             for (const auto& f : str::split(next(), ','))
                 families.push_back(std::string(str::trim(f)));
@@ -244,10 +312,25 @@ int main(int argc, char** argv) {
                          "mode\n";
             return 1;
         }
+        if (!augment && (aug_flag_set || !out_dir.empty())) {
+            std::cerr << "ctkgrade: --budget/--seed/--out only apply "
+                         "with --augment\n";
+            return 1;
+        }
+        if (augment) {
+            aug_opts.jobs = common.jobs;
+            return run_kb_augmentation(families, common, aug_opts,
+                                       out_dir);
+        }
         return run_kb_grading(families, common);
     }
     if (!families.empty()) {
         std::cerr << "ctkgrade: --families only applies to --kb mode\n";
+        return 1;
+    }
+    if (augment || aug_flag_set || !out_dir.empty()) {
+        std::cerr << "ctkgrade: --augment/--budget/--seed/--out only "
+                     "apply to --kb mode\n";
         return 1;
     }
     if (spec.empty()) {
