@@ -1,0 +1,254 @@
+// bench_gradestore — prices the incremental grading store (DESIGN.md
+// §11) at the scale that motivates it: a ~6,400-fault universe (the KB
+// under --universe scaled, replicated --scale times — the many-variants
+// regime) regraded after a one-test KB edit.
+//
+// The measured story:
+//  1. cold grade of the original KB against an empty store — every
+//     (fault, test) pair executes and is recorded;
+//  2. one test of one family copy is edited (its last dwell extended),
+//     which changes exactly that test's plan hash;
+//  3. cold regrade of the edited KB without a store — the baseline an
+//     OEM pays today;
+//  4. warm regrade of the edited KB against the populated store — only
+//     the edited test's pairs replay (plus one golden run per family).
+//
+// Before any time counts, the warm outcome fingerprint and coverage CSV
+// are asserted byte-identical to the cold baseline; the bench then
+// requires warm >= 10x faster than cold and exits nonzero otherwise —
+// CI runs this as a perf gate, not just a report. A no-edit warm
+// regrade (every pair served) is measured as the best case.
+//
+// Results go to stdout and, machine-readable, to BENCH_gradestore.json.
+//
+//   usage: bench_gradestore [--repeat R] [--scale S] [--smoke]
+//                           [--out file.json]
+#include <cmath>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/gradestore.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+/// Fresh scaled-universe grading setups for `scale` copies of the KB.
+std::vector<core::FamilyGradingSetup> build_setups(std::size_t scale) {
+    const auto universe = sim::UniverseOptions::scaled();
+    std::vector<core::FamilyGradingSetup> setups;
+    for (std::size_t s = 0; s < scale; ++s)
+        for (const auto& family : core::kb::families()) {
+            auto setup = core::kb_grading_setup(family, {}, universe);
+            if (scale > 1)
+                setup.family = family + "#" + std::to_string(s);
+            setups.push_back(std::move(setup));
+        }
+    return setups;
+}
+
+/// The one-test KB edit: extend the last dwell of the first family
+/// copy's first test. Changes exactly one plan-test hash.
+void edit_one_test(std::vector<core::FamilyGradingSetup>& setups) {
+    auto& test = setups.front().script.tests.front();
+    test.steps.back().dt += 0.1;
+    setups.front().plan.reset(); // content changed; recompile
+}
+
+core::GradingResult run_grading(std::vector<core::FamilyGradingSetup> setups,
+                                core::GradeStore* store) {
+    core::GradingOptions opts;
+    opts.jobs = 1; // timing axis is the store, not the worker pool
+    opts.store = store;
+    core::GradingCampaign grading(opts);
+    for (auto& setup : setups) grading.add(std::move(setup));
+    return grading.run_all();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 3;
+    std::size_t scale = 16; // 16 x 418 scaled KB faults = 6,688
+    std::string out_path = "BENCH_gradestore.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_gradestore: " << arg
+                          << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parse_count = [&](const char* flag) -> std::size_t {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_gradestore: " << flag
+                          << " needs an integer in [1, 4096]\n";
+                std::exit(1);
+            }
+            return static_cast<std::size_t>(*n);
+        };
+        if (arg == "--repeat") {
+            repeat = parse_count("--repeat");
+        } else if (arg == "--scale") {
+            scale = parse_count("--scale");
+        } else if (arg == "--smoke") {
+            // CI: one repetition, but keep the full >= 6,400-fault
+            // universe — the 10x gate is only meaningful at the scale
+            // that motivates the store (~4 s total).
+            repeat = 1;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_gradestore [--repeat R] "
+                         "[--scale S] [--smoke] [--out file]\n";
+            return 1;
+        }
+    }
+
+    // Phase 1 (untimed for the headline): cold grade of the original KB
+    // populating the store every warm repetition starts from.
+    core::GradeStore seeded;
+    double initial_s = 0.0;
+    {
+        auto setups = build_setups(scale);
+        const double wall = time_s(
+            [&]() { (void)run_grading(std::move(setups), &seeded); });
+        initial_s = wall;
+    }
+    const std::size_t faults = seeded.stats().faults_replayed;
+    std::cout << "bench_gradestore: " << faults << " fault(s) (KB x"
+              << scale << ", scaled universe), "
+              << seeded.pair_count() << " stored pair(s), x" << repeat
+              << " repetition(s)\n";
+    std::cout << "  initial cold grade (store recording): "
+              << str::format_number(initial_s, 4) << " s\n";
+
+    // Phase 2: the edited-KB baseline — cold, storeless regrade.
+    core::GradingResult reference;
+    double cold_s = 0.0;
+    for (std::size_t r = 0; r < repeat; ++r) {
+        auto setups = build_setups(scale);
+        edit_one_test(setups);
+        core::GradingResult result;
+        const double wall = time_s(
+            [&]() { result = run_grading(std::move(setups), nullptr); });
+        if (r == 0 || wall < cold_s) cold_s = wall;
+        reference = std::move(result);
+    }
+    const std::string want_fp = core::outcome_fingerprint(reference);
+    const std::string want_csv =
+        report::coverage_to_csv(reference.to_coverage());
+    std::cout << "  cold regrade after one-test edit:     "
+              << str::format_number(cold_s, 4) << " s\n";
+
+    // Phase 3: warm regrade of the edited KB. Correctness first — the
+    // warm path must reproduce the cold outcome byte for byte.
+    double warm_s = 0.0;
+    core::GradeStoreStats warm_stats;
+    for (std::size_t r = 0; r < repeat; ++r) {
+        core::GradeStore store = seeded; // pristine pre-edit store
+        store.stats() = {};
+        auto setups = build_setups(scale);
+        edit_one_test(setups);
+        core::GradingResult result;
+        const double wall = time_s(
+            [&]() { result = run_grading(std::move(setups), &store); });
+        if (core::outcome_fingerprint(result) != want_fp ||
+            report::coverage_to_csv(result.to_coverage()) != want_csv) {
+            std::cerr << "bench_gradestore: warm outcome differs from "
+                         "cold!\n";
+            return 2;
+        }
+        if (r == 0 || wall < warm_s) warm_s = wall;
+        warm_stats = store.stats();
+    }
+    const double speedup = cold_s / warm_s;
+    std::cout << "  warm regrade after one-test edit:     "
+              << str::format_number(warm_s, 4) << " s (x"
+              << str::format_number(speedup, 4) << " vs cold; "
+              << warm_stats.pair_hits << " pair(s) served, "
+              << warm_stats.pair_misses + warm_stats.pair_stale
+              << " replayed, " << warm_stats.faults_skipped
+              << " fault(s) skipped)\n";
+
+    // Phase 4: best case — nothing changed, every pair served.
+    double noedit_s = 0.0;
+    core::GradeStoreStats noedit_stats;
+    for (std::size_t r = 0; r < repeat; ++r) {
+        core::GradeStore store = seeded;
+        store.stats() = {};
+        auto setups = build_setups(scale);
+        core::GradingResult result;
+        const double wall = time_s(
+            [&]() { result = run_grading(std::move(setups), &store); });
+        (void)result;
+        if (r == 0 || wall < noedit_s) noedit_s = wall;
+        noedit_stats = store.stats();
+    }
+    std::cout << "  warm regrade, no edit:                "
+              << str::format_number(noedit_s, 4) << " s ("
+              << noedit_stats.pair_hits << " pair(s) served, "
+              << noedit_stats.faults_skipped << " fault(s) skipped)\n";
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_gradestore\",\n";
+    json << "  \"faults\": " << faults << ",\n";
+    json << "  \"scale\": " << scale << ",\n";
+    json << "  \"stored_pairs\": " << seeded.pair_count() << ",\n";
+    json << "  \"repeats\": " << repeat << ",\n";
+    json << "  \"initial_cold_s\": " << json_num(initial_s) << ",\n";
+    json << "  \"cold_regrade_s\": " << json_num(cold_s) << ",\n";
+    json << "  \"warm_regrade_s\": " << json_num(warm_s) << ",\n";
+    json << "  \"warm_speedup\": " << json_num(speedup) << ",\n";
+    json << "  \"warm_pairs_served\": " << warm_stats.pair_hits << ",\n";
+    json << "  \"warm_pairs_replayed\": "
+         << warm_stats.pair_misses + warm_stats.pair_stale << ",\n";
+    json << "  \"warm_faults_skipped\": " << warm_stats.faults_skipped
+         << ",\n";
+    json << "  \"noedit_regrade_s\": " << json_num(noedit_s) << ",\n";
+    json << "  \"noedit_pairs_served\": " << noedit_stats.pair_hits
+         << "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_gradestore: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cout << "  wrote " << out_path << "\n";
+
+    // The perf gate: the store's reason to exist is that a one-test
+    // edit no longer costs a full-universe regrade.
+    if (speedup < 10.0) {
+        std::cerr << "bench_gradestore: warm regrade only x"
+                  << str::format_number(speedup, 4)
+                  << " vs cold (need >= x10)\n";
+        return 3;
+    }
+    return 0;
+}

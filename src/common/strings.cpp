@@ -119,4 +119,20 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     return out;
 }
 
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string fnv1a_hex(std::string_view s) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a(s)));
+    return buf;
+}
+
 } // namespace ctk::str

@@ -5,6 +5,7 @@
 // comma and point so sheets can be pasted verbatim.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -42,5 +43,12 @@ namespace ctk::str {
 /// Join parts with a separator.
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
+
+/// FNV-1a 64-bit content hash — the repo-wide content-addressing
+/// primitive (augmentation sweep seeds, grade-store plan/KB keys).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s);
+
+/// fnv1a as a fixed-width 16-digit lower-case hex string (store keys).
+[[nodiscard]] std::string fnv1a_hex(std::string_view s);
 
 } // namespace ctk::str

@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "core/gradestore.hpp"
 #include "core/kb.hpp"
 #include "core/plan.hpp"
 #include "script/xml_io.hpp"
@@ -38,15 +39,6 @@ constexpr double kWalkDwells[] = {0.05, 0.1, 0.2, 0.5, 1.0};
 /// first — the order the skew windows are most likely to be hit in.
 constexpr double kProbeFractions[] = {0.5, 0.25, 0.75, 0.125,
                                       0.375, 0.625, 0.875};
-
-std::uint64_t fnv1a(std::string_view s) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
 
 /// "offset@wiper_lo+0.8" -> "offset_wiper_lo_0_8": a stable, readable
 /// test-name stem unique per fault id within a universe.
@@ -305,7 +297,7 @@ SweepOutcome bounded_equivalence_sweep(const FamilyGradingSetup& setup,
         // Phase 2 — seeded random walks over the stimulus alphabet.
         const auto alphabet = stimulus_alphabet(plan);
         if (!alphabet.empty()) {
-            Rng rng(options.seed ^ fnv1a(fault.id()));
+            Rng rng(options.seed ^ str::fnv1a(fault.id()));
             for (std::size_t w = 0;
                  w < options.equiv_walks && witness.empty(); ++w) {
                 golden->reset();
@@ -642,6 +634,7 @@ FamilyGrade grade_once(FamilyGradingSetup setup,
     GradingOptions gopts;
     gopts.jobs = options.jobs;
     gopts.run = options.run;
+    gopts.store = options.store;
     GradingCampaign grading(gopts);
     grading.add(std::move(setup));
     GradingResult result = grading.run_all();
@@ -649,6 +642,16 @@ FamilyGrade grade_once(FamilyGradingSetup setup,
 }
 
 } // namespace
+
+std::string sweep_params_hash(const AugmentOptions& options) {
+    const std::string s =
+        "seed|" + std::to_string(options.seed) + "|walks|" +
+        std::to_string(options.equiv_walks) + "|steps|" +
+        std::to_string(options.equiv_steps) + "|tick|" +
+        str::format_number(options.run.tick_s, 17) + "|settle|" +
+        str::format_number(options.run.init_settle_s, 17);
+    return str::fnv1a_hex(s);
+}
 
 const char* augment_outcome_name(AugmentOutcome outcome) {
     switch (outcome) {
@@ -734,7 +737,7 @@ void SuiteAugmenter::add(FamilyGradingSetup setup) {
 }
 
 void SuiteAugmenter::add_kb_family(const std::string& family) {
-    add(kb_grading_setup(family, options_.run));
+    add(kb_grading_setup(family, options_.run, options_.universe));
 }
 
 namespace {
@@ -811,8 +814,12 @@ FamilyAugmentation augment_family(const FamilyGradingSetup& original,
                 st.note = fg.error_message;
                 break;
             case FaultOutcome::Untestable:
+                // Carried certificate applied at the grading layer; the
+                // note travels in the grade's error_message slot.
                 st.open = false;
                 st.outcome = AugmentOutcome::Untestable;
+                st.sweep_done = true;
+                if (!fg.error_message.empty()) st.note = fg.error_message;
                 break;
             }
         }
@@ -857,6 +864,34 @@ FamilyAugmentation augment_family(const FamilyGradingSetup& original,
         std::vector<std::size_t> to_sweep;
         for (const std::size_t idx : pending)
             if (!states[idx].sweep_done) to_sweep.push_back(idx);
+
+        // Carried certificates: a fault already certified for exactly
+        // this suite and sweep configuration skips its sweep — the
+        // stored note IS the sweep's note, carried verbatim.
+        std::string suite_hash, params_hash;
+        if (options.store && !to_sweep.empty()) {
+            suite_hash = plan_suite_hash(*round_plan, working.stand);
+            params_hash = sweep_params_hash(options);
+            std::vector<std::size_t> uncertified;
+            for (const std::size_t idx : to_sweep) {
+                const CertificateRecord* cert =
+                    options.store->find_certificate(
+                        working.family, suite_hash,
+                        working.universe[idx].id(), params_hash);
+                if (cert) {
+                    FaultState& st = states[idx];
+                    st.sweep_done = true;
+                    st.note = cert->note;
+                    st.outcome = AugmentOutcome::Untestable;
+                    st.open = false;
+                    ++options.store->stats().cert_hits;
+                } else {
+                    uncertified.push_back(idx);
+                }
+            }
+            to_sweep = std::move(uncertified);
+        }
+
         if (!to_sweep.empty()) {
             std::vector<SweepOutcome> sweeps(to_sweep.size());
             parallel::for_shards(
@@ -874,6 +909,15 @@ FamilyAugmentation augment_family(const FamilyGradingSetup& original,
                 if (sweeps[k].equivalent) {
                     st.outcome = AugmentOutcome::Untestable;
                     st.open = false;
+                    if (options.store) {
+                        CertificateRecord rec;
+                        rec.family = working.family;
+                        rec.suite_hash = suite_hash;
+                        rec.fault = working.universe[to_sweep[k]].id();
+                        rec.params = params_hash;
+                        rec.note = sweeps[k].note;
+                        options.store->put_certificate(std::move(rec));
+                    }
                 }
             }
         }

@@ -89,7 +89,23 @@ struct AugmentOptions {
     std::size_t equiv_walks = 24;
     std::size_t equiv_steps = 48;
     RunOptions run; ///< engine options baked into every compiled plan
+    /// Optional incremental grade store (core/gradestore), borrowed for
+    /// the run. Every grade/regrade consults it per (fault, test), and
+    /// Untestable certificates are looked up before sweeping — a fault
+    /// certified for exactly this suite and sweep configuration skips
+    /// its sweep — and recorded after. Outcomes and the augmented XML
+    /// are byte-identical to a cold run against the same store content.
+    GradeStore* store = nullptr;
+    /// Fault-universe scaling used by add_kb_family()/augment_kb() —
+    /// the --universe flag. Defaults to the base universe.
+    sim::UniverseOptions universe;
 };
+
+/// Hash of everything a bounded-equivalence certificate depends on
+/// beyond the suite content: sweep seed, walk/step counts, and the tick
+/// schedule the lockstep comparison sampled on. Certificates are only
+/// honoured under the exact configuration that earned them.
+[[nodiscard]] std::string sweep_params_hash(const AugmentOptions& options);
 
 /// Per-fault augmentation verdict, in universe order.
 struct FaultAugmentation {

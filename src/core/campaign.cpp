@@ -42,7 +42,9 @@ CampaignJobResult execute_job(const CampaignJob& job) {
             if (!backend)
                 throw Error("campaign job '" + job.name +
                             "' factory returned no backend");
-            out.run = job.plan->execute(*backend);
+            out.run = job.test_subset.empty()
+                          ? job.plan->execute(*backend)
+                          : job.plan->execute(*backend, job.test_subset);
         } else {
             TestEngine engine(job.stand, job.make_backend(job.stand));
             out.run = engine.run(job.script, job.options);

@@ -47,6 +47,11 @@ struct CampaignJob {
     /// directly and `script`/`options` are not consulted (both were
     /// baked into the plan at compile time).
     std::shared_ptr<const CompiledPlan> plan;
+    /// With `plan` set: indices of the plan's tests to execute, in
+    /// order; empty means every test. Per-test backend reset makes a
+    /// subset run bit-identical to its slice of the full run — the
+    /// grade store uses this to replay only stale (fault, test) pairs.
+    std::vector<std::size_t> test_subset;
 };
 
 /// Outcome of one job. Exactly one of `run` (verdicts) or

@@ -1,0 +1,303 @@
+#include "core/gradestore.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "tabular/csv.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+constexpr char kPairsFile[] = "gradestore_pairs.csv";
+constexpr char kCertsFile[] = "gradestore_certs.csv";
+
+/// Exact-round-trip double rendering for hash serialisation. Not for
+/// humans: 17 significant digits reproduce the bit pattern, so two
+/// numerically different limits always hash differently.
+std::string num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string opt_num(const std::optional<double>& v) {
+    return v ? num(*v) : std::string("-");
+}
+
+/// Composite map key; 0x1f never occurs in names, ids or hex hashes.
+std::string make_key(std::initializer_list<const std::string*> parts) {
+    std::string out;
+    for (const std::string* p : parts) {
+        if (!out.empty()) out += '\x1f';
+        out += *p;
+    }
+    return out;
+}
+
+std::string pair_key(const PairRecord& r) {
+    return make_key({&r.family, &r.test, &r.plan_hash, &r.fault});
+}
+
+std::string cert_key(const CertificateRecord& r) {
+    return make_key({&r.family, &r.suite_hash, &r.fault, &r.params});
+}
+
+/// Width-validated cell access for store sheets: every row must be
+/// exactly as wide as the header, and errors name the sheet and row.
+void require_width(const tabular::Sheet& sheet, std::size_t r,
+                   std::size_t want, const char* what) {
+    const std::size_t got = sheet.row(r).size();
+    if (got != want)
+        throw SemanticError("grade store " + std::string(what) + " row " +
+                            std::to_string(r) + ": expected " +
+                            std::to_string(want) + " cells, got " +
+                            std::to_string(got));
+}
+
+void write_checked(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot write " + path);
+    out << text;
+    out.flush();
+    if (!out) throw Error("write failed (disk full?): " + path);
+}
+
+std::string read_if_exists(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return {};
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+} // namespace
+
+const PairRecord*
+GradeStore::find_pair(const std::string& family, const std::string& test,
+                      const std::string& plan_hash,
+                      const std::string& fault) const {
+    const auto it =
+        pairs_.find(make_key({&family, &test, &plan_hash, &fault}));
+    return it == pairs_.end() ? nullptr : &it->second;
+}
+
+void GradeStore::put_pair(PairRecord record) {
+    std::string key = pair_key(record);
+    pairs_[std::move(key)] = std::move(record);
+}
+
+const CertificateRecord*
+GradeStore::find_certificate(const std::string& family,
+                             const std::string& suite_hash,
+                             const std::string& fault,
+                             const std::string& params) const {
+    const auto it =
+        certs_.find(make_key({&family, &suite_hash, &fault, &params}));
+    return it == certs_.end() ? nullptr : &it->second;
+}
+
+void GradeStore::put_certificate(CertificateRecord record) {
+    std::string key = cert_key(record);
+    certs_[std::move(key)] = std::move(record);
+}
+
+std::vector<const CertificateRecord*>
+GradeStore::certificates_for(const std::string& family,
+                             const std::string& suite_hash) const {
+    std::vector<const CertificateRecord*> out;
+    for (const auto& [key, rec] : certs_)
+        if (rec.family == family && rec.suite_hash == suite_hash)
+            out.push_back(&rec);
+    std::sort(out.begin(), out.end(),
+              [](const CertificateRecord* a, const CertificateRecord* b) {
+                  return cert_key(*a) < cert_key(*b);
+              });
+    return out;
+}
+
+void GradeStore::clear() {
+    pairs_.clear();
+    certs_.clear();
+    stats_ = {};
+}
+
+std::string GradeStore::pairs_to_csv_text() const {
+    // Sorted by key: the bytes of a save are a pure function of the
+    // store's content, never of insertion or hashing order.
+    std::vector<const PairRecord*> rows;
+    rows.reserve(pairs_.size());
+    for (const auto& [key, rec] : pairs_) rows.push_back(&rec);
+    std::sort(rows.begin(), rows.end(),
+              [](const PairRecord* a, const PairRecord* b) {
+                  return pair_key(*a) < pair_key(*b);
+              });
+    tabular::Sheet sheet("gradestore_pairs");
+    sheet.add_row({"family", "test", "plan_hash", "fault", "golden_fp",
+                   "differs", "flips", "first_flip"});
+    for (const PairRecord* r : rows)
+        sheet.add_row({r->family, r->test, r->plan_hash, r->fault,
+                       r->golden_fp, r->differs ? "1" : "0",
+                       std::to_string(r->flips), r->first_flip});
+    return tabular::emit_csv(sheet);
+}
+
+std::string GradeStore::certificates_to_csv_text() const {
+    std::vector<const CertificateRecord*> rows;
+    rows.reserve(certs_.size());
+    for (const auto& [key, rec] : certs_) rows.push_back(&rec);
+    std::sort(rows.begin(), rows.end(),
+              [](const CertificateRecord* a, const CertificateRecord* b) {
+                  return cert_key(*a) < cert_key(*b);
+              });
+    tabular::Sheet sheet("gradestore_certs");
+    sheet.add_row({"family", "suite_hash", "fault", "params", "note"});
+    for (const CertificateRecord* r : rows)
+        sheet.add_row(
+            {r->family, r->suite_hash, r->fault, r->params, r->note});
+    return tabular::emit_csv(sheet);
+}
+
+GradeStore GradeStore::from_csv_text(const std::string& pairs_csv,
+                                     const std::string& certs_csv) {
+    GradeStore store;
+    if (!pairs_csv.empty()) {
+        const tabular::Sheet sheet =
+            tabular::parse_csv(pairs_csv, "gradestore_pairs");
+        for (std::size_t r = 1; r < sheet.row_count(); ++r) {
+            require_width(sheet, r, 8, "pairs");
+            PairRecord rec;
+            rec.family = std::string(sheet.at(r, 0).text());
+            rec.test = std::string(sheet.at(r, 1).text());
+            rec.plan_hash = std::string(sheet.at(r, 2).text());
+            rec.fault = std::string(sheet.at(r, 3).text());
+            rec.golden_fp = std::string(sheet.at(r, 4).text());
+            const auto differs = sheet.at(r, 5).text();
+            if (differs != "0" && differs != "1")
+                throw SemanticError("grade store pairs row " +
+                                    std::to_string(r) +
+                                    ": differs must be 0 or 1, got '" +
+                                    std::string(differs) + "'");
+            rec.differs = differs == "1";
+            const auto flips = sheet.at(r, 6).number();
+            if (!flips || *flips < 0)
+                throw SemanticError("grade store pairs row " +
+                                    std::to_string(r) +
+                                    ": non-numeric flip count");
+            rec.flips = static_cast<std::size_t>(*flips);
+            rec.first_flip = std::string(sheet.at(r, 7).text());
+            store.put_pair(std::move(rec));
+        }
+    }
+    if (!certs_csv.empty()) {
+        const tabular::Sheet sheet =
+            tabular::parse_csv(certs_csv, "gradestore_certs");
+        for (std::size_t r = 1; r < sheet.row_count(); ++r) {
+            require_width(sheet, r, 5, "certs");
+            CertificateRecord rec;
+            rec.family = std::string(sheet.at(r, 0).text());
+            rec.suite_hash = std::string(sheet.at(r, 1).text());
+            rec.fault = std::string(sheet.at(r, 2).text());
+            rec.params = std::string(sheet.at(r, 3).text());
+            rec.note = std::string(sheet.at(r, 4).text());
+            store.put_certificate(std::move(rec));
+        }
+    }
+    return store;
+}
+
+void GradeStore::save(const std::string& dir) const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        throw Error("cannot create store directory " + dir + ": " +
+                    ec.message());
+    write_checked((std::filesystem::path(dir) / kPairsFile).string(),
+                  pairs_to_csv_text());
+    write_checked((std::filesystem::path(dir) / kCertsFile).string(),
+                  certificates_to_csv_text());
+}
+
+GradeStore GradeStore::load(const std::string& dir) {
+    const auto base = std::filesystem::path(dir);
+    return from_csv_text(read_if_exists((base / kPairsFile).string()),
+                         read_if_exists((base / kCertsFile).string()));
+}
+
+// -- content hashing -------------------------------------------------------
+
+std::string stand_content_hash(const stand::StandDescription& stand) {
+    std::string s = "stand|" + stand.name() + "\n";
+    for (const auto& [name, value] : stand.variables().values())
+        s += "var|" + name + "|" + num(value) + "\n";
+    for (const auto& r : stand.resources()) {
+        s += "res|" + r.id + "|" + r.label + "|" +
+             (r.supports_disconnect ? "1" : "0") + "|" +
+             (r.shareable ? "1" : "0") + "\n";
+        for (const auto& m : r.methods) {
+            s += " m|" + m.method + "\n";
+            for (const auto& rg : m.ranges)
+                s += "  rg|" + rg.attribute + "|" + num(rg.min) + "|" +
+                     num(rg.max) + "|" + rg.unit + "\n";
+        }
+    }
+    for (const auto& c : stand.connections())
+        s += "conn|" + c.resource + "|" + c.pin + "|" + c.via + "\n";
+    return str::fnv1a_hex(s);
+}
+
+std::string plan_test_hash(const CompiledTest& test,
+                           const RunOptions& options,
+                           const std::string& stand_hash) {
+    std::string s = "opt|" + num(options.tick_s) + "|" +
+                    num(options.init_settle_s) + "|" +
+                    std::to_string(static_cast<int>(options.policy)) + "|" +
+                    (options.stop_on_first_failure ? "1" : "0") + "\n";
+    s += "stand|" + stand_hash + "\n";
+    s += "test|" + test.name + "\n";
+    for (const auto& ch : test.channels)
+        s += "ch|" + ch.resource + "|" + ch.method + "|" +
+             str::join(ch.pins, ",") + "\n";
+    auto add_stimulus = [&s](const char* tag, const PlanStimulus& st) {
+        s += std::string(tag) + "|" + st.signal + "|" + st.status + "|" +
+             st.method + "|" + st.resource + "|" + (st.is_bits ? "1" : "0") +
+             "|" + num(st.value) + "|" + st.data + "|" +
+             std::to_string(st.slot) + "\n";
+    };
+    for (const auto& st : test.init) add_stimulus("is", st);
+    for (const auto& step : test.steps) {
+        s += "step|" + std::to_string(step.nr) + "|" + num(step.dt) + "|" +
+             num(step.tick) + "|" + step.remark + "\n";
+        for (const auto& st : step.stimuli) add_stimulus("st", st);
+        for (const auto& ck : step.checks)
+            s += "ck|" + ck.signal + "|" + ck.status + "|" + ck.method +
+                 "|" + ck.resource + "|" + opt_num(ck.lo) + "|" +
+                 opt_num(ck.hi) + "|" + num(ck.d1) + "|" + num(ck.d2) + "|" +
+                 opt_num(ck.d3) + "|" + (ck.is_bits ? "1" : "0") + "|" +
+                 ck.expected_data + "|" + std::to_string(ck.slot) + "\n";
+    }
+    return str::fnv1a_hex(s);
+}
+
+std::vector<std::string>
+plan_test_hashes(const CompiledPlan& plan,
+                 const stand::StandDescription& stand) {
+    const std::string stand_hash = stand_content_hash(stand);
+    std::vector<std::string> out;
+    out.reserve(plan.tests().size());
+    for (const auto& test : plan.tests())
+        out.push_back(plan_test_hash(test, plan.options(), stand_hash));
+    return out;
+}
+
+std::string plan_suite_hash(const CompiledPlan& plan,
+                            const stand::StandDescription& stand) {
+    return str::fnv1a_hex(
+        str::join(plan_test_hashes(plan, stand), "\n"));
+}
+
+} // namespace ctk::core

@@ -1,0 +1,170 @@
+// Incremental grading store — the persistence layer under fault grading.
+//
+// The paper's economics rest on component test knowledge that "builds up
+// over a long period of time"; the grading side of that is ROADMAP item
+// 5: a 6,400-fault universe is only affordable when a KB edit does not
+// regrade the world. This store keys every graded (fault, test) pair by
+// the content of everything that determined its outcome:
+//
+//   pair key   = (family, test name, plan-test hash, fault id)
+//   plan hash  = fnv1a over the compiled test (stimuli, checks, limits,
+//                channels), the RunOptions, and the stand description
+//   golden fp  = fnv1a of the test's golden detection fingerprint
+//
+// and stores the *per-test* detection verdict (differs / flip count /
+// first flip site). Per-test storage is sound because CompiledPlan
+// executes every test from a backend reset: replaying one test of a
+// suite is bit-identical to its slice of the full run. A regrade then
+// consults the store per (fault, test): a hit whose golden fingerprint
+// also matches the fresh golden run is reused verbatim; anything absent,
+// keyed differently (the KB edit), or golden-stale is replayed via
+// CampaignJob::test_subset. Merged results are byte-identical to a cold
+// grade at any worker count — the warm path changes scheduling, never
+// verdicts.
+//
+// Untestable certificates (core/augment's bounded equivalence sweeps)
+// are carried the same way, keyed by (family, suite hash, fault id,
+// sweep-parameter hash): a certificate is only honoured for exactly the
+// suite and sweep configuration that earned it — carried coverage never
+// overstates what was actually swept.
+//
+// Persistence is regstore-style CSV, two sheets in a store directory
+// (gradestore_pairs.csv, gradestore_certs.csv), rows sorted by key so
+// saves are deterministic; save() verifies the stream after writing —
+// a full disk throws instead of silently truncating the knowledge base.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace ctk::core {
+
+/// Stored verdict of one (fault, test) pair.
+struct PairRecord {
+    std::string family;
+    std::string test;       ///< compiled test name
+    std::string plan_hash;  ///< plan_test_hash() at record time
+    std::string fault;      ///< sim::FaultSpec::id()
+    std::string golden_fp;  ///< fnv1a_hex of the golden per-test fingerprint
+    bool differs = false;   ///< faulty fingerprint != golden fingerprint
+    std::size_t flips = 0;  ///< flipped checks within this test
+    std::string first_flip; ///< "test/step/signal" of the first flip
+};
+
+/// Stored Untestable certificate from a bounded equivalence sweep.
+struct CertificateRecord {
+    std::string family;
+    std::string suite_hash; ///< plan_suite_hash() of the swept suite
+    std::string fault;      ///< sim::FaultSpec::id()
+    std::string params;     ///< sweep_params_hash() of the sweep config
+    std::string note;       ///< certificate text, carried verbatim
+};
+
+/// Bookkeeping of one warm run, for reports and benches.
+struct GradeStoreStats {
+    std::size_t pair_hits = 0;      ///< pairs served from the store
+    std::size_t pair_misses = 0;    ///< pairs replayed: not in the store
+    std::size_t pair_stale = 0;     ///< pairs replayed: key/golden changed
+    std::size_t cert_hits = 0;      ///< certificates honoured
+    std::size_t faults_skipped = 0; ///< faults with zero replayed tests
+    std::size_t faults_replayed = 0;///< faults with >= 1 replayed test
+
+    [[nodiscard]] std::size_t pairs_consulted() const {
+        return pair_hits + pair_misses + pair_stale;
+    }
+};
+
+class GradeStore {
+public:
+    GradeStore() = default;
+
+    // -- pair records ------------------------------------------------------
+    /// The record for (family, test, plan_hash, fault), or nullptr.
+    /// Callers must still compare golden_fp against the fresh golden
+    /// run before trusting `differs` — a DUT-model change shifts the
+    /// golden fingerprint without touching the plan hash.
+    [[nodiscard]] const PairRecord*
+    find_pair(const std::string& family, const std::string& test,
+              const std::string& plan_hash, const std::string& fault) const;
+    /// Insert or overwrite by key.
+    void put_pair(PairRecord record);
+    [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
+
+    // -- certificates ------------------------------------------------------
+    [[nodiscard]] const CertificateRecord*
+    find_certificate(const std::string& family, const std::string& suite_hash,
+                     const std::string& fault,
+                     const std::string& params) const;
+    void put_certificate(CertificateRecord record);
+    [[nodiscard]] std::size_t certificate_count() const {
+        return certs_.size();
+    }
+    /// Every certificate for (family, suite_hash), any sweep params,
+    /// sorted by key — the plain-grading side's carried-certificate
+    /// scan (one pass per family, not one per fault).
+    [[nodiscard]] std::vector<const CertificateRecord*>
+    certificates_for(const std::string& family,
+                     const std::string& suite_hash) const;
+
+    void clear();
+
+    // -- persistence (CSV sheets; round-trip; deterministic bytes) ---------
+    [[nodiscard]] std::string pairs_to_csv_text() const;
+    [[nodiscard]] std::string certificates_to_csv_text() const;
+    /// Parse both sheets (either may be empty = ""). Malformed rows
+    /// throw SemanticError naming the sheet and row.
+    [[nodiscard]] static GradeStore
+    from_csv_text(const std::string& pairs_csv, const std::string& certs_csv);
+
+    /// Write gradestore_pairs.csv + gradestore_certs.csv into `dir`
+    /// (created if absent). Checks the streams after writing and flushes
+    /// before reporting success — a failed write throws Error, it never
+    /// silently truncates the store.
+    void save(const std::string& dir) const;
+    /// Load from `dir`; missing files yield an empty store (first run).
+    [[nodiscard]] static GradeStore load(const std::string& dir);
+
+    /// Mutable run statistics, updated by the grading/augment layers.
+    [[nodiscard]] GradeStoreStats& stats() { return stats_; }
+    [[nodiscard]] const GradeStoreStats& stats() const { return stats_; }
+
+private:
+    std::unordered_map<std::string, PairRecord> pairs_;
+    std::unordered_map<std::string, CertificateRecord> certs_;
+    GradeStoreStats stats_;
+};
+
+// -- content hashing -------------------------------------------------------
+
+/// Content hash of the stand description: name, variables, resources
+/// (methods, ranges, flags), connections. Any stand edit changes it.
+[[nodiscard]] std::string
+stand_content_hash(const stand::StandDescription& stand);
+
+/// Content hash of one compiled test bound to its stand: test name,
+/// channel table, init stimuli, every step's stimuli and checks with
+/// their evaluated limits, plus the RunOptions and the stand hash.
+/// This is the pair key's plan_hash: editing a test, a stand variable,
+/// or an engine option invalidates exactly the pairs it affects.
+[[nodiscard]] std::string
+plan_test_hash(const CompiledTest& test, const RunOptions& options,
+               const std::string& stand_hash);
+
+/// plan_test_hash for every test of a plan, in plan order (the stand
+/// hash is computed once).
+[[nodiscard]] std::vector<std::string>
+plan_test_hashes(const CompiledPlan& plan,
+                 const stand::StandDescription& stand);
+
+/// Whole-suite hash: fnv1a over the joined per-test hashes. Keys the
+/// Untestable certificates, which a bounded sweep earns against the
+/// complete suite.
+[[nodiscard]] std::string
+plan_suite_hash(const CompiledPlan& plan,
+                const stand::StandDescription& stand);
+
+} // namespace ctk::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "common/strings.hpp"
+#include "core/gradestore.hpp"
 #include "core/kb.hpp"
 #include "core/plan.hpp"
 #include "dut/catalogue.hpp"
@@ -21,33 +23,51 @@ double seconds_since(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Lockstep walk of golden vs faulty verdicts: count every check whose
-/// pass/fail differs, remember where the first flip happened. Both runs
-/// execute the same plan, so the structures match; the size guards only
-/// keep a malformed custom setup from reading out of bounds.
+/// Lockstep walk of one test's golden vs faulty verdicts: count every
+/// check whose pass/fail differs, remember where the first flip
+/// happened. Both runs execute the same plan, so the structures match;
+/// the size guards only keep a malformed custom setup from reading out
+/// of bounds.
+void classify_test_flips(const TestResult& gt, const TestResult& ft,
+                         std::size_t& flips, std::string& first_flip) {
+    const std::size_t ns = std::min(gt.steps.size(), ft.steps.size());
+    for (std::size_t s = 0; s < ns; ++s) {
+        const auto& gs = gt.steps[s];
+        const auto& fs = ft.steps[s];
+        const std::size_t nc = std::min(gs.checks.size(), fs.checks.size());
+        for (std::size_t c = 0; c < nc; ++c) {
+            if (gs.checks[c].passed == fs.checks[c].passed) continue;
+            if (flips == 0)
+                first_flip = gt.name + "/" + std::to_string(gs.nr) + "/" +
+                             gs.checks[c].signal;
+            ++flips;
+        }
+    }
+}
+
+/// classify_test_flips over every test of the run pair.
 void classify_flips(const RunResult& golden, const RunResult& faulty,
                     FaultGrade& grade) {
     const std::size_t nt = std::min(golden.tests.size(), faulty.tests.size());
     for (std::size_t t = 0; t < nt; ++t) {
-        const auto& gt = golden.tests[t];
-        const auto& ft = faulty.tests[t];
-        const std::size_t ns = std::min(gt.steps.size(), ft.steps.size());
-        for (std::size_t s = 0; s < ns; ++s) {
-            const auto& gs = gt.steps[s];
-            const auto& fs = ft.steps[s];
-            const std::size_t nc =
-                std::min(gs.checks.size(), fs.checks.size());
-            for (std::size_t c = 0; c < nc; ++c) {
-                if (gs.checks[c].passed == fs.checks[c].passed) continue;
-                if (grade.flipped_checks == 0)
-                    grade.first_flip = gt.name + "/" +
-                                       std::to_string(gs.nr) + "/" +
-                                       gs.checks[c].signal;
-                ++grade.flipped_checks;
-            }
-        }
+        std::size_t flips = 0;
+        std::string first;
+        classify_test_flips(golden.tests[t], faulty.tests[t], flips, first);
+        if (grade.flipped_checks == 0 && flips > 0) grade.first_flip = first;
+        grade.flipped_checks += flips;
     }
 }
+
+/// Per-fault store schedule: which tests come from the store and which
+/// are replayed via a subset job.
+struct FaultSchedule {
+    static constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+    std::size_t job = kNoJob;        ///< campaign job index; kNoJob = cached
+    std::vector<std::size_t> subset; ///< replayed test indices, ascending
+    /// Per test index: the record serving it (cached copy, or filled
+    /// from the replay in phase 3).
+    std::vector<std::optional<PairRecord>> per_test;
+};
 
 /// Per-family compile/golden state carried from queueing to
 /// classification.
@@ -55,6 +75,11 @@ struct FamilyExec {
     std::shared_ptr<const CompiledPlan> plan;
     RunResult golden_run;
     std::size_t first_job = 0; ///< index of the family's first fault job
+    // -- store mode only ---------------------------------------------------
+    std::vector<std::string> test_hashes;    ///< plan_test_hash per test
+    std::vector<std::string> golden_fp_hash; ///< per-test golden fp hash
+    std::string suite_hash;                  ///< certificate key half
+    std::vector<FaultSchedule> schedule;     ///< per fault, universe order
 };
 
 } // namespace
@@ -98,7 +123,7 @@ CoverageGroup FamilyGrade::coverage_group() const {
     for (const auto& f : faults) {
         CoverageEntry entry;
         entry.id = f.fault.id();
-        entry.kind = sim::fault_kind_name(f.fault.kind);
+        entry.kind = sim::fault_kind_label(f.fault);
         entry.outcome = f.outcome;
         // The KB side attributes by check site, not pattern index:
         // detected_by stays disengaged, detected_at names the first
@@ -184,13 +209,15 @@ sim::FaultSurface plan_fault_surface(const CompiledPlan& plan) {
     return surface;
 }
 
-std::vector<sim::FaultSpec> kb_fault_universe(const std::string& family,
-                                              const RunOptions& options) {
-    return kb_grading_setup(family, options).universe;
+std::vector<sim::FaultSpec>
+kb_fault_universe(const std::string& family, const RunOptions& options,
+                  const sim::UniverseOptions& universe) {
+    return kb_grading_setup(family, options, universe).universe;
 }
 
 FamilyGradingSetup kb_grading_setup(const std::string& family,
-                                    const RunOptions& options) {
+                                    const RunOptions& options,
+                                    const sim::UniverseOptions& universe) {
     const auto registry = model::MethodRegistry::builtin();
     FamilyGradingSetup setup;
     setup.family = family;
@@ -198,7 +225,8 @@ FamilyGradingSetup kb_grading_setup(const std::string& family,
     setup.stand = kb::stand_for(family);
     setup.plan = std::make_shared<CompiledPlan>(
         CompiledPlan::compile(setup.script, setup.stand, options));
-    setup.universe = sim::make_fault_universe(plan_fault_surface(*setup.plan));
+    setup.universe = sim::make_fault_universe(plan_fault_surface(*setup.plan),
+                                              universe);
     setup.make_golden = [family](const stand::StandDescription& desc) {
         return std::make_shared<sim::VirtualStand>(desc,
                                                    dut::make_golden(family));
@@ -212,17 +240,20 @@ FamilyGradingSetup kb_grading_setup(const std::string& family,
     return setup;
 }
 
+std::string detection_fingerprint(const TestResult& test) {
+    std::string out = test.name;
+    out += test.passed ? "|P\n" : "|F\n";
+    for (const auto& step : test.steps)
+        for (const auto& check : step.checks) {
+            out += std::to_string(step.nr) + "|" + check.signal + "|" +
+                   check.status + (check.passed ? "|P\n" : "|F\n");
+        }
+    return out;
+}
+
 std::string detection_fingerprint(const RunResult& run) {
     std::string out;
-    for (const auto& test : run.tests) {
-        out += test.name;
-        out += test.passed ? "|P\n" : "|F\n";
-        for (const auto& step : test.steps)
-            for (const auto& check : step.checks) {
-                out += std::to_string(step.nr) + "|" + check.signal + "|" +
-                       check.status + (check.passed ? "|P\n" : "|F\n");
-            }
-    }
+    for (const auto& test : run.tests) out += detection_fingerprint(test);
     return out;
 }
 
@@ -251,7 +282,7 @@ void GradingCampaign::add(FamilyGradingSetup setup) {
 }
 
 void GradingCampaign::add_kb_family(const std::string& family) {
-    add(kb_grading_setup(family, options_.run));
+    add(kb_grading_setup(family, options_.run, options_.universe));
 }
 
 std::size_t GradingCampaign::queued_faults() const {
@@ -264,14 +295,20 @@ GradingResult GradingCampaign::run_all() {
     GradingResult result;
     const auto start = Clock::now();
 
+    // The store keys by compiled-plan content; the legacy re-bind path
+    // never compiles one, so it stays a pure cold path.
+    GradeStore* const store = options_.share_plan ? options_.store : nullptr;
+
     CampaignOptions copts;
     copts.jobs = options_.jobs;
     CampaignRunner runner(copts);
     std::vector<FamilyExec> execs;
 
     // Phase 1 — per family: compile once, run golden inline, queue one
-    // job per fault. Golden runs are sequential by design: they are few,
-    // cheap, and their fingerprints gate everything downstream.
+    // job per fault (store mode: one job per fault with >= 1 stale
+    // test, carrying the stale indices as the job's test subset).
+    // Golden runs are sequential by design: they are few, cheap, and
+    // their fingerprints gate everything downstream.
     for (const auto& setup : setups_) {
         FamilyGrade grade;
         grade.family = setup.family;
@@ -300,7 +337,65 @@ GradingResult GradingCampaign::run_all() {
         }
 
         exec.first_job = runner.queued();
-        if (!grade.golden_error) {
+        if (!grade.golden_error && store) {
+            // Store mode: key every (fault, test) pair and consult the
+            // store. A hit must ALSO match the fresh golden fingerprint
+            // — a DUT-model change invalidates records whose plan hash
+            // still matches.
+            exec.test_hashes = plan_test_hashes(*exec.plan, setup.stand);
+            exec.suite_hash =
+                str::fnv1a_hex(str::join(exec.test_hashes, "\n"));
+            exec.golden_fp_hash.reserve(exec.golden_run.tests.size());
+            for (const auto& t : exec.golden_run.tests)
+                exec.golden_fp_hash.push_back(
+                    str::fnv1a_hex(detection_fingerprint(t)));
+            const std::size_t nt = exec.plan->tests().size();
+            for (const auto& fault : setup.universe) {
+                const std::string fid = fault.id();
+                FaultSchedule sched;
+                sched.per_test.resize(nt);
+                for (std::size_t t = 0; t < nt; ++t) {
+                    const PairRecord* rec = store->find_pair(
+                        setup.family, exec.plan->tests()[t].name,
+                        exec.test_hashes[t], fid);
+                    if (rec && rec->golden_fp == exec.golden_fp_hash[t]) {
+                        sched.per_test[t] = *rec;
+                        ++store->stats().pair_hits;
+                    } else {
+                        sched.subset.push_back(t);
+                        if (rec)
+                            ++store->stats().pair_stale;
+                        else
+                            ++store->stats().pair_misses;
+                    }
+                }
+                if (sched.subset.empty()) {
+                    ++store->stats().faults_skipped;
+                } else {
+                    ++store->stats().faults_replayed;
+                    sched.job = runner.queued();
+                    CampaignJob job;
+                    job.name = setup.family + "/" + fid;
+                    job.stand = setup.stand;
+                    const auto make_faulty = setup.make_faulty;
+                    job.make_backend =
+                        [make_faulty, fault, family = setup.family](
+                            const stand::StandDescription& desc)
+                        -> std::shared_ptr<sim::StandBackend> {
+                        if (!make_faulty)
+                            throw Error("grading family '" + family +
+                                        "' has no faulty backend factory");
+                        return make_faulty(desc, fault);
+                    };
+                    job.plan = exec.plan;
+                    // A full-universe replay keeps the cold job shape.
+                    if (sched.subset.size() < nt)
+                        job.test_subset = sched.subset;
+                    runner.add(std::move(job));
+                }
+                exec.schedule.push_back(std::move(sched));
+            }
+        } else if (!grade.golden_error) {
             for (const auto& fault : setup.universe) {
                 CampaignJob job;
                 job.name = setup.family + "/" + fault.id();
@@ -335,7 +430,7 @@ GradingResult GradingCampaign::run_all() {
     // Phase 3 — classify each fault against its family's golden run.
     for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
         FamilyGrade& grade = result.families[fi];
-        const FamilyExec& exec = execs[fi];
+        FamilyExec& exec = execs[fi];
         if (grade.golden_error) {
             // Nothing executed: the whole universe is ungradeable, which
             // is a framework condition, not a coverage statement.
@@ -349,6 +444,78 @@ GradingResult GradingCampaign::run_all() {
             }
             continue;
         }
+
+        if (store) {
+            // Carried certificates for this exact suite, any sweep
+            // params; sorted scan keeps the winning note deterministic
+            // when several sweeps certified the same fault.
+            std::unordered_map<std::string, const CertificateRecord*> certs;
+            for (const CertificateRecord* rec :
+                 store->certificates_for(setups_[fi].family,
+                                         exec.suite_hash))
+                certs[rec->fault] = rec;
+
+            for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
+                FaultSchedule& sched = exec.schedule[k];
+                FaultGrade fg;
+                fg.fault = setups_[fi].universe[k];
+                if (sched.job != FaultSchedule::kNoJob) {
+                    const CampaignJobResult& jr = campaign.jobs[sched.job];
+                    fg.wall_s = jr.wall_s;
+                    if (jr.framework_error) {
+                        // An erroring backend errors for every test; no
+                        // pair verdicts exist to store or merge.
+                        fg.outcome = FaultOutcome::FrameworkError;
+                        fg.error_message = jr.error_message;
+                        grade.faults.push_back(std::move(fg));
+                        continue;
+                    }
+                    for (std::size_t p = 0; p < sched.subset.size(); ++p) {
+                        const std::size_t t = sched.subset[p];
+                        const TestResult& ft = jr.run.tests[p];
+                        PairRecord rec;
+                        rec.family = setups_[fi].family;
+                        rec.test = exec.plan->tests()[t].name;
+                        rec.plan_hash = exec.test_hashes[t];
+                        rec.fault = fg.fault.id();
+                        rec.golden_fp = exec.golden_fp_hash[t];
+                        rec.differs =
+                            str::fnv1a_hex(detection_fingerprint(ft)) !=
+                            exec.golden_fp_hash[t];
+                        classify_test_flips(exec.golden_run.tests[t], ft,
+                                            rec.flips, rec.first_flip);
+                        store->put_pair(rec);
+                        sched.per_test[t] = std::move(rec);
+                    }
+                }
+                // Merge per-test records in test order — identical to
+                // the cold classification: any differing fingerprint
+                // chunk detects, flips sum, first flip wins by order.
+                bool any_differs = false;
+                bool first_found = false;
+                for (const auto& rec : sched.per_test) {
+                    if (rec->differs) any_differs = true;
+                    fg.flipped_checks += rec->flips;
+                    if (!first_found && rec->flips > 0) {
+                        fg.first_flip = rec->first_flip;
+                        first_found = true;
+                    }
+                }
+                fg.outcome = any_differs ? FaultOutcome::Detected
+                                         : FaultOutcome::Undetected;
+                if (fg.outcome == FaultOutcome::Undetected) {
+                    const auto it = certs.find(fg.fault.id());
+                    if (it != certs.end()) {
+                        fg.outcome = FaultOutcome::Untestable;
+                        fg.error_message = it->second->note;
+                        ++store->stats().cert_hits;
+                    }
+                }
+                grade.faults.push_back(std::move(fg));
+            }
+            continue;
+        }
+
         for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
             const CampaignJobResult& jr = campaign.jobs[exec.first_job + k];
             FaultGrade fg;

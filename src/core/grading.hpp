@@ -42,6 +42,8 @@
 
 namespace ctk::core {
 
+class GradeStore; // core/gradestore.hpp
+
 /// Grade of one injected fault.
 struct FaultGrade {
     sim::FaultSpec fault;
@@ -102,6 +104,19 @@ struct GradingOptions {
     /// bench's ablation axis; verdicts are identical either way.
     bool share_plan = true;
     RunOptions run; ///< engine options baked into the plans
+    /// Optional incremental grade store (core/gradestore), borrowed for
+    /// the run. When set, run_all() consults it per (fault, test),
+    /// schedules only the stale pairs as CampaignJob test subsets, and
+    /// records fresh verdicts back into it; Undetected faults holding a
+    /// stored Untestable certificate for the current suite are
+    /// reclassified. Outcomes and fingerprints are byte-identical to a
+    /// cold run against the same store content at any `jobs`. Requires
+    /// share_plan (the store keys by compiled-plan content); ignored
+    /// when share_plan is false.
+    GradeStore* store = nullptr;
+    /// Fault-universe scaling used by add_kb_family()/grade_kb() —
+    /// the --universe flag. Defaults to the base universe.
+    sim::UniverseOptions universe;
 };
 
 /// Builds the faulty execution environment for one fault of a family.
@@ -132,18 +147,25 @@ struct FamilyGradingSetup {
 
 /// make_fault_universe over the family's plan surface.
 [[nodiscard]] std::vector<sim::FaultSpec>
-kb_fault_universe(const std::string& family, const RunOptions& options = {});
+kb_fault_universe(const std::string& family, const RunOptions& options = {},
+                  const sim::UniverseOptions& universe = {});
 
 /// KB defaults: suite_for/stand_for, golden VirtualStand, FaultyDut
 /// around a golden device per fault. Throws SemanticError for unknown
 /// families (as family_job does).
 [[nodiscard]] FamilyGradingSetup
-kb_grading_setup(const std::string& family, const RunOptions& options = {});
+kb_grading_setup(const std::string& family, const RunOptions& options = {},
+                 const sim::UniverseOptions& universe = {});
 
 /// Verdict-only fingerprint: test/step/check identity plus pass/fail,
 /// deliberately excluding measured values and failure messages — the
 /// equality that defines "the suite did not notice".
 [[nodiscard]] std::string detection_fingerprint(const RunResult& run);
+
+/// One test's chunk of the run fingerprint. detection_fingerprint of a
+/// run is exactly the concatenation of its tests' chunks — the grade
+/// store compares per-test chunks and the composition stays exact.
+[[nodiscard]] std::string detection_fingerprint(const TestResult& test);
 
 /// Stable digest of a whole grading (family, fault id, outcome, golden
 /// fingerprint) — what the determinism tests and benches compare across

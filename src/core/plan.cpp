@@ -415,6 +415,23 @@ RunResult CompiledPlan::execute(sim::StandBackend& backend,
     return out;
 }
 
+RunResult CompiledPlan::execute(sim::StandBackend& backend,
+                                const std::vector<std::size_t>& test_indices,
+                                PlanPath path) const {
+    RunResult out;
+    out.script_name = script_name_;
+    out.stand_name = stand_name_;
+    ExecScratch scratch;
+    for (const std::size_t i : test_indices) {
+        if (i >= tests_.size())
+            throw Error("plan '" + script_name_ + "' has no test index " +
+                        std::to_string(i));
+        out.tests.push_back(
+            execute_test(tests_[i], options_, backend, path, scratch));
+    }
+    return out;
+}
+
 std::size_t CompiledPlan::channel_count() const {
     std::size_t n = 0;
     for (const auto& t : tests_) n += t.channels.size();

@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/strings.hpp"
 #include "tabular/csv.hpp"
 
 namespace ctk::core {
+
+namespace {
+
+/// Canonical "script/test" key. Script and test names are matched
+/// case-insensitively everywhere (pass_rate always did; regressions and
+/// ever_failed silently used exact matches — records written by a
+/// stand whose sheets capitalise differently failed to line up).
+/// Labels stay exact: "B2" and "b2" are different samples by contract.
+std::string test_key(const RegressionEntry& e) {
+    return str::lower(e.script) + "/" + str::lower(e.test);
+}
+
+} // namespace
 
 void RegressionStore::record(const RunResult& run, const std::string& label) {
     for (const auto& test : run.tests) {
@@ -26,15 +40,16 @@ void RegressionStore::record(const RunResult& run, const std::string& label) {
 std::vector<std::string>
 RegressionStore::regressions(const std::string& old_label,
                              const std::string& new_label) const {
+    // Hashed index of the old sample's passing tests: one O(n) pass
+    // instead of the per-entry scan that made this O(n²) — at grade-
+    // store scale (6,400-fault histories) the scan was minutes.
+    std::unordered_set<std::string> passed_before;
+    for (const auto& e : entries_)
+        if (e.label == old_label && e.passed) passed_before.insert(test_key(e));
     std::vector<std::string> out;
     for (const auto& now : entries_) {
         if (now.label != new_label || now.passed) continue;
-        const bool passed_before = std::any_of(
-            entries_.begin(), entries_.end(), [&](const RegressionEntry& e) {
-                return e.label == old_label && e.script == now.script &&
-                       e.test == now.test && e.passed;
-            });
-        if (passed_before) out.push_back(now.script + "/" + now.test);
+        if (passed_before.count(test_key(now))) out.push_back(test_key(now));
     }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -44,7 +59,7 @@ RegressionStore::regressions(const std::string& old_label,
 std::vector<std::string> RegressionStore::ever_failed() const {
     std::vector<std::string> out;
     for (const auto& e : entries_)
-        if (!e.passed) out.push_back(e.script + "/" + e.test);
+        if (!e.passed) out.push_back(test_key(e));
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
@@ -79,6 +94,11 @@ RegressionStore RegressionStore::from_csv_text(const std::string& text) {
     const tabular::Sheet sheet = tabular::parse_csv(text, "regstore");
     RegressionStore store;
     for (std::size_t r = 1; r < sheet.row_count(); ++r) {
+        const std::size_t width = sheet.row(r).size();
+        if (width != 7)
+            throw SemanticError("regression store row " + std::to_string(r) +
+                                ": expected 7 cells, got " +
+                                std::to_string(width));
         RegressionEntry e;
         e.label = std::string(sheet.at(r, 0).text());
         e.script = std::string(sheet.at(r, 1).text());
@@ -91,16 +111,25 @@ RegressionStore RegressionStore::from_csv_text(const std::string& text) {
                                 ": non-numeric step counts");
         e.steps = static_cast<std::size_t>(*steps);
         e.failed_steps = static_cast<std::size_t>(*failed);
-        e.passed = sheet.at(r, 6).text() == "1";
+        const auto passed = sheet.at(r, 6).text();
+        if (passed != "0" && passed != "1")
+            throw SemanticError("regression store row " + std::to_string(r) +
+                                ": passed must be 0 or 1, got '" +
+                                std::string(passed) + "'");
+        e.passed = passed == "1";
         store.add(std::move(e));
     }
     return store;
 }
 
 void RegressionStore::save(const std::string& path) const {
-    std::ofstream out(path);
+    std::ofstream out(path, std::ios::binary);
     if (!out) throw Error("cannot write " + path);
     out << to_csv_text();
+    // Checking only at open made a full disk a silent truncation of the
+    // store — flush and verify before claiming the history is on disk.
+    out.flush();
+    if (!out) throw Error("write failed (disk full?): " + path);
 }
 
 RegressionStore RegressionStore::load(const std::string& path) {

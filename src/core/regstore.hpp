@@ -7,6 +7,11 @@
 //  * which tests regressed between sample B1 and B2?
 //  * which tests have ever failed on any sample?
 //  * what is the pass rate of a suite across all recorded samples?
+//
+// Matching semantics: script and test names are compared
+// case-insensitively in every query (entries recorded from differently
+// capitalised sheets line up), and query results emit lower-cased
+// "script/test" keys. Sample labels are compared exactly.
 #pragma once
 
 #include <string>
@@ -39,12 +44,15 @@ public:
     }
 
     /// Tests that passed under `old_label` but fail under `new_label`
-    /// (matched by script + test name).
+    /// (matched by script + test name, case-insensitively; labels
+    /// exactly). Returns sorted lower-cased "script/test" keys. O(n)
+    /// via a hashed index of the old sample's passes.
     [[nodiscard]] std::vector<std::string>
     regressions(const std::string& old_label,
                 const std::string& new_label) const;
 
-    /// Distinct test names that failed at least once (any label).
+    /// Distinct lower-cased "script/test" keys that failed at least
+    /// once (any label), sorted.
     [[nodiscard]] std::vector<std::string> ever_failed() const;
 
     /// Pass rate over all recorded entries of a script ([0,1]; 1 if none).
@@ -52,8 +60,12 @@ public:
 
     // -- persistence (CSV sheet; round-trips) ------------------------------
     [[nodiscard]] std::string to_csv_text() const;
+    /// Throws SemanticError naming the offending row on width or value
+    /// mismatches (every row needs 7 cells; passed must be 0 or 1).
     [[nodiscard]] static RegressionStore
     from_csv_text(const std::string& text);
+    /// Throws Error if the file cannot be opened or the write did not
+    /// reach the stream (e.g. disk full) — never truncates silently.
     void save(const std::string& path) const;
     [[nodiscard]] static RegressionStore load(const std::string& path);
 

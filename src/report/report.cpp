@@ -240,6 +240,20 @@ std::string render_augmentation(const core::AugmentationResult& result,
     return out;
 }
 
+std::string render_gradestore_stats(const core::GradeStoreStats& stats) {
+    return "grade store: " + std::to_string(stats.pairs_consulted()) +
+           " pair(s) consulted, " + std::to_string(stats.pair_hits) +
+           " served, " +
+           std::to_string(stats.pair_misses + stats.pair_stale) +
+           " replayed (" + std::to_string(stats.pair_misses) +
+           " missing, " + std::to_string(stats.pair_stale) + " stale); " +
+           std::to_string(stats.faults_skipped) +
+           " fault(s) skipped entirely, " +
+           std::to_string(stats.faults_replayed) + " replayed, " +
+           std::to_string(stats.cert_hits) +
+           " certificate(s) honoured\n";
+}
+
 std::string coverage_to_csv(const core::CoverageMatrix& matrix) {
     std::string out =
         "group,fault,kind,outcome,detected_by,detected_at,"

@@ -10,6 +10,7 @@
 #include "core/augment.hpp"
 #include "core/coverage.hpp"
 #include "core/engine.hpp"
+#include "core/gradestore.hpp"
 #include "script/script.hpp"
 
 namespace ctk::report {
@@ -55,5 +56,11 @@ coverage_to_csv(const core::CoverageMatrix& matrix);
 [[nodiscard]] std::string
 render_augmentation(const core::AugmentationResult& result,
                     bool per_fault = false);
+
+/// One-line summary of a warm grading run against an incremental store
+/// (ctkgrade --store): pairs served vs replayed (split into missing and
+/// stale), faults skipped outright, certificates honoured.
+[[nodiscard]] std::string
+render_gradestore_stats(const core::GradeStoreStats& stats);
 
 } // namespace ctk::report

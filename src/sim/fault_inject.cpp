@@ -14,8 +14,14 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::CanDrop: return "can_drop";
     case FaultKind::CanCorrupt: return "can_corrupt";
     case FaultKind::TimingSkew: return "skew";
+    case FaultKind::PinIntermittentLow: return "int_low";
+    case FaultKind::PinIntermittentHigh: return "int_high";
     }
     return "unknown";
+}
+
+std::string fault_kind_label(const FaultSpec& spec) {
+    return spec.paired ? "pair" : fault_kind_name(spec.kind);
 }
 
 std::string FaultSpec::id() const {
@@ -28,33 +34,88 @@ std::string FaultSpec::id() const {
     case FaultKind::TimingSkew:
         out += "*" + str::format_number(magnitude);
         break;
+    case FaultKind::PinIntermittentLow:
+    case FaultKind::PinIntermittentHigh:
+        out += "%" + str::format_number(magnitude);
+        break;
     default: break;
     }
+    if (paired) out += "&" + paired->id();
     return out;
 }
 
-std::vector<FaultSpec> make_fault_universe(const FaultSurface& surface) {
+UniverseOptions UniverseOptions::scaled() {
+    UniverseOptions out;
+    out.offsets = {-1.6, -0.8, -0.4, -0.2, 0.2, 0.4, 0.8, 1.6};
+    out.scales = {0.5, 0.65, 0.8, 0.9, 1.1, 1.25};
+    out.skews = {0.5, 0.7, 0.85, 0.95, 1.05, 1.2, 1.35, 1.6};
+    out.intermittent_ticks = {1, 2, 4, 8, 16, 32};
+    out.pair_faults = true;
+    return out;
+}
+
+std::vector<FaultSpec> make_fault_universe(const FaultSurface& surface,
+                                           const UniverseOptions& options) {
     std::vector<FaultSpec> out;
     for (const auto& pin : surface.output_pins) {
         const std::string p = str::lower(pin);
         out.push_back({FaultKind::PinStuckLow, p, 0.0});
         out.push_back({FaultKind::PinStuckHigh, p, 0.0});
-        out.push_back({FaultKind::PinOffset, p, 0.8});
-        out.push_back({FaultKind::PinScale, p, 0.8});
+        for (const double m : options.offsets)
+            out.push_back({FaultKind::PinOffset, p, m});
+        for (const double m : options.scales)
+            out.push_back({FaultKind::PinScale, p, m});
+        for (const int k : options.intermittent_ticks) {
+            out.push_back(
+                {FaultKind::PinIntermittentLow, p, static_cast<double>(k)});
+            out.push_back(
+                {FaultKind::PinIntermittentHigh, p, static_cast<double>(k)});
+        }
     }
     for (const auto& signal : surface.can_signals) {
         const std::string s = str::lower(signal);
         out.push_back({FaultKind::CanDrop, s, 0.0});
         out.push_back({FaultKind::CanCorrupt, s, 0.0});
     }
-    out.push_back({FaultKind::TimingSkew, "clock", 1.35});
-    out.push_back({FaultKind::TimingSkew, "clock", 0.7});
+    for (const double m : options.skews)
+        out.push_back({FaultKind::TimingSkew, "clock", m});
+    if (options.pair_faults) {
+        // Every unordered cross-target pair of the digital base singles.
+        // The pair spec is the first single carrying the second via
+        // `paired`; the decorator composes them inner-to-outer.
+        std::vector<FaultSpec> singles;
+        for (const auto& pin : surface.output_pins) {
+            const std::string p = str::lower(pin);
+            singles.push_back({FaultKind::PinStuckLow, p, 0.0});
+            singles.push_back({FaultKind::PinStuckHigh, p, 0.0});
+        }
+        for (const auto& signal : surface.can_signals) {
+            const std::string s = str::lower(signal);
+            singles.push_back({FaultKind::CanDrop, s, 0.0});
+            singles.push_back({FaultKind::CanCorrupt, s, 0.0});
+        }
+        for (std::size_t i = 0; i < singles.size(); ++i) {
+            for (std::size_t j = i + 1; j < singles.size(); ++j) {
+                if (singles[i].target == singles[j].target) continue;
+                FaultSpec pair = singles[i];
+                pair.paired = std::make_shared<FaultSpec>(singles[j]);
+                out.push_back(std::move(pair));
+            }
+        }
+    }
     return out;
 }
 
 FaultyDut::FaultyDut(std::unique_ptr<dut::Dut> inner, FaultSpec fault)
     : inner_(std::move(inner)), fault_(std::move(fault)) {
     if (!inner_) throw Error("FaultyDut needs a device to wrap");
+    if (fault_.paired) {
+        // Double fault: seed the paired fault first, then this one on
+        // top — the decorators nest, each rewriting only its own
+        // interaction, so composition order is fixed by the spec.
+        inner_ = std::make_unique<FaultyDut>(std::move(inner_),
+                                             *fault_.paired);
+    }
     if (is_pin_fault()) target_idx_ = inner_->pin_index(fault_.target);
 }
 
@@ -63,9 +124,20 @@ bool FaultyDut::is_pin_fault() const {
     case FaultKind::PinStuckLow:
     case FaultKind::PinStuckHigh:
     case FaultKind::PinOffset:
-    case FaultKind::PinScale: return true;
+    case FaultKind::PinScale:
+    case FaultKind::PinIntermittentLow:
+    case FaultKind::PinIntermittentHigh: return true;
     default: return false;
     }
+}
+
+bool FaultyDut::intermittent_active() const {
+    // Stuck for the first `magnitude` step() ticks after reset, free for
+    // the next `magnitude`, and so on. Pure function of ticks_, which
+    // resets with the device — replay is deterministic.
+    const auto k = static_cast<long long>(fault_.magnitude);
+    if (k <= 0) return true;
+    return (ticks_ / k) % 2 == 0;
 }
 
 double FaultyDut::mutate(double volts) const {
@@ -74,6 +146,10 @@ double FaultyDut::mutate(double volts) const {
     case FaultKind::PinStuckHigh: return inner_->supply();
     case FaultKind::PinOffset: return volts + fault_.magnitude;
     case FaultKind::PinScale: return volts * fault_.magnitude;
+    case FaultKind::PinIntermittentLow:
+        return intermittent_active() ? 0.0 : volts;
+    case FaultKind::PinIntermittentHigh:
+        return intermittent_active() ? inner_->supply() : volts;
     default: return volts;
     }
 }
@@ -133,9 +209,11 @@ std::vector<bool> FaultyDut::can_transmit(std::string_view signal) const {
 void FaultyDut::reset() {
     Dut::reset();
     inner_->reset();
+    ticks_ = 0;
 }
 
 void FaultyDut::step(double dt) {
+    ++ticks_;
     inner_->step(fault_.kind == FaultKind::TimingSkew ? dt * fault_.magnitude
                                                       : dt);
 }

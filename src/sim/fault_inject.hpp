@@ -37,13 +37,15 @@
 namespace ctk::sim {
 
 enum class FaultKind {
-    PinStuckLow,  ///< output pin reads 0 V
-    PinStuckHigh, ///< output pin reads the supply voltage
-    PinOffset,    ///< output pin reads true value + magnitude [V]
-    PinScale,     ///< output pin reads true value * magnitude
-    CanDrop,      ///< receives for one bus signal are dropped
-    CanCorrupt,   ///< receives for one bus signal arrive bit-inverted
-    TimingSkew,   ///< internal clock runs at magnitude * real rate
+    PinStuckLow,        ///< output pin reads 0 V
+    PinStuckHigh,       ///< output pin reads the supply voltage
+    PinOffset,          ///< output pin reads true value + magnitude [V]
+    PinScale,           ///< output pin reads true value * magnitude
+    CanDrop,            ///< receives for one bus signal are dropped
+    CanCorrupt,         ///< receives for one bus signal arrive bit-inverted
+    TimingSkew,         ///< internal clock runs at magnitude * real rate
+    PinIntermittentLow, ///< pin stuck at 0 V for k ticks, free for k, ...
+    PinIntermittentHigh,///< pin stuck at supply for k ticks, free for k, ...
 };
 
 /// Stable lower-case name of a fault kind ("stuck_low", "can_drop", ...).
@@ -56,17 +58,33 @@ enum class FaultKind {
 struct FaultSpec {
     FaultKind kind = FaultKind::PinStuckLow;
     std::string target;     ///< pin / signal name (lower case), or "clock"
-    double magnitude = 0.0; ///< offset [V], gain factor, or clock factor
+    double magnitude = 0.0; ///< offset [V], gain factor, clock factor,
+                            ///< or intermittent period in ticks
+    /// Second fault of a double-fault pair (scaled universe): the
+    /// FaultyDut wraps the device in the paired fault first, then this
+    /// one. Null for the single faults that make up the base universe.
+    /// Appended after the original three fields so existing brace
+    /// initialisation keeps working.
+    std::shared_ptr<const FaultSpec> paired;
 
     /// Stable unique id within a universe, e.g. "stuck_high@wiper_lo",
-    /// "offset@lamp_l+0.8", "can_drop@turn_sw", "skew@clock*1.35".
+    /// "offset@lamp_l+0.8", "can_drop@turn_sw", "skew@clock*1.35",
+    /// "int_low@lamp_l%4", "stuck_low@lamp_l&can_drop@turn_sw".
     [[nodiscard]] std::string id() const;
 
     [[nodiscard]] bool operator==(const FaultSpec& o) const {
-        return kind == o.kind && target == o.target &&
-               magnitude == o.magnitude;
+        if (kind != o.kind || target != o.target ||
+            magnitude != o.magnitude)
+            return false;
+        if (static_cast<bool>(paired) != static_cast<bool>(o.paired))
+            return false;
+        return !paired || *paired == *o.paired;
     }
 };
+
+/// Kind label for coverage rows: fault_kind_name(kind) for singles,
+/// "pair" for double faults.
+[[nodiscard]] std::string fault_kind_label(const FaultSpec& spec);
 
 /// The observable surface a fault universe is generated from.
 struct FaultSurface {
@@ -74,13 +92,35 @@ struct FaultSurface {
     std::vector<std::string> can_signals; ///< bus signals the suite sends
 };
 
-/// Expand a surface into the deterministic fault universe: per output
+/// Knobs that scale the generated fault universe. The defaults
+/// reproduce the original base universe byte-identically: per output
 /// pin stuck_low, stuck_high, offset +0.8 V, scale x0.8; per bus signal
 /// can_drop and can_corrupt; plus the two clock skews x1.35 and x0.7.
-/// Order is the surface order — two calls with the same surface produce
-/// the same list.
+struct UniverseOptions {
+    std::vector<double> offsets{0.8};     ///< PinOffset magnitudes [V]
+    std::vector<double> scales{0.8};      ///< PinScale gain factors
+    std::vector<double> skews{1.35, 0.7}; ///< TimingSkew clock factors
+    /// PinIntermittent{Low,High} periods in ticks; empty = none.
+    std::vector<int> intermittent_ticks{};
+    /// Also emit every unordered cross-target pair of the base digital
+    /// singles (stuck_low/stuck_high/can_drop/can_corrupt) as a
+    /// double-fault spec.
+    bool pair_faults = false;
+
+    /// The base universe (same as a default-constructed options).
+    [[nodiscard]] static UniverseOptions base() { return {}; }
+    /// The scaled surface behind `--universe scaled`: drift-magnitude
+    /// sweeps, intermittents at six periods, double-fault pairs.
+    [[nodiscard]] static UniverseOptions scaled();
+};
+
+/// Expand a surface into the deterministic fault universe described by
+/// `options`. Order is the surface order (per pin: stucks, offsets,
+/// scales, intermittents; then per signal: drop, corrupt; then skews;
+/// then pairs) — two calls with the same inputs produce the same list.
 [[nodiscard]] std::vector<FaultSpec>
-make_fault_universe(const FaultSurface& surface);
+make_fault_universe(const FaultSurface& surface,
+                    const UniverseOptions& options = {});
 
 /// The decorator: a Dut with exactly one seeded fault between the stand
 /// and the wrapped device. All state lives in the inner device; the
@@ -108,6 +148,7 @@ public:
 
 private:
     [[nodiscard]] bool is_pin_fault() const;
+    [[nodiscard]] bool intermittent_active() const;
     [[nodiscard]] double mutate(double volts) const;
 
     std::unique_ptr<dut::Dut> inner_;
@@ -116,6 +157,10 @@ private:
     /// (pin_voltage_at) must see exactly the mutation the string tier
     /// sees, without a per-read name lookup.
     int target_idx_ = -1;
+    /// step() count since reset(), driving the intermittent duty cycle.
+    /// Reset with the device so a per-test backend reset replays the
+    /// same phase — subset replay stays bit-identical.
+    long long ticks_ = 0;
 };
 
 } // namespace ctk::sim

@@ -61,6 +61,44 @@ TEST(FaultGrading, UniverseIsDeterministicAndCoversEveryKind) {
     }
 }
 
+TEST(FaultGrading, ScaledUniverseGradesDeterministically) {
+    // The --universe scaled surface: the default stays byte-identical
+    // to the base universe, the scaled one multiplies it and still
+    // grades the same at any worker count.
+    const auto base = kb_fault_universe("wiper");
+    const auto base_explicit =
+        kb_fault_universe("wiper", {}, sim::UniverseOptions::base());
+    ASSERT_EQ(base.size(), base_explicit.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(base[i].id(), base_explicit[i].id());
+
+    const auto scaled =
+        kb_fault_universe("wiper", {}, sim::UniverseOptions::scaled());
+    EXPECT_EQ(scaled.size(), 78u);
+    EXPECT_GT(scaled.size(), 6 * base.size());
+
+    GradingOptions opts;
+    opts.jobs = 1;
+    opts.universe = sim::UniverseOptions::scaled();
+    const auto one = grade_kb(opts, {"wiper"});
+    opts.jobs = 8;
+    const auto eight = grade_kb(opts, {"wiper"});
+    EXPECT_EQ(one.fault_count(), scaled.size());
+    EXPECT_EQ(outcome_fingerprint(one), outcome_fingerprint(eight));
+    // Intermittents and double faults are graded, not just generated:
+    // every scaled-only kind shows up with a real outcome.
+    bool saw_intermittent = false, saw_pair = false;
+    for (const auto& f : one.families.front().faults) {
+        if (f.fault.kind == sim::FaultKind::PinIntermittentLow ||
+            f.fault.kind == sim::FaultKind::PinIntermittentHigh)
+            saw_intermittent = true;
+        if (f.fault.paired) saw_pair = true;
+        EXPECT_NE(f.outcome, FaultOutcome::FrameworkError) << f.fault.id();
+    }
+    EXPECT_TRUE(saw_intermittent);
+    EXPECT_TRUE(saw_pair);
+}
+
 TEST(FaultGrading, SurfaceComesFromThePlanNotTheDut) {
     const auto script = script::compile(kb::suite_for("wiper"), kReg);
     const auto plan =

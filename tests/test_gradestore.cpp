@@ -1,0 +1,371 @@
+// Unit tests: the incremental grading store (core/gradestore).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "core/gradestore.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "report/report.hpp"
+
+namespace ctk::core {
+namespace {
+
+PairRecord sample_pair(const std::string& test = "t1",
+                       const std::string& fault = "stuck_low@p") {
+    PairRecord rec;
+    rec.family = "fam";
+    rec.test = test;
+    rec.plan_hash = "aaaa";
+    rec.fault = fault;
+    rec.golden_fp = "bbbb";
+    rec.differs = true;
+    rec.flips = 3;
+    rec.first_flip = "t1/0/p";
+    return rec;
+}
+
+GradingResult run_family(FamilyGradingSetup setup, GradeStore* store,
+                         unsigned jobs = 1) {
+    GradingOptions opts;
+    opts.jobs = jobs;
+    opts.store = store;
+    GradingCampaign grading(opts);
+    grading.add(std::move(setup));
+    return grading.run_all();
+}
+
+/// The wiper suite with its single test duplicated — a two-test suite,
+/// so a one-test edit leaves genuinely unaffected pairs behind.
+FamilyGradingSetup two_test_setup() {
+    auto setup = kb_grading_setup("wiper");
+    auto copy = setup.script.tests.front();
+    copy.name = copy.name + "_bis";
+    setup.script.tests.push_back(std::move(copy));
+    setup.plan.reset(); // script changed; run_all recompiles
+    return setup;
+}
+
+/// The one-test KB edit: extend the last dwell of the second test.
+void edit_second_test(FamilyGradingSetup& setup) {
+    setup.script.tests[1].steps.back().dt += 0.1;
+    setup.plan.reset();
+}
+
+TEST(GradeStore, PairAndCertificateLookup) {
+    GradeStore store;
+    EXPECT_EQ(store.find_pair("fam", "t1", "aaaa", "stuck_low@p"), nullptr);
+    store.put_pair(sample_pair());
+    EXPECT_EQ(store.pair_count(), 1u);
+    const PairRecord* rec =
+        store.find_pair("fam", "t1", "aaaa", "stuck_low@p");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->differs);
+    EXPECT_EQ(rec->flips, 3u);
+    // Any key component mismatch is a miss.
+    EXPECT_EQ(store.find_pair("fam", "t1", "cccc", "stuck_low@p"), nullptr);
+    EXPECT_EQ(store.find_pair("fam", "t2", "aaaa", "stuck_low@p"), nullptr);
+    // put_pair overwrites by key.
+    auto updated = sample_pair();
+    updated.flips = 9;
+    store.put_pair(updated);
+    EXPECT_EQ(store.pair_count(), 1u);
+    EXPECT_EQ(store.find_pair("fam", "t1", "aaaa", "stuck_low@p")->flips,
+              9u);
+
+    CertificateRecord cert;
+    cert.family = "fam";
+    cert.suite_hash = "ssss";
+    cert.fault = "offset@p+0.8";
+    cert.params = "pppp";
+    cert.note = "bounded equivalence";
+    store.put_certificate(cert);
+    EXPECT_EQ(store.certificate_count(), 1u);
+    ASSERT_NE(store.find_certificate("fam", "ssss", "offset@p+0.8", "pppp"),
+              nullptr);
+    // A different sweep configuration does not inherit the certificate.
+    EXPECT_EQ(store.find_certificate("fam", "ssss", "offset@p+0.8", "qqqq"),
+              nullptr);
+    cert.fault = "scale@p*0.8";
+    store.put_certificate(cert);
+    const auto certs = store.certificates_for("fam", "ssss");
+    ASSERT_EQ(certs.size(), 2u);
+    EXPECT_EQ(certs[0]->fault, "offset@p+0.8"); // sorted by key
+    EXPECT_TRUE(store.certificates_for("fam", "tttt").empty());
+}
+
+TEST(GradeStore, CsvRoundTripWithHostileCells) {
+    GradeStore store;
+    auto hostile = sample_pair("test,with;sep", "fault\"quoted\"");
+    hostile.first_flip = "multi\nline/0/pin";
+    store.put_pair(hostile);
+    store.put_pair(sample_pair("plain", "stuck_high@p"));
+    CertificateRecord cert;
+    cert.family = "fam";
+    cert.suite_hash = "ssss";
+    cert.fault = "offset@p+0.8";
+    cert.params = "pppp";
+    cert.note = "no divergence in 24 walks;\n\"bounded\" only";
+    store.put_certificate(cert);
+
+    const GradeStore back = GradeStore::from_csv_text(
+        store.pairs_to_csv_text(), store.certificates_to_csv_text());
+    EXPECT_EQ(back.pair_count(), 2u);
+    const PairRecord* rec =
+        back.find_pair("fam", "test,with;sep", "aaaa", "fault\"quoted\"");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->first_flip, "multi\nline/0/pin");
+    const CertificateRecord* c =
+        back.find_certificate("fam", "ssss", "offset@p+0.8", "pppp");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->note, cert.note);
+
+    // Emitted bytes depend only on content, not on insertion order.
+    GradeStore reordered;
+    reordered.put_pair(sample_pair("plain", "stuck_high@p"));
+    reordered.put_pair(hostile);
+    EXPECT_EQ(reordered.pairs_to_csv_text(), store.pairs_to_csv_text());
+
+    // Empty inputs mean a first run, not an error.
+    const GradeStore empty = GradeStore::from_csv_text("", "");
+    EXPECT_EQ(empty.pair_count(), 0u);
+    EXPECT_EQ(empty.certificate_count(), 0u);
+}
+
+TEST(GradeStore, MalformedRowsNameSheetAndRow) {
+    const std::string pairs_header =
+        "family;test;plan_hash;fault;golden_fp;differs;flips;first_flip\n";
+    try {
+        (void)GradeStore::from_csv_text(pairs_header + "f;t;h;x;g;1;0\n",
+                                        "");
+        FAIL() << "short pairs row accepted";
+    } catch (const SemanticError& e) {
+        EXPECT_NE(std::string(e.what()).find("pairs row 1"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("expected 8 cells, got 7"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        (void)GradeStore::from_csv_text(
+            pairs_header + "f;t;h;x;g;1;0;site\n" + "f;t;h;y;g;maybe;0;\n",
+            "");
+        FAIL() << "non-boolean differs accepted";
+    } catch (const SemanticError& e) {
+        EXPECT_NE(std::string(e.what()).find("pairs row 2"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("differs must be 0 or 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW((void)GradeStore::from_csv_text(
+                     pairs_header + "f;t;h;x;g;1;lots;site\n", ""),
+                 SemanticError);
+    try {
+        (void)GradeStore::from_csv_text(
+            "", "family;suite_hash;fault;params;note\nf;s;x;p\n");
+        FAIL() << "short certs row accepted";
+    } catch (const SemanticError& e) {
+        EXPECT_NE(std::string(e.what()).find("certs row 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(GradeStore, SaveLoadRoundTripAndFailureModes) {
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "ctk_gradestore_test";
+    fs::remove_all(dir);
+
+    // Loading a store that was never saved is the first-run case.
+    const GradeStore fresh = GradeStore::load(dir.string());
+    EXPECT_EQ(fresh.pair_count(), 0u);
+
+    GradeStore store;
+    store.put_pair(sample_pair());
+    store.save(dir.string()); // creates the directory
+    const GradeStore back = GradeStore::load(dir.string());
+    EXPECT_EQ(back.pair_count(), 1u);
+    ASSERT_NE(back.find_pair("fam", "t1", "aaaa", "stuck_low@p"), nullptr);
+
+    // A failing write must throw, never truncate silently: point the
+    // pairs file at /dev/full, where open succeeds and writes fail.
+    if (fs::exists("/dev/full")) {
+        fs::remove(dir / "gradestore_pairs.csv");
+        fs::create_symlink("/dev/full", dir / "gradestore_pairs.csv");
+        EXPECT_THROW(store.save(dir.string()), Error);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(GradeStore, WarmGradingIsByteIdenticalToCold) {
+    const auto cold = run_family(two_test_setup(), nullptr);
+    const std::string want_fp = outcome_fingerprint(cold);
+    const std::string want_csv = report::coverage_to_csv(cold.to_coverage());
+    const std::size_t faults = cold.fault_count();
+
+    GradeStore store;
+    const auto warm_empty = run_family(two_test_setup(), &store);
+    EXPECT_EQ(outcome_fingerprint(warm_empty), want_fp);
+    EXPECT_EQ(report::coverage_to_csv(warm_empty.to_coverage()), want_csv);
+    EXPECT_EQ(store.stats().pair_misses, 2 * faults); // two tests/fault
+    EXPECT_EQ(store.stats().pair_hits, 0u);
+    EXPECT_EQ(store.pair_count(), 2 * faults);
+
+    // Second run, populated store, different worker count: everything
+    // served, output still byte-identical.
+    store.stats() = {};
+    const auto warm = run_family(two_test_setup(), &store, 8);
+    EXPECT_EQ(outcome_fingerprint(warm), want_fp);
+    EXPECT_EQ(report::coverage_to_csv(warm.to_coverage()), want_csv);
+    EXPECT_EQ(store.stats().pair_hits, 2 * faults);
+    EXPECT_EQ(store.stats().pair_misses, 0u);
+    EXPECT_EQ(store.stats().faults_skipped, faults);
+    EXPECT_EQ(store.stats().faults_replayed, 0u);
+}
+
+TEST(GradeStore, OneTestEditReplaysOnlyAffectedPairs) {
+    GradeStore store;
+    (void)run_family(two_test_setup(), &store); // populate
+
+    auto edited = two_test_setup();
+    edit_second_test(edited);
+    const auto cold = run_family(std::move(edited), nullptr);
+    const std::size_t faults = cold.fault_count();
+
+    store.stats() = {};
+    auto warm_setup = two_test_setup();
+    edit_second_test(warm_setup);
+    const auto warm = run_family(std::move(warm_setup), &store);
+    // The unedited test's pairs are served; only the edited test's
+    // pairs replay — and the merged outcome is byte-identical to cold.
+    EXPECT_EQ(store.stats().pair_hits, faults);
+    EXPECT_EQ(store.stats().pair_misses, faults);
+    EXPECT_EQ(store.stats().faults_replayed, faults);
+    EXPECT_EQ(store.stats().faults_skipped, 0u);
+    EXPECT_EQ(outcome_fingerprint(warm), outcome_fingerprint(cold));
+    EXPECT_EQ(report::coverage_to_csv(warm.to_coverage()),
+              report::coverage_to_csv(cold.to_coverage()));
+}
+
+TEST(GradeStore, StaleGoldenFingerprintForcesReplay) {
+    const auto cold = run_family(kb_grading_setup("wiper"), nullptr);
+    const std::size_t faults = cold.fault_count();
+
+    // A store whose keys all match but whose golden fingerprints come
+    // from another DUT model: every record claims "no difference" —
+    // trusting any of them would corrupt the grade.
+    auto setup = kb_grading_setup("wiper");
+    const auto hashes = plan_test_hashes(*setup.plan, setup.stand);
+    const std::size_t tests = setup.plan->tests().size();
+    GradeStore store;
+    for (const auto& fault : setup.universe)
+        for (std::size_t t = 0; t < tests; ++t) {
+            PairRecord rec;
+            rec.family = setup.family;
+            rec.test = setup.plan->tests()[t].name;
+            rec.plan_hash = hashes[t];
+            rec.fault = fault.id();
+            rec.golden_fp = "stale";
+            rec.differs = false;
+            store.put_pair(rec);
+        }
+
+    const auto warm = run_family(std::move(setup), &store);
+    EXPECT_EQ(store.stats().pair_stale, faults * tests);
+    EXPECT_EQ(store.stats().pair_hits, 0u);
+    EXPECT_EQ(outcome_fingerprint(warm), outcome_fingerprint(cold));
+}
+
+TEST(GradeStore, CertificatesCarryAcrossRuns) {
+    // interior_light has four bounded-equivalent faults. budget=0 skips
+    // the candidate search but still runs the equivalence sweeps — the
+    // cheapest configuration that earns certificates.
+    AugmentOptions opts;
+    opts.jobs = 2;
+    opts.budget = 0;
+    opts.equiv_walks = 4;
+    opts.equiv_steps = 12;
+
+    GradeStore store;
+    opts.store = &store;
+    const auto first = augment_kb(opts, {"interior_light"});
+    ASSERT_TRUE(first.clean());
+    const std::size_t untestable = first.families.front().untestable();
+    ASSERT_GT(untestable, 0u);
+    EXPECT_EQ(store.certificate_count(), untestable);
+    EXPECT_EQ(store.stats().cert_hits, 0u); // first run earned, not spent
+
+    // Second augment run against the same store: certified faults skip
+    // their sweeps, the result is byte-identical.
+    store.stats() = {};
+    const auto second = augment_kb(opts, {"interior_light"});
+    EXPECT_EQ(store.stats().cert_hits, untestable);
+    EXPECT_EQ(augmentation_fingerprint(second),
+              augmentation_fingerprint(first));
+
+    // Plain grading honours the carried certificates too: the swept
+    // faults leave Undetected for Untestable, with the certificate note
+    // carried into the error column.
+    GradingOptions gopts;
+    gopts.jobs = 1;
+    gopts.store = &store;
+    store.stats() = {};
+    GradingCampaign grading(gopts);
+    grading.add(kb_grading_setup("interior_light"));
+    const auto graded = grading.run_all();
+    EXPECT_EQ(store.stats().cert_hits, untestable);
+    const auto& family = graded.families.front();
+    std::size_t reclassified = 0;
+    for (const auto& f : family.faults)
+        if (f.outcome == FaultOutcome::Untestable) {
+            ++reclassified;
+            EXPECT_FALSE(f.error_message.empty()) << f.fault.id();
+        }
+    EXPECT_EQ(reclassified, untestable);
+    // Without the store the same faults grade Undetected.
+    GradingCampaign bare;
+    bare.add(kb_grading_setup("interior_light"));
+    const auto ungraded = bare.run_all();
+    for (const auto& f : ungraded.families.front().faults)
+        EXPECT_NE(f.outcome, FaultOutcome::Untestable) << f.fault.id();
+}
+
+TEST(GradeStore, PlanHashTracksContentNotIdentity) {
+    auto a = two_test_setup();
+    auto b = two_test_setup();
+    const auto plan_a = CompiledPlan::compile(a.script, a.stand, RunOptions{});
+    const auto ha = plan_suite_hash(plan_a, a.stand);
+    EXPECT_EQ(plan_suite_hash(
+                  CompiledPlan::compile(b.script, b.stand, RunOptions{}),
+                  b.stand),
+              ha); // same content, fresh objects
+
+    edit_second_test(b);
+    const auto plan_b = CompiledPlan::compile(b.script, b.stand, RunOptions{});
+    EXPECT_NE(plan_suite_hash(plan_b, b.stand), ha);
+    // The edit moved exactly one per-test hash.
+    const auto ta = plan_test_hashes(plan_a, a.stand);
+    const auto tb = plan_test_hashes(plan_b, b.stand);
+    ASSERT_EQ(ta.size(), 2u);
+    ASSERT_EQ(tb.size(), 2u);
+    EXPECT_EQ(ta[0], tb[0]);
+    EXPECT_NE(ta[1], tb[1]);
+
+    // RunOptions are part of the key: a different tick is a different
+    // plan even for identical scripts.
+    RunOptions slower;
+    slower.tick_s *= 2;
+    EXPECT_NE(plan_suite_hash(CompiledPlan::compile(a.script, a.stand, slower),
+                              a.stand),
+              ha);
+}
+
+} // namespace
+} // namespace ctk::core

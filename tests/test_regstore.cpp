@@ -97,6 +97,90 @@ TEST(RegStore, MalformedCsvRejected) {
                  SemanticError);
 }
 
+TEST(RegStore, MatchesScriptAndTestCaseInsensitively) {
+    // An entry recorded from a differently capitalised sheet must line
+    // up with its lower-case sibling in every query; labels stay exact.
+    RegressionStore store;
+    RegressionEntry was;
+    was.label = "B1";
+    was.script = "Paper_Int_Ill";
+    was.stand = "st";
+    was.test = "Int_Ill";
+    was.steps = 10;
+    was.passed = true;
+    store.add(was);
+    RegressionEntry now = was;
+    now.label = "B2";
+    now.script = "paper_int_ill";
+    now.test = "int_ill";
+    now.passed = false;
+    store.add(now);
+
+    EXPECT_EQ(store.regressions("B1", "B2"),
+              (std::vector<std::string>{"paper_int_ill/int_ill"}));
+    EXPECT_EQ(store.ever_failed(),
+              (std::vector<std::string>{"paper_int_ill/int_ill"}));
+    EXPECT_DOUBLE_EQ(store.pass_rate("PAPER_INT_ILL"), 0.5);
+    // Labels are compared exactly: "b1" is not sample "B1".
+    EXPECT_TRUE(store.regressions("b1", "B2").empty());
+}
+
+TEST(RegStore, HostileCellContentRoundTrips) {
+    RegressionStore store;
+    RegressionEntry e;
+    e.label = "B1,with;sep\"and\"quotes";
+    e.script = "line\nbreak";
+    e.stand = "st";
+    e.test = "t";
+    e.steps = 3;
+    e.failed_steps = 1;
+    e.passed = true;
+    store.add(e);
+    const RegressionStore back =
+        RegressionStore::from_csv_text(store.to_csv_text());
+    ASSERT_EQ(back.entries().size(), 1u);
+    EXPECT_EQ(back.entries()[0].label, e.label);
+    EXPECT_EQ(back.entries()[0].script, e.script);
+    EXPECT_TRUE(back.entries()[0].passed);
+}
+
+TEST(RegStore, RowErrorsNameTheRow) {
+    const std::string header =
+        "label;script;stand;test;steps;failed_steps;passed\n";
+    try {
+        (void)RegressionStore::from_csv_text(header + "a;b;c;d;1;0\n");
+        FAIL() << "short row accepted";
+    } catch (const SemanticError& e) {
+        EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("expected 7 cells, got 6"),
+                  std::string::npos);
+    }
+    try {
+        (void)RegressionStore::from_csv_text(header + "a;b;c;d;1;0;1\n" +
+                                             "a;b;c;d;1;0;yes\n");
+        FAIL() << "non-boolean passed accepted";
+    } catch (const SemanticError& e) {
+        EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("passed must be 0 or 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(RegStore, SaveReportsFailedWrites) {
+    // /dev/full accepts the open but fails every write: without the
+    // post-write stream check this truncated the store silently.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    RegressionStore store;
+    RegressionEntry e;
+    e.label = "B1";
+    e.script = "s";
+    e.stand = "st";
+    e.test = "t";
+    store.add(e);
+    EXPECT_THROW(store.save("/dev/full"), Error);
+}
+
 // ---------------------------------------------------------------------------
 // Knowledge-base consistency
 // ---------------------------------------------------------------------------

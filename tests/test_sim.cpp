@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "dut/interior_light.hpp"
 #include "dut/turn_signal.hpp"
@@ -247,6 +248,74 @@ TEST(FaultyDutTest, ResetAndSupplyForwardToTheInnerDevice) {
     // Reset cleared the frame: fast mode is gone, the fault persists.
     EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 0.0);
     EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 9.0);
+}
+
+TEST(FaultyDutTest, IntermittentFaultTogglesWithThePeriod) {
+    EXPECT_EQ(FaultSpec({FaultKind::PinIntermittentLow, "wiper_lo", 4}).id(),
+              "int_low@wiper_lo%4");
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(),
+                     {FaultKind::PinIntermittentLow, "wiper_lo", 1});
+    faulty.can_receive("wiper_sw", {true, false}); // slow: lo = supply
+    // Phase 0 (0 elapsed ticks) is the faulty half-period.
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 0.0);
+    faulty.step(0.1); // tick 1: healthy half-period
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 12.0);
+    faulty.step(0.1); // tick 2: faulty again
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 0.0);
+    // reset() restarts the phase: a replayed test sees the same DUT.
+    faulty.reset();
+    faulty.can_receive("wiper_sw", {true, false});
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 0.0);
+    faulty.step(0.1);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 12.0);
+}
+
+TEST(FaultyDutTest, PairFaultSeedsBothSingles) {
+    FaultSpec pair{FaultKind::PinStuckHigh, "wiper_lo", 0.0};
+    pair.paired = std::make_shared<FaultSpec>(
+        FaultSpec{FaultKind::CanDrop, "wiper_sw", 0.0});
+    EXPECT_EQ(pair.id(), "stuck_high@wiper_lo&can_drop@wiper_sw");
+    EXPECT_EQ(fault_kind_label(pair), std::string("pair"));
+
+    FaultyDut faulty(std::make_unique<dut::WiperEcu>(), pair);
+    faulty.can_receive("wiper_sw", {true, true}); // fast — dropped
+    faulty.step(0.1);
+    // Both halves are live: the dropped command leaves the high winding
+    // off, while the stuck fault pins the low winding at supply.
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"), 0.0);
+    EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 12.0);
+}
+
+TEST(FaultyDutTest, ScaledUniverseGrowsTheSurface) {
+    FaultSurface surface;
+    surface.output_pins = {"lamp_l"};
+    surface.can_signals = {"turn_sw"};
+    // Defaults reproduce the base universe exactly.
+    const auto base = make_fault_universe(surface);
+    const auto base2 =
+        make_fault_universe(surface, UniverseOptions::base());
+    ASSERT_EQ(base.size(), base2.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(base[i].id(), base2[i].id()) << i;
+
+    const auto scaled =
+        make_fault_universe(surface, UniverseOptions::scaled());
+    // Per pin: 2 stucks + 8 offsets + 6 scales + 2 x 6 intermittents;
+    // per signal: drop + corrupt; 8 skews; 2 x 2 cross-target pairs of
+    // the digital singles.
+    EXPECT_EQ(scaled.size(), 28u + 2u + 8u + 4u);
+    const auto scaled2 =
+        make_fault_universe(surface, UniverseOptions::scaled());
+    ASSERT_EQ(scaled.size(), scaled2.size());
+    std::set<std::string> ids;
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+        EXPECT_EQ(scaled[i].id(), scaled2[i].id()) << i;
+        ids.insert(scaled[i].id());
+    }
+    EXPECT_EQ(ids.size(), scaled.size()); // no duplicate ids
+    EXPECT_TRUE(ids.count("int_low@lamp_l%8"));
+    EXPECT_TRUE(ids.count("offset@lamp_l-1.6"));
+    EXPECT_TRUE(ids.count("stuck_low@lamp_l&can_corrupt@turn_sw"));
 }
 
 TEST(FaultyDutTest, UniverseExpandsTheSurfaceDeterministically) {

@@ -25,11 +25,22 @@
 // total coverage is below the threshold, or when nothing was graded at
 // all; in augment mode the gate judges the *after* coverage).
 //
+// KB mode additionally takes --universe base|scaled (the ~100x fault
+// surface of DESIGN.md §11: drift magnitude ladders, intermittent pin
+// faults, double faults) and --store DIR — the incremental grading
+// store. With --store, previously graded (fault, test) verdicts and
+// Untestable certificates are loaded before grading, only pairs whose
+// plan content changed are replayed, and the updated store is saved
+// back; coverage output is byte-identical to a cold run. --invalidate
+// drops the loaded store content first (forces a full regrade that
+// rewrites the store).
+//
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
 //                   [--jobs N] [--detail] [--csv out.csv]
 //                   [--min-coverage X]
 //          ctkgrade --kb [--families a,b] [--jobs N] [--detail]
 //                   [--csv out.csv] [--min-coverage X]
+//                   [--universe base|scaled] [--store DIR] [--invalidate]
 //                   [--augment] [--budget N] [--seed S] [--out DIR]
 //          builtin names: c17, adder8, cmp8, mux16, alu4, parity16,
 //          counter4 (sequential; random only)
@@ -42,11 +53,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/augment.hpp"
+#include "core/gradestore.hpp"
 #include "core/grading.hpp"
 #include "gate/bench_io.hpp"
 #include "gate/circuits.hpp"
@@ -82,6 +95,8 @@ const char* kUsage =
     "                [--detail] [--csv out.csv] [--min-coverage X]\n"
     "       ctkgrade --kb [--families a,b] [--jobs N] [--detail]\n"
     "                [--csv out.csv] [--min-coverage X]\n"
+    "                [--universe base|scaled] [--store DIR] "
+    "[--invalidate]\n"
     "                [--augment] [--budget N] [--seed S] [--out DIR]\n";
 
 /// Flags shared verbatim by both modes.
@@ -121,13 +136,42 @@ int finish(const ctk::core::CoverageMatrix& matrix,
     return 0;
 }
 
+/// Incremental-store flags (--store DIR [--invalidate]).
+struct StoreOptions {
+    std::string dir;
+    bool invalidate = false;
+};
+
+/// Load (or, with --invalidate, discard) the store before a KB run.
+std::optional<ctk::core::GradeStore>
+open_store(const StoreOptions& options) {
+    if (options.dir.empty()) return std::nullopt;
+    if (options.invalidate) return ctk::core::GradeStore{};
+    return ctk::core::GradeStore::load(options.dir);
+}
+
+/// Persist the store and report what the warm run reused. Stats go to
+/// stderr: stdout stays byte-identical between warm and cold runs.
+void close_store(const ctk::core::GradeStore& store,
+                 const StoreOptions& options) {
+    store.save(options.dir);
+    std::cerr << ctk::report::render_gradestore_stats(store.stats());
+    std::cerr << "ctkgrade: wrote store " << options.dir << "\n";
+}
+
 int run_kb_grading(const std::vector<std::string>& families,
-                   const CommonOptions& options) {
+                   const CommonOptions& options,
+                   const ctk::sim::UniverseOptions& universe,
+                   const StoreOptions& store_options) {
     using namespace ctk;
     try {
         core::GradingOptions opts;
         opts.jobs = options.jobs;
+        opts.universe = universe;
+        auto store = open_store(store_options);
+        if (store) opts.store = &*store;
         const auto result = core::grade_kb(opts, families);
+        if (store) close_store(*store, store_options);
         // Low coverage is information; a framework error is a defect in
         // the grading harness or the stand — that must fail CI.
         return finish(result.to_coverage(), options,
@@ -140,11 +184,15 @@ int run_kb_grading(const std::vector<std::string>& families,
 
 int run_kb_augmentation(const std::vector<std::string>& families,
                         const CommonOptions& options,
-                        const ctk::core::AugmentOptions& aopts,
+                        ctk::core::AugmentOptions aopts,
+                        const StoreOptions& store_options,
                         const std::string& out_dir) {
     using namespace ctk;
     try {
+        auto store = open_store(store_options);
+        if (store) aopts.store = &*store;
         const auto result = core::augment_kb(aopts, families);
+        if (store) close_store(*store, store_options);
         std::cout << report::render_augmentation(result, options.detail);
         if (!out_dir.empty()) {
             std::filesystem::create_directories(out_dir);
@@ -224,6 +272,9 @@ int main(int argc, char** argv) {
     core::AugmentOptions aug_opts;
     std::string out_dir;
     CommonOptions common;
+    StoreOptions store;
+    sim::UniverseOptions universe;
+    bool universe_set = false;
     std::vector<std::string> families;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -267,6 +318,22 @@ int main(int argc, char** argv) {
             aug_flag_set = true;
         } else if (arg == "--out") {
             out_dir = next();
+        } else if (arg == "--store") {
+            store.dir = next();
+        } else if (arg == "--invalidate") {
+            store.invalidate = true;
+        } else if (arg == "--universe") {
+            const std::string u = next();
+            if (u == "base") {
+                universe = sim::UniverseOptions::base();
+            } else if (u == "scaled") {
+                universe = sim::UniverseOptions::scaled();
+            } else {
+                std::cerr << "ctkgrade: --universe needs 'base' or "
+                             "'scaled'\n";
+                return 1;
+            }
+            universe_set = true;
         } else if (arg == "--families") {
             for (const auto& f : str::split(next(), ','))
                 families.push_back(std::string(str::trim(f)));
@@ -317,12 +384,17 @@ int main(int argc, char** argv) {
                          "with --augment\n";
             return 1;
         }
+        if (store.invalidate && store.dir.empty()) {
+            std::cerr << "ctkgrade: --invalidate needs --store DIR\n";
+            return 1;
+        }
         if (augment) {
             aug_opts.jobs = common.jobs;
-            return run_kb_augmentation(families, common, aug_opts,
+            aug_opts.universe = universe;
+            return run_kb_augmentation(families, common, aug_opts, store,
                                        out_dir);
         }
-        return run_kb_grading(families, common);
+        return run_kb_grading(families, common, universe, store);
     }
     if (!families.empty()) {
         std::cerr << "ctkgrade: --families only applies to --kb mode\n";
@@ -331,6 +403,15 @@ int main(int argc, char** argv) {
     if (augment || aug_flag_set || !out_dir.empty()) {
         std::cerr << "ctkgrade: --augment/--budget/--seed/--out only "
                      "apply to --kb mode\n";
+        return 1;
+    }
+    if (!store.dir.empty() || store.invalidate) {
+        std::cerr << "ctkgrade: --store/--invalidate only apply to --kb "
+                     "mode\n";
+        return 1;
+    }
+    if (universe_set) {
+        std::cerr << "ctkgrade: --universe only applies to --kb mode\n";
         return 1;
     }
     if (spec.empty()) {
