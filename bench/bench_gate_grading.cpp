@@ -6,12 +6,25 @@
 // 64-lane parallel-pattern packs with shard-local fault dropping.
 // This bench measures the whole ladder on the builtin netlists:
 //  * serial      — fault_simulate_serial (1 lane, 1 thread);
-//  * sharded @ W — fault_simulate_sharded at 1 / 4 / 8 workers
-//                  (sharded @ 1 == the packed parallel-pattern path).
+//  * parallel@1  — fault_simulate_sharded at 1 worker: the packed
+//                  64-lane parallel-pattern path, inline on the calling
+//                  thread. This row isolates the pack-once win so the
+//                  worker-scaling contribution on top of it is
+//                  separable in the JSON;
+//  * sharded @ W — fault_simulate_sharded at 4 / 8 requested workers.
+//                  Each row records the *effective* worker count after
+//                  the min-faults-per-shard floor (DESIGN.md §12) —
+//                  small circuits legitimately clamp back to 1, and
+//                  rows with equal effective workers reuse one
+//                  measurement (the calls are identical).
 // Detection masks and attribution are asserted bit-identical to the
 // serial reference before any time is reported. Pattern packing and
 // golden simulation sit inside the timed region for every mode — the
 // comparison is end to end, not cherry-picked inner loops.
+// A no-negative-scaling gate (exit 3) requires sharded@8 faults/s >=
+// 0.9x parallel@1 on EVERY circuit: asking for more workers must never
+// cost throughput, which is exactly the regression the shard floor
+// fixes.
 //
 // Workloads: the ctkgrade-named builtins (tiny — they record the
 // trajectory but sit at the timer floor, where thread spawn overhead
@@ -88,8 +101,9 @@ struct BenchRow {
     std::string circuit;
     std::size_t faults = 0;
     std::size_t patterns = 0;
-    std::string mode; ///< "serial" or "sharded"
-    unsigned workers = 1;
+    std::string mode; ///< "serial", "parallel" (@1) or "sharded"
+    unsigned workers = 1;           ///< requested
+    unsigned effective_workers = 1; ///< after the min-faults floor
     double wall_s = 0.0;
     double faults_per_s = 0.0;
 };
@@ -169,12 +183,13 @@ int main(int argc, char** argv) {
               << " pattern(s)/circuit, x" << repeat << " repetition(s)\n";
 
     TextTable table;
-    table.header({"circuit", "faults", "serial", "sharded@1", "sharded@4",
+    table.header({"circuit", "faults", "serial", "parallel@1", "sharded@4",
                   "sharded@8", "x8 vs serial"});
 
     std::size_t largest_faults = 0;
     std::string largest_name;
     double largest_speedup = 0.0;
+    bool negative_scaling = false;
 
     for (const auto& w : workloads) {
         const auto faults = collapse_faults(w.net);
@@ -182,23 +197,38 @@ int main(int argc, char** argv) {
             w.net, pattern_budget, w.net.is_sequential() ? 8 : 1);
 
         // Correctness before speed: every mode must reproduce the
-        // serial masks and attribution bit for bit.
+        // serial masks and attribution bit for bit. The untimed runs
+        // also yield each mode's effective worker count.
         const auto reference = fault_simulate_serial(w.net, faults,
                                                      patterns);
-        for (const unsigned workers : worker_counts) {
-            const auto check =
-                fault_simulate_sharded(w.net, faults, patterns, workers);
+        unsigned effective[3] = {1, 1, 1};
+        for (std::size_t k = 0; k < 3; ++k) {
+            const auto check = fault_simulate_sharded(
+                w.net, faults, patterns, worker_counts[k]);
             if (check.detected_mask != reference.detected_mask ||
                 check.detected_by != reference.detected_by) {
                 std::cerr << "bench_gate_grading: " << w.name
-                          << " sharded@" << workers
+                          << " sharded@" << worker_counts[k]
                           << " diverges from serial!\n";
                 return 2;
             }
+            effective[k] = check.effective_workers;
         }
 
-        auto measure = [&](const std::string& mode,
-                           unsigned workers) -> double {
+        auto measure = [&](const std::string& mode, unsigned workers,
+                           unsigned effective_workers) -> double {
+            // Equal effective workers = the identical call: reuse the
+            // earlier row's measurement instead of re-timing noise.
+            for (const auto& r : rows)
+                if (r.circuit == w.name && r.mode != "serial" &&
+                    mode != "serial" &&
+                    r.effective_workers == effective_workers) {
+                    BenchRow row = r;
+                    row.mode = mode;
+                    row.workers = workers;
+                    rows.push_back(row);
+                    return row.wall_s;
+                }
             double best = 0.0;
             for (std::size_t r = 0; r < repeat; ++r) {
                 const double wall = time_per_call(
@@ -219,16 +249,19 @@ int main(int argc, char** argv) {
             row.patterns = patterns.size();
             row.mode = mode;
             row.workers = workers;
+            row.effective_workers = effective_workers;
             row.wall_s = best;
             row.faults_per_s = static_cast<double>(faults.size()) / best;
             rows.push_back(row);
             return best;
         };
 
-        const double serial_s = measure("serial", 1);
+        const double serial_s = measure("serial", 1, 1);
         double sharded_s[3] = {0, 0, 0};
-        for (std::size_t k = 0; k < 3; ++k)
-            sharded_s[k] = measure("sharded", worker_counts[k]);
+        sharded_s[0] = measure("parallel", 1, effective[0]);
+        for (std::size_t k = 1; k < 3; ++k)
+            sharded_s[k] =
+                measure("sharded", worker_counts[k], effective[k]);
 
         const double speedup8 = serial_s / sharded_s[2];
         auto fps = [&](double s) {
@@ -239,6 +272,17 @@ int main(int argc, char** argv) {
         table.row({w.name, std::to_string(faults.size()), fps(serial_s),
                    fps(sharded_s[0]), fps(sharded_s[1]), fps(sharded_s[2]),
                    "x" + str::format_number(speedup8, 4)});
+
+        // No negative scaling: more requested workers must never cost
+        // throughput vs the pack-once baseline (0.9x rides out timer
+        // noise on multi-core runners; equal effective counts compare
+        // the same measurement exactly).
+        if (sharded_s[2] > sharded_s[0] / 0.9) {
+            std::cerr << "bench_gate_grading: " << w.name << " sharded@8 ("
+                      << fps(sharded_s[2]) << ") slower than parallel@1 ("
+                      << fps(sharded_s[0]) << ")\n";
+            negative_scaling = true;
+        }
 
         if (faults.size() > largest_faults) {
             largest_faults = faults.size();
@@ -256,6 +300,11 @@ int main(int argc, char** argv) {
                   << largest_name << "\n";
         return 3;
     }
+    if (negative_scaling) {
+        std::cerr << "bench_gate_grading: negative worker scaling "
+                     "detected\n";
+        return 3;
+    }
 
     std::ostringstream json;
     json << "{\n  \"bench\": \"bench_gate_grading\",\n";
@@ -271,6 +320,7 @@ int main(int argc, char** argv) {
              << "\", \"faults\": " << r.faults
              << ", \"patterns\": " << r.patterns << ", \"mode\": \""
              << r.mode << "\", \"workers\": " << r.workers
+             << ", \"effective_workers\": " << r.effective_workers
              << ", \"wall_s\": " << json_num(r.wall_s)
              << ", \"faults_per_s\": " << json_num(r.faults_per_s) << "}";
     }

@@ -1,0 +1,266 @@
+// bench_lockstep — prices the batch-lockstep KB grading engine
+// (DESIGN.md §12) against per-fault grading at the scale that motivates
+// it: the KB under --universe scaled, replicated --scale times
+// (~6,700 faults at the default scale 16).
+//
+// Correctness first: before any time counts, lockstep grading must
+// reproduce the per-fault outcome fingerprint AND coverage CSV byte for
+// byte at jobs = 1, 4 and 8 — cold, and warm against a store seeded by
+// a per-fault run and then hit with a one-test KB edit (the engines
+// must also be interchangeable through the store). Any mismatch exits 2.
+//
+// The headline: lockstep cold faults/s at 8 workers must be >= 5x the
+// per-fault engine's at 8 workers, else exit 3 — CI runs this as a perf
+// gate, not just a report. Per-engine rows at 1 worker separate the
+// trace-sharing win from worker scaling.
+//
+// Results go to stdout and, machine-readable, to BENCH_lockstep.json.
+//
+//   usage: bench_lockstep [--repeat R] [--scale S] [--smoke]
+//                         [--out file.json]
+#include <cmath>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/gradestore.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+/// Fresh scaled-universe grading setups for `scale` copies of the KB.
+std::vector<core::FamilyGradingSetup> build_setups(std::size_t scale) {
+    const auto universe = sim::UniverseOptions::scaled();
+    std::vector<core::FamilyGradingSetup> setups;
+    for (std::size_t s = 0; s < scale; ++s)
+        for (const auto& family : core::kb::families()) {
+            auto setup = core::kb_grading_setup(family, {}, universe);
+            if (scale > 1)
+                setup.family = family + "#" + std::to_string(s);
+            setups.push_back(std::move(setup));
+        }
+    return setups;
+}
+
+/// The one-test KB edit: extend the last dwell of the first family
+/// copy's first test. Changes exactly one plan-test hash.
+void edit_one_test(std::vector<core::FamilyGradingSetup>& setups) {
+    auto& test = setups.front().script.tests.front();
+    test.steps.back().dt += 0.1;
+    setups.front().plan.reset(); // content changed; recompile
+}
+
+core::GradingResult run_grading(std::vector<core::FamilyGradingSetup> setups,
+                                unsigned jobs, bool lockstep,
+                                core::GradeStore* store) {
+    core::GradingOptions opts;
+    opts.jobs = jobs;
+    opts.lockstep = lockstep;
+    opts.store = store;
+    core::GradingCampaign grading(opts);
+    for (auto& setup : setups) grading.add(std::move(setup));
+    return grading.run_all();
+}
+
+struct Signature {
+    std::string fingerprint;
+    std::string csv;
+};
+
+Signature signature_of(const core::GradingResult& result) {
+    return {core::outcome_fingerprint(result),
+            report::coverage_to_csv(result.to_coverage())};
+}
+
+bool operator==(const Signature& a, const Signature& b) {
+    return a.fingerprint == b.fingerprint && a.csv == b.csv;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 3;
+    std::size_t scale = 16; // 16 x 418 scaled KB faults = 6,688
+    std::string out_path = "BENCH_lockstep.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_lockstep: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parse_count = [&](const char* flag) -> std::size_t {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_lockstep: " << flag
+                          << " needs an integer in [1, 4096]\n";
+                std::exit(1);
+            }
+            return static_cast<std::size_t>(*n);
+        };
+        if (arg == "--repeat") {
+            repeat = parse_count("--repeat");
+        } else if (arg == "--scale") {
+            scale = parse_count("--scale");
+        } else if (arg == "--smoke") {
+            // CI: one repetition at full scale — the 5x gate is only
+            // meaningful on the universe that motivates the engine.
+            repeat = 1;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_lockstep [--repeat R] [--scale S] "
+                         "[--smoke] [--out file]\n";
+            return 1;
+        }
+    }
+
+    // Phase 1 — correctness. The per-fault cold run at jobs=1 is the
+    // reference signature; every other (engine, jobs, store) cell must
+    // match it byte for byte.
+    core::GradingResult reference =
+        run_grading(build_setups(scale), 1, false, nullptr);
+    const Signature want = signature_of(reference);
+    const std::size_t faults = reference.fault_count();
+    std::cout << "bench_lockstep: " << faults << " fault(s) (KB x" << scale
+              << ", scaled universe), x" << repeat << " repetition(s)\n";
+
+    const unsigned kJobAxis[] = {1, 4, 8};
+    for (const unsigned jobs : kJobAxis) {
+        for (const bool lockstep : {false, true}) {
+            if (!lockstep && jobs == 1) continue; // the reference itself
+            const auto got = signature_of(
+                run_grading(build_setups(scale), jobs, lockstep, nullptr));
+            if (!(got == want)) {
+                std::cerr << "bench_lockstep: cold "
+                          << (lockstep ? "lockstep" : "per-fault")
+                          << " outcome at jobs=" << jobs
+                          << " differs from reference!\n";
+                return 2;
+            }
+        }
+    }
+    std::cout << "  cold byte-identity: per-fault == lockstep at jobs "
+                 "1/4/8\n";
+
+    // Warm cells: store seeded by a per-fault run of the ORIGINAL KB,
+    // then a one-test edit — the engines must agree with the edited
+    // cold reference through the cache, at every jobs count.
+    core::GradeStore seeded;
+    (void)run_grading(build_setups(scale), 8, false, &seeded);
+    {
+        auto edited = build_setups(scale);
+        edit_one_test(edited);
+        reference = run_grading(std::move(edited), 1, false, nullptr);
+    }
+    const Signature want_edited = signature_of(reference);
+    for (const unsigned jobs : kJobAxis) {
+        for (const bool lockstep : {false, true}) {
+            core::GradeStore store = seeded;
+            store.stats() = {};
+            auto setups = build_setups(scale);
+            edit_one_test(setups);
+            const auto got = signature_of(
+                run_grading(std::move(setups), jobs, lockstep, &store));
+            if (!(got == want_edited)) {
+                std::cerr << "bench_lockstep: warm "
+                          << (lockstep ? "lockstep" : "per-fault")
+                          << " outcome at jobs=" << jobs
+                          << " differs from cold reference!\n";
+                return 2;
+            }
+        }
+    }
+    std::cout << "  warm byte-identity: per-fault == lockstep at jobs "
+                 "1/4/8 after one-test edit\n";
+
+    // Phase 2 — timing. Min over repetitions; faults/s is the headline
+    // unit (the gate compares engines at the same worker count, so the
+    // core count of the box divides out).
+    auto measure = [&](unsigned jobs, bool lockstep) {
+        double best = 0.0;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            auto setups = build_setups(scale);
+            const double wall = time_s([&]() {
+                (void)run_grading(std::move(setups), jobs, lockstep,
+                                  nullptr);
+            });
+            if (r == 0 || wall < best) best = wall;
+        }
+        return best;
+    };
+    const double perfault_1_s = measure(1, false);
+    const double perfault_8_s = measure(8, false);
+    const double lockstep_1_s = measure(1, true);
+    const double lockstep_8_s = measure(8, true);
+    auto rate = [&](double wall) {
+        return wall > 0.0 ? static_cast<double>(faults) / wall : 0.0;
+    };
+    auto row = [&](const char* label, double wall) {
+        std::cout << "  " << label << str::format_number(wall, 4) << " s  ("
+                  << str::format_number(rate(wall), 1) << " faults/s)\n";
+    };
+    row("per-fault cold, jobs=1:  ", perfault_1_s);
+    row("per-fault cold, jobs=8:  ", perfault_8_s);
+    row("lockstep  cold, jobs=1:  ", lockstep_1_s);
+    row("lockstep  cold, jobs=8:  ", lockstep_8_s);
+    const double speedup_8 = rate(lockstep_8_s) / rate(perfault_8_s);
+    std::cout << "  lockstep vs per-fault at 8 workers: x"
+              << str::format_number(speedup_8, 4) << "\n";
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"bench_lockstep\",\n";
+    json << "  \"faults\": " << faults << ",\n";
+    json << "  \"scale\": " << scale << ",\n";
+    json << "  \"repeats\": " << repeat << ",\n";
+    json << "  \"perfault_jobs1_s\": " << json_num(perfault_1_s) << ",\n";
+    json << "  \"perfault_jobs8_s\": " << json_num(perfault_8_s) << ",\n";
+    json << "  \"lockstep_jobs1_s\": " << json_num(lockstep_1_s) << ",\n";
+    json << "  \"lockstep_jobs8_s\": " << json_num(lockstep_8_s) << ",\n";
+    json << "  \"perfault_jobs8_faults_per_s\": "
+         << json_num(rate(perfault_8_s)) << ",\n";
+    json << "  \"lockstep_jobs8_faults_per_s\": "
+         << json_num(rate(lockstep_8_s)) << ",\n";
+    json << "  \"speedup_jobs8\": " << json_num(speedup_8) << "\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "bench_lockstep: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json.str();
+    std::cout << "  wrote " << out_path << "\n";
+
+    // The perf gate: trace sharing is the engine's reason to exist.
+    if (speedup_8 < 5.0) {
+        std::cerr << "bench_lockstep: lockstep only x"
+                  << str::format_number(speedup_8, 4)
+                  << " vs per-fault at 8 workers (need >= x5)\n";
+        return 3;
+    }
+    return 0;
+}

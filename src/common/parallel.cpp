@@ -17,6 +17,19 @@ unsigned resolve_workers(unsigned jobs, std::size_t work) {
         workers, std::max<std::size_t>(1, work)));
 }
 
+unsigned resolve_workers_floored(unsigned jobs, std::size_t work,
+                                 std::size_t floor) {
+    unsigned workers = resolve_workers(jobs, work);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    workers = std::min(workers, hw);
+    if (floor > 0) {
+        const std::size_t by_floor = std::max<std::size_t>(1, work / floor);
+        workers = static_cast<unsigned>(
+            std::min<std::size_t>(workers, by_floor));
+    }
+    return workers;
+}
+
 void for_shards(std::size_t count, unsigned workers,
                 const std::function<void(std::size_t)>& fn) {
     if (count == 0) return;

@@ -20,6 +20,16 @@ namespace ctk::parallel {
 /// (never more workers than items, never fewer than one).
 [[nodiscard]] unsigned resolve_workers(unsigned jobs, std::size_t work);
 
+/// Like resolve_workers, but additionally clamps to the hardware thread
+/// count (an explicit --jobs above it only adds contention) and to
+/// max(1, work / floor) so no worker can end up owning fewer than
+/// `floor` items — the fix for dispatch-bound sharding where splitting
+/// small work across many threads costs more than it saves
+/// (DESIGN.md §12).
+[[nodiscard]] unsigned resolve_workers_floored(unsigned jobs,
+                                               std::size_t work,
+                                               std::size_t floor);
+
 /// Invoke fn(0), ..., fn(count - 1), each exactly once, on `workers`
 /// threads (<= 1 = inline on the calling thread). `fn` must be safe to
 /// call concurrently for distinct indices and must write only state

@@ -635,6 +635,8 @@ FamilyGrade grade_once(FamilyGradingSetup setup,
     gopts.jobs = options.jobs;
     gopts.run = options.run;
     gopts.store = options.store;
+    gopts.lockstep = options.lockstep;
+    gopts.block = options.block;
     GradingCampaign grading(gopts);
     grading.add(std::move(setup));
     GradingResult result = grading.run_all();

@@ -99,6 +99,11 @@ struct AugmentOptions {
     /// Fault-universe scaling used by add_kb_family()/augment_kb() —
     /// the --universe flag. Defaults to the base universe.
     sim::UniverseOptions universe;
+    /// Batch-lockstep grading engine for every grade/regrade pass
+    /// (GradingOptions::lockstep/block; outcomes are byte-identical
+    /// either way, so the augmented XML is too).
+    bool lockstep = false;
+    std::size_t block = 0;
 };
 
 /// Hash of everything a bounded-equivalence certificate depends on

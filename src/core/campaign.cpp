@@ -32,6 +32,12 @@ CampaignJobResult execute_job(const CampaignJob& job) {
     out.name = job.name;
     const auto start = Clock::now();
     try {
+        if (job.body) {
+            // Opaque work item: the body owns its own result slots.
+            job.body();
+            out.wall_s = seconds_since(start);
+            return out;
+        }
         if (!job.make_backend)
             throw Error("campaign job '" + job.name + "' has no backend "
                         "factory");
@@ -103,8 +109,19 @@ void CampaignRunner::add(CampaignJob job) {
 }
 
 CampaignResult CampaignRunner::run_all() {
-    const unsigned workers =
+    unsigned workers =
         parallel::resolve_workers(options_.jobs, jobs_.size());
+    if (options_.min_jobs_per_worker > 1) {
+        // Clamp so every worker owns at least min_jobs_per_worker jobs
+        // (no hardware clamp here: an explicit jobs count above the core
+        // count keeps meaning what it always did). Result order and
+        // verdicts are worker-count independent, so only wall clock can
+        // change.
+        const std::size_t cap = std::max<std::size_t>(
+            1, jobs_.size() / options_.min_jobs_per_worker);
+        workers = static_cast<unsigned>(
+            std::min<std::size_t>(workers, cap));
+    }
 
     CampaignResult result;
     result.workers = workers;

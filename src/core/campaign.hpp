@@ -52,6 +52,12 @@ struct CampaignJob {
     /// subset run bit-identical to its slice of the full run — the
     /// grade store uses this to replay only stale (fault, test) pairs.
     std::vector<std::size_t> test_subset;
+    /// Opaque work item. When set, the runner calls `body()` instead of
+    /// executing a script or plan; the job result carries only the name,
+    /// wall clock and (if body throws) the framework error. The lockstep
+    /// grader uses this for trace-capture and fault-block jobs whose
+    /// results live in caller-owned slots, one writer per slot.
+    std::function<void()> body;
 };
 
 /// Outcome of one job. Exactly one of `run` (verdicts) or
@@ -87,6 +93,13 @@ struct CampaignOptions {
     /// the calling thread (bit-identical to a sequential loop of
     /// TestEngine::run calls).
     unsigned jobs = 0;
+    /// Minimum queued jobs a worker must own before it is worth a
+    /// thread: the worker count is additionally clamped to
+    /// queued / min_jobs_per_worker (at least 1). The default keeps the
+    /// historical behaviour (one thread per job when jobs allow);
+    /// grading sets it so a near-warm store replay of a handful of
+    /// subset jobs does not pay a full thread fleet (DESIGN.md §12).
+    std::size_t min_jobs_per_worker = 1;
 };
 
 /// Executes queued jobs on a worker pool. Typical use:

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/gradestore.hpp"
 #include "core/kb.hpp"
+#include "core/lockstep.hpp"
 #include "core/plan.hpp"
 #include "dut/catalogue.hpp"
 #include "model/method.hpp"
@@ -45,19 +47,6 @@ void classify_test_flips(const TestResult& gt, const TestResult& ft,
     }
 }
 
-/// classify_test_flips over every test of the run pair.
-void classify_flips(const RunResult& golden, const RunResult& faulty,
-                    FaultGrade& grade) {
-    const std::size_t nt = std::min(golden.tests.size(), faulty.tests.size());
-    for (std::size_t t = 0; t < nt; ++t) {
-        std::size_t flips = 0;
-        std::string first;
-        classify_test_flips(golden.tests[t], faulty.tests[t], flips, first);
-        if (grade.flipped_checks == 0 && flips > 0) grade.first_flip = first;
-        grade.flipped_checks += flips;
-    }
-}
-
 /// Per-fault store schedule: which tests come from the store and which
 /// are replayed via a subset job.
 struct FaultSchedule {
@@ -67,6 +56,23 @@ struct FaultSchedule {
     /// Per test index: the record serving it (cached copy, or filled
     /// from the replay in phase 3).
     std::vector<std::optional<PairRecord>> per_test;
+};
+
+/// Merged verdict of one fault's lane walk under the lockstep engine —
+/// the lockstep twin of a per-fault CampaignJobResult plus its
+/// classification, written by exactly one block body (or computed
+/// inline on the classifying thread for cached-only lanes).
+struct LaneOutcome {
+    bool evaluated = false; ///< a block body filled this slot
+    bool error = false;     ///< framework error (capture/eval failure)
+    std::string error_message;
+    bool differs = false;
+    std::size_t flips = 0;
+    std::string first_flip;
+    double wall_s = 0.0;
+    /// Freshly evaluated (test, record) pairs, store mode only —
+    /// put_pair happens on the classifying thread, not in the block.
+    std::vector<std::pair<std::size_t, PairRecord>> fresh;
 };
 
 /// Per-family compile/golden state carried from queueing to
@@ -80,7 +86,70 @@ struct FamilyExec {
     std::vector<std::string> golden_fp_hash; ///< per-test golden fp hash
     std::string suite_hash;                  ///< certificate key half
     std::vector<FaultSchedule> schedule;     ///< per fault, universe order
+    // -- lockstep mode only ------------------------------------------------
+    bool lockstep = false;                   ///< engine active for family
+    std::unique_ptr<LockstepFamily> engine;
+    std::vector<LaneOutcome> lanes;          ///< per fault, universe order
 };
+
+/// Walk one fault's tests in ascending order — cached records first-
+/// class, fresh pairs through the lockstep engine — accumulating flips
+/// until the first differing test, after which the lane drops out
+/// (DESIGN.md §12: tests past the first detection cannot change the
+/// outcome, only inflate flipped_checks; the per-fault paths apply the
+/// same early drop so both engines stay byte-identical).
+LaneOutcome run_lockstep_lane(const std::string& family,
+                              const FamilyExec& exec, bool store_mode,
+                              std::size_t fault_idx,
+                              const std::string& fault_id) {
+    LaneOutcome out;
+    out.evaluated = true;
+    const auto start = Clock::now();
+    const std::size_t nt = exec.plan->tests().size();
+    bool first_found = false;
+    auto consume = [&](bool differs, std::size_t flips,
+                       const std::string& first_flip) {
+        out.flips += flips;
+        if (!first_found && flips > 0) {
+            out.first_flip = first_flip;
+            first_found = true;
+        }
+        if (differs) out.differs = true;
+        return differs;
+    };
+    for (std::size_t t = 0; t < nt; ++t) {
+        if (store_mode) {
+            const auto& cached = exec.schedule[fault_idx].per_test[t];
+            if (cached) {
+                if (consume(cached->differs, cached->flips,
+                            cached->first_flip))
+                    break;
+                continue;
+            }
+        }
+        const LockstepEval ev = exec.engine->evaluate(fault_idx, t);
+        if (ev.error) {
+            out.error = true;
+            out.error_message = ev.error_message;
+            break;
+        }
+        if (store_mode) {
+            PairRecord rec;
+            rec.family = family;
+            rec.test = exec.plan->tests()[t].name;
+            rec.plan_hash = exec.test_hashes[t];
+            rec.fault = fault_id;
+            rec.golden_fp = exec.golden_fp_hash[t];
+            rec.differs = ev.differs;
+            rec.flips = ev.flips;
+            rec.first_flip = ev.first_flip;
+            out.fresh.emplace_back(t, std::move(rec));
+        }
+        if (consume(ev.differs, ev.flips, ev.first_flip)) break;
+    }
+    out.wall_s = seconds_since(start);
+    return out;
+}
 
 } // namespace
 
@@ -237,6 +306,10 @@ FamilyGradingSetup kb_grading_setup(const std::string& family,
             desc, std::make_shared<sim::FaultyDut>(dut::make_golden(family),
                                                    fault));
     };
+    // The KB faulty backend is exactly the shape the lockstep engine
+    // replicates (default-options VirtualStand around FaultyDut layers),
+    // so the device factory is safe to expose.
+    setup.make_device = [family] { return dut::make_golden(family); };
     return setup;
 }
 
@@ -336,12 +409,13 @@ GradingResult GradingCampaign::run_all() {
             grade.golden_message = e.what();
         }
 
-        exec.first_job = runner.queued();
         if (!grade.golden_error && store) {
             // Store mode: key every (fault, test) pair and consult the
             // store. A hit must ALSO match the fresh golden fingerprint
             // — a DUT-model change invalidates records whose plan hash
-            // still matches.
+            // still matches. The consult (and its stats) is engine-
+            // independent: lockstep and per-fault runs read the store
+            // identically.
             exec.test_hashes = plan_test_hashes(*exec.plan, setup.stand);
             exec.suite_hash =
                 str::fnv1a_hex(str::join(exec.test_hashes, "\n"));
@@ -369,47 +443,146 @@ GradingResult GradingCampaign::run_all() {
                             ++store->stats().pair_misses;
                     }
                 }
-                if (sched.subset.empty()) {
+                if (sched.subset.empty())
                     ++store->stats().faults_skipped;
-                } else {
+                else
                     ++store->stats().faults_replayed;
-                    sched.job = runner.queued();
-                    CampaignJob job;
-                    job.name = setup.family + "/" + fid;
-                    job.stand = setup.stand;
-                    const auto make_faulty = setup.make_faulty;
-                    job.make_backend =
-                        [make_faulty, fault, family = setup.family](
-                            const stand::StandDescription& desc)
-                        -> std::shared_ptr<sim::StandBackend> {
-                        if (!make_faulty)
-                            throw Error("grading family '" + family +
-                                        "' has no faulty backend factory");
-                        return make_faulty(desc, fault);
-                    };
-                    job.plan = exec.plan;
-                    // A full-universe replay keeps the cold job shape.
-                    if (sched.subset.size() < nt)
-                        job.test_subset = sched.subset;
-                    runner.add(std::move(job));
-                }
                 exec.schedule.push_back(std::move(sched));
             }
-        } else if (!grade.golden_error) {
+        }
+        // Tentative engine choice; phase 1.5 may revert it (build or
+        // validation failure → per-fault jobs, queued in phase 2).
+        // make_faulty is still required: its absence must keep meaning
+        // "every fault is a framework error", which only the per-fault
+        // job path reports.
+        exec.lockstep = options_.lockstep && options_.share_plan &&
+                        !grade.golden_error && setup.make_device != nullptr &&
+                        setup.make_faulty != nullptr;
+        result.families.push_back(std::move(grade));
+        execs.push_back(std::move(exec));
+    }
+
+    // Phase 1.5 — build the lockstep engines, capture variant traces on
+    // a worker pool, and validate each family's identity traces against
+    // its golden run. Any failure reverts that family to per-fault jobs
+    // — the engine is an optimisation with a proof obligation, never a
+    // second source of truth (DESIGN.md §12).
+    bool any_engine = false;
+    for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+        FamilyExec& exec = execs[fi];
+        if (!exec.lockstep) continue;
+        const FamilyGradingSetup& setup = setups_[fi];
+        const std::size_t nt = exec.plan->tests().size();
+        LockstepFamily::Config cfg;
+        cfg.plan = exec.plan;
+        cfg.golden = &exec.golden_run;
+        cfg.make_device = setup.make_device;
+        cfg.universe = &setup.universe;
+        if (setup.stand.variables().has("ubatt"))
+            cfg.ubatt = setup.stand.variables().get("ubatt");
+        cfg.eval_tests.resize(setup.universe.size());
+        for (std::size_t k = 0; k < setup.universe.size(); ++k) {
+            if (store) {
+                // Fresh evaluation is only needed below the first
+                // cached-differs test: the drop-aware merge never looks
+                // past it.
+                const FaultSchedule& sched = exec.schedule[k];
+                std::size_t stop = nt;
+                for (std::size_t t = 0; t < nt; ++t)
+                    if (sched.per_test[t] && sched.per_test[t]->differs) {
+                        stop = t;
+                        break;
+                    }
+                for (const std::size_t t : sched.subset)
+                    if (t < stop) cfg.eval_tests[k].push_back(t);
+            } else {
+                for (std::size_t t = 0; t < nt; ++t)
+                    cfg.eval_tests[k].push_back(t);
+            }
+        }
+        exec.engine = LockstepFamily::build(std::move(cfg));
+        if (!exec.engine)
+            exec.lockstep = false; // unreplicable setup: per-fault path
+        else
+            any_engine = true;
+    }
+    if (any_engine) {
+        // Captures are whole-suite drives — real work, but few: clamp
+        // the fleet so a near-warm run with a handful of captures does
+        // not pay threads it cannot feed.
+        CampaignOptions capopts;
+        capopts.jobs = options_.jobs;
+        capopts.min_jobs_per_worker = 2;
+        CampaignRunner capture_runner(capopts);
+        for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+            FamilyExec& exec = execs[fi];
+            if (!exec.lockstep) continue;
+            const std::size_t n = exec.engine->capture_count();
+            result.lockstep_captures += n;
+            for (std::size_t ci = 0; ci < n; ++ci) {
+                CampaignJob job;
+                job.name = setups_[fi].family + "/capture#" +
+                           std::to_string(ci);
+                job.body = [engine = exec.engine.get(), ci] {
+                    engine->run_capture(ci); // never throws; failures
+                                             // land in the capture slot
+                };
+                capture_runner.add(std::move(job));
+            }
+        }
+        (void)capture_runner.run_all();
+        for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+            FamilyExec& exec = execs[fi];
+            if (!exec.lockstep) continue;
+            if (!exec.engine->validate()) {
+                exec.lockstep = false; // proof failed: per-fault path
+                exec.engine.reset();
+            } else {
+                exec.lanes.resize(setups_[fi].universe.size());
+            }
+        }
+    }
+
+    // Phase 2 — queue every family's fault work on ONE shared pool:
+    // per-fault jobs for non-engine families, contiguous fault-block
+    // jobs for engine families.
+    for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+        const FamilyGradingSetup& setup = setups_[fi];
+        FamilyExec& exec = execs[fi];
+        if (result.families[fi].golden_error || exec.lockstep) continue;
+        auto make_backend_for = [&setup](const sim::FaultSpec& fault) {
+            const auto make_faulty = setup.make_faulty;
+            return [make_faulty, fault, family = setup.family](
+                       const stand::StandDescription& desc)
+                       -> std::shared_ptr<sim::StandBackend> {
+                if (!make_faulty)
+                    throw Error("grading family '" + family +
+                                "' has no faulty backend factory");
+                return make_faulty(desc, fault);
+            };
+        };
+        if (store) {
+            const std::size_t nt = exec.plan->tests().size();
+            for (std::size_t k = 0; k < setup.universe.size(); ++k) {
+                FaultSchedule& sched = exec.schedule[k];
+                if (sched.subset.empty()) continue;
+                sched.job = runner.queued();
+                CampaignJob job;
+                job.name = setup.family + "/" + setup.universe[k].id();
+                job.stand = setup.stand;
+                job.make_backend = make_backend_for(setup.universe[k]);
+                job.plan = exec.plan;
+                // A full-universe replay keeps the cold job shape.
+                if (sched.subset.size() < nt) job.test_subset = sched.subset;
+                runner.add(std::move(job));
+            }
+        } else {
+            exec.first_job = runner.queued();
             for (const auto& fault : setup.universe) {
                 CampaignJob job;
                 job.name = setup.family + "/" + fault.id();
                 job.stand = setup.stand;
-                const auto make_faulty = setup.make_faulty;
-                job.make_backend =
-                    [make_faulty, fault, family = setup.family](
-                        const stand::StandDescription& desc)
-                    -> std::shared_ptr<sim::StandBackend> {
-                    if (!make_faulty)
-                        throw Error("grading family '" + family +
-                                    "' has no faulty backend factory");
-                    return make_faulty(desc, fault);
-                };
+                job.make_backend = make_backend_for(fault);
                 if (options_.share_plan) {
                     job.plan = exec.plan;
                 } else {
@@ -419,11 +592,71 @@ GradingResult GradingCampaign::run_all() {
                 runner.add(std::move(job));
             }
         }
-        result.families.push_back(std::move(grade));
-        execs.push_back(std::move(exec));
+    }
+    if (any_engine) {
+        // Flatten the engine families' lanes with fresh work into one
+        // family-major list, then pack contiguous blocks. Lanes that are
+        // fully served by cached records never enter a block — a warm
+        // no-edit regrade queues zero blocks (and captured zero traces).
+        struct LaneRef {
+            std::size_t fi, fault, weight;
+        };
+        std::vector<LaneRef> lanes;
+        std::size_t total_weight = 0;
+        for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
+            const FamilyExec& exec = execs[fi];
+            if (!exec.lockstep) continue;
+            for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
+                const std::size_t w = exec.engine->eval_weight(k);
+                if (w == 0) continue;
+                lanes.push_back({fi, k, w});
+                total_weight += w;
+            }
+        }
+        result.lockstep_lanes = lanes.size();
+        std::size_t target_pairs = 0;
+        if (options_.block == 0 && !lanes.empty()) {
+            const unsigned bw =
+                parallel::resolve_workers(options_.jobs, lanes.size());
+            // ~4 blocks per worker for load balance, but never blocks
+            // under 64 pairs: near-warm runs keep whole blocks, not
+            // thread-starved slivers.
+            target_pairs = std::max<std::size_t>(
+                64, (total_weight + bw * 4 - 1) / (bw * 4));
+        }
+        std::size_t i = 0;
+        while (i < lanes.size()) {
+            std::size_t j = i;
+            if (options_.block > 0) {
+                j = std::min(lanes.size(), i + options_.block);
+            } else {
+                std::size_t acc = 0;
+                while (j < lanes.size() && acc < target_pairs)
+                    acc += lanes[j++].weight;
+            }
+            CampaignJob job;
+            job.name = "lockstep/block#" +
+                       std::to_string(result.lockstep_blocks++);
+            std::vector<LaneRef> block(lanes.begin() +
+                                           static_cast<std::ptrdiff_t>(i),
+                                       lanes.begin() +
+                                           static_cast<std::ptrdiff_t>(j));
+            // One writer per lane slot; the engine is read-only after
+            // captures; the store is not touched here (put_pair happens
+            // in phase 3 on the classifying thread).
+            job.body = [block = std::move(block), &execs, this, store] {
+                for (const LaneRef& lr : block)
+                    execs[lr.fi].lanes[lr.fault] = run_lockstep_lane(
+                        setups_[lr.fi].family, execs[lr.fi],
+                        store != nullptr, lr.fault,
+                        setups_[lr.fi].universe[lr.fault].id());
+            };
+            runner.add(std::move(job));
+            i = j;
+        }
     }
 
-    // Phase 2 — every family's fault jobs on ONE shared worker pool.
+    // Phase 2b — every family's fault work on ONE shared worker pool.
     const CampaignResult campaign = runner.run_all();
     result.workers = campaign.workers;
 
@@ -445,16 +678,61 @@ GradingResult GradingCampaign::run_all() {
             continue;
         }
 
-        if (store) {
-            // Carried certificates for this exact suite, any sweep
-            // params; sorted scan keeps the winning note deterministic
-            // when several sweeps certified the same fault.
-            std::unordered_map<std::string, const CertificateRecord*> certs;
+        // Carried certificates for this exact suite, any sweep
+        // params; sorted scan keeps the winning note deterministic
+        // when several sweeps certified the same fault.
+        std::unordered_map<std::string, const CertificateRecord*> certs;
+        if (store)
             for (const CertificateRecord* rec :
                  store->certificates_for(setups_[fi].family,
                                          exec.suite_hash))
                 certs[rec->fault] = rec;
+        auto apply_certificate = [&](FaultGrade& fg) {
+            if (!store || fg.outcome != FaultOutcome::Undetected) return;
+            const auto it = certs.find(fg.fault.id());
+            if (it != certs.end()) {
+                fg.outcome = FaultOutcome::Untestable;
+                fg.error_message = it->second->note;
+                ++store->stats().cert_hits;
+            }
+        };
 
+        if (exec.lockstep) {
+            // Engine families: block bodies already merged the lanes
+            // with fresh work; cached-only lanes merge inline here with
+            // the exact same walk.
+            for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
+                LaneOutcome out =
+                    exec.lanes[k].evaluated
+                        ? std::move(exec.lanes[k])
+                        : run_lockstep_lane(setups_[fi].family, exec,
+                                            store != nullptr, k,
+                                            setups_[fi].universe[k].id());
+                FaultGrade fg;
+                fg.fault = setups_[fi].universe[k];
+                fg.wall_s = out.wall_s;
+                if (out.error) {
+                    fg.outcome = FaultOutcome::FrameworkError;
+                    fg.error_message = out.error_message;
+                    grade.faults.push_back(std::move(fg));
+                    continue;
+                }
+                if (store)
+                    for (auto& [t, rec] : out.fresh) {
+                        store->put_pair(rec);
+                        exec.schedule[k].per_test[t] = std::move(rec);
+                    }
+                fg.flipped_checks = out.flips;
+                fg.first_flip = out.first_flip;
+                fg.outcome = out.differs ? FaultOutcome::Detected
+                                         : FaultOutcome::Undetected;
+                apply_certificate(fg);
+                grade.faults.push_back(std::move(fg));
+            }
+            continue;
+        }
+
+        if (store) {
             for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
                 FaultSchedule& sched = exec.schedule[k];
                 FaultGrade fg;
@@ -488,34 +766,42 @@ GradingResult GradingCampaign::run_all() {
                         sched.per_test[t] = std::move(rec);
                     }
                 }
-                // Merge per-test records in test order — identical to
-                // the cold classification: any differing fingerprint
-                // chunk detects, flips sum, first flip wins by order.
+                // Merge per-test records in test order, dropping out at
+                // the first differing test — identical to the lockstep
+                // lane walk, so both engines report the same totals
+                // (DESIGN.md §12). The !rec guard covers lanes whose
+                // later tests were never evaluated.
                 bool any_differs = false;
                 bool first_found = false;
                 for (const auto& rec : sched.per_test) {
-                    if (rec->differs) any_differs = true;
+                    if (!rec) break;
                     fg.flipped_checks += rec->flips;
                     if (!first_found && rec->flips > 0) {
                         fg.first_flip = rec->first_flip;
                         first_found = true;
                     }
+                    if (rec->differs) {
+                        any_differs = true;
+                        break;
+                    }
                 }
                 fg.outcome = any_differs ? FaultOutcome::Detected
                                          : FaultOutcome::Undetected;
-                if (fg.outcome == FaultOutcome::Undetected) {
-                    const auto it = certs.find(fg.fault.id());
-                    if (it != certs.end()) {
-                        fg.outcome = FaultOutcome::Untestable;
-                        fg.error_message = it->second->note;
-                        ++store->stats().cert_hits;
-                    }
-                }
+                apply_certificate(fg);
                 grade.faults.push_back(std::move(fg));
             }
             continue;
         }
 
+        // Cold (no store) per-fault classification, drop-aware like the
+        // other two paths: walk tests ascending, stop after the first
+        // test whose detection chunk differs. The golden chunks are the
+        // exact decomposition of the run fingerprint, so the Detected
+        // verdict is unchanged from the whole-fingerprint comparison.
+        std::vector<std::string> golden_chunks;
+        golden_chunks.reserve(exec.golden_run.tests.size());
+        for (const auto& t : exec.golden_run.tests)
+            golden_chunks.push_back(detection_fingerprint(t));
         for (std::size_t k = 0; k < setups_[fi].universe.size(); ++k) {
             const CampaignJobResult& jr = campaign.jobs[exec.first_job + k];
             FaultGrade fg;
@@ -525,11 +811,30 @@ GradingResult GradingCampaign::run_all() {
                 fg.outcome = FaultOutcome::FrameworkError;
                 fg.error_message = jr.error_message;
             } else {
-                classify_flips(exec.golden_run, jr.run, fg);
-                fg.outcome = detection_fingerprint(jr.run) !=
-                                     grade.golden_fingerprint
-                                 ? FaultOutcome::Detected
-                                 : FaultOutcome::Undetected;
+                bool differs = false;
+                const std::size_t nt = std::min(exec.golden_run.tests.size(),
+                                                jr.run.tests.size());
+                for (std::size_t t = 0; t < nt; ++t) {
+                    std::size_t flips = 0;
+                    std::string first;
+                    classify_test_flips(exec.golden_run.tests[t],
+                                        jr.run.tests[t], flips, first);
+                    if (fg.flipped_checks == 0 && flips > 0)
+                        fg.first_flip = first;
+                    fg.flipped_checks += flips;
+                    if (detection_fingerprint(jr.run.tests[t]) !=
+                        golden_chunks[t]) {
+                        differs = true;
+                        break;
+                    }
+                }
+                // A truncated run (stop_on_first_failure) with equal
+                // chunks up to the truncation still differs as a whole.
+                if (!differs && exec.golden_run.tests.size() !=
+                                    jr.run.tests.size())
+                    differs = true;
+                fg.outcome = differs ? FaultOutcome::Detected
+                                     : FaultOutcome::Undetected;
             }
             grade.faults.push_back(std::move(fg));
         }

@@ -80,6 +80,10 @@ struct GradingResult {
     std::vector<FamilyGrade> families; ///< add() order
     double wall_s = 0.0;               ///< whole grading wall clock
     unsigned workers = 1;
+    // -- lockstep engine bookkeeping (zero when lockstep is off) -----------
+    std::size_t lockstep_captures = 0; ///< variant traces captured
+    std::size_t lockstep_blocks = 0;   ///< fault-block jobs executed
+    std::size_t lockstep_lanes = 0;    ///< faults evaluated via lockstep
 
     [[nodiscard]] std::size_t fault_count() const;
     [[nodiscard]] std::size_t detected() const;
@@ -117,6 +121,19 @@ struct GradingOptions {
     /// Fault-universe scaling used by add_kb_family()/grade_kb() —
     /// the --universe flag. Defaults to the base universe.
     sim::UniverseOptions universe;
+    /// Batch-lockstep grading (core/lockstep, DESIGN.md §12): capture
+    /// variant traces once per test, evaluate whole fault blocks against
+    /// them, drop each lane at its first differing test. Requires
+    /// share_plan and a family `make_device`; a family the engine cannot
+    /// replicate (or whose identity traces fail validation) silently
+    /// falls back to per-fault jobs. Outcomes, fingerprints and CSV are
+    /// byte-identical to per-fault grading at any `jobs`.
+    bool lockstep = false;
+    /// Lockstep fault-block size in lanes (faults). 0 = automatic: block
+    /// pair count targets total scheduled (fault, test) pairs spread
+    /// over 4 blocks per worker, floored at 64 pairs, so a near-warm
+    /// store replay does not shatter into thread-starved slivers.
+    std::size_t block = 0;
 };
 
 /// Builds the faulty execution environment for one fault of a family.
@@ -133,6 +150,13 @@ struct FamilyGradingSetup {
     std::vector<sim::FaultSpec> universe;
     BackendFactory make_golden;       ///< fault-free backend
     FaultyBackendFactory make_faulty; ///< per-fault backend
+    /// Fresh golden *device* (not backend) — the lockstep engine wraps
+    /// it in FaultyDut layers itself and replicates a default-options
+    /// VirtualStand around it. Setting this asserts that make_faulty is
+    /// exactly VirtualStand(FaultyDut(make_device(), fault)); leave it
+    /// empty for custom faulty backends and the family grades per
+    /// fault. Optional — kb_grading_setup fills it.
+    std::function<std::unique_ptr<dut::Dut>()> make_device;
     /// Optional pre-bound plan of `script` × `stand` (what
     /// kb_grading_setup fills, so the suite compiles exactly once).
     /// run_all() compiles one when null; callers that replace `script`

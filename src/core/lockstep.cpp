@@ -1,0 +1,606 @@
+#include "core/lockstep.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/plan_exec.hpp"
+
+namespace ctk::core {
+
+namespace {
+
+// The capture replicates a default-options sim::VirtualStand
+// (sim/virtual_stand.hpp). A family whose backend uses different DVM or
+// frequency-counter settings produces identity verdicts that disagree
+// with its golden run, fails validate(), and falls back to per-fault
+// grading — these constants can never silently corrupt a grade.
+constexpr double kDvmGain = 1.0;
+constexpr double kFreqWindowS = 2.0;
+
+/// One flattened check of a test with everything evaluation needs
+/// resolved to integers: traced-pin indices, watch index, row range of
+/// its step, and the first row the D1 settle time admits.
+struct CheckRef {
+    enum class Kind { Real, Freq, Bits } kind = Kind::Real;
+    const PlanStep* step = nullptr;
+    const PlanCheck* check = nullptr;
+    int p0 = -1, p1 = -1;      ///< traced-pin indices (Real)
+    int watch = -1;            ///< watch-table index (Freq)
+    std::size_t begin = 0;     ///< first row of the check's step
+    std::size_t end = 0;       ///< one past the last row of the step
+    std::size_t first = 0;     ///< first eligible row (D1 settle applied)
+};
+
+/// Everything per test that is shared by all variants: the traced-pin
+/// table, the tick/clock schedule (identical doubles for every variant
+/// — the loop below is the executor's, statement for statement), the
+/// flattened checks, and the golden run's actual verdict flags.
+struct TestLayout {
+    const CompiledTest* test = nullptr;
+    const TestResult* golden = nullptr;
+    std::vector<std::string> pins;      ///< lower-cased traced pin names
+    std::vector<int> watch_pin;         ///< watch index -> traced pin
+    std::vector<CheckRef> checks;       ///< step-major flattened
+    std::vector<double> elapsed;        ///< per row, within-step elapsed
+    std::vector<double> now;            ///< per row, stand clock
+    std::vector<std::uint8_t> golden_flags; ///< per check, golden verdict
+    std::vector<std::string> sent;      ///< lower-cased sent CAN signals
+    std::size_t rows = 0;
+};
+
+struct Capture {
+    std::size_t test = 0;
+    /// Trajectory-active fault layers, decorator chain order
+    /// (innermost first — aliases the universe specs).
+    std::vector<const sim::FaultSpec*> layers;
+    std::vector<double> values;         ///< rows * pins, row-major
+    std::vector<std::uint8_t> flags;    ///< per check, variant verdict
+    std::vector<std::vector<std::uint32_t>> watch_counts; ///< per watch
+    bool failed = false;
+    std::string error;
+};
+
+struct Lane {
+    std::vector<const sim::FaultSpec*> pin_layers; ///< chain order
+    std::vector<std::size_t> tests;    ///< eval tests, ascending
+    std::vector<std::size_t> capture;  ///< capture index per eval test
+};
+
+std::string encode_layer(const sim::FaultSpec& layer) {
+    return std::string(sim::fault_kind_name(layer.kind)) + "@" +
+           layer.target + "|" + str::format_number(layer.magnitude);
+}
+
+/// Backward scan over a check's recorded rows, reproducing the forward
+/// record_sample state machine's verdict: find the start of the
+/// trailing OK run and apply the shared pass predicate. `at(row)` is
+/// the value the executor would have sampled at that row.
+template <typename ValueAt>
+bool scan_passed(const TestLayout& lt, const CheckRef& ref, ValueAt&& at) {
+    const PlanCheck& c = *ref.check;
+    if (ref.first >= ref.end) return false; // no sample inside the dwell
+    const std::size_t last = ref.end - 1;
+    if (!exec::within_limits(at(last), c.lo, c.hi)) return false;
+    const double hold = std::max(c.d1, ref.step->dt - c.d2);
+    for (std::size_t r = last;; --r) {
+        // Row r is inside the trailing OK run here. If its elapsed time
+        // already satisfies both thresholds, the (earlier) run start
+        // does too — the pass predicate is monotone in the start time.
+        const double el = lt.elapsed[r];
+        if (el <= hold + 1e-9 && (!c.d3 || el <= *c.d3 + 1e-9)) return true;
+        if (r == ref.first) break; // run reaches the first sample
+        if (!exec::within_limits(at(r - 1), c.lo, c.hi)) {
+            // Run starts at row r — exactly the forward machine's
+            // trailing_ok_start for a mid-dwell transition.
+            exec::CheckTrace tr;
+            tr.any_sample = true;
+            tr.last_ok = true;
+            tr.trailing_ok_start = lt.elapsed[r];
+            return exec::real_check_passed(tr, c, ref.step->dt);
+        }
+    }
+    // Every eligible sample is OK: the forward machine pins the start
+    // of a run that begins at the first sample to 0.0.
+    exec::CheckTrace tr;
+    tr.any_sample = true;
+    tr.last_ok = true;
+    tr.trailing_ok_start = 0.0;
+    return exec::real_check_passed(tr, c, ref.step->dt);
+}
+
+/// The VirtualStand frequency-counter replica: rising edges of
+/// level(row) timestamped with the stand clock, purged to the sliding
+/// window, counted per row (sim/virtual_stand.cpp advance()).
+template <typename LevelAt>
+std::vector<std::uint32_t> count_edges(const TestLayout& lt, LevelAt&& level) {
+    std::vector<std::uint32_t> counts(lt.rows, 0);
+    std::deque<double> edges;
+    bool last_level = false;
+    for (std::size_t r = 0; r < lt.rows; ++r) {
+        const bool lv = level(r);
+        if (lv && !last_level) edges.push_back(lt.now[r]);
+        last_level = lv;
+        while (!edges.empty() && edges.front() < lt.now[r] - kFreqWindowS)
+            edges.pop_front();
+        counts[r] = static_cast<std::uint32_t>(edges.size());
+    }
+    return counts;
+}
+
+} // namespace
+
+struct LockstepFamily::Impl {
+    std::shared_ptr<const CompiledPlan> plan;
+    const RunResult* golden = nullptr;
+    std::function<std::unique_ptr<dut::Dut>()> make_device;
+    const std::vector<sim::FaultSpec>* universe = nullptr;
+    double ubatt = 12.0;
+
+    std::vector<TestLayout> layouts; ///< per plan test
+    std::vector<Capture> captures;
+    std::vector<Lane> lanes;         ///< per fault, universe order
+
+    [[nodiscard]] bool build_layout(std::size_t t);
+    void capture_one(Capture& cap);
+    void finish_capture(Capture& cap);
+};
+
+/// Layouts are pure schedule/shape work; false means the executor
+/// semantics cannot be replicated for this test and the family must
+/// fall back.
+bool LockstepFamily::Impl::build_layout(std::size_t t) {
+    TestLayout& lt = layouts[t];
+    lt.test = &plan->tests()[t];
+    lt.golden = &golden->tests[t];
+    const CompiledTest& test = *lt.test;
+
+    if (lt.golden->steps.size() != test.steps.size()) return false;
+
+    auto pin_slot = [&](const std::string& name) {
+        const std::string key = str::lower(name);
+        for (std::size_t i = 0; i < lt.pins.size(); ++i)
+            if (lt.pins[i] == key) return static_cast<int>(i);
+        lt.pins.push_back(key);
+        return static_cast<int>(lt.pins.size() - 1);
+    };
+
+    // Armed frequency watches: exactly the set VirtualStand::prepare
+    // arms from the allocation.
+    std::vector<std::string> armed;
+    for (const auto& e : test.allocation.entries) {
+        if (!str::iequals(e.requirement.method, "get_f")) continue;
+        for (const auto& pin : e.requirement.pins) {
+            const std::string key = str::lower(pin);
+            if (std::find(armed.begin(), armed.end(), key) == armed.end())
+                armed.push_back(key);
+        }
+    }
+    auto watch_slot = [&](const std::string& key) {
+        if (std::find(armed.begin(), armed.end(), key) == armed.end())
+            return -1; // unarmed get_f: the executor would throw
+        for (std::size_t i = 0; i < lt.watch_pin.size(); ++i)
+            if (lt.pins[static_cast<std::size_t>(lt.watch_pin[i])] == key)
+                return static_cast<int>(i);
+        lt.watch_pin.push_back(pin_slot(key));
+        return static_cast<int>(lt.watch_pin.size() - 1);
+    };
+
+    // Row schedule — the executor's tick loop, statement for statement,
+    // so every elapsed/now double is bit-identical to a real run.
+    double now = 0.0;
+    const double settle = plan->options().init_settle_s;
+    if (settle > 0) {
+        now += settle;
+        lt.elapsed.push_back(settle);
+        lt.now.push_back(now);
+    }
+    for (std::size_t s = 0; s < test.steps.size(); ++s) {
+        const PlanStep& step = test.steps[s];
+        const StepResult& gs = lt.golden->steps[s];
+        if (gs.checks.size() != step.checks.size()) return false;
+        const std::size_t begin = lt.elapsed.size();
+        double elapsed = 0.0;
+        while (elapsed < step.dt - 1e-9) {
+            const double dt = std::min(step.tick, step.dt - elapsed);
+            elapsed += dt;
+            now += dt;
+            lt.elapsed.push_back(elapsed);
+            lt.now.push_back(now);
+        }
+        const std::size_t end = lt.elapsed.size();
+        for (std::size_t c = 0; c < step.checks.size(); ++c) {
+            const PlanCheck& check = step.checks[c];
+            CheckRef ref;
+            ref.step = &step;
+            ref.check = &check;
+            ref.begin = begin;
+            ref.end = end;
+            ref.first = begin;
+            while (ref.first < end &&
+                   !exec::sample_eligible(lt.elapsed[ref.first], check))
+                ++ref.first;
+            if (check.is_bits) {
+                ref.kind = CheckRef::Kind::Bits;
+            } else if (str::iequals(check.method, "get_u")) {
+                ref.kind = CheckRef::Kind::Real;
+                const auto& pins = test.channels[check.slot].pins;
+                if (!pins.empty()) ref.p0 = pin_slot(pins.front());
+                if (pins.size() >= 2) ref.p1 = pin_slot(pins[1]);
+            } else if (str::iequals(check.method, "get_f")) {
+                ref.kind = CheckRef::Kind::Freq;
+                const auto& pins = test.channels[check.slot].pins;
+                if (pins.empty()) return false;
+                ref.watch = watch_slot(str::lower(pins.front()));
+                if (ref.watch < 0) return false;
+            } else {
+                return false; // method the replica cannot measure
+            }
+            lt.checks.push_back(ref);
+            lt.golden_flags.push_back(gs.checks[c].passed ? 1 : 0);
+        }
+    }
+    lt.rows = lt.elapsed.size();
+
+    auto add_sent = [&](const std::vector<PlanStimulus>& stimuli) {
+        for (const auto& s : stimuli) {
+            if (!s.is_bits) continue;
+            const std::string key = str::lower(s.signal);
+            if (std::find(lt.sent.begin(), lt.sent.end(), key) ==
+                lt.sent.end())
+                lt.sent.push_back(key);
+        }
+    };
+    add_sent(test.init);
+    for (const auto& step : test.steps) add_sent(step.stimuli);
+    return true;
+}
+
+void LockstepFamily::Impl::capture_one(Capture& cap) {
+    const TestLayout& lt = layouts[cap.test];
+    const CompiledTest& test = *lt.test;
+
+    std::unique_ptr<dut::Dut> device = make_device();
+    if (!device) throw Error("lockstep device factory returned no device");
+    for (const sim::FaultSpec* layer : cap.layers) {
+        sim::FaultSpec spec = *layer;
+        spec.paired.reset(); // wrap one layer at a time, chain order
+        device = std::make_unique<sim::FaultyDut>(std::move(device),
+                                                  std::move(spec));
+    }
+
+    // The executor's DUT-visible call sequence: VirtualStand
+    // construction sets the supply, backend.reset() resets the device
+    // and re-applies it (sim/virtual_stand.cpp).
+    device->set_supply(ubatt);
+    device->reset();
+    device->set_supply(ubatt);
+
+    const std::size_t np = lt.pins.size();
+    std::vector<int> idx(np);
+    for (std::size_t p = 0; p < np; ++p)
+        idx[p] = device->pin_index(lt.pins[p]);
+    cap.values.resize(lt.rows * np);
+    cap.flags.assign(lt.checks.size(), 0);
+
+    std::size_t row = 0;
+    auto record_row = [&]() {
+        double* out = cap.values.data() + row * np;
+        for (std::size_t p = 0; p < np; ++p)
+            out[p] = idx[p] >= 0 ? device->pin_voltage_at(idx[p])
+                                 : device->pin_voltage(lt.pins[p]);
+        ++row;
+    };
+    auto apply = [&](const PlanStimulus& s) {
+        if (s.is_bits) {
+            device->can_receive(s.signal, s.bits);
+            return;
+        }
+        const PlanChannel& ch = test.channels[s.slot];
+        if (str::iequals(ch.method, "put_r"))
+            device->set_pin_resistance(ch.pins.front(), s.value);
+        else if (str::iequals(ch.method, "put_u"))
+            device->set_pin_voltage(ch.pins.front(), s.value);
+        else
+            throw Error("lockstep cannot apply method '" + ch.method + "'");
+    };
+
+    for (const auto& s : test.init) apply(s);
+    const double settle = plan->options().init_settle_s;
+    if (settle > 0) {
+        device->step(settle);
+        record_row();
+    }
+
+    std::size_t ci = 0;
+    for (const auto& step : test.steps) {
+        for (const auto& s : step.stimuli) apply(s);
+        double elapsed = 0.0;
+        while (elapsed < step.dt - 1e-9) {
+            const double dt = std::min(step.tick, step.dt - elapsed);
+            device->step(dt);
+            elapsed += dt;
+            record_row();
+        }
+        for (const auto& check : step.checks) {
+            if (!check.is_bits) {
+                ++ci;
+                continue; // real checks: evaluated from the trace below
+            }
+            const auto got = device->can_transmit(check.signal);
+            cap.flags[ci++] =
+                check.want_bits && got == *check.want_bits ? 1 : 0;
+        }
+    }
+    if (row != lt.rows)
+        throw Error("lockstep row schedule mismatch in test '" + test.name +
+                    "'");
+    finish_capture(cap);
+}
+
+/// Post-pass over the recorded rows: frequency-counter counts, then the
+/// variant-level verdict of every real check.
+void LockstepFamily::Impl::finish_capture(Capture& cap) {
+    const TestLayout& lt = layouts[cap.test];
+    const std::size_t np = lt.pins.size();
+    const double* v = cap.values.data();
+
+    cap.watch_counts.resize(lt.watch_pin.size());
+    for (std::size_t w = 0; w < lt.watch_pin.size(); ++w) {
+        const auto p = static_cast<std::size_t>(lt.watch_pin[w]);
+        cap.watch_counts[w] = count_edges(
+            lt, [&](std::size_t r) { return v[r * np + p] > ubatt / 2.0; });
+    }
+
+    for (std::size_t i = 0; i < lt.checks.size(); ++i) {
+        const CheckRef& ref = lt.checks[i];
+        switch (ref.kind) {
+        case CheckRef::Kind::Bits: break; // measured during the drive
+        case CheckRef::Kind::Real:
+            cap.flags[i] = scan_passed(lt, ref, [&](std::size_t r) {
+                const double* rowv = v + r * np;
+                double x = ref.p0 >= 0 ? rowv[ref.p0] : 0.0;
+                if (ref.p1 >= 0) x -= rowv[ref.p1];
+                return x * kDvmGain;
+            });
+            break;
+        case CheckRef::Kind::Freq: {
+            const auto& counts =
+                cap.watch_counts[static_cast<std::size_t>(ref.watch)];
+            cap.flags[i] = scan_passed(lt, ref, [&](std::size_t r) {
+                return static_cast<double>(counts[r]) / kFreqWindowS;
+            });
+            break;
+        }
+        }
+    }
+}
+
+LockstepFamily::LockstepFamily() : impl_(std::make_unique<Impl>()) {}
+LockstepFamily::~LockstepFamily() = default;
+
+std::unique_ptr<LockstepFamily> LockstepFamily::build(Config cfg) {
+    if (!cfg.plan || !cfg.golden || !cfg.universe || !cfg.make_device)
+        return nullptr;
+    if (cfg.plan->options().stop_on_first_failure)
+        return nullptr; // step skipping breaks the fixed row schedule
+    if (cfg.golden->tests.size() != cfg.plan->tests().size()) return nullptr;
+    if (cfg.eval_tests.size() != cfg.universe->size()) return nullptr;
+
+    auto engine = std::unique_ptr<LockstepFamily>(new LockstepFamily());
+    Impl& impl = *engine->impl_;
+    impl.plan = cfg.plan;
+    impl.golden = cfg.golden;
+    impl.make_device = std::move(cfg.make_device);
+    impl.universe = cfg.universe;
+    impl.ubatt = cfg.ubatt;
+
+    impl.layouts.resize(cfg.plan->tests().size());
+    for (std::size_t t = 0; t < impl.layouts.size(); ++t)
+        if (!impl.build_layout(t)) return nullptr;
+
+    // Variant decomposition: per (fault, eval test), the trajectory-
+    // active layers key a capture; pin layers stay with the lane.
+    std::unordered_map<std::string, std::size_t> capture_index;
+    auto capture_for = [&](std::size_t test,
+                           std::vector<const sim::FaultSpec*> layers) {
+        std::string key = std::to_string(test);
+        for (const sim::FaultSpec* layer : layers)
+            key += "&" + encode_layer(*layer);
+        const auto it = capture_index.find(key);
+        if (it != capture_index.end()) return it->second;
+        Capture cap;
+        cap.test = test;
+        cap.layers = std::move(layers);
+        impl.captures.push_back(std::move(cap));
+        capture_index.emplace(std::move(key), impl.captures.size() - 1);
+        return impl.captures.size() - 1;
+    };
+
+    impl.lanes.resize(cfg.universe->size());
+    for (std::size_t f = 0; f < cfg.universe->size(); ++f) {
+        Lane& lane = impl.lanes[f];
+        const auto chain = sim::fault_chain((*cfg.universe)[f]);
+        std::vector<const sim::FaultSpec*> other;
+        for (const sim::FaultSpec* layer : chain) {
+            if (sim::is_pin_fault_kind(layer->kind))
+                lane.pin_layers.push_back(layer);
+            else
+                other.push_back(layer);
+        }
+        for (const std::size_t t : cfg.eval_tests[f]) {
+            if (t >= impl.layouts.size()) return nullptr;
+            const TestLayout& lt = impl.layouts[t];
+            // A CAN layer is trajectory-active only when the test sends
+            // its signal; an inactive layer is bitwise identity and
+            // drops out of the variant (that is what lets pin+CAN pairs
+            // share the CAN single's capture, and pure-CAN faults share
+            // the identity capture in tests that never send them).
+            std::vector<const sim::FaultSpec*> active;
+            for (const sim::FaultSpec* layer : other) {
+                if (layer->kind == sim::FaultKind::TimingSkew ||
+                    std::find(lt.sent.begin(), lt.sent.end(),
+                              layer->target) != lt.sent.end())
+                    active.push_back(layer);
+            }
+            lane.tests.push_back(t);
+            lane.capture.push_back(capture_for(t, std::move(active)));
+        }
+    }
+
+    // Every captured test also gets an identity capture: it anchors the
+    // validate() proof and costs nothing extra for the pin lanes that
+    // need it anyway.
+    const std::size_t referenced = impl.captures.size();
+    for (std::size_t i = 0; i < referenced; ++i)
+        (void)capture_for(impl.captures[i].test, {});
+    return engine;
+}
+
+std::size_t LockstepFamily::capture_count() const {
+    return impl_->captures.size();
+}
+
+void LockstepFamily::run_capture(std::size_t index) {
+    Capture& cap = impl_->captures[index];
+    try {
+        impl_->capture_one(cap);
+    } catch (const std::exception& e) {
+        cap.failed = true;
+        cap.error = e.what();
+    } catch (...) {
+        cap.failed = true;
+        cap.error = "unknown non-standard exception";
+    }
+}
+
+bool LockstepFamily::validate() const {
+    for (const Capture& cap : impl_->captures) {
+        if (!cap.layers.empty()) continue; // identity variants only
+        if (cap.failed) return false;
+        const TestLayout& lt = impl_->layouts[cap.test];
+        if (cap.flags != lt.golden_flags) return false;
+    }
+    return true;
+}
+
+std::size_t LockstepFamily::eval_weight(std::size_t fault) const {
+    return impl_->lanes[fault].tests.size();
+}
+
+LockstepEval LockstepFamily::evaluate(std::size_t fault,
+                                      std::size_t test) const {
+    const Lane& lane = impl_->lanes[fault];
+    LockstepEval out;
+    const auto pos = std::find(lane.tests.begin(), lane.tests.end(), test);
+    if (pos == lane.tests.end()) {
+        out.error = true;
+        out.error_message = "lockstep: test not scheduled for this fault";
+        return out;
+    }
+    const Capture& cap = impl_->captures[lane.capture[static_cast<std::size_t>(
+        pos - lane.tests.begin())]];
+    if (cap.failed) {
+        out.error = true;
+        out.error_message = cap.error;
+        return out;
+    }
+    const TestLayout& lt = impl_->layouts[test];
+    const std::size_t np = lt.pins.size();
+    const double ubatt = impl_->ubatt;
+    const double* v = cap.values.data();
+
+    // Which traced pins this lane's observation layers rewrite.
+    std::vector<std::uint8_t> mutated(np, 0);
+    bool any_mutated = false;
+    for (const sim::FaultSpec* layer : lane.pin_layers)
+        for (std::size_t p = 0; p < np; ++p)
+            if (lt.pins[p] == layer->target) {
+                mutated[p] = 1;
+                any_mutated = true;
+            }
+
+    // The observed value of pin p at row r through the lane's decorator
+    // chain: each matching layer rewrites in chain order, with the
+    // layer's step() count since reset equal to the rows advanced so
+    // far (sim::mutate_observed == FaultyDut::mutate).
+    auto mval = [&](std::size_t r, int p) {
+        double x = v[r * np + static_cast<std::size_t>(p)];
+        if (mutated[static_cast<std::size_t>(p)])
+            for (const sim::FaultSpec* layer : lane.pin_layers)
+                if (lt.pins[static_cast<std::size_t>(p)] == layer->target)
+                    x = sim::mutate_observed(
+                        *layer, x, ubatt, static_cast<long long>(r) + 1);
+        return x;
+    };
+
+    // Frequency watches on a mutated pin see the mutated level.
+    std::vector<std::vector<std::uint32_t>> local_counts(lt.watch_pin.size());
+    if (any_mutated)
+        for (std::size_t w = 0; w < lt.watch_pin.size(); ++w) {
+            const int p = lt.watch_pin[w];
+            if (!mutated[static_cast<std::size_t>(p)]) continue;
+            local_counts[w] = count_edges(lt, [&](std::size_t r) {
+                return mval(r, p) > ubatt / 2.0;
+            });
+        }
+
+    for (std::size_t i = 0; i < lt.checks.size(); ++i) {
+        const CheckRef& ref = lt.checks[i];
+        bool passed;
+        switch (ref.kind) {
+        case CheckRef::Kind::Bits:
+            passed = cap.flags[i] != 0; // pin layers never touch the bus
+            break;
+        case CheckRef::Kind::Real: {
+            const bool affected =
+                (ref.p0 >= 0 &&
+                 mutated[static_cast<std::size_t>(ref.p0)] != 0) ||
+                (ref.p1 >= 0 &&
+                 mutated[static_cast<std::size_t>(ref.p1)] != 0);
+            if (!affected) {
+                passed = cap.flags[i] != 0;
+            } else {
+                passed = scan_passed(lt, ref, [&](std::size_t r) {
+                    double x = ref.p0 >= 0 ? mval(r, ref.p0) : 0.0;
+                    if (ref.p1 >= 0) x -= mval(r, ref.p1);
+                    return x * kDvmGain;
+                });
+            }
+            break;
+        }
+        case CheckRef::Kind::Freq: {
+            const auto w = static_cast<std::size_t>(ref.watch);
+            const auto& counts = local_counts[w].empty()
+                                     ? cap.watch_counts[w]
+                                     : local_counts[w];
+            if (local_counts[w].empty() &&
+                !mutated[static_cast<std::size_t>(lt.watch_pin[w])]) {
+                passed = cap.flags[i] != 0;
+            } else {
+                passed = scan_passed(lt, ref, [&](std::size_t r) {
+                    return static_cast<double>(counts[r]) / kFreqWindowS;
+                });
+            }
+            break;
+        }
+        default:
+            passed = false;
+            break;
+        }
+        if ((passed ? 1 : 0) != lt.golden_flags[i]) {
+            if (out.flips == 0)
+                out.first_flip = lt.golden->name + "/" +
+                                 std::to_string(ref.step->nr) + "/" +
+                                 ref.check->signal;
+            ++out.flips;
+        }
+    }
+    out.differs = out.flips > 0;
+    return out;
+}
+
+} // namespace ctk::core

@@ -1,0 +1,121 @@
+// Batch-lockstep KB fault grading (DESIGN.md §12).
+//
+// Per-fault grading steps one FaultyDut-wrapped device through the whole
+// suite for every fault. Most faults in the scaled universe never perturb
+// the device trajectory: pin faults rewrite *reads* only
+// (sim::observation_only_fault), and a CAN fault is inert in every test
+// that never sends its signal. The lockstep engine exploits this:
+//
+//  * Each (test, fault) pair decomposes into a *variant* — the fault
+//    layers that actively perturb the trajectory in that test (CAN
+//    layers whose signal the test sends, plus clock skews) — and a
+//    chain of pin layers that are pure functions of the observed pin
+//    values (sim::mutate_observed).
+//  * One trace is captured per (test, variant): a device wrapped in
+//    just the variant layers is driven through the executor's exact
+//    DUT-visible call sequence once, recording every traced pin each
+//    tick. Pure pin faults share the identity variant's trace; a
+//    pin+CAN pair rides the CAN single's trace for free.
+//  * Whole blocks of faults are then evaluated against the captured
+//    rows: verdicts come from a backward scan that reproduces the
+//    executor's trailing-hold rule via the shared primitives in
+//    core/plan_exec.hpp, and each lane drops out at its first
+//    differing test, exactly like the drop-aware classification walk.
+//
+// Soundness is *proved per family*, not assumed: the identity variant's
+// evaluated verdicts must match the golden run's actual verdicts on
+// every captured test (validate()), else the caller falls back to
+// per-fault stepping for the whole family. The capture replicates a
+// default-options sim::VirtualStand (DVM gain 1, no noise, 2 s
+// frequency window); a family whose backend deviates fails validation
+// and falls back — never silently diverges.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "dut/dut.hpp"
+#include "sim/fault_inject.hpp"
+
+namespace ctk::core {
+
+/// Verdict of one (fault, test) pair evaluated against a captured trace
+/// — the lockstep twin of a gradestore PairRecord's payload.
+struct LockstepEval {
+    bool error = false;         ///< capture/evaluation framework failure
+    std::string error_message;
+    bool differs = false;       ///< any check verdict flipped vs golden
+    std::size_t flips = 0;
+    std::string first_flip;     ///< "test/step/signal" of the first flip
+};
+
+/// The lockstep engine for one family: variant decomposition, trace
+/// captures, and per-(fault, test) evaluation. Captures run once (on
+/// any threads, disjoint indices); evaluation afterwards is read-only
+/// and safe from any number of threads.
+class LockstepFamily {
+public:
+    struct Config {
+        std::shared_ptr<const CompiledPlan> plan;
+        /// Golden run of `plan` (the family's phase-1 run). Borrowed —
+        /// must outlive the engine.
+        const RunResult* golden = nullptr;
+        /// Fresh golden device factory (FamilyGradingSetup::make_device).
+        std::function<std::unique_ptr<dut::Dut>()> make_device;
+        /// Borrowed fault universe — must outlive the engine.
+        const std::vector<sim::FaultSpec>* universe = nullptr;
+        /// Stand supply voltage (the "ubatt" variable, default 12 V).
+        double ubatt = 12.0;
+        /// Per fault (universe order): ascending test indices the
+        /// engine may be asked to evaluate — the uncached pairs of the
+        /// grade-store schedule, or every test on a cold run. Faults
+        /// with no evaluable test get an empty list and no captures.
+        std::vector<std::vector<std::size_t>> eval_tests;
+    };
+
+    /// Decompose the universe and size the capture table. Returns null
+    /// when the setup cannot be replicated (no device factory,
+    /// stop_on_first_failure plans, golden/plan shape mismatch, a
+    /// get_f check without an armed watch, or an unknown measure
+    /// method) — the caller then grades the family per fault.
+    [[nodiscard]] static std::unique_ptr<LockstepFamily> build(Config cfg);
+
+    ~LockstepFamily();
+
+    /// Number of (test, variant) capture tasks. Zero when every fault
+    /// is served from the cache — a warm no-edit regrade captures
+    /// nothing.
+    [[nodiscard]] std::size_t capture_count() const;
+
+    /// Capture one trace. Thread-safe across distinct indices; a
+    /// throwing device factory marks the capture failed instead of
+    /// propagating.
+    void run_capture(std::size_t index);
+
+    /// After all captures ran: the identity variant's evaluated
+    /// verdicts must match the golden run's actual verdicts on every
+    /// captured test. False → the caller must grade this family per
+    /// fault; the engine's captures are then dead weight, never wrong
+    /// answers.
+    [[nodiscard]] bool validate() const;
+
+    /// Number of (fault, test) pairs evaluate() would compute for this
+    /// fault — the block-sizing weight.
+    [[nodiscard]] std::size_t eval_weight(std::size_t fault) const;
+
+    /// Evaluate one scheduled (fault, test) pair against its variant's
+    /// captured trace. `test` must be in the fault's eval_tests list.
+    [[nodiscard]] LockstepEval evaluate(std::size_t fault,
+                                        std::size_t test) const;
+
+private:
+    LockstepFamily();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace ctk::core

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.hpp"
+#include "core/plan_exec.hpp"
 #include "model/status.hpp"
 
 namespace ctk::core {
@@ -13,13 +14,6 @@ namespace {
 std::optional<double> eval_opt(const expr::ExprPtr& e, const expr::Env& env) {
     if (!e) return std::nullopt;
     return e->eval(env);
-}
-
-bool within(double v, const std::optional<double>& lo,
-            const std::optional<double>& hi) {
-    if (lo && v < *lo - 1e-12) return false;
-    if (hi && v > *hi + 1e-12) return false;
-    return true;
 }
 
 /// Per-test compile state: deduplicates (resource, method, pins) triples
@@ -173,27 +167,6 @@ void require_variables(const script::TestScript& script,
                          str::join(missing, ", "));
 }
 
-/// Sample trace of one check across a dwell (per-execution state).
-struct Trace {
-    double last_measured = 0.0;
-    double trailing_ok_start = 0.0; ///< start time of the trailing OK run
-    bool any_sample = false;
-    bool last_ok = false;
-};
-
-void record_sample(Trace& tr, double v, double elapsed,
-                   const PlanCheck& check) {
-    const bool ok = within(v, check.lo, check.hi);
-    // Start of the trailing OK run; a first sample that is already OK is
-    // assumed to have held since step start (nothing earlier is
-    // observable).
-    if (ok && (!tr.any_sample || !tr.last_ok))
-        tr.trailing_ok_start = tr.any_sample ? elapsed : 0.0;
-    tr.last_ok = ok;
-    tr.any_sample = true;
-    tr.last_measured = v;
-}
-
 AppliedStimulus report_entry(const PlanStimulus& s) {
     AppliedStimulus applied;
     applied.signal = s.signal;
@@ -209,7 +182,7 @@ AppliedStimulus report_entry(const PlanStimulus& s) {
 /// the first step.
 struct ExecScratch {
     std::vector<sim::ChannelId> ids;       ///< slot -> backend channel id
-    std::vector<Trace> traces;             ///< one per check of the step
+    std::vector<exec::CheckTrace> traces;  ///< one per check of the step
     std::vector<sim::ChannelId> batch_ids; ///< this tick's eligible ids
     std::vector<std::size_t> batch_checks; ///< check index per batch entry
     std::vector<double> batch_out;
@@ -261,7 +234,7 @@ TestResult execute_test(const CompiledTest& test, const RunOptions& options,
             sr.stimuli.push_back(report_entry(s));
         }
 
-        scratch.traces.assign(step.checks.size(), Trace{});
+        scratch.traces.assign(step.checks.size(), exec::CheckTrace{});
 
         // Advance across the dwell, sampling every tick. The loop shape
         // (tick clamping, elapsed accumulation, eligibility epsilons)
@@ -278,7 +251,7 @@ TestResult execute_test(const CompiledTest& test, const RunOptions& options,
                 scratch.batch_checks.clear();
                 for (std::size_t i = 0; i < step.checks.size(); ++i) {
                     const PlanCheck& c = step.checks[i];
-                    if (elapsed + 1e-9 < c.d1) continue; // settle time
+                    if (!exec::sample_eligible(elapsed, c)) continue;
                     if (c.is_bits) continue;             // bits: end only
                     scratch.batch_ids.push_back(scratch.ids[c.slot]);
                     scratch.batch_checks.push_back(i);
@@ -291,20 +264,20 @@ TestResult execute_test(const CompiledTest& test, const RunOptions& options,
                     for (std::size_t j = 0; j < scratch.batch_ids.size();
                          ++j) {
                         const std::size_t i = scratch.batch_checks[j];
-                        record_sample(scratch.traces[i],
-                                      scratch.batch_out[j], elapsed,
-                                      step.checks[i]);
+                        exec::record_sample(scratch.traces[i],
+                                            scratch.batch_out[j], elapsed,
+                                            step.checks[i]);
                     }
                 }
             } else {
                 for (std::size_t i = 0; i < step.checks.size(); ++i) {
                     const PlanCheck& c = step.checks[i];
-                    if (elapsed + 1e-9 < c.d1) continue; // settle time
+                    if (!exec::sample_eligible(elapsed, c)) continue;
                     if (c.is_bits) continue;             // bits: end only
                     const PlanChannel& ch = test.channels[c.slot];
                     const double v = backend.measure_real(
                         ch.resource, ch.method, ch.pins);
-                    record_sample(scratch.traces[i], v, elapsed, c);
+                    exec::record_sample(scratch.traces[i], v, elapsed, c);
                 }
             }
         }
@@ -312,7 +285,7 @@ TestResult execute_test(const CompiledTest& test, const RunOptions& options,
         // Verdicts.
         for (std::size_t i = 0; i < step.checks.size(); ++i) {
             const PlanCheck& c = step.checks[i];
-            const Trace& tr = scratch.traces[i];
+            const exec::CheckTrace& tr = scratch.traces[i];
             CheckResult cr;
             cr.signal = c.signal;
             cr.status = c.status;
@@ -334,11 +307,7 @@ TestResult execute_test(const CompiledTest& test, const RunOptions& options,
                 cr.message = "no sample inside the dwell (D1 too large?)";
             } else {
                 cr.measured = tr.last_measured;
-                const double hold_needed = std::max(c.d1, step.dt - c.d2);
-                cr.passed = tr.last_ok &&
-                            tr.trailing_ok_start <= hold_needed + 1e-9 &&
-                            (!c.d3 ||
-                             tr.trailing_ok_start <= *c.d3 + 1e-9);
+                cr.passed = exec::real_check_passed(tr, c, step.dt);
                 if (!cr.passed) {
                     if (!tr.last_ok)
                         cr.message =

@@ -1,0 +1,71 @@
+// Shared executor verdict semantics (DESIGN.md §5, §12).
+//
+// The plan executor (core/plan.cpp) samples every eligible check once
+// per tick and derives the verdict from the sample trace: the final
+// sample must satisfy the limits and the trailing run of satisfied
+// samples must reach back to Δt − D2 (and have begun no later than D3).
+// The batch-lockstep grader (core/lockstep) reproduces the same verdict
+// from a *recorded* trace with a backward scan instead of a forward
+// state machine. Both must agree bit for bit, so the primitive pieces —
+// the limit comparison with its 1e-12 guard band, the D1 eligibility
+// epsilon, the trace state machine, and the final pass predicate — live
+// here and nowhere else.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "core/plan.hpp"
+
+namespace ctk::core::exec {
+
+/// Limit comparison with the executor's 1e-12 guard band.
+[[nodiscard]] inline bool within_limits(double v,
+                                        const std::optional<double>& lo,
+                                        const std::optional<double>& hi) {
+    if (lo && v < *lo - 1e-12) return false;
+    if (hi && v > *hi + 1e-12) return false;
+    return true;
+}
+
+/// Samples taken before the settle time D1 are never required to pass —
+/// the executor skips them with a 1e-9 epsilon on the elapsed time.
+[[nodiscard]] inline bool sample_eligible(double elapsed,
+                                          const PlanCheck& check) {
+    return !(elapsed + 1e-9 < check.d1);
+}
+
+/// Sample trace of one check across a dwell (per-execution state).
+struct CheckTrace {
+    double last_measured = 0.0;
+    double trailing_ok_start = 0.0; ///< start time of the trailing OK run
+    bool any_sample = false;
+    bool last_ok = false;
+};
+
+inline void record_sample(CheckTrace& tr, double v, double elapsed,
+                          const PlanCheck& check) {
+    const bool ok = within_limits(v, check.lo, check.hi);
+    // Start of the trailing OK run; a first sample that is already OK is
+    // assumed to have held since step start (nothing earlier is
+    // observable).
+    if (ok && (!tr.any_sample || !tr.last_ok))
+        tr.trailing_ok_start = tr.any_sample ? elapsed : 0.0;
+    tr.last_ok = ok;
+    tr.any_sample = true;
+    tr.last_measured = v;
+}
+
+/// The pass predicate of a real (non-bits) check given its trace: the
+/// last sample is OK, the trailing OK run reaches back to
+/// max(D1, Δt − D2), and (when D3 is set) the run began by D3.
+[[nodiscard]] inline bool real_check_passed(const CheckTrace& tr,
+                                            const PlanCheck& check,
+                                            double step_dt) {
+    if (!tr.any_sample) return false;
+    const double hold_needed = std::max(check.d1, step_dt - check.d2);
+    return tr.last_ok && tr.trailing_ok_start <= hold_needed + 1e-9 &&
+           (!check.d3 || tr.trailing_ok_start <= *check.d3 + 1e-9);
+}
+
+} // namespace ctk::core::exec

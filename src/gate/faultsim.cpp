@@ -253,15 +253,27 @@ FaultSimResult simulate(const Netlist& net, const std::vector<Fault>& faults,
     const auto chunks =
         pack_patterns(net, sim, order, patterns, lanes_per_pass);
 
-    const unsigned workers = parallel::resolve_workers(jobs, faults.size());
-    if (workers <= 1) return simulate_range(net, order, chunks, faults, 0,
-                                            faults.size());
+    // Workers are floored at kMinFaultsPerShard faults each: a fault is
+    // far too small a unit of work to pay a thread for, so small
+    // circuits (c17: 34 faults) collapse to the inline path instead of
+    // spreading 4 faults per shard across 8 threads.
+    const unsigned workers = parallel::resolve_workers_floored(
+        jobs, faults.size(), kMinFaultsPerShard);
+    if (workers <= 1) {
+        auto inline_result =
+            simulate_range(net, order, chunks, faults, 0, faults.size());
+        inline_result.effective_workers = 1;
+        return inline_result;
+    }
+    result.effective_workers = workers;
 
     // Contiguous shards, a few per worker so the atomic-ticket pool can
-    // rebalance when detections cluster. Each shard writes only its own
-    // slot; the stitch below restores fault-list order.
+    // rebalance when detections cluster — but never so many that a
+    // shard drops below the per-fault floor. Each shard writes only its
+    // own slot; the stitch below restores fault-list order.
     const std::size_t shards = std::min<std::size_t>(
-        faults.size(), static_cast<std::size_t>(workers) * 4);
+        static_cast<std::size_t>(workers) * 4,
+        std::max<std::size_t>(workers, faults.size() / kMinFaultsPerShard));
     const std::size_t per_shard = (faults.size() + shards - 1) / shards;
     std::vector<FaultSimResult> parts(shards);
     parallel::for_shards(shards, workers, [&](std::size_t s) {

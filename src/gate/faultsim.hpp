@@ -34,10 +34,19 @@ struct Pattern {
     }
 };
 
+/// Minimum faults a sharded worker must own before it pays for a
+/// thread. Below this the per-fault unit of work is dispatch-bound:
+/// BENCH_gate_grading.json (PR 6) showed 8 workers *slower* than 1 on
+/// 10 of 12 circuits because thread spawn/join dwarfed the shard body.
+inline constexpr std::size_t kMinFaultsPerShard = 512;
+
 struct FaultSimResult {
     std::size_t total_faults = 0;
     std::size_t detected = 0;
     std::vector<bool> detected_mask; ///< per fault
+    /// Worker threads actually used after the kMinFaultsPerShard floor
+    /// and hardware clamp — 1 means the inline (serial-identical) path.
+    unsigned effective_workers = 1;
     /// First detecting pattern index per fault; nullopt while
     /// undetected — absent attribution cannot index past `patterns`.
     std::vector<std::optional<std::size_t>> detected_by;

@@ -49,6 +49,7 @@ GateGradeResult grade_netlist(const Netlist& net,
     out.patterns = std::move(rnd.patterns);
     out.random_patterns = out.patterns.size();
     out.random_detected = rnd.faultsim.detected;
+    out.effective_workers = rnd.faultsim.effective_workers;
     out.coverage = to_coverage(net, out.faults, rnd.faultsim);
 
     if (options.atpg_top_up && !net.is_sequential() &&

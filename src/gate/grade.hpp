@@ -40,6 +40,9 @@ struct GateGradeResult {
     std::size_t random_detected = 0; ///< detections before the top-up
     AtpgResult atpg;               ///< empty when the top-up was skipped
     core::CoverageGroup coverage;  ///< the kernel view, final outcomes
+    /// Worker threads the sharded fault simulation actually ran after
+    /// the min-faults-per-shard floor (FaultSimResult::effective_workers).
+    unsigned effective_workers = 1;
 };
 
 /// Grade a netlist end to end. Outcomes are identical at every

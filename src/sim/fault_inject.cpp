@@ -106,6 +106,51 @@ std::vector<FaultSpec> make_fault_universe(const FaultSurface& surface,
     return out;
 }
 
+bool is_pin_fault_kind(FaultKind kind) {
+    switch (kind) {
+    case FaultKind::PinStuckLow:
+    case FaultKind::PinStuckHigh:
+    case FaultKind::PinOffset:
+    case FaultKind::PinScale:
+    case FaultKind::PinIntermittentLow:
+    case FaultKind::PinIntermittentHigh: return true;
+    default: return false;
+    }
+}
+
+bool observation_only_fault(const FaultSpec& spec) {
+    if (!is_pin_fault_kind(spec.kind)) return false;
+    return !spec.paired || observation_only_fault(*spec.paired);
+}
+
+std::vector<const FaultSpec*> fault_chain(const FaultSpec& spec) {
+    std::vector<const FaultSpec*> chain;
+    if (spec.paired) chain = fault_chain(*spec.paired);
+    chain.push_back(&spec);
+    return chain;
+}
+
+bool intermittent_active(double magnitude, long long ticks) {
+    const auto k = static_cast<long long>(magnitude);
+    if (k <= 0) return true;
+    return (ticks / k) % 2 == 0;
+}
+
+double mutate_observed(const FaultSpec& layer, double volts, double supply,
+                       long long ticks) {
+    switch (layer.kind) {
+    case FaultKind::PinStuckLow: return 0.0;
+    case FaultKind::PinStuckHigh: return supply;
+    case FaultKind::PinOffset: return volts + layer.magnitude;
+    case FaultKind::PinScale: return volts * layer.magnitude;
+    case FaultKind::PinIntermittentLow:
+        return intermittent_active(layer.magnitude, ticks) ? 0.0 : volts;
+    case FaultKind::PinIntermittentHigh:
+        return intermittent_active(layer.magnitude, ticks) ? supply : volts;
+    default: return volts;
+    }
+}
+
 FaultyDut::FaultyDut(std::unique_ptr<dut::Dut> inner, FaultSpec fault)
     : inner_(std::move(inner)), fault_(std::move(fault)) {
     if (!inner_) throw Error("FaultyDut needs a device to wrap");
@@ -120,38 +165,18 @@ FaultyDut::FaultyDut(std::unique_ptr<dut::Dut> inner, FaultSpec fault)
 }
 
 bool FaultyDut::is_pin_fault() const {
-    switch (fault_.kind) {
-    case FaultKind::PinStuckLow:
-    case FaultKind::PinStuckHigh:
-    case FaultKind::PinOffset:
-    case FaultKind::PinScale:
-    case FaultKind::PinIntermittentLow:
-    case FaultKind::PinIntermittentHigh: return true;
-    default: return false;
-    }
+    return is_pin_fault_kind(fault_.kind);
 }
 
 bool FaultyDut::intermittent_active() const {
     // Stuck for the first `magnitude` step() ticks after reset, free for
     // the next `magnitude`, and so on. Pure function of ticks_, which
     // resets with the device — replay is deterministic.
-    const auto k = static_cast<long long>(fault_.magnitude);
-    if (k <= 0) return true;
-    return (ticks_ / k) % 2 == 0;
+    return sim::intermittent_active(fault_.magnitude, ticks_);
 }
 
 double FaultyDut::mutate(double volts) const {
-    switch (fault_.kind) {
-    case FaultKind::PinStuckLow: return 0.0;
-    case FaultKind::PinStuckHigh: return inner_->supply();
-    case FaultKind::PinOffset: return volts + fault_.magnitude;
-    case FaultKind::PinScale: return volts * fault_.magnitude;
-    case FaultKind::PinIntermittentLow:
-        return intermittent_active() ? 0.0 : volts;
-    case FaultKind::PinIntermittentHigh:
-        return intermittent_active() ? inner_->supply() : volts;
-    default: return volts;
-    }
+    return mutate_observed(fault_, volts, inner_->supply(), ticks_);
 }
 
 std::string FaultyDut::name() const {

@@ -122,6 +122,36 @@ struct UniverseOptions {
 make_fault_universe(const FaultSurface& surface,
                     const UniverseOptions& options = {});
 
+/// True for the kinds that rewrite pin *reads* only (stucks, drift,
+/// intermittents) — as opposed to Can*/TimingSkew, which perturb the
+/// device trajectory itself.
+[[nodiscard]] bool is_pin_fault_kind(FaultKind kind);
+
+/// True when every layer of the (possibly paired) spec is a pin kind:
+/// the wrapped device's trajectory is exactly the unfaulted one, and
+/// the fault is a pure function of the observed pin values. The
+/// batch-lockstep grader (core/lockstep) evaluates such faults against
+/// a captured trace instead of stepping a device per fault.
+[[nodiscard]] bool observation_only_fault(const FaultSpec& spec);
+
+/// The decorator chain innermost-first: for spec "a&b" (a.paired = b)
+/// the FaultyDut constructor seeds b around the device before a, so the
+/// chain is [&b, &a] — the order successive layers mutate a pin read.
+/// Pointers alias `spec` and its `paired` sub-objects.
+[[nodiscard]] std::vector<const FaultSpec*> fault_chain(const FaultSpec& spec);
+
+/// The intermittent duty cycle as a pure function: stuck for the first
+/// `magnitude` ticks after reset, free for the next `magnitude`, ...
+/// `ticks` is the layer's step() count since reset at read time.
+[[nodiscard]] bool intermittent_active(double magnitude, long long ticks);
+
+/// The pin-observation mutation of ONE chain layer, exactly as
+/// FaultyDut applies it to a matching pin read: `supply` is the wrapped
+/// device's supply voltage, `ticks` the layer's step() count since
+/// reset. Non-pin kinds return `volts` unchanged.
+[[nodiscard]] double mutate_observed(const FaultSpec& layer, double volts,
+                                     double supply, long long ticks);
+
 /// The decorator: a Dut with exactly one seeded fault between the stand
 /// and the wrapped device. All state lives in the inner device; the
 /// wrapper only rewrites the faulted interaction.

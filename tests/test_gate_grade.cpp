@@ -4,6 +4,7 @@
 // determinism across worker counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <vector>
@@ -226,6 +227,54 @@ TEST(GateCoverage, NetlistUniverseReportsTheCollapsedCount) {
     const auto group = universe.grade(2);
     EXPECT_EQ(group.entries.size(), universe.fault_count());
     EXPECT_EQ(group.coverage(), std::optional<double>(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// The min-faults-per-shard floor (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedFaultSim, EffectiveWorkersHonourTheShardFloor) {
+    // c17's collapsed universe sits far below kMinFaultsPerShard: any
+    // jobs request collapses to the inline (serial-identical) path.
+    const Netlist small = circuits::c17();
+    const auto small_faults = collapse_faults(small);
+    ASSERT_LT(small_faults.size(), kMinFaultsPerShard);
+    const auto patterns = random_patterns(small, 40, 1);
+    for (const unsigned jobs : {1u, 4u, 8u, 0u}) {
+        const auto r =
+            fault_simulate_sharded(small, small_faults, patterns, jobs);
+        EXPECT_EQ(r.effective_workers, 1u) << "jobs=" << jobs;
+    }
+
+    // A universe above the floor may shard — but never wider than asked,
+    // and never so wide that a worker owns fewer than the floor.
+    const Netlist big = circuits::comparator(96);
+    const auto big_faults = collapse_faults(big);
+    ASSERT_GT(big_faults.size(), 2 * kMinFaultsPerShard);
+    const auto big_patterns = random_patterns(big, 12, 1);
+    const auto r8 =
+        fault_simulate_sharded(big, big_faults, big_patterns, 8);
+    EXPECT_GE(r8.effective_workers, 1u);
+    EXPECT_LE(r8.effective_workers, 8u);
+    EXPECT_LE(r8.effective_workers,
+              std::max<std::size_t>(1,
+                                    big_faults.size() / kMinFaultsPerShard));
+    // Whatever the clamp chose, the outcome is the serial one.
+    const auto serial =
+        fault_simulate_serial(big, big_faults, big_patterns);
+    EXPECT_EQ(r8.detected_mask, serial.detected_mask);
+    EXPECT_EQ(r8.detected_by, serial.detected_by);
+}
+
+TEST(GateCoverage, GradeNetlistSurfacesEffectiveWorkers) {
+    GateGradeOptions opts;
+    opts.jobs = 8;
+    opts.max_patterns = 32;
+    opts.atpg_top_up = false;
+    // 34 faults < the 512-fault floor: the request for 8 workers is
+    // honestly reported as the inline path.
+    const auto graded = grade_netlist(circuits::c17(), opts);
+    EXPECT_EQ(graded.effective_workers, 1u);
 }
 
 TEST(GateCoverage, ToCoverageRejectsMismatchedResult) {

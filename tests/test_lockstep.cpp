@@ -1,0 +1,180 @@
+// Batch-lockstep KB grading (core/lockstep, DESIGN.md §12): the engine
+// must be byte-identical to per-fault grading — outcome fingerprint AND
+// coverage CSV — at every worker count and block size, cold and warm,
+// and must fall back to per-fault jobs whenever it cannot replicate a
+// family's execution environment.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gradestore.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "report/report.hpp"
+
+namespace ctk::core {
+namespace {
+
+// interior_light's 6,180-tick suite dominates wall clock; three short
+// families exercise every code path at a fraction of the cost.
+const std::vector<std::string> kFamilies{"wiper", "central_lock",
+                                         "turn_signal"};
+
+GradingResult grade(const std::vector<std::string>& families, unsigned jobs,
+                    bool lockstep, GradeStore* store = nullptr,
+                    std::size_t block = 0) {
+    GradingOptions opts;
+    opts.jobs = jobs;
+    opts.lockstep = lockstep;
+    opts.block = block;
+    opts.store = store;
+    GradingCampaign grading(opts);
+    for (const auto& family : families)
+        grading.add(kb_grading_setup(family));
+    return grading.run_all();
+}
+
+std::string csv_of(const GradingResult& result) {
+    return report::coverage_to_csv(result.to_coverage());
+}
+
+TEST(Lockstep, ColdMatchesPerFaultAtEveryWorkerCount) {
+    const auto reference = grade(kFamilies, 1, false);
+    EXPECT_EQ(reference.lockstep_captures, 0u);
+    EXPECT_EQ(reference.lockstep_blocks, 0u);
+    EXPECT_EQ(reference.lockstep_lanes, 0u);
+    const auto want_fp = outcome_fingerprint(reference);
+    const auto want_csv = csv_of(reference);
+
+    for (const unsigned jobs : {1u, 4u, 8u}) {
+        const auto lk = grade(kFamilies, jobs, true);
+        EXPECT_EQ(outcome_fingerprint(lk), want_fp) << "jobs=" << jobs;
+        EXPECT_EQ(csv_of(lk), want_csv) << "jobs=" << jobs;
+        // All three families are engine-eligible: every fault is a
+        // lockstep lane, captures cover the variant set, and at least
+        // one block ran.
+        EXPECT_EQ(lk.lockstep_lanes, lk.fault_count()) << "jobs=" << jobs;
+        EXPECT_GT(lk.lockstep_captures, 0u) << "jobs=" << jobs;
+        EXPECT_GT(lk.lockstep_blocks, 0u) << "jobs=" << jobs;
+        // Variant decomposition is the engine's reason to exist: far
+        // fewer captured suite drives than faults.
+        EXPECT_LT(lk.lockstep_captures, lk.fault_count())
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Lockstep, BlockSizeIsOutcomeInvariant) {
+    const auto reference = grade({"wiper"}, 2, false);
+    const auto want_fp = outcome_fingerprint(reference);
+    for (const std::size_t block : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{100000}}) {
+        const auto lk = grade({"wiper"}, 2, true, nullptr, block);
+        EXPECT_EQ(outcome_fingerprint(lk), want_fp) << "block=" << block;
+    }
+    // block=1 shatters into one block per lane; a huge block packs the
+    // whole family into one job.
+    const auto fine = grade({"wiper"}, 1, true, nullptr, 1);
+    EXPECT_EQ(fine.lockstep_blocks, fine.lockstep_lanes);
+    const auto coarse = grade({"wiper"}, 1, true, nullptr, 100000);
+    EXPECT_EQ(coarse.lockstep_blocks, 1u);
+}
+
+TEST(Lockstep, EnginesAreInterchangeableThroughTheStore) {
+    const auto reference = grade(kFamilies, 1, false);
+    const auto want_fp = outcome_fingerprint(reference);
+    const auto want_csv = csv_of(reference);
+
+    for (const bool seed_with_lockstep : {false, true}) {
+        GradeStore store;
+        (void)grade(kFamilies, 4, seed_with_lockstep, &store);
+        store.stats() = {};
+        // Warm replay with the OTHER engine: every (fault, test) pair is
+        // served from the store, whichever engine wrote it.
+        const auto warm =
+            grade(kFamilies, 4, !seed_with_lockstep, &store);
+        EXPECT_EQ(outcome_fingerprint(warm), want_fp)
+            << "seeded by "
+            << (seed_with_lockstep ? "lockstep" : "per-fault");
+        EXPECT_EQ(csv_of(warm), want_csv);
+        EXPECT_EQ(store.stats().faults_skipped, warm.fault_count());
+        EXPECT_EQ(store.stats().faults_replayed, 0u);
+        if (!seed_with_lockstep) {
+            // The warm run was the lockstep one: fully cached lanes
+            // capture no traces and queue no blocks.
+            EXPECT_EQ(warm.lockstep_captures, 0u);
+            EXPECT_EQ(warm.lockstep_blocks, 0u);
+            EXPECT_EQ(warm.lockstep_lanes, 0u);
+        }
+    }
+}
+
+TEST(Lockstep, FamilyWithoutDeviceFactoryFallsBackPerFault) {
+    const auto reference = grade(kFamilies, 2, false);
+
+    GradingOptions opts;
+    opts.jobs = 2;
+    opts.lockstep = true;
+    GradingCampaign grading(opts);
+    for (const auto& family : kFamilies) {
+        auto setup = kb_grading_setup(family);
+        setup.make_device = nullptr; // custom faulty backend, say
+        grading.add(std::move(setup));
+    }
+    const auto result = grading.run_all();
+    EXPECT_EQ(outcome_fingerprint(result), outcome_fingerprint(reference));
+    EXPECT_EQ(result.lockstep_captures, 0u);
+    EXPECT_EQ(result.lockstep_blocks, 0u);
+    EXPECT_EQ(result.lockstep_lanes, 0u);
+}
+
+TEST(Lockstep, MixedEngineAndPerFaultFamiliesShareOneRun) {
+    GradingOptions opts;
+    opts.jobs = 4;
+    opts.lockstep = true;
+    GradingCampaign grading(opts);
+    auto per_fault = kb_grading_setup("central_lock");
+    per_fault.make_device = nullptr;
+    grading.add(std::move(per_fault));
+    grading.add(kb_grading_setup("wiper"));
+    const auto mixed = grading.run_all();
+
+    const auto reference = grade({"central_lock", "wiper"}, 1, false);
+    EXPECT_EQ(outcome_fingerprint(mixed), outcome_fingerprint(reference));
+    // Only wiper's faults went through the engine.
+    ASSERT_EQ(mixed.families.size(), 2u);
+    EXPECT_EQ(mixed.lockstep_lanes, mixed.families[1].faults.size());
+}
+
+TEST(Lockstep, NullFaultyFactoryStaysFrameworkErrorInBothEngines) {
+    // make_faulty == nullptr is a per-fault framework error; lockstep
+    // eligibility requires the factory, so the engine must not quietly
+    // grade what the per-fault path reports as broken.
+    std::vector<std::string> fingerprints;
+    for (const bool lockstep : {false, true}) {
+        GradingOptions opts;
+        opts.jobs = 1;
+        opts.lockstep = lockstep;
+        GradingCampaign grading(opts);
+        auto setup = kb_grading_setup("central_lock");
+        setup.make_faulty = nullptr;
+        grading.add(std::move(setup));
+        const auto result = grading.run_all();
+        ASSERT_EQ(result.families.size(), 1u);
+        EXPECT_EQ(result.framework_errors(), result.fault_count());
+        for (const auto& fg : result.families.front().faults) {
+            EXPECT_EQ(fg.outcome, FaultOutcome::FrameworkError)
+                << fg.fault.id();
+            EXPECT_NE(fg.error_message.find("no faulty backend factory"),
+                      std::string::npos)
+                << fg.error_message;
+        }
+        EXPECT_EQ(result.lockstep_lanes, 0u);
+        fingerprints.push_back(outcome_fingerprint(result));
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+} // namespace
+} // namespace ctk::core

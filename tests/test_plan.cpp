@@ -246,6 +246,66 @@ TEST(Plan, EngineCompileProducesTheSamePlan) {
               fingerprint(family, engine.run(script)));
 }
 
+TEST(Plan, SubsetExecutionEdgeCases) {
+    // Two-test plan: duplicate the wiper suite's single test under a
+    // second name so subsets have more than one index to select.
+    const std::string family = "wiper";
+    auto script = script::compile(kb::suite_for(family), kReg);
+    ASSERT_EQ(script.tests.size(), 1u);
+    auto again = script.tests.front();
+    again.name += "_again";
+    script.tests.push_back(std::move(again));
+    const auto desc = kb::stand_for(family);
+    const auto plan = CompiledPlan::compile(script, desc);
+    ASSERT_EQ(plan.tests().size(), 2u);
+
+    auto full_backend = fresh_backend(family, desc);
+    const auto full = plan.execute(*full_backend);
+    ASSERT_EQ(full.tests.size(), 2u);
+
+    // Empty subset: a valid no-op run that keeps the header fields.
+    auto backend = fresh_backend(family, desc);
+    const auto none = plan.execute(*backend, std::vector<std::size_t>{});
+    EXPECT_TRUE(none.tests.empty());
+    EXPECT_EQ(none.script_name, full.script_name);
+    EXPECT_EQ(none.stand_name, full.stand_name);
+
+    // An out-of-range index throws ctk::Error naming plan and index.
+    try {
+        (void)plan.execute(*backend, std::vector<std::size_t>{0, 2});
+        FAIL() << "subset execute must throw on index 2";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(full.script_name), std::string::npos) << what;
+        EXPECT_NE(what.find("has no test index 2"), std::string::npos)
+            << what;
+    }
+
+    // Duplicates and order: every occurrence restarts from reset, so
+    // {1, 0, 1} yields three bit-exact slices in the requested order.
+    auto dup_backend = fresh_backend(family, desc);
+    const auto dup =
+        plan.execute(*dup_backend, std::vector<std::size_t>{1, 0, 1});
+    ASSERT_EQ(dup.tests.size(), 3u);
+    EXPECT_EQ(detection_fingerprint(dup.tests[0]),
+              detection_fingerprint(dup.tests[2]));
+    EXPECT_EQ(detection_fingerprint(dup.tests[0]),
+              detection_fingerprint(full.tests[1]));
+    EXPECT_EQ(detection_fingerprint(dup.tests[1]),
+              detection_fingerprint(full.tests[0]));
+
+    // Subset-vs-full equality per test — the property the grade store's
+    // single-pair replay stands on.
+    for (std::size_t i = 0; i < plan.tests().size(); ++i) {
+        auto b = fresh_backend(family, desc);
+        const auto one = plan.execute(*b, std::vector<std::size_t>{i});
+        ASSERT_EQ(one.tests.size(), 1u);
+        EXPECT_EQ(detection_fingerprint(one.tests.front()),
+                  detection_fingerprint(full.tests[i]))
+            << "test " << i;
+    }
+}
+
 TEST(Plan, StringAndHandleTiersAgreeUnderRandomFaultInjection) {
     // 100 seeded random fault specs per run, drawn over every kind —
     // including the drift and skew paths no fixed-universe test drives

@@ -286,6 +286,102 @@ TEST(FaultyDutTest, PairFaultSeedsBothSingles) {
     EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_lo"), 12.0);
 }
 
+TEST(FaultyDutTest, ObservationOnlyClassifiesKinds) {
+    auto single = [](FaultKind kind, const char* target,
+                     double magnitude = 0.0) {
+        return FaultSpec{kind, target, magnitude};
+    };
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinStuckLow, "wiper_lo")));
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinStuckHigh, "wiper_lo")));
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinOffset, "wiper_lo", 0.8)));
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinScale, "wiper_lo", 0.8)));
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinIntermittentLow, "wiper_lo", 4)));
+    EXPECT_TRUE(observation_only_fault(
+        single(FaultKind::PinIntermittentHigh, "wiper_lo", 4)));
+    EXPECT_FALSE(observation_only_fault(
+        single(FaultKind::CanDrop, "wiper_sw")));
+    EXPECT_FALSE(observation_only_fault(
+        single(FaultKind::CanCorrupt, "wiper_sw")));
+    EXPECT_FALSE(observation_only_fault(
+        single(FaultKind::TimingSkew, "clock", 1.35)));
+
+    // A pair is observation-only iff EVERY layer is.
+    FaultSpec pin_pair = single(FaultKind::PinStuckLow, "wiper_lo");
+    pin_pair.paired = std::make_shared<FaultSpec>(
+        single(FaultKind::PinOffset, "wiper_hi", 0.8));
+    EXPECT_TRUE(observation_only_fault(pin_pair));
+    FaultSpec mixed = single(FaultKind::PinStuckLow, "wiper_lo");
+    mixed.paired = std::make_shared<FaultSpec>(
+        single(FaultKind::CanDrop, "wiper_sw"));
+    EXPECT_FALSE(observation_only_fault(mixed));
+}
+
+TEST(FaultyDutTest, FaultChainIsInnermostFirst) {
+    FaultSpec lone{FaultKind::PinScale, "wiper_lo", 0.8};
+    const auto one = fault_chain(lone);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], &lone);
+
+    // For "a&b" the FaultyDut constructor seeds b (the paired half)
+    // around the device first, so the chain reads innermost-first.
+    FaultSpec outer{FaultKind::PinStuckHigh, "wiper_lo", 0.0};
+    outer.paired = std::make_shared<FaultSpec>(
+        FaultSpec{FaultKind::PinOffset, "wiper_lo", 0.5});
+    const auto chain = fault_chain(outer);
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0], outer.paired.get());
+    EXPECT_EQ(chain[1], &outer);
+}
+
+TEST(FaultyDutTest, MutateObservedMatchesTheDecorator) {
+    // For every pin kind: reading the faulted pin through a FaultyDut
+    // equals mutate_observed() applied to the healthy device's reading —
+    // the identity the lockstep grader (core/lockstep) evaluates
+    // observation-only faults with, ticks being the step count since
+    // reset.
+    const double supply = 12.0;
+    const std::vector<FaultSpec> specs{
+        {FaultKind::PinStuckLow, "wiper_lo", 0.0},
+        {FaultKind::PinStuckHigh, "wiper_lo", 0.0},
+        {FaultKind::PinOffset, "wiper_lo", -0.4},
+        {FaultKind::PinScale, "wiper_lo", 0.65},
+        {FaultKind::PinIntermittentLow, "wiper_lo", 2},
+        {FaultKind::PinIntermittentHigh, "wiper_lo", 3},
+    };
+    for (const auto& spec : specs) {
+        dut::WiperEcu healthy;
+        FaultyDut faulty(std::make_unique<dut::WiperEcu>(), spec);
+        healthy.set_supply(supply);
+        faulty.set_supply(supply);
+        healthy.can_receive("wiper_sw", {true, false}); // slow: lo live
+        faulty.can_receive("wiper_sw", {true, false});
+        for (long long tick = 0; tick < 8; ++tick) {
+            EXPECT_DOUBLE_EQ(
+                faulty.pin_voltage("wiper_lo"),
+                mutate_observed(spec, healthy.pin_voltage("wiper_lo"),
+                                supply, tick))
+                << spec.id() << " tick " << tick;
+            // The untargeted pin passes through unmutated.
+            EXPECT_DOUBLE_EQ(faulty.pin_voltage("wiper_hi"),
+                             healthy.pin_voltage("wiper_hi"))
+                << spec.id() << " tick " << tick;
+            healthy.step(0.1);
+            faulty.step(0.1);
+        }
+    }
+    // Non-pin kinds are identity rewrites: they perturb the trajectory,
+    // not the observation.
+    const FaultSpec skew{FaultKind::TimingSkew, "clock", 1.35};
+    EXPECT_DOUBLE_EQ(mutate_observed(skew, 7.5, supply, 3), 7.5);
+    const FaultSpec drop{FaultKind::CanDrop, "wiper_sw", 0.0};
+    EXPECT_DOUBLE_EQ(mutate_observed(drop, 7.5, supply, 3), 7.5);
+}
+
 TEST(FaultyDutTest, ScaledUniverseGrowsTheSurface) {
     FaultSurface surface;
     surface.output_pins = {"lamp_l"};

@@ -97,6 +97,7 @@ const char* kUsage =
     "                [--csv out.csv] [--min-coverage X]\n"
     "                [--universe base|scaled] [--store DIR] "
     "[--invalidate]\n"
+    "                [--lockstep [--block N]]\n"
     "                [--augment] [--budget N] [--seed S] [--out DIR]\n";
 
 /// Flags shared verbatim by both modes.
@@ -159,19 +160,45 @@ void close_store(const ctk::core::GradeStore& store,
     std::cerr << "ctkgrade: wrote store " << options.dir << "\n";
 }
 
+/// Machine-grepable throughput summary, one line on stderr so stdout
+/// stays byte-identical across engines and worker counts. Format:
+///   ctkgrade-perf: mode=<kb|gate> engine=<...> faults=N wall_s=X
+///                  faults_per_s=Y workers=W
+void print_perf(const std::string& mode, const std::string& engine,
+                std::size_t faults, double wall_s, unsigned workers) {
+    using namespace ctk;
+    const double rate = wall_s > 0.0 ? static_cast<double>(faults) / wall_s
+                                     : 0.0;
+    std::cerr << "ctkgrade-perf: mode=" << mode << " engine=" << engine
+              << " faults=" << faults << " wall_s="
+              << str::format_number(wall_s, 3) << " faults_per_s="
+              << str::format_number(rate, 1) << " workers=" << workers
+              << "\n";
+}
+
 int run_kb_grading(const std::vector<std::string>& families,
                    const CommonOptions& options,
                    const ctk::sim::UniverseOptions& universe,
-                   const StoreOptions& store_options) {
+                   const StoreOptions& store_options, bool lockstep,
+                   std::size_t block) {
     using namespace ctk;
     try {
         core::GradingOptions opts;
         opts.jobs = options.jobs;
         opts.universe = universe;
+        opts.lockstep = lockstep;
+        opts.block = block;
         auto store = open_store(store_options);
         if (store) opts.store = &*store;
         const auto result = core::grade_kb(opts, families);
         if (store) close_store(*store, store_options);
+        if (lockstep)
+            std::cerr << "ctkgrade: lockstep " << result.lockstep_captures
+                      << " capture(s), " << result.lockstep_blocks
+                      << " block(s), " << result.lockstep_lanes
+                      << " lane(s)\n";
+        print_perf("kb", lockstep ? "lockstep" : "per-fault",
+                   result.fault_count(), result.wall_s, result.workers);
         // Low coverage is information; a framework error is a defect in
         // the grading harness or the stand — that must fail CI.
         return finish(result.to_coverage(), options,
@@ -251,6 +278,8 @@ int run_gate_grading(const std::string& spec, std::size_t budget,
         matrix.workers = parallel::resolve_workers(
             options.jobs, graded.faults.size());
         matrix.wall_s = wall;
+        print_perf("gate", "sharded", graded.faults.size(), wall,
+                   graded.effective_workers);
         return finish(matrix, options, 0);
     } catch (const Error& e) {
         std::cerr << "ctkgrade: " << e.what() << "\n";
@@ -275,6 +304,9 @@ int main(int argc, char** argv) {
     StoreOptions store;
     sim::UniverseOptions universe;
     bool universe_set = false;
+    bool lockstep = false;
+    std::size_t block = 0;
+    bool block_set = false;
     std::vector<std::string> families;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -334,6 +366,17 @@ int main(int argc, char** argv) {
                 return 1;
             }
             universe_set = true;
+        } else if (arg == "--lockstep") {
+            lockstep = true;
+        } else if (arg == "--block") {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 1e6) || *n != std::floor(*n)) {
+                std::cerr << "ctkgrade: --block needs an integer in "
+                             "[1, 1e6]\n";
+                return 1;
+            }
+            block = static_cast<std::size_t>(*n);
+            block_set = true;
         } else if (arg == "--families") {
             for (const auto& f : str::split(next(), ','))
                 families.push_back(std::string(str::trim(f)));
@@ -388,13 +431,20 @@ int main(int argc, char** argv) {
             std::cerr << "ctkgrade: --invalidate needs --store DIR\n";
             return 1;
         }
+        if (block_set && !lockstep) {
+            std::cerr << "ctkgrade: --block needs --lockstep\n";
+            return 1;
+        }
         if (augment) {
             aug_opts.jobs = common.jobs;
             aug_opts.universe = universe;
+            aug_opts.lockstep = lockstep;
+            aug_opts.block = block;
             return run_kb_augmentation(families, common, aug_opts, store,
                                        out_dir);
         }
-        return run_kb_grading(families, common, universe, store);
+        return run_kb_grading(families, common, universe, store, lockstep,
+                              block);
     }
     if (!families.empty()) {
         std::cerr << "ctkgrade: --families only applies to --kb mode\n";
@@ -412,6 +462,11 @@ int main(int argc, char** argv) {
     }
     if (universe_set) {
         std::cerr << "ctkgrade: --universe only applies to --kb mode\n";
+        return 1;
+    }
+    if (lockstep || block_set) {
+        std::cerr << "ctkgrade: --lockstep/--block only apply to --kb "
+                     "mode\n";
         return 1;
     }
     if (spec.empty()) {
