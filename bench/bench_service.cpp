@@ -1,0 +1,255 @@
+// bench_service — prices the ctkd campaign daemon (DESIGN.md §13)
+// against the cold ctkgrade path it replaces.
+//
+// The measured story:
+//  1. cold baseline — what one offline `ctkgrade --kb` invocation pays
+//     per request: parse + compile every family's suite, then grade the
+//     full universe with an empty store (process startup excluded,
+//     which only flatters the cold side);
+//  2. warm daemon request — a DaemonClient round-trip against an
+//     in-process CtkdServer whose plan cache and grade store were
+//     warmed by one prior identical request: the daemon re-runs the
+//     golden runs and replays verdicts from the store;
+//  3. throughput — campaigns/s at 1, 4 and 8 concurrent clients
+//     hammering the same warm entry (requests serialize on the entry
+//     gate; the bench prices the whole pipeline, not ideal scaling).
+//
+// Before any time counts, the daemon reply is asserted byte-identical
+// (coverage CSV + outcome fingerprint) to the offline grading. The
+// bench then requires warm >= 5x faster than cold and exits nonzero
+// otherwise — CI runs this as a perf gate, not just a report.
+//
+// Results go to stdout and, machine-readable, to BENCH_service.json.
+//
+//   usage: bench_service [--repeat R] [--requests N] [--smoke]
+//                        [--out file.json]
+#include <cmath>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/strings.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "report/report.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace ctk;
+using Clock = std::chrono::steady_clock;
+
+template <typename F> double time_s(F&& body) {
+    const auto start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string json_num(double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+/// One cold offline-equivalent grading: compile everything from the KB
+/// and grade with no store — the per-invocation cost `ctkgrade --kb`
+/// pays (minus process startup).
+core::GradingResult cold_grade() {
+    core::GradingOptions opts;
+    opts.jobs = 1; // the timing axis is the warm cache, not the pool
+    return core::grade_kb(opts, {});
+}
+
+service::GradeRequestMsg full_kb_request() {
+    service::GradeRequestMsg request;
+    request.jobs = 1; // match the cold baseline's worker count
+    return request;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t repeat = 5;
+    std::size_t requests_per_client = 4;
+    std::string out_path = "BENCH_service.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_service: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto parse_count = [&](const char* flag) -> std::size_t {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= 1 && *n <= 4096) || *n != std::floor(*n)) {
+                std::cerr << "bench_service: " << flag
+                          << " needs an integer in [1, 4096]\n";
+                std::exit(1);
+            }
+            return static_cast<std::size_t>(*n);
+        };
+        if (arg == "--repeat") {
+            repeat = parse_count("--repeat");
+        } else if (arg == "--requests") {
+            requests_per_client = parse_count("--requests");
+        } else if (arg == "--smoke") {
+            // CI: fewest repetitions that still exercise every phase;
+            // the 5x gate holds comfortably even uncontended.
+            repeat = 2;
+            requests_per_client = 2;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::cerr << "usage: bench_service [--repeat R] [--requests N] "
+                         "[--smoke] [--out file]\n";
+            return 1;
+        }
+    }
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("ctk_bench_service_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+
+    service::ServerOptions sopts;
+    sopts.socket_path = (dir / "ctkd.sock").string();
+    sopts.max_sessions = 8;
+    sopts.backlog = 64;
+    service::CtkdServer server(sopts);
+    server.start();
+
+    int exit_code = 0;
+    try {
+        // Phase 0: correctness before speed. One warming request, whose
+        // reply must be byte-identical to the offline grading.
+        const core::GradingResult reference = cold_grade();
+        const std::string want_csv =
+            report::coverage_to_csv(reference.to_coverage());
+        const std::string want_fp =
+            core::coverage_fingerprint(reference.to_coverage());
+        {
+            service::DaemonClient client(sopts.socket_path);
+            const service::GradeReply warming =
+                client.grade(full_kb_request());
+            if (report::coverage_to_csv(warming.matrix) != want_csv ||
+                core::coverage_fingerprint(warming.matrix) != want_fp) {
+                std::cerr << "bench_service: daemon reply differs from "
+                             "offline grading!\n";
+                server.stop();
+                return 2;
+            }
+        }
+        std::cout << "bench_service: " << reference.fault_count()
+                  << " fault(s) across " << core::kb::families().size()
+                  << " KB families per request, x" << repeat
+                  << " repetition(s)\n";
+
+        // Phase 1: cold baseline — best of `repeat` full offline runs.
+        double cold_s = 0.0;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            const double wall = time_s([] { (void)cold_grade(); });
+            if (r == 0 || wall < cold_s) cold_s = wall;
+        }
+        std::cout << "  cold offline grading:      "
+                  << str::format_number(cold_s, 4) << " s / request\n";
+
+        // Phase 2: warm daemon latency — best of `repeat` round-trips
+        // against the warmed cache (one persistent connection, like a
+        // CI loop reusing --connect).
+        double warm_s = 0.0;
+        {
+            service::DaemonClient client(sopts.socket_path);
+            for (std::size_t r = 0; r < repeat; ++r) {
+                const double wall = time_s(
+                    [&] { (void)client.grade(full_kb_request()); });
+                if (r == 0 || wall < warm_s) warm_s = wall;
+            }
+        }
+        const double speedup = cold_s / warm_s;
+        std::cout << "  warm daemon request:       "
+                  << str::format_number(warm_s, 4) << " s / request (x"
+                  << str::format_number(speedup, 4) << " vs cold)\n";
+
+        // Phase 3: campaigns/s at 1, 4, 8 concurrent clients. All
+        // clients share one warm entry, so gradings serialize on its
+        // gate — this prices the daemon pipeline under contention.
+        const std::vector<unsigned> fleets{1, 4, 8};
+        std::vector<double> throughput;
+        for (const unsigned clients : fleets) {
+            const std::size_t total = clients * requests_per_client;
+            const double wall = time_s([&] {
+                std::vector<std::thread> fleet;
+                fleet.reserve(clients);
+                for (unsigned c = 0; c < clients; ++c) {
+                    fleet.emplace_back([&] {
+                        service::DaemonClient client(sopts.socket_path);
+                        for (std::size_t r = 0; r < requests_per_client;
+                             ++r)
+                            (void)client.grade(full_kb_request());
+                    });
+                }
+                for (auto& t : fleet) t.join();
+            });
+            const double rate = static_cast<double>(total) / wall;
+            throughput.push_back(rate);
+            std::cout << "  " << clients << " client(s): "
+                      << str::format_number(rate, 4) << " campaigns/s ("
+                      << total << " requests in "
+                      << str::format_number(wall, 4) << " s)\n";
+        }
+
+        std::ostringstream json;
+        json << "{\n  \"bench\": \"bench_service\",\n";
+        json << "  \"faults_per_request\": " << reference.fault_count()
+             << ",\n";
+        json << "  \"families\": " << core::kb::families().size() << ",\n";
+        json << "  \"repeats\": " << repeat << ",\n";
+        json << "  \"requests_per_client\": " << requests_per_client
+             << ",\n";
+        json << "  \"cold_request_s\": " << json_num(cold_s) << ",\n";
+        json << "  \"warm_request_s\": " << json_num(warm_s) << ",\n";
+        json << "  \"warm_speedup\": " << json_num(speedup) << ",\n";
+        for (std::size_t i = 0; i < fleets.size(); ++i)
+            json << "  \"campaigns_per_s_" << fleets[i]
+                 << "_clients\": " << json_num(throughput[i]) << ",\n";
+        json << "  \"plan_cache_hits\": "
+             << server.stats().cache_hits.load() << "\n}\n";
+
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "bench_service: cannot write " << out_path << "\n";
+            server.stop();
+            return 1;
+        }
+        out << json.str();
+        std::cout << "  wrote " << out_path << "\n";
+
+        // The perf gate: the daemon's reason to exist is that a warm
+        // request costs golden runs + a store replay, not a cold
+        // compile-and-grade-the-world.
+        if (speedup < 5.0) {
+            std::cerr << "bench_service: warm request only x"
+                      << str::format_number(speedup, 4)
+                      << " vs cold (need >= x5)\n";
+            exit_code = 3;
+        }
+    } catch (const Error& e) {
+        std::cerr << "bench_service: " << e.what() << "\n";
+        exit_code = 2;
+    }
+
+    server.stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return exit_code;
+}

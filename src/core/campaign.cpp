@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
@@ -134,8 +135,14 @@ CampaignResult CampaignRunner::run_all() {
     // submission index and writes only its own slot, so result order
     // is the submission order whatever the schedule; workers <= 1 is
     // bit-identical to a sequential loop of TestEngine::run calls.
+    std::atomic<std::size_t> completed{0};
+    const std::size_t total = jobs_.size();
     parallel::for_shards(jobs_.size(), workers, [&](std::size_t i) {
         result.jobs[i] = execute_job(jobs_[i]);
+        if (options_.on_job_done)
+            options_.on_job_done(
+                completed.fetch_add(1, std::memory_order_relaxed) + 1,
+                total);
     });
 
     result.wall_s = seconds_since(start);

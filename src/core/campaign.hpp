@@ -100,6 +100,14 @@ struct CampaignOptions {
     /// grading sets it so a near-warm store replay of a handful of
     /// subset jobs does not pay a full thread fleet (DESIGN.md §12).
     std::size_t min_jobs_per_worker = 1;
+    /// Completion tick, invoked after each job finishes with the number
+    /// of jobs completed so far and the total queued. Called from the
+    /// worker that ran the job (or inline at jobs <= 1), so it may fire
+    /// concurrently — the callee synchronizes. Completion order is
+    /// scheduling-dependent; only the counts are monotone. Result slots
+    /// and verdicts are unaffected by the callback (the campaign daemon
+    /// streams progress frames off this hook, DESIGN.md §13).
+    std::function<void(std::size_t done, std::size_t total)> on_job_done;
 };
 
 /// Executes queued jobs on a worker pool. Typical use:

@@ -77,6 +77,17 @@ std::string read_if_exists(const std::string& path) {
 
 } // namespace
 
+GradeStoreStats GradeStoreStats::minus(const GradeStoreStats& since) const {
+    GradeStoreStats out;
+    out.pair_hits = pair_hits - since.pair_hits;
+    out.pair_misses = pair_misses - since.pair_misses;
+    out.pair_stale = pair_stale - since.pair_stale;
+    out.cert_hits = cert_hits - since.cert_hits;
+    out.faults_skipped = faults_skipped - since.faults_skipped;
+    out.faults_replayed = faults_replayed - since.faults_replayed;
+    return out;
+}
+
 const PairRecord*
 GradeStore::find_pair(const std::string& family, const std::string& test,
                       const std::string& plan_hash,

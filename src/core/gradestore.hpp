@@ -76,6 +76,12 @@ struct GradeStoreStats {
     [[nodiscard]] std::size_t pairs_consulted() const {
         return pair_hits + pair_misses + pair_stale;
     }
+
+    /// Component-wise difference (this - since). A long-lived mount
+    /// (the ctkd daemon's per-cache-entry store) accumulates stats
+    /// across requests; snapshotting before a grading and subtracting
+    /// after yields that request's slice for reporting.
+    [[nodiscard]] GradeStoreStats minus(const GradeStoreStats& since) const;
 };
 
 class GradeStore {

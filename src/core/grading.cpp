@@ -182,27 +182,34 @@ std::optional<double> FamilyGrade::coverage() const {
     return coverage_ratio(detected(), graded());
 }
 
+std::string FamilyGrade::golden_status() const {
+    return golden_error ? "ERROR" : golden_passed ? "PASS" : "FAIL";
+}
+
+CoverageEntry to_coverage_entry(const FaultGrade& grade) {
+    CoverageEntry entry;
+    entry.id = grade.fault.id();
+    entry.kind = sim::fault_kind_label(grade.fault);
+    entry.outcome = grade.outcome;
+    // The KB side attributes by check site, not pattern index:
+    // detected_by stays disengaged, detected_at names the first
+    // flipped check.
+    if (grade.outcome == FaultOutcome::Detected)
+        entry.detected_at = grade.first_flip;
+    entry.flipped_checks = grade.flipped_checks;
+    entry.error_message = grade.error_message;
+    return entry;
+}
+
 CoverageGroup FamilyGrade::coverage_group() const {
     CoverageGroup group;
     group.name = family;
-    group.status = golden_error ? "ERROR" : golden_passed ? "PASS" : "FAIL";
+    group.status = golden_status();
     group.setup_error = golden_error;
     group.setup_message = golden_message;
     group.entries.reserve(faults.size());
-    for (const auto& f : faults) {
-        CoverageEntry entry;
-        entry.id = f.fault.id();
-        entry.kind = sim::fault_kind_label(f.fault);
-        entry.outcome = f.outcome;
-        // The KB side attributes by check site, not pattern index:
-        // detected_by stays disengaged, detected_at names the first
-        // flipped check.
-        if (f.outcome == FaultOutcome::Detected)
-            entry.detected_at = f.first_flip;
-        entry.flipped_checks = f.flipped_checks;
-        entry.error_message = f.error_message;
-        group.entries.push_back(std::move(entry));
-    }
+    for (const auto& f : faults)
+        group.entries.push_back(to_coverage_entry(f));
     return group;
 }
 
@@ -374,6 +381,7 @@ GradingResult GradingCampaign::run_all() {
 
     CampaignOptions copts;
     copts.jobs = options_.jobs;
+    copts.on_job_done = options_.on_progress;
     CampaignRunner runner(copts);
     std::vector<FamilyExec> execs;
 
@@ -664,6 +672,16 @@ GradingResult GradingCampaign::run_all() {
     for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
         FamilyGrade& grade = result.families[fi];
         FamilyExec& exec = execs[fi];
+        if (options_.on_family) options_.on_family(fi, grade);
+        // Every classification path funnels through one emitter so the
+        // streaming hook fires exactly once per fault, in universe
+        // order, with the final (certificate-applied) verdict.
+        auto emit = [&](FaultGrade&& fg) {
+            grade.faults.push_back(std::move(fg));
+            if (options_.on_fault)
+                options_.on_fault(fi, grade.faults.size() - 1,
+                                  grade.faults.back());
+        };
         if (grade.golden_error) {
             // Nothing executed: the whole universe is ungradeable, which
             // is a framework condition, not a coverage statement.
@@ -673,7 +691,7 @@ GradingResult GradingCampaign::run_all() {
                 fg.outcome = FaultOutcome::FrameworkError;
                 fg.error_message =
                     "golden run failed: " + grade.golden_message;
-                grade.faults.push_back(std::move(fg));
+                emit(std::move(fg));
             }
             continue;
         }
@@ -714,7 +732,7 @@ GradingResult GradingCampaign::run_all() {
                 if (out.error) {
                     fg.outcome = FaultOutcome::FrameworkError;
                     fg.error_message = out.error_message;
-                    grade.faults.push_back(std::move(fg));
+                    emit(std::move(fg));
                     continue;
                 }
                 if (store)
@@ -727,7 +745,7 @@ GradingResult GradingCampaign::run_all() {
                 fg.outcome = out.differs ? FaultOutcome::Detected
                                          : FaultOutcome::Undetected;
                 apply_certificate(fg);
-                grade.faults.push_back(std::move(fg));
+                emit(std::move(fg));
             }
             continue;
         }
@@ -745,7 +763,7 @@ GradingResult GradingCampaign::run_all() {
                         // pair verdicts exist to store or merge.
                         fg.outcome = FaultOutcome::FrameworkError;
                         fg.error_message = jr.error_message;
-                        grade.faults.push_back(std::move(fg));
+                        emit(std::move(fg));
                         continue;
                     }
                     for (std::size_t p = 0; p < sched.subset.size(); ++p) {
@@ -788,7 +806,7 @@ GradingResult GradingCampaign::run_all() {
                 fg.outcome = any_differs ? FaultOutcome::Detected
                                          : FaultOutcome::Undetected;
                 apply_certificate(fg);
-                grade.faults.push_back(std::move(fg));
+                emit(std::move(fg));
             }
             continue;
         }
@@ -836,7 +854,7 @@ GradingResult GradingCampaign::run_all() {
                 fg.outcome = differs ? FaultOutcome::Detected
                                      : FaultOutcome::Undetected;
             }
-            grade.faults.push_back(std::move(fg));
+            emit(std::move(fg));
         }
     }
 

@@ -71,10 +71,18 @@ struct FamilyGrade {
     /// detected / graded; n/a when nothing was gradeable (the coverage
     /// kernel's zero-fault rule).
     [[nodiscard]] std::optional<double> coverage() const;
+    /// The golden verdict column: "ERROR" / "PASS" / "FAIL".
+    [[nodiscard]] std::string golden_status() const;
     /// Kernel view: one CoverageGroup, entries positional with
-    /// `faults`, status = the golden verdict ("PASS"/"FAIL"/"ERROR").
+    /// `faults`, status = golden_status().
     [[nodiscard]] CoverageGroup coverage_group() const;
 };
+
+/// The kernel cell of one graded fault — exactly the entry
+/// coverage_group() emits. The campaign daemon streams these one at a
+/// time as faults classify, so the streamed rows and the buffered
+/// matrix come from one conversion (DESIGN.md §13).
+[[nodiscard]] CoverageEntry to_coverage_entry(const FaultGrade& grade);
 
 struct GradingResult {
     std::vector<FamilyGrade> families; ///< add() order
@@ -134,6 +142,28 @@ struct GradingOptions {
     /// over 4 blocks per worker, floored at 64 pairs, so a near-warm
     /// store replay does not shatter into thread-starved slivers.
     std::size_t block = 0;
+    // -- streaming observers (DESIGN.md §13) -------------------------------
+    // The hooks let a caller (the ctkd daemon) forward verdicts as they
+    // classify instead of waiting for the buffered GradingResult. They
+    // observe, never steer: outcomes, fingerprints and result order are
+    // identical whether or not any hook is set.
+    /// Called once per family, in add() order, when classification of
+    /// that family begins. `grade` carries the golden fields (name,
+    /// golden_error/_passed/_message, fingerprint); its `faults` vector
+    /// is not populated yet. Runs on the run_all() calling thread.
+    std::function<void(std::size_t family_index, const FamilyGrade& grade)>
+        on_family;
+    /// Called once per fault, immediately after its FaultGrade is
+    /// classified (certificates already applied), in universe order
+    /// within each family. Runs on the run_all() calling thread.
+    std::function<void(std::size_t family_index, std::size_t fault_index,
+                       const FaultGrade& grade)>
+        on_fault;
+    /// Execution progress: forwarded to the fault campaign's
+    /// CampaignOptions::on_job_done, so it ticks while jobs are still
+    /// executing (before classification). May be invoked concurrently
+    /// from worker threads — the callee synchronizes.
+    std::function<void(std::size_t done, std::size_t total)> on_progress;
 };
 
 /// Builds the faulty execution environment for one fault of a family.

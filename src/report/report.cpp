@@ -254,6 +254,15 @@ std::string render_gradestore_stats(const core::GradeStoreStats& stats) {
            " certificate(s) honoured\n";
 }
 
+std::string render_daemon_stats(bool cache_hit, const std::string& kb_hash,
+                                const std::string& stand_hash,
+                                double wall_s) {
+    return std::string("daemon: plan-cache ") +
+           (cache_hit ? "hit" : "miss") + " (kb " + kb_hash + ", stand " +
+           stand_hash + "), graded in " + str::format_number(wall_s, 3) +
+           " s\n";
+}
+
 std::string coverage_to_csv(const core::CoverageMatrix& matrix) {
     std::string out =
         "group,fault,kind,outcome,detected_by,detected_at,"

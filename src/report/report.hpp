@@ -63,4 +63,12 @@ render_augmentation(const core::AugmentationResult& result,
 [[nodiscard]] std::string
 render_gradestore_stats(const core::GradeStoreStats& stats);
 
+/// One-line daemon bookkeeping for ctkgrade --connect: whether the
+/// daemon served this request from a warm plan-cache entry, the entry's
+/// content-hash key and the daemon-side wall clock. Plain parameters so
+/// report/ stays independent of the service layer.
+[[nodiscard]] std::string
+render_daemon_stats(bool cache_hit, const std::string& kb_hash,
+                    const std::string& stand_hash, double wall_s);
+
 } // namespace ctk::report

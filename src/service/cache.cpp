@@ -1,0 +1,111 @@
+#include "service/cache.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "core/kb.hpp"
+
+namespace ctk::service {
+
+namespace {
+
+const char* universe_tag(bool scaled) { return scaled ? "scaled" : "base"; }
+
+std::string family_key(const std::string& family, bool scaled) {
+    return family + '|' + universe_tag(scaled);
+}
+
+} // namespace
+
+PlanCache::PlanCache(std::string store_root)
+    : store_root_(std::move(store_root)) {}
+
+PlanCache::Mount PlanCache::mount(const std::vector<std::string>& families,
+                                  bool scaled,
+                                  const core::RunOptions& run) {
+    const std::vector<std::string> resolved =
+        families.empty() ? core::kb::families() : families;
+    const sim::UniverseOptions universe = scaled
+                                              ? sim::UniverseOptions::scaled()
+                                              : sim::UniverseOptions::base();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Family sub-cache first: compile each family at most once per
+    // universe, whatever request shapes mention it. Compiling under the
+    // cache lock serializes compiles — correct and simple; a compile is
+    // a one-time cost per (family, universe) for the daemon's lifetime.
+    std::vector<core::FamilyGradingSetup> setups;
+    setups.reserve(resolved.size());
+    for (const auto& family : resolved) {
+        const std::string key = family_key(family, scaled);
+        auto it = family_plans_.find(key);
+        if (it == family_plans_.end()) {
+            it = family_plans_
+                     .emplace(key,
+                              core::kb_grading_setup(family, run, universe))
+                     .first;
+        }
+        setups.push_back(it->second); // cheap: the plan is a shared_ptr
+    }
+
+    // Entry key: content hashes in request order. Hashing the *compiled*
+    // content (not the family names) means any suite/stand edit that
+    // reaches the daemon as different plan bytes keys a fresh entry.
+    std::string kb_parts;
+    std::string stand_parts;
+    for (const auto& setup : setups) {
+        kb_parts += core::plan_suite_hash(*setup.plan, setup.stand);
+        kb_parts += '\n';
+        stand_parts += core::stand_content_hash(setup.stand);
+        stand_parts += '\n';
+    }
+    const std::string kb_hash = str::fnv1a_hex(kb_parts);
+    const std::string stand_hash = str::fnv1a_hex(stand_parts);
+    const std::string entry_key =
+        kb_hash + '|' + stand_hash + '|' + universe_tag(scaled);
+
+    auto it = entries_.find(entry_key);
+    if (it != entries_.end()) return Mount{it->second, true};
+
+    auto entry = std::make_shared<CacheEntry>();
+    entry->kb_hash = kb_hash;
+    entry->stand_hash = stand_hash;
+    entry->scaled = scaled;
+    entry->setups = std::move(setups);
+    if (!store_root_.empty())
+        entry->store = core::GradeStore::load(entry_store_dir(*entry));
+    entries_.emplace(entry_key, entry);
+    return Mount{std::move(entry), false};
+}
+
+void PlanCache::persist() {
+    if (store_root_.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, entry] : entries_) {
+        // The gate serializes against an in-flight grading so a save
+        // never races a store write.
+        std::lock_guard<std::mutex> gate(entry->gate);
+        entry->store.save(entry_store_dir(*entry));
+    }
+}
+
+std::size_t PlanCache::entry_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t PlanCache::family_plan_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return family_plans_.size();
+}
+
+std::string PlanCache::entry_store_dir(const CacheEntry& entry) const {
+    return (std::filesystem::path(store_root_) /
+            (std::string(universe_tag(entry.scaled)) + "-" + entry.kb_hash +
+             "-" + entry.stand_hash))
+        .string();
+}
+
+} // namespace ctk::service

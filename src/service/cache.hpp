@@ -1,0 +1,90 @@
+// ctkd's warm plan cache (DESIGN.md §13).
+//
+// The daemon's entire speed advantage over a cold ctkgrade process is
+// that compiled plans and graded (fault, test) verdicts survive between
+// requests. Two layers of reuse, both content-addressed:
+//
+//   * a family sub-cache, keyed (family, universe): the compiled
+//     FamilyGradingSetup — suite parse, stand, compiled plan, fault
+//     universe. Shared across every request shape that mentions the
+//     family, so adding a family to a request never recompiles the
+//     others.
+//   * the entry cache, keyed (KB content hash, stand content hash,
+//     universe): one entry per request *shape*, holding the setup list
+//     in request order plus one shared core::GradeStore. The key
+//     hashes content, not names — editing a suite or a stand on disk
+//     would change plan_suite_hash/stand_content_hash and miss, never
+//     serve stale plans. A hit on the second identical request is what
+//     the daemon-smoke CI asserts.
+//
+// Concurrency contract: the cache's own maps are guarded by an
+// internal mutex held only during mount() — never during grading. Each
+// entry carries a `gate` mutex the *caller* holds across its
+// GradingCampaign::run_all(): every GradeStore read/write happens on
+// the grading thread (core/gradestore is not internally locked), so
+// two requests sharing an entry serialize on the gate while requests
+// on different entries grade concurrently.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gradestore.hpp"
+#include "core/grading.hpp"
+
+namespace ctk::service {
+
+/// One cached request shape: compiled setups in request order plus the
+/// shared grade store warmed by every request that mounted this entry.
+struct CacheEntry {
+    std::string kb_hash;    ///< fnv1a over per-family plan_suite_hash
+    std::string stand_hash; ///< fnv1a over per-family stand_content_hash
+    bool scaled = false;    ///< fault-universe half of the key
+    std::vector<core::FamilyGradingSetup> setups;
+    core::GradeStore store;
+    /// Held by the mounting session across its whole run_all() — the
+    /// store is only thread-safe because gradings sharing an entry
+    /// serialize here.
+    std::mutex gate;
+};
+
+class PlanCache {
+public:
+    /// `store_root` empty = in-memory stores only. Non-empty: each
+    /// entry's store is loaded from a content-named directory under the
+    /// root at entry creation and written back by persist().
+    explicit PlanCache(std::string store_root = {});
+
+    struct Mount {
+        std::shared_ptr<CacheEntry> entry;
+        bool hit = false; ///< entry existed before this mount
+    };
+
+    /// Resolve `families` (empty = the full knowledge base) to a cache
+    /// entry, compiling any family not yet in the sub-cache. Throws
+    /// SemanticError for unknown families. The caller must lock
+    /// `entry->gate` before grading against the entry.
+    [[nodiscard]] Mount mount(const std::vector<std::string>& families,
+                              bool scaled,
+                              const core::RunOptions& run = {});
+
+    /// Save every entry's store under store_root (no-op when unset).
+    void persist();
+
+    [[nodiscard]] std::size_t entry_count() const;
+    [[nodiscard]] std::size_t family_plan_count() const;
+
+private:
+    [[nodiscard]] std::string entry_store_dir(const CacheEntry& entry) const;
+
+    std::string store_root_;
+    mutable std::mutex mutex_; ///< guards the maps, never held over grading
+    std::unordered_map<std::string, core::FamilyGradingSetup> family_plans_;
+    std::unordered_map<std::string, std::shared_ptr<CacheEntry>> entries_;
+};
+
+} // namespace ctk::service

@@ -1,0 +1,135 @@
+#include "service/client.hpp"
+
+namespace ctk::service {
+
+namespace {
+
+/// Sanity ceiling on one group's announced fault count: far above any
+/// real universe (the scaled KB is ~6,400 faults), far below anything
+/// that would let a lying server drive a huge allocation.
+constexpr std::uint64_t kMaxGroupFaults = 10'000'000;
+
+} // namespace
+
+DaemonClient::DaemonClient(const std::string& path, int stall_ms)
+    : socket_(connect_local(path)), stall_ms_(stall_ms) {
+    write_frame(socket_, FrameType::Hello, encode(HelloMsg{}));
+    const Frame reply = next_frame();
+    if (reply.type == FrameType::Error) {
+        const ErrorMsg err = decode_error(reply.payload);
+        throw DaemonError(err.code, err.message);
+    }
+    if (reply.type != FrameType::HelloOk)
+        throw ProtoError(std::string("expected HelloOk, got ") +
+                         frame_type_name(reply.type));
+}
+
+GradeReply DaemonClient::grade(
+    const GradeRequestMsg& request,
+    const std::function<void(const ProgressMsg&)>& on_progress) {
+    write_frame(socket_, FrameType::GradeRequest, encode(request));
+
+    GradeReply reply;
+    // Slots filled per group; Done cross-checks every announced slot
+    // actually streamed — a short-changed reply cannot half-render.
+    std::vector<std::vector<bool>> filled;
+    std::size_t missing = 0;
+
+    while (true) {
+        const Frame frame = next_frame();
+        switch (frame.type) {
+        case FrameType::GroupBegin: {
+            const GroupBeginMsg msg = decode_group_begin(frame.payload);
+            if (msg.family_index != reply.matrix.groups.size())
+                throw ProtoError(
+                    "GroupBegin out of order: got group " +
+                    std::to_string(msg.family_index) + ", expected " +
+                    std::to_string(reply.matrix.groups.size()));
+            if (msg.fault_count > kMaxGroupFaults)
+                throw ProtoError("GroupBegin.fault_count " +
+                                 std::to_string(msg.fault_count) +
+                                 " is implausible");
+            core::CoverageGroup group;
+            group.name = msg.name;
+            group.status = msg.status;
+            group.setup_error = msg.setup_error != 0;
+            group.setup_message = msg.setup_message;
+            group.entries.resize(
+                static_cast<std::size_t>(msg.fault_count));
+            reply.matrix.groups.push_back(std::move(group));
+            filled.emplace_back(
+                static_cast<std::size_t>(msg.fault_count), false);
+            missing += static_cast<std::size_t>(msg.fault_count);
+            break;
+        }
+        case FrameType::Verdict: {
+            const VerdictMsg msg = decode_verdict(frame.payload);
+            if (msg.family_index >= reply.matrix.groups.size())
+                throw ProtoError("Verdict for unopened group " +
+                                 std::to_string(msg.family_index));
+            auto& group =
+                reply.matrix.groups[msg.family_index];
+            if (msg.fault_index >= group.entries.size())
+                throw ProtoError(
+                    "Verdict index " + std::to_string(msg.fault_index) +
+                    " outside group of " +
+                    std::to_string(group.entries.size()));
+            auto slot = filled[msg.family_index].begin() +
+                        static_cast<std::ptrdiff_t>(msg.fault_index);
+            if (*slot)
+                throw ProtoError(
+                    "duplicate Verdict for group " +
+                    std::to_string(msg.family_index) + " fault " +
+                    std::to_string(msg.fault_index));
+            *slot = true;
+            --missing;
+            group.entries[static_cast<std::size_t>(msg.fault_index)] =
+                msg.entry;
+            break;
+        }
+        case FrameType::Progress: {
+            const ProgressMsg msg = decode_progress(frame.payload);
+            if (on_progress) on_progress(msg);
+            break;
+        }
+        case FrameType::Done: {
+            reply.done = decode_done(frame.payload);
+            if (missing > 0)
+                throw ProtoError("Done with " + std::to_string(missing) +
+                                 " announced verdict(s) never streamed");
+            reply.matrix.workers = reply.done.workers;
+            reply.matrix.wall_s = reply.done.wall_s;
+            return reply;
+        }
+        case FrameType::Error: {
+            const ErrorMsg err = decode_error(frame.payload);
+            throw DaemonError(err.code, err.message);
+        }
+        default:
+            throw ProtoError(std::string("unexpected frame ") +
+                             frame_type_name(frame.type) +
+                             " inside a grading reply");
+        }
+    }
+}
+
+void DaemonClient::shutdown() {
+    write_frame(socket_, FrameType::Shutdown, std::string());
+    const Frame reply = next_frame();
+    if (reply.type == FrameType::Error) {
+        const ErrorMsg err = decode_error(reply.payload);
+        throw DaemonError(err.code, err.message);
+    }
+    if (reply.type != FrameType::ShutdownAck)
+        throw ProtoError(std::string("expected ShutdownAck, got ") +
+                         frame_type_name(reply.type));
+}
+
+Frame DaemonClient::next_frame() {
+    auto frame = read_frame(socket_, stall_ms_, CancelFn());
+    if (!frame)
+        throw ProtoError("daemon closed the connection mid-reply");
+    return *frame;
+}
+
+} // namespace ctk::service

@@ -1,0 +1,75 @@
+// DaemonClient — the thin side of ctkgrade --connect (DESIGN.md §13).
+//
+// The client sends one GradeRequest and *rebuilds* a core::CoverageMatrix
+// from the streamed reply: GroupBegin opens group N with a pre-sized
+// entry vector, each Verdict frame fills exactly one (group, fault)
+// slot, Done closes the request with the bookkeeping (workers, wall
+// clock, cache hit, store stats). The rebuilt matrix is then rendered
+// with the *same* report::render_coverage / coverage_to_csv code the
+// offline tool uses — byte-identity of the coverage output is by
+// construction, not by a parallel formatter.
+//
+// The stream is validated as it arrives: out-of-order groups, verdict
+// indices outside the announced fault count, double-filled slots and a
+// Done before every slot is filled all throw ProtoError. A server-sent
+// Error frame becomes a DaemonError carrying the protocol's stable
+// error code ("busy", "shutdown", ...), which the tools map to exit
+// codes and the tests assert on.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/coverage.hpp"
+#include "service/socket.hpp"
+
+namespace ctk::service {
+
+/// Failure reported by the daemon itself (an Error frame), as opposed
+/// to a wire-level ProtoError. `code()` is the stable identifier.
+class DaemonError : public Error {
+public:
+    DaemonError(std::string code, const std::string& message)
+        : Error("daemon: [" + code + "] " + message),
+          code_(std::move(code)) {}
+
+    [[nodiscard]] const std::string& code() const { return code_; }
+
+private:
+    std::string code_;
+};
+
+/// One grading reply: the rebuilt matrix plus the daemon bookkeeping.
+struct GradeReply {
+    core::CoverageMatrix matrix;
+    DoneMsg done;
+};
+
+class DaemonClient {
+public:
+    /// Connect and handshake (Hello/HelloOk). Throws Error when nothing
+    /// listens at `path`, DaemonError on a version reject, ProtoError
+    /// on garbage. `stall_ms` bounds mid-frame stalls; waiting for a
+    /// frame to start (the daemon is grading) is unbounded.
+    explicit DaemonClient(const std::string& path, int stall_ms = 10'000);
+
+    /// Send one request, consume the stream, return the rebuilt matrix.
+    /// `on_progress` (optional) sees the throttled Progress ticks.
+    [[nodiscard]] GradeReply
+    grade(const GradeRequestMsg& request,
+          const std::function<void(const ProgressMsg&)>& on_progress = {});
+
+    /// Ask the daemon to stop; returns once the ShutdownAck arrives.
+    void shutdown();
+
+    void close() { socket_.close(); }
+
+private:
+    /// Next frame or throw — inside a reply, EOF is truncation.
+    [[nodiscard]] Frame next_frame();
+
+    Socket socket_;
+    int stall_ms_;
+};
+
+} // namespace ctk::service

@@ -1,0 +1,312 @@
+#include "service/proto.hpp"
+
+#include <cstring>
+
+namespace ctk::service {
+
+namespace {
+
+/// Strings inside a payload are bounded by the frame ceiling anyway;
+/// this tighter limit names the field that lied instead of failing on
+/// a huge allocation.
+constexpr std::uint32_t kMaxString = kMaxFramePayload;
+
+void put_le32(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+} // namespace
+
+const char* frame_type_name(FrameType type) {
+    switch (type) {
+    case FrameType::Hello: return "Hello";
+    case FrameType::GradeRequest: return "GradeRequest";
+    case FrameType::Shutdown: return "Shutdown";
+    case FrameType::HelloOk: return "HelloOk";
+    case FrameType::GroupBegin: return "GroupBegin";
+    case FrameType::Verdict: return "Verdict";
+    case FrameType::Progress: return "Progress";
+    case FrameType::Done: return "Done";
+    case FrameType::Error: return "Error";
+    case FrameType::ShutdownAck: return "ShutdownAck";
+    }
+    return "unknown";
+}
+
+void Writer::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void Writer::u32(std::uint32_t v) { put_le32(out_, v); }
+
+void Writer::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+    if (s.size() > kMaxString)
+        throw ProtoError("string field of " + std::to_string(s.size()) +
+                         " bytes exceeds the frame ceiling");
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_ += s;
+}
+
+std::uint8_t Reader::u8(const char* what) {
+    if (pos_ + 1 > data_.size())
+        throw ProtoError(std::string("payload truncated reading ") + what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t Reader::u32(const char* what) {
+    if (pos_ + 4 > data_.size())
+        throw ProtoError(std::string("payload truncated reading ") + what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t Reader::u64(const char* what) {
+    const std::uint64_t lo = u32(what);
+    const std::uint64_t hi = u32(what);
+    return lo | (hi << 32);
+}
+
+double Reader::f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string Reader::str(const char* what) {
+    const std::uint32_t len = u32(what);
+    if (len > kMaxString)
+        throw ProtoError(std::string(what) + " length " +
+                         std::to_string(len) + " exceeds the frame ceiling");
+    if (pos_ + len > data_.size())
+        throw ProtoError(std::string("payload truncated reading ") + what);
+    std::string out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+}
+
+void Reader::finish(const char* what) const {
+    if (pos_ != data_.size())
+        throw ProtoError(std::string(what) + " payload has " +
+                         std::to_string(data_.size() - pos_) +
+                         " trailing byte(s)");
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+    if (payload.size() > kMaxFramePayload)
+        throw ProtoError("frame payload of " +
+                         std::to_string(payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFramePayload) + "-byte ceiling");
+    std::string out;
+    out.reserve(5 + payload.size());
+    put_le32(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    out += payload;
+    return out;
+}
+
+std::string encode(const HelloMsg& msg) {
+    Writer w;
+    w.u32(msg.version);
+    return w.take();
+}
+
+HelloMsg decode_hello(const std::string& payload) {
+    Reader r(payload);
+    HelloMsg msg;
+    msg.version = r.u32("Hello.version");
+    r.finish("Hello");
+    return msg;
+}
+
+std::string encode(const GradeRequestMsg& msg) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(msg.families.size()));
+    for (const auto& f : msg.families) w.str(f);
+    w.u8(msg.universe);
+    w.u32(msg.jobs);
+    w.u8(msg.lockstep);
+    w.u64(msg.block);
+    return w.take();
+}
+
+GradeRequestMsg decode_grade_request(const std::string& payload) {
+    Reader r(payload);
+    GradeRequestMsg msg;
+    const std::uint32_t n = r.u32("GradeRequest.family_count");
+    // A family name is at least a 4-byte length prefix on the wire; a
+    // count that cannot fit in the payload is a lie, not a big request.
+    if (static_cast<std::size_t>(n) * 4 > payload.size())
+        throw ProtoError("GradeRequest.family_count " + std::to_string(n) +
+                         " cannot fit in the payload");
+    msg.families.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        msg.families.push_back(r.str("GradeRequest.family"));
+    msg.universe = r.u8("GradeRequest.universe");
+    if (msg.universe > 1)
+        throw ProtoError("GradeRequest.universe must be 0 (base) or "
+                         "1 (scaled)");
+    msg.jobs = r.u32("GradeRequest.jobs");
+    msg.lockstep = r.u8("GradeRequest.lockstep");
+    msg.block = r.u64("GradeRequest.block");
+    r.finish("GradeRequest");
+    return msg;
+}
+
+std::string encode(const GroupBeginMsg& msg) {
+    Writer w;
+    w.u32(msg.family_index);
+    w.str(msg.name);
+    w.str(msg.status);
+    w.u8(msg.setup_error);
+    w.str(msg.setup_message);
+    w.u64(msg.fault_count);
+    return w.take();
+}
+
+GroupBeginMsg decode_group_begin(const std::string& payload) {
+    Reader r(payload);
+    GroupBeginMsg msg;
+    msg.family_index = r.u32("GroupBegin.family_index");
+    msg.name = r.str("GroupBegin.name");
+    msg.status = r.str("GroupBegin.status");
+    msg.setup_error = r.u8("GroupBegin.setup_error");
+    msg.setup_message = r.str("GroupBegin.setup_message");
+    msg.fault_count = r.u64("GroupBegin.fault_count");
+    r.finish("GroupBegin");
+    return msg;
+}
+
+std::string encode(const VerdictMsg& msg) {
+    Writer w;
+    w.u32(msg.family_index);
+    w.u64(msg.fault_index);
+    w.str(msg.entry.id);
+    w.str(msg.entry.kind);
+    w.u8(static_cast<std::uint8_t>(msg.entry.outcome));
+    w.u8(msg.entry.detected_by.has_value() ? 1 : 0);
+    w.u64(msg.entry.detected_by.value_or(0));
+    w.str(msg.entry.detected_at);
+    w.u64(msg.entry.flipped_checks);
+    w.str(msg.entry.error_message);
+    return w.take();
+}
+
+VerdictMsg decode_verdict(const std::string& payload) {
+    Reader r(payload);
+    VerdictMsg msg;
+    msg.family_index = r.u32("Verdict.family_index");
+    msg.fault_index = r.u64("Verdict.fault_index");
+    msg.entry.id = r.str("Verdict.id");
+    msg.entry.kind = r.str("Verdict.kind");
+    const std::uint8_t outcome = r.u8("Verdict.outcome");
+    if (outcome > static_cast<std::uint8_t>(core::FaultOutcome::FrameworkError))
+        throw ProtoError("Verdict.outcome " + std::to_string(outcome) +
+                         " is not a FaultOutcome");
+    msg.entry.outcome = static_cast<core::FaultOutcome>(outcome);
+    const bool has_by = r.u8("Verdict.has_detected_by") != 0;
+    const std::uint64_t by = r.u64("Verdict.detected_by");
+    if (has_by) msg.entry.detected_by = static_cast<std::size_t>(by);
+    msg.entry.detected_at = r.str("Verdict.detected_at");
+    msg.entry.flipped_checks =
+        static_cast<std::size_t>(r.u64("Verdict.flipped_checks"));
+    msg.entry.error_message = r.str("Verdict.error_message");
+    r.finish("Verdict");
+    return msg;
+}
+
+std::string encode(const ProgressMsg& msg) {
+    Writer w;
+    w.u64(msg.done);
+    w.u64(msg.total);
+    return w.take();
+}
+
+ProgressMsg decode_progress(const std::string& payload) {
+    Reader r(payload);
+    ProgressMsg msg;
+    msg.done = r.u64("Progress.done");
+    msg.total = r.u64("Progress.total");
+    r.finish("Progress");
+    return msg;
+}
+
+std::string encode(const DoneMsg& msg) {
+    Writer w;
+    w.u32(msg.workers);
+    w.f64(msg.wall_s);
+    w.u8(msg.cache_hit);
+    w.str(msg.kb_hash);
+    w.str(msg.stand_hash);
+    w.u64(msg.store.pair_hits);
+    w.u64(msg.store.pair_misses);
+    w.u64(msg.store.pair_stale);
+    w.u64(msg.store.cert_hits);
+    w.u64(msg.store.faults_skipped);
+    w.u64(msg.store.faults_replayed);
+    w.u64(msg.lockstep_captures);
+    w.u64(msg.lockstep_blocks);
+    w.u64(msg.lockstep_lanes);
+    return w.take();
+}
+
+DoneMsg decode_done(const std::string& payload) {
+    Reader r(payload);
+    DoneMsg msg;
+    msg.workers = r.u32("Done.workers");
+    msg.wall_s = r.f64("Done.wall_s");
+    msg.cache_hit = r.u8("Done.cache_hit");
+    msg.kb_hash = r.str("Done.kb_hash");
+    msg.stand_hash = r.str("Done.stand_hash");
+    msg.store.pair_hits = static_cast<std::size_t>(r.u64("Done.pair_hits"));
+    msg.store.pair_misses =
+        static_cast<std::size_t>(r.u64("Done.pair_misses"));
+    msg.store.pair_stale = static_cast<std::size_t>(r.u64("Done.pair_stale"));
+    msg.store.cert_hits = static_cast<std::size_t>(r.u64("Done.cert_hits"));
+    msg.store.faults_skipped =
+        static_cast<std::size_t>(r.u64("Done.faults_skipped"));
+    msg.store.faults_replayed =
+        static_cast<std::size_t>(r.u64("Done.faults_replayed"));
+    msg.lockstep_captures = r.u64("Done.lockstep_captures");
+    msg.lockstep_blocks = r.u64("Done.lockstep_blocks");
+    msg.lockstep_lanes = r.u64("Done.lockstep_lanes");
+    r.finish("Done");
+    return msg;
+}
+
+std::string encode(const ErrorMsg& msg) {
+    Writer w;
+    w.str(msg.code);
+    w.str(msg.message);
+    return w.take();
+}
+
+ErrorMsg decode_error(const std::string& payload) {
+    Reader r(payload);
+    ErrorMsg msg;
+    msg.code = r.str("Error.code");
+    msg.message = r.str("Error.message");
+    r.finish("Error");
+    return msg;
+}
+
+} // namespace ctk::service

@@ -1,0 +1,203 @@
+// ctkd wire protocol — length-prefixed frames over a local socket.
+//
+// The campaign daemon (DESIGN.md §13) multiplexes many grading clients
+// over one warm process. Its wire format is deliberately tiny: every
+// message is one frame
+//
+//   [u32le payload length][u8 frame type][payload bytes]
+//
+// with the payload a flat sequence of little-endian integers and
+// u32-length-prefixed strings. No alignment, no schema negotiation
+// beyond the Hello version check, no partial frames: a reader either
+// gets a whole well-formed frame or a named ProtoError. Limits are
+// enforced *before* allocation — an oversized or lying length prefix is
+// rejected from the 5-byte header alone, so a hostile client cannot
+// make the daemon allocate.
+//
+// Grading replies stream: GroupBegin announces one family (kernel
+// group header + expected fault count), then one Verdict frame per
+// fault as it classifies (in universe order — classification is
+// sequential), Progress frames tick while fault jobs execute, and Done
+// closes the request with the bookkeeping (workers, wall clock, cache
+// hit, store stats). The client rebuilds a core::CoverageMatrix from
+// the streamed rows and renders it with the exact report/ code the
+// offline tool uses — byte-identity of stdout and CSV is by
+// construction, not by parallel implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/coverage.hpp"
+#include "core/gradestore.hpp"
+
+namespace ctk::service {
+
+/// Bumped on any wire-incompatible change; Hello/HelloOk carry it and
+/// a mismatch is a named error, never a misparse.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. Grading frames are tiny (a
+/// verdict row is well under 1 KiB); the ceiling exists so a corrupt or
+/// hostile length prefix is rejected before any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20; // 1 MiB
+
+/// Wire-level failure: malformed, truncated or oversized frames, bad
+/// field encodings, unexpected EOF. Always carries a named reason.
+class ProtoError : public Error {
+public:
+    explicit ProtoError(const std::string& message)
+        : Error("protocol: " + message) {}
+};
+
+enum class FrameType : std::uint8_t {
+    // client -> server
+    Hello = 1,        ///< version handshake, first frame on a connection
+    GradeRequest = 2, ///< grade a KB family set
+    Shutdown = 3,     ///< stop the daemon (acknowledged, then drained)
+    // server -> client
+    HelloOk = 16,     ///< handshake accepted
+    GroupBegin = 17,  ///< one family's kernel group header
+    Verdict = 18,     ///< one classified fault (streamed)
+    Progress = 19,    ///< fault-job execution tick (throttled)
+    Done = 20,        ///< request complete: bookkeeping + stats
+    Error = 21,       ///< named failure; request (or connection) is over
+    ShutdownAck = 22, ///< shutdown accepted
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type);
+
+/// One decoded frame.
+struct Frame {
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+// -- payload encoding ------------------------------------------------------
+
+/// Append-only payload builder (little-endian, length-prefixed strings).
+class Writer {
+public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v); ///< IEEE-754 bits as u64
+    void str(const std::string& s);
+
+    [[nodiscard]] const std::string& bytes() const { return out_; }
+    [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+    std::string out_;
+};
+
+/// Bounds-checked payload reader. Every read past the end throws
+/// ProtoError naming what was being read; finish() rejects trailing
+/// garbage so a mis-framed payload cannot half-parse.
+class Reader {
+public:
+    explicit Reader(const std::string& payload) : data_(payload) {}
+
+    [[nodiscard]] std::uint8_t u8(const char* what);
+    [[nodiscard]] std::uint32_t u32(const char* what);
+    [[nodiscard]] std::uint64_t u64(const char* what);
+    [[nodiscard]] double f64(const char* what);
+    [[nodiscard]] std::string str(const char* what);
+    void finish(const char* what) const;
+
+private:
+    const std::string& data_;
+    std::size_t pos_ = 0;
+};
+
+/// Serialize one frame (header + payload). Throws ProtoError when the
+/// payload exceeds kMaxFramePayload.
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       const std::string& payload);
+
+// -- messages --------------------------------------------------------------
+
+struct HelloMsg {
+    std::uint32_t version = kProtocolVersion;
+};
+
+/// One grading request. Families are KB family names (empty = the full
+/// knowledge base); `universe` selects the fault surface; `jobs`,
+/// `lockstep` and `block` mirror the offline ctkgrade flags. The
+/// daemon may clamp `jobs` to its per-request budget — outcomes are
+/// worker-count independent, so admission control never changes bytes.
+struct GradeRequestMsg {
+    std::vector<std::string> families;
+    std::uint8_t universe = 0; ///< 0 = base, 1 = scaled
+    std::uint32_t jobs = 0;
+    std::uint8_t lockstep = 0;
+    std::uint64_t block = 0;
+};
+
+/// Kernel group header for one family, sent before its verdicts.
+struct GroupBeginMsg {
+    std::uint32_t family_index = 0;
+    std::string name;
+    std::string status; ///< golden verdict: "PASS"/"FAIL"/"ERROR"
+    std::uint8_t setup_error = 0;
+    std::string setup_message;
+    std::uint64_t fault_count = 0; ///< verdicts this group will stream
+};
+
+/// One classified fault — the wire form of a core::CoverageEntry at a
+/// (group, fault) position.
+struct VerdictMsg {
+    std::uint32_t family_index = 0;
+    std::uint64_t fault_index = 0;
+    core::CoverageEntry entry;
+};
+
+struct ProgressMsg {
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+};
+
+/// End of one grading reply: everything the client needs for the
+/// offline-identical tail (workers for the coverage header line) plus
+/// the daemon-side bookkeeping it prints to stderr.
+struct DoneMsg {
+    std::uint32_t workers = 1;
+    double wall_s = 0.0;
+    std::uint8_t cache_hit = 0; ///< plan-cache entry existed already
+    std::string kb_hash;        ///< cache key half: suite content
+    std::string stand_hash;     ///< cache key half: stand content
+    core::GradeStoreStats store;
+    std::uint64_t lockstep_captures = 0;
+    std::uint64_t lockstep_blocks = 0;
+    std::uint64_t lockstep_lanes = 0;
+};
+
+/// Named failure. Codes are stable identifiers the tests and CI grep
+/// for: "bad-frame", "bad-version", "bad-request", "busy", "shutdown",
+/// "internal".
+struct ErrorMsg {
+    std::string code;
+    std::string message;
+};
+
+[[nodiscard]] std::string encode(const HelloMsg& msg);
+[[nodiscard]] std::string encode(const GradeRequestMsg& msg);
+[[nodiscard]] std::string encode(const GroupBeginMsg& msg);
+[[nodiscard]] std::string encode(const VerdictMsg& msg);
+[[nodiscard]] std::string encode(const ProgressMsg& msg);
+[[nodiscard]] std::string encode(const DoneMsg& msg);
+[[nodiscard]] std::string encode(const ErrorMsg& msg);
+
+[[nodiscard]] HelloMsg decode_hello(const std::string& payload);
+[[nodiscard]] GradeRequestMsg decode_grade_request(const std::string& payload);
+[[nodiscard]] GroupBeginMsg decode_group_begin(const std::string& payload);
+[[nodiscard]] VerdictMsg decode_verdict(const std::string& payload);
+[[nodiscard]] ProgressMsg decode_progress(const std::string& payload);
+[[nodiscard]] DoneMsg decode_done(const std::string& payload);
+[[nodiscard]] ErrorMsg decode_error(const std::string& payload);
+
+} // namespace ctk::service

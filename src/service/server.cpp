@@ -1,0 +1,296 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ctk::service {
+
+CtkdServer::CtkdServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.store_root) {
+    if (options_.max_sessions == 0) options_.max_sessions = 1;
+    if (options_.backlog == 0) options_.backlog = 1;
+}
+
+CtkdServer::~CtkdServer() { stop(); }
+
+void CtkdServer::start() {
+    listener_ = Listener::bind(options_.socket_path);
+    stop_.store(false, std::memory_order_release);
+    joined_ = false;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    sessions_.reserve(options_.max_sessions);
+    for (unsigned i = 0; i < options_.max_sessions; ++i)
+        sessions_.emplace_back([this] { session_loop(); });
+}
+
+void CtkdServer::stop() {
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+    }
+    stop_cv_.notify_all();
+    queue_cv_.notify_all();
+    if (!joined_) {
+        if (accept_thread_.joinable()) accept_thread_.join();
+        for (auto& t : sessions_)
+            if (t.joinable()) t.join();
+        sessions_.clear();
+        joined_ = true;
+        listener_.close();
+        cache_.persist();
+    }
+}
+
+void CtkdServer::wait() {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire);
+    });
+}
+
+void CtkdServer::accept_loop() {
+    const CancelFn cancel = [this] { return stopping(); };
+    while (!stopping()) {
+        Socket client = listener_.accept(cancel);
+        if (!client.valid()) continue; // cancelled or transient
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        if (stopping()) {
+            lock.unlock();
+            send_error(client, "shutdown", "daemon is stopping");
+            continue;
+        }
+        if (queue_.size() >= options_.backlog) {
+            lock.unlock();
+            stats_.busy_rejected.fetch_add(1, std::memory_order_relaxed);
+            send_error(client, "busy",
+                       "session queue full (" +
+                           std::to_string(options_.backlog) +
+                           " waiting, " +
+                           std::to_string(options_.max_sessions) +
+                           " session(s)); retry later");
+            continue;
+        }
+        queue_.push_back(std::move(client));
+        lock.unlock();
+        queue_cv_.notify_one();
+    }
+}
+
+void CtkdServer::session_loop() {
+    while (true) {
+        Socket client;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return stopping() || !queue_.empty();
+            });
+            if (!queue_.empty()) {
+                client = std::move(queue_.front());
+                queue_.pop_front();
+            } else if (stopping()) {
+                return;
+            } else {
+                continue;
+            }
+        }
+        if (stopping()) {
+            // Accepted before the flag rose, never served: a named
+            // goodbye, not a silent close.
+            send_error(client, "shutdown", "daemon is stopping");
+            continue;
+        }
+        serve_connection(std::move(client));
+    }
+}
+
+void CtkdServer::serve_connection(Socket socket) {
+    const CancelFn cancel = [this] { return stopping(); };
+    try {
+        // Handshake: the first frame must be a version-matching Hello.
+        auto first = read_frame(socket, options_.io_stall_ms, cancel);
+        if (!first) return; // connected, said nothing, left
+        if (first->type != FrameType::Hello) {
+            stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            send_error(socket, "bad-frame",
+                       std::string("expected Hello, got ") +
+                           frame_type_name(first->type));
+            return;
+        }
+        const HelloMsg hello = decode_hello(first->payload);
+        if (hello.version != kProtocolVersion) {
+            stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            send_error(socket, "bad-version",
+                       "client speaks protocol v" +
+                           std::to_string(hello.version) +
+                           ", daemon speaks v" +
+                           std::to_string(kProtocolVersion));
+            return;
+        }
+        write_frame(socket, FrameType::HelloOk, encode(HelloMsg{}));
+
+        // Request loop: one connection may issue many requests.
+        while (true) {
+            auto frame = read_frame(socket, options_.io_stall_ms, cancel);
+            if (!frame) return; // clean goodbye
+            switch (frame->type) {
+            case FrameType::GradeRequest: {
+                if (stopping()) {
+                    send_error(socket, "shutdown", "daemon is stopping");
+                    return;
+                }
+                handle_grade(socket, decode_grade_request(frame->payload));
+                break;
+            }
+            case FrameType::Shutdown: {
+                write_frame(socket, FrameType::ShutdownAck, std::string());
+                stop_.store(true, std::memory_order_release);
+                {
+                    // Lock-then-notify so a wait() between its predicate
+                    // check and blocking cannot miss the wakeup.
+                    std::lock_guard<std::mutex> lock(stop_mutex_);
+                }
+                stop_cv_.notify_all();
+                queue_cv_.notify_all();
+                return;
+            }
+            default:
+                stats_.protocol_errors.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                send_error(socket, "bad-frame",
+                           std::string("unexpected frame ") +
+                               frame_type_name(frame->type));
+                return;
+            }
+        }
+    } catch (const ProtoError& e) {
+        // Malformed traffic, truncation, a cancelled read — the
+        // connection is over, the daemon is not. The goodbye names the
+        // reason when the stop flag forced the bail-out.
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        send_error(socket, stopping() ? "shutdown" : "bad-frame", e.what());
+    } catch (const Error& e) {
+        send_error(socket, "internal", e.what());
+    }
+}
+
+void CtkdServer::handle_grade(Socket& socket,
+                              const GradeRequestMsg& request) {
+    PlanCache::Mount mount;
+    try {
+        mount = cache_.mount(request.families, request.universe != 0,
+                             options_.run);
+    } catch (const SemanticError& e) {
+        send_error(socket, "bad-request", e.what());
+        return;
+    }
+    // Count the request before any reply frame can complete a client's
+    // round-trip: an observer that saw its Done must also see the count.
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    (mount.hit ? stats_.cache_hits : stats_.cache_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    // Per-family fault counts for the GroupBegin headers: known from
+    // the cached setups before any grading happens.
+    std::vector<std::size_t> fault_counts;
+    fault_counts.reserve(mount.entry->setups.size());
+    for (const auto& setup : mount.entry->setups)
+        fault_counts.push_back(setup.universe.size());
+
+    // One send path for three producer contexts (GroupBegin/Verdict on
+    // the grading thread, Progress from pool workers): serialized by
+    // `send`, silenced after the first failure — a client that hung up
+    // mid-stream must not abort the grading that is warming the store.
+    std::mutex send_mutex;
+    bool peer_dead = false;
+    auto send = [&](FrameType type, const std::string& payload) {
+        std::lock_guard<std::mutex> lock(send_mutex);
+        if (peer_dead) return;
+        try {
+            write_frame(socket, type, payload);
+        } catch (const ProtoError&) {
+            peer_dead = true;
+        }
+    };
+
+    core::GradingOptions gopts;
+    gopts.jobs = request.jobs;
+    if (options_.max_request_jobs > 0 &&
+        (gopts.jobs == 0 || gopts.jobs > options_.max_request_jobs))
+        gopts.jobs = options_.max_request_jobs;
+    gopts.universe = request.universe != 0 ? sim::UniverseOptions::scaled()
+                                           : sim::UniverseOptions::base();
+    gopts.lockstep = request.lockstep != 0;
+    gopts.block = static_cast<std::size_t>(request.block);
+    gopts.run = options_.run;
+    gopts.store = &mount.entry->store;
+    gopts.on_family = [&](std::size_t fi, const core::FamilyGrade& grade) {
+        GroupBeginMsg msg;
+        msg.family_index = static_cast<std::uint32_t>(fi);
+        msg.name = grade.family;
+        msg.status = grade.golden_status();
+        msg.setup_error = grade.golden_error ? 1 : 0;
+        msg.setup_message = grade.golden_message;
+        msg.fault_count = fault_counts[fi];
+        send(FrameType::GroupBegin, encode(msg));
+    };
+    gopts.on_fault = [&](std::size_t fi, std::size_t fault_index,
+                         const core::FaultGrade& grade) {
+        VerdictMsg msg;
+        msg.family_index = static_cast<std::uint32_t>(fi);
+        msg.fault_index = fault_index;
+        msg.entry = core::to_coverage_entry(grade);
+        send(FrameType::Verdict, encode(msg));
+    };
+    // Throttled progress: ~8 ticks per run plus the final one, enough
+    // for a live spinner without flooding the socket from the pool.
+    std::size_t last_progress = 0;
+    gopts.on_progress = [&](std::size_t done, std::size_t total) {
+        const std::size_t stride = std::max<std::size_t>(1, total / 8);
+        {
+            std::lock_guard<std::mutex> lock(send_mutex);
+            if (done != total && done < last_progress + stride) return;
+            last_progress = done;
+        }
+        ProgressMsg msg;
+        msg.done = done;
+        msg.total = total;
+        send(FrameType::Progress, encode(msg));
+    };
+
+    try {
+        // The entry gate serializes gradings that share this entry's
+        // store; requests on different entries grade concurrently.
+        std::lock_guard<std::mutex> gate(mount.entry->gate);
+        const core::GradeStoreStats before = mount.entry->store.stats();
+
+        core::GradingCampaign grading(gopts);
+        for (const auto& setup : mount.entry->setups) grading.add(setup);
+        const core::GradingResult result = grading.run_all();
+
+        DoneMsg done;
+        done.workers = result.workers;
+        done.wall_s = result.wall_s;
+        done.cache_hit = mount.hit ? 1 : 0;
+        done.kb_hash = mount.entry->kb_hash;
+        done.stand_hash = mount.entry->stand_hash;
+        done.store = mount.entry->store.stats().minus(before);
+        done.lockstep_captures = result.lockstep_captures;
+        done.lockstep_blocks = result.lockstep_blocks;
+        done.lockstep_lanes = result.lockstep_lanes;
+        send(FrameType::Done, encode(done));
+    } catch (const Error& e) {
+        send(FrameType::Error,
+             encode(ErrorMsg{"internal", e.what()}));
+    }
+}
+
+void CtkdServer::send_error(Socket& socket, const std::string& code,
+                            const std::string& message) {
+    try {
+        write_frame(socket, FrameType::Error, encode(ErrorMsg{code, message}));
+    } catch (const ProtoError&) {
+        // The peer is already gone; nothing to tell it.
+    }
+}
+
+} // namespace ctk::service

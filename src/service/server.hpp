@@ -1,0 +1,127 @@
+// CtkdServer — the long-lived campaign/grading daemon (DESIGN.md §13).
+//
+// One process owns a PlanCache and a UNIX-domain listener; grading
+// clients (ctkgrade --connect) multiplex over it. The moving parts:
+//
+//   accept thread ──► bounded session queue ──► N session threads
+//                         (admission control)      (serve_connection)
+//
+// Admission control is two-stage and deterministic: a connection the
+// queue cannot hold is answered Error{busy} and closed by the accept
+// thread itself (never silently dropped, never unboundedly queued),
+// and a request's worker count is clamped to `max_request_jobs` —
+// grading outcomes are worker-count independent, so the clamp changes
+// scheduling, never bytes.
+//
+// A grading request streams: the session mounts a cache entry, locks
+// its gate, and runs ONE GradingCampaign whose observer hooks forward
+// GroupBegin/Verdict frames as classification proceeds (plus throttled
+// Progress frames from the worker pool). A client that disconnects
+// mid-stream does not abort the grading — sends are swallowed after
+// the first failure and the run completes, warming the shared store
+// for the next request.
+//
+// Shutdown: a Shutdown frame (or stop()) raises the stop flag; blocked
+// reads notice within one poll tick, queued-but-unserved connections
+// are drained with Error{shutdown}, threads join, the socket file is
+// unlinked and (with a store root) every entry store is persisted.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/socket.hpp"
+
+namespace ctk::service {
+
+struct ServerOptions {
+    std::string socket_path;
+    /// Session worker threads = max concurrently served connections.
+    unsigned max_sessions = 4;
+    /// Accepted-but-unserved connections the queue will hold; one more
+    /// is answered Error{busy}.
+    std::size_t backlog = 16;
+    /// Per-request worker budget: a request's `jobs` is clamped to this
+    /// (0 = no clamp; request 0 still means hardware threads).
+    unsigned max_request_jobs = 0;
+    /// Persistence root for per-entry grade stores ("" = in-memory).
+    std::string store_root;
+    /// Mid-frame stall bound for connection reads, milliseconds. The
+    /// wait for a frame to *start* is unbounded (idle clients are
+    /// legal); a peer that stalls inside a frame is cut loose here.
+    int io_stall_ms = 10'000;
+    /// Engine options baked into cached plans (kept at defaults by
+    /// ctkd; a test can tighten them).
+    core::RunOptions run;
+};
+
+/// Monotonic counters for tests, the smoke CI and the status line.
+struct ServerStats {
+    std::atomic<std::size_t> requests{0};       ///< gradings completed
+    std::atomic<std::size_t> cache_hits{0};     ///< served from a warm entry
+    std::atomic<std::size_t> cache_misses{0};   ///< entry compiled fresh
+    std::atomic<std::size_t> busy_rejected{0};  ///< Error{busy} at admission
+    std::atomic<std::size_t> protocol_errors{0};///< malformed client traffic
+};
+
+class CtkdServer {
+public:
+    explicit CtkdServer(ServerOptions options);
+    ~CtkdServer(); ///< stops and joins if still running
+
+    CtkdServer(const CtkdServer&) = delete;
+    CtkdServer& operator=(const CtkdServer&) = delete;
+
+    /// Bind the socket and spawn the accept + session threads. Throws
+    /// Error when the path cannot be bound.
+    void start();
+
+    /// Raise the stop flag, drain, join and persist. Idempotent.
+    void stop();
+
+    /// Block until the stop flag rises (Shutdown frame or stop()).
+    void wait();
+
+    [[nodiscard]] bool stopping() const {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] const ServerStats& stats() const { return stats_; }
+    [[nodiscard]] PlanCache& cache() { return cache_; }
+
+private:
+    void accept_loop();
+    void session_loop();
+    void serve_connection(Socket socket);
+    void handle_grade(Socket& socket, const GradeRequestMsg& request);
+    /// Best-effort Error frame; a dead peer is ignored.
+    void send_error(Socket& socket, const std::string& code,
+                    const std::string& message);
+
+    ServerOptions options_;
+    PlanCache cache_;
+    ServerStats stats_;
+
+    Listener listener_;
+    std::atomic<bool> stop_{true}; ///< true until start()
+    bool joined_ = true;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Socket> queue_;
+
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> sessions_;
+};
+
+} // namespace ctk::service

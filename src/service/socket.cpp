@@ -1,0 +1,238 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ctk::service {
+
+namespace {
+
+/// Cancel-poll granularity: the longest a blocked thread can take to
+/// notice the daemon's stop flag.
+constexpr int kTickMs = 100;
+
+std::string errno_text() { return std::strerror(errno); }
+
+} // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::send_all(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw ProtoError("send failed: " + errno_text());
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+bool Socket::recv_exact(std::string& out, std::size_t n, int stall_ms,
+                        const CancelFn& cancel, bool mid_frame) {
+    std::size_t got = 0;
+    int stalled_ms = 0;
+    while (got < n) {
+        if (cancel && cancel())
+            throw ProtoError("read cancelled (daemon stopping)");
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, kTickMs);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            throw ProtoError("poll failed: " + errno_text());
+        }
+        if (rc == 0) {
+            // Idle tick. Only a read inside a started frame may stall
+            // out; waiting for a frame to *begin* (an idle connection)
+            // is legal for as long as `cancel` allows.
+            if ((got > 0 || mid_frame) && stall_ms > 0) {
+                stalled_ms += kTickMs;
+                if (stalled_ms >= stall_ms)
+                    throw ProtoError("peer stalled mid-frame (" +
+                                     std::to_string(got) + "/" +
+                                     std::to_string(n) + " bytes after " +
+                                     std::to_string(stall_ms) + " ms)");
+            }
+            continue;
+        }
+        char buf[4096];
+        const std::size_t want = std::min(n - got, sizeof buf);
+        const ssize_t r = ::recv(fd_, buf, want, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw ProtoError("recv failed: " + errno_text());
+        }
+        if (r == 0) {
+            if (got == 0) return false; // clean EOF between frames
+            throw ProtoError("connection truncated mid-frame (" +
+                             std::to_string(got) + "/" + std::to_string(n) +
+                             " bytes)");
+        }
+        out.append(buf, static_cast<std::size_t>(r));
+        got += static_cast<std::size_t>(r);
+        stalled_ms = 0;
+    }
+    return true;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+    other.fd_ = -1;
+    other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+Listener::~Listener() { close(); }
+
+Listener Listener::bind(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        throw Error("socket path too long (" + std::to_string(path.size()) +
+                    " bytes, max " +
+                    std::to_string(sizeof addr.sun_path - 1) + "): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("cannot create socket: " + errno_text());
+    ::unlink(path.c_str()); // stale file from a crashed daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        throw Error("cannot bind " + path + ": " + why);
+    }
+    if (::listen(fd, SOMAXCONN) < 0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw Error("cannot listen on " + path + ": " + why);
+    }
+    Listener out;
+    out.fd_ = fd;
+    out.path_ = path;
+    return out;
+}
+
+Socket Listener::accept(const CancelFn& cancel) {
+    while (true) {
+        if (cancel && cancel()) return Socket();
+        if (fd_ < 0) return Socket();
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, kTickMs);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            return Socket();
+        }
+        if (rc == 0) continue;
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            return Socket();
+        }
+        return Socket(client);
+    }
+}
+
+void Listener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+Socket connect_local(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        throw Error("socket path too long (" + std::to_string(path.size()) +
+                    " bytes, max " +
+                    std::to_string(sizeof addr.sun_path - 1) + "): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("cannot create socket: " + errno_text());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+        const std::string why = errno_text();
+        ::close(fd);
+        throw Error("cannot connect to " + path + ": " + why +
+                    " (is ctkd running?)");
+    }
+    return Socket(fd);
+}
+
+void write_frame(Socket& socket, FrameType type, const std::string& payload) {
+    socket.send_all(encode_frame(type, payload));
+}
+
+std::optional<Frame> read_frame(Socket& socket, int stall_ms,
+                                const CancelFn& cancel) {
+    std::string header;
+    if (!socket.recv_exact(header, 5, stall_ms, cancel))
+        return std::nullopt;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(header[static_cast<size_t>(i)]))
+               << (8 * i);
+    // Reject a lying length prefix from the header alone — before any
+    // payload allocation.
+    if (len > kMaxFramePayload)
+        throw ProtoError("frame length prefix " + std::to_string(len) +
+                         " exceeds the " + std::to_string(kMaxFramePayload) +
+                         "-byte ceiling");
+    Frame frame;
+    frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(header[4]));
+    frame.payload.reserve(len);
+    if (len > 0 && !socket.recv_exact(frame.payload, len, stall_ms, cancel,
+                                      /*mid_frame=*/true))
+        throw ProtoError("connection truncated: frame header without payload");
+    return frame;
+}
+
+} // namespace ctk::service

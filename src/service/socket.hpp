@@ -1,0 +1,114 @@
+// Local (UNIX-domain) stream sockets for the ctkd daemon — a thin RAII
+// layer over POSIX fds with the two properties the service layer needs:
+//
+//   * wedge-free: every blocking receive polls in short ticks against a
+//     caller-supplied cancel predicate (the daemon's stop flag), and a
+//     frame that *started* arriving must keep arriving within an I/O
+//     timeout — a client that sends half a header and walks away costs
+//     a session slot for at most that timeout, never forever;
+//   * signal-proof: sends use MSG_NOSIGNAL (a disconnected peer yields
+//     an error, not SIGPIPE) and EINTR is retried everywhere.
+//
+// Frame I/O (read_frame/write_frame) lives here too: it is the only
+// code that touches both the wire and the proto layer, and both the
+// server and the client use exactly the same implementation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "service/proto.hpp"
+
+namespace ctk::service {
+
+/// Returns true when the current blocking operation should give up
+/// (daemon stopping). Polled between ticks, never mid-syscall.
+using CancelFn = std::function<bool()>;
+
+/// Move-only RAII wrapper of one connected socket fd.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    ~Socket();
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+    void close();
+
+    /// Send all of `data`, retrying partial writes and EINTR. Throws
+    /// ProtoError on a disconnected or erroring peer.
+    void send_all(const std::string& data);
+
+    /// Receive exactly `n` bytes into `out` (appended). Returns false
+    /// on clean EOF *before the first byte* (peer closed between
+    /// frames); throws ProtoError on EOF mid-read ("truncated"), on a
+    /// socket error, on cancellation, or when more than `stall_ms`
+    /// elapses between bytes once the read has started (0 = no stall
+    /// timeout). `mid_frame` marks a read that continues a frame whose
+    /// earlier bytes already arrived: the stall clock then runs from
+    /// the first tick, so a peer that sends a header and nothing else
+    /// is cut loose instead of parking the session forever. `cancel`
+    /// is polled roughly every 100 ms.
+    [[nodiscard]] bool recv_exact(std::string& out, std::size_t n,
+                                  int stall_ms, const CancelFn& cancel,
+                                  bool mid_frame = false);
+
+private:
+    int fd_ = -1;
+};
+
+/// Listening UNIX-domain socket bound to a filesystem path. The path
+/// is unlinked on bind (stale socket files from a crashed daemon) and
+/// again on close.
+class Listener {
+public:
+    Listener() = default;
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+    ~Listener();
+
+    /// Bind + listen. Throws Error (with errno text) on failure — a
+    /// path longer than sockaddr_un allows is rejected by name.
+    static Listener bind(const std::string& path);
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+    /// Accept one connection, polling `cancel` every ~100 ms. Returns
+    /// an invalid Socket when cancelled or when the listener is closed.
+    [[nodiscard]] Socket accept(const CancelFn& cancel);
+
+    /// Close the fd and unlink the socket path (idempotent).
+    void close();
+
+private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/// Connect to a daemon at `path`. Throws Error (with errno text) when
+/// nothing listens there.
+[[nodiscard]] Socket connect_local(const std::string& path);
+
+// -- frame I/O -------------------------------------------------------------
+
+/// Write one frame. Throws ProtoError (peer gone, payload too large).
+void write_frame(Socket& socket, FrameType type, const std::string& payload);
+
+/// Read one frame. Returns nullopt on clean EOF between frames; throws
+/// ProtoError on truncation, oversized length prefix (rejected before
+/// any allocation), stalls and cancellation. `stall_ms` bounds the gap
+/// between bytes of one frame; the wait for a frame to *start* is
+/// unbounded (idle connections are legal) except for `cancel`.
+[[nodiscard]] std::optional<Frame> read_frame(Socket& socket, int stall_ms,
+                                              const CancelFn& cancel);
+
+} // namespace ctk::service

@@ -1,0 +1,470 @@
+// Unit + integration tests: the ctkd campaign daemon (src/service).
+//
+// Three layers under test:
+//   * proto: encode/decode round-trips, and every malformed-payload
+//     shape produces a named ProtoError (never a crash, never a
+//     half-parse);
+//   * the live server: handshake, streamed grading replies that rebuild
+//     byte-identical coverage output, the plan-cache hit on a repeat
+//     request, concurrent clients, admission control;
+//   * robustness: truncated frames, oversized length prefixes,
+//     mid-stream client disconnects and requests after shutdown all
+//     yield named errors while the daemon keeps serving.
+//
+// Every server test binds its own socket under a fresh temp directory,
+// so tests are independent and parallel-safe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/grading.hpp"
+#include "report/report.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace ctk::service {
+namespace {
+
+// -- protocol unit tests ---------------------------------------------------
+
+TEST(ServiceProto, FrameEncodingRoundTrip) {
+    const std::string frame = encode_frame(FrameType::Hello, "abc");
+    ASSERT_EQ(frame.size(), 8u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[0]), 3u); // le32 length
+    EXPECT_EQ(static_cast<unsigned char>(frame[4]),
+              static_cast<unsigned char>(FrameType::Hello));
+    EXPECT_EQ(frame.substr(5), "abc");
+}
+
+TEST(ServiceProto, OversizedPayloadRefusesToEncode) {
+    EXPECT_THROW(encode_frame(FrameType::Verdict,
+                              std::string(kMaxFramePayload + 1, 'x')),
+                 ProtoError);
+}
+
+TEST(ServiceProto, HelloRoundTripAndVersion) {
+    const HelloMsg msg = decode_hello(encode(HelloMsg{}));
+    EXPECT_EQ(msg.version, kProtocolVersion);
+}
+
+TEST(ServiceProto, GradeRequestRoundTrip) {
+    GradeRequestMsg msg;
+    msg.families = {"interior_light", "wiper"};
+    msg.universe = 1;
+    msg.jobs = 7;
+    msg.lockstep = 1;
+    msg.block = 64;
+    const GradeRequestMsg back = decode_grade_request(encode(msg));
+    EXPECT_EQ(back.families, msg.families);
+    EXPECT_EQ(back.universe, 1);
+    EXPECT_EQ(back.jobs, 7u);
+    EXPECT_EQ(back.lockstep, 1);
+    EXPECT_EQ(back.block, 64u);
+}
+
+TEST(ServiceProto, VerdictRoundTripPreservesEntry) {
+    VerdictMsg msg;
+    msg.family_index = 2;
+    msg.fault_index = 41;
+    msg.entry.id = "stuck_low@pin_k15";
+    msg.entry.kind = "stuck_low";
+    msg.entry.outcome = core::FaultOutcome::Detected;
+    msg.entry.detected_at = "lights_on/3/il";
+    msg.entry.flipped_checks = 5;
+    const VerdictMsg back = decode_verdict(encode(msg));
+    EXPECT_EQ(back.family_index, 2u);
+    EXPECT_EQ(back.fault_index, 41u);
+    EXPECT_EQ(back.entry.id, msg.entry.id);
+    EXPECT_EQ(back.entry.outcome, core::FaultOutcome::Detected);
+    EXPECT_EQ(back.entry.detected_at, msg.entry.detected_at);
+    EXPECT_EQ(back.entry.flipped_checks, 5u);
+    EXPECT_FALSE(back.entry.detected_by.has_value());
+}
+
+TEST(ServiceProto, DoneRoundTripPreservesStats) {
+    DoneMsg msg;
+    msg.workers = 8;
+    msg.wall_s = 1.25;
+    msg.cache_hit = 1;
+    msg.kb_hash = "abcd";
+    msg.stand_hash = "ef01";
+    msg.store.pair_hits = 100;
+    msg.store.faults_skipped = 12;
+    msg.lockstep_lanes = 3;
+    const DoneMsg back = decode_done(encode(msg));
+    EXPECT_EQ(back.workers, 8u);
+    EXPECT_DOUBLE_EQ(back.wall_s, 1.25);
+    EXPECT_EQ(back.cache_hit, 1);
+    EXPECT_EQ(back.kb_hash, "abcd");
+    EXPECT_EQ(back.store.pair_hits, 100u);
+    EXPECT_EQ(back.store.faults_skipped, 12u);
+    EXPECT_EQ(back.lockstep_lanes, 3u);
+}
+
+TEST(ServiceProto, TruncatedPayloadNamesTheField) {
+    const std::string good = encode(GradeRequestMsg{{"wiper"}, 0, 2, 0, 0});
+    try {
+        (void)decode_grade_request(good.substr(0, good.size() - 3));
+        FAIL() << "truncated payload must throw";
+    } catch (const ProtoError& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+}
+
+TEST(ServiceProto, TrailingGarbageIsRejected) {
+    EXPECT_THROW((void)decode_hello(encode(HelloMsg{}) + "x"), ProtoError);
+    EXPECT_THROW((void)decode_progress(encode(ProgressMsg{1, 2}) + "zz"),
+                 ProtoError);
+}
+
+TEST(ServiceProto, LyingFamilyCountIsRejected) {
+    // family_count = 0xffffffff with a tiny payload: the count cannot
+    // fit, and must be rejected before any element loop runs.
+    Writer w;
+    w.u32(0xffffffffu);
+    EXPECT_THROW((void)decode_grade_request(w.take()), ProtoError);
+}
+
+TEST(ServiceProto, BadEnumValuesAreRejected) {
+    GradeRequestMsg req;
+    req.families = {"wiper"};
+    std::string bytes = encode(req);
+    // universe byte sits right after the family list.
+    bytes[4 + 4 + 5] = 7;
+    EXPECT_THROW((void)decode_grade_request(bytes), ProtoError);
+
+    VerdictMsg v;
+    v.entry.outcome = core::FaultOutcome::FrameworkError;
+    std::string vb = encode(v);
+    const std::size_t outcome_at = 4 + 8 + 4 + 4; // fi, idx, id"", kind""
+    ASSERT_EQ(static_cast<unsigned char>(vb[outcome_at]),
+              static_cast<unsigned char>(core::FaultOutcome::FrameworkError));
+    vb[outcome_at] = 9;
+    EXPECT_THROW((void)decode_verdict(vb), ProtoError);
+}
+
+// -- live server fixtures --------------------------------------------------
+
+/// Fresh socket path + server per test. Small KB family keeps each
+/// grading fast; jobs are clamped server-side for determinism.
+class ServiceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // PID in the path: ctest -j runs sibling tests of this binary
+        // in separate processes, and the socket path must not collide.
+        dir_ = std::filesystem::temp_directory_path() /
+               ("ctk_service_" + std::to_string(::getpid()) + "_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::create_directories(dir_);
+        options_.socket_path = (dir_ / "ctkd.sock").string();
+        options_.io_stall_ms = 2'000;
+    }
+
+    void TearDown() override {
+        if (server_) server_->stop();
+        server_.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    void start() {
+        server_ = std::make_unique<CtkdServer>(options_);
+        server_->start();
+    }
+
+    static GradeRequestMsg small_request(unsigned jobs = 1) {
+        GradeRequestMsg request;
+        request.families = {"interior_light"};
+        request.jobs = jobs;
+        return request;
+    }
+
+    std::filesystem::path dir_;
+    ServerOptions options_;
+    std::unique_ptr<CtkdServer> server_;
+};
+
+/// Offline reference grading of the same request shape.
+core::GradingResult offline(const std::vector<std::string>& families,
+                            unsigned jobs = 1) {
+    core::GradingOptions opts;
+    opts.jobs = jobs;
+    return core::grade_kb(opts, families);
+}
+
+// -- streamed replies ------------------------------------------------------
+
+TEST_F(ServiceTest, StreamedReplyMatchesOfflineByteForByte) {
+    start();
+    DaemonClient client(options_.socket_path);
+    const GradeReply reply = client.grade(small_request());
+
+    const core::CoverageMatrix offline_matrix =
+        offline({"interior_light"}).to_coverage();
+    EXPECT_EQ(core::coverage_fingerprint(reply.matrix),
+              core::coverage_fingerprint(offline_matrix));
+    // CSV has no timing column: full byte identity.
+    EXPECT_EQ(report::coverage_to_csv(reply.matrix),
+              report::coverage_to_csv(offline_matrix));
+    // stdout identity modulo the wall clock: force equal walls, then
+    // the rendered tables must match byte for byte (same workers = 1).
+    core::CoverageMatrix a = reply.matrix;
+    core::CoverageMatrix b = offline_matrix;
+    a.wall_s = b.wall_s = 0.0;
+    EXPECT_EQ(report::render_coverage(a, true),
+              report::render_coverage(b, true));
+}
+
+TEST_F(ServiceTest, SecondIdenticalRequestHitsThePlanCache) {
+    start();
+    DaemonClient client(options_.socket_path);
+    const GradeReply first = client.grade(small_request());
+    EXPECT_EQ(first.done.cache_hit, 0);
+    const GradeReply second = client.grade(small_request());
+    EXPECT_EQ(second.done.cache_hit, 1);
+    EXPECT_EQ(second.done.kb_hash, first.done.kb_hash);
+    EXPECT_EQ(second.done.stand_hash, first.done.stand_hash);
+    // The warm repeat is served from the shared store: every pair hit,
+    // every fault skipped, and the verdicts still byte-identical.
+    EXPECT_EQ(second.done.store.pair_misses, 0u);
+    EXPECT_EQ(second.done.store.faults_replayed, 0u);
+    EXPECT_GT(second.done.store.pair_hits, 0u);
+    EXPECT_EQ(core::coverage_fingerprint(second.matrix),
+              core::coverage_fingerprint(first.matrix));
+    EXPECT_EQ(server_->stats().cache_hits.load(), 1u);
+    EXPECT_EQ(server_->stats().cache_misses.load(), 1u);
+}
+
+TEST_F(ServiceTest, ProgressTicksArriveMonotonically) {
+    start();
+    DaemonClient client(options_.socket_path);
+    std::vector<ProgressMsg> ticks;
+    const GradeReply reply =
+        client.grade(small_request(), [&](const ProgressMsg& p) {
+            ticks.push_back(p);
+        });
+    ASSERT_FALSE(ticks.empty());
+    for (std::size_t i = 1; i < ticks.size(); ++i)
+        EXPECT_LE(ticks[i - 1].done, ticks[i].done);
+    EXPECT_EQ(ticks.back().done, ticks.back().total);
+    EXPECT_EQ(ticks.back().total, reply.matrix.fault_count());
+}
+
+TEST_F(ServiceTest, ConcurrentClientsAllGetIdenticalVerdicts) {
+    options_.max_sessions = 4;
+    start();
+    const std::string expected = core::coverage_fingerprint(
+        offline({"interior_light"}).to_coverage());
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+        clients.emplace_back([&] {
+            DaemonClient client(options_.socket_path);
+            const GradeReply reply = client.grade(small_request());
+            if (core::coverage_fingerprint(reply.matrix) == expected)
+                ok.fetch_add(1);
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(ok.load(), 4);
+    EXPECT_EQ(server_->stats().requests.load(), 4u);
+}
+
+TEST_F(ServiceTest, UnknownFamilyIsABadRequestNotACrash) {
+    start();
+    DaemonClient client(options_.socket_path);
+    GradeRequestMsg request;
+    request.families = {"no_such_family"};
+    request.jobs = 1;
+    try {
+        (void)client.grade(request);
+        FAIL() << "unknown family must produce a daemon error";
+    } catch (const DaemonError& e) {
+        EXPECT_EQ(e.code(), "bad-request");
+    }
+    // The connection and the daemon both survive the refused request.
+    const GradeReply reply = client.grade(small_request());
+    EXPECT_GT(reply.matrix.fault_count(), 0u);
+}
+
+TEST_F(ServiceTest, JobsAreClampedToTheRequestBudget) {
+    options_.max_request_jobs = 2;
+    start();
+    DaemonClient client(options_.socket_path);
+    const GradeReply reply = client.grade(small_request(/*jobs=*/64));
+    EXPECT_LE(reply.done.workers, 2u);
+}
+
+// -- robustness: malformed traffic never crashes or wedges -----------------
+
+TEST_F(ServiceTest, NonHelloFirstFrameIsABadFrame) {
+    start();
+    Socket raw = connect_local(options_.socket_path);
+    write_frame(raw, FrameType::GradeRequest,
+                encode(small_request()));
+    const auto reply = read_frame(raw, 2'000, CancelFn());
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(reply->payload).code, "bad-frame");
+}
+
+TEST_F(ServiceTest, VersionMismatchIsNamed) {
+    start();
+    Socket raw = connect_local(options_.socket_path);
+    HelloMsg hello;
+    hello.version = 999;
+    write_frame(raw, FrameType::Hello, encode(hello));
+    const auto reply = read_frame(raw, 2'000, CancelFn());
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(reply->payload).code, "bad-version");
+}
+
+TEST_F(ServiceTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+    start();
+    Socket raw = connect_local(options_.socket_path);
+    // 0xffffffff length prefix + Hello type: far beyond the ceiling.
+    raw.send_all(std::string("\xff\xff\xff\xff\x01", 5));
+    const auto reply = read_frame(raw, 2'000, CancelFn());
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(reply->payload).code, "bad-frame");
+}
+
+TEST_F(ServiceTest, MalformedHelloPayloadIsABadFrame) {
+    start();
+    Socket raw = connect_local(options_.socket_path);
+    write_frame(raw, FrameType::Hello, "zz"); // 2 bytes, not a u32
+    const auto reply = read_frame(raw, 2'000, CancelFn());
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(reply->payload).code, "bad-frame");
+}
+
+TEST_F(ServiceTest, TruncatedFrameThenDisconnectDoesNotWedgeTheDaemon) {
+    options_.io_stall_ms = 300;
+    start();
+    {
+        Socket raw = connect_local(options_.socket_path);
+        // A frame header promising 100 bytes, then silence + close.
+        raw.send_all(std::string("\x64\x00\x00\x00\x01", 5));
+    } // destructor closes mid-frame
+    // The session slot must come back: a well-behaved client succeeds.
+    DaemonClient client(options_.socket_path);
+    const GradeReply reply = client.grade(small_request());
+    EXPECT_GT(reply.matrix.fault_count(), 0u);
+    EXPECT_GE(server_->stats().protocol_errors.load(), 1u);
+}
+
+TEST_F(ServiceTest, MidFrameStallIsCutLooseByTheStallTimeout) {
+    options_.io_stall_ms = 300;
+    options_.max_sessions = 1;
+    start();
+    Socket staller = connect_local(options_.socket_path);
+    staller.send_all(std::string("\x64\x00\x00\x00\x01", 5));
+    // The single session is stuck reading the promised 100 bytes; the
+    // stall timeout must free it for the next client.
+    DaemonClient client(options_.socket_path);
+    const GradeReply reply = client.grade(small_request());
+    EXPECT_GT(reply.matrix.fault_count(), 0u);
+}
+
+TEST_F(ServiceTest, MidStreamClientDisconnectStillWarmsTheStore) {
+    start();
+    {
+        // Speak the protocol by hand so we can hang up mid-reply: send
+        // the request, read one frame, vanish.
+        Socket raw = connect_local(options_.socket_path);
+        write_frame(raw, FrameType::Hello, encode(HelloMsg{}));
+        auto hello_ok = read_frame(raw, 2'000, CancelFn());
+        ASSERT_TRUE(hello_ok && hello_ok->type == FrameType::HelloOk);
+        write_frame(raw, FrameType::GradeRequest, encode(small_request()));
+        auto first = read_frame(raw, 10'000, CancelFn());
+        ASSERT_TRUE(first.has_value());
+    } // close with the rest of the stream unread
+    // The grading completed daemon-side and warmed the entry: the next
+    // client's identical request is a cache hit served from the store.
+    DaemonClient client(options_.socket_path);
+    // The abandoned grading may still be finishing; the entry gate
+    // serializes us behind it.
+    const GradeReply reply = client.grade(small_request());
+    EXPECT_EQ(reply.done.cache_hit, 1);
+    EXPECT_EQ(reply.done.store.faults_replayed, 0u);
+    EXPECT_GT(reply.done.store.pair_hits, 0u);
+}
+
+TEST_F(ServiceTest, BusyQueueRejectsWithNamedError) {
+    options_.max_sessions = 1;
+    options_.backlog = 1;
+    start();
+    // Occupy the only session with an idle (but connected) client, and
+    // the only backlog slot with a second one.
+    DaemonClient occupant(options_.socket_path); // handshook = being served
+    Socket waiting = connect_local(options_.socket_path);
+    // Give the accept thread a moment to queue `waiting`.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Socket overflow = connect_local(options_.socket_path);
+    const auto reply = read_frame(overflow, 5'000, CancelFn());
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, FrameType::Error);
+    EXPECT_EQ(decode_error(reply->payload).code, "busy");
+    EXPECT_GE(server_->stats().busy_rejected.load(), 1u);
+}
+
+TEST_F(ServiceTest, RequestAfterShutdownIsANamedError) {
+    options_.max_sessions = 2;
+    start();
+    DaemonClient survivor(options_.socket_path);
+    {
+        DaemonClient stopper(options_.socket_path);
+        stopper.shutdown();
+    }
+    EXPECT_TRUE(server_->stopping());
+    // The still-open connection's next request must be answered with a
+    // named shutdown error (or at worst a closed connection) — it must
+    // not wedge waiting forever.
+    try {
+        (void)survivor.grade(small_request());
+        FAIL() << "request after shutdown must not succeed";
+    } catch (const DaemonError& e) {
+        EXPECT_EQ(e.code(), "shutdown");
+    } catch (const ProtoError&) {
+        // Connection already torn down — acceptable, still no wedge.
+    }
+    server_->stop(); // join everything; TearDown would too
+}
+
+TEST_F(ServiceTest, StorePersistsAcrossDaemonRestarts) {
+    options_.store_root = (dir_ / "stores").string();
+    start();
+    {
+        DaemonClient client(options_.socket_path);
+        const GradeReply first = client.grade(small_request());
+        EXPECT_GT(first.done.store.pair_misses, 0u); // cold store
+    }
+    server_->stop();
+    server_ = std::make_unique<CtkdServer>(options_);
+    server_->start();
+    {
+        DaemonClient client(options_.socket_path);
+        const GradeReply warm = client.grade(small_request());
+        // Fresh process = plan-cache miss, but the persisted store
+        // serves every pair.
+        EXPECT_EQ(warm.done.cache_hit, 0);
+        EXPECT_EQ(warm.done.store.pair_misses, 0u);
+        EXPECT_GT(warm.done.store.pair_hits, 0u);
+    }
+}
+
+} // namespace
+} // namespace ctk::service

@@ -1,0 +1,140 @@
+// ctkd — the long-lived campaign/grading daemon (DESIGN.md §13).
+//
+// Start it once, point any number of `ctkgrade --kb --connect SOCK`
+// clients at it: compiled plans and graded (fault, test) verdicts stay
+// warm in the process between requests, so a repeat grading costs the
+// golden runs plus a store replay instead of a full cold campaign.
+// Coverage output through the daemon is byte-identical to the offline
+// tool — the daemon changes *where* the work happens, never verdicts.
+//
+//   usage: ctkd --socket PATH [--sessions N] [--backlog N]
+//               [--max-jobs N] [--store-root DIR]
+//          ctkd --socket PATH --stop
+//
+// --sessions    concurrently served connections (default 4)
+// --backlog     accepted connections allowed to wait for a session;
+//               one more is refused with a named "busy" error
+// --max-jobs    per-request worker clamp (0 = no clamp). Deterministic:
+//               outcomes are worker-count independent, the clamp only
+//               bounds one request's CPU appetite.
+// --store-root  persistence root: each cache entry's grade store is
+//               loaded from and saved back to a content-named directory
+// --stop        connect to a running daemon and shut it down
+//
+// The daemon prints "ctkd: listening on PATH" once the socket is ready
+// (CI waits for the socket file), serves until a Shutdown frame,
+// SIGINT or SIGTERM, then drains, persists and prints a stats line.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include "common/strings.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+const char* kUsage =
+    "usage: ctkd --socket PATH [--sessions N] [--backlog N] [--max-jobs N]\n"
+    "            [--store-root DIR]\n"
+    "       ctkd --socket PATH --stop\n";
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int run_stop(const std::string& socket_path) {
+    using namespace ctk;
+    try {
+        service::DaemonClient client(socket_path);
+        client.shutdown();
+        std::cerr << "ctkd: daemon at " << socket_path << " stopping\n";
+        return 0;
+    } catch (const Error& e) {
+        std::cerr << "ctkd: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace ctk;
+
+    service::ServerOptions options;
+    bool stop_mode = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "ctkd: " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto next_int = [&](double lo, double hi) -> unsigned {
+            const auto n = str::parse_number(next());
+            if (!n || !(*n >= lo && *n <= hi) || *n != std::floor(*n)) {
+                std::cerr << "ctkd: " << arg << " needs an integer in ["
+                          << lo << ", " << hi << "]\n";
+                std::exit(1);
+            }
+            return static_cast<unsigned>(*n);
+        };
+        if (arg == "--socket") {
+            options.socket_path = next();
+        } else if (arg == "--sessions") {
+            options.max_sessions = next_int(1, 256);
+        } else if (arg == "--backlog") {
+            options.backlog = next_int(1, 4096);
+        } else if (arg == "--max-jobs") {
+            options.max_request_jobs = next_int(0, 4096);
+        } else if (arg == "--store-root") {
+            options.store_root = next();
+        } else if (arg == "--stop") {
+            stop_mode = true;
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << kUsage;
+            return 0;
+        } else {
+            std::cerr << "ctkd: unexpected argument '" << arg << "'\n";
+            return 1;
+        }
+    }
+    if (options.socket_path.empty()) {
+        std::cerr << kUsage;
+        return 1;
+    }
+    if (stop_mode) return run_stop(options.socket_path);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    try {
+        service::CtkdServer server(options);
+        server.start();
+        std::cerr << "ctkd: listening on " << options.socket_path << " ("
+                  << options.max_sessions << " session(s), backlog "
+                  << options.backlog << ")\n";
+        while (!server.stopping() && g_signal == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        server.stop();
+        const auto& stats = server.stats();
+        std::cerr << "ctkd: served " << stats.requests.load()
+                  << " request(s) — " << stats.cache_hits.load()
+                  << " plan-cache hit(s), " << stats.cache_misses.load()
+                  << " miss(es), " << stats.busy_rejected.load()
+                  << " busy-rejected, " << stats.protocol_errors.load()
+                  << " protocol error(s); " << server.cache().entry_count()
+                  << " cached entry(ies) over "
+                  << server.cache().family_plan_count()
+                  << " compiled family plan(s)\n";
+        return 0;
+    } catch (const Error& e) {
+        std::cerr << "ctkd: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -35,6 +35,13 @@
 // drops the loaded store content first (forces a full regrade that
 // rewrites the store).
 //
+// Connect mode (--kb --connect SOCK, DESIGN.md §13): instead of grading
+// in-process, send the request to a running ctkd daemon and rebuild the
+// coverage matrix from its streamed verdicts. The matrix renders through
+// the same report code, so the coverage table and CSV are byte-identical
+// to offline mode; the daemon owns the grade store, so --store and
+// --invalidate (and --augment) do not combine with --connect.
+//
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
 //                   [--jobs N] [--detail] [--csv out.csv]
 //                   [--min-coverage X]
@@ -42,6 +49,7 @@
 //                   [--csv out.csv] [--min-coverage X]
 //                   [--universe base|scaled] [--store DIR] [--invalidate]
 //                   [--augment] [--budget N] [--seed S] [--out DIR]
+//                   [--connect SOCK]
 //          builtin names: c17, adder8, cmp8, mux16, alu4, parity16,
 //          counter4 (sequential; random only)
 //
@@ -66,6 +74,7 @@
 #include "gate/grade.hpp"
 #include "report/report.hpp"
 #include "script/xml_io.hpp"
+#include "service/client.hpp"
 
 namespace {
 
@@ -98,7 +107,8 @@ const char* kUsage =
     "                [--universe base|scaled] [--store DIR] "
     "[--invalidate]\n"
     "                [--lockstep [--block N]]\n"
-    "                [--augment] [--budget N] [--seed S] [--out DIR]\n";
+    "                [--augment] [--budget N] [--seed S] [--out DIR]\n"
+    "                [--connect SOCK]\n";
 
 /// Flags shared verbatim by both modes.
 struct CommonOptions {
@@ -209,6 +219,43 @@ int run_kb_grading(const std::vector<std::string>& families,
     }
 }
 
+/// KB grading through a running ctkd daemon (--connect). The streamed
+/// verdicts rebuild a CoverageMatrix that funnels into the same
+/// finish() tail as offline mode — identical table, identical CSV,
+/// identical exit codes; only stderr says a daemon was involved.
+int run_kb_connect(const std::string& socket_path,
+                   const std::vector<std::string>& families,
+                   const CommonOptions& options, bool scaled, bool lockstep,
+                   std::size_t block) {
+    using namespace ctk;
+    try {
+        service::DaemonClient client(socket_path);
+        service::GradeRequestMsg request;
+        request.families = families;
+        request.universe = scaled ? 1 : 0;
+        request.jobs = options.jobs;
+        request.lockstep = lockstep ? 1 : 0;
+        request.block = block;
+        const service::GradeReply reply = client.grade(request);
+        std::cerr << report::render_daemon_stats(
+            reply.done.cache_hit != 0, reply.done.kb_hash,
+            reply.done.stand_hash, reply.done.wall_s);
+        std::cerr << report::render_gradestore_stats(reply.done.store);
+        if (lockstep)
+            std::cerr << "ctkgrade: lockstep " << reply.done.lockstep_captures
+                      << " capture(s), " << reply.done.lockstep_blocks
+                      << " block(s), " << reply.done.lockstep_lanes
+                      << " lane(s)\n";
+        print_perf("kb", "daemon", reply.matrix.fault_count(),
+                   reply.done.wall_s, reply.done.workers);
+        return finish(reply.matrix, options,
+                      reply.matrix.clean() ? 0 : 3);
+    } catch (const Error& e) {
+        std::cerr << "ctkgrade: " << e.what() << "\n";
+        return 2;
+    }
+}
+
 int run_kb_augmentation(const std::vector<std::string>& families,
                         const CommonOptions& options,
                         ctk::core::AugmentOptions aopts,
@@ -304,6 +351,8 @@ int main(int argc, char** argv) {
     StoreOptions store;
     sim::UniverseOptions universe;
     bool universe_set = false;
+    bool universe_scaled = false;
+    std::string connect_path;
     bool lockstep = false;
     std::size_t block = 0;
     bool block_set = false;
@@ -360,12 +409,15 @@ int main(int argc, char** argv) {
                 universe = sim::UniverseOptions::base();
             } else if (u == "scaled") {
                 universe = sim::UniverseOptions::scaled();
+                universe_scaled = true;
             } else {
                 std::cerr << "ctkgrade: --universe needs 'base' or "
                              "'scaled'\n";
                 return 1;
             }
             universe_set = true;
+        } else if (arg == "--connect") {
+            connect_path = next();
         } else if (arg == "--lockstep") {
             lockstep = true;
         } else if (arg == "--block") {
@@ -435,6 +487,21 @@ int main(int argc, char** argv) {
             std::cerr << "ctkgrade: --block needs --lockstep\n";
             return 1;
         }
+        if (!connect_path.empty()) {
+            if (!store.dir.empty() || store.invalidate) {
+                std::cerr << "ctkgrade: --store/--invalidate cannot "
+                             "combine with --connect (the daemon owns "
+                             "the store)\n";
+                return 1;
+            }
+            if (augment) {
+                std::cerr << "ctkgrade: --augment is not available over "
+                             "--connect\n";
+                return 1;
+            }
+            return run_kb_connect(connect_path, families, common,
+                                  universe_scaled, lockstep, block);
+        }
         if (augment) {
             aug_opts.jobs = common.jobs;
             aug_opts.universe = universe;
@@ -467,6 +534,10 @@ int main(int argc, char** argv) {
     if (lockstep || block_set) {
         std::cerr << "ctkgrade: --lockstep/--block only apply to --kb "
                      "mode\n";
+        return 1;
+    }
+    if (!connect_path.empty()) {
+        std::cerr << "ctkgrade: --connect only applies to --kb mode\n";
         return 1;
     }
     if (spec.empty()) {
