@@ -1,7 +1,9 @@
 #include "core/grading.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <unordered_map>
 
 #include "common/parallel.hpp"
@@ -149,6 +151,94 @@ LaneOutcome run_lockstep_lane(const std::string& family,
     }
     out.wall_s = seconds_since(start);
     return out;
+}
+
+/// Packed twin of run_lockstep_lane: walk one family's slice of a
+/// fault block test-by-test, evaluating every still-active lane of a
+/// test through one evaluate_block call. Cached-record consumption,
+/// fresh-record production, flip accounting and the early drop are the
+/// scalar walk's, lane for lane — only the evaluation grouping changes,
+/// and evaluate_block returns exactly what per-lane evaluate() would,
+/// so the two walks are byte-identical (bench_bitpar enforces it).
+/// The block's wall clock is apportioned evenly across its lanes;
+/// FaultGrade::wall_s is diagnostic only (never part of CSV or the
+/// outcome fingerprint).
+std::vector<LaneOutcome> run_lockstep_block(
+    const std::string& family, const FamilyExec& exec, bool store_mode,
+    const std::vector<sim::FaultSpec>& universe,
+    const std::vector<std::size_t>& faults) {
+    const auto start = Clock::now();
+    const std::size_t n = faults.size();
+    std::vector<LaneOutcome> outs(n);
+    std::vector<std::uint8_t> first_found(n, 0);
+    std::vector<std::uint8_t> live(n, 1);
+    for (auto& out : outs) out.evaluated = true;
+    const std::size_t nt = exec.plan->tests().size();
+
+    std::vector<std::size_t> fresh;
+    std::vector<std::size_t> fresh_pos;
+    std::vector<LockstepEval> evals;
+    std::size_t remaining = n;
+    auto consume = [&](std::size_t i, bool differs, std::size_t flips,
+                       const std::string& first_flip) {
+        outs[i].flips += flips;
+        if (!first_found[i] && flips > 0) {
+            outs[i].first_flip = first_flip;
+            first_found[i] = 1;
+        }
+        if (differs) {
+            outs[i].differs = true;
+            live[i] = 0;
+            --remaining;
+        }
+    };
+    for (std::size_t t = 0; t < nt && remaining > 0; ++t) {
+        fresh.clear();
+        fresh_pos.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!live[i]) continue;
+            if (store_mode) {
+                const auto& cached = exec.schedule[faults[i]].per_test[t];
+                if (cached) {
+                    consume(i, cached->differs, cached->flips,
+                            cached->first_flip);
+                    continue;
+                }
+            }
+            fresh.push_back(faults[i]);
+            fresh_pos.push_back(i);
+        }
+        if (fresh.empty()) continue;
+        exec.engine->evaluate_block(t, fresh, evals);
+        for (std::size_t j = 0; j < fresh.size(); ++j) {
+            const std::size_t i = fresh_pos[j];
+            LockstepEval& ev = evals[j];
+            if (ev.error) {
+                outs[i].error = true;
+                outs[i].error_message = std::move(ev.error_message);
+                live[i] = 0;
+                --remaining;
+                continue;
+            }
+            if (store_mode) {
+                PairRecord rec;
+                rec.family = family;
+                rec.test = exec.plan->tests()[t].name;
+                rec.plan_hash = exec.test_hashes[t];
+                rec.fault = universe[faults[i]].id();
+                rec.golden_fp = exec.golden_fp_hash[t];
+                rec.differs = ev.differs;
+                rec.flips = ev.flips;
+                rec.first_flip = ev.first_flip;
+                outs[i].fresh.emplace_back(t, std::move(rec));
+            }
+            consume(i, ev.differs, ev.flips, ev.first_flip);
+        }
+    }
+    const double wall = seconds_since(start);
+    for (auto& out : outs)
+        out.wall_s = n > 0 ? wall / static_cast<double>(n) : wall;
+    return outs;
 }
 
 } // namespace
@@ -538,7 +628,9 @@ GradingResult GradingCampaign::run_all() {
                 capture_runner.add(std::move(job));
             }
         }
+        const auto capture_start = Clock::now();
         (void)capture_runner.run_all();
+        result.lockstep_capture_s = seconds_since(capture_start);
         for (std::size_t fi = 0; fi < setups_.size(); ++fi) {
             FamilyExec& exec = execs[fi];
             if (!exec.lockstep) continue;
@@ -601,6 +693,10 @@ GradingResult GradingCampaign::run_all() {
             }
         }
     }
+    // Summed block-evaluation wall across workers (phase 2b runs the
+    // bodies concurrently) — the evaluate half of the capture-vs-
+    // evaluate breakdown.
+    std::atomic<long long> eval_ns{0};
     if (any_engine) {
         // Flatten the engine families' lanes with fresh work into one
         // family-major list, then pack contiguous blocks. Lanes that are
@@ -651,13 +747,48 @@ GradingResult GradingCampaign::run_all() {
                                            static_cast<std::ptrdiff_t>(j));
             // One writer per lane slot; the engine is read-only after
             // captures; the store is not touched here (put_pair happens
-            // in phase 3 on the classifying thread).
-            job.body = [block = std::move(block), &execs, this, store] {
-                for (const LaneRef& lr : block)
-                    execs[lr.fi].lanes[lr.fault] = run_lockstep_lane(
-                        setups_[lr.fi].family, execs[lr.fi],
-                        store != nullptr, lr.fault,
-                        setups_[lr.fi].universe[lr.fault].id());
+            // in phase 3 on the classifying thread). The flatten above
+            // is family-major, so a block is a handful of contiguous
+            // per-family runs — each run walks through one packed
+            // evaluate_block call per test (or the scalar per-lane walk
+            // when lockstep_packed is off).
+            const bool packed = options_.lockstep_packed;
+            job.body = [block = std::move(block), &execs, this, store,
+                        packed, &eval_ns] {
+                const auto body_start = Clock::now();
+                std::size_t b = 0;
+                while (b < block.size()) {
+                    std::size_t e = b + 1;
+                    while (e < block.size() && block[e].fi == block[b].fi)
+                        ++e;
+                    const std::size_t fi = block[b].fi;
+                    if (packed) {
+                        std::vector<std::size_t> faults;
+                        faults.reserve(e - b);
+                        for (std::size_t k = b; k < e; ++k)
+                            faults.push_back(block[k].fault);
+                        auto outs = run_lockstep_block(
+                            setups_[fi].family, execs[fi], store != nullptr,
+                            setups_[fi].universe, faults);
+                        for (std::size_t k = b; k < e; ++k)
+                            execs[fi].lanes[block[k].fault] =
+                                std::move(outs[k - b]);
+                    } else {
+                        for (std::size_t k = b; k < e; ++k)
+                            execs[fi].lanes[block[k].fault] =
+                                run_lockstep_lane(
+                                    setups_[fi].family, execs[fi],
+                                    store != nullptr, block[k].fault,
+                                    setups_[fi].universe[block[k].fault]
+                                        .id());
+                    }
+                    b = e;
+                }
+                eval_ns.fetch_add(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - body_start)
+                        .count(),
+                    std::memory_order_relaxed);
             };
             runner.add(std::move(job));
             i = j;
@@ -667,6 +798,14 @@ GradingResult GradingCampaign::run_all() {
     // Phase 2b — every family's fault work on ONE shared worker pool.
     const CampaignResult campaign = runner.run_all();
     result.workers = campaign.workers;
+    result.lockstep_evaluate_s =
+        static_cast<double>(eval_ns.load(std::memory_order_relaxed)) / 1e9;
+    for (const FamilyExec& exec : execs) {
+        if (!exec.lockstep || !exec.engine) continue;
+        const LockstepBlockStats stats = exec.engine->block_stats();
+        result.lockstep_words += stats.words;
+        result.lockstep_lane_evals += stats.lanes;
+    }
 
     // Phase 3 — classify each fault against its family's golden run.
     for (std::size_t fi = 0; fi < setups_.size(); ++fi) {

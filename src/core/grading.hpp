@@ -92,6 +92,16 @@ struct GradingResult {
     std::size_t lockstep_captures = 0; ///< variant traces captured
     std::size_t lockstep_blocks = 0;   ///< fault-block jobs executed
     std::size_t lockstep_lanes = 0;    ///< faults evaluated via lockstep
+    /// Capture-vs-evaluate wall breakdown: trace-capture phase wall and
+    /// the summed fault-block evaluation wall (across workers, so with
+    /// N workers busy it can exceed the elapsed time N-fold).
+    double lockstep_capture_s = 0.0;
+    double lockstep_evaluate_s = 0.0;
+    /// Packed-pass counters from LockstepFamily::block_stats —
+    /// lanes/words is the packing density actually achieved. Zero in
+    /// scalar mode and under CTK_BITPAR_SCALAR.
+    std::size_t lockstep_words = 0;
+    std::size_t lockstep_lane_evals = 0;
 
     [[nodiscard]] std::size_t fault_count() const;
     [[nodiscard]] std::size_t detected() const;
@@ -142,6 +152,12 @@ struct GradingOptions {
     /// over 4 blocks per worker, floored at 64 pairs, so a near-warm
     /// store replay does not shatter into thread-starved slivers.
     std::size_t block = 0;
+    /// Evaluate lockstep blocks through the word-packed
+    /// LockstepFamily::evaluate_block walk (DESIGN.md §14, the
+    /// default). false keeps the per-lane scalar walk — the
+    /// differential/bench ablation axis. Outcomes, fingerprints and
+    /// CSV are byte-identical either way.
+    bool lockstep_packed = true;
     // -- streaming observers (DESIGN.md §13) -------------------------------
     // The hooks let a caller (the ctkd daemon) forward verdicts as they
     // classify instead of waiting for the buffered GradingResult. They

@@ -1,9 +1,12 @@
 #include "core/lockstep.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -57,7 +60,10 @@ struct Capture {
     /// Trajectory-active fault layers, decorator chain order
     /// (innermost first — aliases the universe specs).
     std::vector<const sim::FaultSpec*> layers;
-    std::vector<double> values;         ///< rows * pins, row-major
+    /// pins * rows, pin-major: values[p * rows + r]. One contiguous
+    /// column per traced pin — the structure-of-arrays layout the
+    /// packed block-evaluate scans (DESIGN.md §14).
+    std::vector<double> values;
     std::vector<std::uint8_t> flags;    ///< per check, variant verdict
     std::vector<std::vector<std::uint32_t>> watch_counts; ///< per watch
     bool failed = false;
@@ -68,6 +74,12 @@ struct Lane {
     std::vector<const sim::FaultSpec*> pin_layers; ///< chain order
     std::vector<std::size_t> tests;    ///< eval tests, ascending
     std::vector<std::size_t> capture;  ///< capture index per eval test
+    /// Per eval test (same index as `tests`): the lane's pin rewrites
+    /// resolved against that test's traced-pin table, (slot, layer) in
+    /// chain order. Precomputed once at build so the packed pass never
+    /// matches pin names per word; the scalar evaluate() keeps its own
+    /// name matching as the independent reference.
+    std::vector<std::vector<std::pair<int, const sim::FaultSpec*>>> slots;
 };
 
 std::string encode_layer(const sim::FaultSpec& layer) {
@@ -112,6 +124,76 @@ bool scan_passed(const TestLayout& lt, const CheckRef& ref, ValueAt&& at) {
     return exec::real_check_passed(tr, c, ref.step->dt);
 }
 
+/// Index of the lowest set bit (w != 0) — the next lane to visit when
+/// walking a mask.
+int lane_index(std::uint64_t w) {
+    int n = 0;
+    while ((w & 1u) == 0) {
+        w >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/// Masked twin of scan_passed: one backward scan decides every lane in
+/// `affected` at once. The elapsed/hold/d3 comparisons are properties
+/// of the row alone, so each visited row costs one branch for the whole
+/// word; only the within_limits ok-bits are lane-dependent and are
+/// computed lazily for the still-undecided lanes. Per lane the exact
+/// scalar decision sequence is reproduced — same rows visited or
+/// skipped, same CheckTrace handed to the shared pass predicate.
+/// `at(l, r)` is the value lane l would have sampled at row r. Returns
+/// the lanes that passed.
+template <typename ValueAt>
+std::uint64_t scan_passed_masked(const TestLayout& lt, const CheckRef& ref,
+                                 std::uint64_t affected, ValueAt&& at) {
+    const PlanCheck& c = *ref.check;
+    if (ref.first >= ref.end) return 0; // no sample inside the dwell
+    const std::size_t last = ref.end - 1;
+    std::uint64_t undecided = 0;
+    for (std::uint64_t m = affected; m;) {
+        const int l = lane_index(m);
+        m &= m - 1;
+        if (exec::within_limits(at(static_cast<std::size_t>(l), last), c.lo,
+                                c.hi))
+            undecided |= std::uint64_t{1} << l;
+    }
+    if (!undecided) return 0; // lanes failing the last sample fail
+    std::uint64_t passed = 0;
+    const double hold = std::max(c.d1, ref.step->dt - c.d2);
+    for (std::size_t r = last;; --r) {
+        const double el = lt.elapsed[r];
+        if (el <= hold + 1e-9 && (!c.d3 || el <= *c.d3 + 1e-9))
+            return passed | undecided;
+        if (r == ref.first) break; // runs reach the first sample
+        std::uint64_t fail_prev = 0;
+        for (std::uint64_t m = undecided; m;) {
+            const int l = lane_index(m);
+            m &= m - 1;
+            if (!exec::within_limits(at(static_cast<std::size_t>(l), r - 1),
+                                     c.lo, c.hi))
+                fail_prev |= std::uint64_t{1} << l;
+        }
+        if (fail_prev) {
+            // These lanes' trailing OK run starts at row r.
+            exec::CheckTrace tr;
+            tr.any_sample = true;
+            tr.last_ok = true;
+            tr.trailing_ok_start = lt.elapsed[r];
+            if (exec::real_check_passed(tr, c, ref.step->dt))
+                passed |= fail_prev;
+            undecided &= ~fail_prev;
+            if (!undecided) return passed;
+        }
+    }
+    exec::CheckTrace tr;
+    tr.any_sample = true;
+    tr.last_ok = true;
+    tr.trailing_ok_start = 0.0;
+    if (exec::real_check_passed(tr, c, ref.step->dt)) passed |= undecided;
+    return passed;
+}
+
 /// The VirtualStand frequency-counter replica: rising edges of
 /// level(row) timestamped with the stand clock, purged to the sliding
 /// window, counted per row (sim/virtual_stand.cpp advance()).
@@ -144,9 +226,17 @@ struct LockstepFamily::Impl {
     std::vector<Capture> captures;
     std::vector<Lane> lanes;         ///< per fault, universe order
 
+    /// Packed-pass counters. Mutable because evaluation is logically
+    /// const; relaxed — they are statistics, not synchronization.
+    mutable std::atomic<std::size_t> block_words{0};
+    mutable std::atomic<std::size_t> block_lanes{0};
+
     [[nodiscard]] bool build_layout(std::size_t t);
     void capture_one(Capture& cap);
     void finish_capture(Capture& cap);
+    void eval_pass(std::size_t test, const Capture& cap,
+                   const std::pair<std::size_t, std::size_t>* items,
+                   std::size_t n, std::vector<LockstepEval>& out) const;
 };
 
 /// Layouts are pure schedule/shape work; false means the executor
@@ -288,10 +378,10 @@ void LockstepFamily::Impl::capture_one(Capture& cap) {
 
     std::size_t row = 0;
     auto record_row = [&]() {
-        double* out = cap.values.data() + row * np;
         for (std::size_t p = 0; p < np; ++p)
-            out[p] = idx[p] >= 0 ? device->pin_voltage_at(idx[p])
-                                 : device->pin_voltage(lt.pins[p]);
+            cap.values[p * lt.rows + row] =
+                idx[p] >= 0 ? device->pin_voltage_at(idx[p])
+                            : device->pin_voltage(lt.pins[p]);
         ++row;
     };
     auto apply = [&](const PlanStimulus& s) {
@@ -345,14 +435,14 @@ void LockstepFamily::Impl::capture_one(Capture& cap) {
 /// variant-level verdict of every real check.
 void LockstepFamily::Impl::finish_capture(Capture& cap) {
     const TestLayout& lt = layouts[cap.test];
-    const std::size_t np = lt.pins.size();
     const double* v = cap.values.data();
 
     cap.watch_counts.resize(lt.watch_pin.size());
     for (std::size_t w = 0; w < lt.watch_pin.size(); ++w) {
         const auto p = static_cast<std::size_t>(lt.watch_pin[w]);
-        cap.watch_counts[w] = count_edges(
-            lt, [&](std::size_t r) { return v[r * np + p] > ubatt / 2.0; });
+        cap.watch_counts[w] = count_edges(lt, [&](std::size_t r) {
+            return v[p * lt.rows + r] > ubatt / 2.0;
+        });
     }
 
     for (std::size_t i = 0; i < lt.checks.size(); ++i) {
@@ -361,9 +451,13 @@ void LockstepFamily::Impl::finish_capture(Capture& cap) {
         case CheckRef::Kind::Bits: break; // measured during the drive
         case CheckRef::Kind::Real:
             cap.flags[i] = scan_passed(lt, ref, [&](std::size_t r) {
-                const double* rowv = v + r * np;
-                double x = ref.p0 >= 0 ? rowv[ref.p0] : 0.0;
-                if (ref.p1 >= 0) x -= rowv[ref.p1];
+                double x = ref.p0 >= 0
+                               ? v[static_cast<std::size_t>(ref.p0) *
+                                       lt.rows +
+                                   r]
+                               : 0.0;
+                if (ref.p1 >= 0)
+                    x -= v[static_cast<std::size_t>(ref.p1) * lt.rows + r];
                 return x * kDvmGain;
             });
             break;
@@ -448,6 +542,12 @@ std::unique_ptr<LockstepFamily> LockstepFamily::build(Config cfg) {
             }
             lane.tests.push_back(t);
             lane.capture.push_back(capture_for(t, std::move(active)));
+            std::vector<std::pair<int, const sim::FaultSpec*>> resolved;
+            for (const sim::FaultSpec* layer : lane.pin_layers)
+                for (std::size_t p = 0; p < lt.pins.size(); ++p)
+                    if (lt.pins[p] == layer->target)
+                        resolved.emplace_back(static_cast<int>(p), layer);
+            lane.slots.push_back(std::move(resolved));
         }
     }
 
@@ -528,7 +628,7 @@ LockstepEval LockstepFamily::evaluate(std::size_t fault,
     // layer's step() count since reset equal to the rows advanced so
     // far (sim::mutate_observed == FaultyDut::mutate).
     auto mval = [&](std::size_t r, int p) {
-        double x = v[r * np + static_cast<std::size_t>(p)];
+        double x = v[static_cast<std::size_t>(p) * lt.rows + r];
         if (mutated[static_cast<std::size_t>(p)])
             for (const sim::FaultSpec* layer : lane.pin_layers)
                 if (lt.pins[static_cast<std::size_t>(p)] == layer->target)
@@ -601,6 +701,252 @@ LockstepEval LockstepFamily::evaluate(std::size_t fault,
     }
     out.differs = out.flips > 0;
     return out;
+}
+
+/// One packed pass: up to 64 lanes of one capture, one test. Every
+/// check is decided for the whole word at once — unaffected lanes
+/// broadcast the capture's verdict, affected lanes share one masked
+/// backward scan — and flips against the golden flags fall out of a
+/// single XOR per check. Per lane this computes exactly what
+/// evaluate() computes (same mutate_observed chains, same scan rows,
+/// same doubles); the differential suite in tests/test_bitpar.cpp
+/// holds the two paths together.
+void LockstepFamily::Impl::eval_pass(
+    std::size_t test, const Capture& cap,
+    const std::pair<std::size_t, std::size_t>* items, std::size_t n,
+    std::vector<LockstepEval>& out) const {
+    const TestLayout& lt = layouts[test];
+    const std::size_t np = lt.pins.size();
+    const std::size_t nw = lt.watch_pin.size();
+    const double* v = cap.values.data();
+    const double ub = ubatt;
+
+    // Per pin: which lanes rewrite it. Per lane: its (pin, layer)
+    // rewrites, chain order preserved — lane_val filters by pin, so
+    // each pin sees its layers in exactly the scalar mval order.
+    // Workers evaluate thousands of words per run, so the per-word
+    // buffers are thread-local scratch rather than fresh allocations.
+    struct Scratch {
+        std::vector<std::uint64_t> pinmask;
+        std::vector<int> layer_pin;
+        std::vector<const sim::FaultSpec*> layer_ptr;
+        std::vector<std::vector<std::uint32_t>> counts;
+        std::vector<double> edges;
+        std::vector<const sim::FaultSpec*> chain;
+    };
+    static thread_local Scratch scratch;
+    std::vector<std::uint64_t>& pinmask = scratch.pinmask;
+    pinmask.assign(np, 0);
+    std::vector<int>& layer_pin = scratch.layer_pin;
+    layer_pin.clear();
+    std::vector<const sim::FaultSpec*>& layer_ptr = scratch.layer_ptr;
+    layer_ptr.clear();
+    std::array<std::uint32_t, 65> lane_begin{};
+    for (std::size_t l = 0; l < n; ++l) {
+        lane_begin[l] = static_cast<std::uint32_t>(layer_pin.size());
+        const Lane& lane = lanes[items[l].first];
+        const auto pos = static_cast<std::size_t>(
+            std::find(lane.tests.begin(), lane.tests.end(), test) -
+            lane.tests.begin());
+        for (const auto& [p, layer] : lane.slots[pos]) {
+            pinmask[static_cast<std::size_t>(p)] |= std::uint64_t{1} << l;
+            layer_pin.push_back(p);
+            layer_ptr.push_back(layer);
+        }
+    }
+    lane_begin[n] = static_cast<std::uint32_t>(layer_pin.size());
+
+    auto lane_val = [&](std::size_t l, int p, std::size_t r) {
+        double x = v[static_cast<std::size_t>(p) * lt.rows + r];
+        for (std::uint32_t a = lane_begin[l]; a < lane_begin[l + 1]; ++a)
+            if (layer_pin[a] == p)
+                x = sim::mutate_observed(*layer_ptr[a], x, ub,
+                                         static_cast<long long>(r) + 1);
+        return x;
+    };
+
+    // Frequency watches on a mutated pin: lane-local counts, computed
+    // eagerly like the scalar path's local_counts but through the fast
+    // replica of count_edges — the lane's rewrite chain for the pin is
+    // gathered once instead of filtered per row, and the counter
+    // window is a flat ring over scratch storage instead of a deque.
+    // Same edges, same purge rule, same per-row counts. Stale scratch
+    // entries are never read — both the fill below and the Freq scan
+    // are guarded by the same pinmask bits.
+    std::vector<std::vector<std::uint32_t>>& counts = scratch.counts;
+    if (counts.size() < n * nw) counts.resize(n * nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+        const int p = lt.watch_pin[w];
+        const double* col = v + static_cast<std::size_t>(p) * lt.rows;
+        for (std::uint64_t m = pinmask[static_cast<std::size_t>(p)]; m;) {
+            const auto l = static_cast<std::size_t>(lane_index(m));
+            m &= m - 1;
+            std::vector<const sim::FaultSpec*>& chain = scratch.chain;
+            chain.clear();
+            for (std::uint32_t a = lane_begin[l]; a < lane_begin[l + 1];
+                 ++a)
+                if (layer_pin[a] == p) chain.push_back(layer_ptr[a]);
+            std::vector<std::uint32_t>& out_counts = counts[l * nw + w];
+            out_counts.assign(lt.rows, 0);
+            std::vector<double>& edges = scratch.edges;
+            auto walk = [&](auto&& value_at) {
+                edges.clear();
+                std::size_t head = 0;
+                bool last_level = false;
+                for (std::size_t r = 0; r < lt.rows; ++r) {
+                    const bool lv = value_at(r) > ub / 2.0;
+                    if (lv && !last_level) edges.push_back(lt.now[r]);
+                    last_level = lv;
+                    while (head < edges.size() &&
+                           edges[head] < lt.now[r] - kFreqWindowS)
+                        ++head;
+                    out_counts[r] =
+                        static_cast<std::uint32_t>(edges.size() - head);
+                }
+            };
+            // Single-layer chains hoist the mutate_observed dispatch
+            // out of the row loop; each arm computes the exact same
+            // doubles the generic chain walk would.
+            const sim::FaultSpec* single =
+                chain.size() == 1 ? chain.front() : nullptr;
+            if (single != nullptr &&
+                single->kind == sim::FaultKind::PinStuckLow) {
+                // Constantly low: no rising edge ever, counts stay 0.
+            } else if (single != nullptr &&
+                       single->kind == sim::FaultKind::PinStuckHigh) {
+                walk([&](std::size_t) { return ub; });
+            } else if (single != nullptr &&
+                       single->kind == sim::FaultKind::PinOffset) {
+                const double mag = single->magnitude;
+                walk([&](std::size_t r) { return col[r] + mag; });
+            } else if (single != nullptr &&
+                       single->kind == sim::FaultKind::PinScale) {
+                const double mag = single->magnitude;
+                walk([&](std::size_t r) { return col[r] * mag; });
+            } else {
+                walk([&](std::size_t r) {
+                    double x = col[r];
+                    for (const sim::FaultSpec* layer : chain)
+                        x = sim::mutate_observed(
+                            *layer, x, ub, static_cast<long long>(r) + 1);
+                    return x;
+                });
+            }
+        }
+    }
+
+    const std::uint64_t all =
+        n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    std::array<std::size_t, 64> flips{};
+    std::array<const CheckRef*, 64> first_ref{};
+    for (std::size_t i = 0; i < lt.checks.size(); ++i) {
+        const CheckRef& ref = lt.checks[i];
+        std::uint64_t affected = 0;
+        switch (ref.kind) {
+        case CheckRef::Kind::Bits:
+            break; // pin layers never touch the bus
+        case CheckRef::Kind::Real:
+            if (ref.p0 >= 0)
+                affected |= pinmask[static_cast<std::size_t>(ref.p0)];
+            if (ref.p1 >= 0)
+                affected |= pinmask[static_cast<std::size_t>(ref.p1)];
+            break;
+        case CheckRef::Kind::Freq:
+            affected = pinmask[static_cast<std::size_t>(
+                lt.watch_pin[static_cast<std::size_t>(ref.watch)])];
+            break;
+        }
+        std::uint64_t verdict = cap.flags[i] ? (all & ~affected) : 0;
+        if (affected) {
+            if (ref.kind == CheckRef::Kind::Real) {
+                verdict |= scan_passed_masked(
+                    lt, ref, affected, [&](std::size_t l, std::size_t r) {
+                        double x =
+                            ref.p0 >= 0 ? lane_val(l, ref.p0, r) : 0.0;
+                        if (ref.p1 >= 0) x -= lane_val(l, ref.p1, r);
+                        return x * kDvmGain;
+                    });
+            } else {
+                const auto w = static_cast<std::size_t>(ref.watch);
+                verdict |= scan_passed_masked(
+                    lt, ref, affected, [&](std::size_t l, std::size_t r) {
+                        return static_cast<double>(counts[l * nw + w][r]) /
+                               kFreqWindowS;
+                    });
+            }
+        }
+        const std::uint64_t flip =
+            (verdict ^ (lt.golden_flags[i] ? all : 0)) & all;
+        for (std::uint64_t m = flip; m;) {
+            const auto l = static_cast<std::size_t>(lane_index(m));
+            m &= m - 1;
+            if (flips[l]++ == 0) first_ref[l] = &ref;
+        }
+    }
+
+    for (std::size_t l = 0; l < n; ++l) {
+        LockstepEval& ev = out[items[l].second];
+        ev.flips = flips[l];
+        ev.differs = flips[l] > 0;
+        if (first_ref[l] != nullptr) {
+            const CheckRef& ref = *first_ref[l];
+            ev.first_flip = lt.golden->name + "/" +
+                            std::to_string(ref.step->nr) + "/" +
+                            ref.check->signal;
+        }
+    }
+    block_words.fetch_add(1, std::memory_order_relaxed);
+    block_lanes.fetch_add(n, std::memory_order_relaxed);
+}
+
+void LockstepFamily::evaluate_block(std::size_t test,
+                                    const std::vector<std::size_t>& faults,
+                                    std::vector<LockstepEval>& out) const {
+    out.assign(faults.size(), LockstepEval{});
+#ifdef CTK_BITPAR_SCALAR
+    // Scalar fallback: the packed pass is compiled out; the block API
+    // keeps its contract through the reference evaluator.
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        out[i] = evaluate(faults[i], test);
+#else
+    // Group lanes by capture; scheduling and capture errors are decided
+    // here, lane for lane as evaluate() would.
+    std::unordered_map<std::size_t,
+                       std::vector<std::pair<std::size_t, std::size_t>>>
+        groups;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const Lane& lane = impl_->lanes[faults[i]];
+        const auto pos =
+            std::find(lane.tests.begin(), lane.tests.end(), test);
+        if (pos == lane.tests.end()) {
+            out[i].error = true;
+            out[i].error_message =
+                "lockstep: test not scheduled for this fault";
+            continue;
+        }
+        const std::size_t ci = lane.capture[static_cast<std::size_t>(
+            pos - lane.tests.begin())];
+        const Capture& cap = impl_->captures[ci];
+        if (cap.failed) {
+            out[i].error = true;
+            out[i].error_message = cap.error;
+            continue;
+        }
+        groups[ci].emplace_back(faults[i], i);
+    }
+    for (const auto& [ci, items] : groups)
+        for (std::size_t at = 0; at < items.size(); at += 64)
+            impl_->eval_pass(test, impl_->captures[ci], items.data() + at,
+                             std::min<std::size_t>(64, items.size() - at),
+                             out);
+#endif
+}
+
+LockstepBlockStats LockstepFamily::block_stats() const {
+    LockstepBlockStats stats;
+    stats.words = impl_->block_words.load(std::memory_order_relaxed);
+    stats.lanes = impl_->block_lanes.load(std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace ctk::core

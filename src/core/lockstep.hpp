@@ -53,6 +53,15 @@ struct LockstepEval {
     std::string first_flip;     ///< "test/step/signal" of the first flip
 };
 
+/// Counters of the packed block-evaluate path (DESIGN.md §14): `words`
+/// is the number of ≤64-lane passes executed, `lanes` the lane
+/// evaluations they carried — lanes/words is the packing density the
+/// ctkgrade-perf line reports. Both stay zero under CTK_BITPAR_SCALAR.
+struct LockstepBlockStats {
+    std::size_t words = 0;
+    std::size_t lanes = 0;
+};
+
 /// The lockstep engine for one family: variant decomposition, trace
 /// captures, and per-(fault, test) evaluation. Captures run once (on
 /// any threads, disjoint indices); evaluation afterwards is read-only
@@ -109,8 +118,24 @@ public:
 
     /// Evaluate one scheduled (fault, test) pair against its variant's
     /// captured trace. `test` must be in the fault's eval_tests list.
+    /// The scalar reference — evaluate_block below is differential-
+    /// tested against it and must stay bit-identical.
     [[nodiscard]] LockstepEval evaluate(std::size_t fault,
                                         std::size_t test) const;
+
+    /// Evaluate one test for many faults at once: `out` is resized to
+    /// `faults.size()` and out[i] is exactly evaluate(faults[i], test).
+    /// Lanes are grouped by capture and decided up to 64 at a time —
+    /// unaffected checks broadcast the capture verdict to the whole
+    /// word, affected lanes share one masked backward scan per check.
+    /// Under CTK_BITPAR_SCALAR this is a per-lane evaluate() loop.
+    /// Thread-safe: read-only apart from the stats counters.
+    void evaluate_block(std::size_t test,
+                        const std::vector<std::size_t>& faults,
+                        std::vector<LockstepEval>& out) const;
+
+    /// Packed-pass counters accumulated by evaluate_block.
+    [[nodiscard]] LockstepBlockStats block_stats() const;
 
 private:
     LockstepFamily();

@@ -1,6 +1,10 @@
 #include "gate/faultsim.hpp"
 
 #include <algorithm>
+#include <bitset>
+#include <limits>
+#include <map>
+#include <string>
 
 #include "common/parallel.hpp"
 
@@ -190,10 +194,13 @@ std::vector<PackedChunk> pack_patterns(const Netlist& net,
         for (int l = 0; l < chunk.lanes; ++l) {
             const Pattern& p =
                 patterns[chunk.pattern_idx[static_cast<std::size_t>(l)]];
-            for (std::size_t f = 0; f < frames; ++f)
+            const PackedWord bit = PackedWord{1} << l;
+            for (std::size_t f = 0; f < frames; ++f) {
+                const std::vector<bool>& in = p.frames[f];
+                PackedWord* row = chunk.frame_in[f].data();
                 for (std::size_t i = 0; i < n_pi; ++i)
-                    if (p.frames[f][i])
-                        chunk.frame_in[f][i] |= PackedWord{1} << l;
+                    row[i] |= in[i] ? bit : PackedWord{0};
+            }
         }
 
         // Golden responses per frame.
@@ -295,6 +302,384 @@ FaultSimResult simulate(const Netlist& net, const std::vector<Fault>& faults,
     return result;
 }
 
+// ---- fault-parallel packing (DESIGN.md §14) ---------------------------
+
+/// Population count. C++17 stand-in for std::popcount.
+int popcount64(PackedWord w) {
+    return static_cast<int>(std::bitset<64>(w).count());
+}
+
+/// Closure-limited evaluation program for one word of up to 64 faults.
+/// Slots [0, nodes.size()) hold closure gate values in topo order;
+/// slots [nodes.size(), +ext_gates.size()) hold fault-free values of
+/// fanins outside the closure, broadcast per pattern lane. Injection is
+/// branch-free: every fanin read and node output is masked with
+/// (v & keep) | set, where keep = ~(sa0|sa1 lanes) and set = sa1 lanes
+/// (both identity words when the position carries no fault).
+struct WordProgram {
+    struct Node {
+        GateType type = GateType::Buf;
+        std::uint32_t fanin_begin = 0;
+        std::uint32_t fanin_end = 0;
+        PackedWord out_keep = ~PackedWord{0};
+        PackedWord out_set = 0;
+    };
+    std::vector<Node> nodes;              ///< closure, topo order
+    std::vector<std::uint32_t> fanin_ref; ///< slot index per fanin
+    std::vector<PackedWord> fanin_keep;
+    std::vector<PackedWord> fanin_set;
+    std::vector<GateId> ext_gates;        ///< fault-free gates to broadcast
+    std::vector<std::uint32_t> out_node;  ///< node index per closure PO
+    std::vector<std::uint32_t> out_po;    ///< PO position per closure PO
+};
+
+/// Static netlist structure shared read-only by every fault word.
+struct PackedStructure {
+    std::vector<std::vector<GateId>> fanouts;
+    std::vector<GateId> order;             ///< topo order
+    std::vector<std::uint32_t> topo_pos;   ///< gate → position in order
+    std::vector<std::int32_t> po_index;    ///< gate → PO position or -1
+    /// Preorder number in a fanin-side DFS from the POs (UINT32_MAX for
+    /// gates no output observes). Contiguous numbers = one subcone, so
+    /// sorting a word's sites by dfs_pos keeps the fanout-closure union
+    /// small on tree-shaped circuits where one topo *level* spans every
+    /// subtree.
+    std::vector<std::uint32_t> dfs_pos;
+};
+
+PackedStructure build_structure(const Netlist& net) {
+    PackedStructure st;
+    const auto& gates = net.gates();
+    st.fanouts.resize(gates.size());
+    for (std::size_t g = 0; g < gates.size(); ++g)
+        for (GateId f : gates[g].fanins)
+            st.fanouts[static_cast<std::size_t>(f)].push_back(
+                static_cast<GateId>(g));
+    st.order = net.topo_order();
+    st.topo_pos.resize(gates.size(), 0);
+    for (std::size_t i = 0; i < st.order.size(); ++i)
+        st.topo_pos[static_cast<std::size_t>(st.order[i])] =
+            static_cast<std::uint32_t>(i);
+    st.po_index.assign(gates.size(), -1);
+    const auto& outs = net.outputs();
+    for (std::size_t o = 0; o < outs.size(); ++o)
+        st.po_index[static_cast<std::size_t>(outs[o])] =
+            static_cast<std::int32_t>(o);
+    st.dfs_pos.assign(gates.size(),
+                      std::numeric_limits<std::uint32_t>::max());
+    std::uint32_t next = 0;
+    std::vector<GateId> stack(outs.rbegin(), outs.rend());
+    while (!stack.empty()) {
+        const auto g = static_cast<std::size_t>(stack.back());
+        stack.pop_back();
+        if (st.dfs_pos[g] != std::numeric_limits<std::uint32_t>::max())
+            continue;
+        st.dfs_pos[g] = next++;
+        for (GateId f : gates[g].fanins) stack.push_back(f);
+    }
+    return st;
+}
+
+/// Compile the evaluation program for the still-active lanes of one
+/// fault word: union fanout closure of their sites, topo-sorted, with
+/// the injection masks folded into the fanin/output mask arrays.
+/// Rebuilding with a shrunk `active` tightens the closure as lanes
+/// drop. With `unless_above` > 0 the rebuild is abandoned (nullopt)
+/// when the new closure would not be at least 25 % smaller — on
+/// circuits where the surviving sites still span the old closure (a
+/// parity tree keeps its root path however few leaves remain), paying
+/// for program construction again buys nothing.
+std::optional<WordProgram>
+build_word_program(const Netlist& net, const PackedStructure& st,
+                   const std::vector<Fault>& faults,
+                   const std::vector<std::size_t>& lanes, PackedWord active,
+                   std::size_t unless_above) {
+    const auto& gates = net.gates();
+    const std::size_t n_gates = gates.size();
+
+    std::vector<std::uint8_t> in_closure(n_gates, 0);
+    std::vector<GateId> members;
+    std::vector<GateId> stack;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+        if (!((active >> l) & 1u)) continue;
+        const GateId g = faults[lanes[l]].gate;
+        if (!in_closure[static_cast<std::size_t>(g)]) {
+            in_closure[static_cast<std::size_t>(g)] = 1;
+            members.push_back(g);
+            stack.push_back(g);
+        }
+    }
+    while (!stack.empty()) {
+        const GateId g = stack.back();
+        stack.pop_back();
+        for (GateId fo : st.fanouts[static_cast<std::size_t>(g)])
+            if (!in_closure[static_cast<std::size_t>(fo)]) {
+                in_closure[static_cast<std::size_t>(fo)] = 1;
+                members.push_back(fo);
+                stack.push_back(fo);
+            }
+    }
+    if (unless_above > 0 && members.size() * 4 > unless_above * 3)
+        return std::nullopt;
+    std::sort(members.begin(), members.end(), [&](GateId a, GateId b) {
+        return st.topo_pos[static_cast<std::size_t>(a)] <
+               st.topo_pos[static_cast<std::size_t>(b)];
+    });
+
+    WordProgram prog;
+    prog.nodes.reserve(members.size());
+    std::vector<std::int32_t> node_of(n_gates, -1);
+    for (std::size_t k = 0; k < members.size(); ++k)
+        node_of[static_cast<std::size_t>(members[k])] =
+            static_cast<std::int32_t>(k);
+    std::vector<std::int32_t> ext_of(n_gates, -1);
+    const auto n_nodes = static_cast<std::uint32_t>(members.size());
+    auto ext_slot = [&](GateId g) {
+        auto& slot = ext_of[static_cast<std::size_t>(g)];
+        if (slot < 0) {
+            slot = static_cast<std::int32_t>(prog.ext_gates.size());
+            prog.ext_gates.push_back(g);
+        }
+        return n_nodes + static_cast<std::uint32_t>(slot);
+    };
+
+    for (std::size_t k = 0; k < members.size(); ++k) {
+        const GateId id = members[k];
+        const Gate& g = gates[static_cast<std::size_t>(id)];
+        WordProgram::Node node;
+        node.fanin_begin = static_cast<std::uint32_t>(prog.fanin_ref.size());
+        if (g.type == GateType::Input || g.type == GateType::Dff) {
+            // Sources inside the closure carry their fault-free value
+            // (broadcast from the chunk) until an output fault rewrites
+            // it — exactly eval_gates' source pre-pass.
+            node.type = GateType::Buf;
+            prog.fanin_ref.push_back(ext_slot(id));
+            prog.fanin_keep.push_back(~PackedWord{0});
+            prog.fanin_set.push_back(0);
+        } else {
+            node.type = g.type;
+            for (GateId f : g.fanins) {
+                const std::int32_t nk = node_of[static_cast<std::size_t>(f)];
+                prog.fanin_ref.push_back(
+                    nk >= 0 ? static_cast<std::uint32_t>(nk) : ext_slot(f));
+                prog.fanin_keep.push_back(~PackedWord{0});
+                prog.fanin_set.push_back(0);
+            }
+        }
+        node.fanin_end = static_cast<std::uint32_t>(prog.fanin_ref.size());
+        prog.nodes.push_back(node);
+        if (st.po_index[static_cast<std::size_t>(id)] >= 0) {
+            prog.out_node.push_back(static_cast<std::uint32_t>(k));
+            prog.out_po.push_back(static_cast<std::uint32_t>(
+                st.po_index[static_cast<std::size_t>(id)]));
+        }
+    }
+
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+        if (!((active >> l) & 1u)) continue;
+        const Fault& ft = faults[lanes[l]];
+        const PackedWord bit = PackedWord{1} << l;
+        const std::size_t k = static_cast<std::size_t>(
+            node_of[static_cast<std::size_t>(ft.gate)]);
+        WordProgram::Node& node = prog.nodes[k];
+        if (ft.pin < 0) {
+            node.out_keep &= ~bit;
+            if (ft.sa1) node.out_set |= bit;
+        } else {
+            const std::size_t pos =
+                node.fanin_begin + static_cast<std::size_t>(ft.pin);
+            prog.fanin_keep[pos] &= ~bit;
+            if (ft.sa1) prog.fanin_set[pos] |= bit;
+        }
+    }
+    return prog;
+}
+
+/// Run one fault word against every chunk. Lanes drop out of `active`
+/// at their first detecting pattern; the program is recompiled against
+/// a tighter closure once the active population has halved AND the
+/// word has stalled (no lane dropped for kRebuildStall patterns) — a
+/// word that is still detecting is about to exit, and recompiling it
+/// mid-collapse costs more closure BFS than the smaller program saves.
+/// The word exits as soon as every lane is detected. Writes only this
+/// word's fault slots — words are disjoint, so shards never race.
+void run_fault_word(const Netlist& net, const PackedStructure& st,
+                    const std::vector<PackedChunk>& chunks,
+                    const std::vector<std::vector<PackedWord>>& chunk_values,
+                    const std::vector<Fault>& faults,
+                    const std::vector<std::size_t>& lanes,
+                    std::vector<std::uint8_t>& det,
+                    std::vector<std::optional<std::size_t>>& det_by) {
+    constexpr std::size_t kRebuildStall = 16;
+    PackedWord active = lane_mask(static_cast<int>(lanes.size()));
+    WordProgram prog = *build_word_program(net, st, faults, lanes, active, 0);
+    int rebuild_below = popcount64(active) / 2;
+    std::size_t stalled = 0;
+    std::vector<PackedWord> slots(prog.nodes.size() + prog.ext_gates.size());
+
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+        const PackedChunk& chunk = chunks[ci];
+        const std::vector<PackedWord>& cv = chunk_values[ci];
+        for (int li = 0; li < chunk.lanes; ++li) {
+            if (stalled >= kRebuildStall &&
+                popcount64(active) <= rebuild_below) {
+                rebuild_below = popcount64(active) / 2;
+                if (auto next = build_word_program(net, st, faults, lanes,
+                                                   active,
+                                                   prog.nodes.size())) {
+                    prog = std::move(*next);
+                    slots.resize(prog.nodes.size() +
+                                 prog.ext_gates.size());
+                }
+            }
+            const std::size_t n_nodes = prog.nodes.size();
+            for (std::size_t e = 0; e < prog.ext_gates.size(); ++e)
+                slots[n_nodes + e] =
+                    ((cv[static_cast<std::size_t>(prog.ext_gates[e])] >> li) &
+                     1u)
+                        ? ~PackedWord{0}
+                        : PackedWord{0};
+            auto fetch = [&](std::uint32_t pos) {
+                return (slots[prog.fanin_ref[pos]] & prog.fanin_keep[pos]) |
+                       prog.fanin_set[pos];
+            };
+            for (std::size_t k = 0; k < n_nodes; ++k) {
+                const WordProgram::Node& nd = prog.nodes[k];
+                PackedWord v = 0;
+                switch (nd.type) {
+                case GateType::Const0: v = 0; break;
+                case GateType::Const1: v = ~PackedWord{0}; break;
+                case GateType::Buf: v = fetch(nd.fanin_begin); break;
+                case GateType::Not: v = ~fetch(nd.fanin_begin); break;
+                case GateType::And:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v &= fetch(p);
+                    break;
+                case GateType::Nand:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v &= fetch(p);
+                    v = ~v;
+                    break;
+                case GateType::Or:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v |= fetch(p);
+                    break;
+                case GateType::Nor:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v |= fetch(p);
+                    v = ~v;
+                    break;
+                case GateType::Xor:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v ^= fetch(p);
+                    break;
+                case GateType::Xnor:
+                    v = fetch(nd.fanin_begin);
+                    for (std::uint32_t p = nd.fanin_begin + 1;
+                         p < nd.fanin_end; ++p)
+                        v ^= fetch(p);
+                    v = ~v;
+                    break;
+                default: break;
+                }
+                slots[k] = (v & nd.out_keep) | nd.out_set;
+            }
+
+            PackedWord diff = 0;
+            for (std::size_t o = 0; o < prog.out_node.size(); ++o) {
+                const PackedWord golden =
+                    ((chunk.golden[0][prog.out_po[o]] >> li) & 1u)
+                        ? ~PackedWord{0}
+                        : PackedWord{0};
+                diff |= slots[prog.out_node[o]] ^ golden;
+            }
+            PackedWord newly = diff & active;
+            if (!newly) {
+                ++stalled;
+                continue;
+            }
+            stalled = 0;
+            active &= ~newly;
+            while (newly) {
+                const int l = lowest_set_bit(newly);
+                newly &= newly - 1;
+                const std::size_t fi = lanes[static_cast<std::size_t>(l)];
+                det[fi] = 1;
+                det_by[fi] =
+                    chunk.pattern_idx[static_cast<std::size_t>(li)];
+            }
+            if (!active) return;
+        }
+    }
+}
+
+/// Group fault indices by reachable-output set (so words share a cone
+/// and detected words exit early together), then order each group by
+/// the DFS preorder of the fault site — sites adjacent in preorder sit
+/// in the same subcone and share most of their fanout closure, which is
+/// what keeps the per-word union small on serial chains (preorder walks
+/// the chain) AND on trees (preorder keeps subtrees contiguous, where a
+/// topo level would span every subtree). Words are 64 consecutive lanes.
+std::vector<std::vector<std::size_t>>
+pack_fault_words(const Netlist& net, const PackedStructure& st,
+                 const std::vector<Fault>& faults) {
+    const std::size_t n_gates = net.gates().size();
+    const std::size_t n_po = net.outputs().size();
+    const std::size_t n_ow = (n_po + 63) / 64;
+
+    // Reachable-output bitset per gate, via reverse-topo DP.
+    std::vector<PackedWord> okey(n_gates * n_ow, 0);
+    for (std::size_t o = 0; o < n_po; ++o)
+        okey[static_cast<std::size_t>(net.outputs()[o]) * n_ow + o / 64] |=
+            PackedWord{1} << (o % 64);
+    for (std::size_t i = st.order.size(); i-- > 0;) {
+        const auto g = static_cast<std::size_t>(st.order[i]);
+        for (GateId fo : st.fanouts[g])
+            for (std::size_t w = 0; w < n_ow; ++w)
+                okey[g * n_ow + w] |=
+                    okey[static_cast<std::size_t>(fo) * n_ow + w];
+    }
+
+    std::map<std::string, std::size_t> group_of;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        const auto g = static_cast<std::size_t>(faults[fi].gate);
+        std::string key(
+            reinterpret_cast<const char*>(okey.data() + g * n_ow),
+            n_ow * sizeof(PackedWord));
+        const auto [it, fresh] = group_of.emplace(key, groups.size());
+        if (fresh) groups.emplace_back();
+        groups[it->second].push_back(fi);
+    }
+
+    std::vector<std::vector<std::size_t>> words;
+    for (auto& group : groups) {
+        std::stable_sort(group.begin(), group.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return st.dfs_pos[static_cast<std::size_t>(
+                                        faults[a].gate)] <
+                                    st.dfs_pos[static_cast<std::size_t>(
+                                        faults[b].gate)];
+                         });
+        for (std::size_t at = 0; at < group.size(); at += 64)
+            words.emplace_back(
+                group.begin() + static_cast<std::ptrdiff_t>(at),
+                group.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(group.size(), at + 64)));
+    }
+    return words;
+}
+
 } // namespace
 
 std::vector<PackedWord>
@@ -321,6 +706,70 @@ FaultSimResult fault_simulate_sharded(const Netlist& net,
                                       const std::vector<Pattern>& patterns,
                                       unsigned jobs) {
     return simulate(net, faults, patterns, 64, jobs);
+}
+
+FaultSimResult fault_simulate_packed(const Netlist& net,
+                                     const std::vector<Fault>& faults,
+                                     const std::vector<Pattern>& patterns,
+                                     unsigned jobs) {
+#ifdef CTK_BITPAR_SCALAR
+    return simulate(net, faults, patterns, 64, jobs);
+#else
+    bool single_frame = true;
+    for (const Pattern& p : patterns)
+        if (p.frames.size() != 1) {
+            single_frame = false;
+            break;
+        }
+    // Fault packing needs one value word per net: sequential replay and
+    // multi-frame patterns keep per-frame state per lane, which the
+    // closure program does not model — fall back to per-fault replay.
+    if (net.is_sequential() || !single_frame)
+        return simulate(net, faults, patterns, 64, jobs);
+
+    FaultSimResult result;
+    result.total_faults = faults.size();
+    result.detected_mask.assign(faults.size(), false);
+    result.detected_by.assign(faults.size(), std::nullopt);
+    if (faults.empty()) return result;
+
+    const LogicSim sim(net);
+    const PackedStructure st = build_structure(net);
+    const auto chunks = pack_patterns(net, sim, st.order, patterns, 64);
+    // Full fault-free net values per chunk: they seed the ext slots of
+    // every word program and broadcast the golden response.
+    std::vector<std::vector<PackedWord>> chunk_values;
+    chunk_values.reserve(chunks.size());
+    for (const PackedChunk& chunk : chunks)
+        chunk_values.push_back(chunk.frame_in.empty()
+                                   ? std::vector<PackedWord>()
+                                   : eval_gates(net, st.order,
+                                                chunk.frame_in[0], {},
+                                                nullptr));
+
+    const auto words = pack_fault_words(net, st, faults);
+
+    // det/det_by are plain per-fault arrays (not vector<bool>): each
+    // word owns disjoint fault slots, so shards write without racing.
+    std::vector<std::uint8_t> det(faults.size(), 0);
+    std::vector<std::optional<std::size_t>> det_by(faults.size(),
+                                                   std::nullopt);
+    const unsigned workers = parallel::resolve_workers_floored(
+        jobs, faults.size(), kMinFaultsPerShard);
+    result.effective_workers = workers;
+    parallel::for_shards(words.size(), workers, [&](std::size_t w) {
+        run_fault_word(net, st, chunks, chunk_values, faults, words[w], det,
+                       det_by);
+    });
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (!det[fi]) continue;
+        result.detected_mask[fi] = true;
+        result.detected_by[fi] = det_by[fi];
+        ++result.detected;
+    }
+    return result;
+#endif
 }
 
 } // namespace ctk::gate

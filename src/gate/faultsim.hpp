@@ -1,12 +1,14 @@
 // Stuck-at fault simulation: serial (one pattern at a time),
-// parallel-pattern (64 lanes per pass), and sharded (the fault list
+// parallel-pattern (64 lanes per pass), sharded (the fault list
 // partitioned across the common/parallel worker pool, every shard
-// running 64-lane packs with shard-local fault dropping).
+// running 64-lane packs with shard-local fault dropping), and
+// fault-packed (64 *faults* per word, DESIGN.md §14).
 //
-// All three produce bit-identical detection masks and detected-by
+// All four produce bit-identical detection masks and detected-by
 // attribution: fault dropping is per fault — detection of fault i
 // never reads the detection state of fault j — so partitioning the
-// list changes nothing observable (DESIGN.md §9).
+// list (across shards, or across the lanes of a fault word) changes
+// nothing observable (DESIGN.md §9).
 //
 // Combinational circuits are simulated single-frame; sequential circuits
 // frame-by-frame from the all-zero reset state, with the fault active in
@@ -89,5 +91,19 @@ fault_simulate_parallel(const Netlist& net, const std::vector<Fault>& faults,
 [[nodiscard]] FaultSimResult
 fault_simulate_sharded(const Netlist& net, const std::vector<Fault>& faults,
                        const std::vector<Pattern>& patterns, unsigned jobs);
+
+/// Fault-parallel packed simulation (DESIGN.md §14): faults are grouped
+/// by reachable-output cone, up to 64 faults of one group become the
+/// lanes of a PackedWord, and each pattern detects all of them with one
+/// XOR against the broadcast golden response. Evaluation is limited to
+/// the lanes' union fanout closure; values outside the closure are
+/// seeded from the fault-free chunk values. Sequential netlists and
+/// multi-frame patterns fall back to the per-fault sharded replay
+/// (as does the whole function under CTK_BITPAR_SCALAR). Detection
+/// masks and detected-by attribution are bit-identical to the serial
+/// path at every worker count.
+[[nodiscard]] FaultSimResult
+fault_simulate_packed(const Netlist& net, const std::vector<Fault>& faults,
+                      const std::vector<Pattern>& patterns, unsigned jobs);
 
 } // namespace ctk::gate

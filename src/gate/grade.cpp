@@ -45,6 +45,7 @@ GateGradeResult grade_netlist(const Netlist& net,
                                         : 1;
     ropts.seed = options.seed;
     ropts.jobs = options.jobs;
+    ropts.fault_packed = options.fault_packed;
     auto rnd = random_tpg(net, out.faults, ropts);
     out.patterns = std::move(rnd.patterns);
     out.random_patterns = out.patterns.size();

@@ -28,6 +28,7 @@ struct GateGradeOptions {
     std::size_t max_patterns = 256;     ///< random-TPG pattern budget
     std::size_t frames_per_pattern = 0; ///< 0 = auto: 8 sequential, 1 comb
     unsigned jobs = 1;                  ///< fault-sim workers (0 = hardware)
+    bool fault_packed = false;          ///< word-packed fault lanes (§14)
     bool atpg_top_up = true;            ///< PODEM remainder (comb only)
     std::uint64_t seed = 1;
     AtpgOptions atpg;

@@ -38,7 +38,9 @@ RandomTpgResult random_tpg(const Netlist& net,
         }
 
         const auto batch_result =
-            fault_simulate_sharded(net, active, fresh, options.jobs);
+            options.fault_packed
+                ? fault_simulate_packed(net, active, fresh, options.jobs)
+                : fault_simulate_sharded(net, active, fresh, options.jobs);
 
         // Fold batch detections into the global result (indices shift as
         // detected faults drop out of `active`).

@@ -19,6 +19,11 @@ struct RandomTpgOptions {
     /// (0 = hardware threads). Patterns and detections are identical
     /// at any count — only wall clock changes.
     unsigned jobs = 1;
+    /// Use the fault-parallel packed simulator (fault_simulate_packed)
+    /// for each batch instead of per-fault sharded replay. Bit-identical
+    /// detections; combinational single-frame circuits only (others
+    /// fall back internally).
+    bool fault_packed = false;
 };
 
 struct CoveragePoint {

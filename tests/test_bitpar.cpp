@@ -1,0 +1,302 @@
+// Bit-parallel fault evaluation (DESIGN.md §14): the packed paths must
+// be bit-identical to their scalar references on randomized inputs.
+//
+// KB side: LockstepFamily::evaluate_block against the scalar
+// evaluate(), lane counts straddling the 64-lane word boundary
+// (1, W-1, W, W+1, 3W+tail), duplicate lanes, error lanes, and
+// concurrent read-only evaluation (the TSan job runs this binary —
+// eval_pass keeps thread-local scratch that must stay race-free).
+//
+// Gate side: fault_simulate_packed against fault_simulate_serial on
+// every builtin circuit, fault-slice sizes straddling the word
+// boundary, the sequential/multi-frame fallback, and empty edges.
+//
+// Under CTK_BITPAR_SCALAR both packed paths collapse to their scalar
+// twins and every expectation here still holds — the suite is what
+// keeps the fallback from rotting.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "core/lockstep.hpp"
+#include "gate/circuits.hpp"
+#include "gate/faults.hpp"
+#include "gate/faultsim.hpp"
+#include "report/report.hpp"
+
+namespace ctk {
+namespace {
+
+// The word width the packed paths lane against; lane counts in the
+// tests straddle it on both sides.
+constexpr std::size_t kW = 64;
+
+void expect_eval_eq(const core::LockstepEval& got,
+                    const core::LockstepEval& want,
+                    const std::string& where) {
+    EXPECT_EQ(got.error, want.error) << where;
+    EXPECT_EQ(got.error_message, want.error_message) << where;
+    EXPECT_EQ(got.differs, want.differs) << where;
+    EXPECT_EQ(got.flips, want.flips) << where;
+    EXPECT_EQ(got.first_flip, want.first_flip) << where;
+}
+
+// One shared lockstep engine for the wiper family on the scaled
+// universe — captures are whole-suite drives, so they run once for the
+// whole KB test group.
+class BitparLockstep : public ::testing::Test {
+protected:
+    struct State {
+        core::FamilyGradingSetup setup;
+        core::RunResult golden;
+        std::unique_ptr<core::LockstepFamily> engine;
+    };
+
+    static void SetUpTestSuite() {
+        state_ = new State;
+        state_->setup = core::kb_grading_setup(
+            "wiper", {}, sim::UniverseOptions::scaled());
+        auto backend = state_->setup.make_golden(state_->setup.stand);
+        ASSERT_NE(backend, nullptr);
+        state_->golden = state_->setup.plan->execute(*backend);
+
+        core::LockstepFamily::Config cfg;
+        cfg.plan = state_->setup.plan;
+        cfg.golden = &state_->golden;
+        cfg.make_device = state_->setup.make_device;
+        cfg.universe = &state_->setup.universe;
+        if (state_->setup.stand.variables().has("ubatt"))
+            cfg.ubatt = state_->setup.stand.variables().get("ubatt");
+        cfg.eval_tests.resize(state_->setup.universe.size());
+        for (auto& tests : cfg.eval_tests)
+            for (std::size_t t = 0; t < state_->setup.plan->tests().size();
+                 ++t)
+                tests.push_back(t);
+        state_->engine = core::LockstepFamily::build(std::move(cfg));
+        ASSERT_NE(state_->engine, nullptr);
+        for (std::size_t ci = 0; ci < state_->engine->capture_count(); ++ci)
+            state_->engine->run_capture(ci);
+        ASSERT_TRUE(state_->engine->validate());
+    }
+
+    static void TearDownTestSuite() {
+        delete state_;
+        state_ = nullptr;
+    }
+
+    static const core::LockstepFamily& engine() { return *state_->engine; }
+    static std::size_t universe_size() {
+        return state_->setup.universe.size();
+    }
+    static std::size_t test_count() {
+        return state_->setup.plan->tests().size();
+    }
+
+private:
+    static State* state_;
+};
+
+BitparLockstep::State* BitparLockstep::state_ = nullptr;
+
+TEST_F(BitparLockstep, LaneCountsStraddlingTheWordBoundary) {
+    const std::size_t sizes[] = {1, kW - 1, kW, kW + 1, 3 * kW + 7};
+    Rng rng(0xb17);
+    for (const std::size_t n : sizes) {
+        // Random fault indices, duplicates allowed — evaluate_block's
+        // contract is per-lane, not per-set.
+        std::vector<std::size_t> faults;
+        for (std::size_t i = 0; i < n; ++i)
+            faults.push_back(
+                static_cast<std::size_t>(rng.next_below(universe_size())));
+        for (std::size_t t = 0; t < test_count(); ++t) {
+            std::vector<core::LockstepEval> block;
+            engine().evaluate_block(t, faults, block);
+            ASSERT_EQ(block.size(), faults.size());
+            for (std::size_t i = 0; i < faults.size(); ++i)
+                expect_eval_eq(block[i], engine().evaluate(faults[i], t),
+                               "lanes=" + std::to_string(n) + " test=" +
+                                   std::to_string(t) + " lane=" +
+                                   std::to_string(i));
+        }
+    }
+}
+
+TEST_F(BitparLockstep, UnscheduledTestErrorsLaneForLane) {
+    // A test index outside every lane's schedule: the block path must
+    // report the exact scalar error per lane, not throw or misgroup.
+    const std::size_t bad_test = test_count();
+    std::vector<std::size_t> faults;
+    for (std::size_t i = 0; i < kW + 3; ++i)
+        faults.push_back(i % universe_size());
+    std::vector<core::LockstepEval> block;
+    engine().evaluate_block(bad_test, faults, block);
+    ASSERT_EQ(block.size(), faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_TRUE(block[i].error) << i;
+        expect_eval_eq(block[i], engine().evaluate(faults[i], bad_test),
+                       "lane=" + std::to_string(i));
+    }
+}
+
+TEST_F(BitparLockstep, ConcurrentBlocksMatchScalar) {
+    // Evaluation is read-only and must be race-free from any number of
+    // threads (the engine's documented contract; eval_pass keeps
+    // thread-local scratch). The TSan CI job runs this test.
+    const unsigned n_threads = 4;
+    std::vector<std::vector<std::size_t>> lanes(n_threads);
+    std::vector<std::vector<core::LockstepEval>> blocks(n_threads);
+    for (unsigned w = 0; w < n_threads; ++w) {
+        Rng rng(0x7157 + w);
+        for (std::size_t i = 0; i < 2 * kW + 9; ++i)
+            lanes[w].push_back(
+                static_cast<std::size_t>(rng.next_below(universe_size())));
+    }
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < n_threads; ++w)
+        pool.emplace_back([w, &lanes, &blocks] {
+            engine().evaluate_block(w % 2, lanes[w], blocks[w]);
+        });
+    for (auto& th : pool) th.join();
+    for (unsigned w = 0; w < n_threads; ++w) {
+        ASSERT_EQ(blocks[w].size(), lanes[w].size()) << w;
+        for (std::size_t i = 0; i < lanes[w].size(); ++i)
+            expect_eval_eq(blocks[w][i],
+                           engine().evaluate(lanes[w][i], w % 2),
+                           "thread=" + std::to_string(w) + " lane=" +
+                               std::to_string(i));
+    }
+}
+
+TEST(BitparGrading, PackedAndScalarLockstepShareTheFingerprint) {
+    // End-to-end: whole-campaign outcome fingerprint and coverage CSV
+    // must be identical between the packed block path, the scalar lane
+    // walk, and per-fault grading — jobs=8 keeps the packed path under
+    // the TSan job's eye on the real worker pool.
+    const std::vector<std::string> families{"wiper", "central_lock",
+                                            "turn_signal"};
+    auto grade = [&](bool lockstep, bool packed) {
+        core::GradingOptions opts;
+        opts.jobs = 8;
+        opts.lockstep = lockstep;
+        opts.lockstep_packed = packed;
+        core::GradingCampaign grading(opts);
+        for (const auto& family : families)
+            grading.add(core::kb_grading_setup(family));
+        return grading.run_all();
+    };
+    const auto reference = grade(false, true);
+    const auto want_fp = core::outcome_fingerprint(reference);
+    const auto want_csv = report::coverage_to_csv(reference.to_coverage());
+    for (const bool packed : {true, false}) {
+        const auto lk = grade(true, packed);
+        EXPECT_EQ(core::outcome_fingerprint(lk), want_fp)
+            << "packed=" << packed;
+        EXPECT_EQ(report::coverage_to_csv(lk.to_coverage()), want_csv)
+            << "packed=" << packed;
+    }
+}
+
+// ---- gate side ---------------------------------------------------
+
+std::vector<gate::Pattern> random_patterns(const gate::Netlist& net,
+                                           std::size_t count,
+                                           std::size_t frames,
+                                           std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<gate::Pattern> patterns;
+    for (std::size_t p = 0; p < count; ++p) {
+        gate::Pattern pat;
+        for (std::size_t f = 0; f < frames; ++f) {
+            std::vector<bool> frame(net.inputs().size());
+            for (auto&& v : frame) v = rng.next_bool();
+            pat.frames.push_back(std::move(frame));
+        }
+        patterns.push_back(std::move(pat));
+    }
+    return patterns;
+}
+
+void expect_gate_eq(const gate::FaultSimResult& got,
+                    const gate::FaultSimResult& want,
+                    const std::string& where) {
+    EXPECT_EQ(got.total_faults, want.total_faults) << where;
+    EXPECT_EQ(got.detected, want.detected) << where;
+    EXPECT_EQ(got.detected_mask, want.detected_mask) << where;
+    EXPECT_EQ(got.detected_by, want.detected_by) << where;
+}
+
+TEST(BitparGate, EveryBuiltinMatchesSerialAtEveryWorkerCount) {
+    struct Work {
+        std::string name;
+        gate::Netlist net;
+        std::size_t frames;
+    };
+    std::vector<Work> circuits;
+    circuits.push_back({"c17", gate::circuits::c17(), 1});
+    circuits.push_back({"adder8", gate::circuits::ripple_adder(8), 1});
+    circuits.push_back({"cmp8", gate::circuits::comparator(8), 1});
+    circuits.push_back({"mux8", gate::circuits::mux_tree(3), 1});
+    circuits.push_back({"parity16", gate::circuits::parity_tree(16), 1});
+    circuits.push_back({"alu2", gate::circuits::alu(2), 1});
+    // Sequential: multi-frame patterns keep per-lane state, which the
+    // packed engine serves through its per-fault replay fallback.
+    circuits.push_back({"counter4", gate::circuits::counter(4), 3});
+
+    for (const auto& w : circuits) {
+        const auto faults = gate::collapse_faults(w.net);
+        const auto patterns = random_patterns(w.net, 24, w.frames, 0xc1c);
+        const auto serial =
+            gate::fault_simulate_serial(w.net, faults, patterns);
+        for (const unsigned jobs : {1u, 4u, 8u})
+            expect_gate_eq(
+                gate::fault_simulate_packed(w.net, faults, patterns, jobs),
+                serial, w.name + " jobs=" + std::to_string(jobs));
+    }
+}
+
+TEST(BitparGate, FaultSliceSizesStraddlingTheWordBoundary) {
+    const auto net = gate::circuits::comparator(8);
+    const auto all = gate::collapse_faults(net);
+    ASSERT_GT(all.size(), 3 * kW + 7);
+    const auto patterns = random_patterns(net, 32, 1, 0x51ce);
+    const std::size_t sizes[] = {1, kW - 1, kW, kW + 1, 3 * kW + 7};
+    for (const std::size_t n : sizes) {
+        const std::vector<gate::Fault> slice(
+            all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n));
+        expect_gate_eq(gate::fault_simulate_packed(net, slice, patterns, 4),
+                       gate::fault_simulate_serial(net, slice, patterns),
+                       "faults=" + std::to_string(n));
+    }
+}
+
+TEST(BitparGate, MultiFramePatternsFallBackBitIdentically) {
+    const auto net = gate::circuits::parity_tree(16);
+    const auto faults = gate::collapse_faults(net);
+    const auto patterns = random_patterns(net, 16, 2, 0xf2a);
+    expect_gate_eq(gate::fault_simulate_packed(net, faults, patterns, 4),
+                   gate::fault_simulate_serial(net, faults, patterns),
+                   "parity16 2-frame");
+}
+
+TEST(BitparGate, EmptyUniverseAndEmptyPatterns) {
+    const auto net = gate::circuits::c17();
+    const auto faults = gate::collapse_faults(net);
+    const auto patterns = random_patterns(net, 8, 1, 0xe);
+
+    expect_gate_eq(gate::fault_simulate_packed(net, {}, patterns, 4),
+                   gate::fault_simulate_serial(net, {}, patterns),
+                   "no faults");
+    expect_gate_eq(gate::fault_simulate_packed(net, faults, {}, 4),
+                   gate::fault_simulate_serial(net, faults, {}),
+                   "no patterns");
+}
+
+} // namespace
+} // namespace ctk

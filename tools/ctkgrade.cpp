@@ -3,8 +3,10 @@
 //
 // Gate mode (the original): loads an ISCAS .bench netlist (or one of
 // the built-in circuits), grades its collapsed stuck-at universe with
-// sharded random TPG (--jobs worker threads) plus a PODEM top-up that
-// consumes the undetected remainder straight from the coverage matrix.
+// sharded random TPG (--jobs worker threads; --fault-packed swaps in
+// the 64-faults-per-word engine of DESIGN.md §14, same masks and
+// attribution) plus a PODEM top-up that consumes the undetected
+// remainder straight from the coverage matrix.
 //
 // KB mode (--kb): grades the knowledge-base test suites themselves by
 // system-level fault injection (DESIGN.md §8) — every family's suite is
@@ -101,12 +103,13 @@ ctk::gate::Netlist load(const std::string& spec) {
 const char* kUsage =
     "usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N] "
     "[--jobs N]\n"
-    "                [--detail] [--csv out.csv] [--min-coverage X]\n"
+    "                [--fault-packed] [--detail] [--csv out.csv] "
+    "[--min-coverage X]\n"
     "       ctkgrade --kb [--families a,b] [--jobs N] [--detail]\n"
     "                [--csv out.csv] [--min-coverage X]\n"
     "                [--universe base|scaled] [--store DIR] "
     "[--invalidate]\n"
-    "                [--lockstep [--block N]]\n"
+    "                [--lockstep [--block N] [--lockstep-scalar]]\n"
     "                [--augment] [--budget N] [--seed S] [--out DIR]\n"
     "                [--connect SOCK]\n";
 
@@ -173,9 +176,12 @@ void close_store(const ctk::core::GradeStore& store,
 /// Machine-grepable throughput summary, one line on stderr so stdout
 /// stays byte-identical across engines and worker counts. Format:
 ///   ctkgrade-perf: mode=<kb|gate> engine=<...> faults=N wall_s=X
-///                  faults_per_s=Y workers=W
+///                  faults_per_s=Y workers=W[ <extra>]
+/// `extra` carries engine-specific fields (the --kb --lockstep phase
+/// breakdown of DESIGN.md §14) and is appended verbatim.
 void print_perf(const std::string& mode, const std::string& engine,
-                std::size_t faults, double wall_s, unsigned workers) {
+                std::size_t faults, double wall_s, unsigned workers,
+                const std::string& extra = {}) {
     using namespace ctk;
     const double rate = wall_s > 0.0 ? static_cast<double>(faults) / wall_s
                                      : 0.0;
@@ -183,14 +189,14 @@ void print_perf(const std::string& mode, const std::string& engine,
               << " faults=" << faults << " wall_s="
               << str::format_number(wall_s, 3) << " faults_per_s="
               << str::format_number(rate, 1) << " workers=" << workers
-              << "\n";
+              << extra << "\n";
 }
 
 int run_kb_grading(const std::vector<std::string>& families,
                    const CommonOptions& options,
                    const ctk::sim::UniverseOptions& universe,
                    const StoreOptions& store_options, bool lockstep,
-                   std::size_t block) {
+                   std::size_t block, bool lockstep_scalar) {
     using namespace ctk;
     try {
         core::GradingOptions opts;
@@ -198,17 +204,37 @@ int run_kb_grading(const std::vector<std::string>& families,
         opts.universe = universe;
         opts.lockstep = lockstep;
         opts.block = block;
+        opts.lockstep_packed = !lockstep_scalar;
         auto store = open_store(store_options);
         if (store) opts.store = &*store;
         const auto result = core::grade_kb(opts, families);
         if (store) close_store(*store, store_options);
-        if (lockstep)
+        std::string extra;
+        if (lockstep) {
             std::cerr << "ctkgrade: lockstep " << result.lockstep_captures
                       << " capture(s), " << result.lockstep_blocks
                       << " block(s), " << result.lockstep_lanes
                       << " lane(s)\n";
+            // Phase breakdown (§14): capture vs evaluate wall, and the
+            // packing density the word-parallel path achieved. The
+            // evaluate wall sums across workers, so it can exceed the
+            // end-to-end wall at --jobs > 1.
+            const double density =
+                result.lockstep_words != 0
+                    ? static_cast<double>(result.lockstep_lane_evals) /
+                          static_cast<double>(result.lockstep_words)
+                    : 0.0;
+            extra = std::string(" packed=") +
+                    (result.lockstep_words != 0 ? "1" : "0") +
+                    " capture_s=" +
+                    str::format_number(result.lockstep_capture_s, 3) +
+                    " evaluate_s=" +
+                    str::format_number(result.lockstep_evaluate_s, 3) +
+                    " lanes_per_word=" + str::format_number(density, 2);
+        }
         print_perf("kb", lockstep ? "lockstep" : "per-fault",
-                   result.fault_count(), result.wall_s, result.workers);
+                   result.fault_count(), result.wall_s, result.workers,
+                   extra);
         // Low coverage is information; a framework error is a defect in
         // the grading harness or the stand — that must fail CI.
         return finish(result.to_coverage(), options,
@@ -291,7 +317,7 @@ int run_kb_augmentation(const std::vector<std::string>& families,
 }
 
 int run_gate_grading(const std::string& spec, std::size_t budget,
-                     const CommonOptions& options) {
+                     const CommonOptions& options, bool fault_packed) {
     using namespace ctk;
     using namespace ctk::gate;
     try {
@@ -300,6 +326,7 @@ int run_gate_grading(const std::string& spec, std::size_t budget,
         GateGradeOptions gopts;
         gopts.max_patterns = budget;
         gopts.jobs = options.jobs;
+        gopts.fault_packed = fault_packed;
         const auto start = std::chrono::steady_clock::now();
         const auto graded = grade_netlist(net, gopts);
         const double wall = std::chrono::duration<double>(
@@ -325,8 +352,8 @@ int run_gate_grading(const std::string& spec, std::size_t budget,
         matrix.workers = parallel::resolve_workers(
             options.jobs, graded.faults.size());
         matrix.wall_s = wall;
-        print_perf("gate", "sharded", graded.faults.size(), wall,
-                   graded.effective_workers);
+        print_perf("gate", fault_packed ? "fault-packed" : "sharded",
+                   graded.faults.size(), wall, graded.effective_workers);
         return finish(matrix, options, 0);
     } catch (const Error& e) {
         std::cerr << "ctkgrade: " << e.what() << "\n";
@@ -356,6 +383,8 @@ int main(int argc, char** argv) {
     bool lockstep = false;
     std::size_t block = 0;
     bool block_set = false;
+    bool lockstep_scalar = false;
+    bool fault_packed = false;
     std::vector<std::string> families;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -420,6 +449,10 @@ int main(int argc, char** argv) {
             connect_path = next();
         } else if (arg == "--lockstep") {
             lockstep = true;
+        } else if (arg == "--lockstep-scalar") {
+            lockstep_scalar = true;
+        } else if (arg == "--fault-packed") {
+            fault_packed = true;
         } else if (arg == "--block") {
             const auto n = str::parse_number(next());
             if (!n || !(*n >= 1 && *n <= 1e6) || *n != std::floor(*n)) {
@@ -487,6 +520,15 @@ int main(int argc, char** argv) {
             std::cerr << "ctkgrade: --block needs --lockstep\n";
             return 1;
         }
+        if (lockstep_scalar && !lockstep) {
+            std::cerr << "ctkgrade: --lockstep-scalar needs --lockstep\n";
+            return 1;
+        }
+        if (fault_packed) {
+            std::cerr << "ctkgrade: --fault-packed only applies to "
+                         "netlist mode\n";
+            return 1;
+        }
         if (!connect_path.empty()) {
             if (!store.dir.empty() || store.invalidate) {
                 std::cerr << "ctkgrade: --store/--invalidate cannot "
@@ -499,10 +541,21 @@ int main(int argc, char** argv) {
                              "--connect\n";
                 return 1;
             }
+            if (lockstep_scalar) {
+                std::cerr << "ctkgrade: --lockstep-scalar is not "
+                             "available over --connect (the daemon "
+                             "always grades packed)\n";
+                return 1;
+            }
             return run_kb_connect(connect_path, families, common,
                                   universe_scaled, lockstep, block);
         }
         if (augment) {
+            if (lockstep_scalar) {
+                std::cerr << "ctkgrade: --lockstep-scalar does not "
+                             "combine with --augment\n";
+                return 1;
+            }
             aug_opts.jobs = common.jobs;
             aug_opts.universe = universe;
             aug_opts.lockstep = lockstep;
@@ -511,7 +564,7 @@ int main(int argc, char** argv) {
                                        out_dir);
         }
         return run_kb_grading(families, common, universe, store, lockstep,
-                              block);
+                              block, lockstep_scalar);
     }
     if (!families.empty()) {
         std::cerr << "ctkgrade: --families only applies to --kb mode\n";
@@ -531,9 +584,9 @@ int main(int argc, char** argv) {
         std::cerr << "ctkgrade: --universe only applies to --kb mode\n";
         return 1;
     }
-    if (lockstep || block_set) {
-        std::cerr << "ctkgrade: --lockstep/--block only apply to --kb "
-                     "mode\n";
+    if (lockstep || block_set || lockstep_scalar) {
+        std::cerr << "ctkgrade: --lockstep/--block/--lockstep-scalar "
+                     "only apply to --kb mode\n";
         return 1;
     }
     if (!connect_path.empty()) {
@@ -544,5 +597,5 @@ int main(int argc, char** argv) {
         std::cerr << kUsage;
         return 1;
     }
-    return run_gate_grading(spec, budget, common);
+    return run_gate_grading(spec, budget, common, fault_packed);
 }
