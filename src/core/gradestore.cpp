@@ -131,6 +131,28 @@ GradeStore::certificates_for(const std::string& family,
     return out;
 }
 
+void GradeStore::merge_from(const GradeStore& other) {
+    for (const auto& [key, rec] : other.pairs_) pairs_[key] = rec;
+    for (const auto& [key, rec] : other.certs_) certs_[key] = rec;
+}
+
+std::size_t GradeStore::approx_bytes() const {
+    // Per-record: the struct itself, its map key, the node/bucket
+    // overhead (~4 pointers), plus every owned string's payload.
+    constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+    std::size_t total = 0;
+    for (const auto& [key, rec] : pairs_)
+        total += sizeof(PairRecord) + kNodeOverhead + key.size() +
+                 rec.family.size() + rec.test.size() +
+                 rec.plan_hash.size() + rec.fault.size() +
+                 rec.golden_fp.size() + rec.first_flip.size();
+    for (const auto& [key, rec] : certs_)
+        total += sizeof(CertificateRecord) + kNodeOverhead + key.size() +
+                 rec.family.size() + rec.suite_hash.size() +
+                 rec.fault.size() + rec.params.size() + rec.note.size();
+    return total;
+}
+
 void GradeStore::clear() {
     pairs_.clear();
     certs_.clear();

@@ -100,6 +100,22 @@ public:
     void put_pair(PairRecord record);
     [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
 
+    /// Copy every pair and certificate of `other` into this store
+    /// (insert-or-overwrite by key; `other`'s run stats are NOT
+    /// folded in). This is the daemon's shard merge-back: a shard
+    /// grades a disjoint fault range into a private store, then merges
+    /// it into the entry's shared store under the entry gate. Pair
+    /// verdicts are pure functions of their key plus the golden
+    /// fingerprint, so an overwrite can only rewrite a record with
+    /// identical content — the one-writer-per-pair discipline holds by
+    /// keying, not by exclusion.
+    void merge_from(const GradeStore& other);
+
+    /// Rough in-memory footprint in bytes (records + string payloads +
+    /// hash-map overhead). The daemon's --max-store-mb eviction ranks
+    /// entries by this; it prices memory, it is not an allocator audit.
+    [[nodiscard]] std::size_t approx_bytes() const;
+
     // -- certificates ------------------------------------------------------
     [[nodiscard]] const CertificateRecord*
     find_certificate(const std::string& family, const std::string& suite_hash,

@@ -400,6 +400,31 @@ std::vector<std::string> families() {
             "turn_signal"};
 }
 
+std::vector<std::string>
+canonical_families(const std::vector<std::string>& requested) {
+    const std::vector<std::string> all = families();
+    if (requested.empty()) return all;
+    std::vector<std::string> canonical;
+    canonical.reserve(requested.size());
+    for (const auto& family : all) {
+        for (const auto& name : requested) {
+            if (name == family) {
+                canonical.push_back(family);
+                break;
+            }
+        }
+    }
+    // Unknown names pass through (deduplicated, after the known ones):
+    // canonicalization normalizes spelling, it does not validate — the
+    // compile step owns the "no such family" diagnostic.
+    for (const auto& name : requested) {
+        bool seen = false;
+        for (const auto& kept : canonical) seen = seen || kept == name;
+        if (!seen) canonical.push_back(name);
+    }
+    return canonical;
+}
+
 model::TestSuite enriched_interior_light_suite() {
     model::TestSuite s = model::paper::suite();
     s.name = "paper_int_ill_enriched";

@@ -26,6 +26,17 @@ namespace ctk::core::kb {
 /// All families in the knowledge base.
 [[nodiscard]] std::vector<std::string> families();
 
+/// Canonical form of a requested family list: empty resolves to every
+/// family, duplicates collapse, and known names are reordered to the
+/// catalogue order of families() — so "a,b", "b,a" and "b,a,b" all
+/// name one set. Unknown names survive (appended after the known ones,
+/// first occurrence only) so the compile step still reports them with
+/// its usual SemanticError. A family list is a *set*: everything that
+/// keys on it (the daemon's plan cache, the offline tools) must agree
+/// on one spelling, and this is that spelling.
+[[nodiscard]] std::vector<std::string>
+canonical_families(const std::vector<std::string>& requested);
+
 /// The paper's interior-light suite *plus* two extension tests that close
 /// the coverage holes mutation analysis (E8) finds in the original sheet:
 ///  * "fr_door_at_night" — the paper only opens the front-right door in

@@ -1,5 +1,6 @@
 #include "gate/circuits.hpp"
 
+#include "common/error.hpp"
 #include "gate/bench_io.hpp"
 
 namespace ctk::gate::circuits {
@@ -240,6 +241,17 @@ Netlist counter(std::size_t bits) {
     for (std::size_t i = 0; i < bits; ++i) n.mark_output(q[i]);
     n.validate();
     return n;
+}
+
+Netlist by_name(const std::string& name) {
+    if (name == "c17") return c17();
+    if (name == "adder8") return ripple_adder(8);
+    if (name == "cmp8") return comparator(8);
+    if (name == "mux16") return mux_tree(4);
+    if (name == "alu4") return alu(4);
+    if (name == "parity16") return parity_tree(16);
+    if (name == "counter4") return counter(4);
+    throw SemanticError("unknown builtin circuit '" + name + "'");
 }
 
 } // namespace ctk::gate::circuits

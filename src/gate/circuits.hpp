@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "gate/netlist.hpp"
 
@@ -36,5 +37,12 @@ namespace ctk::gate::circuits {
 /// n-bit synchronous binary counter with enable (DFF-based, sequential):
 /// inputs en; outputs q0..qn-1.
 [[nodiscard]] Netlist counter(std::size_t bits);
+
+/// The built-in circuit catalogue by name ("c17", "adder8", "cmp8",
+/// "mux16", "alu4", "parity16", "counter4") — the single mapping
+/// behind ctkgrade's builtin: specs and the daemon's gate-mode
+/// requests, so the two sides can never drift. Throws ctk::Error for
+/// an unknown name.
+[[nodiscard]] Netlist by_name(const std::string& name);
 
 } // namespace ctk::gate::circuits

@@ -1,5 +1,6 @@
 #include "service/cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
@@ -10,84 +11,245 @@ namespace ctk::service {
 
 namespace {
 
+/// Smallest fault range a shard participant claims. Chunks halve as
+/// participants join (remaining / (2 * participants)), floored here so
+/// a near-done round does not shatter into per-fault slivers, each
+/// paying its own golden runs.
+constexpr std::size_t kMinShardChunk = 16;
+
 const char* universe_tag(bool scaled) { return scaled ? "scaled" : "base"; }
 
 std::string family_key(const std::string& family, bool scaled) {
     return family + '|' + universe_tag(scaled);
 }
 
+/// The [begin, end) slice of the flattened family-major fault index,
+/// as per-family setups with sub-universes. Plans are shared_ptr, so a
+/// slice never recompiles anything.
+std::vector<core::FamilyGradingSetup>
+slice_setups(const std::vector<core::FamilyGradingSetup>& setups,
+             std::size_t begin, std::size_t end) {
+    std::vector<core::FamilyGradingSetup> out;
+    std::size_t offset = 0;
+    for (const auto& setup : setups) {
+        const std::size_t n = setup.universe.size();
+        const std::size_t lo = std::max(begin, offset);
+        const std::size_t hi = std::min(end, offset + n);
+        if (lo < hi) {
+            core::FamilyGradingSetup slice = setup;
+            slice.universe.assign(
+                setup.universe.begin() +
+                    static_cast<std::ptrdiff_t>(lo - offset),
+                setup.universe.begin() +
+                    static_cast<std::ptrdiff_t>(hi - offset));
+            out.push_back(std::move(slice));
+        }
+        offset += n;
+    }
+    return out;
+}
+
+void add_stats(core::GradeStoreStats& into,
+               const core::GradeStoreStats& from) {
+    into.pair_hits += from.pair_hits;
+    into.pair_misses += from.pair_misses;
+    into.pair_stale += from.pair_stale;
+    into.cert_hits += from.cert_hits;
+    into.faults_skipped += from.faults_skipped;
+    into.faults_replayed += from.faults_replayed;
+}
+
 } // namespace
 
-PlanCache::PlanCache(std::string store_root)
-    : store_root_(std::move(store_root)) {}
+PlanCache::PlanCache(std::string store_root, Limits limits)
+    : store_root_(std::move(store_root)), limits_(limits) {}
 
 PlanCache::Mount PlanCache::mount(const std::vector<std::string>& families,
                                   bool scaled,
                                   const core::RunOptions& run) {
+    // Canonical family set: order and duplicates never split entries,
+    // and the reply order is the same whatever spelling the client
+    // sent (the offline tools canonicalize identically).
     const std::vector<std::string> resolved =
-        families.empty() ? core::kb::families() : families;
+        core::kb::canonical_families(families);
     const sim::UniverseOptions universe = scaled
                                               ? sim::UniverseOptions::scaled()
                                               : sim::UniverseOptions::base();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<CacheEntry> entry;
+    bool hit = false;
+    std::function<void(const std::string&)> load_hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        load_hook = load_hook_;
 
-    // Family sub-cache first: compile each family at most once per
-    // universe, whatever request shapes mention it. Compiling under the
-    // cache lock serializes compiles — correct and simple; a compile is
-    // a one-time cost per (family, universe) for the daemon's lifetime.
-    std::vector<core::FamilyGradingSetup> setups;
-    setups.reserve(resolved.size());
-    for (const auto& family : resolved) {
-        const std::string key = family_key(family, scaled);
-        auto it = family_plans_.find(key);
-        if (it == family_plans_.end()) {
-            it = family_plans_
-                     .emplace(key,
-                              core::kb_grading_setup(family, run, universe))
-                     .first;
+        // Family sub-cache first: compile each family at most once per
+        // universe, whatever request shapes mention it. Compiling under
+        // the cache lock serializes compiles — correct and simple; a
+        // compile is a one-time cost per (family, universe) for the
+        // daemon's lifetime.
+        std::vector<core::FamilyGradingSetup> setups;
+        std::vector<std::string> family_keys;
+        setups.reserve(resolved.size());
+        family_keys.reserve(resolved.size());
+        for (const auto& family : resolved) {
+            const std::string key = family_key(family, scaled);
+            auto it = family_plans_.find(key);
+            if (it == family_plans_.end()) {
+                it = family_plans_
+                         .emplace(key, core::kb_grading_setup(family, run,
+                                                              universe))
+                         .first;
+            }
+            setups.push_back(it->second); // cheap: the plan is shared
+            family_keys.push_back(key);
         }
-        setups.push_back(it->second); // cheap: the plan is a shared_ptr
+
+        // Entry key: content hashes of the canonical setup list.
+        // Hashing the *compiled* content (not the family names) means
+        // any suite/stand edit that reaches the daemon as different
+        // plan bytes keys a fresh entry.
+        std::string kb_parts;
+        std::string stand_parts;
+        for (const auto& setup : setups) {
+            kb_parts += core::plan_suite_hash(*setup.plan, setup.stand);
+            kb_parts += '\n';
+            stand_parts += core::stand_content_hash(setup.stand);
+            stand_parts += '\n';
+        }
+        const std::string kb_hash = str::fnv1a_hex(kb_parts);
+        const std::string stand_hash = str::fnv1a_hex(stand_parts);
+        const std::string entry_key =
+            kb_hash + '|' + stand_hash + '|' + universe_tag(scaled);
+
+        auto it = entries_.find(entry_key);
+        if (it != entries_.end()) {
+            hit = true;
+            entry = it->second.entry;
+            lru_.splice(lru_.begin(), lru_, it->second.lru);
+        } else {
+            entry = std::make_shared<CacheEntry>();
+            entry->kb_hash = kb_hash;
+            entry->stand_hash = stand_hash;
+            entry->scaled = scaled;
+            entry->setups = std::move(setups);
+            for (const auto& setup : entry->setups)
+                entry->total_faults += setup.universe.size();
+            EntrySlot slot;
+            slot.entry = entry;
+            slot.family_keys = std::move(family_keys);
+            lru_.push_front(entry_key);
+            slot.lru = lru_.begin();
+            entries_.emplace(entry_key, std::move(slot));
+            enforce_limits_locked();
+        }
     }
 
-    // Entry key: content hashes in request order. Hashing the *compiled*
-    // content (not the family names) means any suite/stand edit that
-    // reaches the daemon as different plan bytes keys a fresh entry.
-    std::string kb_parts;
-    std::string stand_parts;
-    for (const auto& setup : setups) {
-        kb_parts += core::plan_suite_hash(*setup.plan, setup.stand);
-        kb_parts += '\n';
-        stand_parts += core::stand_content_hash(setup.stand);
-        stand_parts += '\n';
+    // Per-entry init latch, OUTSIDE the cache-wide mutex: a slow load
+    // of one entry's persisted store stalls only same-entry mounts.
+    // The entry gate covers the store assignment so a concurrent
+    // persist() cannot observe a half-loaded store.
+    std::call_once(entry->init, [&] {
+        std::lock_guard<std::mutex> gate(entry->gate);
+        if (load_hook) load_hook(entry_store_dir(*entry));
+        if (!store_root_.empty()) {
+            entry->store = core::GradeStore::load(entry_store_dir(*entry));
+            if (entry->store.pair_count() > 0)
+                entry->warmed.store(true, std::memory_order_release);
+            entry->approx_bytes.store(entry->store.approx_bytes(),
+                                      std::memory_order_relaxed);
+        }
+    });
+    return Mount{std::move(entry), hit};
+}
+
+core::GradeStoreStats PlanCache::shard_warmup(
+    const std::shared_ptr<CacheEntry>& entry,
+    const core::GradingOptions& proto,
+    const std::function<void(std::size_t done, std::size_t total)>&
+        on_progress) {
+    core::GradeStoreStats mine;
+    if (!entry || entry->warmed.load(std::memory_order_acquire))
+        return mine;
+
+    ShardRound& round = entry->round;
+    const std::size_t total = entry->total_faults;
+    std::size_t graded_by_me = 0;
+
+    std::unique_lock<std::mutex> lk(round.m);
+    ++round.participants;
+    while (round.cursor < total &&
+           !entry->warmed.load(std::memory_order_acquire)) {
+        const std::size_t remaining = total - round.cursor;
+        std::size_t n = std::max(kMinShardChunk,
+                                 remaining / (2 * round.participants));
+        n = std::min(n, remaining);
+        const std::size_t begin = round.cursor;
+        round.cursor += n;
+        ++round.outstanding;
+        lk.unlock();
+
+        // Grade the claimed range into a PRIVATE store — no shared
+        // state is touched until the merge-back, so shards of one
+        // entry run fully concurrently.
+        core::GradeStore shard_store;
+        try {
+            core::GradingOptions opts = proto;
+            opts.store = &shard_store;
+            opts.on_family = nullptr;
+            opts.on_fault = nullptr;
+            opts.on_progress = nullptr;
+            if (on_progress) {
+                const std::size_t base = graded_by_me;
+                opts.on_progress = [base, total, &on_progress](
+                                       std::size_t done, std::size_t) {
+                    on_progress(base + done, total);
+                };
+            }
+            core::GradingCampaign grading(opts);
+            for (auto& slice : slice_setups(entry->setups, begin, begin + n))
+                grading.add(std::move(slice));
+            (void)grading.run_all();
+            {
+                std::lock_guard<std::mutex> gate(entry->gate);
+                entry->store.merge_from(shard_store);
+            }
+        } catch (const Error&) {
+            // A failed chunk merges nothing; its range is replayed by
+            // the replay passes under the gate. Sharding is a warmup
+            // optimization — correctness never depends on it.
+        }
+        add_stats(mine, shard_store.stats());
+        graded_by_me += n;
+        if (on_progress) on_progress(graded_by_me, total);
+
+        lk.lock();
+        --round.outstanding;
+        if (round.cursor >= total && round.outstanding == 0) {
+            entry->warmed.store(true, std::memory_order_release);
+            round.cv.notify_all();
+        }
     }
-    const std::string kb_hash = str::fnv1a_hex(kb_parts);
-    const std::string stand_hash = str::fnv1a_hex(stand_parts);
-    const std::string entry_key =
-        kb_hash + '|' + stand_hash + '|' + universe_tag(scaled);
-
-    auto it = entries_.find(entry_key);
-    if (it != entries_.end()) return Mount{it->second, true};
-
-    auto entry = std::make_shared<CacheEntry>();
-    entry->kb_hash = kb_hash;
-    entry->stand_hash = stand_hash;
-    entry->scaled = scaled;
-    entry->setups = std::move(setups);
-    if (!store_root_.empty())
-        entry->store = core::GradeStore::load(entry_store_dir(*entry));
-    entries_.emplace(entry_key, entry);
-    return Mount{std::move(entry), false};
+    // Barrier: every claimed chunk must have merged (or failed) before
+    // any participant starts its replay pass — the pass must see the
+    // whole round's warmth, not a torn prefix.
+    round.cv.wait(lk, [&] {
+        return entry->warmed.load(std::memory_order_acquire) ||
+               (round.cursor >= total && round.outstanding == 0);
+    });
+    entry->warmed.store(true, std::memory_order_release);
+    --round.participants;
+    return mine;
 }
 
 void PlanCache::persist() {
     if (store_root_.empty()) return;
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, entry] : entries_) {
+    for (const auto& [key, slot] : entries_) {
         // The gate serializes against an in-flight grading so a save
         // never races a store write.
-        std::lock_guard<std::mutex> gate(entry->gate);
-        entry->store.save(entry_store_dir(*entry));
+        std::lock_guard<std::mutex> gate(slot.entry->gate);
+        slot.entry->store.save(entry_store_dir(*slot.entry));
     }
 }
 
@@ -101,11 +263,92 @@ std::size_t PlanCache::family_plan_count() const {
     return family_plans_.size();
 }
 
+PlanCache::EvictionStats PlanCache::eviction_stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void PlanCache::set_load_hook_for_test(
+    std::function<void(const std::string&)> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_hook_ = std::move(fn);
+}
+
 std::string PlanCache::entry_store_dir(const CacheEntry& entry) const {
     return (std::filesystem::path(store_root_) /
             (std::string(universe_tag(entry.scaled)) + "-" + entry.kb_hash +
              "-" + entry.stand_hash))
         .string();
+}
+
+void PlanCache::enforce_limits_locked() {
+    const auto over = [&] {
+        if (limits_.max_entries != 0 && entries_.size() > limits_.max_entries)
+            return true;
+        if (limits_.max_store_bytes != 0) {
+            std::size_t total = 0;
+            for (const auto& [key, slot] : entries_)
+                total += slot.entry->approx_bytes.load(
+                    std::memory_order_relaxed);
+            if (total > limits_.max_store_bytes) return true;
+        }
+        return false;
+    };
+    // Walk from the LRU tail; the freshly mounted entry (front) is
+    // never a victim. A victim whose gate is held (grading in flight)
+    // is skipped — the bound is soft under contention rather than a
+    // new convoy behind a running campaign.
+    while (over()) {
+        bool evicted = false;
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            if (*it == lru_.front()) break;
+            if (evict_locked(*it)) {
+                evicted = true;
+                break; // lru_ mutated; restart the scan
+            }
+        }
+        if (!evicted) break;
+    }
+}
+
+bool PlanCache::evict_locked(const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    EntrySlot& slot = it->second;
+
+    {
+        std::unique_lock<std::mutex> gate(slot.entry->gate,
+                                          std::try_to_lock);
+        if (!gate.owns_lock()) return false; // in use: not a victim
+        if (!store_root_.empty()) {
+            try {
+                slot.entry->store.save(entry_store_dir(*slot.entry));
+                ++evictions_.stores_persisted;
+            } catch (const Error&) {
+                // Persist-on-evict failed (disk?): keep the knowledge
+                // in memory rather than silently dropping it.
+                return false;
+            }
+        }
+    }
+
+    // Family plans no surviving entry references go with the entry.
+    for (const auto& fk : slot.family_keys) {
+        bool used = false;
+        for (const auto& [other_key, other] : entries_) {
+            if (other_key == key) continue;
+            for (const auto& ofk : other.family_keys)
+                if (ofk == fk) { used = true; break; }
+            if (used) break;
+        }
+        if (!used && family_plans_.erase(fk) != 0)
+            ++evictions_.plans_evicted;
+    }
+
+    lru_.erase(slot.lru);
+    entries_.erase(it);
+    ++evictions_.entries_evicted;
+    return true;
 }
 
 } // namespace ctk::service

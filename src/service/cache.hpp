@@ -11,22 +11,44 @@
 //     others.
 //   * the entry cache, keyed (KB content hash, stand content hash,
 //     universe): one entry per request *shape*, holding the setup list
-//     in request order plus one shared core::GradeStore. The key
-//     hashes content, not names — editing a suite or a stand on disk
-//     would change plan_suite_hash/stand_content_hash and miss, never
-//     serve stale plans. A hit on the second identical request is what
-//     the daemon-smoke CI asserts.
+//     in canonical family order plus one shared core::GradeStore. The
+//     requested family list is canonicalized (kb::canonical_families:
+//     empty = all, duplicates collapse, catalogue order) before
+//     hashing, so "a,b", "b,a" and an explicit full list all mount ONE
+//     entry. The key hashes content, not names — editing a suite or a
+//     stand on disk would change plan_suite_hash/stand_content_hash
+//     and miss, never serve stale plans.
 //
-// Concurrency contract: the cache's own maps are guarded by an
-// internal mutex held only during mount() — never during grading. Each
-// entry carries a `gate` mutex the *caller* holds across its
-// GradingCampaign::run_all(): every GradeStore read/write happens on
-// the grading thread (core/gradestore is not internally locked), so
-// two requests sharing an entry serialize on the gate while requests
-// on different entries grade concurrently.
+// Concurrency contract, three locks wide:
+//   * the cache's own maps are guarded by an internal mutex held only
+//     during mount()/persist() bookkeeping — never during grading and
+//     never across store disk I/O (a persisted store loads under the
+//     entry's own init latch, so one slow load stalls only mounts of
+//     that same entry);
+//   * each entry's `gate` mutex serializes access to the SHARED store:
+//     shard merge-backs (short) and each request's replay pass (cheap
+//     once warm) hold it; core/gradestore is not internally locked;
+//   * each entry's ShardRound lets concurrent requests on one COLD
+//     entry split the universe instead of queueing: participants claim
+//     disjoint fault ranges from a shared cursor, grade them into
+//     private stores, and merge back under the gate (shard_warmup()).
+//
+// Bounded caches: with max_entries/max_store_bytes set, mount() evicts
+// least-recently-used entries past the bound — persisting the store
+// first when a store root is configured — and drops family plans no
+// surviving entry references. Eviction is memory control, never a
+// correctness event: an in-flight request holds the entry shared_ptr,
+// finishes against the evicted entry unharmed, and a re-mount reloads
+// the persisted store. An entry whose gate is held is skipped (soft
+// bound) rather than stalled behind a running grading.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,53 +60,142 @@
 
 namespace ctk::service {
 
-/// One cached request shape: compiled setups in request order plus the
-/// shared grade store warmed by every request that mounted this entry.
+/// Cooperative warmup state of one cold entry. Participants claim
+/// [cursor, cursor+n) chunks of the flattened (family-major) fault
+/// universe under `m`, grade them gateless into private stores, and
+/// the round completes when the cursor is exhausted and every claimed
+/// chunk has merged back (or failed — a failed chunk simply leaves its
+/// pairs for the replay pass).
+struct ShardRound {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t cursor = 0;      ///< next unclaimed flattened fault index
+    std::size_t outstanding = 0; ///< chunks claimed but not yet merged
+    std::size_t participants = 0;
+};
+
+/// One cached request shape: compiled setups in canonical family order
+/// plus the shared grade store warmed by every request that mounted
+/// this entry.
 struct CacheEntry {
     std::string kb_hash;    ///< fnv1a over per-family plan_suite_hash
     std::string stand_hash; ///< fnv1a over per-family stand_content_hash
     bool scaled = false;    ///< fault-universe half of the key
     std::vector<core::FamilyGradingSetup> setups;
     core::GradeStore store;
-    /// Held by the mounting session across its whole run_all() — the
-    /// store is only thread-safe because gradings sharing an entry
-    /// serialize here.
+    /// Serializes SHARED-store access: a shard merge-back, a request's
+    /// replay pass, persist(). Never held across a shard's own grading.
     std::mutex gate;
+    /// One-time persisted-store load, outside the cache-wide mutex so a
+    /// slow disk store stalls only this entry's mounts.
+    std::once_flag init;
+    /// Total flattened fault count across `setups` (shard cursor bound).
+    std::size_t total_faults = 0;
+    /// Set once the first warmup round (or a persisted-store load with
+    /// content) completes; later requests skip straight to the replay
+    /// pass. Purely an optimization latch — correctness always comes
+    /// from the store-warm replay under the gate.
+    std::atomic<bool> warmed{false};
+    ShardRound round;
+    /// store.approx_bytes() snapshot, refreshed under the gate after
+    /// each request so eviction can rank entries without locking them.
+    std::atomic<std::size_t> approx_bytes{0};
+};
+
+/// Plan-cache bounds (0 = unbounded). Namespace-scope (not nested) so
+/// it can default-construct in PlanCache's own default arguments.
+struct PlanCacheLimits {
+    std::size_t max_entries = 0;     ///< 0 = unbounded
+    std::size_t max_store_bytes = 0; ///< 0 = unbounded
 };
 
 class PlanCache {
 public:
+    using Limits = PlanCacheLimits;
+
+    /// Eviction bookkeeping for the daemon's exit line and the tests.
+    struct EvictionStats {
+        std::size_t entries_evicted = 0;
+        std::size_t plans_evicted = 0;
+        std::size_t stores_persisted = 0; ///< persist-on-evict saves
+    };
+
     /// `store_root` empty = in-memory stores only. Non-empty: each
     /// entry's store is loaded from a content-named directory under the
-    /// root at entry creation and written back by persist().
-    explicit PlanCache(std::string store_root = {});
+    /// root at first mount and written back by persist() and on evict.
+    explicit PlanCache(std::string store_root = {}, Limits limits = {});
 
     struct Mount {
         std::shared_ptr<CacheEntry> entry;
         bool hit = false; ///< entry existed before this mount
     };
 
-    /// Resolve `families` (empty = the full knowledge base) to a cache
-    /// entry, compiling any family not yet in the sub-cache. Throws
-    /// SemanticError for unknown families. The caller must lock
-    /// `entry->gate` before grading against the entry.
+    /// Resolve `families` (canonicalized: empty = the full knowledge
+    /// base, order/duplicates collapse) to a cache entry, compiling any
+    /// family not yet in the sub-cache. Throws SemanticError for
+    /// unknown families. The caller must lock `entry->gate` before
+    /// touching the entry's shared store.
     [[nodiscard]] Mount mount(const std::vector<std::string>& families,
                               bool scaled,
                               const core::RunOptions& run = {});
+
+    /// Cooperative warmup of a cold entry (the tentpole of DESIGN.md
+    /// §13's sharded in-entry grading). Claims chunks of the entry's
+    /// flattened fault universe, grades each into a private store with
+    /// `proto` options (hooks ignored; jobs/universe/engine honoured),
+    /// merges results into the shared store under the gate, and blocks
+    /// until the whole round is complete. Returns this participant's
+    /// private-store stats (its share of the cold work). No-op on a
+    /// warmed entry. `on_progress` (optional) ticks with cumulative
+    /// (done, total_faults) for the chunks THIS participant grades.
+    ///
+    /// Byte-identity argument: shard gradings never stream and never
+    /// touch the shared store mid-run; every client's reply comes from
+    /// its own store-warm replay pass under the gate afterwards, which
+    /// core/gradestore guarantees is byte-identical to a cold grading
+    /// whatever the store's warmth. A shard that dies merges nothing —
+    /// its range is simply replayed by the replay passes.
+    [[nodiscard]] core::GradeStoreStats shard_warmup(
+        const std::shared_ptr<CacheEntry>& entry,
+        const core::GradingOptions& proto,
+        const std::function<void(std::size_t done, std::size_t total)>&
+            on_progress = {});
 
     /// Save every entry's store under store_root (no-op when unset).
     void persist();
 
     [[nodiscard]] std::size_t entry_count() const;
     [[nodiscard]] std::size_t family_plan_count() const;
+    [[nodiscard]] EvictionStats eviction_stats() const;
+
+    /// Test seam: invoked inside an entry's init latch, before the
+    /// persisted-store load — lets a test make one entry's load slow
+    /// and assert that mounts of OTHER entries are not blocked.
+    void set_load_hook_for_test(std::function<void(const std::string&)> fn);
 
 private:
+    struct EntrySlot {
+        std::shared_ptr<CacheEntry> entry;
+        std::vector<std::string> family_keys; ///< sub-cache keys used
+        std::list<std::string>::iterator lru;  ///< position in lru_
+    };
+
     [[nodiscard]] std::string entry_store_dir(const CacheEntry& entry) const;
+    /// Drop LRU entries past the limits. Called with mutex_ held.
+    void enforce_limits_locked();
+    /// Evict one slot (persist + erase + orphan-plan sweep). Called
+    /// with mutex_ held; returns false when the victim's gate is busy.
+    bool evict_locked(const std::string& key);
 
     std::string store_root_;
-    mutable std::mutex mutex_; ///< guards the maps, never held over grading
+    Limits limits_;
+    mutable std::mutex mutex_; ///< guards the maps, never held over
+                               ///< grading or store disk I/O
     std::unordered_map<std::string, core::FamilyGradingSetup> family_plans_;
-    std::unordered_map<std::string, std::shared_ptr<CacheEntry>> entries_;
+    std::unordered_map<std::string, EntrySlot> entries_;
+    std::list<std::string> lru_; ///< front = most recently mounted
+    EvictionStats evictions_;
+    std::function<void(const std::string&)> load_hook_;
 };
 
 } // namespace ctk::service

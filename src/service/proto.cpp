@@ -146,6 +146,11 @@ std::string encode(const GradeRequestMsg& msg) {
     w.u32(msg.jobs);
     w.u8(msg.lockstep);
     w.u64(msg.block);
+    w.u8(msg.mode);
+    w.str(msg.netlist_name);
+    w.str(msg.netlist_text);
+    w.u64(msg.patterns);
+    w.u8(msg.fault_packed);
     return w.take();
 }
 
@@ -168,6 +173,13 @@ GradeRequestMsg decode_grade_request(const std::string& payload) {
     msg.jobs = r.u32("GradeRequest.jobs");
     msg.lockstep = r.u8("GradeRequest.lockstep");
     msg.block = r.u64("GradeRequest.block");
+    msg.mode = r.u8("GradeRequest.mode");
+    if (msg.mode > static_cast<std::uint8_t>(GradeMode::Gate))
+        throw ProtoError("GradeRequest.mode must be 0 (kb) or 1 (gate)");
+    msg.netlist_name = r.str("GradeRequest.netlist_name");
+    msg.netlist_text = r.str("GradeRequest.netlist_text");
+    msg.patterns = r.u64("GradeRequest.patterns");
+    msg.fault_packed = r.u8("GradeRequest.fault_packed");
     r.finish("GradeRequest");
     return msg;
 }
@@ -266,6 +278,12 @@ std::string encode(const DoneMsg& msg) {
     w.u64(msg.lockstep_captures);
     w.u64(msg.lockstep_blocks);
     w.u64(msg.lockstep_lanes);
+    w.u64(msg.gate_random_patterns);
+    w.u64(msg.gate_random_detected);
+    w.u8(msg.gate_atpg_ran);
+    w.u64(msg.gate_atpg_detected);
+    w.u64(msg.gate_atpg_untestable);
+    w.u64(msg.gate_atpg_aborted);
     return w.take();
 }
 
@@ -289,6 +307,12 @@ DoneMsg decode_done(const std::string& payload) {
     msg.lockstep_captures = r.u64("Done.lockstep_captures");
     msg.lockstep_blocks = r.u64("Done.lockstep_blocks");
     msg.lockstep_lanes = r.u64("Done.lockstep_lanes");
+    msg.gate_random_patterns = r.u64("Done.gate_random_patterns");
+    msg.gate_random_detected = r.u64("Done.gate_random_detected");
+    msg.gate_atpg_ran = r.u8("Done.gate_atpg_ran");
+    msg.gate_atpg_detected = r.u64("Done.gate_atpg_detected");
+    msg.gate_atpg_untestable = r.u64("Done.gate_atpg_untestable");
+    msg.gate_atpg_aborted = r.u64("Done.gate_atpg_aborted");
     r.finish("Done");
     return msg;
 }

@@ -38,8 +38,10 @@
 namespace ctk::service {
 
 /// Bumped on any wire-incompatible change; Hello/HelloOk carry it and
-/// a mismatch is a named error, never a misparse.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// a mismatch is a named error, never a misparse. v2 appended the
+/// gate-mode fields to GradeRequest (mode, netlist payload, pattern
+/// budget) and the gate summary to Done.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on one frame's payload. Grading frames are tiny (a
 /// verdict row is well under 1 KiB); the ceiling exists so a corrupt or
@@ -125,17 +127,35 @@ struct HelloMsg {
     std::uint32_t version = kProtocolVersion;
 };
 
-/// One grading request. Families are KB family names (empty = the full
-/// knowledge base); `universe` selects the fault surface; `jobs`,
-/// `lockstep` and `block` mirror the offline ctkgrade flags. The
-/// daemon may clamp `jobs` to its per-request budget — outcomes are
-/// worker-count independent, so admission control never changes bytes.
+/// Grading mode selector for GradeRequestMsg (wire u8).
+enum class GradeMode : std::uint8_t {
+    Kb = 0,   ///< KB family grading against the warm plan cache
+    Gate = 1, ///< netlist stuck-at grading (gate::grade_netlist)
+};
+
+/// One grading request. KB mode: families are KB family names (empty =
+/// the full knowledge base, and the daemon canonicalizes the list —
+/// order and duplicates never split cache entries); `universe` selects
+/// the fault surface; `jobs`, `lockstep` and `block` mirror the
+/// offline ctkgrade flags. Gate mode (v2): `netlist_name` names a
+/// built-in circuit ("builtin:c17") or carries a display name for
+/// `netlist_text`, the .bench body of a file netlist; `patterns` is
+/// the random-TPG budget and `fault_packed` selects the word-packed
+/// engine — the KB-only fields are ignored. The daemon may clamp
+/// `jobs` to its per-request budget — outcomes are worker-count
+/// independent, so admission control never changes bytes.
 struct GradeRequestMsg {
     std::vector<std::string> families;
     std::uint8_t universe = 0; ///< 0 = base, 1 = scaled
     std::uint32_t jobs = 0;
     std::uint8_t lockstep = 0;
     std::uint64_t block = 0;
+    // -- v2 gate mode (appended so v1 field offsets are unchanged) ---------
+    std::uint8_t mode = 0; ///< GradeMode
+    std::string netlist_name;
+    std::string netlist_text;       ///< .bench body ("" = built-in)
+    std::uint64_t patterns = 256;   ///< random-TPG pattern budget
+    std::uint8_t fault_packed = 0;  ///< word-packed fault lanes (§14)
 };
 
 /// Kernel group header for one family, sent before its verdicts.
@@ -174,6 +194,13 @@ struct DoneMsg {
     std::uint64_t lockstep_captures = 0;
     std::uint64_t lockstep_blocks = 0;
     std::uint64_t lockstep_lanes = 0;
+    // -- v2 gate-mode summary (zero for KB replies) ------------------------
+    std::uint64_t gate_random_patterns = 0; ///< random prefix size
+    std::uint64_t gate_random_detected = 0; ///< detections before top-up
+    std::uint8_t gate_atpg_ran = 0;         ///< PODEM top-up executed
+    std::uint64_t gate_atpg_detected = 0;
+    std::uint64_t gate_atpg_untestable = 0;
+    std::uint64_t gate_atpg_aborted = 0;
 };
 
 /// Named failure. Codes are stable identifiers the tests and CI grep

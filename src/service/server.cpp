@@ -1,12 +1,21 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "common/parallel.hpp"
+#include "gate/bench_io.hpp"
+#include "gate/circuits.hpp"
+#include "gate/grade.hpp"
 
 namespace ctk::service {
 
 CtkdServer::CtkdServer(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.store_root) {
+    : options_(std::move(options)),
+      cache_(options_.store_root,
+             PlanCache::Limits{options_.max_entries,
+                               options_.max_store_mb * (1u << 20)}) {
     if (options_.max_sessions == 0) options_.max_sessions = 1;
     if (options_.backlog == 0) options_.backlog = 1;
 }
@@ -16,7 +25,10 @@ CtkdServer::~CtkdServer() { stop(); }
 void CtkdServer::start() {
     listener_ = Listener::bind(options_.socket_path);
     stop_.store(false, std::memory_order_release);
-    joined_ = false;
+    {
+        std::lock_guard<std::mutex> join_lock(join_mutex_);
+        joined_ = false;
+    }
     accept_thread_ = std::thread([this] { accept_loop(); });
     sessions_.reserve(options_.max_sessions);
     for (unsigned i = 0; i < options_.max_sessions; ++i)
@@ -30,15 +42,18 @@ void CtkdServer::stop() {
     }
     stop_cv_.notify_all();
     queue_cv_.notify_all();
-    if (!joined_) {
-        if (accept_thread_.joinable()) accept_thread_.join();
-        for (auto& t : sessions_)
-            if (t.joinable()) t.join();
-        sessions_.clear();
-        joined_ = true;
-        listener_.close();
-        cache_.persist();
-    }
+    // Idempotent under concurrency: a signal-handler thread and the
+    // destructor may both call stop(); exactly one performs the join
+    // and the persist, the other waits here until it is done.
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (joined_) return;
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : sessions_)
+        if (t.joinable()) t.join();
+    sessions_.clear();
+    joined_ = true;
+    listener_.close();
+    cache_.persist();
 }
 
 void CtkdServer::wait() {
@@ -175,6 +190,15 @@ void CtkdServer::serve_connection(Socket socket) {
 
 void CtkdServer::handle_grade(Socket& socket,
                               const GradeRequestMsg& request) {
+    if (request.mode == static_cast<std::uint8_t>(GradeMode::Gate)) {
+        handle_gate_grade(socket, request);
+        return;
+    }
+    handle_kb_grade(socket, request);
+}
+
+void CtkdServer::handle_kb_grade(Socket& socket,
+                                 const GradeRequestMsg& request) {
     PlanCache::Mount mount;
     try {
         mount = cache_.mount(request.families, request.universe != 0,
@@ -212,6 +236,8 @@ void CtkdServer::handle_grade(Socket& socket,
         }
     };
 
+    const auto request_start = std::chrono::steady_clock::now();
+
     core::GradingOptions gopts;
     gopts.jobs = request.jobs;
     if (options_.max_request_jobs > 0 &&
@@ -223,6 +249,44 @@ void CtkdServer::handle_grade(Socket& socket,
     gopts.block = static_cast<std::size_t>(request.block);
     gopts.run = options_.run;
     gopts.store = &mount.entry->store;
+
+    // Throttled progress, one throttle across both phases: ~8 ticks
+    // per run plus the final one, enough for a live spinner without
+    // flooding the socket from the pool. Never ticks backwards — the
+    // shard phase and the replay pass count against different
+    // denominators, and only a forward tick is a tick.
+    std::size_t last_progress = 0;
+    std::size_t total_faults = 0;
+    for (const std::size_t count : fault_counts) total_faults += count;
+    auto progress = [&](std::size_t done, std::size_t total) {
+        const std::size_t stride = std::max<std::size_t>(1, total / 8);
+        {
+            std::lock_guard<std::mutex> lock(send_mutex);
+            if (done < last_progress) return;
+            if (done != total && done < last_progress + stride) return;
+            last_progress = done;
+        }
+        ProgressMsg msg;
+        msg.done = done;
+        msg.total = total;
+        send(FrameType::Progress, encode(msg));
+    };
+
+    // Phase 1 — cooperative shard warmup (cold entries only, DESIGN.md
+    // §13): concurrent requests on this entry claim disjoint fault
+    // ranges, grade them into private stores, and merge verdicts into
+    // the shared store. This request's share of the cold work lands in
+    // shard_stats; a warmed entry skips the phase entirely.
+    core::GradeStoreStats shard_stats;
+    bool shard_ticked = false;
+    if (options_.shard) {
+        shard_stats = cache_.shard_warmup(
+            mount.entry, gopts, [&](std::size_t done, std::size_t total) {
+                shard_ticked = true;
+                progress(done, total);
+            });
+    }
+
     gopts.on_family = [&](std::size_t fi, const core::FamilyGrade& grade) {
         GroupBeginMsg msg;
         msg.family_index = static_cast<std::uint32_t>(fi);
@@ -241,39 +305,55 @@ void CtkdServer::handle_grade(Socket& socket,
         msg.entry = core::to_coverage_entry(grade);
         send(FrameType::Verdict, encode(msg));
     };
-    // Throttled progress: ~8 ticks per run plus the final one, enough
-    // for a live spinner without flooding the socket from the pool.
-    std::size_t last_progress = 0;
     gopts.on_progress = [&](std::size_t done, std::size_t total) {
-        const std::size_t stride = std::max<std::size_t>(1, total / 8);
-        {
-            std::lock_guard<std::mutex> lock(send_mutex);
-            if (done != total && done < last_progress + stride) return;
-            last_progress = done;
-        }
-        ProgressMsg msg;
-        msg.done = done;
-        msg.total = total;
-        send(FrameType::Progress, encode(msg));
+        // When the shard phase reported, the replay pass stays quiet
+        // (its job count is a different denominator); the explicit
+        // final tick below closes the bar either way.
+        if (shard_ticked) return;
+        progress(done, total);
     };
 
     try {
-        // The entry gate serializes gradings that share this entry's
-        // store; requests on different entries grade concurrently.
+        // Phase 2 — the streamed reply: a store-warm replay pass under
+        // the entry gate. The gate now spans only this cheap pass and
+        // shard merge-backs, not N cold gradings back to back. The
+        // store-warm contract (core/gradestore) makes the reply
+        // byte-identical to a cold offline grading whatever mix of
+        // shards warmed the store — and replays any range a failed
+        // shard never merged.
         std::lock_guard<std::mutex> gate(mount.entry->gate);
         const core::GradeStoreStats before = mount.entry->store.stats();
 
         core::GradingCampaign grading(gopts);
         for (const auto& setup : mount.entry->setups) grading.add(setup);
         const core::GradingResult result = grading.run_all();
+        mount.entry->warmed.store(true, std::memory_order_release);
+        mount.entry->approx_bytes.store(mount.entry->store.approx_bytes(),
+                                        std::memory_order_relaxed);
+
+        progress(total_faults, total_faults);
 
         DoneMsg done;
         done.workers = result.workers;
-        done.wall_s = result.wall_s;
+        done.wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - request_start)
+                          .count();
         done.cache_hit = mount.hit ? 1 : 0;
         done.kb_hash = mount.entry->kb_hash;
         done.stand_hash = mount.entry->stand_hash;
-        done.store = mount.entry->store.stats().minus(before);
+        // The request's store view: its replay-pass delta plus the
+        // shard work it contributed — so a client that cold-graded a
+        // third of the universe sees those misses, not a fictitious
+        // all-hit run.
+        core::GradeStoreStats reported =
+            mount.entry->store.stats().minus(before);
+        reported.pair_hits += shard_stats.pair_hits;
+        reported.pair_misses += shard_stats.pair_misses;
+        reported.pair_stale += shard_stats.pair_stale;
+        reported.cert_hits += shard_stats.cert_hits;
+        reported.faults_skipped += shard_stats.faults_skipped;
+        reported.faults_replayed += shard_stats.faults_replayed;
+        done.store = reported;
         done.lockstep_captures = result.lockstep_captures;
         done.lockstep_blocks = result.lockstep_blocks;
         done.lockstep_lanes = result.lockstep_lanes;
@@ -281,6 +361,103 @@ void CtkdServer::handle_grade(Socket& socket,
     } catch (const Error& e) {
         send(FrameType::Error,
              encode(ErrorMsg{"internal", e.what()}));
+    }
+}
+
+void CtkdServer::handle_gate_grade(Socket& socket,
+                                   const GradeRequestMsg& request) {
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+    std::mutex send_mutex;
+    bool peer_dead = false;
+    auto send = [&](FrameType type, const std::string& payload) {
+        std::lock_guard<std::mutex> lock(send_mutex);
+        if (peer_dead) return;
+        try {
+            write_frame(socket, type, payload);
+        } catch (const ProtoError&) {
+            peer_dead = true;
+        }
+    };
+
+    try {
+        const auto request_start = std::chrono::steady_clock::now();
+        gate::GateGradeOptions gopts;
+        gopts.max_patterns = static_cast<std::size_t>(request.patterns);
+        gopts.jobs = request.jobs;
+        if (options_.max_request_jobs > 0 &&
+            (gopts.jobs == 0 || gopts.jobs > options_.max_request_jobs))
+            gopts.jobs = options_.max_request_jobs;
+        gopts.fault_packed = request.fault_packed != 0;
+
+        gate::GateGradeResult graded;
+        try {
+            // A builtin travels by name (the daemon owns the catalogue,
+            // via the same circuits::by_name the offline tool uses); a
+            // file netlist travels as .bench text.
+            if (!request.netlist_text.empty()) {
+                graded = gate::grade_netlist(
+                    gate::parse_bench(request.netlist_text,
+                                      request.netlist_name.empty()
+                                          ? "netlist"
+                                          : request.netlist_name),
+                    gopts);
+            } else if (request.netlist_name.rfind("builtin:", 0) == 0) {
+                graded = gate::grade_netlist(
+                    gate::circuits::by_name(request.netlist_name.substr(8)),
+                    gopts);
+            } else {
+                send_error(socket, "bad-request",
+                           "gate request names no builtin circuit and "
+                           "carries no netlist text");
+                return;
+            }
+        } catch (const ParseError& e) {
+            send_error(socket, "bad-request", e.what());
+            return;
+        } catch (const SemanticError& e) {
+            send_error(socket, "bad-request", e.what());
+            return;
+        }
+
+        // Same stream shape as a KB reply: one GroupBegin, a Verdict
+        // per collapsed fault, a closing Progress and the Done — the
+        // client rebuilds the matrix with the code path it already has.
+        const std::size_t n = graded.coverage.entries.size();
+        GroupBeginMsg group;
+        group.family_index = 0;
+        group.name = graded.coverage.name;
+        group.status = graded.coverage.status;
+        group.setup_error = graded.coverage.setup_error ? 1 : 0;
+        group.setup_message = graded.coverage.setup_message;
+        group.fault_count = n;
+        send(FrameType::GroupBegin, encode(group));
+        for (std::size_t i = 0; i < n; ++i) {
+            VerdictMsg msg;
+            msg.family_index = 0;
+            msg.fault_index = i;
+            msg.entry = graded.coverage.entries[i];
+            send(FrameType::Verdict, encode(msg));
+        }
+        send(FrameType::Progress, encode(ProgressMsg{n, n}));
+
+        DoneMsg done;
+        // Mirror the offline tool's stdout: it prints the resolved
+        // worker count, not the post-floor effective one.
+        done.workers =
+            parallel::resolve_workers(gopts.jobs, graded.faults.size());
+        done.wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - request_start)
+                          .count();
+        done.gate_random_patterns = graded.random_patterns;
+        done.gate_random_detected = graded.random_detected;
+        done.gate_atpg_ran = graded.atpg.per_fault.empty() ? 0 : 1;
+        done.gate_atpg_detected = graded.atpg.detected;
+        done.gate_atpg_untestable = graded.atpg.untestable;
+        done.gate_atpg_aborted = graded.atpg.aborted;
+        send(FrameType::Done, encode(done));
+    } catch (const Error& e) {
+        send(FrameType::Error, encode(ErrorMsg{"internal", e.what()}));
     }
 }
 

@@ -13,13 +13,17 @@
 // grading outcomes are worker-count independent, so the clamp changes
 // scheduling, never bytes.
 //
-// A grading request streams: the session mounts a cache entry, locks
-// its gate, and runs ONE GradingCampaign whose observer hooks forward
-// GroupBegin/Verdict frames as classification proceeds (plus throttled
-// Progress frames from the worker pool). A client that disconnects
-// mid-stream does not abort the grading — sends are swallowed after
-// the first failure and the run completes, warming the shared store
-// for the next request.
+// A KB grading request streams in two phases: the session mounts a
+// cache entry, joins the entry's cooperative shard round if the entry
+// is cold (concurrent same-entry requests claim disjoint fault ranges
+// and merge verdicts into the shared store — PlanCache::shard_warmup),
+// then takes the entry gate and runs ONE store-warm GradingCampaign
+// whose observer hooks forward GroupBegin/Verdict frames as
+// classification proceeds (plus throttled Progress frames). A gate
+// request (v2) routes to gate::grade_netlist and streams the same
+// frame sequence. A client that disconnects mid-stream does not abort
+// the grading — sends are swallowed after the first failure and the
+// run completes, warming the shared store for the next request.
 //
 // Shutdown: a Shutdown frame (or stop()) raises the stop flag; blocked
 // reads notice within one poll tick, queued-but-unserved connections
@@ -53,6 +57,17 @@ struct ServerOptions {
     unsigned max_request_jobs = 0;
     /// Persistence root for per-entry grade stores ("" = in-memory).
     std::string store_root;
+    /// Sharded in-entry grading (DESIGN.md §13): concurrent requests on
+    /// one COLD cache entry split its fault universe instead of
+    /// queueing on the entry gate. false = the serialized entry-gate
+    /// behaviour (ctkd --no-shard, the bench's contention baseline).
+    /// Replies are byte-identical either way.
+    bool shard = true;
+    /// Plan-cache bounds (0 = unbounded): LRU-evict entries past
+    /// max_entries, and past max_store_mb of summed approximate store
+    /// bytes. Evicted stores persist under store_root first.
+    std::size_t max_entries = 0;
+    std::size_t max_store_mb = 0;
     /// Mid-frame stall bound for connection reads, milliseconds. The
     /// wait for a frame to *start* is unbounded (idle clients are
     /// legal); a peer that stalls inside a frame is cut loose here.
@@ -101,6 +116,8 @@ private:
     void session_loop();
     void serve_connection(Socket socket);
     void handle_grade(Socket& socket, const GradeRequestMsg& request);
+    void handle_kb_grade(Socket& socket, const GradeRequestMsg& request);
+    void handle_gate_grade(Socket& socket, const GradeRequestMsg& request);
     /// Best-effort Error frame; a dead peer is ignored.
     void send_error(Socket& socket, const std::string& code,
                     const std::string& message);
@@ -111,7 +128,8 @@ private:
 
     Listener listener_;
     std::atomic<bool> stop_{true}; ///< true until start()
-    bool joined_ = true;
+    std::mutex join_mutex_;        ///< makes stop() idempotent: guards
+    bool joined_ = true;           ///< joined_ and the join itself
 
     std::mutex queue_mutex_;
     std::condition_variable queue_cv_;

@@ -38,6 +38,22 @@ TEST(Campaign, KbFamiliesAllPass) {
     for (const auto& j : result.jobs) EXPECT_GE(j.wall_s, 0.0);
 }
 
+TEST(Campaign, CanonicalFamiliesCollapseOrderDuplicatesAndDefault) {
+    const auto all = kb::families();
+    // Empty resolves to the full catalogue, in catalogue order.
+    EXPECT_EQ(kb::canonical_families({}), all);
+    // Any spelling of the full set is the same canonical list.
+    std::vector<std::string> reversed(all.rbegin(), all.rend());
+    EXPECT_EQ(kb::canonical_families(reversed), all);
+    // Order and duplicates collapse for partial sets too.
+    EXPECT_EQ(kb::canonical_families({"wiper", "interior_light", "wiper"}),
+              (std::vector<std::string>{"interior_light", "wiper"}));
+    // Unknown names survive (appended once) so compilation can report
+    // them instead of silently grading a different set.
+    EXPECT_EQ(kb::canonical_families({"nope", "wiper", "nope"}),
+              (std::vector<std::string>{"wiper", "nope"}));
+}
+
 TEST(Campaign, ResultOrderIsSubmissionOrderForEveryWorkerCount) {
     // Give earlier jobs *more* emulated instrument latency than later
     // ones, so with several workers the completion order is roughly the

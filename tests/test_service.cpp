@@ -15,15 +15,23 @@
 // so tests are independent and parallel-safe.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "core/gradestore.hpp"
 #include "core/grading.hpp"
+#include "core/kb.hpp"
+#include "gate/circuits.hpp"
+#include "gate/grade.hpp"
 #include "report/report.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -66,6 +74,46 @@ TEST(ServiceProto, GradeRequestRoundTrip) {
     EXPECT_EQ(back.jobs, 7u);
     EXPECT_EQ(back.lockstep, 1);
     EXPECT_EQ(back.block, 64u);
+    // v2 defaults survive the trip untouched.
+    EXPECT_EQ(back.mode, static_cast<std::uint8_t>(GradeMode::Kb));
+    EXPECT_TRUE(back.netlist_name.empty());
+    EXPECT_TRUE(back.netlist_text.empty());
+    EXPECT_EQ(back.patterns, 256u);
+    EXPECT_EQ(back.fault_packed, 0);
+}
+
+TEST(ServiceProto, GateRequestRoundTrip) {
+    GradeRequestMsg msg;
+    msg.mode = static_cast<std::uint8_t>(GradeMode::Gate);
+    msg.netlist_name = "builtin:c17";
+    msg.netlist_text = "INPUT(a)\n";
+    msg.patterns = 128;
+    msg.fault_packed = 1;
+    msg.jobs = 3;
+    const GradeRequestMsg back = decode_grade_request(encode(msg));
+    EXPECT_EQ(back.mode, static_cast<std::uint8_t>(GradeMode::Gate));
+    EXPECT_EQ(back.netlist_name, "builtin:c17");
+    EXPECT_EQ(back.netlist_text, "INPUT(a)\n");
+    EXPECT_EQ(back.patterns, 128u);
+    EXPECT_EQ(back.fault_packed, 1);
+    EXPECT_EQ(back.jobs, 3u);
+}
+
+TEST(ServiceProto, DoneGateSummaryRoundTrip) {
+    DoneMsg msg;
+    msg.gate_random_patterns = 64;
+    msg.gate_random_detected = 21;
+    msg.gate_atpg_ran = 1;
+    msg.gate_atpg_detected = 5;
+    msg.gate_atpg_untestable = 2;
+    msg.gate_atpg_aborted = 1;
+    const DoneMsg back = decode_done(encode(msg));
+    EXPECT_EQ(back.gate_random_patterns, 64u);
+    EXPECT_EQ(back.gate_random_detected, 21u);
+    EXPECT_EQ(back.gate_atpg_ran, 1);
+    EXPECT_EQ(back.gate_atpg_detected, 5u);
+    EXPECT_EQ(back.gate_atpg_untestable, 2u);
+    EXPECT_EQ(back.gate_atpg_aborted, 1u);
 }
 
 TEST(ServiceProto, VerdictRoundTripPreservesEntry) {
@@ -148,6 +196,11 @@ TEST(ServiceProto, BadEnumValuesAreRejected) {
               static_cast<unsigned char>(core::FaultOutcome::FrameworkError));
     vb[outcome_at] = 9;
     EXPECT_THROW((void)decode_verdict(vb), ProtoError);
+
+    // mode byte: only Kb (0) and Gate (1) exist.
+    GradeRequestMsg gm;
+    gm.mode = 5;
+    EXPECT_THROW((void)decode_grade_request(encode(gm)), ProtoError);
 }
 
 // -- live server fixtures --------------------------------------------------
@@ -442,6 +495,221 @@ TEST_F(ServiceTest, RequestAfterShutdownIsANamedError) {
         // Connection already torn down — acceptable, still no wedge.
     }
     server_->stop(); // join everything; TearDown would too
+}
+
+// -- canonical cache keys --------------------------------------------------
+
+TEST_F(ServiceTest, CanonicalKeysCollapseOrderingsAndDuplicates) {
+    start();
+    DaemonClient client(options_.socket_path);
+    GradeRequestMsg a;
+    a.families = {"wiper", "interior_light"};
+    a.jobs = 1;
+    GradeRequestMsg b;
+    b.families = {"interior_light", "wiper", "wiper"};
+    b.jobs = 1;
+    const GradeReply first = client.grade(a);
+    EXPECT_EQ(first.done.cache_hit, 0);
+    const GradeReply second = client.grade(b);
+    // Different spelling, same canonical set: one entry, warm hit.
+    EXPECT_EQ(second.done.cache_hit, 1);
+    EXPECT_EQ(second.done.kb_hash, first.done.kb_hash);
+    EXPECT_EQ(second.done.stand_hash, first.done.stand_hash);
+    EXPECT_EQ(server_->cache().entry_count(), 1u);
+    EXPECT_EQ(core::coverage_fingerprint(second.matrix),
+              core::coverage_fingerprint(first.matrix));
+    // Reply order is the KB catalogue order, not the request order.
+    ASSERT_EQ(first.matrix.groups.size(), 2u);
+    EXPECT_EQ(first.matrix.groups[0].name, "interior_light");
+    EXPECT_EQ(first.matrix.groups[1].name, "wiper");
+}
+
+TEST_F(ServiceTest, ExplicitFullListMatchesTheDefaultEntry) {
+    start();
+    DaemonClient client(options_.socket_path);
+    GradeRequestMsg all;
+    all.jobs = 1; // empty family list = the whole knowledge base
+    const GradeReply first = client.grade(all);
+    GradeRequestMsg spelled_out;
+    spelled_out.jobs = 1;
+    spelled_out.families = core::kb::families();
+    std::reverse(spelled_out.families.begin(), spelled_out.families.end());
+    const GradeReply second = client.grade(spelled_out);
+    EXPECT_EQ(second.done.cache_hit, 1);
+    EXPECT_EQ(server_->cache().entry_count(), 1u);
+    EXPECT_EQ(core::coverage_fingerprint(second.matrix),
+              core::coverage_fingerprint(first.matrix));
+}
+
+// -- sharded same-entry grading and the shared store -----------------------
+
+TEST_F(ServiceTest, ConcurrentIdenticalClientsProduceByteIdenticalCsvs) {
+    options_.max_sessions = 4;
+    start();
+    // Offline reference, with a store so the pair universe is known.
+    core::GradingOptions ref_opts;
+    ref_opts.jobs = 1;
+    core::GradeStore ref_store;
+    ref_opts.store = &ref_store;
+    const std::string expected = report::coverage_to_csv(
+        core::grade_kb(ref_opts, {"interior_light"}).to_coverage());
+
+    std::array<std::string, 4> csvs;
+    std::vector<std::thread> clients;
+    clients.reserve(csvs.size());
+    for (std::size_t i = 0; i < csvs.size(); ++i) {
+        clients.emplace_back([&, i] {
+            DaemonClient client(options_.socket_path);
+            csvs[i] = report::coverage_to_csv(
+                client.grade(small_request()).matrix);
+        });
+    }
+    for (auto& t : clients) t.join();
+    for (const auto& csv : csvs) EXPECT_EQ(csv, expected);
+
+    // One writer per (fault, test) pair: the shared store the shard
+    // round merged holds exactly the offline pair set — nothing
+    // doubled, nothing dropped.
+    const auto mounted = server_->cache().mount({"interior_light"}, false);
+    EXPECT_TRUE(mounted.hit);
+    std::lock_guard<std::mutex> gate(mounted.entry->gate);
+    EXPECT_EQ(mounted.entry->store.pair_count(), ref_store.pair_count());
+}
+
+// -- bounded caches --------------------------------------------------------
+
+TEST_F(ServiceTest, EvictionPersistsThenReloadsTheStoreIntact) {
+    options_.store_root = (dir_ / "stores").string();
+    options_.max_entries = 1;
+    start();
+    DaemonClient client(options_.socket_path);
+    GradeRequestMsg wiper;
+    wiper.families = {"wiper"};
+    wiper.jobs = 1;
+
+    const GradeReply cold = client.grade(small_request());
+    EXPECT_GT(cold.done.store.pair_misses, 0u);
+    (void)client.grade(wiper); // bound is 1 entry: evicts the first
+    EXPECT_EQ(server_->cache().entry_count(), 1u);
+    const auto evictions = server_->cache().eviction_stats();
+    EXPECT_GE(evictions.entries_evicted, 1u);
+    EXPECT_GE(evictions.stores_persisted, 1u);
+
+    // Re-mount the evicted shape: a plan-cache miss (the entry is
+    // gone), but the persisted store serves every pair — eviction
+    // costs a reload, never a regrade.
+    const GradeReply back = client.grade(small_request());
+    EXPECT_EQ(back.done.cache_hit, 0);
+    EXPECT_EQ(back.done.store.pair_misses, 0u);
+    EXPECT_GT(back.done.store.pair_hits, 0u);
+    EXPECT_EQ(core::coverage_fingerprint(back.matrix),
+              core::coverage_fingerprint(cold.matrix));
+}
+
+// -- init latch: slow loads stall only their own entry ---------------------
+
+TEST_F(ServiceTest, SlowEntryLoadDoesNotBlockOtherEntries) {
+    options_.max_sessions = 2;
+    start();
+    std::mutex m;
+    std::condition_variable cv;
+    bool entered = false;
+    bool hold = true;
+    bool first_load = true;
+    // The first entry to init blocks in its load until released; every
+    // other entry loads normally.
+    server_->cache().set_load_hook_for_test([&](const std::string&) {
+        std::unique_lock<std::mutex> lk(m);
+        if (!first_load) return;
+        first_load = false;
+        entered = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return !hold; });
+    });
+
+    std::thread stalled([&] {
+        DaemonClient client(options_.socket_path);
+        (void)client.grade(small_request());
+    });
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return entered; });
+    }
+    // interior_light's load is wedged; a DIFFERENT entry must mount and
+    // grade to completion regardless — the init latch is per-entry, not
+    // cache-wide. A deadlock here hangs (and fails) the test.
+    {
+        DaemonClient client(options_.socket_path);
+        GradeRequestMsg wiper;
+        wiper.families = {"wiper"};
+        wiper.jobs = 1;
+        const GradeReply reply = client.grade(wiper);
+        EXPECT_GT(reply.matrix.fault_count(), 0u);
+    }
+    {
+        std::lock_guard<std::mutex> lk(m);
+        hold = false;
+    }
+    cv.notify_all();
+    stalled.join();
+}
+
+// -- idempotent stop -------------------------------------------------------
+
+TEST_F(ServiceTest, StopIsIdempotentUnderConcurrentCallers) {
+    start();
+    {
+        DaemonClient client(options_.socket_path);
+        (void)client.grade(small_request());
+    }
+    // Signal handler, destructor and explicit caller may all race into
+    // stop(); exactly one joins, the rest wait — never a double join.
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i)
+        stoppers.emplace_back([&] { server_->stop(); });
+    for (auto& t : stoppers) t.join();
+    server_->stop(); // and once more, serially
+    EXPECT_TRUE(server_->stopping());
+}
+
+// -- gate mode over the daemon ---------------------------------------------
+
+TEST_F(ServiceTest, GateRequestOverTheDaemonMatchesOffline) {
+    start();
+    gate::GateGradeOptions gopts;
+    gopts.max_patterns = 64;
+    gopts.jobs = 1;
+    const auto offline_gate =
+        gate::grade_netlist(gate::circuits::c17(), gopts);
+    core::CoverageMatrix reference;
+    reference.groups.push_back(offline_gate.coverage);
+
+    DaemonClient client(options_.socket_path);
+    GradeRequestMsg request;
+    request.mode = static_cast<std::uint8_t>(GradeMode::Gate);
+    request.netlist_name = "builtin:c17";
+    request.patterns = 64;
+    request.jobs = 1;
+    const GradeReply reply = client.grade(request);
+    EXPECT_EQ(report::coverage_to_csv(reply.matrix),
+              report::coverage_to_csv(reference));
+    EXPECT_EQ(reply.done.gate_random_patterns, offline_gate.random_patterns);
+    EXPECT_EQ(reply.done.gate_random_detected, offline_gate.random_detected);
+
+    // An unknown builtin is a bad request, not a dead daemon.
+    GradeRequestMsg bad;
+    bad.mode = static_cast<std::uint8_t>(GradeMode::Gate);
+    bad.netlist_name = "builtin:no_such_circuit";
+    try {
+        (void)client.grade(bad);
+        FAIL() << "unknown builtin must produce a daemon error";
+    } catch (const DaemonError& e) {
+        EXPECT_EQ(e.code(), "bad-request");
+    }
+    // The connection still serves the next request.
+    const GradeReply again = client.grade(request);
+    EXPECT_EQ(report::coverage_to_csv(again.matrix),
+              report::coverage_to_csv(reference));
 }
 
 TEST_F(ServiceTest, StorePersistsAcrossDaemonRestarts) {

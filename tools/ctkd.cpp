@@ -8,18 +8,26 @@
 // tool — the daemon changes *where* the work happens, never verdicts.
 //
 //   usage: ctkd --socket PATH [--sessions N] [--backlog N]
-//               [--max-jobs N] [--store-root DIR]
+//               [--max-jobs N] [--store-root DIR] [--no-shard]
+//               [--max-entries N] [--max-store-mb N]
 //          ctkd --socket PATH --stop
 //
-// --sessions    concurrently served connections (default 4)
-// --backlog     accepted connections allowed to wait for a session;
-//               one more is refused with a named "busy" error
-// --max-jobs    per-request worker clamp (0 = no clamp). Deterministic:
-//               outcomes are worker-count independent, the clamp only
-//               bounds one request's CPU appetite.
-// --store-root  persistence root: each cache entry's grade store is
-//               loaded from and saved back to a content-named directory
-// --stop        connect to a running daemon and shut it down
+// --sessions      concurrently served connections (default 4)
+// --backlog       accepted connections allowed to wait for a session;
+//                 one more is refused with a named "busy" error
+// --max-jobs      per-request worker clamp (0 = no clamp). Deterministic:
+//                 outcomes are worker-count independent, the clamp only
+//                 bounds one request's CPU appetite.
+// --store-root    persistence root: each cache entry's grade store is
+//                 loaded from and saved back to a content-named directory
+// --no-shard      serialize same-entry requests on the entry gate instead
+//                 of splitting a cold entry's universe between them
+//                 (the pre-sharding behaviour; replies are byte-identical
+//                 either way — this is the bench's contention baseline)
+// --max-entries   LRU-evict plan-cache entries past this count (0 = off)
+// --max-store-mb  LRU-evict entries once summed grade-store bytes pass
+//                 this bound (0 = off); evicted stores persist first
+// --stop          connect to a running daemon and shut it down
 //
 // The daemon prints "ctkd: listening on PATH" once the socket is ready
 // (CI waits for the socket file), serves until a Shutdown frame,
@@ -39,7 +47,8 @@ namespace {
 
 const char* kUsage =
     "usage: ctkd --socket PATH [--sessions N] [--backlog N] [--max-jobs N]\n"
-    "            [--store-root DIR]\n"
+    "            [--store-root DIR] [--no-shard] [--max-entries N]\n"
+    "            [--max-store-mb N]\n"
     "       ctkd --socket PATH --stop\n";
 
 volatile std::sig_atomic_t g_signal = 0;
@@ -94,6 +103,12 @@ int main(int argc, char** argv) {
             options.max_request_jobs = next_int(0, 4096);
         } else if (arg == "--store-root") {
             options.store_root = next();
+        } else if (arg == "--no-shard") {
+            options.shard = false;
+        } else if (arg == "--max-entries") {
+            options.max_entries = next_int(0, 1e9);
+        } else if (arg == "--max-store-mb") {
+            options.max_store_mb = next_int(0, 1e9);
         } else if (arg == "--stop") {
             stop_mode = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -131,7 +146,15 @@ int main(int argc, char** argv) {
                   << " protocol error(s); " << server.cache().entry_count()
                   << " cached entry(ies) over "
                   << server.cache().family_plan_count()
-                  << " compiled family plan(s)\n";
+                  << " compiled family plan(s)";
+        const auto evictions = server.cache().eviction_stats();
+        if (evictions.entries_evicted > 0 || options.max_entries > 0 ||
+            options.max_store_mb > 0)
+            std::cerr << "; evicted " << evictions.entries_evicted
+                      << " entry(ies), " << evictions.plans_evicted
+                      << " orphaned plan(s), " << evictions.stores_persisted
+                      << " store(s) persisted on evict";
+        std::cerr << "\n";
         return 0;
     } catch (const Error& e) {
         std::cerr << "ctkd: " << e.what() << "\n";

@@ -37,16 +37,19 @@
 // drops the loaded store content first (forces a full regrade that
 // rewrites the store).
 //
-// Connect mode (--kb --connect SOCK, DESIGN.md §13): instead of grading
+// Connect mode (--connect SOCK, DESIGN.md §13): instead of grading
 // in-process, send the request to a running ctkd daemon and rebuild the
-// coverage matrix from its streamed verdicts. The matrix renders through
+// coverage matrix from its streamed verdicts. Works for both modes: a
+// KB request grades against the daemon's warm plan cache, a gate
+// request ships the netlist (built-ins by name, files as .bench text)
+// to gate::grade_netlist in the daemon. The matrix renders through
 // the same report code, so the coverage table and CSV are byte-identical
 // to offline mode; the daemon owns the grade store, so --store and
 // --invalidate (and --augment) do not combine with --connect.
 //
 //   usage: ctkgrade <netlist.bench | builtin:NAME> [--patterns N]
 //                   [--jobs N] [--detail] [--csv out.csv]
-//                   [--min-coverage X]
+//                   [--min-coverage X] [--connect SOCK]
 //          ctkgrade --kb [--families a,b] [--jobs N] [--detail]
 //                   [--csv out.csv] [--min-coverage X]
 //                   [--universe base|scaled] [--store DIR] [--invalidate]
@@ -71,6 +74,7 @@
 #include "core/augment.hpp"
 #include "core/gradestore.hpp"
 #include "core/grading.hpp"
+#include "core/kb.hpp"
 #include "gate/bench_io.hpp"
 #include "gate/circuits.hpp"
 #include "gate/grade.hpp"
@@ -82,17 +86,8 @@ namespace {
 
 ctk::gate::Netlist load(const std::string& spec) {
     using namespace ctk::gate;
-    if (spec.rfind("builtin:", 0) == 0) {
-        const std::string name = spec.substr(8);
-        if (name == "c17") return circuits::c17();
-        if (name == "adder8") return circuits::ripple_adder(8);
-        if (name == "cmp8") return circuits::comparator(8);
-        if (name == "mux16") return circuits::mux_tree(4);
-        if (name == "alu4") return circuits::alu(4);
-        if (name == "parity16") return circuits::parity_tree(16);
-        if (name == "counter4") return circuits::counter(4);
-        throw ctk::Error("unknown builtin circuit '" + name + "'");
-    }
+    if (spec.rfind("builtin:", 0) == 0)
+        return circuits::by_name(spec.substr(8));
     std::ifstream in(spec);
     if (!in) throw ctk::Error("cannot read " + spec);
     std::ostringstream body;
@@ -105,6 +100,7 @@ const char* kUsage =
     "[--jobs N]\n"
     "                [--fault-packed] [--detail] [--csv out.csv] "
     "[--min-coverage X]\n"
+    "                [--connect SOCK]\n"
     "       ctkgrade --kb [--families a,b] [--jobs N] [--detail]\n"
     "                [--csv out.csv] [--min-coverage X]\n"
     "                [--universe base|scaled] [--store DIR] "
@@ -276,6 +272,58 @@ int run_kb_connect(const std::string& socket_path,
                    reply.done.wall_s, reply.done.workers);
         return finish(reply.matrix, options,
                       reply.matrix.clean() ? 0 : 3);
+    } catch (const Error& e) {
+        std::cerr << "ctkgrade: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+/// Netlist grading through a running ctkd daemon (gate --connect). The
+/// netlist is still loaded locally — the stdout preamble (gate counts,
+/// full fault list) comes from it — but the grading runs in the daemon:
+/// a built-in travels by name, a file netlist as .bench text. The
+/// streamed verdicts rebuild the same matrix finish() always renders.
+int run_gate_connect(const std::string& socket_path, const std::string& spec,
+                     std::size_t budget, const CommonOptions& options,
+                     bool fault_packed) {
+    using namespace ctk;
+    try {
+        const gate::Netlist net = load(spec);
+
+        service::DaemonClient client(socket_path);
+        service::GradeRequestMsg request;
+        request.mode = static_cast<std::uint8_t>(service::GradeMode::Gate);
+        request.jobs = options.jobs;
+        request.patterns = budget;
+        request.fault_packed = fault_packed ? 1 : 0;
+        if (spec.rfind("builtin:", 0) == 0) {
+            request.netlist_name = spec;
+        } else {
+            request.netlist_name = net.name();
+            request.netlist_text = gate::emit_bench(net);
+        }
+        const service::GradeReply reply = client.grade(request);
+
+        const std::size_t collapsed =
+            reply.matrix.groups.empty()
+                ? 0
+                : reply.matrix.groups.front().entries.size();
+        std::cout << net.name() << ": " << net.size() << " gates, "
+                  << net.inputs().size() << " PIs, " << net.outputs().size()
+                  << " POs, " << net.dffs().size() << " DFFs; "
+                  << gate::full_fault_list(net).size() << " faults, "
+                  << collapsed << " after collapsing\n";
+        std::cout << "random TPG: " << reply.done.gate_random_patterns
+                  << " patterns, " << reply.done.gate_random_detected << "/"
+                  << collapsed << " detected\n";
+        if (reply.done.gate_atpg_ran != 0)
+            std::cout << "PODEM top-up: " << reply.done.gate_atpg_detected
+                      << " detected, " << reply.done.gate_atpg_untestable
+                      << " untestable, " << reply.done.gate_atpg_aborted
+                      << " aborted\n";
+        print_perf("gate", "daemon", collapsed, reply.done.wall_s,
+                   reply.done.workers);
+        return finish(reply.matrix, options, 0);
     } catch (const Error& e) {
         std::cerr << "ctkgrade: " << e.what() << "\n";
         return 2;
@@ -497,6 +545,11 @@ int main(int argc, char** argv) {
     }
 
     if (kb_mode) {
+        // Canonical family list (empty = all, duplicates collapse,
+        // catalogue order) — the exact normalization the daemon applies
+        // to its cache keys, so offline output for any spelling matches
+        // the daemon's reply for the same set byte for byte.
+        families = core::kb::canonical_families(families);
         if (!spec.empty()) {
             std::cerr << "ctkgrade: --kb cannot be combined with a "
                          "netlist\n";
@@ -589,13 +642,12 @@ int main(int argc, char** argv) {
                      "only apply to --kb mode\n";
         return 1;
     }
-    if (!connect_path.empty()) {
-        std::cerr << "ctkgrade: --connect only applies to --kb mode\n";
-        return 1;
-    }
     if (spec.empty()) {
         std::cerr << kUsage;
         return 1;
     }
+    if (!connect_path.empty())
+        return run_gate_connect(connect_path, spec, budget, common,
+                                fault_packed);
     return run_gate_grading(spec, budget, common, fault_packed);
 }
